@@ -1,0 +1,95 @@
+//! Micro-benchmarks for the from-scratch crypto substrate: the per-audit
+//! cost of GeoProof is dominated by MAC verification and the transcript
+//! signature, so these underpin the protocol-level numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geoproof_crypto::aes::{Aes128, Aes128Ctr};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::hmac::{HmacSha256, TruncatedMac};
+use geoproof_crypto::prp::DomainPrp;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_crypto::sha256::Sha256;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Sha256::digest(black_box(d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac_segment_tag(c: &mut Criterion) {
+    // An 83-byte segment, as the paper's (v = 5, 20-bit-tag) layout.
+    let key = [7u8; 32];
+    let segment = vec![0x5au8; 83];
+    let mac = TruncatedMac::new(20);
+    c.bench_function("hmac/tag_83B_segment", |b| {
+        b.iter(|| mac.mac(black_box(&key), black_box(&segment)));
+    });
+    let tag = mac.mac(&key, &segment);
+    c.bench_function("hmac/verify_83B_segment", |b| {
+        b.iter(|| mac.verify(black_box(&key), black_box(&segment), black_box(&tag)));
+    });
+    c.bench_function("hmac/full_sha256", |b| {
+        b.iter(|| HmacSha256::mac(black_box(&key), black_box(&segment)));
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let key = [1u8; 16];
+    let cipher = Aes128::new(&key);
+    let block = [0u8; 16];
+    c.bench_function("aes128/encrypt_block", |b| {
+        b.iter(|| cipher.encrypt_block(black_box(&block)));
+    });
+    let ctr = Aes128Ctr::new(&key, *b"benchnon");
+    let mut buf = vec![0u8; 4096];
+    let mut g = c.benchmark_group("aes128_ctr");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("stream_4KiB", |b| {
+        b.iter(|| ctr.apply_keystream(black_box(&mut buf)));
+    });
+    g.finish();
+}
+
+fn bench_prp(c: &mut Criterion) {
+    // Domain size from the paper's 2 GiB example.
+    let prp = DomainPrp::new(&[9u8; 32], 153_008_209);
+    c.bench_function("prp/permute_paper_domain", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 153_008_209;
+            prp.permute(black_box(i))
+        });
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let mut rng = ChaChaRng::from_u64_seed(5);
+    let sk = SigningKey::generate(&mut rng);
+    // A transcript-sized message: 20 rounds × ~100 bytes.
+    let msg = vec![0x42u8; 2000];
+    c.bench_function("schnorr/sign_transcript", |b| {
+        b.iter(|| sk.sign(black_box(&msg), &mut rng));
+    });
+    let sig = sk.sign(&msg, &mut rng);
+    let vk = sk.verifying_key();
+    c.bench_function("schnorr/verify_transcript", |b| {
+        b.iter(|| vk.verify(black_box(&msg), black_box(&sig)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac_segment_tag,
+    bench_aes,
+    bench_prp,
+    bench_schnorr
+);
+criterion_main!(benches);

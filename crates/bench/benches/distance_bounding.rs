@@ -1,0 +1,69 @@
+//! Distance-bounding protocol benchmarks: session initialisation and the
+//! full n-round timed phase for all three protocols, plus the Monte-Carlo
+//! attack estimators used by experiments F2/F3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_distbound::brands_chaum::BcProver;
+use geoproof_distbound::hancke_kuhn::HkSession;
+use geoproof_distbound::reid::ReidSession;
+use geoproof_distbound::rounds::{ChannelModel, Scenario};
+use geoproof_sim::time::Km;
+use std::hint::black_box;
+
+fn bench_initialise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db_initialise");
+    for n in [32usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("hancke_kuhn", n), &n, |b, &n| {
+            b.iter(|| HkSession::initialise(b"secret", b"nv", b"np", black_box(n)));
+        });
+        g.bench_with_input(BenchmarkId::new("reid", n), &n, |b, &n| {
+            b.iter(|| {
+                ReidSession::initialise(&[7u8; 32], b"idv", b"idp", b"nv", b"np", black_box(n))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_protocol(c: &mut Criterion) {
+    let channel = ChannelModel::default();
+    let scenario = Scenario::Honest { distance: Km(0.05) };
+    let mut g = c.benchmark_group("db_run_64_rounds");
+    let hk = HkSession::initialise(b"secret", b"nv", b"np", 64);
+    g.bench_function("hancke_kuhn", |b| {
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        b.iter(|| hk.run(black_box(scenario), &channel, &mut rng));
+    });
+    let reid = ReidSession::initialise(&[7u8; 32], b"idv", b"idp", b"nv", b"np", 64);
+    g.bench_function("reid", |b| {
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        b.iter(|| reid.run(black_box(scenario), &channel, &mut rng));
+    });
+    let mut rng = ChaChaRng::from_u64_seed(3);
+    let sk = SigningKey::generate(&mut rng);
+    g.bench_function("brands_chaum_with_commit_and_sign", |b| {
+        b.iter(|| {
+            let (p, commit) = BcProver::new(sk.clone(), 64, &mut rng);
+            let t = p.run(scenario, &channel, &mut rng);
+            let open = p.open(&t, &mut rng);
+            black_box((commit, open))
+        });
+    });
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let channel = ChannelModel::default();
+    let hk = HkSession::initialise(b"secret", b"nv", b"np", 64);
+    let mut rng = ChaChaRng::from_u64_seed(4);
+    let t = hk.run(Scenario::Honest { distance: Km(0.05) }, &channel, &mut rng);
+    let max = channel.max_rtt_for(Km(0.1));
+    c.bench_function("db_verify_hk_64_rounds", |b| {
+        b.iter(|| hk.verify(black_box(&t), max));
+    });
+}
+
+criterion_group!(benches, bench_initialise, bench_run_protocol, bench_verify);
+criterion_main!(benches);

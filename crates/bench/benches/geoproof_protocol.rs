@@ -1,0 +1,56 @@
+//! Protocol-level benchmarks: a full audit round trip (request → timed
+//! rounds → signed transcript → four-step verification) at several
+//! challenge counts, and the TPA verification step alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_sim::time::Km;
+use geoproof_net::wan::AccessKind;
+use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
+use std::hint::black_box;
+
+fn bench_full_audit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("audit_roundtrip");
+    g.sample_size(20);
+    for k in [10u32, 50, 200] {
+        g.bench_with_input(BenchmarkId::new("honest", k), &k, |b, &k| {
+            let mut d = DeploymentBuilder::new(BRISBANE).seed(1).build();
+            b.iter(|| black_box(d.run_audit(k)));
+        });
+    }
+    g.bench_function("relay_720km_k50", |b| {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(720.0),
+                access: AccessKind::DataCentre,
+            })
+            .seed(2)
+            .build();
+        b.iter(|| black_box(d.run_audit(50)));
+    });
+    g.bench_function("corrupting_k50", |b| {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.05,
+            })
+            .seed(3)
+            .build();
+        b.iter(|| black_box(d.run_audit(50)));
+    });
+    g.finish();
+}
+
+fn bench_verify_only(c: &mut Criterion) {
+    let mut d = DeploymentBuilder::new(BRISBANE).seed(4).build();
+    let req = d.auditor.issue_request(50);
+    let transcript = d.verifier.run_audit(&req, d.provider.as_mut());
+    c.bench_function("tpa_verify_k50", |b| {
+        b.iter(|| black_box(d.auditor.verify(&req, &transcript)));
+    });
+}
+
+criterion_group!(benches, bench_full_audit, bench_verify_only);
+criterion_main!(benches);

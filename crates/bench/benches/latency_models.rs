@@ -1,0 +1,44 @@
+//! Latency-model benchmarks: sampling cost of the HDD, LAN and WAN models
+//! that every protocol simulation leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_net::lan::LanPath;
+use geoproof_net::wan::{AccessKind, WanModel};
+use geoproof_sim::time::Km;
+use geoproof_storage::hdd::{HddModel, WD_2500JD};
+use std::hint::black_box;
+
+fn bench_hdd(c: &mut Criterion) {
+    let det = HddModel::deterministic(WD_2500JD);
+    let sto = HddModel::stochastic(WD_2500JD);
+    let mut rng = ChaChaRng::from_u64_seed(1);
+    c.bench_function("hdd_lookup_deterministic", |b| {
+        b.iter(|| det.sample_lookup(black_box(512), &mut rng));
+    });
+    c.bench_function("hdd_lookup_stochastic", |b| {
+        b.iter(|| sto.sample_lookup(black_box(512), &mut rng));
+    });
+}
+
+fn bench_lan(c: &mut Criterion) {
+    let path = LanPath::adjacent();
+    let mut rng = ChaChaRng::from_u64_seed(2);
+    c.bench_function("lan_rtt_sample", |b| {
+        b.iter(|| path.rtt(black_box(64), black_box(83), &mut rng));
+    });
+}
+
+fn bench_wan(c: &mut Criterion) {
+    let wan = WanModel::calibrated(AccessKind::Adsl2);
+    let mut rng = ChaChaRng::from_u64_seed(3);
+    c.bench_function("wan_rtt_sample_3605km", |b| {
+        b.iter(|| wan.rtt(black_box(Km(3605.0)), &mut rng));
+    });
+    c.bench_function("wan_mean_rtt", |b| {
+        b.iter(|| wan.mean_rtt(black_box(Km(3605.0))));
+    });
+}
+
+criterion_group!(benches, bench_hdd, bench_lan, bench_wan);
+criterion_main!(benches);

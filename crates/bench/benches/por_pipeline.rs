@@ -1,0 +1,96 @@
+//! POR pipeline benchmarks: the owner's setup cost (five-step encode), the
+//! extractor, and per-segment tag verification — the TPA's inner loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_por::encode::PorEncoder;
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::PorParams;
+use std::hint::black_box;
+
+fn data(len: usize) -> Vec<u8> {
+    let mut rng = ChaChaRng::from_u64_seed(3);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let encoder = PorEncoder::new(PorParams::paper());
+    let keys = PorKeys::derive(b"bench-master", "bench-file");
+    let mut g = c.benchmark_group("por_encode_paper_params");
+    g.sample_size(10);
+    for size in [64 * 1024usize, 256 * 1024] {
+        let d = data(size);
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &d, |b, d| {
+            b.iter(|| encoder.encode(black_box(d), &keys, "bench-file"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let encoder = PorEncoder::new(PorParams::paper());
+    let keys = PorKeys::derive(b"bench-master", "bench-file");
+    let d = data(64 * 1024);
+    let tagged = encoder.encode(&d, &keys, "bench-file");
+    let mut g = c.benchmark_group("por_extract_paper_params");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(d.len() as u64));
+    g.bench_function("clean_64KiB", |b| {
+        b.iter(|| {
+            encoder
+                .extract(black_box(&tagged.segments), &keys, &tagged.metadata)
+                .unwrap()
+        });
+    });
+    let mut corrupted = tagged.clone();
+    corrupted.segments[3][0] ^= 0xff;
+    corrupted.segments[11][7] ^= 0xff;
+    g.bench_function("with_2_corrupt_segments_64KiB", |b| {
+        b.iter(|| {
+            encoder
+                .extract(black_box(&corrupted.segments), &keys, &corrupted.metadata)
+                .unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_verify_segment(c: &mut Criterion) {
+    let encoder = PorEncoder::new(PorParams::paper());
+    let keys = PorKeys::derive(b"bench-master", "bench-file");
+    let tagged = encoder.encode(&data(64 * 1024), &keys, "bench-file");
+    c.bench_function("por_verify_segment", |b| {
+        b.iter(|| {
+            encoder.verify_segment(
+                black_box(keys.mac_key()),
+                "bench-file",
+                0,
+                black_box(&tagged.segments[0]),
+            )
+        });
+    });
+    // The TPA verifies k = 1000 tags per audit in the paper's example.
+    c.bench_function("por_verify_1000_segments", |b| {
+        b.iter(|| {
+            let mut ok = 0u32;
+            for i in 0..1000u64 {
+                let idx = (i as usize) % tagged.segments.len();
+                if encoder.verify_segment(
+                    keys.mac_key(),
+                    "bench-file",
+                    idx as u64,
+                    &tagged.segments[idx],
+                ) {
+                    ok += 1;
+                }
+            }
+            ok
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_extract, bench_verify_segment);
+criterion_main!(benches);

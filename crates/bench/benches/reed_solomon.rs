@@ -1,0 +1,68 @@
+//! Reed–Solomon codec benchmarks at the paper's (255, 223, 32)
+//! configuration: chunk encode, clean decode, and decode under the
+//! worst-case correctable error load (t = 16 block errors).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use geoproof_ecc::block_code::{Block, BlockCode};
+use geoproof_ecc::rs::RsCode;
+use std::hint::black_box;
+
+fn chunk() -> Vec<Block> {
+    (0..223)
+        .map(|i| {
+            let mut b = [0u8; 16];
+            for (j, byte) in b.iter_mut().enumerate() {
+                *byte = (i as u8).wrapping_mul(13).wrapping_add(j as u8);
+            }
+            b
+        })
+        .collect()
+}
+
+fn bench_block_code(c: &mut Criterion) {
+    let code = BlockCode::paper_code();
+    let data = chunk();
+    let mut g = c.benchmark_group("rs_255_223_blocks");
+    g.throughput(Throughput::Bytes((223 * 16) as u64));
+    g.bench_function("encode_chunk", |b| {
+        b.iter(|| code.encode_chunk(black_box(&data)));
+    });
+    let encoded = code.encode_chunk(&data);
+    g.bench_function("decode_clean", |b| {
+        b.iter(|| code.decode_chunk(black_box(&encoded), &[]).unwrap());
+    });
+    let mut corrupted = encoded.clone();
+    for i in 0..16 {
+        corrupted[i * 15] = [0xee; 16];
+    }
+    g.bench_function("decode_16_block_errors", |b| {
+        b.iter(|| code.decode_chunk(black_box(&corrupted), &[]).unwrap());
+    });
+    let erased: Vec<usize> = (0..32).map(|i| i * 7).collect();
+    let mut with_erasures = encoded.clone();
+    for &e in &erased {
+        with_erasures[e] = [0u8; 16];
+    }
+    g.bench_function("decode_32_block_erasures", |b| {
+        b.iter(|| code.decode_chunk(black_box(&with_erasures), black_box(&erased)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_symbol_code(c: &mut Criterion) {
+    let code = RsCode::paper_code();
+    let data: Vec<u8> = (0..223).map(|i| i as u8).collect();
+    let mut g = c.benchmark_group("rs_255_223_symbols");
+    g.throughput(Throughput::Bytes(223));
+    g.bench_function("encode", |b| {
+        b.iter(|| code.encode(black_box(&data)));
+    });
+    let cw = code.encode(&data);
+    g.bench_function("decode_clean", |b| {
+        b.iter(|| code.decode(black_box(&cw), &[]).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_code, bench_symbol_code);
+criterion_main!(benches);

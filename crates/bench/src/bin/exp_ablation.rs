@@ -1,0 +1,134 @@
+//! Ablation study over GeoProof's design parameters (DESIGN.md calls out
+//! the choices; this bench quantifies them):
+//!
+//! 1. challenge count k — detection probability vs audit cost,
+//! 2. tag width ℓ_τ — storage overhead vs per-tag forgery probability,
+//! 3. segment size v — overhead vs per-challenge disk time,
+//! 4. RS code rate — overhead vs correctable corruption.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_por::analysis::detection_probability;
+use geoproof_por::params::{overhead_example, PorParams};
+use geoproof_storage::hdd::WD_2500JD;
+
+fn main() {
+    banner("ABL", "Ablations over the paper's design choices");
+
+    // --- 1. Challenge count k -------------------------------------------
+    println!("1. challenge count k (ε = 1% segment corruption):\n");
+    let mut t1 = Table::new(&[
+        "k",
+        "analytic detection",
+        "measured detection (20 audits)",
+        "audit wall time (simulated, ms)",
+    ]);
+    for k in [5u32, 10, 20, 50, 100] {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.01,
+            })
+            .file_bytes(60_000)
+            .seed(u64::from(k))
+            .build();
+        let rate = d.detection_rate(20, k);
+        // Sequential audit duration ≈ k × (lookup + LAN) ≈ k × 13.2 ms.
+        let audit_ms = f64::from(k) * 13.2;
+        t1.row_owned(vec![
+            k.to_string(),
+            fmt_f64(detection_probability(0.01, u64::from(k)), 3),
+            fmt_f64(rate, 3),
+            fmt_f64(audit_ms, 0),
+        ]);
+    }
+    t1.print();
+    println!("\ntrade-off: detection saturates geometrically while audit time grows linearly.\n");
+
+    // --- 2. Tag width ---------------------------------------------------
+    println!("2. tag width ℓ_τ (paper: 20 bits):\n");
+    let mut t2 = Table::new(&[
+        "ℓ_τ (bits)",
+        "per-tag forgery prob",
+        "stored overhead (2 GiB file)",
+    ]);
+    for bits in [8u32, 16, 20, 32, 64, 128] {
+        let params = PorParams {
+            tag_bits: bits,
+            ..PorParams::paper()
+        };
+        let ex = overhead_example(&params, 2 << 30);
+        t2.row_owned(vec![
+            bits.to_string(),
+            format!("2^-{bits}"),
+            format!(
+                "{}%",
+                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)
+            ),
+        ]);
+    }
+    t2.print();
+    println!("\nthe paper's 20-bit choice: forgery must survive k tags, so 2^-20 per tag");
+    println!("(2^-20k per audit) buys overhead barely above the RS floor.\n");
+
+    // --- 3. Segment size v ------------------------------------------------
+    println!("3. segment size v (paper: 5 blocks):\n");
+    let mut t3 = Table::new(&[
+        "v (blocks)",
+        "segment bytes",
+        "segments (2 GiB)",
+        "overhead",
+        "disk transfer per challenge (µs)",
+    ]);
+    for v in [1usize, 2, 5, 10, 20] {
+        let params = PorParams {
+            segment_blocks: v,
+            ..PorParams::paper()
+        };
+        let ex = overhead_example(&params, 2 << 30);
+        let transfer = WD_2500JD.transfer_time(params.segment_bytes());
+        t3.row_owned(vec![
+            v.to_string(),
+            params.segment_bytes().to_string(),
+            ex.segments.to_string(),
+            format!(
+                "{}%",
+                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)
+            ),
+            fmt_f64(transfer.as_micros_f64(), 1),
+        ]);
+    }
+    t3.print();
+    println!("\nlarger v amortises the tag but each challenge moves more data; transfer");
+    println!("stays µs-scale against a ~13 ms seek, so v mostly tunes overhead.\n");
+
+    // --- 4. RS code rate -----------------------------------------------------
+    println!("4. Reed–Solomon rate (paper: (255, 223), t = 16):\n");
+    let mut t4 = Table::new(&[
+        "(n, k)",
+        "t (block errors/chunk)",
+        "erasures/chunk",
+        "overhead",
+    ]);
+    for (n, k) in [(255usize, 239usize), (255, 223), (255, 191), (255, 127)] {
+        let params = PorParams {
+            rs_n: n,
+            rs_k: k,
+            ..PorParams::paper()
+        };
+        let ex = overhead_example(&params, 2 << 30);
+        t4.row_owned(vec![
+            format!("({n}, {k})"),
+            ((n - k) / 2).to_string(),
+            (n - k).to_string(),
+            format!(
+                "{}%",
+                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 1)
+            ),
+        ]);
+    }
+    t4.print();
+    println!("\nthe (255, 223) point: enough correction that sub-detection-threshold");
+    println!("corruption cannot destroy the file, at ~14% cost (paper §V-C(a)).");
+}

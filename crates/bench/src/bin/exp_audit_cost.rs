@@ -1,0 +1,57 @@
+//! Extension experiment — the POS economy claim (paper §IV): "the size of
+//! the information exchanged between client and server is very small and
+//! may even be independent of the size of stored data". Audit traffic vs
+//! whole-file download across file sizes, with the paper's k = 1000.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::cost::{audit_cost, naive_download_bytes};
+use geoproof_por::params::PorParams;
+
+fn human(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{} {}", fmt_f64(v, 1), UNITS[u])
+}
+
+fn main() {
+    banner("COST", "Audit traffic vs naive download (paper §IV's POS property)");
+    let p = PorParams::paper();
+    let k = 1000u32;
+    let audit = audit_cost(&p, 8, k);
+    println!("audit with k = {k} challenges (any file size):");
+    println!("  TPA→V trigger    : {}", human(audit.trigger_bytes));
+    println!("  V→P challenges   : {}", human(audit.challenge_bytes));
+    println!("  P→V segments     : {}", human(audit.response_bytes));
+    println!("  V→TPA transcript : {}", human(audit.transcript_bytes));
+    println!("  total            : {}\n", human(audit.total_bytes()));
+
+    let mut table = Table::new(&[
+        "file size",
+        "stored (encoded)",
+        "audit traffic",
+        "download / audit ratio",
+    ]);
+    for (label, bytes) in [
+        ("1 MiB", 1u64 << 20),
+        ("100 MiB", 100u64 << 20),
+        ("2 GiB (paper)", 2u64 << 30),
+        ("100 GiB", 100u64 << 30),
+        ("1 TiB", 1u64 << 40),
+    ] {
+        let download = naive_download_bytes(&p, bytes);
+        table.row_owned(vec![
+            label.to_string(),
+            human(download),
+            human(audit.total_bytes()),
+            format!("{}x", fmt_f64(download as f64 / audit.total_bytes() as f64, 0)),
+        ]);
+    }
+    table.print();
+    println!("\naudit traffic is flat in the file size (the middle column grows; the audit");
+    println!("column does not) — the property that makes repeated geographic audits viable.");
+}

@@ -1,0 +1,81 @@
+//! Experiment E3 — reproduces §V-C(b)'s Δt_max budget: where the 16 ms
+//! come from (3 ms network + 13 ms look-up) and what honest deployments
+//! actually measure against it, per Table I disk, for both deterministic
+//! and stochastic disk models.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_core::policy::TimingPolicy;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_sim::time::SimDuration;
+use geoproof_storage::hdd::TABLE_I;
+
+fn main() {
+    banner("E3", "Δt_max timing budget (paper §V-C(b))");
+    let policy = TimingPolicy::paper();
+    println!(
+        "budget: Δt_VP ≤ {} ms (LAN allowance) + Δt_L ≤ {} ms (disk) = Δt_max {} ms\n",
+        fmt_f64(policy.max_network.as_millis_f64(), 0),
+        fmt_f64(policy.max_lookup.as_millis_f64(), 0),
+        fmt_f64(policy.max_rtt().as_millis_f64(), 0),
+    );
+
+    let mut table = Table::new(&[
+        "disk at SLA site",
+        "analytic lookup (ms)",
+        "measured max Δt' (ms)",
+        "within 16 ms budget",
+        "audits passed /10",
+    ]);
+    for spec in TABLE_I {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Honest { disk: spec.clone() })
+            .seed(33)
+            .build();
+        let mut passed = 0;
+        let mut max_rtt = SimDuration::ZERO;
+        for _ in 0..10 {
+            let r = d.run_audit(10);
+            if r.accepted() {
+                passed += 1;
+            }
+            max_rtt = max_rtt.max(r.max_rtt);
+        }
+        table.row_owned(vec![
+            spec.name.to_string(),
+            fmt_f64(spec.avg_lookup(83).as_millis_f64(), 3),
+            fmt_f64(max_rtt.as_millis_f64(), 3),
+            (max_rtt <= policy.max_rtt()).to_string(),
+            passed.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nexpected shape: disks up to the WD 2500JD (13.1 ms) fit the budget; the");
+    println!("slower IBM 40GNX and Hitachi DK23DA (≥ 17.5 ms) overrun it — the paper's");
+    println!("policy assumes 'an average HDD in terms of RPM' at the provider, and the");
+    println!("calibrated policy below restores acceptance for slower-but-honest sites:\n");
+
+    let mut cal = Table::new(&["disk", "calibrated Δt_max (ms)", "audits passed /10"]);
+    for spec in TABLE_I {
+        let policy = TimingPolicy::calibrated(&spec, 83, 1.1);
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Honest { disk: spec.clone() })
+            .policy(policy)
+            .seed(34)
+            .build();
+        let mut passed = 0;
+        for _ in 0..10 {
+            if d.run_audit(10).accepted() {
+                passed += 1;
+            }
+        }
+        cal.row_owned(vec![
+            spec.name.to_string(),
+            fmt_f64(policy.max_rtt().as_millis_f64(), 2),
+            passed.to_string(),
+        ]);
+    }
+    cal.print();
+    println!("\n(\"these measurements could be made at the contract time at the place where");
+    println!("  the data centre is located\" — paper §V-C(b))");
+}

@@ -1,0 +1,122 @@
+//! Extension experiment — the §III-A protocol family side by side: all
+//! five implemented distance-bounding protocols under all three attacks,
+//! empirical acceptance at n = 16 rounds, plus per-round analytic rates.
+//! Reproduces the survey narrative: each successor protocol closes the
+//! previous one's gap.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_distbound::attacks::{empirical_acceptance, Attack, Protocol};
+use geoproof_distbound::rounds::{ChannelModel, Scenario};
+use geoproof_distbound::swiss_knife::SwissKnifeSession;
+use geoproof_distbound::void_challenge::{VoidChallengeSession, BALANCED_FULL_PROB};
+use geoproof_sim::time::Km;
+
+const N: usize = 16;
+const TRIALS: u32 = 800;
+
+fn scenario(attack: Attack) -> Scenario {
+    match attack {
+        Attack::Mafia => Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+        Attack::Distance => Scenario::DistanceFraud { claimed_distance: Km(0.05) },
+        Attack::Terrorist => Scenario::Terrorist { accomplice_distance: Km(0.05) },
+    }
+}
+
+fn void_challenge_rate(attack: Attack) -> f64 {
+    let ch = ChannelModel::default();
+    let mut rng = ChaChaRng::from_u64_seed(77);
+    let max_rtt = ch.max_rtt_for(Km(0.1));
+    let mut accepted = 0u32;
+    for t in 0..TRIALS {
+        let s = VoidChallengeSession::initialise(
+            b"secret",
+            &t.to_be_bytes(),
+            b"np",
+            N,
+            BALANCED_FULL_PROB,
+        );
+        let out = s.run(scenario(attack), &ch, &mut rng);
+        if s.verify(&out, max_rtt).is_accept() {
+            accepted += 1;
+        }
+    }
+    f64::from(accepted) / f64::from(TRIALS)
+}
+
+fn swiss_knife_rate(attack: Attack) -> f64 {
+    let ch = ChannelModel::default();
+    let mut rng = ChaChaRng::from_u64_seed(78);
+    let max_rtt = ch.max_rtt_for(Km(0.1));
+    let mut accepted = 0u32;
+    for t in 0..TRIALS {
+        let s = SwissKnifeSession::initialise(&[9u8; 32], b"idp", &t.to_be_bytes(), b"np", N);
+        let out = s.run(scenario(attack), &ch, &mut rng);
+        if s.verify(&out, max_rtt).is_accept() {
+            accepted += 1;
+        }
+    }
+    f64::from(accepted) / f64::from(TRIALS)
+}
+
+fn main() {
+    banner(
+        "DBCMP",
+        "Distance-bounding family comparison (paper §III-A survey), n = 16",
+    );
+    let mut table = Table::new(&[
+        "protocol",
+        "mafia",
+        "distance",
+        "terrorist",
+        "per-round mafia (analytic)",
+    ]);
+    // Library protocols via the shared estimator.
+    for (p, name, per_round) in [
+        (Protocol::BrandsChaum, "Brands-Chaum (1993)", "1/2"),
+        (Protocol::HanckeKuhn, "Hancke-Kuhn (2005)", "3/4"),
+        (Protocol::Reid, "Reid et al. (2007)", "3/4"),
+    ] {
+        let rates: Vec<f64> = [Attack::Mafia, Attack::Distance, Attack::Terrorist]
+            .iter()
+            .map(|&a| empirical_acceptance(p, a, N, TRIALS, 1234))
+            .collect();
+        table.row_owned(vec![
+            name.to_string(),
+            fmt_f64(rates[0], 4),
+            fmt_f64(rates[1], 4),
+            fmt_f64(rates[2], 4),
+            per_round.to_string(),
+        ]);
+    }
+    // Extension protocols with bespoke harnesses.
+    let vc: Vec<f64> = [Attack::Mafia, Attack::Distance, Attack::Terrorist]
+        .iter()
+        .map(|&a| void_challenge_rate(a))
+        .collect();
+    table.row_owned(vec![
+        "Munilla-Peinado voids (2008)".to_string(),
+        fmt_f64(vc[0], 4),
+        fmt_f64(vc[1], 4),
+        fmt_f64(vc[2], 4),
+        "3/5".to_string(),
+    ]);
+    let sk: Vec<f64> = [Attack::Mafia, Attack::Distance, Attack::Terrorist]
+        .iter()
+        .map(|&a| swiss_knife_rate(a))
+        .collect();
+    table.row_owned(vec![
+        "Swiss-Knife style (2009)".to_string(),
+        fmt_f64(sk[0], 4),
+        fmt_f64(sk[1], 4),
+        fmt_f64(sk[2], 4),
+        "1/2".to_string(),
+    ]);
+    table.print();
+    println!("\nnarrative reproduced: HK closes BC's noise problem but opens the terrorist");
+    println!("hole (1.0 column); Reid closes it; voids sharpen the mafia bound; Swiss-Knife");
+    println!("style gets (1/2)^n *and* terrorist resistance via the confirmation MAC.");
+    println!("\nGeoProof needs none of the bit-level machinery: its 'response' is the stored");
+    println!("segment itself, authenticated by MAC — but the timing skeleton is this family's.");
+
+}

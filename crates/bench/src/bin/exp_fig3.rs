@@ -1,0 +1,54 @@
+//! Experiment F3 — reproduces **Fig. 3** (Reid et al.): the terrorist-
+//! resistant protocol. Side-by-side with Hancke–Kuhn across attacks,
+//! showing the one cell that changes: terrorist success drops from 1.0 to
+//! (3/4)^n because handing both registers to an accomplice would reveal
+//! the long-term secret `s = D_k(e)`.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_distbound::attacks::{
+    acceptance_probability, empirical_acceptance, Attack, Protocol,
+};
+
+fn main() {
+    banner("F3", "Reid et al. distance bounding (paper Fig. 3): terrorist resistance");
+    let n = 16u32;
+    let mut table = Table::new(&[
+        "attack",
+        "Hancke-Kuhn analytic",
+        "Hancke-Kuhn empirical",
+        "Reid analytic",
+        "Reid empirical",
+    ]);
+    for (attack, label) in [
+        (Attack::Mafia, "mafia fraud"),
+        (Attack::Distance, "distance fraud"),
+        (Attack::Terrorist, "terrorist"),
+    ] {
+        let hk_a = acceptance_probability(Protocol::HanckeKuhn, attack, n);
+        let hk_e = empirical_acceptance(Protocol::HanckeKuhn, attack, n as usize, 2000, 31);
+        let rd_a = acceptance_probability(Protocol::Reid, attack, n);
+        let rd_e = empirical_acceptance(Protocol::Reid, attack, n as usize, 2000, 37);
+        table.row_owned(vec![
+            label.to_string(),
+            fmt_f64(hk_a, 5),
+            fmt_f64(hk_e, 5),
+            fmt_f64(rd_a, 5),
+            fmt_f64(rd_e, 5),
+        ]);
+    }
+    table.print();
+    println!("\n(n = {n} rounds; \"the first distance-bounding protocol that provides protection");
+    println!(" against a terrorist attack\" — paper §III-A citing Reid et al.)");
+
+    // Security sizing: rounds needed per protocol for 32-bit security.
+    use geoproof_distbound::attacks::rounds_for_security;
+    println!("\nrounds for 2^-32 mafia-fraud acceptance:");
+    for (p, name) in [
+        (Protocol::BrandsChaum, "Brands-Chaum"),
+        (Protocol::HanckeKuhn, "Hancke-Kuhn"),
+        (Protocol::Reid, "Reid et al."),
+    ] {
+        let r = rounds_for_security(p, Attack::Mafia, 32).expect("attack is not certain");
+        println!("  {name:>13}: {r} rounds");
+    }
+}

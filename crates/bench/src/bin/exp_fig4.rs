@@ -1,0 +1,75 @@
+//! Experiment F4 — reproduces **Fig. 4**: the GeoProof architecture end to
+//! end. Stands up owner → cloud → verifier-device → TPA deployments with
+//! every provider behaviour and reports each audit verdict, demonstrating
+//! the complete data flow of the architecture diagram.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_net::wan::AccessKind;
+use geoproof_sim::time::{Km, SimDuration};
+use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
+
+fn main() {
+    banner("F4", "GeoProof architecture end-to-end (paper Fig. 4)");
+    let k = 20;
+    let audits = 10;
+    let behaviours: Vec<(&str, ProviderBehaviour)> = vec![
+        ("honest, average disk (WD 2500JD)", ProviderBehaviour::Honest { disk: WD_2500JD }),
+        ("honest, best disk (IBM 36Z15)", ProviderBehaviour::Honest { disk: IBM_36Z15 }),
+        (
+            "relay 720 km, best disk",
+            ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(720.0),
+                access: AccessKind::DataCentre,
+            },
+        ),
+        (
+            "corrupting 10% of segments",
+            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.10 },
+        ),
+        (
+            "overloaded (+10 ms per request)",
+            ProviderBehaviour::Slow {
+                disk: WD_2500JD,
+                extra: SimDuration::from_millis(10),
+            },
+        ),
+    ];
+    let mut table = Table::new(&[
+        "provider behaviour",
+        "audits",
+        "k",
+        "rejected",
+        "detection rate",
+        "max Δt' seen (ms)",
+    ]);
+    for (label, behaviour) in behaviours {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(behaviour)
+            .seed(99)
+            .build();
+        let mut rejected = 0u32;
+        let mut max_rtt = SimDuration::ZERO;
+        for _ in 0..audits {
+            let report = d.run_audit(k);
+            if !report.accepted() {
+                rejected += 1;
+            }
+            max_rtt = max_rtt.max(report.max_rtt);
+        }
+        table.row_owned(vec![
+            label.to_string(),
+            audits.to_string(),
+            k.to_string(),
+            rejected.to_string(),
+            fmt_f64(f64::from(rejected) / f64::from(audits), 2),
+            fmt_f64(max_rtt.as_millis_f64(), 2),
+        ]);
+    }
+    table.print();
+    println!("\nΔt_max policy: 16 ms (3 ms network + 13 ms look-up, paper §V-C(b))");
+    println!("expected shape: honest rows detect 0.00; all adversarial rows detect 1.00");
+    println!("(corruption detection per audit is probabilistic; 10% corruption at k=20 ⇒ 1-(0.9)^20 ≈ 0.88 per audit)");
+}

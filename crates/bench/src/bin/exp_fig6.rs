@@ -1,0 +1,85 @@
+//! Experiment F6 — reproduces **Fig. 6**: the relay attack and its
+//! distance bound. Sweeps the relay distance with the best disk
+//! (IBM 36Z15) at the remote site and reports the observed max Δt′ and
+//! audit verdicts; the detection crossover should sit near the paper's
+//! analytic bound
+//! `4/9 × 300 km/ms × 5.406 ms / 2 ≈ 360 km`, and we print the analytic
+//! bound for every Table I disk alongside.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_core::policy::{paper_relay_bound, relay_distance_bound};
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_net::wan::AccessKind;
+use geoproof_sim::time::{Km, SimDuration, INTERNET_SPEED};
+use geoproof_storage::hdd::{IBM_36Z15, TABLE_I, WD_2500JD};
+
+fn main() {
+    banner("F6", "Relay attack distance bound (paper Fig. 6 and §V-C(b))");
+
+    println!("analytic bound: relay distance ≤ internet_speed × lookup_differential / 2\n");
+    let mut bounds = Table::new(&[
+        "remote disk",
+        "lookup 512B (ms)",
+        "differential vs WD 2500JD (ms)",
+        "max hidden relay distance (km)",
+    ]);
+    let honest = WD_2500JD.avg_lookup(512).as_millis_f64();
+    for spec in TABLE_I {
+        let lookup = spec.avg_lookup(512).as_millis_f64();
+        let diff = (honest - lookup).max(0.0);
+        let bound = relay_distance_bound(SimDuration::from_millis_f64(diff), INTERNET_SPEED);
+        bounds.row_owned(vec![
+            spec.name.to_string(),
+            fmt_f64(lookup, 3),
+            fmt_f64(diff, 3),
+            fmt_f64(bound.0, 0),
+        ]);
+    }
+    bounds.print();
+    println!(
+        "\npaper's headline (differential taken as the full 5.406 ms best-disk lookup): {} km\n",
+        fmt_f64(paper_relay_bound().0, 0)
+    );
+
+    // Empirical sweep: relay with IBM 36Z15 at increasing distance.
+    let mut sweep = Table::new(&[
+        "relay distance (km)",
+        "max Δt' (ms)",
+        "budget (ms)",
+        "audits rejected /5",
+    ]);
+    for km in [0.0, 60.0, 120.0, 240.0, 360.0, 480.0, 720.0, 1440.0] {
+        let behaviour = if km == 0.0 {
+            ProviderBehaviour::Honest { disk: WD_2500JD }
+        } else {
+            ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(km),
+                access: AccessKind::DataCentre,
+            }
+        };
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(behaviour)
+            .seed(606)
+            .build();
+        let mut rejected = 0;
+        let mut max_rtt = SimDuration::ZERO;
+        for _ in 0..5 {
+            let r = d.run_audit(15);
+            if !r.accepted() {
+                rejected += 1;
+            }
+            max_rtt = max_rtt.max(r.max_rtt);
+        }
+        sweep.row_owned(vec![
+            fmt_f64(km, 0),
+            fmt_f64(max_rtt.as_millis_f64(), 2),
+            "16.00".to_string(),
+            rejected.to_string(),
+        ]);
+    }
+    sweep.print();
+    println!("\nexpected shape: rejection flips from 0/5 to 5/5 as distance crosses the few-hundred-km bound;");
+    println!("WAN hop overheads put the empirical crossover somewhat below the paper's frictionless 360 km.");
+}

@@ -1,0 +1,107 @@
+//! Experiment E4 — the §III-B comparison: baseline Internet-geolocation
+//! schemes versus GeoProof. Measures localisation error of GeoPing,
+//! Octant-style and TBG-style schemes on the simulated Australian
+//! topology, honest and adversarial (the target delays its replies), and
+//! contrasts with GeoProof's behaviour, which *rejects* instead of being
+//! displaced.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_geo::coords::places::*;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_geo::schemes::{
+    octant_locate, tbg_locate, CalibrationEntry, DelayObservation, GeoPingDb,
+};
+use geoproof_net::wan::{AccessKind, WanModel};
+use geoproof_sim::time::{SimDuration, FIBRE_SPEED, INTERNET_SPEED};
+use geoproof_storage::hdd::WD_2500JD;
+
+const LANDMARKS: [GeoPoint; 5] = [SYDNEY, MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE];
+
+fn observe(target: GeoPoint, extra: SimDuration) -> Vec<DelayObservation> {
+    let wan = WanModel::calibrated(AccessKind::Fibre);
+    LANDMARKS
+        .iter()
+        .map(|lm| DelayObservation {
+            landmark: *lm,
+            rtt: wan.mean_rtt(lm.distance(&target)) + extra,
+        })
+        .collect()
+}
+
+fn main() {
+    banner("E4", "Geolocation baselines vs GeoProof (paper §III-B)");
+    let overhead = AccessKind::Fibre.overhead();
+
+    // GeoPing calibration database: coarse, city-level.
+    let mut db = GeoPingDb::new();
+    for cal in [BRISBANE, SYDNEY, MELBOURNE, PERTH, HOBART, ADELAIDE] {
+        db.add(CalibrationEntry {
+            position: cal,
+            delays: observe(cal, SimDuration::ZERO).iter().map(|o| o.rtt).collect(),
+        });
+    }
+
+    let targets = [("Brisbane", BRISBANE), ("Armidale", ARMIDALE), ("Townsville", TOWNSVILLE)];
+    let mut table = Table::new(&[
+        "target",
+        "adversarial delay",
+        "GeoPing err (km)",
+        "Octant err (km)",
+        "Octant radius (km)",
+        "TBG err (km)",
+    ]);
+    let mut worst_honest: f64 = 0.0;
+    let mut worst_adv: f64 = 0.0;
+    for (name, target) in targets {
+        for (dlabel, extra) in [("none", SimDuration::ZERO), ("+40 ms", SimDuration::from_millis(40))] {
+            let obs = observe(target, extra);
+            let gp = db
+                .locate(&obs.iter().map(|o| o.rtt).collect::<Vec<_>>())
+                .map_or(f64::NAN, |p| p.distance(&target).0);
+            let oct = octant_locate(&obs, overhead, FIBRE_SPEED);
+            let (oct_err, oct_rad) = oct
+                .map(|r| (r.center.distance(&target).0, r.radius.0))
+                .unwrap_or((f64::NAN, f64::NAN));
+            let tbg = tbg_locate(&obs, overhead, INTERNET_SPEED)
+                .map_or(f64::NAN, |p| p.distance(&target).0);
+            let worst = gp.max(oct_err).max(tbg);
+            if extra == SimDuration::ZERO {
+                worst_honest = worst_honest.max(worst);
+            } else {
+                worst_adv = worst_adv.max(worst);
+            }
+            table.row_owned(vec![
+                name.to_string(),
+                dlabel.to_string(),
+                fmt_f64(gp, 0),
+                fmt_f64(oct_err, 0),
+                fmt_f64(oct_rad, 0),
+                fmt_f64(tbg, 0),
+            ]);
+        }
+    }
+    table.print();
+    println!("\nworst-case error, honest targets:      {} km", fmt_f64(worst_honest, 0));
+    println!("worst-case error, adversarial targets: {} km", fmt_f64(worst_adv, 0));
+    println!("(paper: \"most provide location estimates with worst-case errors of over 1000 km\"");
+    println!(" and \"do not assume that the prover … is malicious\")");
+
+    // GeoProof under the same adversarial delay: rejection, not displacement.
+    println!("\nGeoProof with the same +40 ms stalling provider:");
+    let mut d = DeploymentBuilder::new(BRISBANE)
+        .behaviour(ProviderBehaviour::Slow {
+            disk: WD_2500JD,
+            extra: SimDuration::from_millis(40),
+        })
+        .seed(404)
+        .build();
+    let report = d.run_audit(10);
+    println!(
+        "  audit verdict: {} (max Δt' = {} ms > 16 ms budget)",
+        if report.accepted() { "ACCEPT" } else { "REJECT" },
+        fmt_f64(report.max_rtt.as_millis_f64(), 1)
+    );
+    println!("  delay cannot *relocate* a GeoProof deployment — it can only fail the audit;");
+    println!("  a relay below the ~360 km bound is GeoProof's residual exposure (see exp_fig6).");
+}

@@ -1,0 +1,65 @@
+//! Experiment E1 — the §V-A(a) worked example: storage overhead of the
+//! setup phase. Computes block counts and expansions for the paper's 2 GB
+//! file and a size sweep, from both the closed-form arithmetic and an
+//! actual encoding of a smaller file to confirm they agree.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_por::encode::PorEncoder;
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::{overhead_example, PorParams};
+
+fn main() {
+    banner("E1", "Setup-phase storage overhead (paper §V-A worked example)");
+    let p = PorParams::paper();
+    println!("parameters: ℓ_B = 128 bits, RS(255, 223, 32), v = 5, ℓ_τ = 20 bits");
+    println!("segment size ℓ_S = 128×5 + 20 = {} bits (paper: 660)\n", p.segment_bits_nominal());
+
+    let mut table = Table::new(&[
+        "file size",
+        "raw blocks b",
+        "encoded blocks b'",
+        "segments ñ",
+        "stored bytes",
+        "overhead",
+    ]);
+    for (label, bytes) in [
+        ("1 MiB", 1u64 << 20),
+        ("100 MiB", 100u64 << 20),
+        ("1 GiB", 1u64 << 30),
+        ("2 GiB (paper)", 2u64 << 30),
+        ("10 GiB", 10u64 << 30),
+    ] {
+        let ex = overhead_example(&p, bytes);
+        table.row_owned(vec![
+            label.to_string(),
+            ex.raw_blocks.to_string(),
+            ex.encoded_blocks.to_string(),
+            ex.segments.to_string(),
+            ex.stored_bytes.to_string(),
+            format!("{}%", fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)),
+        ]);
+    }
+    table.print();
+
+    println!("\npaper reference: b = 2^27 = {} for 2 GiB; RS +14%, MAC +2.5%, total ≈ 16.5%", 1u64 << 27);
+    println!("nominal expansions: RS ×{} MAC ×{} total ×{}",
+        fmt_f64(p.rs_expansion(), 4),
+        fmt_f64(p.mac_expansion(), 4),
+        fmt_f64(p.total_expansion(), 4));
+
+    // Cross-check with a real encoding.
+    let encoder = PorEncoder::new(p);
+    let keys = PorKeys::derive(b"bench-master", "overhead-check");
+    let mut rng = ChaChaRng::from_u64_seed(42);
+    let mut data = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut data);
+    let tagged = encoder.encode(&data, &keys, "overhead-check");
+    let stored: usize = tagged.segments.iter().map(Vec::len).sum();
+    let predicted = overhead_example(&p, data.len() as u64);
+    println!("\nreal 1 MiB encoding: {} segments, {} stored bytes (closed form predicts {} / {})",
+        tagged.segments.len(), stored, predicted.segments, predicted.stored_bytes);
+    assert_eq!(tagged.segments.len() as u64, predicted.segments);
+    assert_eq!(stored as u64, predicted.stored_bytes);
+    println!("closed-form arithmetic matches the implementation exactly.");
+}

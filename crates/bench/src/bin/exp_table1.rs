@@ -1,0 +1,45 @@
+//! Experiment T1 — reproduces **Table I**: RPM, seek, rotation and IDR for
+//! the five disk models, extended with the derived look-up latency
+//! `Δt_L = Δt_seek + Δt_rotate + Δt_transfer` for a 512-byte read and a
+//! stochastic-sample mean to confirm the model's distribution matches its
+//! analytic mean.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_storage::hdd::{HddModel, TABLE_I};
+
+fn main() {
+    banner("T1", "Latency for different HDD (paper Table I)");
+    let mut table = Table::new(&[
+        "Type",
+        "RPM",
+        "avg seek (ms)",
+        "avg rotate (ms)",
+        "avg IDR (MB/s)",
+        "lookup 512B (ms)",
+        "sampled mean (ms)",
+    ]);
+    let mut rng = ChaChaRng::from_u64_seed(1);
+    for spec in TABLE_I {
+        let analytic = spec.avg_lookup(512).as_millis_f64();
+        let model = HddModel::stochastic(spec.clone());
+        let n = 20_000;
+        let sampled: f64 = (0..n)
+            .map(|_| model.sample_lookup(512, &mut rng).as_millis_f64())
+            .sum::<f64>()
+            / f64::from(n);
+        table.row_owned(vec![
+            spec.name.to_string(),
+            spec.rpm.to_string(),
+            fmt_f64(spec.avg_seek_ms, 1),
+            fmt_f64(spec.avg_rotate_ms, 1),
+            fmt_f64(spec.idr_mb_s, 1),
+            fmt_f64(analytic, 3),
+            fmt_f64(sampled, 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference points: WD 2500JD lookup = 13.1055 ms, IBM 36Z15 lookup = 5.406 ms"
+    );
+}

@@ -1,0 +1,58 @@
+//! Experiment T3 — reproduces **Table III**: Internet latency within
+//! Australia from a Brisbane ADSL vantage. Distances come from the
+//! geographic coordinates (haversine); latencies from the calibrated WAN
+//! model (4/9 c + access + hops). The reproduction target is the *shape*:
+//! monotone growth of latency with distance, and absolute values within a
+//! few ms of the paper's traceroute measurements.
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_geo::coords::places;
+use geoproof_net::wan::{AccessKind, WanModel};
+
+fn main() {
+    banner("T3", "Internet latency within Australia (paper Table III)");
+    let hosts = [
+        ("uq.edu.au", "Brisbane (AU)", places::UQ_ST_LUCIA, 8.0, 18.0),
+        ("qut.edu.au", "Brisbane (AU)", places::QUT_GARDENS_POINT, 12.0, 20.0),
+        ("une.edu.au", "Armidale (AU)", places::ARMIDALE, 350.0, 26.0),
+        ("sydney.edu.au", "Sydney (AU)", places::SYDNEY, 722.0, 34.0),
+        ("jcu.edu.au", "Townsville (AU)", places::TOWNSVILLE, 1120.0, 39.0),
+        ("mh.org.au", "Melbourne (AU)", places::MELBOURNE, 1363.0, 42.0),
+        ("rah.sa.gov.au", "Adelaide (AU)", places::ADELAIDE, 1592.0, 54.0),
+        ("utas.edu.au", "Hobart (AU)", places::HOBART, 1785.0, 64.0),
+        ("uwa.edu.au", "Perth (AU)", places::PERTH, 3605.0, 82.0),
+    ];
+    let wan = WanModel::calibrated(AccessKind::Adsl2);
+    let mut table = Table::new(&[
+        "URL",
+        "Location",
+        "Dist paper (km)",
+        "Dist model (km)",
+        "Latency model (ms)",
+        "Latency paper (ms)",
+    ]);
+    let mut prev = 0.0;
+    let mut monotone = true;
+    let mut worst_err: f64 = 0.0;
+    for (url, loc, point, paper_km, paper_ms) in hosts {
+        let dist = places::ADSL_VANTAGE.distance(&point);
+        let rtt = wan.mean_rtt(dist).as_millis_f64();
+        if rtt < prev {
+            monotone = false;
+        }
+        prev = rtt;
+        worst_err = worst_err.max((rtt - paper_ms).abs());
+        table.row_owned(vec![
+            url.to_string(),
+            loc.to_string(),
+            fmt_f64(paper_km, 0),
+            fmt_f64(dist.0, 0),
+            fmt_f64(rtt, 1),
+            fmt_f64(paper_ms, 0),
+        ]);
+    }
+    table.print();
+    println!("\nlatency monotone in distance: {}", if monotone { "yes" } else { "NO" });
+    println!("worst absolute error vs paper: {} ms", fmt_f64(worst_err, 1));
+    println!("(the paper's finding: \"a positive relationship between the physical distance and the Internet latency\")");
+}

@@ -1,0 +1,92 @@
+//! Extension experiment — time-to-detection. The paper argues detection is
+//! cumulative (§V-C(a)); this experiment measures the operational metric:
+//! how many audit periods pass between a provider going rogue and the
+//! first failed audit, per misbehaviour type and challenge size.
+//! (The heaviest experiment binary: ~1000 full deployments; allow a few
+//! minutes in debug builds, or run with --release.)
+
+use geoproof_bench::{banner, fmt_f64, Table};
+use geoproof_core::campaign::{expected_detection_lag, run_campaign, MisbehaviourOnset};
+use geoproof_core::deployment::ProviderBehaviour;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_net::wan::AccessKind;
+use geoproof_por::analysis::detection_probability;
+use geoproof_por::params::PorParams;
+use geoproof_sim::time::Km;
+use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
+
+fn main() {
+    banner("TTD", "Time-to-detection across audit campaigns (extends §V-C(a))");
+    let honest = ProviderBehaviour::Honest { disk: WD_2500JD };
+    let cases: Vec<(&str, ProviderBehaviour, f64)> = vec![
+        (
+            "relay 720 km",
+            ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(720.0),
+                access: AccessKind::DataCentre,
+            },
+            1.0, // timing violations: certain per audit
+        ),
+        (
+            "corrupt 20% of segments",
+            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.20 },
+            detection_probability(0.20, 10),
+        ),
+        (
+            "corrupt 5% of segments",
+            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.05 },
+            detection_probability(0.05, 10),
+        ),
+        (
+            "corrupt 1% of segments",
+            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.01 },
+            detection_probability(0.01, 10),
+        ),
+    ];
+
+    let mut table = Table::new(&[
+        "misbehaviour (onset period 3)",
+        "per-audit P[detect] (k=10)",
+        "expected lag (periods)",
+        "measured mean lag (10 campaigns)",
+        "never detected /10",
+    ]);
+    for (label, behaviour, p_detect) in cases {
+        let mut lags = Vec::new();
+        let mut misses = 0u32;
+        for rep in 0..10u64 {
+            let result = run_campaign(
+                BRISBANE,
+                PorParams::test_small(),
+                honest.clone(),
+                behaviour.clone(),
+                MisbehaviourOnset(3),
+                25,
+                10,
+                rep * 101 + 5,
+            );
+            match result.detection_lag() {
+                Some(lag) => lags.push(f64::from(lag)),
+                None => misses += 1,
+            }
+            assert_eq!(result.false_alarms(), 0, "honest periods must pass");
+        }
+        let mean_lag = if lags.is_empty() {
+            f64::NAN
+        } else {
+            lags.iter().sum::<f64>() / lags.len() as f64
+        };
+        table.row_owned(vec![
+            label.to_string(),
+            fmt_f64(p_detect, 3),
+            fmt_f64(expected_detection_lag(p_detect), 2),
+            fmt_f64(mean_lag, 2),
+            misses.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nshape: location violations are deterministic (lag 0); corruption detection");
+    println!("lag follows the geometric 1/p - 1, converging to certainty over the campaign —");
+    println!("the paper's \"cumulative process\", now with an operational clock on it.");
+}

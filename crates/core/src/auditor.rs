@@ -1,0 +1,417 @@
+//! The third-party auditor (TPA) — the paper's verification process
+//! (§V-B(b)).
+//!
+//! The TPA holds: the MAC key K′ for the audited file, the verifier
+//! device's public key, the SLA location, and the timing policy. On
+//! receiving a signed transcript it checks, in the paper's order:
+//!
+//! 1. the signature `Sign_SK(R)`,
+//! 2. the verifier's GPS position Pos_v against the SLA location,
+//! 3. `τ_cj = MAC_K′(S_cj, c_j, fid)` for every challenged segment,
+//! 4. `Δt′ = max(Δt_1 … Δt_k) ≤ Δt_max`.
+
+use crate::messages::{AuditRequest, SignedTranscript};
+use crate::policy::TimingPolicy;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::VerifyingKey;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_por::encode::PorEncoder;
+use geoproof_por::keys::AuditorKey;
+use geoproof_sim::time::{Km, SimDuration};
+
+/// Everything that can go wrong with an audit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Transcript signature failed.
+    BadSignature,
+    /// Nonce mismatch (replayed transcript).
+    StaleNonce,
+    /// GPS fix too far from the SLA location.
+    WrongLocation {
+        /// Distance between claimed fix and SLA location.
+        offset: Km,
+    },
+    /// A challenged segment's MAC failed.
+    BadSegment {
+        /// Round index within the transcript.
+        round: usize,
+        /// Challenged segment index.
+        segment: u64,
+    },
+    /// A round exceeded the timing budget.
+    TooSlow {
+        /// Round index within the transcript.
+        round: usize,
+        /// Measured RTT.
+        rtt: SimDuration,
+    },
+    /// Transcript round count differs from the requested k.
+    WrongRoundCount {
+        /// Requested challenges.
+        expected: u32,
+        /// Rounds present.
+        actual: usize,
+    },
+    /// A challenged index repeats or exceeds ñ.
+    MalformedChallenge {
+        /// Round index within the transcript.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::BadSignature => write!(f, "transcript signature invalid"),
+            Violation::StaleNonce => write!(f, "nonce mismatch (replay?)"),
+            Violation::WrongLocation { offset } => {
+                write!(f, "verifier {offset} from SLA location")
+            }
+            Violation::BadSegment { round, segment } => {
+                write!(f, "round {round}: segment {segment} failed MAC")
+            }
+            Violation::TooSlow { round, rtt } => {
+                write!(f, "round {round}: {rtt} over budget")
+            }
+            Violation::WrongRoundCount { expected, actual } => {
+                write!(f, "expected {expected} rounds, got {actual}")
+            }
+            Violation::MalformedChallenge { round } => {
+                write!(f, "round {round}: malformed challenge index")
+            }
+        }
+    }
+}
+
+/// The auditor's decision with full diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditReport {
+    /// Empty means the audit passed.
+    pub violations: Vec<Violation>,
+    /// Largest observed round time Δt′.
+    pub max_rtt: SimDuration,
+    /// Number of MAC-verified segments.
+    pub segments_ok: usize,
+}
+
+impl AuditReport {
+    /// True when no violations were recorded.
+    pub fn accepted(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The third-party auditor for one file.
+pub struct Auditor {
+    file_id: String,
+    n_segments: u64,
+    auditor_key: AuditorKey,
+    device_key: VerifyingKey,
+    sla_location: GeoPoint,
+    location_tolerance: Km,
+    policy: TimingPolicy,
+    encoder: PorEncoder,
+    rng: ChaChaRng,
+}
+
+impl std::fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Auditor")
+            .field("file_id", &self.file_id)
+            .field("n_segments", &self.n_segments)
+            .field("sla_location", &self.sla_location)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Auditor {
+    /// Creates an auditor.
+    ///
+    /// `encoder` carries the POR parameters (segment layout, tag width);
+    /// `auditor_key` is the MAC key the owner shared; `device_key` is the
+    /// verifier's registered public key; `sla_location` is where the SLA
+    /// says the data lives.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        file_id: String,
+        n_segments: u64,
+        encoder: PorEncoder,
+        auditor_key: AuditorKey,
+        device_key: VerifyingKey,
+        sla_location: GeoPoint,
+        location_tolerance: Km,
+        policy: TimingPolicy,
+        seed: u64,
+    ) -> Self {
+        Auditor {
+            file_id,
+            n_segments,
+            auditor_key,
+            device_key,
+            sla_location,
+            location_tolerance,
+            policy,
+            encoder,
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+
+    /// The active timing policy.
+    pub fn policy(&self) -> &TimingPolicy {
+        &self.policy
+    }
+
+    /// Issues a fresh audit request with `k` challenges and a random nonce.
+    pub fn issue_request(&mut self, k: u32) -> AuditRequest {
+        let mut nonce = [0u8; 32];
+        self.rng.fill_bytes(&mut nonce);
+        AuditRequest {
+            file_id: self.file_id.clone(),
+            n_segments: self.n_segments,
+            k,
+            nonce,
+        }
+    }
+
+    /// Runs the §V-B(b) verification of a transcript against the request
+    /// that triggered it.
+    pub fn verify(&self, request: &AuditRequest, transcript: &SignedTranscript) -> AuditReport {
+        let mut violations = Vec::new();
+
+        // 1. Signature over the canonical transcript bytes.
+        let bytes = SignedTranscript::signing_bytes(
+            &transcript.file_id,
+            &transcript.nonce,
+            &transcript.position,
+            &transcript.rounds,
+        );
+        if !self.device_key.verify(&bytes, &transcript.signature) {
+            violations.push(Violation::BadSignature);
+        }
+
+        // Nonce freshness (binds transcript to this request).
+        if transcript.nonce != request.nonce || transcript.file_id != request.file_id {
+            violations.push(Violation::StaleNonce);
+        }
+
+        // 2. GPS position against the SLA location.
+        let offset = transcript.position.distance(&self.sla_location);
+        if offset.0 > self.location_tolerance.0 {
+            violations.push(Violation::WrongLocation { offset });
+        }
+
+        // Round count and challenge sanity.
+        if transcript.rounds.len() != request.k as usize {
+            violations.push(Violation::WrongRoundCount {
+                expected: request.k,
+                actual: transcript.rounds.len(),
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (i, round) in transcript.rounds.iter().enumerate() {
+            if round.index >= self.n_segments || !seen.insert(round.index) {
+                violations.push(Violation::MalformedChallenge { round: i });
+            }
+        }
+
+        // 3. MAC verification of every returned segment.
+        let mut segments_ok = 0;
+        for (i, round) in transcript.rounds.iter().enumerate() {
+            let ok = self.encoder.verify_segment(
+                self.auditor_key.mac_key(),
+                &self.file_id,
+                round.index,
+                &round.segment,
+            );
+            if ok {
+                segments_ok += 1;
+            } else {
+                violations.push(Violation::BadSegment {
+                    round: i,
+                    segment: round.index,
+                });
+            }
+        }
+
+        // 4. Timing: max Δt_j ≤ Δt_max.
+        let max_rtt = transcript.max_rtt();
+        for (i, round) in transcript.rounds.iter().enumerate() {
+            if round.rtt > self.policy.max_rtt() {
+                violations.push(Violation::TooSlow {
+                    round: i,
+                    rtt: round.rtt,
+                });
+            }
+        }
+
+        AuditReport {
+            violations,
+            max_rtt,
+            segments_ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::LocalProvider;
+    use crate::verifier::VerifierDevice;
+    use geoproof_geo::coords::places::{BRISBANE, PERTH};
+    use geoproof_geo::gps::GpsReceiver;
+    use geoproof_net::lan::LanPath;
+    use geoproof_por::keys::PorKeys;
+    use geoproof_por::params::PorParams;
+    use geoproof_sim::clock::SimClock;
+    use geoproof_storage::hdd::{HddModel, WD_2500JD};
+    use geoproof_storage::server::{FileId, StorageServer};
+
+    struct Rig {
+        auditor: Auditor,
+        verifier: VerifierDevice,
+        provider: LocalProvider,
+    }
+
+    fn rig() -> Rig {
+        let params = PorParams::test_small();
+        let encoder = PorEncoder::new(params);
+        let keys = PorKeys::derive(b"master", "f");
+        let data: Vec<u8> = (0..4000u32).map(|i| i as u8).collect();
+        let tagged = encoder.encode(&data, &keys, "f");
+        let n = tagged.metadata.segments;
+
+        let mut storage = StorageServer::new(HddModel::deterministic(WD_2500JD), 1);
+        storage.put_file(FileId::from("f"), tagged.segments.clone());
+        let provider = LocalProvider::new(storage, LanPath::adjacent(), 2);
+
+        let mut rng = ChaChaRng::from_u64_seed(10);
+        let sk = geoproof_crypto::schnorr::SigningKey::generate(&mut rng);
+        let verifier =
+            VerifierDevice::new(sk.clone(), GpsReceiver::new(BRISBANE), SimClock::new(), 3);
+
+        let auditor = Auditor::new(
+            "f".into(),
+            n,
+            PorEncoder::new(params),
+            keys.auditor_view(),
+            sk.verifying_key(),
+            BRISBANE,
+            Km(10.0),
+            TimingPolicy::paper(),
+            4,
+        );
+        Rig {
+            auditor,
+            verifier,
+            provider,
+        }
+    }
+
+    #[test]
+    fn honest_audit_accepts() {
+        let mut r = rig();
+        let req = r.auditor.issue_request(20);
+        let t = r.verifier.run_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report.accepted(), "violations: {:?}", report.violations);
+        assert_eq!(report.segments_ok, 20);
+        assert!(report.max_rtt <= TimingPolicy::paper().max_rtt());
+    }
+
+    #[test]
+    fn corrupted_segment_is_flagged() {
+        let mut r = rig();
+        // Corrupt everything so any challenge set hits corruption.
+        let n = r.provider.storage_mut().segment_count(&FileId::from("f")).unwrap();
+        for i in 0..n {
+            r.provider.storage_mut().corrupt_segment(&FileId::from("f"), i, 0x80);
+        }
+        let req = r.auditor.issue_request(10);
+        let t = r.verifier.run_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(!report.accepted());
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::BadSegment { .. })));
+        assert_eq!(report.violations.len(), 10);
+    }
+
+    #[test]
+    fn spoofed_gps_is_flagged() {
+        let mut r = rig();
+        r.verifier.gps_mut().spoof(PERTH);
+        let req = r.auditor.issue_request(5);
+        let t = r.verifier.run_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongLocation { .. })));
+    }
+
+    #[test]
+    fn replayed_transcript_is_flagged() {
+        let mut r = rig();
+        let req1 = r.auditor.issue_request(5);
+        let t1 = r.verifier.run_audit(&req1, &mut r.provider);
+        // Fresh request, old transcript.
+        let req2 = r.auditor.issue_request(5);
+        let report = r.auditor.verify(&req2, &t1);
+        assert!(report.violations.contains(&Violation::StaleNonce));
+    }
+
+    #[test]
+    fn tampered_transcript_breaks_signature() {
+        let mut r = rig();
+        let req = r.auditor.issue_request(5);
+        let mut t = r.verifier.run_audit(&req, &mut r.provider);
+        t.rounds[0].rtt = SimDuration::from_millis(1); // forge a faster time
+        let report = r.auditor.verify(&req, &t);
+        assert!(report.violations.contains(&Violation::BadSignature));
+    }
+
+    #[test]
+    fn slow_rounds_are_flagged() {
+        let mut r = rig();
+        let req = r.auditor.issue_request(5);
+        let mut t = r.verifier.run_audit(&req, &mut r.provider);
+        // Rebuild a transcript with inflated times, signed by the device
+        // key? The auditor must reject on timing even if signed: simulate a
+        // genuinely slow provider by editing before signing is impossible
+        // here, so check the policy path directly with a forged-but-signed
+        // transcript: signature check will also fire, timing check must
+        // fire regardless.
+        for round in t.rounds.iter_mut() {
+            round.rtt = SimDuration::from_millis(50);
+        }
+        let report = r.auditor.verify(&req, &t);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TooSlow { .. })));
+    }
+
+    #[test]
+    fn wrong_round_count_is_flagged() {
+        let mut r = rig();
+        let req = r.auditor.issue_request(5);
+        let mut t = r.verifier.run_audit(&req, &mut r.provider);
+        t.rounds.pop();
+        let report = r.auditor.verify(&req, &t);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongRoundCount { expected: 5, actual: 4 })));
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let v = Violation::TooSlow {
+            round: 3,
+            rtt: SimDuration::from_millis(20),
+        };
+        let s = format!("{v}");
+        assert!(s.contains("round 3"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The cache-assisted relay attack and why random challenges defeat it.
+//!
+//! Fig. 6's relay attacker pays a WAN round trip per challenge. A smarter
+//! cheat keeps a *partial* local cache at the front node P and relays only
+//! misses to the remote store P̃. Because the TPA checks `max Δt_j`, the
+//! audit fails unless **every** challenged segment is cached — probability
+//! `Π (c-i)/(ñ-i)` (hypergeometric), which collapses geometrically in k.
+//! This module implements that adversary so experiments can measure it.
+
+use crate::provider::SegmentProvider;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_net::lan::LanPath;
+use geoproof_net::wan::WanModel;
+use geoproof_sim::time::{Km, SimDuration};
+use geoproof_storage::server::{FileId, StorageServer};
+use std::collections::HashSet;
+
+/// A relay provider with a partial front-node cache.
+pub struct CachingRelayProvider {
+    remote: StorageServer,
+    cached_segments: HashSet<u64>,
+    cache_hit_latency: SimDuration,
+    lan: LanPath,
+    wan: WanModel,
+    distance: Km,
+    rng: ChaChaRng,
+    /// Front-node copies of the cached segments.
+    front_copies: std::collections::HashMap<u64, Vec<u8>>,
+}
+
+impl CachingRelayProvider {
+    /// Builds the adversary: `cache_fraction` of the file is pinned at the
+    /// front node; everything else relays to `remote` at `distance`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mut remote: StorageServer,
+        fid: &FileId,
+        cache_fraction: f64,
+        lan: LanPath,
+        wan: WanModel,
+        distance: Km,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let n = remote.segment_count(fid).unwrap_or(0) as u64;
+        let n_cached = ((n as f64) * cache_fraction).round() as usize;
+        let cached: HashSet<u64> = rng.sample_distinct(n.max(1), n_cached.min(n as usize))
+            .into_iter()
+            .collect();
+        let mut front_copies = std::collections::HashMap::new();
+        for &idx in &cached {
+            if let Some(data) = remote.read_segment(fid, idx as usize).data {
+                front_copies.insert(idx, data);
+            }
+        }
+        CachingRelayProvider {
+            remote,
+            cached_segments: cached,
+            cache_hit_latency: SimDuration::from_micros(100),
+            lan,
+            wan,
+            distance,
+            rng,
+            front_copies,
+        }
+    }
+
+    /// Number of segments pinned at the front node.
+    pub fn cached_count(&self) -> usize {
+        self.cached_segments.len()
+    }
+}
+
+impl SegmentProvider for CachingRelayProvider {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+        let lan = self.lan.rtt(64, 96, &mut self.rng);
+        if self.cached_segments.contains(&idx) {
+            // Front-node hit: LAN + RAM only. Looks exactly like an
+            // honest fast disk.
+            let data = self.front_copies.get(&idx).cloned();
+            (data, lan + self.cache_hit_latency)
+        } else {
+            // Miss: the WAN trip is unavoidable and shows in Δt_j.
+            let read = self.remote.read_segment(fid, idx as usize);
+            let wan = self.wan.rtt(self.distance, &mut self.rng);
+            (read.data, lan + wan + read.latency)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "caching relay ({} segments pinned, store at {:.0} km)",
+            self.cached_segments.len(),
+            self.distance.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_net::wan::AccessKind;
+    use geoproof_storage::hdd::{HddModel, IBM_36Z15};
+
+    fn remote(n: usize) -> StorageServer {
+        let mut s = StorageServer::new(HddModel::deterministic(IBM_36Z15), 1);
+        s.put_file(FileId::from("f"), vec![vec![0x77u8; 83]; n]);
+        s
+    }
+
+    fn provider(cache_fraction: f64) -> CachingRelayProvider {
+        CachingRelayProvider::new(
+            remote(200),
+            &FileId::from("f"),
+            cache_fraction,
+            LanPath::adjacent(),
+            WanModel::calibrated(AccessKind::DataCentre),
+            Km(1000.0),
+            7,
+        )
+    }
+
+    #[test]
+    fn cached_segments_answer_fast() {
+        let mut p = provider(0.5);
+        let cached: Vec<u64> = p.cached_segments.iter().copied().take(3).collect();
+        for idx in cached {
+            let (data, t) = p.serve(&FileId::from("f"), idx);
+            assert!(data.is_some());
+            assert!(t.as_millis_f64() < 1.0, "hit took {t}");
+        }
+    }
+
+    #[test]
+    fn misses_pay_the_wan_trip() {
+        let mut p = provider(0.5);
+        let miss = (0..200u64)
+            .find(|i| !p.cached_segments.contains(i))
+            .unwrap();
+        let (data, t) = p.serve(&FileId::from("f"), miss);
+        assert!(data.is_some());
+        assert!(t.as_millis_f64() > 16.0, "miss took only {t}");
+    }
+
+    #[test]
+    fn cache_fraction_controls_pinned_count() {
+        assert_eq!(provider(0.25).cached_count(), 50);
+        assert_eq!(provider(1.0).cached_count(), 200);
+        assert_eq!(provider(0.0).cached_count(), 0);
+    }
+
+    #[test]
+    fn full_cache_defeats_timing_but_is_no_longer_a_relay() {
+        // cache_fraction = 1.0 means the data *is* at the front node —
+        // the provider is simply honest about location. The attack only
+        // "works" by not being an attack.
+        let mut p = provider(1.0);
+        for idx in [0u64, 50, 199] {
+            let (_, t) = p.serve(&FileId::from("f"), idx);
+            assert!(t.as_millis_f64() < 1.0);
+        }
+    }
+
+    #[test]
+    fn describe_reports_cache_size() {
+        let p = provider(0.1);
+        assert!(p.describe().contains("20 segments"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Longitudinal audit campaigns: time-to-detection measurement.
+//!
+//! The paper notes detection "is a cumulative process" (§V-C(a)): a single
+//! audit catches corruption with probability 1-(1-ε)^k, repeated audits
+//! push it towards one. A campaign schedules audits over simulated days
+//! and measures *when* a behaviour change (data moved, corruption begins)
+//! is first caught — the operational quantity an SLA owner cares about.
+
+use crate::auditor::AuditReport;
+use crate::deployment::{Deployment, DeploymentBuilder, ProviderBehaviour};
+use geoproof_geo::coords::GeoPoint;
+use geoproof_por::params::PorParams;
+
+/// When the provider turns dishonest, in audit periods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MisbehaviourOnset(pub u32);
+
+/// One audit period's outcome.
+#[derive(Debug)]
+pub struct PeriodOutcome {
+    /// Period index (0-based).
+    pub period: u32,
+    /// Whether the provider misbehaved during this period.
+    pub misbehaving: bool,
+    /// The audit report.
+    pub report: AuditReport,
+}
+
+/// Result of a full campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// All period outcomes in order.
+    pub periods: Vec<PeriodOutcome>,
+    /// First period whose audit rejected, if any.
+    pub first_detection: Option<u32>,
+    /// The onset period of misbehaviour.
+    pub onset: u32,
+}
+
+impl CampaignResult {
+    /// Periods between misbehaviour onset and first detection
+    /// (`None` if never detected; 0 = caught in the onset period).
+    pub fn detection_lag(&self) -> Option<u32> {
+        self.first_detection.map(|d| d.saturating_sub(self.onset))
+    }
+
+    /// False alarms: rejections strictly before the onset.
+    pub fn false_alarms(&self) -> usize {
+        self.periods
+            .iter()
+            .filter(|p| !p.misbehaving && !p.report.accepted())
+            .count()
+    }
+}
+
+/// Runs a campaign: `total_periods` audits of `k` challenges, with the
+/// provider honest until `onset` and `misbehaviour` afterwards.
+///
+/// Each period rebuilds the deployment so provider state (storage,
+/// caches) matches the active behaviour; seeds vary per period so audits
+/// draw fresh challenges.
+pub fn run_campaign(
+    sla_location: GeoPoint,
+    params: PorParams,
+    honest: ProviderBehaviour,
+    misbehaviour: ProviderBehaviour,
+    onset: MisbehaviourOnset,
+    total_periods: u32,
+    k: u32,
+    seed: u64,
+) -> CampaignResult {
+    let mut periods = Vec::with_capacity(total_periods as usize);
+    let mut first_detection = None;
+    for period in 0..total_periods {
+        let misbehaving = period >= onset.0;
+        let behaviour = if misbehaving {
+            misbehaviour.clone()
+        } else {
+            honest.clone()
+        };
+        let mut deployment: Deployment = DeploymentBuilder::new(sla_location)
+            .params(params)
+            .behaviour(behaviour)
+            .seed(seed.wrapping_add(u64::from(period) * 7919))
+            .build();
+        let report = deployment.run_audit(k);
+        if !report.accepted() && misbehaving && first_detection.is_none() {
+            first_detection = Some(period);
+        }
+        periods.push(PeriodOutcome {
+            period,
+            misbehaving,
+            report,
+        });
+    }
+    CampaignResult {
+        periods,
+        first_detection,
+        onset: onset.0,
+    }
+}
+
+/// Expected detection lag (in periods) for per-audit detection
+/// probability `p`: geometric mean `1/p − 1` failures before success.
+pub fn expected_detection_lag(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    1.0 / p - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_geo::coords::places::BRISBANE;
+    use geoproof_net::wan::AccessKind;
+    use geoproof_sim::time::Km;
+    use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
+
+    fn honest() -> ProviderBehaviour {
+        ProviderBehaviour::Honest { disk: WD_2500JD }
+    }
+
+    #[test]
+    fn relay_onset_detected_immediately() {
+        let result = run_campaign(
+            BRISBANE,
+            PorParams::test_small(),
+            honest(),
+            ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(720.0),
+                access: AccessKind::DataCentre,
+            },
+            MisbehaviourOnset(4),
+            8,
+            10,
+            1,
+        );
+        // Timing violations are deterministic: caught in the onset period.
+        assert_eq!(result.first_detection, Some(4));
+        assert_eq!(result.detection_lag(), Some(0));
+        assert_eq!(result.false_alarms(), 0);
+    }
+
+    #[test]
+    fn corruption_onset_detected_with_geometric_lag() {
+        let result = run_campaign(
+            BRISBANE,
+            PorParams::test_small(),
+            honest(),
+            ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.30,
+            },
+            MisbehaviourOnset(2),
+            30,
+            10,
+            2,
+        );
+        // Per-audit detection 1-(0.7)^10 ≈ 97%: lag almost surely tiny.
+        let lag = result.detection_lag().expect("must be detected in 28 tries");
+        assert!(lag <= 3, "lag {lag}");
+        assert_eq!(result.false_alarms(), 0);
+    }
+
+    #[test]
+    fn honest_forever_never_detects() {
+        let result = run_campaign(
+            BRISBANE,
+            PorParams::test_small(),
+            honest(),
+            honest(), // "misbehaviour" is also honest
+            MisbehaviourOnset(3),
+            10,
+            10,
+            3,
+        );
+        assert_eq!(result.first_detection, None);
+        assert_eq!(result.detection_lag(), None);
+        assert_eq!(result.false_alarms(), 0);
+    }
+
+    #[test]
+    fn expected_lag_formula() {
+        assert_eq!(expected_detection_lag(1.0), 0.0);
+        assert!((expected_detection_lag(0.5) - 1.0).abs() < 1e-12);
+        assert!((expected_detection_lag(0.25) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn zero_probability_panics() {
+        expected_detection_lag(0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! End-to-end deployment rigs: owner → cloud → TPA, honest or adversarial.
+//!
+//! Wires together every substrate into the paper's Fig. 4 architecture so
+//! examples, experiments and integration tests can stand up a full
+//! GeoProof deployment in a few lines, swap the provider for an attack
+//! variant, and measure detection rates.
+
+use crate::auditor::{AuditReport, Auditor};
+use crate::policy::TimingPolicy;
+use crate::provider::{DelayedProvider, LocalProvider, RelayProvider, SegmentProvider};
+use crate::verifier::VerifierDevice;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_geo::gps::GpsReceiver;
+use geoproof_net::lan::LanPath;
+use geoproof_net::wan::{AccessKind, WanModel};
+use geoproof_por::encode::{PorEncoder, TaggedFile};
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::PorParams;
+use geoproof_sim::clock::SimClock;
+use geoproof_sim::time::{Km, SimDuration};
+use geoproof_storage::hdd::{HddModel, HddSpec, WD_2500JD};
+use geoproof_storage::server::{FileId, StorageServer};
+
+/// The data owner: holds the master secret, prepares files, provisions
+/// the TPA.
+pub struct DataOwner {
+    master: Vec<u8>,
+    encoder: PorEncoder,
+}
+
+impl std::fmt::Debug for DataOwner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataOwner").finish_non_exhaustive()
+    }
+}
+
+impl DataOwner {
+    /// Creates an owner with a master secret and POR parameters.
+    pub fn new(master: &[u8], params: PorParams) -> Self {
+        DataOwner {
+            master: master.to_vec(),
+            encoder: PorEncoder::new(params),
+        }
+    }
+
+    /// Runs the setup phase on `data`, returning the upload and the keys.
+    pub fn prepare(&self, data: &[u8], file_id: &str) -> (TaggedFile, PorKeys) {
+        let keys = PorKeys::derive(&self.master, file_id);
+        (self.encoder.encode(data, &keys, file_id), keys)
+    }
+
+    /// The owner's encoder (parameters).
+    pub fn encoder(&self) -> &PorEncoder {
+        &self.encoder
+    }
+}
+
+/// What the cloud provider actually does with the data.
+#[derive(Clone, Debug)]
+pub enum ProviderBehaviour {
+    /// Stores honestly on `disk` at the SLA site.
+    Honest {
+        /// Disk model at the contracted data centre.
+        disk: HddSpec,
+    },
+    /// Relays to a remote data centre (Fig. 6).
+    Relay {
+        /// Disk model at the *remote* site (attackers buy fast disks).
+        remote_disk: HddSpec,
+        /// Distance from the SLA site to the remote site.
+        distance: Km,
+        /// Access class of the inter-site link.
+        access: AccessKind,
+    },
+    /// Stores locally but corrupts a fraction of segments.
+    Corrupting {
+        /// Disk model.
+        disk: HddSpec,
+        /// Fraction of segments corrupted (0–1).
+        fraction: f64,
+    },
+    /// Honest but overloaded: adds fixed delay per request.
+    Slow {
+        /// Disk model.
+        disk: HddSpec,
+        /// Added delay per request.
+        extra: SimDuration,
+    },
+}
+
+/// A fully wired deployment.
+pub struct Deployment {
+    /// The TPA.
+    pub auditor: Auditor,
+    /// The tamper-proof device on the provider's LAN.
+    pub verifier: VerifierDevice,
+    /// The prover.
+    pub provider: Box<dyn SegmentProvider>,
+    /// Segment count of the audited file.
+    pub n_segments: u64,
+}
+
+/// Builder for [`Deployment`].
+pub struct DeploymentBuilder {
+    params: PorParams,
+    file_bytes: usize,
+    behaviour: ProviderBehaviour,
+    sla_location: GeoPoint,
+    location_tolerance: Km,
+    policy: TimingPolicy,
+    seed: u64,
+}
+
+impl DeploymentBuilder {
+    /// Starts a builder with paper-like defaults on a test-sized file.
+    pub fn new(sla_location: GeoPoint) -> Self {
+        DeploymentBuilder {
+            params: PorParams::test_small(),
+            file_bytes: 20_000,
+            behaviour: ProviderBehaviour::Honest { disk: WD_2500JD },
+            sla_location,
+            location_tolerance: Km(25.0),
+            policy: TimingPolicy::paper(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Sets POR parameters.
+    pub fn params(mut self, params: PorParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the plaintext size.
+    pub fn file_bytes(mut self, bytes: usize) -> Self {
+        self.file_bytes = bytes;
+        self
+    }
+
+    /// Sets the provider behaviour.
+    pub fn behaviour(mut self, behaviour: ProviderBehaviour) -> Self {
+        self.behaviour = behaviour;
+        self
+    }
+
+    /// Sets the timing policy.
+    pub fn policy(mut self, policy: TimingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the RNG seed for the whole rig.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the deployment: encodes a synthetic file, stores it per the
+    /// behaviour, registers device and TPA keys.
+    pub fn build(self) -> Deployment {
+        let mut rng = ChaChaRng::from_u64_seed(self.seed);
+        let owner = DataOwner::new(b"deployment-master-secret", self.params);
+        let mut data = vec![0u8; self.file_bytes];
+        rng.fill_bytes(&mut data);
+        let fid = "sla-file";
+        let (tagged, keys) = owner.prepare(&data, fid);
+        let n_segments = tagged.metadata.segments;
+
+        let make_storage = |disk: HddSpec, segs: Vec<Vec<u8>>, seed: u64| {
+            let mut s = StorageServer::new(HddModel::deterministic(disk), seed);
+            s.put_file(FileId::from(fid), segs);
+            s
+        };
+
+        let provider: Box<dyn SegmentProvider> = match self.behaviour {
+            ProviderBehaviour::Honest { disk } => Box::new(LocalProvider::new(
+                make_storage(disk, tagged.segments.clone(), self.seed + 1),
+                LanPath::adjacent(),
+                self.seed + 2,
+            )),
+            ProviderBehaviour::Relay {
+                remote_disk,
+                distance,
+                access,
+            } => Box::new(RelayProvider::new(
+                make_storage(remote_disk, tagged.segments.clone(), self.seed + 1),
+                LanPath::adjacent(),
+                WanModel::calibrated(access),
+                distance,
+                self.seed + 2,
+            )),
+            ProviderBehaviour::Corrupting { disk, fraction } => {
+                let mut storage = make_storage(disk, tagged.segments.clone(), self.seed + 1);
+                let n_corrupt = ((n_segments as f64) * fraction).round() as usize;
+                let victims = rng.sample_distinct(n_segments, n_corrupt);
+                for v in victims {
+                    storage.corrupt_segment(&FileId::from(fid), v as usize, 0x55);
+                }
+                Box::new(LocalProvider::new(storage, LanPath::adjacent(), self.seed + 2))
+            }
+            ProviderBehaviour::Slow { disk, extra } => Box::new(DelayedProvider::new(
+                LocalProvider::new(
+                    make_storage(disk, tagged.segments.clone(), self.seed + 1),
+                    LanPath::adjacent(),
+                    self.seed + 2,
+                ),
+                extra,
+            )),
+        };
+
+        let device_key = SigningKey::generate(&mut rng);
+        let verifier = VerifierDevice::new(
+            device_key.clone(),
+            GpsReceiver::new(self.sla_location),
+            SimClock::new(),
+            self.seed + 3,
+        );
+        let auditor = Auditor::new(
+            fid.to_owned(),
+            n_segments,
+            PorEncoder::new(self.params),
+            keys.auditor_view(),
+            device_key.verifying_key(),
+            self.sla_location,
+            self.location_tolerance,
+            self.policy,
+            self.seed + 4,
+        );
+        Deployment {
+            auditor,
+            verifier,
+            provider,
+            n_segments,
+        }
+    }
+}
+
+/// Default deterministic seed ("geoproof" in ASCII).
+const DEFAULT_SEED: u64 = 0x6765_6f70_726f_6f66;
+
+impl Deployment {
+    /// Runs one audit round trip and returns the TPA's report.
+    pub fn run_audit(&mut self, k: u32) -> AuditReport {
+        let req = self.auditor.issue_request(k);
+        let transcript = self.verifier.run_audit(&req, self.provider.as_mut());
+        self.auditor.verify(&req, &transcript)
+    }
+
+    /// Runs `n` audits of `k` challenges each; returns the fraction that
+    /// *failed* (the detection rate for adversarial behaviours, the
+    /// false-alarm rate for honest ones).
+    pub fn detection_rate(&mut self, n: u32, k: u32) -> f64 {
+        let mut rejected = 0u32;
+        for _ in 0..n {
+            if !self.run_audit(k).accepted() {
+                rejected += 1;
+            }
+        }
+        f64::from(rejected) / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_geo::coords::places::BRISBANE;
+    use geoproof_storage::hdd::IBM_36Z15;
+
+    #[test]
+    fn honest_deployment_always_accepts() {
+        let mut d = DeploymentBuilder::new(BRISBANE).seed(1).build();
+        assert_eq!(d.detection_rate(10, 15), 0.0);
+    }
+
+    #[test]
+    fn far_relay_always_detected() {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(720.0),
+                access: AccessKind::DataCentre,
+            })
+            .seed(2)
+            .build();
+        assert_eq!(d.detection_rate(10, 15), 1.0);
+    }
+
+    #[test]
+    fn near_relay_with_fast_disk_evades_timing() {
+        // The paper's residual exposure: under ~360 km the differential
+        // hides the WAN hop.
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(60.0),
+                access: AccessKind::DataCentre,
+            })
+            .seed(3)
+            .build();
+        assert_eq!(d.detection_rate(5, 10), 0.0);
+    }
+
+    #[test]
+    fn heavy_corruption_detected_with_enough_challenges() {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.10,
+            })
+            .seed(4)
+            .build();
+        // 10% corruption, k = 30: detection ≈ 1-(0.9)^30 ≈ 95.8%.
+        let rate = d.detection_rate(20, 30);
+        assert!(rate > 0.8, "rate {rate}");
+    }
+
+    #[test]
+    fn slow_provider_detected() {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Slow {
+                disk: WD_2500JD,
+                extra: SimDuration::from_millis(10),
+            })
+            .seed(5)
+            .build();
+        assert_eq!(d.detection_rate(5, 10), 1.0);
+    }
+
+    #[test]
+    fn owner_prepare_roundtrip() {
+        let owner = DataOwner::new(b"m", PorParams::test_small());
+        let (tagged, keys) = owner.prepare(b"hello world", "f");
+        let out = owner
+            .encoder()
+            .extract(&tagged.segments, &keys, &tagged.metadata)
+            .unwrap();
+        assert_eq!(out, b"hello world");
+    }
+}

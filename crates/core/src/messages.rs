@@ -1,0 +1,168 @@
+//! Protocol messages of Fig. 5 and their canonical byte encodings.
+//!
+//! The verifier signs `R = (Δt*, c, {S_cj ‖ τ_cj}, N, Pos_v)` with its
+//! private key; the TPA re-encodes the received transcript and verifies
+//! the signature over exactly those bytes, so every field is
+//! length-delimited and order-fixed here.
+
+use geoproof_crypto::schnorr::Signature;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_sim::time::SimDuration;
+
+/// The TPA's audit trigger: "the TPA sends the total number of segments ñ
+/// of F̃, the number of segments to be checked k, and a random nonce N to
+/// the verifier".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRequest {
+    /// File under audit.
+    pub file_id: String,
+    /// Total number of stored segments ñ.
+    pub n_segments: u64,
+    /// Number of segments to challenge, k.
+    pub k: u32,
+    /// Fresh nonce N binding the transcript to this audit.
+    pub nonce: [u8; 32],
+}
+
+/// One timed round: challenged index, returned segment, measured Δt_j.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedRound {
+    /// Challenged segment index c_j.
+    pub index: u64,
+    /// Returned segment bytes S_cj ‖ τ_cj (empty when the prover had
+    /// nothing — still signed, still damning).
+    pub segment: Vec<u8>,
+    /// Measured round-trip time Δt_j.
+    pub rtt: SimDuration,
+}
+
+/// The signed audit transcript the verifier returns to the TPA.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedTranscript {
+    /// File under audit.
+    pub file_id: String,
+    /// Echo of the TPA's nonce.
+    pub nonce: [u8; 32],
+    /// The verifier's GPS fix Pos_v.
+    pub position: GeoPoint,
+    /// The k timed rounds.
+    pub rounds: Vec<TimedRound>,
+    /// Schnorr signature over the canonical encoding of all of the above.
+    pub signature: Signature,
+}
+
+impl SignedTranscript {
+    /// The canonical byte string that is signed and verified.
+    pub fn signing_bytes(
+        file_id: &str,
+        nonce: &[u8; 32],
+        position: &GeoPoint,
+        rounds: &[TimedRound],
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + rounds.len() * 128);
+        out.extend_from_slice(b"geoproof-transcript-v1");
+        out.extend_from_slice(&(file_id.len() as u32).to_be_bytes());
+        out.extend_from_slice(file_id.as_bytes());
+        out.extend_from_slice(nonce);
+        out.extend_from_slice(&position.lat.to_bits().to_be_bytes());
+        out.extend_from_slice(&position.lon.to_bits().to_be_bytes());
+        out.extend_from_slice(&(rounds.len() as u32).to_be_bytes());
+        for r in rounds {
+            out.extend_from_slice(&r.index.to_be_bytes());
+            out.extend_from_slice(&r.rtt.as_nanos().to_be_bytes());
+            out.extend_from_slice(&(r.segment.len() as u32).to_be_bytes());
+            out.extend_from_slice(&r.segment);
+        }
+        out
+    }
+
+    /// Largest per-round RTT (the paper verifies
+    /// `Δt′ = max(Δt_1 … Δt_k) ≤ Δt_max`).
+    pub fn max_rtt(&self) -> SimDuration {
+        self.rounds
+            .iter()
+            .map(|r| r.rtt)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rounds() -> Vec<TimedRound> {
+        vec![
+            TimedRound {
+                index: 5,
+                segment: vec![1, 2, 3],
+                rtt: SimDuration::from_millis(14),
+            },
+            TimedRound {
+                index: 99,
+                segment: vec![],
+                rtt: SimDuration::from_millis(15),
+            },
+        ]
+    }
+
+    #[test]
+    fn signing_bytes_are_deterministic() {
+        let pos = GeoPoint::new(-27.5, 153.0);
+        let a = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &rounds());
+        let b = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &rounds());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signing_bytes_bind_every_field() {
+        let pos = GeoPoint::new(-27.5, 153.0);
+        let base = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &rounds());
+
+        let other_fid = SignedTranscript::signing_bytes("g", &[7u8; 32], &pos, &rounds());
+        assert_ne!(base, other_fid);
+
+        let other_nonce = SignedTranscript::signing_bytes("f", &[8u8; 32], &pos, &rounds());
+        assert_ne!(base, other_nonce);
+
+        let other_pos =
+            SignedTranscript::signing_bytes("f", &[7u8; 32], &GeoPoint::new(-27.5, 153.1), &rounds());
+        assert_ne!(base, other_pos);
+
+        let mut r = rounds();
+        r[0].rtt = SimDuration::from_millis(13);
+        let other_rtt = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &r);
+        assert_ne!(base, other_rtt);
+
+        let mut r = rounds();
+        r[1].segment = vec![0];
+        let other_seg = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &r);
+        assert_ne!(base, other_seg);
+    }
+
+    #[test]
+    fn length_prefixing_prevents_field_bleed() {
+        // ("ab", rounds with segment "c") vs ("a", segment "bc") must
+        // encode differently even though the concatenated bytes agree.
+        let pos = GeoPoint::new(0.0, 0.0);
+        let r1 = vec![TimedRound { index: 0, segment: b"c".to_vec(), rtt: SimDuration::ZERO }];
+        let r2 = vec![TimedRound { index: 0, segment: b"bc".to_vec(), rtt: SimDuration::ZERO }];
+        let a = SignedTranscript::signing_bytes("ab", &[0u8; 32], &pos, &r1);
+        let b = SignedTranscript::signing_bytes("a", &[0u8; 32], &pos, &r2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn max_rtt_of_transcript() {
+        let pos = GeoPoint::new(0.0, 0.0);
+        let sig_bytes = [0u8; 64];
+        let t = SignedTranscript {
+            file_id: "f".into(),
+            nonce: [0u8; 32],
+            position: pos,
+            rounds: rounds(),
+            signature: geoproof_crypto::schnorr::Signature::from_bytes(&sig_bytes),
+        };
+        assert_eq!(t.max_rtt(), SimDuration::from_millis(15));
+    }
+}

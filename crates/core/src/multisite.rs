@@ -1,0 +1,208 @@
+//! Multi-site replication audits — the Benson–Dowsley–Shacham question
+//! ("do you know where your cloud files are?", reviewed in paper §III)
+//! answered with GeoProof machinery: one verifier device per contracted
+//! site, each running the timed protocol against its local replica, and a
+//! TPA that requires *every* SLA site to prove possession locally.
+//!
+//! The composition catches the replication cheat the single-site protocol
+//! cannot express: a provider that keeps one genuine copy and serves the
+//! other sites' audits by relaying to it fails the distant sites' timing
+//! checks.
+
+use crate::auditor::AuditReport;
+use crate::deployment::{Deployment, DeploymentBuilder, ProviderBehaviour};
+use crate::policy::TimingPolicy;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_por::params::PorParams;
+use geoproof_sim::time::Km;
+use geoproof_net::wan::AccessKind;
+use geoproof_storage::hdd::{HddSpec, IBM_36Z15};
+
+/// One contracted replica site.
+#[derive(Clone, Debug)]
+pub struct ReplicaSite {
+    /// Human-readable site name.
+    pub name: String,
+    /// SLA location of this replica.
+    pub location: GeoPoint,
+    /// Whether the provider actually stores a replica here, or relays to
+    /// the primary `relay_distance` away.
+    pub genuine: bool,
+    /// Relay distance when not genuine.
+    pub relay_distance: Km,
+}
+
+/// Per-site outcome of a replication audit.
+#[derive(Debug)]
+pub struct SiteOutcome {
+    /// Site name.
+    pub site: String,
+    /// The TPA's report for this site.
+    pub report: AuditReport,
+}
+
+/// Result of auditing every contracted site.
+#[derive(Debug)]
+pub struct ReplicationReport {
+    /// Per-site outcomes.
+    pub sites: Vec<SiteOutcome>,
+}
+
+impl ReplicationReport {
+    /// True only if *every* site's audit accepted — the replication SLA.
+    pub fn all_replicas_proven(&self) -> bool {
+        self.sites.iter().all(|s| s.report.accepted())
+    }
+
+    /// Names of sites that failed.
+    pub fn failed_sites(&self) -> Vec<&str> {
+        self.sites
+            .iter()
+            .filter(|s| !s.report.accepted())
+            .map(|s| s.site.as_str())
+            .collect()
+    }
+}
+
+/// A multi-site replication audit rig.
+pub struct ReplicationAudit {
+    deployments: Vec<(String, Deployment)>,
+}
+
+impl ReplicationAudit {
+    /// Builds one GeoProof deployment per site. Non-genuine sites are
+    /// modelled as relays (to the primary copy) with the best Table I
+    /// disk, i.e. the strongest cheating configuration.
+    pub fn new(sites: &[ReplicaSite], params: PorParams, policy: TimingPolicy, seed: u64) -> Self {
+        Self::with_disk(sites, params, policy, seed, IBM_36Z15)
+    }
+
+    /// Like [`ReplicationAudit::new`] with an explicit disk for the
+    /// cheating relay's remote end.
+    pub fn with_disk(
+        sites: &[ReplicaSite],
+        params: PorParams,
+        policy: TimingPolicy,
+        seed: u64,
+        relay_disk: HddSpec,
+    ) -> Self {
+        let deployments = sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let behaviour = if site.genuine {
+                    ProviderBehaviour::Honest {
+                        disk: geoproof_storage::hdd::WD_2500JD,
+                    }
+                } else {
+                    ProviderBehaviour::Relay {
+                        remote_disk: relay_disk.clone(),
+                        distance: site.relay_distance,
+                        access: AccessKind::DataCentre,
+                    }
+                };
+                let d = DeploymentBuilder::new(site.location)
+                    .params(params)
+                    .behaviour(behaviour)
+                    .policy(policy)
+                    .seed(seed + i as u64 * 17)
+                    .build();
+                (site.name.clone(), d)
+            })
+            .collect();
+        ReplicationAudit { deployments }
+    }
+
+    /// Audits every site with `k` challenges each.
+    pub fn audit_all(&mut self, k: u32) -> ReplicationReport {
+        let sites = self
+            .deployments
+            .iter_mut()
+            .map(|(name, d)| SiteOutcome {
+                site: name.clone(),
+                report: d.run_audit(k),
+            })
+            .collect();
+        ReplicationReport { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_geo::coords::places::{BRISBANE, MELBOURNE, SYDNEY};
+
+    fn sites(all_genuine: bool) -> Vec<ReplicaSite> {
+        vec![
+            ReplicaSite {
+                name: "bne-1".into(),
+                location: BRISBANE,
+                genuine: true,
+                relay_distance: Km(0.0),
+            },
+            ReplicaSite {
+                name: "syd-1".into(),
+                location: SYDNEY,
+                genuine: all_genuine,
+                relay_distance: Km(730.0), // relays to Brisbane
+            },
+            ReplicaSite {
+                name: "mel-1".into(),
+                location: MELBOURNE,
+                genuine: true,
+                relay_distance: Km(0.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_genuine_replicas_pass() {
+        let mut audit = ReplicationAudit::new(
+            &sites(true),
+            PorParams::test_small(),
+            TimingPolicy::paper(),
+            1,
+        );
+        let report = audit.audit_all(10);
+        assert!(report.all_replicas_proven(), "{:?}", report.failed_sites());
+    }
+
+    #[test]
+    fn fake_replica_is_exposed_by_its_site_audit() {
+        let mut audit = ReplicationAudit::new(
+            &sites(false),
+            PorParams::test_small(),
+            TimingPolicy::paper(),
+            2,
+        );
+        let report = audit.audit_all(10);
+        assert!(!report.all_replicas_proven());
+        assert_eq!(report.failed_sites(), vec!["syd-1"]);
+        // The genuine sites still pass: failure is attributable.
+        assert!(report
+            .sites
+            .iter()
+            .filter(|s| s.site != "syd-1")
+            .all(|s| s.report.accepted()));
+    }
+
+    #[test]
+    fn nearby_fake_replica_is_the_residual_risk() {
+        // A "replica" relayed from only 100 km away hides inside the
+        // timing budget — the same ≤360 km exposure as single-site.
+        let near_fake = vec![ReplicaSite {
+            name: "syd-ghost".into(),
+            location: SYDNEY,
+            genuine: false,
+            relay_distance: Km(100.0),
+        }];
+        let mut audit = ReplicationAudit::new(
+            &near_fake,
+            PorParams::test_small(),
+            TimingPolicy::paper(),
+            3,
+        );
+        let report = audit.audit_all(10);
+        assert!(report.all_replicas_proven(), "paper's documented bound");
+    }
+}

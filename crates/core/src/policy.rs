@@ -1,0 +1,118 @@
+//! The Δt_max timing policy (paper §V-C(b), §V-D–§V-F).
+//!
+//! The TPA accepts a round only if Δt_j ≤ Δt_max, where Δt_max budgets the
+//! LAN round trip plus the disk look-up. The paper's figures: Δt_VP ≤ 3 ms
+//! (generous LAN allowance), Δt_L ≤ 13 ms (average disk, WD 2500JD), so
+//! Δt_max ≈ 16 ms. The same section derives the relay-attack bound: with
+//! the best disk (5.406 ms look-up differential) and Internet speed 4/9 c,
+//! relocated data sits at most ≈ 360 km away before audits fail.
+
+use geoproof_sim::time::{Km, SimDuration, Speed, INTERNET_SPEED};
+use geoproof_storage::hdd::HddSpec;
+
+/// Per-round acceptance policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingPolicy {
+    /// Allowance for the network round trip Δt_VP.
+    pub max_network: SimDuration,
+    /// Allowance for the storage look-up Δt_L.
+    pub max_lookup: SimDuration,
+}
+
+impl Default for TimingPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl TimingPolicy {
+    /// The paper's §V-C(b) budget: 3 ms network + 13 ms look-up ≈ 16 ms.
+    pub fn paper() -> Self {
+        TimingPolicy {
+            max_network: SimDuration::from_millis(3),
+            max_lookup: SimDuration::from_millis(13),
+        }
+    }
+
+    /// Policy calibrated at contract time against the provider's actual
+    /// disk (the paper: "these measurements could be made at the contract
+    /// time at the place where the data centre is located"), with a
+    /// `headroom` multiplier ≥ 1 for jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom < 1.0`.
+    pub fn calibrated(disk: &HddSpec, segment_bytes: usize, headroom: f64) -> Self {
+        assert!(headroom >= 1.0, "headroom must be >= 1");
+        let lookup = disk.avg_lookup(segment_bytes);
+        TimingPolicy {
+            max_network: SimDuration::from_millis(3),
+            max_lookup: SimDuration::from_millis_f64(lookup.as_millis_f64() * headroom),
+        }
+    }
+
+    /// The combined per-round bound Δt_max.
+    pub fn max_rtt(&self) -> SimDuration {
+        self.max_network + self.max_lookup
+    }
+}
+
+/// The paper's relay-attack geometry (§V-C(b), Fig. 6): if a cheating
+/// provider relays to a remote data centre with disks faster by
+/// `lookup_differential`, the WAN round trip can hide inside that slack,
+/// bounding the relay distance by `speed × differential / 2`.
+pub fn relay_distance_bound(lookup_differential: SimDuration, internet_speed: Speed) -> Km {
+    Km(internet_speed.0 * lookup_differential.as_millis_f64() / 2.0)
+}
+
+/// The paper's headline number: best-disk differential (IBM 36Z15,
+/// 5.406 ms) at 4/9 c → ≈ 360 km.
+pub fn paper_relay_bound() -> Km {
+    relay_distance_bound(SimDuration::from_millis_f64(5.406), INTERNET_SPEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
+
+    #[test]
+    fn paper_budget_is_16ms() {
+        let p = TimingPolicy::paper();
+        assert_eq!(p.max_rtt(), SimDuration::from_millis(16));
+    }
+
+    #[test]
+    fn paper_relay_bound_is_360km() {
+        let d = paper_relay_bound();
+        assert!((d.0 - 360.4).abs() < 0.5, "got {}", d.0);
+    }
+
+    #[test]
+    fn calibrated_policy_tracks_disk() {
+        let p = TimingPolicy::calibrated(&WD_2500JD, 512, 1.0);
+        assert!((p.max_lookup.as_millis_f64() - 13.1055).abs() < 0.01);
+        let tight = TimingPolicy::calibrated(&IBM_36Z15, 512, 1.0);
+        assert!(tight.max_rtt() < p.max_rtt());
+    }
+
+    #[test]
+    fn headroom_loosens_policy() {
+        let tight = TimingPolicy::calibrated(&WD_2500JD, 512, 1.0);
+        let loose = TimingPolicy::calibrated(&WD_2500JD, 512, 1.5);
+        assert!(loose.max_lookup > tight.max_lookup);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn sub_unity_headroom_panics() {
+        TimingPolicy::calibrated(&WD_2500JD, 512, 0.9);
+    }
+
+    #[test]
+    fn relay_bound_scales_with_differential() {
+        let slow = relay_distance_bound(SimDuration::from_millis(2), INTERNET_SPEED);
+        let fast = relay_distance_bound(SimDuration::from_millis(8), INTERNET_SPEED);
+        assert!((fast.0 - 4.0 * slow.0).abs() < 1e-9);
+    }
+}

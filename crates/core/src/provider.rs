@@ -1,0 +1,239 @@
+//! Cloud-provider models: honest and adversarial provers.
+//!
+//! The prover P of Fig. 5 is whatever machine answers the verifier's
+//! segment requests. [`SegmentProvider`] abstracts it; implementations
+//! cover the honest local deployment and the paper's attack scenarios —
+//! most importantly the Fig. 6 relay attack, where a front node on the
+//! provider's LAN forwards every request over the Internet to a remote
+//! data centre with faster disks.
+
+use geoproof_net::lan::LanPath;
+use geoproof_net::wan::WanModel;
+use geoproof_sim::time::{Km, SimDuration};
+use geoproof_storage::server::{FileId, StorageServer};
+
+/// Anything that can answer a challenge for segment `idx` of file `fid`.
+///
+/// Returns the segment bytes (or `None` when missing) plus the *total*
+/// simulated service time the verifier will observe for the round —
+/// network transit plus storage look-up.
+pub trait SegmentProvider {
+    /// Serves one segment request.
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration);
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// The honest deployment: the verifier device and the storage node share
+/// the provider's LAN (paper Fig. 4).
+#[derive(Debug)]
+pub struct LocalProvider {
+    storage: StorageServer,
+    lan: LanPath,
+    rng: geoproof_crypto::chacha::ChaChaRng,
+    request_bytes: usize,
+}
+
+impl LocalProvider {
+    /// Creates an honest provider: `storage` reachable over `lan`.
+    pub fn new(storage: StorageServer, lan: LanPath, seed: u64) -> Self {
+        LocalProvider {
+            storage,
+            lan,
+            rng: geoproof_crypto::chacha::ChaChaRng::from_u64_seed(seed),
+            request_bytes: 64,
+        }
+    }
+
+    /// Mutable access to the underlying storage (tests inject corruption).
+    pub fn storage_mut(&mut self) -> &mut StorageServer {
+        &mut self.storage
+    }
+}
+
+impl SegmentProvider for LocalProvider {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+        let read = self.storage.read_segment(fid, idx as usize);
+        let resp_bytes = read.data.as_ref().map_or(64, Vec::len);
+        let net = self.lan.rtt(self.request_bytes, resp_bytes, &mut self.rng);
+        (read.data, net + read.latency)
+    }
+
+    fn describe(&self) -> String {
+        format!("local provider ({})", self.storage.disk().spec().name)
+    }
+}
+
+/// The Fig. 6 relay attack: P keeps no data; it forwards requests to a
+/// remote data centre P̃ at `distance`, which runs faster disks to claw
+/// back time.
+#[derive(Debug)]
+pub struct RelayProvider {
+    remote_storage: StorageServer,
+    local_lan: LanPath,
+    wan: WanModel,
+    distance: Km,
+    rng: geoproof_crypto::chacha::ChaChaRng,
+    request_bytes: usize,
+}
+
+impl RelayProvider {
+    /// Creates a relaying provider with the remote store `distance` away.
+    pub fn new(
+        remote_storage: StorageServer,
+        local_lan: LanPath,
+        wan: WanModel,
+        distance: Km,
+        seed: u64,
+    ) -> Self {
+        RelayProvider {
+            remote_storage,
+            local_lan,
+            wan,
+            distance,
+            rng: geoproof_crypto::chacha::ChaChaRng::from_u64_seed(seed),
+            request_bytes: 64,
+        }
+    }
+
+    /// Mutable access to the remote storage.
+    pub fn storage_mut(&mut self) -> &mut StorageServer {
+        &mut self.remote_storage
+    }
+
+    /// The relay distance.
+    pub fn distance(&self) -> Km {
+        self.distance
+    }
+}
+
+impl SegmentProvider for RelayProvider {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+        let read = self.remote_storage.read_segment(fid, idx as usize);
+        let resp_bytes = read.data.as_ref().map_or(64, Vec::len);
+        // V → P over the LAN, P → P̃ over the Internet, look-up at P̃.
+        let lan = self.local_lan.rtt(self.request_bytes, resp_bytes, &mut self.rng);
+        let wan = self.wan.rtt(self.distance, &mut self.rng);
+        (read.data, lan + wan + read.latency)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "relay attack via {} at {:.0} km ({})",
+            "front node",
+            self.distance.0,
+            self.remote_storage.disk().spec().name
+        )
+    }
+}
+
+/// A decorator that adds fixed extra delay to another provider — models
+/// overloaded storage or deliberate stalling.
+pub struct DelayedProvider<P> {
+    inner: P,
+    extra: SimDuration,
+}
+
+impl<P: SegmentProvider> DelayedProvider<P> {
+    /// Wraps `inner`, adding `extra` to every response.
+    pub fn new(inner: P, extra: SimDuration) -> Self {
+        DelayedProvider { inner, extra }
+    }
+}
+
+impl<P: SegmentProvider> SegmentProvider for DelayedProvider<P> {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+        let (data, t) = self.inner.serve(fid, idx);
+        (data, t + self.extra)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (+{} delay)", self.inner.describe(), self.extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_net::wan::AccessKind;
+    use geoproof_storage::hdd::{HddModel, IBM_36Z15, WD_2500JD};
+
+    fn storage(spec: geoproof_storage::hdd::HddSpec) -> StorageServer {
+        let mut s = StorageServer::new(HddModel::deterministic(spec), 1);
+        s.put_file(FileId::from("f"), vec![vec![0xabu8; 83]; 100]);
+        s
+    }
+
+    #[test]
+    fn local_provider_serves_within_budget() {
+        let mut p = LocalProvider::new(storage(WD_2500JD), LanPath::adjacent(), 2);
+        let (data, t) = p.serve(&FileId::from("f"), 7);
+        assert_eq!(data.unwrap().len(), 83);
+        // LAN (~0.1 ms) + WD lookup (~13.1 ms) < 16 ms paper budget.
+        assert!(t.as_millis_f64() < 16.0, "served in {t}");
+        assert!(t.as_millis_f64() > 13.0);
+    }
+
+    #[test]
+    fn relay_provider_is_slower_despite_fast_disk() {
+        let wan = WanModel::calibrated(AccessKind::DataCentre);
+        let mut p = RelayProvider::new(
+            storage(IBM_36Z15),
+            LanPath::adjacent(),
+            wan,
+            Km(720.0),
+            3,
+        );
+        let (data, t) = p.serve(&FileId::from("f"), 7);
+        assert!(data.is_some());
+        // 720 km at 4/9 c is ~10.8 ms RTT + hops + fast lookup 5.4 ms:
+        // comfortably above the paper's 16 ms budget.
+        assert!(t.as_millis_f64() > 16.0, "served in {t}");
+    }
+
+    #[test]
+    fn short_relay_with_fast_disk_can_beat_budget() {
+        // The flip side of the 360 km bound: a *near* relay with the best
+        // disk fits inside Δt_max — exactly the paper's residual risk.
+        let wan = WanModel::calibrated(AccessKind::DataCentre);
+        let mut p = RelayProvider::new(
+            storage(IBM_36Z15),
+            LanPath::adjacent(),
+            wan,
+            Km(100.0),
+            4,
+        );
+        let (_, t) = p.serve(&FileId::from("f"), 7);
+        assert!(t.as_millis_f64() < 16.0, "served in {t}");
+    }
+
+    #[test]
+    fn missing_segment_still_times() {
+        let mut p = LocalProvider::new(storage(WD_2500JD), LanPath::adjacent(), 5);
+        let (data, t) = p.serve(&FileId::from("f"), 10_000);
+        assert!(data.is_none());
+        assert!(t > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delayed_provider_adds_exactly_extra() {
+        let base = LocalProvider::new(storage(WD_2500JD), LanPath::adjacent(), 6);
+        let mut fast = LocalProvider::new(storage(WD_2500JD), LanPath::adjacent(), 6);
+        let mut slow = DelayedProvider::new(base, SimDuration::from_millis(5));
+        let (_, t_fast) = fast.serve(&FileId::from("f"), 1);
+        let (_, t_slow) = slow.serve(&FileId::from("f"), 1);
+        let diff = t_slow.as_millis_f64() - t_fast.as_millis_f64();
+        assert!((diff - 5.0).abs() < 0.2, "diff {diff}");
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        let p = LocalProvider::new(storage(WD_2500JD), LanPath::adjacent(), 7);
+        assert!(p.describe().contains("WD 2500JD"));
+        let wan = WanModel::calibrated(AccessKind::DataCentre);
+        let r = RelayProvider::new(storage(IBM_36Z15), LanPath::adjacent(), wan, Km(360.0), 8);
+        assert!(r.describe().contains("360"));
+        assert!(r.describe().contains("IBM 36Z15"));
+    }
+}

@@ -1,0 +1,200 @@
+//! The tamper-proof verifier device V (paper Fig. 4/5).
+//!
+//! A GPS-enabled box on the provider's LAN, trusted to follow the protocol
+//! and holding a signing key the provider cannot extract. On a TPA
+//! trigger it: draws k distinct random challenge indices, runs the timed
+//! challenge–response loop against the prover, reads its GPS fix, and
+//! signs the whole transcript.
+
+use crate::messages::{AuditRequest, SignedTranscript, TimedRound};
+use crate::provider::SegmentProvider;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::{SigningKey, VerifyingKey};
+use geoproof_geo::gps::GpsReceiver;
+use geoproof_sim::clock::SimClock;
+use geoproof_storage::server::FileId;
+
+/// The verifier device.
+pub struct VerifierDevice {
+    signing: SigningKey,
+    gps: GpsReceiver,
+    clock: SimClock,
+    rng: ChaChaRng,
+}
+
+impl std::fmt::Debug for VerifierDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifierDevice")
+            .field("gps", &self.gps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VerifierDevice {
+    /// Builds a device with its signing key, GPS receiver, and the clock
+    /// all latencies are charged to.
+    pub fn new(signing: SigningKey, gps: GpsReceiver, clock: SimClock, seed: u64) -> Self {
+        VerifierDevice {
+            signing,
+            gps,
+            clock,
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+
+    /// The device's public key (registered with the TPA at install time).
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.signing.verifying_key()
+    }
+
+    /// Mutable access to the GPS receiver (attack experiments spoof it).
+    pub fn gps_mut(&mut self) -> &mut GpsReceiver {
+        &mut self.gps
+    }
+
+    /// Runs the Fig. 5 protocol against `provider` and returns the signed
+    /// transcript.
+    ///
+    /// Per round j: pick c_j, start the clock, request segment c_j, stop
+    /// the clock on response; afterwards sign
+    /// `(Δt*, c, {S_cj}, N, Pos_v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request asks for more distinct challenges than there
+    /// are segments.
+    pub fn run_audit(
+        &mut self,
+        request: &AuditRequest,
+        provider: &mut dyn SegmentProvider,
+    ) -> SignedTranscript {
+        let fid = FileId(request.file_id.clone());
+        let indices = self
+            .rng
+            .sample_distinct(request.n_segments, request.k as usize);
+        let mut rounds = Vec::with_capacity(indices.len());
+        for &index in &indices {
+            let timer = self.clock.start_timer();
+            let (data, service_time) = provider.serve(&fid, index);
+            self.clock.advance(service_time);
+            let rtt = timer.elapsed();
+            rounds.push(TimedRound {
+                index,
+                segment: data.unwrap_or_default(),
+                rtt,
+            });
+        }
+        let position = self.gps.read_fix().position;
+        let bytes =
+            SignedTranscript::signing_bytes(&request.file_id, &request.nonce, &position, &rounds);
+        let signature = self.signing.sign(&bytes, &mut self.rng);
+        SignedTranscript {
+            file_id: request.file_id.clone(),
+            nonce: request.nonce,
+            position,
+            rounds,
+            signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::LocalProvider;
+    use geoproof_geo::coords::places::BRISBANE;
+    use geoproof_net::lan::LanPath;
+    use geoproof_storage::hdd::{HddModel, WD_2500JD};
+    use geoproof_storage::server::StorageServer;
+
+    fn device(seed: u64) -> VerifierDevice {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let sk = SigningKey::generate(&mut rng);
+        VerifierDevice::new(sk, GpsReceiver::new(BRISBANE), SimClock::new(), seed)
+    }
+
+    fn provider() -> LocalProvider {
+        let mut s = StorageServer::new(HddModel::deterministic(WD_2500JD), 1);
+        s.put_file(FileId::from("f"), vec![vec![0x5au8; 83]; 50]);
+        LocalProvider::new(s, LanPath::adjacent(), 2)
+    }
+
+    fn request(k: u32) -> AuditRequest {
+        AuditRequest {
+            file_id: "f".into(),
+            n_segments: 50,
+            k,
+            nonce: [9u8; 32],
+        }
+    }
+
+    #[test]
+    fn transcript_has_k_distinct_rounds() {
+        let mut v = device(1);
+        let mut p = provider();
+        let t = v.run_audit(&request(10), &mut p);
+        assert_eq!(t.rounds.len(), 10);
+        let set: std::collections::HashSet<u64> =
+            t.rounds.iter().map(|r| r.index).collect();
+        assert_eq!(set.len(), 10, "challenge indices must be distinct");
+        assert!(t.rounds.iter().all(|r| r.index < 50));
+    }
+
+    #[test]
+    fn rounds_measure_service_time() {
+        let mut v = device(2);
+        let mut p = provider();
+        let t = v.run_audit(&request(5), &mut p);
+        for r in &t.rounds {
+            // Deterministic WD lookup ≈ 13.1 ms + adjacent LAN.
+            let ms = r.rtt.as_millis_f64();
+            assert!(ms > 13.0 && ms < 14.0, "round rtt {ms}");
+        }
+    }
+
+    #[test]
+    fn signature_verifies_under_device_key() {
+        let mut v = device(3);
+        let mut p = provider();
+        let t = v.run_audit(&request(5), &mut p);
+        let bytes =
+            SignedTranscript::signing_bytes(&t.file_id, &t.nonce, &t.position, &t.rounds);
+        assert!(v.verifying_key().verify(&bytes, &t.signature));
+    }
+
+    #[test]
+    fn transcript_records_gps_fix() {
+        let mut v = device(4);
+        let mut p = provider();
+        let t = v.run_audit(&request(3), &mut p);
+        assert_eq!(t.position, BRISBANE);
+    }
+
+    #[test]
+    fn missing_segments_become_empty_rounds() {
+        let mut v = device(5);
+        let mut p = provider();
+        let req = AuditRequest {
+            file_id: "nope".into(),
+            n_segments: 50,
+            k: 4,
+            nonce: [0u8; 32],
+        };
+        let t = v.run_audit(&req, &mut p);
+        assert!(t.rounds.iter().all(|r| r.segment.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversized_challenge_panics() {
+        let mut v = device(6);
+        let mut p = provider();
+        let req = AuditRequest {
+            file_id: "f".into(),
+            n_segments: 5,
+            k: 6,
+            nonce: [0u8; 32],
+        };
+        v.run_audit(&req, &mut p);
+    }
+}

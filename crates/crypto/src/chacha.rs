@@ -1,0 +1,260 @@
+//! ChaCha20 stream cipher (RFC 8439) and a deterministic random-bit
+//! generator built on it.
+//!
+//! The GeoProof verifier needs unpredictable challenge indices and the setup
+//! phase needs key material; [`ChaChaRng`] provides a seedable, reproducible
+//! CSPRNG so whole protocol runs and experiments are replayable from a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_crypto::chacha::ChaChaRng;
+//!
+//! let mut a = ChaChaRng::from_seed([7u8; 32]);
+//! let mut b = ChaChaRng::from_seed([7u8; 32]);
+//! assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+//! ```
+
+/// The ChaCha20 block function output size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for (key, counter, nonce).
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Seedable deterministic CSPRNG producing the ChaCha20 keystream.
+///
+/// The 96-bit nonce is fixed to zero; uniqueness comes from the seed. The
+/// 32-bit block counter gives 256 GiB of stream per seed, far beyond any
+/// experiment here.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng {
+    key: [u8; 32],
+    counter: u32,
+    buf: [u8; BLOCK_LEN],
+    pos: usize,
+}
+
+impl ChaChaRng {
+    /// Creates a generator from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        ChaChaRng {
+            key: seed,
+            counter: 0,
+            buf: [0u8; BLOCK_LEN],
+            pos: BLOCK_LEN, // force refill on first use
+        }
+    }
+
+    /// Creates a generator from a u64 seed (convenience for experiments).
+    pub fn from_u64_seed(seed: u64) -> Self {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        Self::from_seed(s)
+    }
+
+    fn refill(&mut self) {
+        self.buf = chacha20_block(&self.key, self.counter, &[0u8; 12]);
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaChaRng exhausted 2^32 blocks");
+        self.pos = 0;
+    }
+
+    /// Fills `dest` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for byte in dest.iter_mut() {
+            if self.pos == BLOCK_LEN {
+                self.refill();
+            }
+            *byte = self.buf[self.pos];
+            self.pos += 1;
+        }
+    }
+
+    /// Returns the next pseudorandom u32.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Returns the next pseudorandom u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Uniform sample in `[0, bound)` by rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection zone: multiples of bound fitting in u64.
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (Floyd's algorithm).
+    ///
+    /// This is exactly the verifier's challenge-index generation
+    /// `c = {c_1..c_k} ⊆ {1..n}` from the paper's Fig. 5 (0-based here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
+        assert!((k as u64) <= n, "cannot sample {k} distinct values from {n}");
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (n - k as u64)..n {
+            let t = self.gen_range(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = from_hex("000000090000004a00000000").try_into().unwrap();
+        let block = chacha20_block(&key, 1, &nonce);
+        let expected = from_hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    #[test]
+    fn determinism_across_chunked_reads() {
+        let mut a = ChaChaRng::from_u64_seed(42);
+        let mut b = ChaChaRng::from_u64_seed(42);
+        let mut buf_a = [0u8; 100];
+        a.fill_bytes(&mut buf_a);
+        let mut buf_b = [0u8; 100];
+        for chunk in buf_b.chunks_mut(7) {
+            b.fill_bytes(chunk);
+        }
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaChaRng::from_u64_seed(1);
+        let mut b = ChaChaRng::from_u64_seed(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        for bound in [1u64, 2, 3, 10, 255, 1 << 40] {
+            for _ in 0..50 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = ChaChaRng::from_u64_seed(4);
+        let sample = rng.sample_distinct(1000, 100);
+        assert_eq!(sample.len(), 100);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        assert_eq!(set.len(), 100, "indices must be distinct");
+        assert!(sample.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        let mut sample = rng.sample_distinct(10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_too_many_panics() {
+        ChaChaRng::from_u64_seed(0).sample_distinct(5, 6);
+    }
+}

@@ -1,0 +1,64 @@
+//! Constant-time comparison helpers.
+//!
+//! MAC and signature verification must not leak how many prefix bytes
+//! matched; these helpers compare without data-dependent branches.
+
+/// Compares two byte slices in constant time (for equal-length inputs).
+///
+/// Returns `false` immediately when lengths differ — the length of a MAC tag
+/// is public information, only its *contents* are secret.
+///
+/// # Examples
+///
+/// ```
+/// use geoproof_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time conditional select: returns `a` if `choice` is 1, `b` if 0.
+///
+/// # Panics
+///
+/// Panics if `choice` is not 0 or 1.
+pub fn ct_select_u64(choice: u8, a: u64, b: u64) -> u64 {
+    assert!(choice <= 1, "choice must be a bit");
+    let mask = (choice as u64).wrapping_neg(); // 0x00..00 or 0xff..ff
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn select_basic() {
+        assert_eq!(ct_select_u64(1, 7, 9), 7);
+        assert_eq!(ct_select_u64(0, 7, 9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "choice must be a bit")]
+    fn select_rejects_non_bit() {
+        ct_select_u64(2, 0, 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Field arithmetic modulo `p = 2^255 - 19`, the Curve25519 base field.
+//!
+//! Elements are held in five 51-bit limbs (radix 2^51); products are
+//! accumulated in `u128`. This underpins the Edwards-curve group used for
+//! the verifier device's Schnorr transcript signatures (paper Fig. 5:
+//! `Sign_SK(R)`).
+
+/// A field element mod `2^255 - 19`, five 51-bit limbs, little-endian.
+#[derive(Clone, Copy)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+impl std::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fe(0x")?;
+        for b in self.to_bytes().iter().rev() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl PartialEq for Fe {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+impl Eq for Fe {}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Constructs from a small integer.
+    pub fn from_u64(x: u64) -> Fe {
+        let mut fe = Fe::ZERO;
+        fe.0[0] = x & MASK51;
+        fe.0[1] = x >> 51;
+        fe
+    }
+
+    /// Parses 32 little-endian bytes; the top bit is ignored (mod p).
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = 0u64;
+            for j in (0..8).rev() {
+                v = (v << 8) | bytes[i + j] as u64;
+            }
+            v
+        };
+        let l0 = load(0) & MASK51;
+        let l1 = (load(6) >> 3) & MASK51;
+        let l2 = (load(12) >> 6) & MASK51;
+        let l3 = (load(19) >> 1) & MASK51;
+        let l4 = (load(24) >> 12) & MASK51;
+        Fe([l0, l1, l2, l3, l4])
+    }
+
+    /// Serialises to 32 little-endian bytes in canonical reduced form.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut h = self.reduce_limbs();
+        // Final strong reduction: compute h - p and select.
+        let mut q = (h.0[0].wrapping_add(19)) >> 51;
+        q = (h.0[1].wrapping_add(q)) >> 51;
+        q = (h.0[2].wrapping_add(q)) >> 51;
+        q = (h.0[3].wrapping_add(q)) >> 51;
+        q = (h.0[4].wrapping_add(q)) >> 51;
+        // q is 1 iff h >= p.
+        h.0[0] = h.0[0].wrapping_add(19u64.wrapping_mul(q));
+        let mut carry = h.0[0] >> 51;
+        h.0[0] &= MASK51;
+        h.0[1] = h.0[1].wrapping_add(carry);
+        carry = h.0[1] >> 51;
+        h.0[1] &= MASK51;
+        h.0[2] = h.0[2].wrapping_add(carry);
+        carry = h.0[2] >> 51;
+        h.0[2] &= MASK51;
+        h.0[3] = h.0[3].wrapping_add(carry);
+        carry = h.0[3] >> 51;
+        h.0[3] &= MASK51;
+        h.0[4] = h.0[4].wrapping_add(carry);
+        h.0[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let limbs = h.0;
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut byte_idx = 0usize;
+        for &limb in limbs.iter() {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && byte_idx < 32 {
+                out[byte_idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                byte_idx += 1;
+            }
+        }
+        while byte_idx < 32 {
+            out[byte_idx] = (acc & 0xff) as u8;
+            acc >>= 8;
+            byte_idx += 1;
+        }
+        out
+    }
+
+    fn reduce_limbs(self) -> Fe {
+        let mut l = self.0;
+        let mut carry;
+        for _ in 0..2 {
+            carry = l[0] >> 51;
+            l[0] &= MASK51;
+            l[1] += carry;
+            carry = l[1] >> 51;
+            l[1] &= MASK51;
+            l[2] += carry;
+            carry = l[2] >> 51;
+            l[2] &= MASK51;
+            l[3] += carry;
+            carry = l[3] >> 51;
+            l[3] &= MASK51;
+            l[4] += carry;
+            carry = l[4] >> 51;
+            l[4] &= MASK51;
+            l[0] += 19 * carry;
+        }
+        Fe(l)
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + other.0[i];
+        }
+        Fe(l).reduce_limbs()
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        // Add 2p (in limb form) to avoid underflow before subtracting.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + TWO_P[i] - other.0[i];
+        }
+        Fe(l).reduce_limbs()
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        let a = &self.0;
+        let b = &other.0;
+        let a0 = a[0] as u128;
+        let a1 = a[1] as u128;
+        let a2 = a[2] as u128;
+        let a3 = a[3] as u128;
+        let a4 = a[4] as u128;
+        let b0 = b[0] as u128;
+        let b1 = b[1] as u128;
+        let b2 = b[2] as u128;
+        let b3 = b[3] as u128;
+        let b4 = b[4] as u128;
+        // 19 * high limbs folded down (since 2^255 ≡ 19).
+        let b1_19 = b1 * 19;
+        let b2_19 = b2 * 19;
+        let b3_19 = b3 * 19;
+        let b4_19 = b4 * 19;
+
+        let t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+        let mut t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+        let mut t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+        let mut t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+        let mut t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+        // Carry propagation.
+        let mut l = [0u64; 5];
+        t1 += (t0 >> 51) as u128;
+        l[0] = (t0 as u64) & MASK51;
+        t2 += (t1 >> 51) as u128;
+        l[1] = (t1 as u64) & MASK51;
+        t3 += (t2 >> 51) as u128;
+        l[2] = (t2 as u64) & MASK51;
+        t4 += (t3 >> 51) as u128;
+        l[3] = (t3 as u64) & MASK51;
+        let carry = (t4 >> 51) as u64;
+        l[4] = (t4 as u64) & MASK51;
+        l[0] += 19 * carry;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        Fe(l)
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p-2)`.
+    ///
+    /// Returns `Fe::ZERO` for input zero (zero has no inverse; callers that
+    /// care must check separately).
+    pub fn invert(&self) -> Fe {
+        // p - 2 = 2^255 - 21. Square-and-multiply over its fixed bit pattern:
+        // all bits set except bits 0..=4 pattern: p-2 = ...11101011.
+        // Simpler: exponent bytes of p-2, little-endian.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb; // 2^255 - 19 - 2 = ...ffeb
+        exp[31] = 0x7f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// Raises to a little-endian byte exponent (square-and-multiply).
+    pub fn pow_bytes_le(&self, exp: &[u8]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut base = *self;
+        for &byte in exp.iter() {
+            let mut b = byte;
+            for _ in 0..8 {
+                if b & 1 == 1 {
+                    result = result.mul(&base);
+                }
+                base = base.square();
+                b >>= 1;
+            }
+        }
+        result
+    }
+
+    /// True if the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Parity of the canonical representation (bit 0), used as the "sign"
+    /// in point compression.
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// Square root for p ≡ 5 (mod 8): returns a root of `self` if one
+    /// exists.
+    ///
+    /// Uses the standard `sqrt(u) = u^((p+3)/8)` candidate, multiplied by
+    /// `sqrt(-1)` when needed.
+    pub fn sqrt(&self) -> Option<Fe> {
+        // (p+3)/8 = 2^252 - 2, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfe;
+        exp[31] = 0x0f;
+        let candidate = self.pow_bytes_le(&exp);
+        if candidate.square() == *self {
+            return Some(candidate);
+        }
+        let root = candidate.mul(&sqrt_m1());
+        if root.square() == *self {
+            Some(root)
+        } else {
+            None
+        }
+    }
+}
+
+/// `sqrt(-1) mod p` computed once as `2^((p-1)/4)`.
+pub fn sqrt_m1() -> Fe {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<Fe> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        // (p-1)/4 = 2^253 - 5, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        Fe::from_u64(2).pow_bytes_le(&exp)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_plus_one() {
+        assert_eq!(Fe::ONE.add(&Fe::ONE), Fe::from_u64(2));
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let x = Fe::from_u64(123_456_789);
+        assert_eq!(Fe::from_bytes(&x.to_bytes()), x);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = Fe::from_u64(1000);
+        let b = Fe::from_u64(999);
+        assert_eq!(a.sub(&b), Fe::ONE);
+        assert_eq!(b.sub(&a), Fe::ONE.neg());
+        assert_eq!(a.add(&a.neg()), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_ints() {
+        let a = Fe::from_u64(1 << 30);
+        let b = Fe::from_u64(1 << 25);
+        assert_eq!(a.mul(&b), Fe::from_u64(1 << 55));
+    }
+
+    #[test]
+    fn p_is_zero() {
+        // p = 2^255 - 19 must serialise to zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(Fe::from_bytes(&p_bytes).is_zero());
+    }
+
+    #[test]
+    fn p_minus_one() {
+        let mut bytes = [0xffu8; 32];
+        bytes[0] = 0xec;
+        bytes[31] = 0x7f;
+        let pm1 = Fe::from_bytes(&bytes);
+        assert_eq!(pm1.add(&Fe::ONE), Fe::ZERO);
+        assert_eq!(pm1, Fe::ONE.neg());
+    }
+
+    #[test]
+    fn invert_basic() {
+        let a = Fe::from_u64(987_654_321);
+        let inv = a.invert();
+        assert_eq!(a.mul(&inv), Fe::ONE);
+    }
+
+    #[test]
+    fn invert_of_one_is_one() {
+        assert_eq!(Fe::ONE.invert(), Fe::ONE);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), Fe::ONE.neg());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        for v in [4u64, 9, 16, 25, 12345] {
+            let x = Fe::from_u64(v);
+            let sq = x.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == x || root == x.neg());
+        }
+    }
+
+    #[test]
+    fn two_is_not_a_square() {
+        // 2 is a quadratic non-residue mod p (p ≡ 5 mod 8).
+        assert!(Fe::from_u64(2).sqrt().is_none());
+    }
+
+    #[test]
+    fn distributive_law_spot_check() {
+        let a = Fe::from_u64(0xdead_beef);
+        let b = Fe::from_u64(0xcafe_babe);
+        let c = Fe::from_u64(0x1234_5678);
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,145 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256.
+//!
+//! GeoProof's setup derives independent keys for encryption, permutation and
+//! MAC tagging from the owner's master secret; the distance-bounding
+//! protocol of Reid et al. (paper Fig. 3) likewise derives a session
+//! encryption key with a KDF. Both use this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_crypto::kdf::Hkdf;
+//!
+//! let hk = Hkdf::extract(b"salt", b"input key material");
+//! let k1 = hk.expand(b"enc", 16);
+//! let k2 = hk.expand(b"mac", 32);
+//! assert_ne!(&k1[..], &k2[..16]);
+//! ```
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// An extracted pseudorandom key ready for expansion.
+#[derive(Clone)]
+pub struct Hkdf {
+    prk: [u8; DIGEST_LEN],
+}
+
+impl std::fmt::Debug for Hkdf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hkdf").finish_non_exhaustive()
+    }
+}
+
+impl Hkdf {
+    /// HKDF-Extract: condenses `ikm` into a pseudorandom key using `salt`.
+    pub fn extract(salt: &[u8], ikm: &[u8]) -> Self {
+        Hkdf {
+            prk: HmacSha256::mac(salt, ikm),
+        }
+    }
+
+    /// Builds an `Hkdf` directly from a 32-byte pseudorandom key.
+    pub fn from_prk(prk: [u8; DIGEST_LEN]) -> Self {
+        Hkdf { prk }
+    }
+
+    /// HKDF-Expand: derives `len` bytes of output keyed to `info`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 255 * 32` (the RFC 5869 limit).
+    pub fn expand(&self, info: &[u8], len: usize) -> Vec<u8> {
+        assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+        let mut out = Vec::with_capacity(len);
+        let mut t: Vec<u8> = Vec::new();
+        let mut counter = 1u8;
+        while out.len() < len {
+            let mut h = HmacSha256::new(&self.prk);
+            h.update(&t);
+            h.update(info);
+            h.update(&[counter]);
+            let block = h.finalize();
+            let take = (len - out.len()).min(DIGEST_LEN);
+            out.extend_from_slice(&block[..take]);
+            t = block.to_vec();
+            counter = counter.wrapping_add(1);
+        }
+        out
+    }
+
+    /// Convenience: derives a fixed 16-byte (AES-128) key.
+    pub fn expand_key16(&self, info: &[u8]) -> [u8; 16] {
+        self.expand(info, 16).try_into().expect("length is 16")
+    }
+
+    /// Convenience: derives a fixed 32-byte key.
+    pub fn expand_key32(&self, info: &[u8]) -> [u8; 32] {
+        self.expand(info, 32).try_into().expect("length is 32")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = from_hex("000102030405060708090a0b0c");
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+        let hk = Hkdf::extract(&salt, &ikm);
+        let okm = hk.expand(&info, 42);
+        assert_eq!(
+            okm,
+            from_hex(
+                "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+                 34007208d5b887185865"
+            )
+        );
+    }
+
+    // RFC 5869 test case 3 (empty salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let hk = Hkdf::extract(&[], &ikm);
+        let okm = hk.expand(&[], 42);
+        assert_eq!(
+            okm,
+            from_hex(
+                "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+                 9d201395faa4b61a96c8"
+            )
+        );
+    }
+
+    #[test]
+    fn distinct_info_distinct_keys() {
+        let hk = Hkdf::extract(b"s", b"master");
+        assert_ne!(hk.expand_key16(b"a"), hk.expand_key16(b"b"));
+        assert_ne!(hk.expand_key32(b"a"), hk.expand_key32(b"b"));
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        let hk = Hkdf::extract(b"s", b"master");
+        let long = hk.expand(b"x", 64);
+        let short = hk.expand(b"x", 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output too long")]
+    fn expand_too_long_panics() {
+        Hkdf::extract(b"s", b"m").expand(b"x", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Pseudorandom permutations over arbitrary integer domains.
+//!
+//! GeoProof's setup (§V-A, step 4) reorders the encrypted file's blocks with
+//! a pseudorandom permutation so the provider cannot tell which blocks share
+//! an error-correction chunk (citing Luby–Rackoff, reference 28). Real files are not
+//! a power of two long, so we build:
+//!
+//! 1. [`FeistelPrp`] — a balanced Feistel network over `2^(2w)`-sized
+//!    domains with HMAC round functions (Luby–Rackoff: 4 rounds already give
+//!    a strong PRP; we use 8 for margin), and
+//! 2. [`DomainPrp`] — cycle-walking on top of the Feistel network to obtain
+//!    a permutation of an arbitrary domain `[0, n)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_crypto::prp::DomainPrp;
+//!
+//! let prp = DomainPrp::new(&[1u8; 32], 1000);
+//! let image: Vec<u64> = (0..1000).map(|i| prp.permute(i)).collect();
+//! let mut sorted = image.clone();
+//! sorted.sort_unstable();
+//! assert_eq!(sorted, (0..1000).collect::<Vec<_>>()); // bijection
+//! assert_eq!(prp.inverse(prp.permute(123)), 123);
+//! ```
+
+use crate::hmac::HmacSha256;
+
+const ROUNDS: usize = 8;
+
+/// Balanced Feistel permutation over `[0, 2^(2*half_bits))`.
+///
+/// Round function: `F_i(x) = HMAC_k(i || x)` truncated to `half_bits` bits.
+#[derive(Clone)]
+pub struct FeistelPrp {
+    key: [u8; 32],
+    half_bits: u32,
+}
+
+impl std::fmt::Debug for FeistelPrp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeistelPrp")
+            .field("half_bits", &self.half_bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FeistelPrp {
+    /// Creates a Feistel PRP over a `2^(2*half_bits)` domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= half_bits <= 32`.
+    pub fn new(key: &[u8; 32], half_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&half_bits),
+            "half_bits must be in 1..=32"
+        );
+        FeistelPrp {
+            key: *key,
+            half_bits,
+        }
+    }
+
+    /// Size of the permuted domain (`2^(2*half_bits)`), saturating at `u64::MAX`
+    /// when `half_bits == 32`.
+    pub fn domain_size(&self) -> u64 {
+        if self.half_bits == 32 {
+            u64::MAX // 2^64 - 1; treated as "full u64 domain" marker
+        } else {
+            1u64 << (2 * self.half_bits)
+        }
+    }
+
+    fn round(&self, round_idx: u32, half: u64) -> u64 {
+        let mut h = HmacSha256::new(&self.key);
+        h.update(&round_idx.to_be_bytes());
+        h.update(&half.to_be_bytes());
+        let tag = h.finalize();
+        let v = u64::from_be_bytes(tag[..8].try_into().expect("8 bytes"));
+        v & self.half_mask()
+    }
+
+    fn half_mask(&self) -> u64 {
+        if self.half_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.half_bits) - 1
+        }
+    }
+
+    /// Applies the forward permutation.
+    pub fn permute(&self, x: u64) -> u64 {
+        let mask = self.half_mask();
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for r in 0..ROUNDS as u32 {
+            let new_left = right;
+            let new_right = left ^ self.round(r, right);
+            left = new_left;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Applies the inverse permutation.
+    pub fn inverse(&self, y: u64) -> u64 {
+        let mask = self.half_mask();
+        let mut left = (y >> self.half_bits) & mask;
+        let mut right = y & mask;
+        for r in (0..ROUNDS as u32).rev() {
+            let prev_right = left;
+            let prev_left = right ^ self.round(r, prev_right);
+            left = prev_left;
+            right = prev_right;
+        }
+        (left << self.half_bits) | right
+    }
+}
+
+/// Pseudorandom permutation of an arbitrary domain `[0, n)` by cycle-walking
+/// a [`FeistelPrp`] over the next power-of-four-sized domain.
+///
+/// Cycle-walking repeatedly applies the base permutation until the output
+/// lands back inside `[0, n)`; because the base map is a bijection of a
+/// superset, the walk always terminates and the restriction is a bijection
+/// of `[0, n)`. Expected iterations are below 4.
+#[derive(Clone, Debug)]
+pub struct DomainPrp {
+    feistel: FeistelPrp,
+    n: u64,
+}
+
+impl DomainPrp {
+    /// Creates a PRP over `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(key: &[u8; 32], n: u64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        // Smallest even bit-width >= bits needed for n-1.
+        let needed = 64 - n.saturating_sub(1).leading_zeros();
+        let half_bits = needed.div_ceil(2).max(1);
+        DomainPrp {
+            feistel: FeistelPrp::new(key, half_bits),
+            n,
+        }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Forward permutation of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn permute(&self, x: u64) -> u64 {
+        assert!(x < self.n, "input {x} outside domain [0, {})", self.n);
+        let mut y = self.feistel.permute(x);
+        while y >= self.n {
+            y = self.feistel.permute(y);
+        }
+        y
+    }
+
+    /// Inverse permutation of `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn inverse(&self, y: u64) -> u64 {
+        assert!(y < self.n, "input {y} outside domain [0, {})", self.n);
+        let mut x = self.feistel.inverse(y);
+        while x >= self.n {
+            x = self.feistel.inverse(x);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feistel_roundtrip_small_domain() {
+        let prp = FeistelPrp::new(&[3u8; 32], 4); // domain 2^8
+        for x in 0..256u64 {
+            let y = prp.permute(x);
+            assert!(y < 256);
+            assert_eq!(prp.inverse(y), x);
+        }
+    }
+
+    #[test]
+    fn feistel_is_bijection() {
+        let prp = FeistelPrp::new(&[5u8; 32], 4);
+        let mut seen = vec![false; 256];
+        for x in 0..256u64 {
+            let y = prp.permute(x) as usize;
+            assert!(!seen[y], "collision at {y}");
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn domain_prp_bijection_odd_domain() {
+        // 1000 is not a power of two: exercises cycle-walking.
+        let prp = DomainPrp::new(&[7u8; 32], 1000);
+        let mut seen = vec![false; 1000];
+        for x in 0..1000u64 {
+            let y = prp.permute(x);
+            assert!(y < 1000);
+            assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+            assert_eq!(prp.inverse(y), x);
+        }
+    }
+
+    #[test]
+    fn domain_prp_singleton() {
+        let prp = DomainPrp::new(&[0u8; 32], 1);
+        assert_eq!(prp.permute(0), 0);
+        assert_eq!(prp.inverse(0), 0);
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_permutations() {
+        let a = DomainPrp::new(&[1u8; 32], 4096);
+        let b = DomainPrp::new(&[2u8; 32], 4096);
+        let differs = (0..4096u64).any(|x| a.permute(x) != b.permute(x));
+        assert!(differs);
+    }
+
+    #[test]
+    fn permutation_looks_non_trivial() {
+        // Not the identity and not a simple shift.
+        let prp = DomainPrp::new(&[9u8; 32], 1 << 16);
+        let fixed = (0..(1u64 << 16)).filter(|&x| prp.permute(x) == x).count();
+        // A random permutation of 65536 points has ~1 fixed point on average.
+        assert!(fixed < 20, "too many fixed points: {fixed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        DomainPrp::new(&[0u8; 32], 10).permute(10);
+    }
+
+    #[test]
+    fn large_domain_smoke() {
+        // The paper's example file has ~1.5e8 blocks; test at that scale.
+        let prp = DomainPrp::new(&[4u8; 32], 153_008_209);
+        for x in [0u64, 1, 76_504_104, 153_008_208] {
+            let y = prp.permute(x);
+            assert!(y < 153_008_209);
+            assert_eq!(prp.inverse(y), x);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Schnorr signatures over edwards25519.
+//!
+//! The GeoProof verifier device holds a private key `SK` and signs the audit
+//! transcript `R = (Δt*, c, {S_cj}, N, Pos_v)` before returning it to the
+//! TPA (paper Fig. 5). We use the classic Schnorr scheme (the Ed25519
+//! ancestor): given secret `a` with public `A = a·B`,
+//!
+//! ```text
+//! sign(m):  k = H(a ‖ z ‖ m) mod ℓ,  R = k·B,
+//!           e = H(enc(R) ‖ enc(A) ‖ m) mod ℓ,  s = k + e·a mod ℓ
+//! verify:   s·B == R + e·A
+//! ```
+//!
+//! with `z` fresh randomness hedging the derandomised nonce.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_crypto::schnorr::SigningKey;
+//! use geoproof_crypto::chacha::ChaChaRng;
+//!
+//! let mut rng = ChaChaRng::from_u64_seed(1);
+//! let sk = SigningKey::generate(&mut rng);
+//! let sig = sk.sign(b"audit transcript", &mut rng);
+//! assert!(sk.verifying_key().verify(b"audit transcript", &sig));
+//! assert!(!sk.verifying_key().verify(b"forged transcript", &sig));
+//! ```
+
+use crate::chacha::ChaChaRng;
+use crate::ct::ct_eq;
+use crate::ed25519::{Point, Scalar};
+use crate::sha256::Sha256;
+
+/// A Schnorr signature: compressed nonce point `R` and response scalar `s`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Compressed commitment point.
+    pub r_bytes: [u8; 32],
+    /// Response scalar, little-endian.
+    pub s_bytes: [u8; 32],
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature(R=")?;
+        for b in &self.r_bytes[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…, s=")?;
+        for b in &self.s_bytes[..4] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl Signature {
+    /// Serialises to 64 bytes (`R ‖ s`).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r_bytes);
+        out[32..].copy_from_slice(&self.s_bytes);
+        out
+    }
+
+    /// Parses from 64 bytes. Always succeeds structurally; validity is
+    /// decided by [`VerifyingKey::verify`].
+    pub fn from_bytes(bytes: &[u8; 64]) -> Signature {
+        let mut r_bytes = [0u8; 32];
+        let mut s_bytes = [0u8; 32];
+        r_bytes.copy_from_slice(&bytes[..32]);
+        s_bytes.copy_from_slice(&bytes[32..]);
+        Signature { r_bytes, s_bytes }
+    }
+}
+
+/// A verification (public) key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct VerifyingKey {
+    point: Point,
+    encoded: [u8; 32],
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey(")?;
+        for b in &self.encoded[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+impl VerifyingKey {
+    /// The 32-byte compressed encoding of the key.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.encoded
+    }
+
+    /// Parses and validates a compressed public key.
+    ///
+    /// Returns `None` for encodings that are not points on the curve.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<VerifyingKey> {
+        let point = Point::decompress(bytes)?;
+        Some(VerifyingKey {
+            point,
+            encoded: *bytes,
+        })
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let s = Scalar::from_bytes_mod_order(&signature.s_bytes);
+        // Reject non-canonical s (must round-trip).
+        if s.to_bytes_le() != signature.s_bytes {
+            return false;
+        }
+        let e = challenge_scalar(&signature.r_bytes, &self.encoded, message);
+        // R' = s·B - e·A must equal R.
+        let r_prime = Point::base().mul(&s).add(&self.point.mul(&e).neg());
+        ct_eq(&r_prime.compress(), &signature.r_bytes)
+    }
+}
+
+/// A signing (private) key.
+#[derive(Clone)]
+pub struct SigningKey {
+    secret: Scalar,
+    public: VerifyingKey,
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+fn challenge_scalar(r_enc: &[u8; 32], a_enc: &[u8; 32], message: &[u8]) -> Scalar {
+    let mut h = Sha256::new();
+    h.update(b"geoproof-schnorr-v1");
+    h.update(r_enc);
+    h.update(a_enc);
+    h.update(message);
+    Scalar::from_bytes_mod_order(&h.finalize())
+}
+
+impl SigningKey {
+    /// Generates a fresh keypair from the given RNG.
+    pub fn generate(rng: &mut ChaChaRng) -> SigningKey {
+        loop {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            let secret = Scalar::from_bytes_mod_order(&seed);
+            if secret.is_zero() {
+                continue;
+            }
+            return SigningKey::from_scalar(secret);
+        }
+    }
+
+    /// Builds a keypair from an existing secret scalar.
+    pub fn from_scalar(secret: Scalar) -> SigningKey {
+        let point = Point::base().mul(&secret);
+        let encoded = point.compress();
+        SigningKey {
+            secret,
+            public: VerifyingKey { point, encoded },
+        }
+    }
+
+    /// Deterministic keypair from a 32-byte seed (reduced mod ℓ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seed reduces to the zero scalar (probability ≈ 2^-252).
+    pub fn from_seed(seed: &[u8; 32]) -> SigningKey {
+        let secret = Scalar::from_bytes_mod_order(seed);
+        assert!(!secret.is_zero(), "degenerate seed");
+        SigningKey::from_scalar(secret)
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message`, hedging the nonce with randomness from `rng`.
+    pub fn sign(&self, message: &[u8], rng: &mut ChaChaRng) -> Signature {
+        let mut z = [0u8; 32];
+        rng.fill_bytes(&mut z);
+        let mut h = Sha256::new();
+        h.update(b"geoproof-nonce-v1");
+        h.update(&self.secret.to_bytes_le());
+        h.update(&z);
+        h.update(message);
+        let mut k = Scalar::from_bytes_mod_order(&h.finalize());
+        if k.is_zero() {
+            k = Scalar::ONE; // unreachable in practice; keep k usable
+        }
+        let r_point = Point::base().mul(&k);
+        let r_bytes = r_point.compress();
+        let e = challenge_scalar(&r_bytes, &self.public.encoded, message);
+        let s = k.add(&e.mul(&self.secret));
+        Signature {
+            r_bytes,
+            s_bytes: s.to_bytes_le(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> ChaChaRng {
+        ChaChaRng::from_u64_seed(seed)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut r = rng(1);
+        let sk = SigningKey::generate(&mut r);
+        let sig = sk.sign(b"hello", &mut r);
+        assert!(sk.verifying_key().verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let mut r = rng(2);
+        let sk = SigningKey::generate(&mut r);
+        let sig = sk.sign(b"hello", &mut r);
+        assert!(!sk.verifying_key().verify(b"hellp", &sig));
+        assert!(!sk.verifying_key().verify(b"", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut r = rng(3);
+        let sk1 = SigningKey::generate(&mut r);
+        let sk2 = SigningKey::generate(&mut r);
+        let sig = sk1.sign(b"msg", &mut r);
+        assert!(!sk2.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let mut r = rng(4);
+        let sk = SigningKey::generate(&mut r);
+        let sig = sk.sign(b"msg", &mut r);
+        for byte in 0..64 {
+            let mut bytes = sig.to_bytes();
+            bytes[byte] ^= 1;
+            let bad = Signature::from_bytes(&bytes);
+            assert!(
+                !sk.verifying_key().verify(b"msg", &bad),
+                "flip at byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_canonical_s() {
+        let mut r = rng(5);
+        let sk = SigningKey::generate(&mut r);
+        let mut sig = sk.sign(b"msg", &mut r);
+        // Add ℓ to s: same value mod ℓ but non-canonical encoding.
+        use crate::ed25519::L_BYTES_LE;
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let v = sig.s_bytes[i] as u16 + L_BYTES_LE[i] as u16 + carry;
+            sig.s_bytes[i] = v as u8;
+            carry = v >> 8;
+        }
+        assert!(!sk.verifying_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let mut r = rng(6);
+        let sk = SigningKey::generate(&mut r);
+        let pk = sk.verifying_key();
+        let parsed = VerifyingKey::from_bytes(&pk.to_bytes()).expect("valid");
+        let sig = sk.sign(b"m", &mut r);
+        assert!(parsed.verify(b"m", &sig));
+    }
+
+    #[test]
+    fn signature_serialisation_roundtrip() {
+        let mut r = rng(7);
+        let sk = SigningKey::generate(&mut r);
+        let sig = sk.sign(b"m", &mut r);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()), sig);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = SigningKey::from_seed(&[42u8; 32]);
+        let b = SigningKey::from_seed(&[42u8; 32]);
+        assert_eq!(a.verifying_key(), b.verifying_key());
+    }
+
+    #[test]
+    fn signatures_are_randomised_but_both_valid() {
+        let mut r = rng(8);
+        let sk = SigningKey::generate(&mut r);
+        let s1 = sk.sign(b"m", &mut r);
+        let s2 = sk.sign(b"m", &mut r);
+        assert_ne!(s1, s2, "hedged nonce should differ");
+        assert!(sk.verifying_key().verify(b"m", &s1));
+        assert!(sk.verifying_key().verify(b"m", &s2));
+    }
+}

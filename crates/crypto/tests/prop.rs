@@ -1,0 +1,188 @@
+//! Property-based tests for the crypto substrate: algebraic axioms of the
+//! field/scalar arithmetic, PRP bijectivity, cipher involutions, and
+//! signature soundness under random tampering.
+
+use geoproof_crypto::aes::{Aes128, Aes128Ctr};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::ed25519::{Point, Scalar};
+use geoproof_crypto::fe25519::Fe;
+use geoproof_crypto::hmac::HmacSha256;
+use geoproof_crypto::kdf::Hkdf;
+use geoproof_crypto::prp::DomainPrp;
+use geoproof_crypto::schnorr::{Signature, SigningKey};
+use geoproof_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+fn fe(bytes: [u8; 32]) -> Fe {
+    Fe::from_bytes(&bytes)
+}
+
+proptest! {
+    // --- Field mod 2^255-19 axioms ---------------------------------------
+
+    #[test]
+    fn fe_addition_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        prop_assert_eq!(fe(a).add(&fe(b)), fe(b).add(&fe(a)));
+    }
+
+    #[test]
+    fn fe_multiplication_commutes_and_associates(
+        a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()
+    ) {
+        let (a, b, c) = (fe(a), fe(b), fe(c));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn fe_distributive(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+        let (a, b, c) = (fe(a), fe(b), fe(c));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn fe_inverse_is_inverse(a in any::<[u8; 32]>()) {
+        let a = fe(a);
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a.mul(&a.invert()), Fe::ONE);
+    }
+
+    #[test]
+    fn fe_sub_then_add_roundtrips(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let (a, b) = (fe(a), fe(b));
+        prop_assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn fe_serialisation_is_canonical(a in any::<[u8; 32]>()) {
+        let x = fe(a);
+        prop_assert_eq!(Fe::from_bytes(&x.to_bytes()), x);
+    }
+
+    // --- Scalar ring mod ℓ -------------------------------------------------
+
+    #[test]
+    fn scalar_ring_axioms(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), c in any::<[u8; 32]>()) {
+        let a = Scalar::from_bytes_mod_order(&a);
+        let b = Scalar::from_bytes_mod_order(&b);
+        let c = Scalar::from_bytes_mod_order(&c);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_group(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let sa = Scalar::from_u64(a);
+        let sb = Scalar::from_u64(b);
+        let base = Point::base();
+        prop_assert_eq!(
+            base.mul(&sa).add(&base.mul(&sb)),
+            base.mul(&sa.add(&sb))
+        );
+    }
+
+    // --- Hash/MAC/KDF ---------------------------------------------------------
+
+    #[test]
+    fn sha_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+        split in 0usize..2000,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in prop::collection::vec(any::<u8>(), 1..80),
+        msg in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let t1 = HmacSha256::mac(&key, &msg);
+        let t2 = HmacSha256::mac(&key, &msg);
+        prop_assert_eq!(t1, t2);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        prop_assert_ne!(HmacSha256::mac(&key2, &msg), t1);
+    }
+
+    #[test]
+    fn hkdf_outputs_differ_by_info(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        info_a in prop::collection::vec(any::<u8>(), 0..32),
+        info_b in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        prop_assume!(info_a != info_b);
+        let hk = Hkdf::extract(b"salt", &ikm);
+        prop_assert_ne!(hk.expand(&info_a, 32), hk.expand(&info_b, 32));
+    }
+
+    // --- Ciphers ---------------------------------------------------------------
+
+    #[test]
+    fn aes_decrypt_inverts_encrypt(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let c = Aes128::new(&key);
+        prop_assert_eq!(c.decrypt_block(&c.encrypt_block(&block)), block);
+    }
+
+    #[test]
+    fn ctr_random_access_consistent(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 8]>(),
+        data in prop::collection::vec(any::<u8>(), 48..400),
+    ) {
+        // Decrypting a 16-byte-aligned suffix independently must agree
+        // with the full-stream decryption.
+        let ctr = Aes128Ctr::new(&key, nonce);
+        let mut full = data.clone();
+        ctr.apply_keystream(&mut full);
+        let start_block = 2usize;
+        let mut suffix = full[start_block * 16..].to_vec();
+        ctr.apply_keystream_at(&mut suffix, start_block as u64);
+        prop_assert_eq!(&suffix[..], &data[start_block * 16..]);
+    }
+
+    // --- PRP --------------------------------------------------------------------
+
+    #[test]
+    fn prp_bijective_on_small_domains(key in any::<[u8; 32]>(), n in 1u64..600) {
+        let prp = DomainPrp::new(&key, n);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = prp.permute(x);
+            prop_assert!(y < n);
+            prop_assert!(!seen[y as usize], "collision");
+            seen[y as usize] = true;
+        }
+    }
+
+    // --- Signatures -----------------------------------------------------------------
+
+    #[test]
+    fn tampered_signatures_rejected(
+        seed in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 1..100),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let sk = SigningKey::generate(&mut rng);
+        let sig = sk.sign(&msg, &mut rng);
+        let mut bytes = sig.to_bytes();
+        bytes[flip_byte] ^= 1 << flip_bit;
+        let forged = Signature::from_bytes(&bytes);
+        prop_assert!(!sk.verifying_key().verify(&msg, &forged));
+    }
+
+    #[test]
+    fn rng_range_uniformity_smoke(seed in any::<u64>(), bound in 1u64..1000) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Attack-success analysis: analytic formulas and Monte-Carlo estimators.
+//!
+//! The security level of a distance-bounding protocol is the probability
+//! that an adversary survives all `n` time-critical rounds. This module
+//! provides the closed forms — (3/4)^n for pre-ask relays against
+//! Hancke–Kuhn/Reid, (1/2)^n against Brands–Chaum — and empirical
+//! estimators that run the actual protocol implementations, so the
+//! reproduction can show the two agree (DESIGN.md experiments F2/F3).
+
+use crate::brands_chaum::{bc_verify, BcProver};
+use crate::hancke_kuhn::HkSession;
+use crate::reid::ReidSession;
+use crate::rounds::{ChannelModel, Scenario};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_sim::time::Km;
+
+/// Which protocol to attack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Hancke–Kuhn (paper Fig. 2).
+    HanckeKuhn,
+    /// Reid et al. (paper Fig. 3).
+    Reid,
+    /// Brands–Chaum.
+    BrandsChaum,
+}
+
+/// Which adversary plays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attack {
+    /// Relay with pre-ask (mafia fraud).
+    Mafia,
+    /// Dishonest far prover answering early (distance fraud).
+    Distance,
+    /// Dishonest prover aiding a nearby accomplice (terrorist).
+    Terrorist,
+}
+
+/// Analytic per-round adversary success probability.
+pub fn per_round_success(protocol: Protocol, attack: Attack) -> f64 {
+    match (protocol, attack) {
+        // HK: pre-ask wins on a matched guess (1/2) else coin-flip (1/4).
+        (Protocol::HanckeKuhn, Attack::Mafia) => 0.75,
+        // HK distance fraud: registers agree w.p. 1/2, else guess.
+        (Protocol::HanckeKuhn, Attack::Distance) => 0.75,
+        // HK terrorist: both registers leak nothing → perfect accomplice.
+        (Protocol::HanckeKuhn, Attack::Terrorist) => 1.0,
+        // Reid: same relay bounds, but terrorist degraded to pre-ask.
+        (Protocol::Reid, Attack::Mafia) => 0.75,
+        (Protocol::Reid, Attack::Distance) => 0.75,
+        (Protocol::Reid, Attack::Terrorist) => 0.75,
+        // BC: response needs the live challenge — pure guess.
+        (Protocol::BrandsChaum, Attack::Mafia) => 0.5,
+        (Protocol::BrandsChaum, Attack::Distance) => 0.5,
+        (Protocol::BrandsChaum, Attack::Terrorist) => 1.0,
+    }
+}
+
+/// Analytic acceptance probability after `n` rounds.
+pub fn acceptance_probability(protocol: Protocol, attack: Attack, n_rounds: u32) -> f64 {
+    per_round_success(protocol, attack).powi(n_rounds as i32)
+}
+
+/// Rounds needed to push adversary acceptance below `2^-security_bits`.
+pub fn rounds_for_security(protocol: Protocol, attack: Attack, security_bits: u32) -> Option<u32> {
+    let p = per_round_success(protocol, attack);
+    if p >= 1.0 {
+        return None; // attack always succeeds; no round count helps
+    }
+    let needed = (security_bits as f64) * std::f64::consts::LN_2 / -p.ln();
+    Some(needed.ceil() as u32)
+}
+
+/// Monte-Carlo estimate of the adversary acceptance rate over `trials`
+/// protocol runs of `n_rounds` each.
+pub fn empirical_acceptance(
+    protocol: Protocol,
+    attack: Attack,
+    n_rounds: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = ChaChaRng::from_u64_seed(seed);
+    let channel = ChannelModel::default();
+    let max_rtt = channel.max_rtt_for(Km(0.1));
+    let scenario = match attack {
+        Attack::Mafia => Scenario::MafiaFraud {
+            attacker_distance: Km(0.05),
+        },
+        Attack::Distance => Scenario::DistanceFraud {
+            claimed_distance: Km(0.05),
+        },
+        Attack::Terrorist => Scenario::Terrorist {
+            accomplice_distance: Km(0.05),
+        },
+    };
+    let mut accepted = 0u32;
+    match protocol {
+        Protocol::HanckeKuhn => {
+            for trial in 0..trials {
+                let mut nonce = b"nonce-v-".to_vec();
+                nonce.extend_from_slice(&trial.to_be_bytes());
+                let s = HkSession::initialise(b"secret", &nonce, b"nonce-p", n_rounds);
+                let t = s.run(scenario, &channel, &mut rng);
+                if s.verify(&t, max_rtt).is_accept() {
+                    accepted += 1;
+                }
+            }
+        }
+        Protocol::Reid => {
+            for trial in 0..trials {
+                let mut nonce = b"nonce-v-".to_vec();
+                nonce.extend_from_slice(&trial.to_be_bytes());
+                let s = ReidSession::initialise(
+                    &[7u8; 32],
+                    b"idv",
+                    b"idp",
+                    &nonce,
+                    b"nonce-p",
+                    n_rounds,
+                );
+                let t = s.run(scenario, &channel, &mut rng);
+                if s.verify(&t, max_rtt).is_accept() {
+                    accepted += 1;
+                }
+            }
+        }
+        Protocol::BrandsChaum => {
+            let sk = SigningKey::generate(&mut rng);
+            for _ in 0..trials {
+                let (p, c) = BcProver::new(sk.clone(), n_rounds, &mut rng);
+                let t = p.run(scenario, &channel, &mut rng);
+                let open = p.open(&t, &mut rng);
+                if bc_verify(&c, &t, &open, &sk.verifying_key(), max_rtt).is_accept() {
+                    accepted += 1;
+                }
+            }
+        }
+    }
+    f64::from(accepted) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_formulas() {
+        assert!((acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 8)
+            - 0.75f64.powi(8))
+        .abs()
+            < 1e-12);
+        assert_eq!(
+            acceptance_probability(Protocol::HanckeKuhn, Attack::Terrorist, 64),
+            1.0
+        );
+        assert!(acceptance_probability(Protocol::BrandsChaum, Attack::Mafia, 64) < 1e-19);
+    }
+
+    #[test]
+    fn rounds_for_security_matches_inverse() {
+        // 3/4 per round: ~2.41 rounds per security bit.
+        let n = rounds_for_security(Protocol::HanckeKuhn, Attack::Mafia, 32).unwrap();
+        assert!((77..=78).contains(&n), "got {n}");
+        // 1/2 per round: exactly 1 round per bit.
+        assert_eq!(
+            rounds_for_security(Protocol::BrandsChaum, Attack::Mafia, 32),
+            Some(32)
+        );
+        // Terrorist vs HK: unreachable.
+        assert_eq!(
+            rounds_for_security(Protocol::HanckeKuhn, Attack::Terrorist, 1),
+            None
+        );
+    }
+
+    #[test]
+    fn empirical_matches_analytic_hk_mafia() {
+        // 4 rounds: (3/4)^4 ≈ 0.3164.
+        let rate = empirical_acceptance(Protocol::HanckeKuhn, Attack::Mafia, 4, 3000, 42);
+        let expect = acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 4);
+        assert!((rate - expect).abs() < 0.03, "rate {rate}, expect {expect}");
+    }
+
+    #[test]
+    fn empirical_matches_analytic_bc_mafia() {
+        // 4 rounds: (1/2)^4 = 0.0625.
+        let rate = empirical_acceptance(Protocol::BrandsChaum, Attack::Mafia, 4, 2000, 43);
+        assert!((rate - 0.0625).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn empirical_hk_terrorist_always_wins() {
+        let rate = empirical_acceptance(Protocol::HanckeKuhn, Attack::Terrorist, 16, 100, 44);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn empirical_reid_terrorist_loses() {
+        let rate = empirical_acceptance(Protocol::Reid, Attack::Terrorist, 32, 300, 45);
+        assert!(rate < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn empirical_distance_fraud_hk() {
+        // (3/4)^6 ≈ 0.178.
+        let rate = empirical_acceptance(Protocol::HanckeKuhn, Attack::Distance, 6, 2000, 46);
+        assert!((rate - 0.178).abs() < 0.035, "rate {rate}");
+    }
+}

@@ -1,0 +1,247 @@
+//! The Brands–Chaum distance-bounding protocol — the original (paper §III-A,
+//! "Brands and Chaum were the first to propose distance-bounding").
+//!
+//! The prover commits to n random bits `m`; in the time-critical phase the
+//! verifier sends random challenge bits α_i and the prover instantly
+//! replies β_i = α_i ⊕ m_i. Afterwards the prover opens the commitment and
+//! signs the concatenated transcript. A mafia-fraud relay cannot pre-ask
+//! (the response depends on the live challenge), so it wins each round
+//! with probability only 1/2 — acceptance (1/2)^n, stronger per round than
+//! Hancke–Kuhn's (3/4)^n. Like HK it does not resist the terrorist attack.
+
+use crate::rounds::{bit_at, ChannelModel, Round, Scenario, Transcript, Verdict};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+use geoproof_crypto::sha256::Sha256;
+use geoproof_sim::time::SimDuration;
+
+/// The prover's committed state.
+#[derive(Clone, Debug)]
+pub struct BcProver {
+    m: Vec<u8>,
+    opening: [u8; 32],
+    n_rounds: usize,
+    signing: SigningKey,
+}
+
+/// The prover's first message: a binding commitment to its round bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Commitment(pub [u8; 32]);
+
+/// The post-phase message: the opened bits plus a signature over the
+/// transcript.
+#[derive(Clone, Debug)]
+pub struct OpeningMessage {
+    /// The committed round bits `m`.
+    pub m: Vec<u8>,
+    /// Commitment randomness.
+    pub opening: [u8; 32],
+    /// Schnorr signature over the full transcript.
+    pub signature: Signature,
+}
+
+fn commit(m: &[u8], opening: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"bc-commit-v1");
+    h.update(m);
+    h.update(opening);
+    h.finalize()
+}
+
+fn transcript_digest(transcript: &Transcript) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(transcript.rounds.len() * 2 + 16);
+    bytes.extend_from_slice(b"bc-transcript-v1");
+    for r in &transcript.rounds {
+        bytes.push(r.challenge);
+        bytes.push(r.response);
+    }
+    bytes
+}
+
+impl BcProver {
+    /// Creates a prover with fresh random round bits and returns its
+    /// commitment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rounds` is zero or exceeds 1024.
+    pub fn new(signing: SigningKey, n_rounds: usize, rng: &mut ChaChaRng) -> (Self, Commitment) {
+        assert!(
+            (1..=1024).contains(&n_rounds),
+            "round count must be in 1..=1024"
+        );
+        let mut m = vec![0u8; n_rounds.div_ceil(8)];
+        rng.fill_bytes(&mut m);
+        let mut opening = [0u8; 32];
+        rng.fill_bytes(&mut opening);
+        let c = commit(&m, &opening);
+        (
+            BcProver {
+                m,
+                opening,
+                n_rounds,
+                signing,
+            },
+            Commitment(c),
+        )
+    }
+
+    /// The honest response at round `i`: `α_i ⊕ m_i`.
+    pub fn respond(&self, i: usize, alpha: u8) -> u8 {
+        alpha ^ bit_at(&self.m, i)
+    }
+
+    /// Runs the time-critical phase under `scenario`.
+    pub fn run(
+        &self,
+        scenario: Scenario,
+        channel: &ChannelModel,
+        rng: &mut ChaChaRng,
+    ) -> Transcript {
+        let rtt = channel.rtt_at(scenario.responder_distance());
+        let mut rounds = Vec::with_capacity(self.n_rounds);
+        for i in 0..self.n_rounds {
+            let alpha = (rng.next_u32() & 1) as u8;
+            let response = match scenario {
+                Scenario::Honest { .. } => self.respond(i, alpha),
+                // No pre-ask is possible (response depends on the live
+                // challenge XOR committed bit): the relay must guess m_i.
+                Scenario::MafiaFraud { .. } => alpha ^ ((rng.next_u32() & 1) as u8),
+                // Distance fraud: the dishonest prover answers before the
+                // challenge arrives — must guess α_i.
+                Scenario::DistanceFraud { .. } => {
+                    let guessed_alpha = (rng.next_u32() & 1) as u8;
+                    guessed_alpha ^ bit_at(&self.m, i)
+                }
+                // Terrorist: the prover hands m to the accomplice (reveals
+                // nothing long-term) — answers perfectly. BC shares HK's
+                // weakness here.
+                Scenario::Terrorist { .. } => self.respond(i, alpha),
+            };
+            rounds.push(Round {
+                challenge: alpha,
+                response,
+                rtt,
+            });
+        }
+        Transcript { rounds }
+    }
+
+    /// Produces the post-phase opening + transcript signature.
+    pub fn open(&self, transcript: &Transcript, rng: &mut ChaChaRng) -> OpeningMessage {
+        OpeningMessage {
+            m: self.m.clone(),
+            opening: self.opening,
+            signature: self.signing.sign(&transcript_digest(transcript), rng),
+        }
+    }
+}
+
+/// Verifier-side acceptance decision for a Brands–Chaum run.
+///
+/// Checks, in order: the commitment opens to `m`; every response equals
+/// `α_i ⊕ m_i`; every RTT is within `max_rtt`; the transcript signature
+/// verifies under `prover_key`.
+pub fn bc_verify(
+    commitment: &Commitment,
+    transcript: &Transcript,
+    opening: &OpeningMessage,
+    prover_key: &VerifyingKey,
+    max_rtt: SimDuration,
+) -> Verdict {
+    if commit(&opening.m, &opening.opening) != commitment.0 {
+        return Verdict::WrongBit(0); // commitment mismatch
+    }
+    for (i, round) in transcript.rounds.iter().enumerate() {
+        if round.rtt > max_rtt {
+            return Verdict::TooSlow(i);
+        }
+        if 8 * opening.m.len() <= i || round.response != (round.challenge ^ bit_at(&opening.m, i)) {
+            return Verdict::WrongBit(i);
+        }
+    }
+    if !prover_key.verify(&transcript_digest(transcript), &opening.signature) {
+        return Verdict::WrongBit(transcript.rounds.len());
+    }
+    Verdict::Accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_sim::time::Km;
+
+    fn setup(n: usize, seed: u64) -> (BcProver, Commitment, ChaChaRng, ChannelModel) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let sk = SigningKey::generate(&mut rng);
+        let (p, c) = BcProver::new(sk, n, &mut rng);
+        (p, c, rng, ChannelModel::default())
+    }
+
+    #[test]
+    fn honest_run_accepts() {
+        let (p, c, mut rng, ch) = setup(64, 1);
+        let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let open = p.open(&t, &mut rng);
+        let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        assert_eq!(v, Verdict::Accept);
+    }
+
+    #[test]
+    fn mafia_fraud_wins_half_per_round() {
+        let (p, _c, mut rng, ch) = setup(1, 2);
+        // Single round: relay wins iff it guesses m_0 — empirical ≈ 1/2.
+        let mut wins = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let t = p.run(Scenario::MafiaFraud { attacker_distance: Km(0.05) }, &ch, &mut rng);
+            let r = &t.rounds[0];
+            if r.response == p.respond(0, r.challenge) {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn mafia_fraud_never_accepted_at_64_rounds() {
+        let (p, c, mut rng, ch) = setup(64, 3);
+        let max_rtt = ch.max_rtt_for(Km(0.1));
+        for _ in 0..100 {
+            let t = p.run(Scenario::MafiaFraud { attacker_distance: Km(0.05) }, &ch, &mut rng);
+            let open = p.open(&t, &mut rng);
+            let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), max_rtt);
+            assert!(!v.is_accept());
+        }
+    }
+
+    #[test]
+    fn tampered_commitment_rejected() {
+        let (p, _c, mut rng, ch) = setup(16, 4);
+        let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let open = p.open(&t, &mut rng);
+        let bad_c = Commitment([0u8; 32]);
+        let v = bc_verify(&bad_c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        assert!(!v.is_accept());
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let (p, c, mut rng, ch) = setup(16, 5);
+        let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let open = p.open(&t, &mut rng);
+        let other = SigningKey::generate(&mut rng);
+        let v = bc_verify(&c, &t, &open, &other.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        assert!(!v.is_accept());
+    }
+
+    #[test]
+    fn distant_prover_fails_timing() {
+        let (p, c, mut rng, ch) = setup(16, 6);
+        let t = p.run(Scenario::Honest { distance: Km(300.0) }, &ch, &mut rng);
+        let open = p.open(&t, &mut rng);
+        let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(1.0)));
+        assert_eq!(v, Verdict::TooSlow(0));
+    }
+}

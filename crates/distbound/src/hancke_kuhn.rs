@@ -1,0 +1,237 @@
+//! The Hancke–Kuhn RFID distance-bounding protocol (paper Fig. 2).
+//!
+//! Initialisation: prover and verifier share a secret `s`; they exchange
+//! nonces `r_A`, `r_B` and compute `d = h(s, r_A ‖ r_B)`, split into two
+//! n-bit registers `l` and `r`. Time-critical phase: per round the verifier
+//! sends a random bit α_i and the prover answers with `l[i]` if α_i = 0,
+//! `r[i]` if α_i = 1.
+//!
+//! Security (reproduced by [`crate::attacks`]): a mafia-fraud or
+//! distance-fraud adversary wins each round with probability 3/4, so
+//! acceptance probability is (3/4)^n. The protocol does **not** resist the
+//! terrorist attack — handing the accomplice `l` and `r` reveals nothing
+//! about `s`, so the accomplice answers every round correctly (the gap
+//! Reid et al. close, and the reason the paper cites both).
+
+use crate::rounds::{bit_at, ChannelModel, Round, Scenario, Transcript, Verdict};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::hmac::HmacSha256;
+use geoproof_sim::time::SimDuration;
+
+/// Registers derived in the initialisation phase.
+#[derive(Clone, Debug)]
+pub struct HkSession {
+    l: Vec<u8>,
+    r: Vec<u8>,
+    n_rounds: usize,
+}
+
+impl HkSession {
+    /// Runs the (non-time-critical) initialisation phase: derives the two
+    /// n-bit registers from the shared secret and both nonces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rounds` is 0 or exceeds 1024.
+    pub fn initialise(secret: &[u8], nonce_v: &[u8], nonce_p: &[u8], n_rounds: usize) -> Self {
+        assert!(
+            (1..=1024).contains(&n_rounds),
+            "round count must be in 1..=1024"
+        );
+        let reg_bytes = n_rounds.div_ceil(8);
+        // d = HMAC_s(r_A ‖ r_B), expanded to 2n bits.
+        let mut material = Vec::new();
+        let mut counter = 0u8;
+        while material.len() < 2 * reg_bytes {
+            let mut h = HmacSha256::new(secret);
+            h.update(b"hk-registers");
+            h.update(nonce_v);
+            h.update(nonce_p);
+            h.update(&[counter]);
+            material.extend_from_slice(&h.finalize());
+            counter += 1;
+        }
+        let l = material[..reg_bytes].to_vec();
+        let r = material[reg_bytes..2 * reg_bytes].to_vec();
+        HkSession { l, r, n_rounds }
+    }
+
+    /// Number of time-critical rounds.
+    pub fn rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// The honest prover's response to challenge bit `alpha` at round `i`.
+    pub fn respond(&self, i: usize, alpha: u8) -> u8 {
+        if alpha == 0 {
+            bit_at(&self.l, i)
+        } else {
+            bit_at(&self.r, i)
+        }
+    }
+
+    /// Runs the time-critical phase under `scenario`, producing a timed
+    /// transcript. `rng` drives challenge bits and adversary guesses.
+    pub fn run(
+        &self,
+        scenario: Scenario,
+        channel: &ChannelModel,
+        rng: &mut ChaChaRng,
+    ) -> Transcript {
+        let rtt = channel.rtt_at(scenario.responder_distance());
+        let mut rounds = Vec::with_capacity(self.n_rounds);
+        for i in 0..self.n_rounds {
+            let alpha = (rng.next_u32() & 1) as u8;
+            let response = match scenario {
+                Scenario::Honest { .. } => self.respond(i, alpha),
+                Scenario::MafiaFraud { .. } => {
+                    // Pre-ask: the attacker guessed a challenge and fetched
+                    // the genuine response for it in advance. If the guess
+                    // matches, relay it; otherwise answer randomly.
+                    let guess = (rng.next_u32() & 1) as u8;
+                    if guess == alpha {
+                        self.respond(i, alpha)
+                    } else {
+                        (rng.next_u32() & 1) as u8
+                    }
+                }
+                Scenario::DistanceFraud { .. } => {
+                    // The far prover transmits early: it knows both
+                    // registers, so when l[i] == r[i] it cannot lose;
+                    // otherwise it must commit to a guess.
+                    let l_bit = bit_at(&self.l, i);
+                    let r_bit = bit_at(&self.r, i);
+                    if l_bit == r_bit {
+                        l_bit
+                    } else if (rng.next_u32() & 1) == 0 {
+                        self.respond(i, alpha) // lucky guess
+                    } else {
+                        1 - self.respond(i, alpha)
+                    }
+                }
+                Scenario::Terrorist { .. } => {
+                    // HK weakness: the accomplice holds both registers and
+                    // answers perfectly.
+                    self.respond(i, alpha)
+                }
+            };
+            rounds.push(Round {
+                challenge: alpha,
+                response,
+                rtt,
+            });
+        }
+        Transcript { rounds }
+    }
+
+    /// Verifies a transcript: every response bit and every RTT.
+    pub fn verify(&self, transcript: &Transcript, max_rtt: SimDuration) -> Verdict {
+        for (i, round) in transcript.rounds.iter().enumerate() {
+            if round.rtt > max_rtt {
+                return Verdict::TooSlow(i);
+            }
+            if round.response != self.respond(i, round.challenge) {
+                return Verdict::WrongBit(i);
+            }
+        }
+        Verdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_sim::time::Km;
+
+    fn session(n: usize) -> HkSession {
+        HkSession::initialise(b"shared-secret", b"nonce-v", b"nonce-p", n)
+    }
+
+    #[test]
+    fn honest_run_accepts() {
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let verdict = s.verify(&t, ch.max_rtt_for(Km(0.1)));
+        assert_eq!(verdict, Verdict::Accept);
+    }
+
+    #[test]
+    fn honest_but_distant_prover_fails_timing() {
+        let s = session(32);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        let t = s.run(Scenario::Honest { distance: Km(500.0) }, &ch, &mut rng);
+        let verdict = s.verify(&t, ch.max_rtt_for(Km(10.0)));
+        assert_eq!(verdict, Verdict::TooSlow(0));
+    }
+
+    #[test]
+    fn mafia_fraud_nearly_always_caught_at_64_rounds() {
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        let max_rtt = ch.max_rtt_for(Km(0.1));
+        let mut accepted = 0;
+        for _ in 0..200 {
+            let t = s.run(
+                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                &ch,
+                &mut rng,
+            );
+            if s.verify(&t, max_rtt).is_accept() {
+                accepted += 1;
+            }
+        }
+        // (3/4)^64 ≈ 1e-8: should never accept in 200 trials.
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn terrorist_attack_succeeds_against_hk() {
+        // The documented weakness: the accomplice answers perfectly.
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(4);
+        let t = s.run(
+            Scenario::Terrorist { accomplice_distance: Km(0.05) },
+            &ch,
+            &mut rng,
+        );
+        assert_eq!(s.verify(&t, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+    }
+
+    #[test]
+    fn registers_differ_between_nonces() {
+        let a = session(64);
+        let b = HkSession::initialise(b"shared-secret", b"nonce-v2", b"nonce-p", 64);
+        let differs = (0..64).any(|i| a.respond(i, 0) != b.respond(i, 0));
+        assert!(differs);
+    }
+
+    #[test]
+    fn response_picks_correct_register() {
+        let s = session(16);
+        for i in 0..16 {
+            assert_eq!(s.respond(i, 0), bit_at(&s.l, i));
+            assert_eq!(s.respond(i, 1), bit_at(&s.r, i));
+        }
+    }
+
+    #[test]
+    fn wrong_bit_detected_with_round_index() {
+        let s = session(8);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        let mut t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        t.rounds[5].response ^= 1;
+        assert_eq!(s.verify(&t, ch.max_rtt_for(Km(0.1))), Verdict::WrongBit(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "round count")]
+    fn zero_rounds_panics() {
+        session(0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # geoproof-distbound
+//!
+//! Distance-bounding protocols (paper §III-A, Figs 1–3) and their attack
+//! analysis:
+//!
+//! * [`rounds`] — the shared timed challenge–response skeleton (Fig. 1):
+//!   transcripts, verdicts, the RF channel timing model and adversary
+//!   scenarios;
+//! * [`hancke_kuhn`] — the Hancke–Kuhn protocol (Fig. 2), relay-resistant
+//!   at (3/4)^n but terrorist-vulnerable;
+//! * [`reid`] — Reid et al. (Fig. 3), the first symmetric-key protocol to
+//!   resist the terrorist attack (the paper's co-author lineage);
+//! * [`brands_chaum`] — Brands–Chaum with bit commitments and transcript
+//!   signatures, (1/2)^n against relays;
+//! * [`attacks`] — analytic acceptance probabilities and Monte-Carlo
+//!   estimators that exercise the real implementations;
+//! * [`void_challenge`] / [`swiss_knife`] — two survey-cited refinements
+//!   (Munilla–Peinado void challenges at (3/5)^n, Swiss-Knife
+//!   confirmation MACs at (1/2)^n with terrorist resistance).
+//!
+//! GeoProof itself (see `geoproof-core`) borrows exactly one idea from this
+//! family — the *timed* multi-round exchange — and replaces the exchanged
+//! bits with POR segments.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_distbound::attacks::{acceptance_probability, Attack, Protocol};
+//!
+//! // 64 rounds of Hancke–Kuhn leave a mafia-fraud adversary ~1e-8.
+//! let p = acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 64);
+//! assert!(p < 1e-7);
+//! ```
+
+pub mod attacks;
+pub mod brands_chaum;
+pub mod hancke_kuhn;
+pub mod noise;
+pub mod reid;
+pub mod rounds;
+pub mod swiss_knife;
+pub mod void_challenge;
+
+pub use attacks::{acceptance_probability, empirical_acceptance, Attack, Protocol};
+pub use hancke_kuhn::HkSession;
+pub use noise::{verify_with_threshold, NoisyChannel};
+pub use reid::ReidSession;
+pub use rounds::{ChannelModel, Round, Scenario, Transcript, Verdict};
+pub use swiss_knife::SwissKnifeSession;
+pub use void_challenge::VoidChallengeSession;

@@ -1,0 +1,226 @@
+//! Noisy-channel distance bounding: bit errors and threshold acceptance.
+//!
+//! RF channels flip bits. Hancke–Kuhn was designed for exactly this
+//! setting, and the paper's §III-A survey cites the noisy-channel
+//! analyses (Singelée–Preneel; Mitrokotsa et al. on Reid-over-noise).
+//! The verifier then accepts a run with up to `e` wrong response bits —
+//! which buys availability at a measurable security cost:
+//!
+//! * honest false-reject probability: `P[Bin(n, ber) > e]`,
+//! * mafia acceptance: `P[Bin(n, 3/4) ≥ n − e]` (pre-ask relay).
+//!
+//! This module provides the noisy run wrapper, threshold verification,
+//! and both closed forms, so the trade-off can be swept experimentally.
+
+use crate::hancke_kuhn::HkSession;
+use crate::rounds::{ChannelModel, Scenario, Transcript, Verdict};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::time::SimDuration;
+
+/// A binary-symmetric channel: each response bit flips with probability
+/// `ber`.
+#[derive(Clone, Copy, Debug)]
+pub struct NoisyChannel {
+    /// Underlying timing model.
+    pub timing: ChannelModel,
+    /// Bit-error rate in [0, 1).
+    pub ber: f64,
+}
+
+impl NoisyChannel {
+    /// Creates a noisy channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ ber < 1`.
+    pub fn new(timing: ChannelModel, ber: f64) -> Self {
+        assert!((0.0..1.0).contains(&ber), "bit-error rate out of range");
+        NoisyChannel { timing, ber }
+    }
+
+    /// Runs a Hancke–Kuhn session over this channel: the underlying
+    /// scenario plays out, then each response bit is flipped with
+    /// probability `ber`.
+    pub fn run_hk(
+        &self,
+        session: &HkSession,
+        scenario: Scenario,
+        rng: &mut ChaChaRng,
+    ) -> Transcript {
+        let mut t = session.run(scenario, &self.timing, rng);
+        if self.ber > 0.0 {
+            for round in t.rounds.iter_mut() {
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                if u < self.ber {
+                    round.response ^= 1;
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Threshold verification: accept if timing holds everywhere and at most
+/// `max_errors` response bits are wrong.
+pub fn verify_with_threshold(
+    session: &HkSession,
+    transcript: &Transcript,
+    max_rtt: SimDuration,
+    max_errors: usize,
+) -> Verdict {
+    let mut wrong = 0usize;
+    let mut first_wrong = 0usize;
+    for (i, round) in transcript.rounds.iter().enumerate() {
+        if round.rtt > max_rtt {
+            return Verdict::TooSlow(i);
+        }
+        if round.response != session.respond(i, round.challenge) {
+            if wrong == 0 {
+                first_wrong = i;
+            }
+            wrong += 1;
+        }
+    }
+    if wrong > max_errors {
+        Verdict::WrongBit(first_wrong)
+    } else {
+        Verdict::Accept
+    }
+}
+
+fn ln_factorial(n: u64) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// `P[Bin(n, p) ≥ threshold]` in log space.
+fn binomial_tail(n: u64, p: f64, threshold: u64) -> f64 {
+    if threshold == 0 {
+        return 1.0;
+    }
+    if threshold > n || p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let ln_n = ln_factorial(n);
+    let mut total = 0.0;
+    for x in threshold..=n {
+        let ln_c = ln_n - ln_factorial(x) - ln_factorial(n - x);
+        total += (ln_c + x as f64 * p.ln() + (n - x) as f64 * (1.0 - p).ln()).exp();
+    }
+    total.min(1.0)
+}
+
+/// Honest false-reject probability: more than `max_errors` of `n` bits
+/// flipped by noise.
+pub fn honest_false_reject(n: u64, ber: f64, max_errors: u64) -> f64 {
+    binomial_tail(n, ber, max_errors + 1)
+}
+
+/// Mafia acceptance with threshold verification: the pre-ask relay is
+/// right per round with probability 3/4, and needs at least `n − e`
+/// correct bits.
+pub fn mafia_acceptance_with_threshold(n: u64, max_errors: u64) -> f64 {
+    binomial_tail(n, 0.75, n.saturating_sub(max_errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_sim::time::Km;
+
+    fn session(n: usize) -> HkSession {
+        HkSession::initialise(b"secret", b"nv", b"np", n)
+    }
+
+    #[test]
+    fn clean_channel_matches_strict_verification() {
+        let s = session(64);
+        let ch = NoisyChannel::new(ChannelModel::default(), 0.0);
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let t = ch.run_hk(&s, Scenario::Honest { distance: Km(0.05) }, &mut rng);
+        let max_rtt = ch.timing.max_rtt_for(Km(0.1));
+        assert_eq!(verify_with_threshold(&s, &t, max_rtt, 0), Verdict::Accept);
+        assert_eq!(s.verify(&t, max_rtt), Verdict::Accept);
+    }
+
+    #[test]
+    fn noise_breaks_strict_but_not_threshold_verification() {
+        let s = session(128);
+        let ch = NoisyChannel::new(ChannelModel::default(), 0.05);
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        let max_rtt = ch.timing.max_rtt_for(Km(0.1));
+        let mut strict_rejects = 0;
+        let mut threshold_rejects = 0;
+        for _ in 0..50 {
+            let t = ch.run_hk(&s, Scenario::Honest { distance: Km(0.05) }, &mut rng);
+            if !s.verify(&t, max_rtt).is_accept() {
+                strict_rejects += 1;
+            }
+            // E[errors] = 6.4; allow 16 (≈ 3.8 σ above the mean).
+            if !verify_with_threshold(&s, &t, max_rtt, 16).is_accept() {
+                threshold_rejects += 1;
+            }
+        }
+        assert!(strict_rejects > 45, "strict should nearly always reject: {strict_rejects}");
+        assert!(threshold_rejects < 5, "threshold should nearly always accept: {threshold_rejects}");
+    }
+
+    #[test]
+    fn threshold_weakens_security_measurably() {
+        // Mafia acceptance grows with allowed errors.
+        let base = mafia_acceptance_with_threshold(64, 0);
+        let loose = mafia_acceptance_with_threshold(64, 8);
+        assert!(loose > base * 10.0, "base {base}, loose {loose}");
+        // Still far below 1 for sane thresholds.
+        assert!(loose < 0.05, "loose {loose}");
+    }
+
+    #[test]
+    fn honest_false_reject_shrinks_with_threshold() {
+        let strict = honest_false_reject(64, 0.05, 0);
+        let relaxed = honest_false_reject(64, 0.05, 8);
+        assert!(strict > 0.9, "strict {strict}");
+        assert!(relaxed < 0.02, "relaxed {relaxed}");
+    }
+
+    #[test]
+    fn analytic_consistency_with_hk_formula() {
+        // Zero threshold reduces to the strict (3/4)^n.
+        let strict = mafia_acceptance_with_threshold(16, 0);
+        assert!((strict - 0.75f64.powi(16)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mafia_empirical_matches_threshold_formula() {
+        let ch = NoisyChannel::new(ChannelModel::default(), 0.0);
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        let n = 8usize;
+        let e = 2usize;
+        fn trials_u32() -> u32 { 3000 }
+        let trials = trials_u32();
+        let mut accepted = 0u32;
+        for t in 0..trials_u32() {
+            let s = HkSession::initialise(b"secret", &t.to_be_bytes(), b"np", n);
+            let tr = ch.run_hk(
+                &s,
+                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                &mut rng,
+            );
+            let max_rtt = ch.timing.max_rtt_for(Km(0.1));
+            if verify_with_threshold(&s, &tr, max_rtt, e).is_accept() {
+                accepted += 1;
+            }
+        }
+        let rate = f64::from(accepted) / f64::from(trials);
+        let analytic = mafia_acceptance_with_threshold(n as u64, e as u64);
+        assert!((rate - analytic).abs() < 0.04, "rate {rate} vs {analytic}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-error rate")]
+    fn invalid_ber_panics() {
+        NoisyChannel::new(ChannelModel::default(), 1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The Reid–Gonzalez Nieto–Tang–Senadji protocol (paper Fig. 3) —
+//! Hancke–Kuhn hardened against the terrorist attack.
+//!
+//! Initialisation adds identity binding and a key-derivation step: both
+//! sides derive `k = KDF(s, ID_V ‖ ID_P ‖ r_V ‖ r_P)` and compute
+//! `e = E_k(s)` — the encrypted shared secret. The time-critical registers
+//! are `k` and `e`: respond with `k[i]` on challenge 0, `e[i]` on 1.
+//!
+//! Terrorist resistance: to let an accomplice answer *every* challenge the
+//! prover must hand over both registers — but `k` and `e` together reveal
+//! the long-term secret `s = D_k(e)`, which the paper's threat model
+//! assumes a rational prover will not disclose. An accomplice given only
+//! one register (or neither) wins each round with probability 3/4 at best,
+//! exactly like a mafia-fraud adversary.
+
+use crate::rounds::{bit_at, ChannelModel, Round, Scenario, Transcript, Verdict};
+use geoproof_crypto::aes::Aes128Ctr;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::kdf::Hkdf;
+use geoproof_sim::time::SimDuration;
+
+/// A Reid et al. session after initialisation.
+#[derive(Clone, Debug)]
+pub struct ReidSession {
+    k_register: Vec<u8>,
+    e_register: Vec<u8>,
+    n_rounds: usize,
+}
+
+impl ReidSession {
+    /// Runs initialisation: identity exchange, nonce exchange, key
+    /// derivation `k = KDF(s, IDs ‖ nonces)` and secret encryption
+    /// `e = E_k(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rounds` is 0 or exceeds `8 × secret.len()` (the
+    /// registers are as long as the encrypted secret).
+    pub fn initialise(
+        secret: &[u8],
+        id_v: &[u8],
+        id_p: &[u8],
+        nonce_v: &[u8],
+        nonce_p: &[u8],
+        n_rounds: usize,
+    ) -> Self {
+        assert!(n_rounds >= 1, "round count must be positive");
+        assert!(
+            n_rounds <= 8 * secret.len(),
+            "round count {n_rounds} exceeds secret bit-length {}",
+            8 * secret.len()
+        );
+        // k = KDF(s; ID_V ‖ ID_P ‖ r_V ‖ r_P)
+        let hk = Hkdf::extract(b"reid-db-v1", secret);
+        let mut info = Vec::new();
+        info.extend_from_slice(id_v);
+        info.extend_from_slice(id_p);
+        info.extend_from_slice(nonce_v);
+        info.extend_from_slice(nonce_p);
+        let k_register = hk.expand(&info, secret.len());
+        // e = E_k(s): CTR encryption of the secret under a key derived
+        // from the register material.
+        let enc_key: [u8; 16] = hk.expand(&[&info[..], b"enc"].concat(), 16)
+            .try_into()
+            .expect("16 bytes");
+        let mut e_register = secret.to_vec();
+        Aes128Ctr::new(&enc_key, *b"reid-ctr").apply_keystream(&mut e_register);
+        ReidSession {
+            k_register,
+            e_register,
+            n_rounds,
+        }
+    }
+
+    /// Number of time-critical rounds.
+    pub fn rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// The honest response at round `i` for challenge `alpha`.
+    pub fn respond(&self, i: usize, alpha: u8) -> u8 {
+        if alpha == 0 {
+            bit_at(&self.k_register, i)
+        } else {
+            bit_at(&self.e_register, i)
+        }
+    }
+
+    /// Runs the time-critical phase under `scenario`.
+    ///
+    /// Unlike Hancke–Kuhn, [`Scenario::Terrorist`] here models an
+    /// accomplice that was given only *one* register (the prover withholds
+    /// the pair to protect `s`), so it answers like a pre-ask relay:
+    /// correct with probability 3/4 per round.
+    pub fn run(
+        &self,
+        scenario: Scenario,
+        channel: &ChannelModel,
+        rng: &mut ChaChaRng,
+    ) -> Transcript {
+        let rtt = channel.rtt_at(scenario.responder_distance());
+        let mut rounds = Vec::with_capacity(self.n_rounds);
+        for i in 0..self.n_rounds {
+            let alpha = (rng.next_u32() & 1) as u8;
+            let response = match scenario {
+                Scenario::Honest { .. } => self.respond(i, alpha),
+                Scenario::MafiaFraud { .. } | Scenario::Terrorist { .. } => {
+                    // Pre-ask / single-register accomplice: win on a
+                    // correct guess, else coin-flip.
+                    let guess = (rng.next_u32() & 1) as u8;
+                    if guess == alpha {
+                        self.respond(i, alpha)
+                    } else {
+                        (rng.next_u32() & 1) as u8
+                    }
+                }
+                Scenario::DistanceFraud { .. } => {
+                    let k_bit = bit_at(&self.k_register, i);
+                    let e_bit = bit_at(&self.e_register, i);
+                    if k_bit == e_bit {
+                        k_bit
+                    } else if (rng.next_u32() & 1) == 0 {
+                        self.respond(i, alpha)
+                    } else {
+                        1 - self.respond(i, alpha)
+                    }
+                }
+            };
+            rounds.push(Round {
+                challenge: alpha,
+                response,
+                rtt,
+            });
+        }
+        Transcript { rounds }
+    }
+
+    /// Verifies response bits and per-round timing.
+    pub fn verify(&self, transcript: &Transcript, max_rtt: SimDuration) -> Verdict {
+        for (i, round) in transcript.rounds.iter().enumerate() {
+            if round.rtt > max_rtt {
+                return Verdict::TooSlow(i);
+            }
+            if round.response != self.respond(i, round.challenge) {
+                return Verdict::WrongBit(i);
+            }
+        }
+        Verdict::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_sim::time::Km;
+
+    fn session(n: usize) -> ReidSession {
+        ReidSession::initialise(
+            &[0x42u8; 32],
+            b"verifier-id",
+            b"prover-id",
+            b"nonce-v",
+            b"nonce-p",
+            n,
+        )
+    }
+
+    #[test]
+    fn honest_run_accepts() {
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        assert_eq!(s.verify(&t, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+    }
+
+    #[test]
+    fn terrorist_attack_fails_against_reid() {
+        // The protocol's whole point: unlike HK, the terrorist accomplice
+        // (without both registers) is caught with overwhelming probability.
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        let max_rtt = ch.max_rtt_for(Km(0.1));
+        let mut accepted = 0;
+        for _ in 0..200 {
+            let t = s.run(
+                Scenario::Terrorist { accomplice_distance: Km(0.05) },
+                &ch,
+                &mut rng,
+            );
+            if s.verify(&t, max_rtt).is_accept() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 0, "(3/4)^64 ≈ 1e-8");
+    }
+
+    #[test]
+    fn identity_binding_changes_registers() {
+        let a = session(64);
+        let b = ReidSession::initialise(
+            &[0x42u8; 32],
+            b"verifier-id",
+            b"other-prover",
+            b"nonce-v",
+            b"nonce-p",
+            64,
+        );
+        let differs = (0..64).any(|i| a.respond(i, 0) != b.respond(i, 0)
+            || a.respond(i, 1) != b.respond(i, 1));
+        assert!(differs, "different prover identity must change registers");
+    }
+
+    #[test]
+    fn registers_bound_to_nonces() {
+        let a = session(64);
+        let b = ReidSession::initialise(
+            &[0x42u8; 32],
+            b"verifier-id",
+            b"prover-id",
+            b"nonce-v-fresh",
+            b"nonce-p",
+            64,
+        );
+        let differs = (0..64).any(|i| a.respond(i, 0) != b.respond(i, 0)
+            || a.respond(i, 1) != b.respond(i, 1));
+        assert!(differs, "fresh nonces must refresh registers");
+    }
+
+    #[test]
+    fn mafia_fraud_fails_timing_or_bits() {
+        let s = session(48);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        let t = s.run(
+            Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+            &ch,
+            &mut rng,
+        );
+        // Some round almost surely has a wrong bit at 48 rounds.
+        assert!(!s.verify(&t, ch.max_rtt_for(Km(0.1))).is_accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds secret bit-length")]
+    fn too_many_rounds_panics() {
+        session(8 * 32 + 1);
+    }
+}

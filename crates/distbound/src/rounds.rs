@@ -1,0 +1,222 @@
+//! Common machinery for timed challenge–response rounds (paper Fig. 1).
+//!
+//! Every distance-bounding protocol shares the same skeleton: a time-
+//! critical phase of `n` single-bit challenge–response exchanges, each
+//! timed, followed by verification of both the response bits and the
+//! per-round RTTs against `Δt_max`. This module holds the transcript and
+//! verdict types and the timing model all three protocols share.
+
+use geoproof_sim::time::{Km, SimDuration, Speed, SPEED_OF_LIGHT};
+
+/// One timed bit exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Round {
+    /// Challenge bit α_i sent by the verifier.
+    pub challenge: u8,
+    /// Response bit β_i received from the prover.
+    pub response: u8,
+    /// Measured round-trip time Δt_i.
+    pub rtt: SimDuration,
+}
+
+/// A complete distance-bounding transcript.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// The timed rounds, in order.
+    pub rounds: Vec<Round>,
+}
+
+impl Transcript {
+    /// Largest per-round RTT, or zero for an empty transcript.
+    pub fn max_rtt(&self) -> SimDuration {
+        self.rounds
+            .iter()
+            .map(|r| r.rtt)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Verification outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// All response bits correct and every RTT within the bound.
+    Accept,
+    /// A response bit was wrong at this round index.
+    WrongBit(usize),
+    /// A round exceeded `Δt_max` at this round index.
+    TooSlow(usize),
+}
+
+impl Verdict {
+    /// True for [`Verdict::Accept`].
+    pub fn is_accept(self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+}
+
+/// Timing model of the RF channel: propagation at the speed of light plus
+/// a fixed processing time at the prover.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelModel {
+    /// Propagation speed (RF ⇒ speed of light; the paper: "the travel
+    /// speed of radio waves is very similar to the speed of light").
+    pub speed: Speed,
+    /// Prover-side processing per round.
+    pub processing: SimDuration,
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        ChannelModel {
+            speed: SPEED_OF_LIGHT,
+            processing: SimDuration::from_nanos(50),
+        }
+    }
+}
+
+impl ChannelModel {
+    /// RTT for a responder at `distance`.
+    pub fn rtt_at(&self, distance: Km) -> SimDuration {
+        let one_way = self.speed.travel_time(distance);
+        one_way + one_way + self.processing
+    }
+
+    /// The distance bound implied by an accepted RTT:
+    /// `(rtt − processing)/2 × speed`. The paper's example: a 1 ms timing
+    /// error at RF speed is a 150 km distance error.
+    pub fn distance_bound(&self, rtt: SimDuration) -> Km {
+        let net = rtt.saturating_sub(self.processing);
+        Km(self.speed.0 * net.as_millis_f64() / 2.0)
+    }
+
+    /// `Δt_max` to enforce a given distance bound.
+    pub fn max_rtt_for(&self, distance: Km) -> SimDuration {
+        self.rtt_at(distance)
+    }
+}
+
+/// Where the responder actually is — drives per-round RTT and response
+/// correctness in simulations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scenario {
+    /// The legitimate prover at `distance` answers honestly.
+    Honest {
+        /// True verifier–prover distance.
+        distance: Km,
+    },
+    /// Mafia fraud (relay): an attacker at `attacker_distance` relays for
+    /// a genuine prover too far away to answer in time; the attacker
+    /// pre-asks the prover with a guessed challenge each round.
+    MafiaFraud {
+        /// Attacker's distance from the verifier (small).
+        attacker_distance: Km,
+    },
+    /// Distance fraud: the genuine but dishonest prover at
+    /// `claimed_distance` transmits its response *early*, before the
+    /// challenge arrives, to appear closer than it is.
+    DistanceFraud {
+        /// The distance the prover pretends to be at.
+        claimed_distance: Km,
+    },
+    /// Terrorist attack: the dishonest prover helps a nearby accomplice
+    /// answer, without revealing its long-term secret.
+    Terrorist {
+        /// Accomplice's distance from the verifier (small).
+        accomplice_distance: Km,
+    },
+}
+
+impl Scenario {
+    /// The distance at which responses physically originate.
+    pub fn responder_distance(self) -> Km {
+        match self {
+            Scenario::Honest { distance } => distance,
+            Scenario::MafiaFraud { attacker_distance } => attacker_distance,
+            Scenario::DistanceFraud { claimed_distance } => claimed_distance,
+            Scenario::Terrorist {
+                accomplice_distance,
+            } => accomplice_distance,
+        }
+    }
+}
+
+/// Extracts bit `i` (MSB-first) from a byte string.
+///
+/// # Panics
+///
+/// Panics if `i >= 8 * bytes.len()`.
+pub fn bit_at(bytes: &[u8], i: usize) -> u8 {
+    assert!(i < 8 * bytes.len(), "bit index {i} out of range");
+    (bytes[i / 8] >> (7 - (i % 8))) & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_and_distance_roundtrip() {
+        let ch = ChannelModel::default();
+        let rtt = ch.rtt_at(Km(150.0));
+        // 150 km at c: 0.5 ms each way + processing.
+        assert!((rtt.as_millis_f64() - 1.0).abs() < 0.001);
+        let bound = ch.distance_bound(rtt);
+        assert!((bound.0 - 150.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_timing_error_example() {
+        // §III-A: 1 ms timing error ⇒ 150 km distance error.
+        let ch = ChannelModel {
+            speed: SPEED_OF_LIGHT,
+            processing: SimDuration::ZERO,
+        };
+        let d = ch.distance_bound(SimDuration::from_millis(1));
+        assert!((d.0 - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcript_max_rtt() {
+        let t = Transcript {
+            rounds: vec![
+                Round { challenge: 0, response: 1, rtt: SimDuration::from_micros(3) },
+                Round { challenge: 1, response: 0, rtt: SimDuration::from_micros(9) },
+                Round { challenge: 1, response: 1, rtt: SimDuration::from_micros(5) },
+            ],
+        };
+        assert_eq!(t.max_rtt(), SimDuration::from_micros(9));
+        assert_eq!(Transcript::default().max_rtt(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bit_extraction_msb_first() {
+        let bytes = [0b1010_0000u8, 0b0000_0001];
+        assert_eq!(bit_at(&bytes, 0), 1);
+        assert_eq!(bit_at(&bytes, 1), 0);
+        assert_eq!(bit_at(&bytes, 2), 1);
+        assert_eq!(bit_at(&bytes, 15), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        bit_at(&[0u8], 8);
+    }
+
+    #[test]
+    fn scenario_responder_distances() {
+        assert_eq!(Scenario::Honest { distance: Km(5.0) }.responder_distance().0, 5.0);
+        assert_eq!(
+            Scenario::MafiaFraud { attacker_distance: Km(0.1) }.responder_distance().0,
+            0.1
+        );
+    }
+
+    #[test]
+    fn verdict_accept_helper() {
+        assert!(Verdict::Accept.is_accept());
+        assert!(!Verdict::WrongBit(3).is_accept());
+        assert!(!Verdict::TooSlow(0).is_accept());
+    }
+}

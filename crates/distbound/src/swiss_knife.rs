@@ -1,0 +1,311 @@
+//! A Swiss-Knife-style distance-bounding protocol (Kim, Avoine, Koeune,
+//! Standaert, Pereira — cited by the paper's §III-A survey, reference 25).
+//!
+//! Two features distinguish it from Hancke–Kuhn:
+//!
+//! 1. **Terrorist resistance**: the response registers are `T` and
+//!    `T ⊕ K` (session register XOR long-term key), so handing an
+//!    accomplice both registers reveals `K`;
+//! 2. **A final confirmation MAC** over the prover's *received* challenge
+//!    sequence. A pre-asking relay feeds the prover guessed challenges;
+//!    whenever a guess differs from the verifier's real challenge the
+//!    prover's view diverges, the confirmation MAC mismatches, and the run
+//!    fails — collapsing mafia fraud from (3/4)^n to (1/2)^n.
+
+use crate::rounds::{bit_at, ChannelModel, Round, Scenario, Transcript, Verdict};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::hmac::HmacSha256;
+use geoproof_sim::time::SimDuration;
+
+/// A Swiss-Knife-style session after initialisation.
+#[derive(Clone, Debug)]
+pub struct SwissKnifeSession {
+    /// Session register T = PRF(K; IDs, nonces).
+    t_register: Vec<u8>,
+    /// Long-term key bits used for the second register T ⊕ K.
+    key_bits: Vec<u8>,
+    /// Long-term key for the confirmation MAC.
+    key: Vec<u8>,
+    n_rounds: usize,
+}
+
+/// A completed run: timed rounds plus the prover's confirmation MAC
+/// computed over the challenges *it* saw.
+#[derive(Clone, Debug)]
+pub struct SkRunOutcome {
+    /// The verifier-side transcript (real challenges, received responses).
+    pub transcript: Transcript,
+    /// The prover's confirmation MAC.
+    pub confirmation: [u8; 32],
+}
+
+impl SwissKnifeSession {
+    /// Initialises a session from the long-term key and the handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rounds` is 0 or exceeds 1024.
+    pub fn initialise(key: &[u8], id_p: &[u8], nonce_v: &[u8], nonce_p: &[u8], n_rounds: usize) -> Self {
+        assert!((1..=1024).contains(&n_rounds), "round count out of range");
+        let reg_bytes = n_rounds.div_ceil(8);
+        let mut material = Vec::new();
+        let mut counter = 0u8;
+        while material.len() < 2 * reg_bytes {
+            let mut h = HmacSha256::new(key);
+            h.update(b"swiss-knife-T");
+            h.update(id_p);
+            h.update(nonce_v);
+            h.update(nonce_p);
+            h.update(&[counter]);
+            material.extend_from_slice(&h.finalize());
+            counter += 1;
+        }
+        let t_register = material[..reg_bytes].to_vec();
+        // Key bits stretched to register length (PRF of K alone so that
+        // possession of both registers reveals it, as in the original).
+        let key_bits = {
+            let mut out = Vec::with_capacity(reg_bytes);
+            let mut c = 0u8;
+            while out.len() < reg_bytes {
+                let mut h = HmacSha256::new(key);
+                h.update(b"swiss-knife-keybits");
+                h.update(&[c]);
+                out.extend_from_slice(&h.finalize());
+                c += 1;
+            }
+            out.truncate(reg_bytes);
+            out
+        };
+        SwissKnifeSession {
+            t_register,
+            key_bits,
+            key: key.to_vec(),
+            n_rounds,
+        }
+    }
+
+    /// Number of time-critical rounds.
+    pub fn rounds(&self) -> usize {
+        self.n_rounds
+    }
+
+    /// Honest response: `T[i]` on challenge 0, `T[i] ⊕ K[i]` on 1.
+    pub fn respond(&self, i: usize, alpha: u8) -> u8 {
+        let t = bit_at(&self.t_register, i);
+        if alpha == 0 {
+            t
+        } else {
+            t ^ bit_at(&self.key_bits, i)
+        }
+    }
+
+    fn confirmation_mac(&self, seen_challenges: &[u8]) -> [u8; 32] {
+        let mut h = HmacSha256::new(&self.key);
+        h.update(b"swiss-knife-confirm");
+        h.update(seen_challenges);
+        h.finalize()
+    }
+
+    /// Runs the protocol under `scenario`.
+    pub fn run(
+        &self,
+        scenario: Scenario,
+        channel: &ChannelModel,
+        rng: &mut ChaChaRng,
+    ) -> SkRunOutcome {
+        let rtt = channel.rtt_at(scenario.responder_distance());
+        let mut rounds = Vec::with_capacity(self.n_rounds);
+        // The challenges the *prover* believes it received (differs from
+        // the verifier's under pre-ask relaying).
+        let mut prover_view = Vec::with_capacity(self.n_rounds);
+        for i in 0..self.n_rounds {
+            let alpha = (rng.next_u32() & 1) as u8;
+            let (response, seen) = match scenario {
+                Scenario::Honest { .. } => (self.respond(i, alpha), alpha),
+                Scenario::MafiaFraud { .. } => {
+                    // Pre-ask with a guess; the prover answers (and
+                    // records) the guessed challenge.
+                    let guess = (rng.next_u32() & 1) as u8;
+                    let relayed = self.respond(i, guess);
+                    let resp = if guess == alpha {
+                        relayed
+                    } else {
+                        // Wrong guess: the relayed bit answers the wrong
+                        // register; keep it (best available).
+                        relayed
+                    };
+                    (resp, guess)
+                }
+                Scenario::DistanceFraud { .. } => {
+                    let b0 = self.respond(i, 0);
+                    let b1 = self.respond(i, 1);
+                    let resp = if b0 == b1 {
+                        b0
+                    } else if (rng.next_u32() & 1) == 0 {
+                        self.respond(i, alpha)
+                    } else {
+                        1 - self.respond(i, alpha)
+                    };
+                    (resp, alpha) // genuine prover sees the real challenge
+                }
+                Scenario::Terrorist { .. } => {
+                    // Accomplice got only the T register (the pair would
+                    // reveal K): answers T[i] regardless; right whenever
+                    // α = 0 or K[i] = 0.
+                    (bit_at(&self.t_register, i), alpha)
+                }
+            };
+            rounds.push(Round {
+                challenge: alpha,
+                response,
+                rtt,
+            });
+            prover_view.push(seen);
+        }
+        SkRunOutcome {
+            transcript: Transcript { rounds },
+            confirmation: self.confirmation_mac(&prover_view),
+        }
+    }
+
+    /// Verifies bits, timing, and the confirmation MAC against the
+    /// verifier's own challenge sequence.
+    pub fn verify(&self, outcome: &SkRunOutcome, max_rtt: SimDuration) -> Verdict {
+        for (i, round) in outcome.transcript.rounds.iter().enumerate() {
+            if round.rtt > max_rtt {
+                return Verdict::TooSlow(i);
+            }
+            if round.response != self.respond(i, round.challenge) {
+                return Verdict::WrongBit(i);
+            }
+        }
+        let verifier_view: Vec<u8> = outcome
+            .transcript
+            .rounds
+            .iter()
+            .map(|r| r.challenge)
+            .collect();
+        if outcome.confirmation != self.confirmation_mac(&verifier_view) {
+            return Verdict::WrongBit(outcome.transcript.rounds.len());
+        }
+        Verdict::Accept
+    }
+}
+
+/// Analytic mafia-fraud acceptance: the confirmation MAC forces every
+/// pre-ask guess to be correct — (1/2)^n.
+pub fn mafia_acceptance(n_rounds: u32) -> f64 {
+    0.5f64.powi(n_rounds as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_sim::time::Km;
+
+    fn session(n: usize) -> SwissKnifeSession {
+        SwissKnifeSession::initialise(&[0x5au8; 32], b"prover-id", b"nv", b"np", n)
+    }
+
+    #[test]
+    fn honest_run_accepts() {
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let out = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        assert_eq!(s.verify(&out, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+    }
+
+    #[test]
+    fn mafia_fraud_caught_by_confirmation_mac() {
+        // Even when all response bits happen to check out, one wrong
+        // pre-ask guess breaks the confirmation MAC.
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        let mut accepted = 0;
+        for n in 0..200u64 {
+            let s = SwissKnifeSession::initialise(
+                &[0x5au8; 32],
+                b"prover-id",
+                &n.to_be_bytes(),
+                b"np",
+                8,
+            );
+            let out = s.run(
+                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                &ch,
+                &mut rng,
+            );
+            if s.verify(&out, ch.max_rtt_for(Km(0.1))).is_accept() {
+                accepted += 1;
+            }
+        }
+        // (1/2)^8 ≈ 0.39% per run: expect ~1 acceptance in 200, allow <10.
+        assert!(accepted < 10, "accepted {accepted}/200");
+    }
+
+    #[test]
+    fn empirical_tracks_half_power_n() {
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        let trials = 2000u32;
+        let n = 3usize; // (1/2)^3 = 0.125
+        let mut accepted = 0u32;
+        for t in 0..trials {
+            let s = SwissKnifeSession::initialise(
+                &[0x5au8; 32],
+                b"prover-id",
+                &t.to_be_bytes(),
+                b"np",
+                n,
+            );
+            let out = s.run(
+                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                &ch,
+                &mut rng,
+            );
+            if s.verify(&out, ch.max_rtt_for(Km(0.1))).is_accept() {
+                accepted += 1;
+            }
+        }
+        let rate = f64::from(accepted) / f64::from(trials);
+        assert!(
+            (rate - mafia_acceptance(3)).abs() < 0.03,
+            "rate {rate} vs analytic {}",
+            mafia_acceptance(3)
+        );
+    }
+
+    #[test]
+    fn terrorist_with_single_register_fails() {
+        let s = session(64);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(4);
+        let out = s.run(
+            Scenario::Terrorist { accomplice_distance: Km(0.05) },
+            &ch,
+            &mut rng,
+        );
+        assert!(!s.verify(&out, ch.max_rtt_for(Km(0.1))).is_accept());
+    }
+
+    #[test]
+    fn registers_reveal_key_bits_by_design() {
+        // T ⊕ (T ⊕ K) = K: the terrorist disincentive.
+        let s = session(32);
+        for i in 0..32 {
+            let t = s.respond(i, 0);
+            let tk = s.respond(i, 1);
+            assert_eq!(t ^ tk, bit_at(&s.key_bits, i));
+        }
+    }
+
+    #[test]
+    fn distant_prover_fails_timing() {
+        let s = session(16);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        let out = s.run(Scenario::Honest { distance: Km(400.0) }, &ch, &mut rng);
+        assert_eq!(s.verify(&out, ch.max_rtt_for(Km(1.0))), Verdict::TooSlow(0));
+    }
+}

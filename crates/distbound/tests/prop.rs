@@ -1,0 +1,128 @@
+//! Property-based tests for the distance-bounding protocols.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_distbound::brands_chaum::{bc_verify, BcProver};
+use geoproof_distbound::hancke_kuhn::HkSession;
+use geoproof_distbound::reid::ReidSession;
+use geoproof_distbound::rounds::{ChannelModel, Scenario, Verdict};
+use geoproof_distbound::swiss_knife::SwissKnifeSession;
+use geoproof_distbound::void_challenge::VoidChallengeSession;
+use geoproof_sim::time::Km;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hk_honest_always_accepts(
+        n in 1usize..128,
+        seed in any::<u64>(),
+        secret in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let s = HkSession::initialise(&secret, &seed.to_be_bytes(), b"np", n);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        prop_assert_eq!(s.verify(&t, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+    }
+
+    #[test]
+    fn hk_any_flipped_bit_rejected(
+        n in 1usize..64,
+        seed in any::<u64>(),
+        victim_frac in 0.0f64..1.0,
+    ) {
+        let s = HkSession::initialise(b"sec", &seed.to_be_bytes(), b"np", n);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let mut t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let victim = ((n - 1) as f64 * victim_frac) as usize;
+        t.rounds[victim].response ^= 1;
+        prop_assert_eq!(
+            s.verify(&t, ch.max_rtt_for(Km(0.1))),
+            Verdict::WrongBit(victim)
+        );
+    }
+
+    #[test]
+    fn reid_honest_always_accepts(n in 1usize..128, seed in any::<u64>()) {
+        let s = ReidSession::initialise(
+            &[7u8; 32], b"idv", b"idp", &seed.to_be_bytes(), b"np", n,
+        );
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let t = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        prop_assert_eq!(s.verify(&t, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+    }
+
+    #[test]
+    fn timing_bound_is_sharp(
+        n in 1usize..32,
+        seed in any::<u64>(),
+        distance in 1.0f64..5000.0,
+    ) {
+        // A prover strictly beyond the bound distance always fails timing.
+        let s = HkSession::initialise(b"sec", &seed.to_be_bytes(), b"np", n);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let t = s.run(Scenario::Honest { distance: Km(distance) }, &ch, &mut rng);
+        let bound = ch.max_rtt_for(Km(distance / 2.0));
+        prop_assert_eq!(s.verify(&t, bound), Verdict::TooSlow(0));
+    }
+
+    #[test]
+    fn bc_honest_always_accepts(n in 1usize..64, seed in any::<u64>()) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let sk = SigningKey::generate(&mut rng);
+        let (p, c) = BcProver::new(sk.clone(), n, &mut rng);
+        let ch = ChannelModel::default();
+        let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        let open = p.open(&t, &mut rng);
+        prop_assert_eq!(
+            bc_verify(&c, &t, &open, &sk.verifying_key(), ch.max_rtt_for(Km(0.1))),
+            Verdict::Accept
+        );
+    }
+
+    #[test]
+    fn swiss_knife_honest_accepts_and_confirmation_binds(
+        n in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let s = SwissKnifeSession::initialise(&[1u8; 32], b"idp", &seed.to_be_bytes(), b"np", n);
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let out = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        prop_assert_eq!(s.verify(&out, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+        // Tampering with the confirmation MAC must reject.
+        let mut bad = out.clone();
+        bad.confirmation[0] ^= 1;
+        prop_assert!(!s.verify(&bad, ch.max_rtt_for(Km(0.1))).is_accept());
+    }
+
+    #[test]
+    fn void_sessions_honest_accept_for_any_full_prob(
+        n in 4usize..64,
+        seed in any::<u64>(),
+        full_prob in 0.1f64..1.0,
+    ) {
+        let s = VoidChallengeSession::initialise(
+            b"sec", &seed.to_be_bytes(), b"np", n, full_prob,
+        );
+        let ch = ChannelModel::default();
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let out = s.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
+        prop_assert!(!out.prover_aborted);
+        prop_assert_eq!(s.verify(&out, ch.max_rtt_for(Km(0.1))), Verdict::Accept);
+        prop_assert_eq!(out.transcript.rounds.len(), s.full_rounds());
+    }
+
+    #[test]
+    fn channel_distance_bound_roundtrip(km in 0.0f64..20_000.0) {
+        let ch = ChannelModel::default();
+        let rtt = ch.rtt_at(Km(km));
+        let bound = ch.distance_bound(rtt);
+        prop_assert!((bound.0 - km).abs() < 0.01, "got {} for {km}", bound.0);
+    }
+}

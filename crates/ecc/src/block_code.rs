@@ -1,0 +1,214 @@
+//! Reed–Solomon coding of 128-bit file blocks.
+//!
+//! The paper treats each 128-bit (16-byte) file block as one symbol of a
+//! (255, 223, 32) code "over GF(2^128)". Operationally we stripe: the i-th
+//! byte of every block in a chunk forms a GF(2^8) codeword, giving 16
+//! parallel RS(255, 223) codes. A corrupted *block* corrupts at most one
+//! symbol in each lane, so the per-chunk correction capacity — t = 16
+//! blocks, or 32 erased blocks — is exactly the paper's.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_ecc::block_code::{Block, BlockCode};
+//!
+//! let code = BlockCode::paper_code();
+//! let chunk: Vec<Block> = (0..code.data_blocks())
+//!     .map(|i| [i as u8; 16])
+//!     .collect();
+//! let mut encoded = code.encode_chunk(&chunk);
+//! encoded[5] = [0xFF; 16]; // trash a whole block
+//! let decoded = code.decode_chunk(&encoded, &[]).expect("1 error < t");
+//! assert_eq!(decoded, chunk);
+//! ```
+
+use crate::rs::{DecodeError, RsCode};
+
+/// A 128-bit file block (ℓ_B = 128 bits, "the size of an AES block").
+pub type Block = [u8; BLOCK_BYTES];
+
+/// Bytes per block.
+pub const BLOCK_BYTES: usize = 16;
+
+/// Striped Reed–Solomon code over 16-byte blocks.
+#[derive(Clone, Debug)]
+pub struct BlockCode {
+    rs: RsCode,
+}
+
+impl BlockCode {
+    /// Creates a block code from an RS(n, k) configuration.
+    pub fn new(n: usize, k: usize) -> Self {
+        BlockCode {
+            rs: RsCode::new(n, k),
+        }
+    }
+
+    /// The paper's (255, 223, 32) configuration.
+    pub fn paper_code() -> Self {
+        BlockCode {
+            rs: RsCode::paper_code(),
+        }
+    }
+
+    /// Number of data blocks per chunk (`k`).
+    pub fn data_blocks(&self) -> usize {
+        self.rs.k()
+    }
+
+    /// Number of encoded blocks per chunk (`n`).
+    pub fn encoded_blocks(&self) -> usize {
+        self.rs.n()
+    }
+
+    /// Block-error correction radius per chunk (`t`).
+    pub fn t(&self) -> usize {
+        self.rs.t()
+    }
+
+    /// File expansion factor `n/k`.
+    pub fn expansion(&self) -> f64 {
+        self.rs.expansion()
+    }
+
+    /// Encodes one chunk of exactly `k` blocks into `n` blocks
+    /// (data blocks first, parity blocks appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk.len() != k`.
+    pub fn encode_chunk(&self, chunk: &[Block]) -> Vec<Block> {
+        assert_eq!(
+            chunk.len(),
+            self.rs.k(),
+            "chunk must contain exactly k blocks"
+        );
+        let n = self.rs.n();
+        let mut out = vec![[0u8; BLOCK_BYTES]; n];
+        let mut lane = vec![0u8; self.rs.k()];
+        for byte_idx in 0..BLOCK_BYTES {
+            for (j, block) in chunk.iter().enumerate() {
+                lane[j] = block[byte_idx];
+            }
+            let coded = self.rs.encode(&lane);
+            for (j, &symbol) in coded.iter().enumerate() {
+                out[j][byte_idx] = symbol;
+            }
+        }
+        out
+    }
+
+    /// Decodes one chunk of `n` blocks back to `k` data blocks.
+    ///
+    /// `erasures` lists block indices known to be bad (e.g. blocks whose
+    /// segment failed MAC verification during extraction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DecodeError`] from any lane; all 16 lanes must decode.
+    pub fn decode_chunk(
+        &self,
+        encoded: &[Block],
+        erasures: &[usize],
+    ) -> Result<Vec<Block>, DecodeError> {
+        if encoded.len() != self.rs.n() {
+            return Err(DecodeError::WrongLength {
+                expected: self.rs.n(),
+                actual: encoded.len(),
+            });
+        }
+        let k = self.rs.k();
+        let mut out = vec![[0u8; BLOCK_BYTES]; k];
+        let mut lane = vec![0u8; self.rs.n()];
+        for byte_idx in 0..BLOCK_BYTES {
+            for (j, block) in encoded.iter().enumerate() {
+                lane[j] = block[byte_idx];
+            }
+            let data = self.rs.decode(&lane, erasures)?;
+            for (j, &symbol) in data.iter().enumerate() {
+                out[j][byte_idx] = symbol;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_of(k: usize, seed: u8) -> Vec<Block> {
+        (0..k)
+            .map(|i| {
+                let mut b = [0u8; BLOCK_BYTES];
+                for (j, byte) in b.iter_mut().enumerate() {
+                    *byte = (i as u8).wrapping_mul(7).wrapping_add(j as u8).wrapping_add(seed);
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        let code = BlockCode::paper_code();
+        let chunk = chunk_of(code.data_blocks(), 1);
+        let enc = code.encode_chunk(&chunk);
+        assert_eq!(enc.len(), 255);
+        assert_eq!(&enc[..223], &chunk[..], "systematic prefix");
+        assert_eq!(code.decode_chunk(&enc, &[]).unwrap(), chunk);
+    }
+
+    #[test]
+    fn corrects_16_block_errors() {
+        let code = BlockCode::paper_code();
+        let chunk = chunk_of(223, 2);
+        let mut enc = code.encode_chunk(&chunk);
+        for i in 0..16 {
+            enc[i * 14] = [0xEE; BLOCK_BYTES];
+        }
+        assert_eq!(code.decode_chunk(&enc, &[]).unwrap(), chunk);
+    }
+
+    #[test]
+    fn corrects_32_block_erasures() {
+        let code = BlockCode::paper_code();
+        let chunk = chunk_of(223, 3);
+        let mut enc = code.encode_chunk(&chunk);
+        let erasures: Vec<usize> = (0..32).map(|i| i * 7 + 2).collect();
+        for &e in &erasures {
+            enc[e] = [0u8; BLOCK_BYTES];
+        }
+        assert_eq!(code.decode_chunk(&enc, &erasures).unwrap(), chunk);
+    }
+
+    #[test]
+    fn fails_beyond_capacity() {
+        let code = BlockCode::paper_code();
+        let chunk = chunk_of(223, 4);
+        let mut enc = code.encode_chunk(&chunk);
+        for i in 0..40 {
+            enc[i * 6] = [0xAA; BLOCK_BYTES];
+        }
+        match code.decode_chunk(&enc, &[]) {
+            Err(_) => {}
+            Ok(d) => assert_ne!(d, chunk),
+        }
+    }
+
+    #[test]
+    fn small_code_roundtrip() {
+        let code = BlockCode::new(15, 11);
+        let chunk = chunk_of(11, 5);
+        let mut enc = code.encode_chunk(&chunk);
+        enc[3][7] ^= 0x40; // single-byte corruption in one block
+        enc[9] = [0x01; BLOCK_BYTES]; // whole-block corruption
+        assert_eq!(code.decode_chunk(&enc, &[]).unwrap(), chunk);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k blocks")]
+    fn wrong_chunk_size_panics() {
+        BlockCode::new(15, 11).encode_chunk(&chunk_of(10, 0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Arithmetic in GF(2^8) = GF(2)\[x\] / (x⁸ + x⁴ + x³ + x² + 1).
+//!
+//! The field under the (255, 223) Reed–Solomon code of GeoProof's setup
+//! phase (paper §V-A step 2, citing the "adapted (255, 223, 32)-Reed-Solomon
+//! code"). We use the CCSDS/standard RS polynomial 0x11d with generator
+//! element α = 0x02, and precomputed log/antilog tables.
+
+/// The reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+pub const POLY: u16 = 0x11d;
+
+/// The field generator α = 2.
+pub const GENERATOR: u8 = 0x02;
+
+/// Field order minus one: the multiplicative group size.
+pub const GROUP_ORDER: usize = 255;
+
+struct Tables {
+    exp: [u8; 512], // doubled to avoid a mod in mul
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x = 1u16;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^8).
+///
+/// Addition is XOR; multiplication is via log/antilog tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gf(pub u8);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// α (the primitive element 2).
+    pub const ALPHA: Gf = Gf(GENERATOR);
+
+    /// α^i for i in [0, 255).
+    pub fn alpha_pow(i: usize) -> Gf {
+        Gf(tables().exp[i % GROUP_ORDER])
+    }
+
+    /// Addition (XOR).
+    #[inline]
+    pub fn add(self, other: Gf) -> Gf {
+        Gf(self.0 ^ other.0)
+    }
+
+    /// Subtraction — identical to addition in characteristic 2.
+    #[inline]
+    pub fn sub(self, other: Gf) -> Gf {
+        self.add(other)
+    }
+
+    /// Multiplication.
+    #[inline]
+    pub fn mul(self, other: Gf) -> Gf {
+        if self.0 == 0 || other.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[other.0 as usize] as usize;
+        Gf(t.exp[idx])
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (which has no inverse).
+    #[inline]
+    pub fn inv(self) -> Gf {
+        assert!(self.0 != 0, "zero has no inverse in GF(2^8)");
+        let t = tables();
+        Gf(t.exp[GROUP_ORDER - t.log[self.0 as usize] as usize])
+    }
+
+    /// Division: `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    #[inline]
+    pub fn div(self, other: Gf) -> Gf {
+        self.mul(other.inv())
+    }
+
+    /// Exponentiation `self^n`.
+    pub fn pow(self, mut n: u64) -> Gf {
+        if self.0 == 0 {
+            return if n == 0 { Gf::ONE } else { Gf::ZERO };
+        }
+        let t = tables();
+        n %= GROUP_ORDER as u64;
+        let idx = (t.log[self.0 as usize] as u64 * n) % GROUP_ORDER as u64;
+        Gf(t.exp[idx as usize])
+    }
+
+    /// Discrete log base α; `None` for zero.
+    pub fn log(self) -> Option<u8> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+}
+
+/// Evaluates a polynomial (coefficients low-to-high degree) at `x` via
+/// Horner's rule.
+pub fn poly_eval(coeffs: &[Gf], x: Gf) -> Gf {
+    let mut acc = Gf::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+/// Multiplies two polynomials over GF(2^8) (coefficients low-to-high).
+pub fn poly_mul(a: &[Gf], b: &[Gf]) -> Vec<Gf> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Gf::ZERO; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == Gf::ZERO {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] = out[i + j].add(ai.mul(bj));
+        }
+    }
+    out
+}
+
+/// Formal derivative of a polynomial over GF(2^8): odd-degree coefficients
+/// survive (char-2 field), shifted down one degree.
+pub fn poly_deriv(coeffs: &[Gf]) -> Vec<Gf> {
+    coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &c)| if i % 2 == 1 { c } else { Gf::ZERO })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor() {
+        assert_eq!(Gf(0x53).add(Gf(0xca)), Gf(0x99));
+        assert_eq!(Gf(5).add(Gf(5)), Gf::ZERO);
+    }
+
+    #[test]
+    fn alpha_powers_cycle() {
+        assert_eq!(Gf::alpha_pow(0), Gf::ONE);
+        assert_eq!(Gf::alpha_pow(1), Gf(2));
+        assert_eq!(Gf::alpha_pow(255), Gf::ONE); // full cycle
+        assert_eq!(Gf::alpha_pow(8), Gf(0x1d)); // x^8 = poly - x^8
+    }
+
+    #[test]
+    fn mul_commutes_and_has_identity() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf(a).mul(Gf::ONE), Gf(a));
+            for b in [0u8, 1, 2, 37, 129, 255] {
+                assert_eq!(Gf(a).mul(Gf(b)), Gf(b).mul(Gf(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_all_nonzero() {
+        for a in 1..=255u8 {
+            assert_eq!(Gf(a).mul(Gf(a).inv()), Gf::ONE, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn zero_inverse_panics() {
+        Gf::ZERO.inv();
+    }
+
+    #[test]
+    fn distributivity_exhaustive_sample() {
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(23) {
+                for c in (0..=255u8).step_by(31) {
+                    let lhs = Gf(a).mul(Gf(b).add(Gf(c)));
+                    let rhs = Gf(a).mul(Gf(b)).add(Gf(a).mul(Gf(c)));
+                    assert_eq!(lhs, rhs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Gf(37);
+        let mut acc = Gf::ONE;
+        for n in 0..20u64 {
+            assert_eq!(a.pow(n), acc);
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn pow_zero_base() {
+        assert_eq!(Gf::ZERO.pow(0), Gf::ONE);
+        assert_eq!(Gf::ZERO.pow(5), Gf::ZERO);
+    }
+
+    #[test]
+    fn log_exp_roundtrip() {
+        for a in 1..=255u8 {
+            let l = Gf(a).log().unwrap();
+            assert_eq!(Gf::alpha_pow(l as usize), Gf(a));
+        }
+        assert!(Gf::ZERO.log().is_none());
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = 1 + 2x + 3x^2 at x = 2: 1 ^ (2*2) ^ (3*4) = 1 ^ 4 ^ 12 = 9
+        let p = [Gf(1), Gf(2), Gf(3)];
+        assert_eq!(poly_eval(&p, Gf(2)), Gf(1).add(Gf(2).mul(Gf(2))).add(Gf(3).mul(Gf(4))));
+    }
+
+    #[test]
+    fn poly_mul_degree_and_identity() {
+        let a = [Gf(1), Gf(2), Gf(3)];
+        let one = [Gf::ONE];
+        assert_eq!(poly_mul(&a, &one), a.to_vec());
+        let b = [Gf(5), Gf(7)];
+        let prod = poly_mul(&a, &b);
+        assert_eq!(prod.len(), 4);
+        // Evaluate both sides at a few points.
+        for x in [Gf(0), Gf(1), Gf(2), Gf(77)] {
+            assert_eq!(poly_eval(&prod, x), poly_eval(&a, x).mul(poly_eval(&b, x)));
+        }
+    }
+
+    #[test]
+    fn poly_deriv_char2() {
+        // d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + 0 + c3 x^2 (char 2)
+        let p = [Gf(9), Gf(7), Gf(5), Gf(3)];
+        assert_eq!(poly_deriv(&p), vec![Gf(7), Gf::ZERO, Gf(3)]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # geoproof-ecc
+//!
+//! Error-correcting codes for the GeoProof reproduction:
+//!
+//! * [`gf256`] — GF(2^8) field arithmetic with log/antilog tables;
+//! * [`rs`] — systematic Reed–Solomon codes with full error-and-erasure
+//!   decoding (syndromes → Berlekamp–Massey → Chien → Forney);
+//! * [`block_code`] — the paper's view of 128-bit file blocks as code
+//!   symbols, realised as 16 byte-striped RS(255, 223) lanes.
+//!
+//! GeoProof's setup phase (paper §V-A step 2) applies the
+//! "(255, 223, 32)-Reed-Solomon code" to 255-block chunks, expanding the
+//! file ≈ 14 % and letting the extractor repair bounded corruption the
+//! provider might hope goes unnoticed.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_ecc::rs::RsCode;
+//!
+//! let code = RsCode::paper_code();
+//! assert_eq!((code.n(), code.k(), code.t()), (255, 223, 16));
+//! ```
+
+pub mod block_code;
+pub mod gf256;
+pub mod rs;
+
+pub use block_code::{Block, BlockCode, BLOCK_BYTES};
+pub use rs::{DecodeError, RsCode};

@@ -1,0 +1,561 @@
+//! Reed–Solomon codes over GF(2^8) with full error *and* erasure decoding.
+//!
+//! GeoProof's setup phase (paper §V-A step 2) groups file blocks into
+//! 255-block chunks and applies "the adapted (255, 223, 32)-Reed-Solomon
+//! code", expanding the file by ≈ 14.3 %. This module implements the codec:
+//! systematic encoding, syndrome computation, Berlekamp–Massey,
+//! Chien search and Forney's algorithm.
+//!
+//! Layout convention: [`RsCode::encode`] returns `data ‖ parity`; internally
+//! parity occupies the low-degree coefficients so that the generator
+//! divides the codeword polynomial.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_ecc::rs::RsCode;
+//!
+//! let code = RsCode::new(255, 223);
+//! let data: Vec<u8> = (0..223).map(|i| i as u8).collect();
+//! let mut cw = code.encode(&data);
+//! // Corrupt up to t = 16 symbols anywhere…
+//! for i in 0..16 { cw[i * 13] ^= 0xA5; }
+//! // …and decoding still recovers the original data.
+//! let recovered = code.decode(&cw, &[]).expect("within capacity");
+//! assert_eq!(recovered, data);
+//! ```
+
+use crate::gf256::Gf;
+
+/// A systematic Reed–Solomon code RS(n, k) over GF(2^8).
+///
+/// Corrects up to `t = (n-k)/2` symbol errors, or any mix of `e` errors and
+/// `ρ` erasures with `2e + ρ ≤ n - k`.
+#[derive(Clone, Debug)]
+pub struct RsCode {
+    n: usize,
+    k: usize,
+    generator: Vec<Gf>, // ascending coefficients, monic, degree n-k
+}
+
+/// Errors returned by [`RsCode::decode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More errata than the code can correct.
+    TooManyErrors,
+    /// Input length does not equal the code length `n`.
+    WrongLength {
+        /// Expected codeword length.
+        expected: usize,
+        /// Actual input length.
+        actual: usize,
+    },
+    /// An erasure position is out of range.
+    BadErasure(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooManyErrors => write!(f, "errata exceed correction capacity"),
+            DecodeError::WrongLength { expected, actual } => {
+                write!(f, "codeword length {actual}, expected {expected}")
+            }
+            DecodeError::BadErasure(p) => write!(f, "erasure position {p} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl RsCode {
+    /// Creates an RS(n, k) code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n <= 255`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n <= 255, "n must be at most 255 for GF(2^8)");
+        assert!(k >= 1 && k < n, "require 1 <= k < n");
+        let nsym = n - k;
+        // g(x) = Π_{j=0}^{nsym-1} (x + α^j), ascending coefficients.
+        let mut generator = vec![Gf::ONE];
+        for j in 0..nsym {
+            generator = crate::gf256::poly_mul(&generator, &[Gf::alpha_pow(j), Gf::ONE]);
+        }
+        RsCode { n, k, generator }
+    }
+
+    /// The paper's (255, 223, 32) configuration: t = 16.
+    pub fn paper_code() -> Self {
+        RsCode::new(255, 223)
+    }
+
+    /// Codeword length `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity symbol count `n - k`.
+    pub fn nsym(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Error-correction radius `t = (n-k)/2`.
+    pub fn t(&self) -> usize {
+        self.nsym() / 2
+    }
+
+    /// Rate expansion factor `n / k` (the paper quotes ≈ 1.143 → "14 %").
+    pub fn expansion(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+
+    // API index (data-first) -> polynomial coefficient index.
+    fn api_to_poly(&self, idx: usize) -> usize {
+        if idx < self.k {
+            self.nsym() + idx
+        } else {
+            idx - self.k
+        }
+    }
+
+    /// Encodes `data` (length `k`) into a codeword `data ‖ parity`
+    /// (length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "data must be exactly k symbols");
+        let nsym = self.nsym();
+        // dividend = m(x) * x^nsym, ascending; data symbol j at coeff nsym+j.
+        let mut dividend = vec![Gf::ZERO; self.n];
+        for (j, &d) in data.iter().enumerate() {
+            dividend[nsym + j] = Gf(d);
+        }
+        // Long division by the monic generator, top degree downwards.
+        for deg in (nsym..self.n).rev() {
+            let coef = dividend[deg];
+            if coef == Gf::ZERO {
+                continue;
+            }
+            // Subtract coef * x^(deg-nsym) * g(x).
+            let shift = deg - nsym;
+            for (i, &g) in self.generator.iter().enumerate() {
+                dividend[shift + i] = dividend[shift + i].sub(coef.mul(g));
+            }
+            debug_assert_eq!(dividend[deg], Gf::ZERO);
+        }
+        // Remainder (low nsym coefficients) is the negated parity; in char 2
+        // the codeword is m(x)·x^nsym + rem.
+        let mut out = Vec::with_capacity(self.n);
+        out.extend_from_slice(data);
+        out.extend(dividend[..nsym].iter().map(|g| g.0));
+        out
+    }
+
+    fn syndromes(&self, poly: &[Gf]) -> Vec<Gf> {
+        (0..self.nsym())
+            .map(|j| {
+                let x = Gf::alpha_pow(j);
+                // Horner over ascending coefficients.
+                let mut acc = Gf::ZERO;
+                for &c in poly.iter().rev() {
+                    acc = acc.mul(x).add(c);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Decodes a codeword (layout `data ‖ parity`), optionally with known
+    /// erasure positions (API indices into the codeword).
+    ///
+    /// Returns the recovered `k` data symbols.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TooManyErrors`] when errata exceed `2e + ρ ≤ n - k`;
+    /// [`DecodeError::WrongLength`] / [`DecodeError::BadErasure`] on
+    /// malformed input.
+    pub fn decode(&self, codeword: &[u8], erasures: &[usize]) -> Result<Vec<u8>, DecodeError> {
+        let corrected = self.correct(codeword, erasures)?;
+        Ok(corrected[..self.k].to_vec())
+    }
+
+    /// Like [`RsCode::decode`] but returns the full corrected codeword.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RsCode::decode`].
+    pub fn correct(&self, codeword: &[u8], erasures: &[usize]) -> Result<Vec<u8>, DecodeError> {
+        if codeword.len() != self.n {
+            return Err(DecodeError::WrongLength {
+                expected: self.n,
+                actual: codeword.len(),
+            });
+        }
+        let nsym = self.nsym();
+        if erasures.len() > nsym {
+            return Err(DecodeError::TooManyErrors);
+        }
+        // Received polynomial, ascending coefficients.
+        let mut r = vec![Gf::ZERO; self.n];
+        for (idx, &b) in codeword.iter().enumerate() {
+            r[self.api_to_poly(idx)] = Gf(b);
+        }
+        let synd = self.syndromes(&r);
+        if synd.iter().all(|s| *s == Gf::ZERO) {
+            return Ok(codeword.to_vec()); // already a codeword
+        }
+
+        // Erasure locator Γ(x) = Π (1 + α^p x).
+        let mut gamma = vec![Gf::ONE];
+        for &e in erasures {
+            if e >= self.n {
+                return Err(DecodeError::BadErasure(e));
+            }
+            let p = self.api_to_poly(e);
+            gamma = crate::gf256::poly_mul(&gamma, &[Gf::ONE, Gf::alpha_pow(p)]);
+        }
+        let rho = erasures.len();
+
+        // Modified syndromes Ξ = S·Γ mod x^nsym; BM over Ξ[ρ..]. The
+        // product comes back zero-trimmed, but Berlekamp–Massey needs all
+        // 2t positions — a trailing zero syndrome is information, not
+        // padding (dropping it leaves Λ under-determined at full load).
+        let mut xi = poly_mul_mod(&synd, &gamma, nsym);
+        xi.resize(nsym, Gf::ZERO);
+        let lambda = berlekamp_massey(&xi[rho..]);
+
+        // Combined errata locator Ψ = Λ·Γ.
+        let psi = crate::gf256::poly_mul(&lambda, &gamma);
+        let errata_count = psi.len() - 1;
+        if errata_count == 0 || 2 * (lambda.len() - 1) + rho > nsym {
+            return Err(DecodeError::TooManyErrors);
+        }
+
+        // Chien search: roots of Ψ at x = α^{-i} mark errata at coeff i.
+        let mut positions = Vec::new();
+        for i in 0..self.n {
+            let x_inv = Gf::alpha_pow((255 - i % 255) % 255);
+            if crate::gf256::poly_eval(&psi, x_inv) == Gf::ZERO {
+                positions.push(i);
+            }
+        }
+        if positions.len() != errata_count {
+            return Err(DecodeError::TooManyErrors); // locator degenerate
+        }
+
+        // Forney: Ω = S·Ψ mod x^nsym; Y = X·Ω(X^{-1}) / Ψ'(X^{-1}).
+        let omega = poly_mul_mod(&synd, &psi, nsym);
+        let psi_deriv = crate::gf256::poly_deriv(&psi);
+        for &p in &positions {
+            let x = Gf::alpha_pow(p % 255);
+            let x_inv = x.inv();
+            let denom = crate::gf256::poly_eval(&psi_deriv, x_inv);
+            if denom == Gf::ZERO {
+                return Err(DecodeError::TooManyErrors);
+            }
+            let y = x.mul(crate::gf256::poly_eval(&omega, x_inv)).div(denom);
+            r[p] = r[p].sub(y);
+        }
+
+        // Re-check syndromes: a decoding beyond capacity lands on garbage.
+        let check = self.syndromes(&r);
+        if check.iter().any(|s| *s != Gf::ZERO) {
+            return Err(DecodeError::TooManyErrors);
+        }
+
+        // Map back to API layout.
+        let mut out = vec![0u8; self.n];
+        for idx in 0..self.n {
+            out[idx] = r[self.api_to_poly(idx)].0;
+        }
+        Ok(out)
+    }
+}
+
+/// `a(x)·b(x) mod x^limit`, ascending coefficients.
+fn poly_mul_mod(a: &[Gf], b: &[Gf], limit: usize) -> Vec<Gf> {
+    let mut out = vec![Gf::ZERO; limit];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == Gf::ZERO || i >= limit {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            if i + j >= limit {
+                break;
+            }
+            out[i + j] = out[i + j].add(ai.mul(bj));
+        }
+    }
+    // Trim trailing zeros but keep at least one coefficient.
+    while out.len() > 1 && *out.last().expect("non-empty") == Gf::ZERO {
+        out.pop();
+    }
+    out
+}
+
+/// Berlekamp–Massey over GF(2^8): minimal LFSR (ascending-coefficient
+/// locator polynomial, constant term 1) generating `seq`.
+fn berlekamp_massey(seq: &[Gf]) -> Vec<Gf> {
+    let mut lambda = vec![Gf::ONE];
+    let mut b_poly = vec![Gf::ONE];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut b = Gf::ONE;
+    for n_iter in 0..seq.len() {
+        // Discrepancy δ = Σ_{i=0..deg Λ} Λ_i seq[n-i]. Summing over the
+        // full stored polynomial (not just L) keeps δ correct even when
+        // an update transiently stores coefficients above degree L.
+        let mut delta = seq[n_iter];
+        for i in 1..lambda.len().min(n_iter + 1) {
+            delta = delta.add(lambda[i].mul(seq[n_iter - i]));
+        }
+        if delta == Gf::ZERO {
+            m += 1;
+        } else if 2 * l <= n_iter {
+            let t = lambda.clone();
+            lambda = poly_sub_scaled_shift(&lambda, &b_poly, delta.div(b), m);
+            l = n_iter + 1 - l;
+            b_poly = t;
+            b = delta;
+            m = 1;
+        } else {
+            lambda = poly_sub_scaled_shift(&lambda, &b_poly, delta.div(b), m);
+            m += 1;
+        }
+    }
+    // Trim trailing zeros.
+    while lambda.len() > 1 && *lambda.last().expect("non-empty") == Gf::ZERO {
+        lambda.pop();
+    }
+    lambda
+}
+
+/// `a(x) - c·x^shift·b(x)` (ascending coefficients; char 2 so sub == add).
+fn poly_sub_scaled_shift(a: &[Gf], b: &[Gf], c: Gf, shift: usize) -> Vec<Gf> {
+    let len = a.len().max(b.len() + shift);
+    let mut out = vec![Gf::ZERO; len];
+    out[..a.len()].copy_from_slice(a);
+    for (i, &bi) in b.iter().enumerate() {
+        out[i + shift] = out[i + shift].add(c.mul(bi));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_data(k: usize, seed: u8) -> Vec<u8> {
+        (0..k).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = RsCode::new(15, 11);
+        let data = make_data(11, 1);
+        let cw = code.encode(&data);
+        assert_eq!(cw.len(), 15);
+        assert_eq!(&cw[..11], &data[..]);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = RsCode::new(255, 223);
+        let data = make_data(223, 2);
+        let cw = code.encode(&data);
+        assert_eq!(code.decode(&cw, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_single_error_every_position() {
+        let code = RsCode::new(15, 11);
+        let data = make_data(11, 3);
+        let cw = code.encode(&data);
+        for pos in 0..15 {
+            let mut bad = cw.clone();
+            bad[pos] ^= 0x5a;
+            assert_eq!(code.decode(&bad, &[]).unwrap(), data, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn corrects_t_errors() {
+        let code = RsCode::new(255, 223); // t = 16
+        let data = make_data(223, 4);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for i in 0..16 {
+            bad[i * 15 + 1] ^= (i as u8) + 1;
+        }
+        assert_eq!(code.decode(&bad, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn detects_more_than_t_errors() {
+        let code = RsCode::new(255, 223);
+        let data = make_data(223, 5);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        // 30 errors: far beyond t=16; decoder must not return wrong data
+        // silently *for this pattern* (miscorrection probability is low but
+        // nonzero in general; this fixed pattern is checked to fail).
+        for i in 0..30 {
+            bad[i * 8] ^= 0xff;
+        }
+        match code.decode(&bad, &[]) {
+            Err(DecodeError::TooManyErrors) => {}
+            Ok(d) => assert_ne!(d, data, "silently mis-corrected to original?!"),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn corrects_full_erasure_budget() {
+        let code = RsCode::new(255, 223); // 32 erasures correctable
+        let data = make_data(223, 6);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        let erasures: Vec<usize> = (0..32).map(|i| i * 7).collect();
+        for &e in &erasures {
+            bad[e] = 0;
+        }
+        assert_eq!(code.decode(&bad, &erasures).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_mixed_errors_and_erasures() {
+        // 2e + ρ <= 32: e = 10 errors, ρ = 12 erasures.
+        let code = RsCode::new(255, 223);
+        let data = make_data(223, 7);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        let erasures: Vec<usize> = (0..12).map(|i| 3 * i + 100).collect();
+        for &e in &erasures {
+            bad[e] ^= 0x77;
+        }
+        for i in 0..10 {
+            bad[i * 9] ^= 0x11;
+        }
+        assert_eq!(code.decode(&bad, &erasures).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_too_many_erasures() {
+        let code = RsCode::new(15, 11);
+        let data = make_data(11, 8);
+        let cw = code.encode(&data);
+        let erasures: Vec<usize> = (0..5).collect(); // nsym = 4
+        assert_eq!(
+            code.decode(&cw, &erasures),
+            Err(DecodeError::TooManyErrors)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let code = RsCode::new(15, 11);
+        assert!(matches!(
+            code.decode(&[0u8; 14], &[]),
+            Err(DecodeError::WrongLength { expected: 15, actual: 14 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_erasure_position() {
+        let code = RsCode::new(15, 11);
+        let data = make_data(11, 9);
+        let mut cw = code.encode(&data);
+        cw[0] ^= 1;
+        assert_eq!(code.decode(&cw, &[99]), Err(DecodeError::BadErasure(99)));
+    }
+
+    #[test]
+    fn parity_error_only_still_recovers_data() {
+        let code = RsCode::new(255, 223);
+        let data = make_data(223, 10);
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        bad[250] ^= 0xde; // parity region
+        assert_eq!(code.decode(&bad, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn expansion_matches_paper_14_percent() {
+        let code = RsCode::paper_code();
+        let overhead = code.expansion() - 1.0;
+        assert!((overhead - 0.1435).abs() < 0.001, "overhead {overhead}");
+    }
+
+    #[test]
+    fn full_load_with_trailing_zero_syndrome() {
+        // Regression (found by proptest): at exactly t = 16 errors some
+        // patterns produce S[2t-1] = 0; Berlekamp–Massey must still see
+        // all 2t syndrome positions or Λ is under-determined.
+        let code = RsCode::new(255, 223);
+        let mut data = vec![0u8; 150];
+        data.extend_from_slice(&[
+            110, 88, 165, 86, 93, 138, 154, 239, 38, 165, 6, 73, 23, 22, 232, 25, 136, 63,
+            245, 144, 173, 192, 24, 166, 44, 6, 120, 95, 59, 100, 95, 237, 213, 241, 254, 99,
+            136, 166, 129, 251, 217, 73, 183, 6, 42, 9, 225, 26, 15, 226, 103, 234, 84, 156,
+            149, 72, 193, 14, 57, 250, 114, 53, 18, 174, 196, 47, 55, 92, 43, 98, 121, 134,
+            203,
+        ]);
+        let positions = [4usize, 10, 21, 40, 53, 60, 66, 82, 83, 97, 106, 123, 146, 173, 187, 241];
+        let masks = [26u8, 7, 163, 181, 18, 118, 249, 95, 24, 76, 46, 1, 111, 13, 147, 106];
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for (i, &pos) in positions.iter().enumerate() {
+            bad[pos] ^= masks[i];
+        }
+        assert_eq!(code.decode(&bad, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn random_error_fuzz_within_capacity() {
+        use geoproof_crypto_like_rng::rand_u64;
+        let code = RsCode::new(255, 223);
+        let mut seed = 0xfeed_beefu64;
+        for trial in 0..40 {
+            let data: Vec<u8> = (0..223).map(|_| {
+                seed = rand_u64(seed);
+                seed as u8
+            }).collect();
+            let cw = code.encode(&data);
+            let mut bad = cw.clone();
+            let nerr = (trial % 17) as usize; // 0..=16
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..nerr {
+                loop {
+                    seed = rand_u64(seed);
+                    let pos = (seed % 255) as usize;
+                    if used.insert(pos) {
+                        seed = rand_u64(seed);
+                        bad[pos] ^= (seed as u8) | 1; // nonzero flip
+                        break;
+                    }
+                }
+            }
+            assert_eq!(code.decode(&bad, &[]).unwrap(), data, "trial {trial}");
+        }
+    }
+
+    // Minimal xorshift for the fuzz test without external deps.
+    mod geoproof_crypto_like_rng {
+        pub fn rand_u64(mut x: u64) -> u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+}

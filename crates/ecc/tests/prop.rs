@@ -1,0 +1,134 @@
+//! Property-based tests for GF(2^8) and the Reed–Solomon codec.
+
+use geoproof_ecc::block_code::BlockCode;
+use geoproof_ecc::gf256::{poly_eval, poly_mul, Gf};
+use geoproof_ecc::rs::RsCode;
+use proptest::prelude::*;
+
+proptest! {
+    // --- Field axioms ------------------------------------------------------
+
+    #[test]
+    fn gf_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let (a, b, c) = (Gf(a), Gf(b), Gf(c));
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+        prop_assert_eq!(a.add(a), Gf::ZERO); // char 2
+    }
+
+    #[test]
+    fn gf_inverse(a in 1u8..=255) {
+        let a = Gf(a);
+        prop_assert_eq!(a.mul(a.inv()), Gf::ONE);
+        prop_assert_eq!(a.div(a), Gf::ONE);
+    }
+
+    #[test]
+    fn gf_pow_laws(a in 1u8..=255, m in 0u64..300, n in 0u64..300) {
+        let a = Gf(a);
+        prop_assert_eq!(a.pow(m).mul(a.pow(n)), a.pow(m + n));
+    }
+
+    #[test]
+    fn poly_mul_eval_homomorphism(
+        p in prop::collection::vec(any::<u8>(), 1..8),
+        q in prop::collection::vec(any::<u8>(), 1..8),
+        x in any::<u8>(),
+    ) {
+        let p: Vec<Gf> = p.into_iter().map(Gf).collect();
+        let q: Vec<Gf> = q.into_iter().map(Gf).collect();
+        let prod = poly_mul(&p, &q);
+        prop_assert_eq!(
+            poly_eval(&prod, Gf(x)),
+            poly_eval(&p, Gf(x)).mul(poly_eval(&q, Gf(x)))
+        );
+    }
+
+    // --- RS codec -------------------------------------------------------------
+
+    #[test]
+    fn rs_any_code_clean_roundtrip(
+        k in 2usize..30,
+        extra in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let n = (k + 2 * extra).min(255);
+        let code = RsCode::new(n, k);
+        let data: Vec<u8> = (0..k).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 5) as u8).collect();
+        let cw = code.encode(&data);
+        prop_assert_eq!(code.decode(&cw, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_small_code_corrects_up_to_t(
+        data in prop::collection::vec(any::<u8>(), 11),
+        positions in prop::collection::btree_set(0usize..15, 0..=2),
+        mask in 1u8..=255,
+    ) {
+        let code = RsCode::new(15, 11); // t = 2
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for &p in &positions {
+            bad[p] ^= mask;
+        }
+        prop_assert_eq!(code.decode(&bad, &[]).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_erasures_to_the_limit(
+        data in prop::collection::vec(any::<u8>(), 11),
+        erasures in prop::collection::btree_set(0usize..15, 0..=4),
+    ) {
+        let code = RsCode::new(15, 11); // nsym = 4 erasures
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for &e in &erasures {
+            bad[e] = bad[e].wrapping_add(1);
+        }
+        let er: Vec<usize> = erasures.into_iter().collect();
+        prop_assert_eq!(code.decode(&bad, &er).unwrap(), data);
+    }
+
+    #[test]
+    fn rs_mixed_errata_within_budget(
+        data in prop::collection::vec(any::<u8>(), 223),
+        erasures in prop::collection::btree_set(0usize..255, 0..=10),
+        errors in prop::collection::btree_set(0usize..255, 0..=5),
+    ) {
+        // 2e + ρ <= 32 guaranteed: e <= 5, ρ <= 10 → 20 ≤ 32. Positions may
+        // overlap; an "error" at an erased spot is still just an erasure.
+        let code = RsCode::paper_code();
+        let cw = code.encode(&data);
+        let mut bad = cw.clone();
+        for &e in &erasures {
+            bad[e] = 0;
+        }
+        for &p in &errors {
+            bad[p] ^= 0x3c;
+        }
+        let er: Vec<usize> = erasures.into_iter().collect();
+        prop_assert_eq!(code.decode(&bad, &er).unwrap(), data);
+    }
+
+    #[test]
+    fn block_code_single_block_corruption(
+        seed in any::<u64>(),
+        victim in 0usize..15,
+    ) {
+        let code = BlockCode::new(15, 11);
+        let chunk: Vec<[u8; 16]> = (0..11)
+            .map(|i| {
+                let mut b = [0u8; 16];
+                for (j, byte) in b.iter_mut().enumerate() {
+                    *byte = (seed >> (j % 8)) as u8 ^ (i as u8);
+                }
+                b
+            })
+            .collect();
+        let mut enc = code.encode_chunk(&chunk);
+        enc[victim] = [0xde; 16];
+        prop_assert_eq!(code.decode_chunk(&enc, &[]).unwrap(), chunk);
+    }
+}

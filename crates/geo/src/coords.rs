@@ -1,0 +1,157 @@
+//! Geographic coordinates and great-circle distance.
+//!
+//! The paper measures physical distance between Australian hosts with an
+//! online "Google Maps Distance Calculator" (Table III); we compute
+//! great-circle (haversine) distances from latitude/longitude, which agree
+//! with the paper's figures to within a few per cent.
+
+use geoproof_sim::time::Km;
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// A point on the Earth's surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, north positive.
+    pub lat: f64,
+    /// Longitude in degrees, east positive.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latitude is outside [-90, 90] or longitude outside
+    /// [-180, 180].
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude {lat} out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude {lon} out of range"
+        );
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` via the haversine formula.
+    pub fn distance(&self, other: &GeoPoint) -> Km {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        Km(EARTH_RADIUS_KM * c)
+    }
+}
+
+impl std::fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.4}°, {:.4}°)", self.lat, self.lon)
+    }
+}
+
+/// Named locations used by the paper's measurements.
+pub mod places {
+    use super::GeoPoint;
+
+    /// Brisbane CBD (the paper's vantage point, ADSL2).
+    pub const BRISBANE: GeoPoint = GeoPoint { lat: -27.4698, lon: 153.0251 };
+    /// Suburban Brisbane ADSL vantage (Indooroopilly): closer to UQ than to
+    /// QUT, matching the ordering of the paper's first two Table III rows.
+    pub const ADSL_VANTAGE: GeoPoint = GeoPoint { lat: -27.4986, lon: 152.9729 };
+    /// University of Queensland, St Lucia (uq.edu.au, 8 km).
+    pub const UQ_ST_LUCIA: GeoPoint = GeoPoint { lat: -27.4975, lon: 153.0137 };
+    /// QUT Gardens Point (qut.edu.au, 12 km).
+    pub const QUT_GARDENS_POINT: GeoPoint = GeoPoint { lat: -27.4772, lon: 153.0283 };
+    /// University of New England, Armidale (une.edu.au, 350 km).
+    pub const ARMIDALE: GeoPoint = GeoPoint { lat: -30.5120, lon: 151.6655 };
+    /// University of Sydney (sydney.edu.au, 722 km).
+    pub const SYDNEY: GeoPoint = GeoPoint { lat: -33.8688, lon: 151.2093 };
+    /// James Cook University, Townsville (jcu.edu.au, 1120 km).
+    pub const TOWNSVILLE: GeoPoint = GeoPoint { lat: -19.2590, lon: 146.8169 };
+    /// Royal Melbourne Hospital (mh.org.au, 1363 km).
+    pub const MELBOURNE: GeoPoint = GeoPoint { lat: -37.8136, lon: 144.9631 };
+    /// Royal Adelaide Hospital (rah.sa.gov.au, 1592 km).
+    pub const ADELAIDE: GeoPoint = GeoPoint { lat: -34.9285, lon: 138.6007 };
+    /// University of Tasmania, Hobart (utas.edu.au, 1785 km).
+    pub const HOBART: GeoPoint = GeoPoint { lat: -42.8821, lon: 147.3272 };
+    /// University of Western Australia, Perth (uwa.edu.au, 3605 km).
+    pub const PERTH: GeoPoint = GeoPoint { lat: -31.9505, lon: 115.8605 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::places::*;
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(-27.5, 153.0);
+        assert!(p.distance(&p).0 < 1e-9);
+    }
+
+    #[test]
+    fn symmetry() {
+        let d1 = BRISBANE.distance(&PERTH);
+        let d2 = PERTH.distance(&BRISBANE);
+        assert!((d1.0 - d2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brisbane_perth_matches_paper() {
+        // Paper Table III: 3605 km. Haversine gives ≈ 3604 km.
+        let d = BRISBANE.distance(&PERTH).0;
+        assert!((d - 3605.0).abs() < 40.0, "got {d}");
+    }
+
+    #[test]
+    fn brisbane_sydney_matches_paper() {
+        // Paper: 722 km; great circle ≈ 730 km.
+        let d = BRISBANE.distance(&SYDNEY).0;
+        assert!((d - 722.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn brisbane_townsville_matches_paper() {
+        let d = BRISBANE.distance(&TOWNSVILLE).0;
+        assert!((d - 1120.0).abs() < 40.0, "got {d}");
+    }
+
+    #[test]
+    fn table_iii_distances_are_monotone() {
+        // From the suburban ADSL vantage, the nine Table III hosts must
+        // appear in the paper's order of increasing distance.
+        let hosts = [
+            UQ_ST_LUCIA,
+            QUT_GARDENS_POINT,
+            ARMIDALE,
+            SYDNEY,
+            TOWNSVILLE,
+            MELBOURNE,
+            ADELAIDE,
+            HOBART,
+            PERTH,
+        ];
+        let dists: Vec<f64> = hosts.iter().map(|h| ADSL_VANTAGE.distance(h).0).collect();
+        for w in dists.windows(2) {
+            assert!(w[0] < w[1], "distances must increase: {dists:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let via = BRISBANE.distance(&SYDNEY).0 + SYDNEY.distance(&MELBOURNE).0;
+        let direct = BRISBANE.distance(&MELBOURNE).0;
+        assert!(direct <= via + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn invalid_latitude_panics() {
+        GeoPoint::new(91.0, 0.0);
+    }
+}

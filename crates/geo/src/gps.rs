@@ -1,0 +1,171 @@
+//! GPS receiver model, including the spoofing attack the paper warns about.
+//!
+//! The verifier device is "GPS enabled to ensure physical location of this
+//! device" (paper §V), but §V-C notes GPS satellite simulators can overpower
+//! the genuine signal and feed the receiver a fake position. [`GpsReceiver`]
+//! models both the honest fix and a spoofed one, and
+//! [`verify_position_with_landmarks`] implements the paper's suggested
+//! countermeasure: triangulating the verifier from multiple landmarks and
+//! cross-checking the claimed fix.
+
+use crate::coords::GeoPoint;
+use crate::triangulation::{multilaterate, RangeMeasurement};
+use geoproof_sim::time::Km;
+
+/// A position fix as reported by a GPS receiver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpsFix {
+    /// Reported position.
+    pub position: GeoPoint,
+    /// Estimated accuracy radius (km) claimed by the receiver.
+    pub accuracy: Km,
+}
+
+/// A (possibly spoofed) GPS receiver.
+#[derive(Clone, Debug)]
+pub struct GpsReceiver {
+    true_position: GeoPoint,
+    spoofed_position: Option<GeoPoint>,
+    accuracy: Km,
+}
+
+impl GpsReceiver {
+    /// A healthy receiver at `position` with ~15 m accuracy.
+    pub fn new(position: GeoPoint) -> Self {
+        GpsReceiver {
+            true_position: position,
+            spoofed_position: None,
+            accuracy: Km(0.015),
+        }
+    }
+
+    /// Overrides the reported position, modelling a satellite-simulator
+    /// spoofing attack ("fake satellite radio signal that is much stronger
+    /// than the normal GPS signal", §V-C).
+    pub fn spoof(&mut self, fake: GeoPoint) {
+        self.spoofed_position = Some(fake);
+    }
+
+    /// Clears any spoofing.
+    pub fn clear_spoof(&mut self) {
+        self.spoofed_position = None;
+    }
+
+    /// Whether a spoof is active (ground truth for experiments; a real
+    /// verifier cannot call this).
+    pub fn is_spoofed(&self) -> bool {
+        self.spoofed_position.is_some()
+    }
+
+    /// The fix the device reports — the spoofed position if an attack is
+    /// active, else the genuine one.
+    pub fn read_fix(&self) -> GpsFix {
+        GpsFix {
+            position: self.spoofed_position.unwrap_or(self.true_position),
+            accuracy: self.accuracy,
+        }
+    }
+
+    /// The device's actual location (ground truth for experiments).
+    pub fn true_position(&self) -> GeoPoint {
+        self.true_position
+    }
+}
+
+/// Outcome of cross-checking a GPS fix against landmark ranging.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PositionCheck {
+    /// Landmark-derived position estimate.
+    pub estimated: GeoPoint,
+    /// Distance between the claimed fix and the landmark estimate.
+    pub discrepancy: Km,
+    /// Whether the claimed fix is within tolerance of the estimate.
+    pub consistent: bool,
+}
+
+/// Verifies a claimed GPS fix against independent landmark range
+/// measurements (the paper's "triangulation of V from multiple landmarks",
+/// citing Szymaniak et al.).
+///
+/// `tolerance` is the maximum acceptable discrepancy; network-derived
+/// ranges are coarse, so tens of kilometres is realistic.
+pub fn verify_position_with_landmarks(
+    claimed: &GpsFix,
+    ranges: &[RangeMeasurement],
+    tolerance: Km,
+) -> Option<PositionCheck> {
+    let estimated = multilaterate(ranges)?;
+    let discrepancy = claimed.position.distance(&estimated);
+    Some(PositionCheck {
+        estimated,
+        consistent: discrepancy.0 <= tolerance.0,
+        discrepancy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::places::*;
+
+    fn ranges_from(truth: GeoPoint) -> Vec<RangeMeasurement> {
+        [SYDNEY, MELBOURNE, PERTH, TOWNSVILLE]
+            .iter()
+            .map(|lm| RangeMeasurement {
+                landmark: *lm,
+                distance: lm.distance(&truth),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_receiver_reports_truth() {
+        let gps = GpsReceiver::new(BRISBANE);
+        assert_eq!(gps.read_fix().position, BRISBANE);
+        assert!(!gps.is_spoofed());
+    }
+
+    #[test]
+    fn spoofed_receiver_reports_fake() {
+        let mut gps = GpsReceiver::new(BRISBANE);
+        gps.spoof(PERTH);
+        assert_eq!(gps.read_fix().position, PERTH);
+        assert_eq!(gps.true_position(), BRISBANE);
+        gps.clear_spoof();
+        assert_eq!(gps.read_fix().position, BRISBANE);
+    }
+
+    #[test]
+    fn landmark_check_accepts_honest_fix() {
+        let gps = GpsReceiver::new(BRISBANE);
+        let check = verify_position_with_landmarks(
+            &gps.read_fix(),
+            &ranges_from(BRISBANE),
+            Km(50.0),
+        )
+        .expect("enough landmarks");
+        assert!(check.consistent, "discrepancy {}", check.discrepancy);
+    }
+
+    #[test]
+    fn landmark_check_catches_spoof() {
+        let mut gps = GpsReceiver::new(BRISBANE);
+        gps.spoof(PERTH); // claims Perth, actually in Brisbane
+        // Ranges are physical, so they still reflect Brisbane.
+        let check = verify_position_with_landmarks(
+            &gps.read_fix(),
+            &ranges_from(BRISBANE),
+            Km(50.0),
+        )
+        .expect("enough landmarks");
+        assert!(!check.consistent);
+        assert!(check.discrepancy.0 > 3000.0, "Perth vs Brisbane ≈ 3600 km");
+    }
+
+    #[test]
+    fn too_few_landmarks_yields_none() {
+        let gps = GpsReceiver::new(BRISBANE);
+        let short = &ranges_from(BRISBANE)[..2];
+        assert!(verify_position_with_landmarks(&gps.read_fix(), short, Km(50.0)).is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! Baseline Internet geolocation schemes (paper §III-B).
+//!
+//! The paper reviews measurement-based geolocation — GeoPing, Octant,
+//! Topology-Based Geolocation (TBG) — and dismisses the family for cloud
+//! auditing: accuracy is coarse ("worst-case errors of over 1000 km") and,
+//! critically, none treats the target as *adversarial*: a provider can
+//! simply delay probe responses to push the estimate wherever it likes.
+//! These implementations exist as honest baselines for the comparison
+//! experiment (DESIGN.md E4).
+//!
+//! All three consume pre-measured [`DelayObservation`]s, so they are pure
+//! functions of the measurement vector and compose with any network model.
+
+use crate::coords::GeoPoint;
+use crate::triangulation::{multilaterate, RangeMeasurement};
+use geoproof_sim::time::{Km, SimDuration, Speed};
+
+/// One latency observation from a landmark to the target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayObservation {
+    /// The probing landmark's position.
+    pub landmark: GeoPoint,
+    /// Measured round-trip time.
+    pub rtt: SimDuration,
+}
+
+/// Converts an RTT into an estimated one-way distance:
+/// `(rtt/2 − overhead/2) × speed`, floored at zero.
+pub fn rtt_to_distance(rtt: SimDuration, access_overhead: SimDuration, speed: Speed) -> Km {
+    let effective = rtt.saturating_sub(access_overhead);
+    let one_way_ms = effective.as_millis_f64() / 2.0;
+    Km(one_way_ms * speed.0)
+}
+
+// ---------------------------------------------------------------------------
+// GeoPing (Padmanabhan & Subramanian)
+// ---------------------------------------------------------------------------
+
+/// A calibration entry: a host at a known position with its delay vector to
+/// the fixed landmark set.
+#[derive(Clone, Debug)]
+pub struct CalibrationEntry {
+    /// Known position of the calibration host.
+    pub position: GeoPoint,
+    /// RTTs from each landmark (same order as the observation vector).
+    pub delays: Vec<SimDuration>,
+}
+
+/// GeoPing: nearest neighbour in *delay space* against a database of
+/// calibration hosts ("a ready made database of delay measurements from
+/// fixed locations", §III-B).
+#[derive(Clone, Debug, Default)]
+pub struct GeoPingDb {
+    entries: Vec<CalibrationEntry>,
+}
+
+impl GeoPingDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a calibration host.
+    pub fn add(&mut self, entry: CalibrationEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of calibration entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no calibration data is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Locates a target by its observed delay vector: returns the position
+    /// of the calibration host with the closest Euclidean delay vector.
+    ///
+    /// Returns `None` when the database is empty or the vector lengths
+    /// mismatch every entry.
+    pub fn locate(&self, observed: &[SimDuration]) -> Option<GeoPoint> {
+        self.entries
+            .iter()
+            .filter(|e| e.delays.len() == observed.len())
+            .map(|e| {
+                let dist2: f64 = e
+                    .delays
+                    .iter()
+                    .zip(observed)
+                    .map(|(a, b)| {
+                        let d = a.as_millis_f64() - b.as_millis_f64();
+                        d * d
+                    })
+                    .sum();
+                (e, dist2)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .map(|(e, _)| e.position)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Octant-style constraint regions (Wong, Stoyanov, Sirer)
+// ---------------------------------------------------------------------------
+
+/// The feasible region Octant-style processing produces: an estimate with
+/// an uncertainty radius ("the potential area where the required node may
+/// be located", §III-B).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConstraintRegion {
+    /// Central estimate (centroid of the feasible set).
+    pub center: GeoPoint,
+    /// Radius bounding the feasible set around the centre.
+    pub radius: Km,
+    /// Whether any point satisfied all constraints (an empty region means
+    /// inconsistent measurements; the centre then minimises violation).
+    pub feasible: bool,
+}
+
+/// Fraction of the max-distance bound used as Octant's *negative*
+/// (minimum-distance) constraint. Octant derives both positive and negative
+/// constraints per landmark; with only upper bounds the feasible region
+/// collapses towards the landmark centroid. The max bound is computed at
+/// fibre speed (an over-estimate, since real paths are slower and
+/// indirect), so the negative constraint sits well inside it.
+pub const OCTANT_MIN_FRACTION: f64 = 0.5;
+
+/// Octant-style localisation: each landmark's RTT yields an annulus
+/// (max distance from the RTT, min distance as [`OCTANT_MIN_FRACTION`] of
+/// it — Octant's positive and negative constraints); the target must lie
+/// in the intersection. A coarse grid scan returns the centroid and radius
+/// of the feasible set.
+///
+/// `speed` should be the fibre speed 2/3 c (Octant's assumption).
+pub fn octant_locate(
+    observations: &[DelayObservation],
+    access_overhead: SimDuration,
+    speed: Speed,
+) -> Option<ConstraintRegion> {
+    if observations.len() < 3 {
+        return None;
+    }
+    let radii: Vec<Km> = observations
+        .iter()
+        .map(|o| rtt_to_distance(o.rtt, access_overhead, speed))
+        .collect();
+    // Grid over the landmarks' bounding box, padded by the largest radius.
+    let pad_deg = radii.iter().map(|r| r.0).fold(0.0, f64::max) / 111.32;
+    let lat_min = observations.iter().map(|o| o.landmark.lat).fold(f64::MAX, f64::min) - pad_deg;
+    let lat_max = observations.iter().map(|o| o.landmark.lat).fold(f64::MIN, f64::max) + pad_deg;
+    let lon_min = observations.iter().map(|o| o.landmark.lon).fold(f64::MAX, f64::min) - pad_deg;
+    let lon_max = observations.iter().map(|o| o.landmark.lon).fold(f64::MIN, f64::max) + pad_deg;
+
+    const STEPS: usize = 60;
+    let mut feasible_pts: Vec<GeoPoint> = Vec::new();
+    let mut best_violation = f64::MAX;
+    let mut best_pt = None;
+    for i in 0..=STEPS {
+        for j in 0..=STEPS {
+            let lat = (lat_min + (lat_max - lat_min) * i as f64 / STEPS as f64).clamp(-89.9, 89.9);
+            let lon = lon_min + (lon_max - lon_min) * j as f64 / STEPS as f64;
+            let p = GeoPoint::new(lat, lon.clamp(-180.0, 180.0));
+            let mut violation = 0.0f64;
+            for (o, r) in observations.iter().zip(&radii) {
+                let d = p.distance(&o.landmark).0;
+                if d > r.0 {
+                    violation += d - r.0; // outside the max-distance disk
+                }
+                let min_d = OCTANT_MIN_FRACTION * r.0;
+                if d < min_d {
+                    violation += min_d - d; // inside the min-distance hole
+                }
+            }
+            if violation == 0.0 {
+                feasible_pts.push(p);
+            }
+            if violation < best_violation {
+                best_violation = violation;
+                best_pt = Some(p);
+            }
+        }
+    }
+    if feasible_pts.is_empty() {
+        return best_pt.map(|center| ConstraintRegion {
+            center,
+            radius: Km(0.0),
+            feasible: false,
+        });
+    }
+    let lat = feasible_pts.iter().map(|p| p.lat).sum::<f64>() / feasible_pts.len() as f64;
+    let lon = feasible_pts.iter().map(|p| p.lon).sum::<f64>() / feasible_pts.len() as f64;
+    let center = GeoPoint::new(lat, lon);
+    let radius = feasible_pts
+        .iter()
+        .map(|p| center.distance(p).0)
+        .fold(0.0, f64::max);
+    Some(ConstraintRegion {
+        center,
+        radius: Km(radius),
+        feasible: true,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// TBG-style delay multilateration (Katz-Bassett et al.)
+// ---------------------------------------------------------------------------
+
+/// TBG-style localisation: convert each landmark RTT into a distance
+/// estimate at the effective Internet speed (4/9 c) and multilaterate.
+///
+/// (Full TBG also constrains intermediate routers; with simulated
+/// single-path topologies the end-to-end form captures its behaviour.)
+pub fn tbg_locate(
+    observations: &[DelayObservation],
+    access_overhead: SimDuration,
+    speed: Speed,
+) -> Option<GeoPoint> {
+    let ranges: Vec<RangeMeasurement> = observations
+        .iter()
+        .map(|o| RangeMeasurement {
+            landmark: o.landmark,
+            distance: rtt_to_distance(o.rtt, access_overhead, speed),
+        })
+        .collect();
+    multilaterate(&ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::places::*;
+    use geoproof_sim::time::{INTERNET_SPEED, FIBRE_SPEED};
+
+    /// Ideal RTT at `speed` with `overhead` for a landmark→target pair.
+    fn ideal_rtt(lm: GeoPoint, target: GeoPoint, overhead: SimDuration, speed: Speed) -> SimDuration {
+        let one_way = speed.travel_time(lm.distance(&target));
+        overhead + one_way + one_way
+    }
+
+    fn observations(target: GeoPoint, overhead: SimDuration, speed: Speed) -> Vec<DelayObservation> {
+        [SYDNEY, MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE]
+            .iter()
+            .map(|lm| DelayObservation {
+                landmark: *lm,
+                rtt: ideal_rtt(*lm, target, overhead, speed),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rtt_to_distance_roundtrip() {
+        let overhead = SimDuration::from_millis(10);
+        let rtt = ideal_rtt(SYDNEY, BRISBANE, overhead, INTERNET_SPEED);
+        let d = rtt_to_distance(rtt, overhead, INTERNET_SPEED);
+        let truth = SYDNEY.distance(&BRISBANE);
+        assert!((d.0 - truth.0).abs() < 1.0, "{} vs {}", d.0, truth.0);
+    }
+
+    #[test]
+    fn geoping_locates_to_nearest_calibration_host() {
+        let overhead = SimDuration::from_millis(12);
+        let landmarks = [SYDNEY, MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE];
+        let mut db = GeoPingDb::new();
+        for cal in [BRISBANE, SYDNEY, MELBOURNE, HOBART, ARMIDALE] {
+            db.add(CalibrationEntry {
+                position: cal,
+                delays: landmarks
+                    .iter()
+                    .map(|lm| ideal_rtt(*lm, cal, overhead, INTERNET_SPEED))
+                    .collect(),
+            });
+        }
+        assert_eq!(db.len(), 5);
+        // Target near Brisbane: GeoPing should return Brisbane's entry.
+        let obs: Vec<SimDuration> = landmarks
+            .iter()
+            .map(|lm| ideal_rtt(*lm, QUT_GARDENS_POINT, overhead, INTERNET_SPEED))
+            .collect();
+        let est = db.locate(&obs).expect("db non-empty");
+        assert!(est.distance(&BRISBANE).0 < 1.0);
+    }
+
+    #[test]
+    fn geoping_error_is_database_granularity() {
+        // With no calibration host near the target, error is large — the
+        // paper's ">1000 km worst case" failure mode.
+        let overhead = SimDuration::from_millis(12);
+        let landmarks = [SYDNEY, MELBOURNE, PERTH];
+        let mut db = GeoPingDb::new();
+        for cal in [PERTH, HOBART] {
+            db.add(CalibrationEntry {
+                position: cal,
+                delays: landmarks
+                    .iter()
+                    .map(|lm| ideal_rtt(*lm, cal, overhead, INTERNET_SPEED))
+                    .collect(),
+            });
+        }
+        let obs: Vec<SimDuration> = landmarks
+            .iter()
+            .map(|lm| ideal_rtt(*lm, TOWNSVILLE, overhead, INTERNET_SPEED))
+            .collect();
+        let est = db.locate(&obs).expect("db non-empty");
+        assert!(est.distance(&TOWNSVILLE).0 > 1000.0);
+    }
+
+    #[test]
+    fn geoping_empty_db_returns_none() {
+        assert!(GeoPingDb::new().locate(&[SimDuration::from_millis(1)]).is_none());
+    }
+
+    #[test]
+    fn tbg_recovers_honest_target() {
+        let overhead = SimDuration::from_millis(10);
+        let obs = observations(BRISBANE, overhead, INTERNET_SPEED);
+        let est = tbg_locate(&obs, overhead, INTERNET_SPEED).expect("enough landmarks");
+        assert!(est.distance(&BRISBANE).0 < 60.0);
+    }
+
+    #[test]
+    fn tbg_fooled_by_adversarial_delay() {
+        // A malicious target adds delay; the estimate degrades unboundedly —
+        // the security failure GeoProof exists to fix.
+        let overhead = SimDuration::from_millis(10);
+        let mut obs = observations(BRISBANE, overhead, INTERNET_SPEED);
+        for o in obs.iter_mut() {
+            o.rtt += SimDuration::from_millis(30);
+        }
+        let est = tbg_locate(&obs, overhead, INTERNET_SPEED).expect("enough landmarks");
+        assert!(
+            est.distance(&BRISBANE).0 > 300.0,
+            "adversarial delay must displace the estimate"
+        );
+    }
+
+    #[test]
+    fn octant_region_contains_truth() {
+        // Packets actually travel at Internet speed (4/9 c); Octant inverts
+        // with the fibre speed (2/3 c), over-estimating distance as the real
+        // system does. The resulting region must cover the true position.
+        let overhead = SimDuration::from_millis(10);
+        let obs = observations(BRISBANE, overhead, INTERNET_SPEED);
+        let region = octant_locate(&obs, overhead, FIBRE_SPEED).expect("enough landmarks");
+        assert!(region.feasible);
+        let err = region.center.distance(&BRISBANE).0;
+        assert!(
+            err <= region.radius.0 + 100.0,
+            "truth {err} km from centre, radius {}",
+            region.radius.0
+        );
+    }
+
+    #[test]
+    fn octant_needs_three_landmarks() {
+        let overhead = SimDuration::from_millis(10);
+        let obs = &observations(BRISBANE, overhead, INTERNET_SPEED)[..2];
+        assert!(octant_locate(obs, overhead, FIBRE_SPEED).is_none());
+    }
+
+    #[test]
+    fn octant_region_shrinks_with_tighter_rtts() {
+        let overhead = SimDuration::from_millis(10);
+        let tight = observations(BRISBANE, overhead, INTERNET_SPEED);
+        let mut loose = tight.clone();
+        for o in loose.iter_mut() {
+            o.rtt += SimDuration::from_millis(12);
+        }
+        let r_tight = octant_locate(&tight, overhead, FIBRE_SPEED).unwrap();
+        let r_loose = octant_locate(&loose, overhead, FIBRE_SPEED).unwrap();
+        assert!(r_tight.radius.0 < r_loose.radius.0);
+    }
+}

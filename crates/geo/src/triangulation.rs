@@ -1,0 +1,165 @@
+//! Landmark multilateration: position estimation from range measurements.
+//!
+//! Used for the paper's GPS-spoofing countermeasure (§V-C, "we could
+//! consider the triangulation of V from multiple landmarks") and as the
+//! geometric core of the measurement-based geolocation baselines (§III-B).
+
+use crate::coords::GeoPoint;
+use geoproof_sim::time::Km;
+
+/// One landmark observation: a known position plus an estimated distance
+/// to the target.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeMeasurement {
+    /// The landmark's (trusted) position.
+    pub landmark: GeoPoint,
+    /// Estimated great-circle distance to the target.
+    pub distance: Km,
+}
+
+/// Kilometres per degree of latitude (spherical Earth).
+const KM_PER_DEG_LAT: f64 = 111.32;
+
+/// Estimates the target position from at least three range measurements by
+/// gradient descent on the sum of squared range residuals.
+///
+/// Returns `None` when fewer than three landmarks are supplied (the
+/// geometry is under-determined).
+pub fn multilaterate(ranges: &[RangeMeasurement]) -> Option<GeoPoint> {
+    if ranges.len() < 3 {
+        return None;
+    }
+    // Start at the centroid of the landmarks.
+    let mut lat = ranges.iter().map(|r| r.landmark.lat).sum::<f64>() / ranges.len() as f64;
+    let mut lon = ranges.iter().map(|r| r.landmark.lon).sum::<f64>() / ranges.len() as f64;
+
+    let mut step = 0.5; // km-space step scale
+    let mut prev_cost = f64::INFINITY;
+    for _ in 0..2_000 {
+        let here = GeoPoint::new(lat.clamp(-90.0, 90.0), wrap_lon(lon));
+        // Residual-weighted direction field.
+        let (mut gx, mut gy) = (0.0f64, 0.0f64); // east, north (km)
+        let mut cost = 0.0f64;
+        for r in ranges {
+            let current = here.distance(&r.landmark).0;
+            let residual = current - r.distance.0;
+            cost += residual * residual;
+            if current < 1e-6 {
+                continue; // sitting on the landmark: direction undefined
+            }
+            // Unit vector from landmark towards current estimate, in local
+            // flat-earth km coordinates.
+            let dlat_km = (here.lat - r.landmark.lat) * KM_PER_DEG_LAT;
+            let dlon_km = (here.lon - r.landmark.lon)
+                * KM_PER_DEG_LAT
+                * here.lat.to_radians().cos();
+            let norm = (dlat_km * dlat_km + dlon_km * dlon_km).sqrt().max(1e-9);
+            gx += residual * (dlon_km / norm);
+            gy += residual * (dlat_km / norm);
+        }
+        if cost >= prev_cost {
+            step *= 0.7; // overshoot: shrink
+            if step < 1e-6 {
+                break;
+            }
+        }
+        prev_cost = cost;
+        let n = ranges.len() as f64;
+        // Move against the gradient (towards smaller residuals), km → deg.
+        lat -= step * (gy / n) / KM_PER_DEG_LAT;
+        lon -= step * (gx / n) / (KM_PER_DEG_LAT * lat.to_radians().cos().abs().max(0.1));
+    }
+    Some(GeoPoint::new(lat.clamp(-90.0, 90.0), wrap_lon(lon)))
+}
+
+/// Root-mean-square range residual of `estimate` against the measurements —
+/// a quality indicator callers can threshold on.
+pub fn rms_residual(estimate: &GeoPoint, ranges: &[RangeMeasurement]) -> Km {
+    if ranges.is_empty() {
+        return Km(0.0);
+    }
+    let ss: f64 = ranges
+        .iter()
+        .map(|r| {
+            let e = estimate.distance(&r.landmark).0 - r.distance.0;
+            e * e
+        })
+        .sum();
+    Km((ss / ranges.len() as f64).sqrt())
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::places::*;
+
+    fn exact_ranges(target: GeoPoint, landmarks: &[GeoPoint]) -> Vec<RangeMeasurement> {
+        landmarks
+            .iter()
+            .map(|lm| RangeMeasurement {
+                landmark: *lm,
+                distance: lm.distance(&target),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_position_from_exact_ranges() {
+        let ranges = exact_ranges(BRISBANE, &[SYDNEY, MELBOURNE, PERTH, TOWNSVILLE]);
+        let est = multilaterate(&ranges).expect("enough landmarks");
+        let err = est.distance(&BRISBANE).0;
+        assert!(err < 10.0, "estimate off by {err} km");
+    }
+
+    #[test]
+    fn recovers_inland_position() {
+        let target = GeoPoint::new(-25.0, 140.0); // outback
+        let ranges = exact_ranges(target, &[SYDNEY, PERTH, TOWNSVILLE, ADELAIDE]);
+        let est = multilaterate(&ranges).expect("enough landmarks");
+        assert!(est.distance(&target).0 < 15.0);
+    }
+
+    #[test]
+    fn tolerates_noisy_ranges() {
+        let mut ranges = exact_ranges(BRISBANE, &[SYDNEY, MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE]);
+        // ±5 % multiplicative noise, alternating sign.
+        for (i, r) in ranges.iter_mut().enumerate() {
+            let f = if i % 2 == 0 { 1.05 } else { 0.95 };
+            r.distance = Km(r.distance.0 * f);
+        }
+        let est = multilaterate(&ranges).expect("enough landmarks");
+        let err = est.distance(&BRISBANE).0;
+        assert!(err < 150.0, "estimate off by {err} km");
+    }
+
+    #[test]
+    fn under_determined_returns_none() {
+        let ranges = exact_ranges(BRISBANE, &[SYDNEY, MELBOURNE]);
+        assert!(multilaterate(&ranges).is_none());
+    }
+
+    #[test]
+    fn rms_residual_near_zero_for_truth() {
+        let ranges = exact_ranges(SYDNEY, &[BRISBANE, MELBOURNE, PERTH]);
+        assert!(rms_residual(&SYDNEY, &ranges).0 < 1e-6);
+        assert!(rms_residual(&PERTH, &ranges).0 > 1000.0);
+    }
+
+    #[test]
+    fn wrap_lon_behaviour() {
+        assert_eq!(super::wrap_lon(190.0), -170.0);
+        assert_eq!(super::wrap_lon(-190.0), 170.0);
+        assert_eq!(super::wrap_lon(45.0), 45.0);
+    }
+}

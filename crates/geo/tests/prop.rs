@@ -1,0 +1,104 @@
+//! Property-based tests for the geographic substrate.
+
+use geoproof_geo::coords::GeoPoint;
+use geoproof_geo::gps::GpsReceiver;
+use geoproof_geo::schemes::rtt_to_distance;
+use geoproof_geo::triangulation::{multilaterate, rms_residual, RangeMeasurement};
+use geoproof_sim::time::{SimDuration, Speed};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (-60.0f64..60.0, -170.0f64..170.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spoofed_fix_reports_fake_until_cleared(real in point(), fake in point()) {
+        let mut gps = GpsReceiver::new(real);
+        gps.spoof(fake);
+        prop_assert_eq!(gps.read_fix().position, fake);
+        prop_assert_eq!(gps.true_position(), real);
+        gps.clear_spoof();
+        prop_assert_eq!(gps.read_fix().position, real);
+    }
+
+    #[test]
+    fn multilateration_recovers_target_with_spread_landmarks(
+        target in point(),
+        seed in any::<u64>(),
+    ) {
+        // Four landmarks offset in different quadrants around the target.
+        let offsets = [(6.0, 7.0), (-8.0, 5.0), (5.0, -9.0), (-7.0, -6.0)];
+        let jitter = (seed % 100) as f64 / 100.0;
+        let ranges: Vec<RangeMeasurement> = offsets
+            .iter()
+            .map(|(dlat, dlon)| {
+                let lm = GeoPoint::new(
+                    (target.lat + dlat + jitter).clamp(-89.0, 89.0),
+                    (target.lon + dlon).clamp(-179.0, 179.0),
+                );
+                RangeMeasurement { landmark: lm, distance: lm.distance(&target) }
+            })
+            .collect();
+        let est = multilaterate(&ranges).expect("4 landmarks");
+        let err = est.distance(&target).0;
+        prop_assert!(err < 50.0, "estimate off by {err} km");
+        prop_assert!(rms_residual(&est, &ranges).0 < 60.0);
+    }
+
+    #[test]
+    fn rtt_to_distance_never_negative(
+        rtt_ms in 0.0f64..500.0,
+        overhead_ms in 0.0f64..500.0,
+        speed in 1.0f64..400.0,
+    ) {
+        let d = rtt_to_distance(
+            SimDuration::from_millis_f64(rtt_ms),
+            SimDuration::from_millis_f64(overhead_ms),
+            Speed(speed),
+        );
+        prop_assert!(d.0 >= 0.0);
+    }
+
+    #[test]
+    fn rtt_to_distance_monotone_in_rtt(
+        a_ms in 0.0f64..500.0,
+        b_ms in 0.0f64..500.0,
+    ) {
+        let (lo, hi) = if a_ms <= b_ms { (a_ms, b_ms) } else { (b_ms, a_ms) };
+        let ov = SimDuration::from_millis_f64(5.0);
+        let s = Speed(133.0);
+        let d_lo = rtt_to_distance(SimDuration::from_millis_f64(lo), ov, s);
+        let d_hi = rtt_to_distance(SimDuration::from_millis_f64(hi), ov, s);
+        prop_assert!(d_lo.0 <= d_hi.0 + 1e-9);
+    }
+
+    #[test]
+    fn rms_residual_zero_iff_consistent(target in point()) {
+        let lms = [
+            GeoPoint::new((target.lat + 5.0).clamp(-89.0, 89.0), target.lon),
+            GeoPoint::new(target.lat, (target.lon + 5.0).clamp(-179.0, 179.0)),
+            GeoPoint::new((target.lat - 5.0).clamp(-89.0, 89.0), target.lon),
+        ];
+        let ranges: Vec<RangeMeasurement> = lms
+            .iter()
+            .map(|lm| RangeMeasurement { landmark: *lm, distance: lm.distance(&target) })
+            .collect();
+        prop_assert!(rms_residual(&target, &ranges).0 < 1e-6);
+        // A point 500 km away has large residual.
+        let off = GeoPoint::new(
+            (target.lat + 4.5).clamp(-89.0, 89.0),
+            target.lon,
+        );
+        prop_assert!(rms_residual(&off, &ranges).0 > 50.0);
+    }
+
+    #[test]
+    fn distance_bounded_by_half_circumference(a in point(), b in point()) {
+        let d = a.distance(&b).0;
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= std::f64::consts::PI * geoproof_geo::EARTH_RADIUS_KM + 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Local-area network latency model (paper §V-E, Table II).
+//!
+//! The verifier V sits in the provider's LAN, so the only network latency
+//! in an honest audit is LAN latency. The paper's budget: optic fibre
+//! carries signals at 2/3 c (200 km/ms), Ethernet adds a propagation delay
+//! of at most 0.0256 ms plus a size-dependent transmission delay, and
+//! switches add per-hop forwarding time. Their QUT experiment (Table II)
+//! measured < 1 ms everywhere, so GeoProof budgets Δt_VP ≈ 1 ms.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::dist::LatencyDist;
+use geoproof_sim::time::{Km, SimDuration, Speed, FIBRE_SPEED};
+
+/// Physical medium of a LAN segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Medium {
+    /// Optic fibre: 2/3 c (paper §V-E).
+    Fibre,
+    /// Copper Ethernet: the paper treats propagation as bounded by
+    /// 0.0256 ms; we model copper at ≈ 0.64 c (typical NVP).
+    Copper,
+}
+
+impl Medium {
+    /// Signal propagation speed in this medium.
+    pub fn speed(self) -> Speed {
+        match self {
+            Medium::Fibre => FIBRE_SPEED,
+            Medium::Copper => Speed(0.64 * 300.0),
+        }
+    }
+}
+
+/// Ethernet link rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkRate {
+    /// Fast Ethernet, 100 Mbit/s.
+    Fast100,
+    /// Gigabit Ethernet, 1000 Mbit/s.
+    Gigabit,
+    /// 10-gigabit Ethernet (data-centre extension).
+    TenGigabit,
+}
+
+impl LinkRate {
+    /// Bits per millisecond.
+    pub fn bits_per_ms(self) -> f64 {
+        match self {
+            LinkRate::Fast100 => 100e3,
+            LinkRate::Gigabit => 1e6,
+            LinkRate::TenGigabit => 10e6,
+        }
+    }
+
+    /// Transmission (serialisation) delay for a frame of `bytes`.
+    pub fn transmission_delay(self, bytes: usize) -> SimDuration {
+        SimDuration::from_millis_f64(bytes as f64 * 8.0 / self.bits_per_ms())
+    }
+}
+
+/// A point-to-point LAN path: cable run, switches, link rate.
+#[derive(Clone, Debug)]
+pub struct LanPath {
+    medium: Medium,
+    rate: LinkRate,
+    cable_km: Km,
+    switches: u32,
+    switch_delay: LatencyDist,
+    queueing: LatencyDist,
+}
+
+impl LanPath {
+    /// A path with explicit parameters.
+    pub fn new(medium: Medium, rate: LinkRate, cable_km: Km, switches: u32) -> Self {
+        LanPath {
+            medium,
+            rate,
+            cable_km,
+            switches,
+            // ~10 µs store-and-forward per switch, light jitter.
+            switch_delay: LatencyDist::Uniform {
+                lo: SimDuration::from_micros(5),
+                hi: SimDuration::from_micros(15),
+            },
+            // "Ethernet has almost no delay at low network loads" (§V-E).
+            queueing: LatencyDist::ShiftedExponential {
+                base: SimDuration::ZERO,
+                tail_mean: SimDuration::from_micros(20),
+            },
+        }
+    }
+
+    /// The paper's recommended deployment: verifier adjacent to storage,
+    /// gigabit fibre, two switches, tens of metres of cable.
+    pub fn adjacent() -> Self {
+        LanPath::new(Medium::Fibre, LinkRate::Gigabit, Km(0.05), 2)
+    }
+
+    /// A campus-scale path (same site, hundreds of metres to a few km).
+    pub fn campus(cable_km: Km) -> Self {
+        LanPath::new(Medium::Fibre, LinkRate::Gigabit, cable_km, 4)
+    }
+
+    /// Replaces the switch-delay distribution (builder style).
+    pub fn with_switch_delay(mut self, dist: LatencyDist) -> Self {
+        self.switch_delay = dist;
+        self
+    }
+
+    /// Replaces the queueing distribution (builder style).
+    pub fn with_queueing(mut self, dist: LatencyDist) -> Self {
+        self.queueing = dist;
+        self
+    }
+
+    /// Cable length of this path.
+    pub fn cable_km(&self) -> Km {
+        self.cable_km
+    }
+
+    /// One-way latency for a `bytes`-sized frame.
+    pub fn one_way(&self, bytes: usize, rng: &mut ChaChaRng) -> SimDuration {
+        let mut total = self.medium.speed().travel_time(self.cable_km);
+        total += self.rate.transmission_delay(bytes);
+        for _ in 0..self.switches {
+            total += self.switch_delay.sample(rng);
+        }
+        total + self.queueing.sample(rng)
+    }
+
+    /// Round-trip latency for a request of `req_bytes` answered with
+    /// `resp_bytes`.
+    pub fn rtt(&self, req_bytes: usize, resp_bytes: usize, rng: &mut ChaChaRng) -> SimDuration {
+        self.one_way(req_bytes, rng) + self.one_way(resp_bytes, rng)
+    }
+
+    /// Mean one-way latency (no sampling).
+    pub fn mean_one_way(&self, bytes: usize) -> SimDuration {
+        self.medium.speed().travel_time(self.cable_km)
+            + self.rate.transmission_delay(bytes)
+            + self.switch_delay.mean() * u64::from(self.switches)
+            + self.queueing.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::from_u64_seed(5)
+    }
+
+    #[test]
+    fn fibre_carries_at_two_thirds_c() {
+        assert_eq!(Medium::Fibre.speed().0, 200.0);
+    }
+
+    #[test]
+    fn paper_200km_range_is_1ms_one_way() {
+        // §V-E: 200 km of fibre → 1 ms one way (2 ms RTT).
+        let t = Medium::Fibre.speed().travel_time(Km(200.0));
+        assert!((t.as_millis_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ethernet_transmission_delay_for_1500_bytes() {
+        // 1500 B at 100 Mbit/s = 0.12 ms; at 1 Gbit/s = 0.012 ms.
+        let fast = LinkRate::Fast100.transmission_delay(1500);
+        assert!((fast.as_millis_f64() - 0.12).abs() < 1e-6);
+        let gig = LinkRate::Gigabit.transmission_delay(1500);
+        assert!((gig.as_millis_f64() - 0.012).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjacent_path_is_well_under_a_millisecond() {
+        // The paper's deployment advice: V placed "very close to the data
+        // storage" keeps LAN latency negligible.
+        let path = LanPath::adjacent();
+        let mut r = rng();
+        for _ in 0..100 {
+            let rtt = path.rtt(64, 512, &mut r);
+            assert!(rtt.as_millis_f64() < 0.5, "rtt {rtt}");
+        }
+    }
+
+    #[test]
+    fn table_ii_all_distances_under_1ms() {
+        // Table II: QUT paths 0–45 km all measured < 1 ms one way.
+        let mut r = rng();
+        for km in [0.0, 0.01, 0.02, 0.5, 3.2, 45.0] {
+            let path = LanPath::campus(Km(km));
+            let t = path.one_way(64, &mut r);
+            assert!(
+                t.as_millis_f64() < 1.0,
+                "one-way at {km} km was {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_cable_means_longer_latency() {
+        let near = LanPath::campus(Km(0.1)).mean_one_way(64);
+        let far = LanPath::campus(Km(45.0)).mean_one_way(64);
+        assert!(far > near);
+        // 45 km of fibre alone is 0.225 ms.
+        assert!((far.as_millis_f64() - near.as_millis_f64() - 0.2245).abs() < 1e-3);
+    }
+
+    #[test]
+    fn switch_count_adds_delay() {
+        let few = LanPath::new(Medium::Fibre, LinkRate::Gigabit, Km(1.0), 1).mean_one_way(64);
+        let many = LanPath::new(Medium::Fibre, LinkRate::Gigabit, Km(1.0), 8).mean_one_way(64);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn copper_is_slower_than_fibre_per_km_but_still_fast() {
+        let c = Medium::Copper.speed().travel_time(Km(1.0));
+        let f = Medium::Fibre.speed().travel_time(Km(1.0));
+        assert!(c > f);
+        assert!(c.as_millis_f64() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_with_constant_dists() {
+        let path = LanPath::adjacent()
+            .with_switch_delay(LatencyDist::Constant(SimDuration::from_micros(10)))
+            .with_queueing(LatencyDist::zero());
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(path.rtt(64, 512, &mut r1), path.rtt(64, 512, &mut r2));
+        let expected = path.mean_one_way(64) + path.mean_one_way(512);
+        assert_eq!(path.rtt(64, 512, &mut r1), expected);
+    }
+}

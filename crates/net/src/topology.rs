@@ -1,0 +1,261 @@
+//! A geographic host topology with ping and traceroute.
+//!
+//! Recreates the measurement setup of the paper's §V-E/§V-F experiments:
+//! named hosts at geographic positions, same-site pairs talking over the
+//! LAN model and remote pairs over the WAN model. `traceroute` exposes the
+//! synthetic router path so the TBG-style baseline has topology to chew on.
+
+use crate::lan::LanPath;
+use crate::wan::{AccessKind, WanModel};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_sim::time::SimDuration;
+use std::collections::HashMap;
+
+/// A host in the simulated topology.
+#[derive(Clone, Debug)]
+pub struct Host {
+    /// Unique host name (DNS-style).
+    pub name: String,
+    /// Geographic position.
+    pub position: GeoPoint,
+    /// Access technology for WAN paths.
+    pub access: AccessKind,
+    /// Hosts sharing a `site` communicate over the LAN model.
+    pub site: Option<String>,
+}
+
+/// Errors from topology queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The named host is not registered.
+    UnknownHost(String),
+    /// A host with this name already exists.
+    DuplicateHost(String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            TopologyError::DuplicateHost(h) => write!(f, "duplicate host {h}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// One traceroute hop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hop {
+    /// Router label.
+    pub label: String,
+    /// Cumulative RTT from the source to this hop.
+    pub rtt: SimDuration,
+    /// Position of the hop (interpolated along the great-circle path).
+    pub position: GeoPoint,
+}
+
+/// A simulated network of geographic hosts.
+#[derive(Debug)]
+pub struct Network {
+    hosts: HashMap<String, Host>,
+    wan: WanModel,
+    rng: ChaChaRng,
+}
+
+impl Network {
+    /// Creates an empty network using `wan` for remote paths and `seed`
+    /// for latency sampling.
+    pub fn new(wan: WanModel, seed: u64) -> Self {
+        Network {
+            hosts: HashMap::new(),
+            wan,
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+
+    /// Registers a host.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::DuplicateHost`] if the name is taken.
+    pub fn add_host(&mut self, host: Host) -> Result<(), TopologyError> {
+        if self.hosts.contains_key(&host.name) {
+            return Err(TopologyError::DuplicateHost(host.name));
+        }
+        self.hosts.insert(host.name.clone(), host);
+        Ok(())
+    }
+
+    /// Looks up a host.
+    pub fn host(&self, name: &str) -> Option<&Host> {
+        self.hosts.get(name)
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    fn pair(&self, a: &str, b: &str) -> Result<(Host, Host), TopologyError> {
+        let ha = self
+            .hosts
+            .get(a)
+            .ok_or_else(|| TopologyError::UnknownHost(a.to_owned()))?
+            .clone();
+        let hb = self
+            .hosts
+            .get(b)
+            .ok_or_else(|| TopologyError::UnknownHost(b.to_owned()))?
+            .clone();
+        Ok((ha, hb))
+    }
+
+    /// Measures one RTT between two hosts: LAN if they share a site,
+    /// WAN otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownHost`] for unregistered names.
+    pub fn ping(&mut self, from: &str, to: &str) -> Result<SimDuration, TopologyError> {
+        let (a, b) = self.pair(from, to)?;
+        let distance = a.position.distance(&b.position);
+        let same_site = a.site.is_some() && a.site == b.site;
+        if same_site {
+            Ok(LanPath::campus(distance).rtt(64, 64, &mut self.rng))
+        } else {
+            Ok(self.wan.rtt(distance, &mut self.rng))
+        }
+    }
+
+    /// Synthesises the router path between two hosts: one hop per WAN
+    /// segment, positions interpolated along the straight path.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownHost`] for unregistered names.
+    pub fn traceroute(&mut self, from: &str, to: &str) -> Result<Vec<Hop>, TopologyError> {
+        let (a, b) = self.pair(from, to)?;
+        let distance = a.position.distance(&b.position);
+        let hops = self.wan.hops(distance).max(1);
+        let total = self.wan.rtt(distance, &mut self.rng);
+        let mut out = Vec::with_capacity(hops as usize);
+        for h in 1..=hops {
+            let frac = h as f64 / hops as f64;
+            let lat = a.position.lat + (b.position.lat - a.position.lat) * frac;
+            let lon = a.position.lon + (b.position.lon - a.position.lon) * frac;
+            // Early hops are dominated by access overhead, so interpolate
+            // RTT between access cost and the full path RTT.
+            let access = self.wan_access_overhead(&a);
+            let rtt_ns = access.as_nanos() as f64
+                + (total.as_nanos() as f64 - access.as_nanos() as f64) * frac;
+            out.push(Hop {
+                label: if h == hops {
+                    b.name.clone()
+                } else {
+                    format!("router-{h}.{}", b.name)
+                },
+                rtt: SimDuration::from_nanos(rtt_ns as u64),
+                position: GeoPoint::new(lat, lon),
+            });
+        }
+        Ok(out)
+    }
+
+    fn wan_access_overhead(&self, host: &Host) -> SimDuration {
+        host.access.overhead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_geo::coords::places;
+
+    fn network() -> Network {
+        let mut net = Network::new(WanModel::calibrated(AccessKind::Adsl2), 3);
+        for (name, pos, site) in [
+            ("vantage.bne", places::ADSL_VANTAGE, None),
+            ("uq.edu.au", places::UQ_ST_LUCIA, None),
+            ("uwa.edu.au", places::PERTH, None),
+            ("dc1.cloud", places::BRISBANE, Some("dc1")),
+            ("dc1.verifier", places::BRISBANE, Some("dc1")),
+        ] {
+            net.add_host(Host {
+                name: name.to_owned(),
+                position: pos,
+                access: AccessKind::Adsl2,
+                site: site.map(str::to_owned),
+            })
+            .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn ping_wan_grows_with_distance() {
+        let mut net = network();
+        let near = net.ping("vantage.bne", "uq.edu.au").unwrap();
+        let far = net.ping("vantage.bne", "uwa.edu.au").unwrap();
+        assert!(far.as_millis_f64() > near.as_millis_f64() + 30.0);
+    }
+
+    #[test]
+    fn ping_same_site_is_sub_millisecond() {
+        let mut net = network();
+        let t = net.ping("dc1.cloud", "dc1.verifier").unwrap();
+        assert!(t.as_millis_f64() < 1.0, "LAN ping {t}");
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let mut net = network();
+        assert_eq!(
+            net.ping("vantage.bne", "nope"),
+            Err(TopologyError::UnknownHost("nope".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_host_rejected() {
+        let mut net = network();
+        let dup = Host {
+            name: "uq.edu.au".into(),
+            position: places::UQ_ST_LUCIA,
+            access: AccessKind::Adsl2,
+            site: None,
+        };
+        assert!(matches!(
+            net.add_host(dup),
+            Err(TopologyError::DuplicateHost(_))
+        ));
+    }
+
+    #[test]
+    fn traceroute_is_monotone_and_ends_at_target() {
+        let mut net = network();
+        let hops = net.traceroute("vantage.bne", "uwa.edu.au").unwrap();
+        assert!(hops.len() >= 2);
+        for w in hops.windows(2) {
+            assert!(w[1].rtt >= w[0].rtt, "cumulative RTT must not decrease");
+        }
+        assert_eq!(hops.last().unwrap().label, "uwa.edu.au");
+        let end = hops.last().unwrap().position;
+        assert!(end.distance(&places::PERTH).0 < 1.0);
+    }
+
+    #[test]
+    fn len_and_lookup() {
+        let net = network();
+        assert_eq!(net.len(), 5);
+        assert!(!net.is_empty());
+        assert!(net.host("uq.edu.au").is_some());
+        assert!(net.host("missing").is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the network models: physical plausibility
+//! invariants every latency sample must satisfy.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_net::lan::{LanPath, LinkRate, Medium};
+use geoproof_net::wan::{AccessKind, WanModel};
+use geoproof_sim::time::{Km, SPEED_OF_LIGHT};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lan_latency_never_beats_light(
+        km in 0.0f64..100.0,
+        bytes in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let path = LanPath::campus(Km(km));
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let t = path.one_way(bytes, &mut rng);
+        let light = SPEED_OF_LIGHT.travel_time(Km(km));
+        prop_assert!(t >= light, "sample {t} beats light {light}");
+    }
+
+    #[test]
+    fn lan_mean_is_monotone_in_distance(a in 0.0f64..50.0, b in 0.0f64..50.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = LanPath::campus(Km(lo)).mean_one_way(64);
+        let t_hi = LanPath::campus(Km(hi)).mean_one_way(64);
+        prop_assert!(t_lo <= t_hi);
+    }
+
+    #[test]
+    fn transmission_delay_monotone_in_size(
+        s1 in 1usize..100_000,
+        s2 in 1usize..100_000,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        for rate in [LinkRate::Fast100, LinkRate::Gigabit, LinkRate::TenGigabit] {
+            prop_assert!(rate.transmission_delay(lo) <= rate.transmission_delay(hi));
+        }
+    }
+
+    #[test]
+    fn copper_never_faster_than_fibre(km in 0.0f64..1000.0) {
+        prop_assert!(
+            Medium::Copper.speed().travel_time(Km(km))
+                >= Medium::Fibre.speed().travel_time(Km(km))
+        );
+    }
+
+    #[test]
+    fn wan_rtt_bounded_below_by_propagation(
+        km in 0.0f64..20_000.0,
+        seed in any::<u64>(),
+    ) {
+        let wan = WanModel::calibrated(AccessKind::DataCentre);
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let rtt = wan.rtt(Km(km), &mut rng);
+        let one_way = wan.speed().travel_time(Km(km));
+        prop_assert!(rtt >= one_way + one_way);
+    }
+
+    #[test]
+    fn wan_mean_monotone_in_distance(a in 0.0f64..10_000.0, b in 0.0f64..10_000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let wan = WanModel::calibrated(AccessKind::Adsl2);
+        prop_assert!(wan.mean_rtt(Km(lo)) <= wan.mean_rtt(Km(hi)));
+    }
+
+    #[test]
+    fn distance_bound_inverts_rtt(ms in 0.1f64..500.0) {
+        use geoproof_sim::time::SimDuration;
+        let wan = WanModel::calibrated(AccessKind::Adsl2);
+        let d = wan.distance_bound(SimDuration::from_millis_f64(ms));
+        // Bound distance, converted back at the same speed, halves-up to
+        // the same RTT.
+        let back = wan.speed().travel_time(d);
+        // Nanosecond quantisation in SimDuration bounds the roundtrip error.
+        prop_assert!((back.as_millis_f64() * 2.0 - ms).abs() < 1e-5);
+    }
+
+    #[test]
+    fn access_overheads_strictly_ordered(_x in 0..1i32) {
+        prop_assert!(
+            AccessKind::Adsl2.overhead() > AccessKind::Fibre.overhead()
+        );
+        prop_assert!(
+            AccessKind::Fibre.overhead() > AccessKind::DataCentre.overhead()
+        );
+    }
+}

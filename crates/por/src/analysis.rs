@@ -1,0 +1,180 @@
+//! Detection-probability analysis (paper §V-C(a)).
+//!
+//! The paper quotes two Juels–Kaliski numbers for its example parameters:
+//!
+//! * corrupting 1/2 % of the file's blocks makes the file irretrievable
+//!   with probability "less than 1 in 200,000" (the Reed–Solomon code
+//!   must be beaten in some chunk), and
+//! * with 1,000,000 segments and 1,000 challenged per audit, each
+//!   challenge detects adversarial corruption with probability ≈ 71.3 %.
+//!
+//! Both are reproduced here analytically and by Monte-Carlo simulation.
+
+use geoproof_crypto::chacha::ChaChaRng;
+
+/// Probability that a challenge of `k` segments touches at least one
+/// corrupted segment when a fraction `eps` of segments is corrupt:
+/// `1 − (1−ε)^k`.
+pub fn detection_probability(eps: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    1.0 - (1.0 - eps).powf(k as f64)
+}
+
+/// The corruption fraction an adversary must stay below per segment for a
+/// target per-challenge detection probability — the inverse of
+/// [`detection_probability`].
+pub fn corruption_for_detection(target: f64, k: u64) -> f64 {
+    assert!((0.0..1.0).contains(&target), "target must be in [0,1)");
+    1.0 - (1.0 - target).powf(1.0 / k as f64)
+}
+
+/// log(n!) via Stirling-stable ln-gamma accumulation.
+fn ln_factorial(n: u64) -> f64 {
+    (1..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Binomial tail `P[X ≥ threshold]` for `X ~ Bin(n, p)`, computed in log
+/// space for stability at tiny probabilities.
+pub fn binomial_tail(n: u64, p: f64, threshold: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if threshold == 0 {
+        return 1.0;
+    }
+    if threshold > n {
+        return 0.0;
+    }
+    let ln_n_fact = ln_factorial(n);
+    let mut total = 0.0f64;
+    for x in threshold..=n {
+        let ln_choose = ln_n_fact - ln_factorial(x) - ln_factorial(n - x);
+        let ln_term = ln_choose + x as f64 * p.ln() + (n - x) as f64 * (1.0 - p).ln();
+        total += ln_term.exp();
+    }
+    total.min(1.0)
+}
+
+/// Union-bound probability that *any* chunk of an RS(n, k) coded file
+/// becomes undecodable when each block is independently corrupted with
+/// probability `block_corrupt_p`: `chunks × P[Bin(n, p) > t]`.
+pub fn irretrievability_bound(
+    rs_n: u64,
+    rs_t: u64,
+    chunks: u64,
+    block_corrupt_p: f64,
+) -> f64 {
+    (chunks as f64 * binomial_tail(rs_n, block_corrupt_p, rs_t + 1)).min(1.0)
+}
+
+/// Monte-Carlo estimate of the per-challenge detection rate: corrupt
+/// `corrupt` of `n_segments` uniformly, challenge `k` distinct segments,
+/// repeat `trials` times.
+pub fn empirical_detection(
+    n_segments: u64,
+    corrupt: u64,
+    k: usize,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(corrupt <= n_segments, "cannot corrupt more than all segments");
+    let mut rng = ChaChaRng::from_u64_seed(seed);
+    let mut detected = 0u32;
+    for _ in 0..trials {
+        let bad: std::collections::HashSet<u64> =
+            rng.sample_distinct(n_segments, corrupt as usize).into_iter().collect();
+        let challenge = rng.sample_distinct(n_segments, k);
+        if challenge.iter().any(|c| bad.contains(c)) {
+            detected += 1;
+        }
+    }
+    f64::from(detected) / f64::from(trials)
+}
+
+/// Cumulative detection probability over `audits` independent challenges
+/// ("the detection of file corruption is a cumulative process").
+pub fn cumulative_detection(eps: f64, k: u64, audits: u32) -> f64 {
+    1.0 - (1.0 - detection_probability(eps, k)).powi(audits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_71_3_percent() {
+        // 1,000,000 segments, 1,000 challenged, ε = 0.125 %:
+        // 1 − 0.99875^1000 ≈ 0.7135 — the paper's "about 71.3 %".
+        let p = detection_probability(0.00125, 1000);
+        assert!((p - 0.713).abs() < 0.002, "got {p}");
+    }
+
+    #[test]
+    fn inverse_recovers_eps() {
+        let eps = corruption_for_detection(0.713, 1000);
+        assert!((eps - 0.00125).abs() < 1e-5, "got {eps}");
+    }
+
+    #[test]
+    fn paper_irretrievability_below_1_in_200k() {
+        // 2 GB file, (255,223,32) code, 0.5 % block corruption:
+        // chunks = ceil(2^27/223) ≈ 601,874.
+        let chunks = (1u64 << 27).div_ceil(223);
+        let p = irretrievability_bound(255, 16, chunks, 0.005);
+        assert!(p < 1.0 / 200_000.0, "bound {p}");
+    }
+
+    #[test]
+    fn heavier_corruption_breaks_the_bound() {
+        // At 5 % block corruption the file is no longer safely decodable.
+        let chunks = (1u64 << 27).div_ceil(223);
+        let p = irretrievability_bound(255, 16, chunks, 0.05);
+        assert!(p > 0.5, "bound {p}");
+    }
+
+    #[test]
+    fn binomial_tail_sanity() {
+        // Bin(10, 0.5): P[X >= 0] = 1; P[X >= 11] = 0; P[X >= 5] ≈ 0.623.
+        assert_eq!(binomial_tail(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail(10, 0.5, 11), 0.0);
+        assert!((binomial_tail(10, 0.5, 5) - 0.623).abs() < 0.001);
+    }
+
+    #[test]
+    fn detection_monotone_in_k() {
+        let p100 = detection_probability(0.001, 100);
+        let p1000 = detection_probability(0.001, 1000);
+        assert!(p1000 > p100);
+    }
+
+    #[test]
+    fn empirical_matches_analytic() {
+        // 10,000 segments, 12 corrupt (ε ≈ 0.12 %), 500 challenged:
+        // hypergeometric ≈ binomial here; analytic ≈ 1-(1-0.0012)^500 ≈ 0.452.
+        let rate = empirical_detection(10_000, 12, 500, 800, 17);
+        let analytic = detection_probability(12.0 / 10_000.0, 500);
+        assert!(
+            (rate - analytic).abs() < 0.05,
+            "empirical {rate}, analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn cumulative_detection_grows() {
+        let single = detection_probability(0.00125, 1000);
+        let five = cumulative_detection(0.00125, 1000, 5);
+        assert!(five > single);
+        assert!(five > 0.99, "five audits push ≈ 71 % to > 99 %: {five}");
+    }
+
+    #[test]
+    fn zero_corruption_never_detected() {
+        assert_eq!(detection_probability(0.0, 1000), 0.0);
+        let rate = empirical_detection(1000, 0, 100, 50, 3);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_eps_panics() {
+        detection_probability(1.5, 10);
+    }
+}

@@ -1,0 +1,330 @@
+//! Dynamic POR: authenticated updates to stored files (the paper's
+//! named extension — "GeoProof could be modified to encompass other POS
+//! schemes that support verifying dynamic data such as dynamic proof of
+//! retrievability (DPOR) by Wang et al.", §IV).
+//!
+//! Construction, following the DPOR idea: segments keep their MAC tags,
+//! and a Merkle tree over the *tagged segments* authenticates positions,
+//! so the owner can update, append, and audit without re-encoding the
+//! whole file. The owner (or TPA) retains only the Merkle root; the
+//! provider stores the tree and furnishes membership proofs alongside the
+//! challenged segments.
+//!
+//! Trade-off vs the static scheme (documented in DESIGN.md): dynamic
+//! updates forgo the global Reed–Solomon/permutation layer (an update
+//! would reveal which RS chunk a block belongs to), exactly as
+//! Juels–Kaliski's static scheme trades dynamism for extraction
+//! robustness.
+
+use crate::keys::PorKeys;
+use crate::merkle::{verify_proof, Digest, MerkleProof, MerkleTree};
+use geoproof_crypto::hmac::TruncatedMac;
+
+/// Tag width for dynamic segments (full paper tag width is fine; updates
+/// don't amortise over many tags the way audits do, so we keep 32 bits).
+pub const DYNAMIC_TAG_BITS: u32 = 32;
+
+/// The owner/TPA-side state: just the root and the segment count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynamicDigest {
+    /// Merkle root over tagged segments.
+    pub root: Digest,
+    /// Current segment count.
+    pub segments: u64,
+}
+
+/// The provider-side store: tagged segments plus the Merkle tree.
+#[derive(Clone, Debug)]
+pub struct DynamicStore {
+    file_id: String,
+    segments: Vec<Vec<u8>>,
+    tree: MerkleTree,
+}
+
+/// A challenged segment with its membership proof.
+#[derive(Clone, Debug)]
+pub struct ProvenSegment {
+    /// The tagged segment bytes.
+    pub segment: Vec<u8>,
+    /// Merkle membership proof for its index.
+    pub proof: MerkleProof,
+}
+
+/// Errors from dynamic operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynamicError {
+    /// Index beyond the current segment count.
+    OutOfRange {
+        /// Offending index.
+        index: u64,
+        /// Current length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicError::OutOfRange { index, len } => {
+                write!(f, "segment {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+fn tag_segment(keys: &PorKeys, file_id: &str, index: u64, body: &[u8]) -> Vec<u8> {
+    let mac = TruncatedMac::new(DYNAMIC_TAG_BITS);
+    let mut msg = Vec::with_capacity(body.len() + 8 + file_id.len());
+    msg.extend_from_slice(body);
+    msg.extend_from_slice(&index.to_be_bytes());
+    msg.extend_from_slice(file_id.as_bytes());
+    let tag = mac.mac(keys.mac_key(), &msg);
+    let mut out = body.to_vec();
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Splits a tagged segment into body and tag.
+fn split_tagged(segment: &[u8]) -> Option<(&[u8], &[u8])> {
+    let tag_len = (DYNAMIC_TAG_BITS as usize).div_ceil(8);
+    if segment.len() < tag_len {
+        return None;
+    }
+    Some(segment.split_at(segment.len() - tag_len))
+}
+
+impl DynamicStore {
+    /// Initialises the store from plaintext segments (the owner encrypts
+    /// beforehand if confidentiality is wanted; dynamism is orthogonal).
+    /// Returns the store and the owner's digest.
+    pub fn initialise(
+        file_id: &str,
+        bodies: &[Vec<u8>],
+        keys: &PorKeys,
+    ) -> (DynamicStore, DynamicDigest) {
+        assert!(!bodies.is_empty(), "need at least one segment");
+        let segments: Vec<Vec<u8>> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| tag_segment(keys, file_id, i as u64, b))
+            .collect();
+        let tree = MerkleTree::build(&segments);
+        let digest = DynamicDigest {
+            root: tree.root(),
+            segments: segments.len() as u64,
+        };
+        (
+            DynamicStore {
+                file_id: file_id.to_owned(),
+                segments,
+                tree,
+            },
+            digest,
+        )
+    }
+
+    /// Current segment count.
+    pub fn len(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// True when the store holds no segments (cannot happen after
+    /// `initialise`).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Serves a challenge: segment plus membership proof.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::OutOfRange`] for a bad index.
+    pub fn challenge(&self, index: u64) -> Result<ProvenSegment, DynamicError> {
+        if index >= self.len() {
+            return Err(DynamicError::OutOfRange {
+                index,
+                len: self.len(),
+            });
+        }
+        Ok(ProvenSegment {
+            segment: self.segments[index as usize].clone(),
+            proof: self.tree.prove(index),
+        })
+    }
+
+    /// Owner-authorised update of segment `index`: re-tags the new body,
+    /// updates the tree, returns the new digest.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::OutOfRange`] for a bad index.
+    pub fn update(
+        &mut self,
+        index: u64,
+        new_body: &[u8],
+        keys: &PorKeys,
+    ) -> Result<DynamicDigest, DynamicError> {
+        if index >= self.len() {
+            return Err(DynamicError::OutOfRange {
+                index,
+                len: self.len(),
+            });
+        }
+        let tagged = tag_segment(keys, &self.file_id, index, new_body);
+        self.tree.update(index, &tagged);
+        self.segments[index as usize] = tagged;
+        Ok(DynamicDigest {
+            root: self.tree.root(),
+            segments: self.len(),
+        })
+    }
+
+    /// Appends a new segment, returning the new digest.
+    pub fn append(&mut self, body: &[u8], keys: &PorKeys) -> DynamicDigest {
+        let index = self.len();
+        let tagged = tag_segment(keys, &self.file_id, index, body);
+        self.tree.append(&tagged);
+        self.segments.push(tagged);
+        DynamicDigest {
+            root: self.tree.root(),
+            segments: self.len(),
+        }
+    }
+
+    /// Adversarial hook: silently corrupt a stored segment *without*
+    /// updating the tree (what a cheating provider would do).
+    pub fn corrupt_silently(&mut self, index: u64, mask: u8) -> bool {
+        if let Some(seg) = self.segments.get_mut(index as usize) {
+            for b in seg.iter_mut() {
+                *b ^= mask;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// TPA-side verification of a challenged segment against the owner's
+/// digest: Merkle membership AND the embedded MAC.
+pub fn verify_challenge(
+    digest: &DynamicDigest,
+    file_id: &str,
+    index: u64,
+    response: &ProvenSegment,
+    keys: &PorKeys,
+) -> bool {
+    if index >= digest.segments || response.proof.index != index {
+        return false;
+    }
+    if !verify_proof(&digest.root, &response.segment, &response.proof) {
+        return false;
+    }
+    let Some((body, tag)) = split_tagged(&response.segment) else {
+        return false;
+    };
+    let mac = TruncatedMac::new(DYNAMIC_TAG_BITS);
+    let mut msg = Vec::with_capacity(body.len() + 8 + file_id.len());
+    msg.extend_from_slice(body);
+    msg.extend_from_slice(&index.to_be_bytes());
+    msg.extend_from_slice(file_id.as_bytes());
+    mac.verify(keys.mac_key(), &msg, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> PorKeys {
+        PorKeys::derive(b"dyn-master", "dynfile")
+    }
+
+    fn bodies(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 64]).collect()
+    }
+
+    #[test]
+    fn initialise_and_audit_all_segments() {
+        let k = keys();
+        let (store, digest) = DynamicStore::initialise("dynfile", &bodies(20), &k);
+        for i in 0..20 {
+            let resp = store.challenge(i).unwrap();
+            assert!(
+                verify_challenge(&digest, "dynfile", i, &resp, &k),
+                "segment {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_refreshes_digest_and_verifies() {
+        let k = keys();
+        let (mut store, old_digest) = DynamicStore::initialise("dynfile", &bodies(10), &k);
+        let new_digest = store.update(4, b"updated body", &k).unwrap();
+        assert_ne!(old_digest.root, new_digest.root);
+        let resp = store.challenge(4).unwrap();
+        assert!(verify_challenge(&new_digest, "dynfile", 4, &resp, &k));
+        // The *old* digest must reject the updated segment (rollback safety).
+        assert!(!verify_challenge(&old_digest, "dynfile", 4, &resp, &k));
+    }
+
+    #[test]
+    fn append_grows_file_verifiably() {
+        let k = keys();
+        let (mut store, _d0) = DynamicStore::initialise("dynfile", &bodies(5), &k);
+        let d1 = store.append(b"sixth segment", &k);
+        assert_eq!(d1.segments, 6);
+        let resp = store.challenge(5).unwrap();
+        assert!(verify_challenge(&d1, "dynfile", 5, &resp, &k));
+    }
+
+    #[test]
+    fn silent_corruption_is_caught() {
+        let k = keys();
+        let (mut store, digest) = DynamicStore::initialise("dynfile", &bodies(10), &k);
+        assert!(store.corrupt_silently(7, 0x20));
+        let resp = store.challenge(7).unwrap();
+        assert!(!verify_challenge(&digest, "dynfile", 7, &resp, &k));
+    }
+
+    #[test]
+    fn stale_digest_rejects_rollback_attack() {
+        // Provider serves the *old* segment with its old (valid-at-the-time)
+        // proof after the owner updated — the fresh digest must reject.
+        let k = keys();
+        let (mut store, _d0) = DynamicStore::initialise("dynfile", &bodies(10), &k);
+        let old_resp = store.challenge(3).unwrap();
+        let d1 = store.update(3, b"v2", &k).unwrap();
+        assert!(!verify_challenge(&d1, "dynfile", 3, &old_resp, &k));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let k = keys();
+        let (store, digest) = DynamicStore::initialise("dynfile", &bodies(10), &k);
+        let resp = store.challenge(2).unwrap();
+        assert!(!verify_challenge(&digest, "dynfile", 3, &resp, &k));
+        assert!(matches!(
+            store.challenge(10),
+            Err(DynamicError::OutOfRange { index: 10, len: 10 })
+        ));
+    }
+
+    #[test]
+    fn wrong_keys_rejected() {
+        let k = keys();
+        let (store, digest) = DynamicStore::initialise("dynfile", &bodies(4), &k);
+        let other = PorKeys::derive(b"other-master", "dynfile");
+        let resp = store.challenge(0).unwrap();
+        assert!(!verify_challenge(&digest, "dynfile", 0, &resp, &other));
+    }
+
+    #[test]
+    fn update_out_of_range_errors() {
+        let k = keys();
+        let (mut store, _d) = DynamicStore::initialise("dynfile", &bodies(3), &k);
+        assert!(store.update(3, b"x", &k).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Key material for the MAC-based POR.
+//!
+//! The owner holds one master secret per file; encryption, permutation and
+//! MAC keys are derived from it by HKDF with distinct labels, so revealing
+//! the MAC key to the TPA (which the paper's architecture requires — "the
+//! TPA knows the secret key used to verify the MAC tags") does not reveal
+//! the encryption or permutation keys.
+
+use geoproof_crypto::kdf::Hkdf;
+
+/// Derived per-file keys.
+#[derive(Clone)]
+pub struct PorKeys {
+    enc: [u8; 16],
+    prp: [u8; 32],
+    mac: [u8; 32],
+}
+
+impl std::fmt::Debug for PorKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PorKeys").finish_non_exhaustive()
+    }
+}
+
+impl PorKeys {
+    /// Derives the key set for `file_id` from the owner's `master` secret.
+    pub fn derive(master: &[u8], file_id: &str) -> Self {
+        let hk = Hkdf::extract(file_id.as_bytes(), master);
+        PorKeys {
+            enc: hk.expand_key16(b"geoproof-enc"),
+            prp: hk.expand_key32(b"geoproof-prp"),
+            mac: hk.expand_key32(b"geoproof-mac"),
+        }
+    }
+
+    /// AES-128 encryption key (the paper's K).
+    pub fn enc_key(&self) -> &[u8; 16] {
+        &self.enc
+    }
+
+    /// PRP key for the block reordering step.
+    pub fn prp_key(&self) -> &[u8; 32] {
+        &self.prp
+    }
+
+    /// MAC key (the paper's K′) — the only key shared with the TPA.
+    pub fn mac_key(&self) -> &[u8; 32] {
+        &self.mac
+    }
+
+    /// The TPA's view: MAC key only.
+    pub fn auditor_view(&self) -> AuditorKey {
+        AuditorKey { mac: self.mac }
+    }
+}
+
+/// The key material handed to the third-party auditor.
+#[derive(Clone)]
+pub struct AuditorKey {
+    mac: [u8; 32],
+}
+
+impl std::fmt::Debug for AuditorKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditorKey").finish_non_exhaustive()
+    }
+}
+
+impl AuditorKey {
+    /// The MAC verification key.
+    pub fn mac_key(&self) -> &[u8; 32] {
+        &self.mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_per_master_and_fid() {
+        let a = PorKeys::derive(b"master", "file-1");
+        let b = PorKeys::derive(b"master", "file-1");
+        assert_eq!(a.enc_key(), b.enc_key());
+        assert_eq!(a.prp_key(), b.prp_key());
+        assert_eq!(a.mac_key(), b.mac_key());
+    }
+
+    #[test]
+    fn different_files_get_different_keys() {
+        let a = PorKeys::derive(b"master", "file-1");
+        let b = PorKeys::derive(b"master", "file-2");
+        assert_ne!(a.enc_key(), b.enc_key());
+        assert_ne!(a.mac_key(), b.mac_key());
+    }
+
+    #[test]
+    fn keys_are_pairwise_distinct() {
+        let k = PorKeys::derive(b"master", "file-1");
+        assert_ne!(&k.enc_key()[..], &k.prp_key()[..16]);
+        assert_ne!(&k.prp_key()[..], &k.mac_key()[..]);
+    }
+
+    #[test]
+    fn auditor_view_carries_only_mac_key() {
+        let k = PorKeys::derive(b"master", "f");
+        let a = k.auditor_view();
+        assert_eq!(a.mac_key(), k.mac_key());
+    }
+
+    #[test]
+    fn debug_never_leaks() {
+        let k = PorKeys::derive(b"master", "f");
+        let s = format!("{k:?} {:?}", k.auditor_view());
+        assert!(!s.contains("enc:") && !s.contains('['));
+    }
+}

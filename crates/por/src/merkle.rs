@@ -1,0 +1,264 @@
+//! Merkle hash trees over file segments.
+//!
+//! The substrate for the dynamic-POR extension ([`crate::dynamic`]): an
+//! authenticated structure whose root commits to every segment, with
+//! logarithmic membership proofs and support for in-place updates. The
+//! paper points at Wang et al.'s DPOR (ESORICS'09) for dynamic data;
+//! that construction authenticates block tags with exactly this kind of
+//! tree.
+
+use geoproof_crypto::sha256::{Sha256, DIGEST_LEN};
+
+/// A node hash.
+pub type Digest = [u8; DIGEST_LEN];
+
+fn leaf_hash(index: u64, data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"leaf-v1");
+    h.update(&index.to_be_bytes());
+    h.update(data);
+    h.finalize()
+}
+
+fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"node-v1");
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// A mutable Merkle tree over an ordered list of segments.
+///
+/// Stored as a flat vector of levels; level 0 is the leaves. Odd tails are
+/// promoted by duplication-free carry (the lone node is hashed with
+/// itself's sibling position left empty — we use the standard "duplicate
+/// last" convention, documented so proofs stay canonical).
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A membership proof: sibling hashes from leaf to root with direction
+/// flags (`true` = sibling is on the right).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Leaf index the proof speaks for.
+    pub index: u64,
+    /// Sibling digests, leaf level upward.
+    pub siblings: Vec<(Digest, bool)>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `segments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    pub fn build(segments: &[Vec<u8>]) -> Self {
+        assert!(!segments.is_empty(), "cannot build a tree over nothing");
+        let mut levels = Vec::new();
+        let leaves: Vec<Digest> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| leaf_hash(i as u64, s))
+            .collect();
+        levels.push(leaves);
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(node_hash(&pair[0], right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True when the tree has exactly one leaf.
+    pub fn is_empty(&self) -> bool {
+        false // by construction a tree always has ≥ 1 leaf
+    }
+
+    /// Produces a membership proof for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn prove(&self, index: u64) -> MerkleProof {
+        let mut idx = index as usize;
+        assert!(idx < self.len(), "leaf {index} out of range");
+        let mut siblings = Vec::new();
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = *level.get(sib_idx).unwrap_or(&level[idx]);
+            siblings.push((sibling, idx % 2 == 0));
+            idx /= 2;
+        }
+        MerkleProof { index, siblings }
+    }
+
+    /// Replaces leaf `index` with new segment data, updating the path to
+    /// the root in O(log n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update(&mut self, index: u64, data: &[u8]) {
+        let mut idx = index as usize;
+        assert!(idx < self.len(), "leaf {index} out of range");
+        self.levels[0][idx] = leaf_hash(index, data);
+        for lvl in 0..self.levels.len() - 1 {
+            let parent = idx / 2;
+            let left = self.levels[lvl][2 * parent];
+            let right = *self.levels[lvl].get(2 * parent + 1).unwrap_or(&left);
+            self.levels[lvl + 1][parent] = node_hash(&left, &right);
+            idx = parent;
+        }
+    }
+
+    /// Appends a new leaf (amortised O(n) rebuild of affected levels; fine
+    /// for audit-scale segment counts).
+    pub fn append(&mut self, data: &[u8]) {
+        let index = self.len() as u64;
+        let mut leaves = std::mem::take(&mut self.levels)[0].clone();
+        leaves.push(leaf_hash(index, data));
+        *self = MerkleTree::from_leaves(leaves);
+    }
+
+    fn from_leaves(leaves: Vec<Digest>) -> Self {
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(node_hash(&pair[0], right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+}
+
+/// Verifies a membership proof against a trusted root.
+pub fn verify_proof(root: &Digest, data: &[u8], proof: &MerkleProof) -> bool {
+    let mut acc = leaf_hash(proof.index, data);
+    for (sibling, sibling_on_right) in &proof.siblings {
+        acc = if *sibling_on_right {
+            node_hash(&acc, sibling)
+        } else {
+            node_hash(sibling, &acc)
+        };
+    }
+    acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segments(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 10]).collect()
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf() {
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 64] {
+            let segs = segments(n);
+            let tree = MerkleTree::build(&segs);
+            for i in 0..n {
+                let proof = tree.prove(i as u64);
+                assert!(
+                    verify_proof(&tree.root(), &segs[i], &proof),
+                    "n={n} leaf={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_data() {
+        let segs = segments(8);
+        let tree = MerkleTree::build(&segs);
+        let proof = tree.prove(3);
+        assert!(!verify_proof(&tree.root(), b"not the segment", &proof));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_index() {
+        let segs = segments(8);
+        let tree = MerkleTree::build(&segs);
+        let mut proof = tree.prove(3);
+        proof.index = 4;
+        assert!(!verify_proof(&tree.root(), &segs[3], &proof));
+    }
+
+    #[test]
+    fn proof_rejects_wrong_root() {
+        let segs = segments(8);
+        let tree = MerkleTree::build(&segs);
+        let proof = tree.prove(0);
+        let other = MerkleTree::build(&segments(9));
+        assert!(!verify_proof(&other.root(), &segs[0], &proof));
+    }
+
+    #[test]
+    fn update_changes_root_and_reproves() {
+        let segs = segments(8);
+        let mut tree = MerkleTree::build(&segs);
+        let old_root = tree.root();
+        tree.update(5, b"new content");
+        assert_ne!(tree.root(), old_root);
+        let proof = tree.prove(5);
+        assert!(verify_proof(&tree.root(), b"new content", &proof));
+        // Untouched leaves still prove.
+        let proof2 = tree.prove(2);
+        assert!(verify_proof(&tree.root(), &segs[2], &proof2));
+    }
+
+    #[test]
+    fn update_matches_rebuild() {
+        let mut segs = segments(13);
+        let mut tree = MerkleTree::build(&segs);
+        segs[7] = b"patched".to_vec();
+        tree.update(7, b"patched");
+        assert_eq!(tree.root(), MerkleTree::build(&segs).root());
+    }
+
+    #[test]
+    fn append_matches_rebuild() {
+        let mut segs = segments(5);
+        let mut tree = MerkleTree::build(&segs);
+        segs.push(b"appended".to_vec());
+        tree.append(b"appended");
+        assert_eq!(tree.root(), MerkleTree::build(&segs).root());
+        assert_eq!(tree.len(), 6);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let segs = segments(1);
+        let tree = MerkleTree::build(&segs);
+        let proof = tree.prove(0);
+        assert!(proof.siblings.is_empty());
+        assert!(verify_proof(&tree.root(), &segs[0], &proof));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prove_out_of_range_panics() {
+        MerkleTree::build(&segments(4)).prove(4);
+    }
+}

@@ -1,0 +1,191 @@
+//! POR parameterisation and the paper's storage-overhead arithmetic.
+//!
+//! §V-A fixes: block size ℓ_B = 128 bits ("the size of an AES block"),
+//! (255, 223, 32) Reed–Solomon chunks (+≈14 %), segments of v = 5 blocks,
+//! and ℓ_τ = 20-bit MACs (+2.5 %), for ≈16.5 % total expansion. The worked
+//! example encodes a 2 GB file into b = 2^27 blocks.
+
+use geoproof_ecc::block_code::BLOCK_BYTES;
+
+/// Parameters of the MAC-based POR encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PorParams {
+    /// Reed–Solomon codeword length (blocks per encoded chunk).
+    pub rs_n: usize,
+    /// Reed–Solomon message length (data blocks per chunk).
+    pub rs_k: usize,
+    /// Blocks per MACed segment (the paper's v).
+    pub segment_blocks: usize,
+    /// MAC tag width in bits (the paper's ℓ_τ).
+    pub tag_bits: u32,
+}
+
+impl PorParams {
+    /// The paper's configuration: RS(255, 223), v = 5, ℓ_τ = 20.
+    pub fn paper() -> Self {
+        PorParams {
+            rs_n: 255,
+            rs_k: 223,
+            segment_blocks: 5,
+            tag_bits: 20,
+        }
+    }
+
+    /// A small configuration for fast tests: RS(15, 11), v = 2, 16-bit
+    /// tags.
+    pub fn test_small() -> Self {
+        PorParams {
+            rs_n: 15,
+            rs_k: 11,
+            segment_blocks: 2,
+            tag_bits: 16,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate values (zero sizes, k ≥ n, n > 255, tag > 256).
+    pub fn validate(&self) {
+        assert!(self.rs_n <= 255 && self.rs_k >= 1 && self.rs_k < self.rs_n,
+            "invalid RS dimensions ({}, {})", self.rs_n, self.rs_k);
+        assert!(self.segment_blocks >= 1, "segment must hold ≥ 1 block");
+        assert!((1..=256).contains(&self.tag_bits), "tag width out of range");
+    }
+
+    /// Bytes per segment: `v` blocks plus the (byte-padded) tag.
+    pub fn segment_bytes(&self) -> usize {
+        self.segment_blocks * BLOCK_BYTES + self.tag_byte_len()
+    }
+
+    /// Bytes used to carry the truncated tag.
+    pub fn tag_byte_len(&self) -> usize {
+        (self.tag_bits as usize).div_ceil(8)
+    }
+
+    /// Segment size in bits as the paper counts it (tag bits, not padded
+    /// bytes): `ℓ_S = ℓ_B·v + ℓ_τ`. Paper example: 128·5 + 20 = 660.
+    pub fn segment_bits_nominal(&self) -> usize {
+        BLOCK_BYTES * 8 * self.segment_blocks + self.tag_bits as usize
+    }
+
+    /// Reed–Solomon expansion factor `n/k` (≈ 1.143: "about 14 %").
+    pub fn rs_expansion(&self) -> f64 {
+        self.rs_n as f64 / self.rs_k as f64
+    }
+
+    /// MAC expansion factor `1 + ℓ_τ/(ℓ_B·v)` (paper: "only 2.5 %" — the
+    /// nominal bit count ratio 20/640 ≈ 3.1 %; with their rounding, 2.5 %).
+    pub fn mac_expansion(&self) -> f64 {
+        1.0 + self.tag_bits as f64 / (BLOCK_BYTES as f64 * 8.0 * self.segment_blocks as f64)
+    }
+
+    /// Total nominal expansion from error correction and MACs. Paper:
+    /// "about 16.5 %".
+    pub fn total_expansion(&self) -> f64 {
+        self.rs_expansion() * self.mac_expansion()
+    }
+}
+
+/// The paper's §V-A(a) worked example, computed from first principles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadExample {
+    /// Original file size in bytes.
+    pub file_bytes: u64,
+    /// Number of ℓ_B blocks before coding (paper: b = 2^27 for 2 GB).
+    pub raw_blocks: u64,
+    /// Blocks after Reed–Solomon expansion.
+    pub encoded_blocks: u64,
+    /// Number of MACed segments.
+    pub segments: u64,
+    /// Final stored size in bytes (blocks + tag bytes).
+    pub stored_bytes: u64,
+}
+
+/// Computes the §V-A(a) example for an arbitrary file size.
+pub fn overhead_example(params: &PorParams, file_bytes: u64) -> OverheadExample {
+    params.validate();
+    let raw_blocks = file_bytes.div_ceil(BLOCK_BYTES as u64);
+    let chunks = raw_blocks.div_ceil(params.rs_k as u64);
+    let encoded_blocks = chunks * params.rs_n as u64;
+    let segments = encoded_blocks.div_ceil(params.segment_blocks as u64);
+    let stored_bytes =
+        segments * params.segment_blocks as u64 * BLOCK_BYTES as u64
+            + segments * params.tag_byte_len() as u64;
+    OverheadExample {
+        file_bytes,
+        raw_blocks,
+        encoded_blocks,
+        segments,
+        stored_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_segment_is_660_bits() {
+        assert_eq!(PorParams::paper().segment_bits_nominal(), 660);
+    }
+
+    #[test]
+    fn paper_expansions() {
+        let p = PorParams::paper();
+        assert!((p.rs_expansion() - 255.0 / 223.0).abs() < 1e-12);
+        // "about 14%"
+        assert!((p.rs_expansion() - 1.1435).abs() < 0.001);
+        // MAC adds ~3% nominal (paper rounds to 2.5%)
+        assert!((p.mac_expansion() - 1.03125).abs() < 1e-9);
+        // total ~16.5-18%
+        let total = p.total_expansion();
+        assert!(total > 1.16 && total < 1.19, "total {total}");
+    }
+
+    #[test]
+    fn two_gb_example_matches_paper_block_count() {
+        let ex = overhead_example(&PorParams::paper(), 2u64 << 30);
+        // Paper: b = 2^27 blocks.
+        assert_eq!(ex.raw_blocks, 1 << 27);
+        // Paper quotes b' = 153,008,209; exact chunk arithmetic gives
+        // ceil(2^27 / 223) × 255 = 153,477,990 — the paper's figure applies
+        // the ratio directly. Both are ≈ 14.3 % expansion; check ours.
+        let expansion = ex.encoded_blocks as f64 / ex.raw_blocks as f64;
+        assert!((expansion - 255.0 / 223.0).abs() < 1e-4, "expansion {expansion}");
+        assert!((ex.encoded_blocks as i64 - 153_008_209i64).abs() < 600_000);
+    }
+
+    #[test]
+    fn stored_bytes_about_16_5_percent_larger() {
+        let ex = overhead_example(&PorParams::paper(), 2u64 << 30);
+        let ratio = ex.stored_bytes as f64 / ex.file_bytes as f64;
+        // Byte-padded tags (24 bits stored for 20-bit tags) push the
+        // realised overhead slightly above the nominal 16.5 %.
+        assert!(ratio > 1.14 && ratio < 1.19, "ratio {ratio}");
+    }
+
+    #[test]
+    fn segment_bytes_layout() {
+        let p = PorParams::paper();
+        assert_eq!(p.tag_byte_len(), 3);
+        assert_eq!(p.segment_bytes(), 5 * 16 + 3);
+        let s = PorParams::test_small();
+        assert_eq!(s.segment_bytes(), 2 * 16 + 2);
+    }
+
+    #[test]
+    fn tiny_file_rounds_up() {
+        let ex = overhead_example(&PorParams::test_small(), 1);
+        assert_eq!(ex.raw_blocks, 1);
+        assert_eq!(ex.encoded_blocks, 15);
+        assert_eq!(ex.segments, 8); // ceil(15/2)
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RS dimensions")]
+    fn bad_params_panic() {
+        PorParams { rs_n: 10, rs_k: 10, segment_blocks: 1, tag_bits: 20 }.validate();
+    }
+}

@@ -1,0 +1,232 @@
+//! The sentinel-based POR variant of Juels–Kaliski (paper §IV).
+//!
+//! The original POR hides "a number of random-valued blocks (sentinels) …
+//! at randomly chosen positions within the encrypted data"; a challenge
+//! reveals some sentinel positions and asks for their values. Because an
+//! adversary cannot distinguish sentinels from data, any substantial
+//! modification hits sentinels with high probability. GeoProof itself uses
+//! the MAC-based variant ([`crate::encode`]), but the sentinel scheme is
+//! the baseline it derives from, so both are provided.
+
+use crate::keys::PorKeys;
+use geoproof_crypto::aes::Aes128Ctr;
+use geoproof_crypto::hmac::HmacSha256;
+use geoproof_crypto::prp::DomainPrp;
+use geoproof_ecc::block_code::{Block, BLOCK_BYTES};
+
+/// Public metadata for a sentinel-encoded file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SentinelMetadata {
+    /// File identifier.
+    pub file_id: String,
+    /// Original byte length.
+    pub original_len: u64,
+    /// Data blocks before sentinels.
+    pub data_blocks: u64,
+    /// Number of sentinels appended and shuffled in.
+    pub sentinels: u64,
+}
+
+impl SentinelMetadata {
+    /// Total stored blocks (data + sentinels).
+    pub fn total_blocks(&self) -> u64 {
+        self.data_blocks + self.sentinels
+    }
+}
+
+/// Sentinel-scheme encoder.
+#[derive(Clone, Copy, Debug)]
+pub struct SentinelEncoder {
+    sentinels: u64,
+}
+
+impl SentinelEncoder {
+    /// Creates an encoder inserting `sentinels` random blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sentinels` is zero.
+    pub fn new(sentinels: u64) -> Self {
+        assert!(sentinels > 0, "need at least one sentinel");
+        SentinelEncoder { sentinels }
+    }
+
+    /// Sentinel value for index `j`: a PRF of the MAC key (indistinguishable
+    /// from encrypted data blocks).
+    fn sentinel_value(keys: &PorKeys, file_id: &str, j: u64) -> Block {
+        let mut h = HmacSha256::new(keys.mac_key());
+        h.update(b"sentinel-v1");
+        h.update(file_id.as_bytes());
+        h.update(&j.to_be_bytes());
+        let tag = h.finalize();
+        tag[..BLOCK_BYTES].try_into().expect("16 bytes")
+    }
+
+    /// Encodes: encrypt data blocks, append sentinel blocks, permute all.
+    pub fn encode(
+        &self,
+        data: &[u8],
+        keys: &PorKeys,
+        file_id: &str,
+    ) -> (Vec<Block>, SentinelMetadata) {
+        let data_blocks = (data.len() as u64).div_ceil(BLOCK_BYTES as u64).max(1);
+        let total = data_blocks + self.sentinels;
+        // Encrypt the data stream.
+        let mut flat = data.to_vec();
+        flat.resize((data_blocks as usize) * BLOCK_BYTES, 0);
+        Aes128Ctr::new(keys.enc_key(), *b"sentinel").apply_keystream(&mut flat);
+        // Lay out encrypted data then sentinels, and shuffle with the PRP.
+        let prp = DomainPrp::new(keys.prp_key(), total);
+        let mut stored: Vec<Block> = vec![[0u8; BLOCK_BYTES]; total as usize];
+        for i in 0..data_blocks {
+            let mut b = [0u8; BLOCK_BYTES];
+            b.copy_from_slice(&flat[(i as usize) * BLOCK_BYTES..(i as usize + 1) * BLOCK_BYTES]);
+            stored[prp.permute(i) as usize] = b;
+        }
+        for j in 0..self.sentinels {
+            let pos = prp.permute(data_blocks + j) as usize;
+            stored[pos] = Self::sentinel_value(keys, file_id, j);
+        }
+        (
+            stored,
+            SentinelMetadata {
+                file_id: file_id.to_owned(),
+                original_len: data.len() as u64,
+                data_blocks,
+                sentinels: self.sentinels,
+            },
+        )
+    }
+
+    /// The stored position of sentinel `j` (verifier-side secret until
+    /// challenged).
+    pub fn sentinel_position(
+        keys: &PorKeys,
+        meta: &SentinelMetadata,
+        j: u64,
+    ) -> u64 {
+        assert!(j < meta.sentinels, "sentinel index out of range");
+        DomainPrp::new(keys.prp_key(), meta.total_blocks()).permute(meta.data_blocks + j)
+    }
+
+    /// Verifies a prover's response for sentinel `j`.
+    pub fn verify_sentinel(
+        keys: &PorKeys,
+        meta: &SentinelMetadata,
+        j: u64,
+        response: &Block,
+    ) -> bool {
+        &Self::sentinel_value(keys, &meta.file_id, j) == response
+    }
+
+    /// Decodes the original data from intact storage (no error
+    /// correction in this baseline variant — JK layer ECC separately).
+    pub fn decode(
+        &self,
+        stored: &[Block],
+        keys: &PorKeys,
+        meta: &SentinelMetadata,
+    ) -> Vec<u8> {
+        let prp = DomainPrp::new(keys.prp_key(), meta.total_blocks());
+        let mut flat = Vec::with_capacity((meta.data_blocks as usize) * BLOCK_BYTES);
+        for i in 0..meta.data_blocks {
+            let pos = prp.permute(i) as usize;
+            flat.extend_from_slice(&stored[pos]);
+        }
+        Aes128Ctr::new(keys.enc_key(), *b"sentinel").apply_keystream(&mut flat);
+        flat.truncate(meta.original_len as usize);
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_crypto::chacha::ChaChaRng;
+
+    fn keys() -> PorKeys {
+        PorKeys::derive(b"master", "sfile")
+    }
+
+    fn data(len: usize) -> Vec<u8> {
+        let mut rng = ChaChaRng::from_u64_seed(11);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = SentinelEncoder::new(50);
+        let k = keys();
+        let d = data(3000);
+        let (stored, meta) = enc.encode(&d, &k, "sfile");
+        assert_eq!(stored.len() as u64, meta.total_blocks());
+        assert_eq!(enc.decode(&stored, &k, &meta), d);
+    }
+
+    #[test]
+    fn sentinels_verify_in_place() {
+        let enc = SentinelEncoder::new(20);
+        let k = keys();
+        let (stored, meta) = enc.encode(&data(1000), &k, "sfile");
+        for j in 0..20 {
+            let pos = SentinelEncoder::sentinel_position(&k, &meta, j) as usize;
+            assert!(
+                SentinelEncoder::verify_sentinel(&k, &meta, j, &stored[pos]),
+                "sentinel {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_sentinel_detected() {
+        let enc = SentinelEncoder::new(20);
+        let k = keys();
+        let (mut stored, meta) = enc.encode(&data(1000), &k, "sfile");
+        let pos = SentinelEncoder::sentinel_position(&k, &meta, 5) as usize;
+        stored[pos][0] ^= 1;
+        assert!(!SentinelEncoder::verify_sentinel(&k, &meta, 5, &stored[pos]));
+    }
+
+    #[test]
+    fn broad_corruption_hits_some_sentinel() {
+        // Corrupt 10 % of blocks: with 50 sentinels the expected number hit
+        // is 5; probability of missing all ≈ 0.9^50 ≈ 0.5 %.
+        let enc = SentinelEncoder::new(50);
+        let k = keys();
+        let (mut stored, meta) = enc.encode(&data(8000), &k, "sfile");
+        let total = stored.len();
+        for i in (0..total).step_by(10) {
+            stored[i][3] ^= 0xaa;
+        }
+        let hit = (0..50).any(|j| {
+            let pos = SentinelEncoder::sentinel_position(&k, &meta, j) as usize;
+            !SentinelEncoder::verify_sentinel(&k, &meta, j, &stored[pos])
+        });
+        assert!(hit, "10% corruption should hit at least one of 50 sentinels");
+    }
+
+    #[test]
+    fn sentinels_indistinguishable_from_data() {
+        // No stored block should be all-zeros or repeat exactly (weak but
+        // meaningful distinguishability check).
+        let enc = SentinelEncoder::new(30);
+        let k = keys();
+        let (stored, _meta) = enc.encode(&data(4000), &k, "sfile");
+        let mut seen = std::collections::HashSet::new();
+        for b in &stored {
+            assert!(b.iter().any(|&x| x != 0), "zero block leaked");
+            assert!(seen.insert(*b), "duplicate block");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel index out of range")]
+    fn out_of_range_sentinel_panics() {
+        let enc = SentinelEncoder::new(5);
+        let k = keys();
+        let (_stored, meta) = enc.encode(&data(100), &k, "sfile");
+        SentinelEncoder::sentinel_position(&k, &meta, 5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Latency distributions for the storage and network models.
+//!
+//! Table I of the paper reports *average* seek and rotation latencies; real
+//! devices jitter around those means. Each model component owns a
+//! [`LatencyDist`] so experiments can run either deterministically (exact
+//! paper arithmetic) or stochastically (distributional shape).
+
+use crate::time::SimDuration;
+use geoproof_crypto::chacha::ChaChaRng;
+
+/// A samplable distribution over non-negative latencies.
+#[derive(Clone, Debug)]
+pub enum LatencyDist {
+    /// Always exactly this value (reproduces the paper's arithmetic).
+    Constant(SimDuration),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: SimDuration,
+        /// Inclusive upper bound.
+        hi: SimDuration,
+    },
+    /// Truncated normal: `max(0, N(mean, std))`.
+    Normal {
+        /// Mean latency.
+        mean: SimDuration,
+        /// Standard deviation.
+        std: SimDuration,
+    },
+    /// Exponential with the given mean (models queueing tails).
+    Exponential {
+        /// Mean latency (1/λ).
+        mean: SimDuration,
+    },
+    /// A constant base plus an exponential tail — a common fit for
+    /// service-time measurements.
+    ShiftedExponential {
+        /// Deterministic floor.
+        base: SimDuration,
+        /// Mean of the additional exponential component.
+        tail_mean: SimDuration,
+    },
+}
+
+impl LatencyDist {
+    /// A zero-latency distribution.
+    pub fn zero() -> Self {
+        LatencyDist::Constant(SimDuration::ZERO)
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut ChaChaRng) -> SimDuration {
+        match *self {
+            LatencyDist::Constant(d) => d,
+            LatencyDist::Uniform { lo, hi } => {
+                let (a, b) = (lo.as_nanos(), hi.as_nanos());
+                assert!(a <= b, "uniform bounds inverted");
+                if a == b {
+                    return lo;
+                }
+                SimDuration::from_nanos(a + rng.gen_range(b - a + 1))
+            }
+            LatencyDist::Normal { mean, std } => {
+                let z = standard_normal(rng);
+                let v = mean.as_millis_f64() + z * std.as_millis_f64();
+                SimDuration::from_millis_f64(v.max(0.0))
+            }
+            LatencyDist::Exponential { mean } => {
+                let u = uniform_open01(rng);
+                SimDuration::from_millis_f64(-mean.as_millis_f64() * u.ln())
+            }
+            LatencyDist::ShiftedExponential { base, tail_mean } => {
+                let u = uniform_open01(rng);
+                base + SimDuration::from_millis_f64(-tail_mean.as_millis_f64() * u.ln())
+            }
+        }
+    }
+
+    /// The distribution mean (exact, not sampled).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyDist::Constant(d) => d,
+            LatencyDist::Uniform { lo, hi } => SimDuration::from_nanos(
+                (lo.as_nanos() + hi.as_nanos()) / 2,
+            ),
+            LatencyDist::Normal { mean, .. } => mean,
+            LatencyDist::Exponential { mean } => mean,
+            LatencyDist::ShiftedExponential { base, tail_mean } => base + tail_mean,
+        }
+    }
+}
+
+/// Uniform sample in the open interval (0, 1).
+fn uniform_open01(rng: &mut ChaChaRng) -> f64 {
+    loop {
+        let v = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if v > 0.0 {
+            return v;
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn standard_normal(rng: &mut ChaChaRng) -> f64 {
+    let u1 = uniform_open01(rng);
+    let u2 = uniform_open01(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> ChaChaRng {
+        ChaChaRng::from_u64_seed(99)
+    }
+
+    fn sample_mean(dist: &LatencyDist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| dist.sample(&mut r).as_millis_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = LatencyDist::Constant(SimDuration::from_millis(5));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r).as_millis_f64(), 5.0);
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = LatencyDist::Uniform {
+            lo: SimDuration::from_millis(2),
+            hi: SimDuration::from_millis(4),
+        };
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = d.sample(&mut r).as_millis_f64();
+            assert!((2.0..=4.0).contains(&s));
+        }
+        assert!((sample_mean(&d, 3000) - 3.0).abs() < 0.05);
+        assert_eq!(d.mean().as_millis_f64(), 3.0);
+    }
+
+    #[test]
+    fn normal_mean_converges() {
+        let d = LatencyDist::Normal {
+            mean: SimDuration::from_millis(10),
+            std: SimDuration::from_millis(1),
+        };
+        assert!((sample_mean(&d, 5000) - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = LatencyDist::Exponential {
+            mean: SimDuration::from_millis(4),
+        };
+        assert!((sample_mean(&d, 20000) - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn shifted_exponential_floor_holds() {
+        let d = LatencyDist::ShiftedExponential {
+            base: SimDuration::from_millis(3),
+            tail_mean: SimDuration::from_micros(500),
+        };
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!(d.sample(&mut r) >= SimDuration::from_millis(3));
+        }
+        assert_eq!(d.mean().as_millis_f64(), 3.5);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let d = LatencyDist::Normal {
+            mean: SimDuration::from_millis(1),
+            std: SimDuration::from_micros(100),
+        };
+        let mut r1 = ChaChaRng::from_u64_seed(7);
+        let mut r2 = ChaChaRng::from_u64_seed(7);
+        for _ in 0..20 {
+            assert_eq!(d.sample(&mut r1), d.sample(&mut r2));
+        }
+    }
+}

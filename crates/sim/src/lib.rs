@@ -1,0 +1,34 @@
+//! # geoproof-sim
+//!
+//! Deterministic simulation substrate for the GeoProof evaluation:
+//!
+//! * [`time`] — nanosecond [`time::SimDuration`]/[`time::SimInstant`],
+//!   kilometre distances and the paper's propagation-speed constants
+//!   (c = 300 km/ms, fibre 2/3 c, Internet 4/9 c);
+//! * [`clock`] — a shareable [`clock::SimClock`] that every model component
+//!   charges latency to;
+//! * [`dist`] — samplable latency distributions (constant, uniform, normal,
+//!   exponential) so experiments run either as the paper's exact arithmetic
+//!   or stochastically.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_sim::{clock::SimClock, time::{SimDuration, FIBRE_SPEED, Km}};
+//!
+//! let clock = SimClock::new();
+//! let sw = clock.start_timer();
+//! // Charge one LAN traversal of 100 km of fibre each way.
+//! let one_way = FIBRE_SPEED.travel_time(Km(100.0));
+//! clock.advance(one_way);
+//! clock.advance(one_way);
+//! assert_eq!(sw.elapsed(), SimDuration::from_millis(1));
+//! ```
+
+pub mod clock;
+pub mod dist;
+pub mod time;
+
+pub use clock::{SimClock, Stopwatch};
+pub use dist::LatencyDist;
+pub use time::{Km, SimDuration, SimInstant, Speed, FIBRE_SPEED, INTERNET_SPEED, SPEED_OF_LIGHT};

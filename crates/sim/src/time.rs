@@ -1,0 +1,301 @@
+//! Simulated time, distance and propagation-speed units.
+//!
+//! GeoProof's whole security argument is a timing argument: Δt_max budgets
+//! (16 ms), disk look-ups (5.4–13.1 ms), LAN RTTs (< 1 ms) and speed-of-
+//! light fractions (2/3 c in fibre, 4/9 c on the Internet). These newtypes
+//! keep milliseconds, kilometres and km/ms from being confused.
+
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time with nanosecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use geoproof_sim::time::SimDuration;
+/// let t = SimDuration::from_millis_f64(5.406);
+/// assert!((t.as_millis_f64() - 5.406).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Builds from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Builds from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Builds from fractional milliseconds (sub-nanosecond truncated).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_millis_f64(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "duration must be finite and non-negative, got {millis}"
+        );
+        SimDuration((millis * 1e6).round() as u64)
+    }
+
+    /// Builds from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self::from_millis_f64(secs * 1e3)
+    }
+
+    /// Whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ns", self.0)
+        }
+    }
+}
+
+/// A geographic distance in kilometres.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Km(pub f64);
+
+impl Km {
+    /// The zero distance.
+    pub const ZERO: Km = Km(0.0);
+}
+
+impl Add for Km {
+    type Output = Km;
+    fn add(self, rhs: Km) -> Km {
+        Km(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Km {
+    type Output = Km;
+    fn sub(self, rhs: Km) -> Km {
+        Km(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for Km {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} km", self.0)
+    }
+}
+
+/// A propagation speed in km per millisecond.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Speed(pub f64);
+
+/// Speed of light in vacuum: 300 km/ms (the paper's constant).
+pub const SPEED_OF_LIGHT: Speed = Speed(300.0);
+
+/// Light in optic fibre: 2/3 c = 200 km/ms (paper §V-E, citing Percacci,
+/// Wong, Katz-Bassett).
+pub const FIBRE_SPEED: Speed = Speed(200.0);
+
+/// Effective Internet speed: 4/9 c ≈ 133.3 km/ms (paper §V-F, citing
+/// Katz-Bassett et al.).
+pub const INTERNET_SPEED: Speed = Speed(300.0 * 4.0 / 9.0);
+
+impl Speed {
+    /// One-way travel time to cover `distance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed is non-positive.
+    pub fn travel_time(self, distance: Km) -> SimDuration {
+        assert!(self.0 > 0.0, "speed must be positive");
+        SimDuration::from_millis_f64(distance.0.max(0.0) / self.0)
+    }
+
+    /// Maximum one-way distance reachable within `time`.
+    pub fn distance_in(self, time: SimDuration) -> Km {
+        Km(self.0 * time.as_millis_f64())
+    }
+}
+
+impl std::fmt::Display for Speed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} km/ms", self.0)
+    }
+}
+
+/// An absolute instant on the simulated timeline (nanoseconds since start).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The timeline origin.
+    pub const EPOCH: SimInstant = SimInstant(0);
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Instant advanced by `d`.
+    pub fn advance(self, d: SimDuration) -> SimInstant {
+        SimInstant(self.0 + d.as_nanos())
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier is later than self"),
+        )
+    }
+}
+
+impl std::fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t+{:.6} ms", self.0 as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_micros(5).as_nanos(), 5_000);
+        assert!((SimDuration::from_millis_f64(13.1055).as_millis_f64() - 13.1055).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!((a + b).as_millis_f64(), 14.0);
+        assert_eq!((a - b).as_millis_f64(), 6.0);
+        assert_eq!((a * 3).as_millis_f64(), 30.0);
+        assert_eq!((a / 2).as_millis_f64(), 5.0);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn duration_sub_underflow_panics() {
+        let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    fn paper_speed_constants() {
+        // §V-E: 200 km range in fibre has RTT ≈ 2 ms → one way 1 ms.
+        let one_way = FIBRE_SPEED.travel_time(Km(200.0));
+        assert!((one_way.as_millis_f64() - 1.0).abs() < 1e-9);
+        // §V-F: 3 ms at internet speed covers 400 km one way.
+        let d = INTERNET_SPEED.distance_in(SimDuration::from_millis(3));
+        assert!((d.0 - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_relay_distance_bound() {
+        // §V-C(b): 4/9 c × 5.406 ms = 720.8 km, half for round trip ≈ 360 km.
+        let d = INTERNET_SPEED.distance_in(SimDuration::from_millis_f64(5.406));
+        assert!((d.0 / 2.0 - 360.4).abs() < 0.1, "got {}", d.0 / 2.0);
+    }
+
+    #[test]
+    fn instant_ordering_and_elapsed() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0.advance(SimDuration::from_millis(5));
+        assert!(t1 > t0);
+        assert_eq!(t1.duration_since(t0).as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000 ms");
+        assert_eq!(format!("{}", SimDuration::from_nanos(500)), "500 ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(7)), "7.000 µs");
+        assert_eq!(format!("{}", Km(3605.0)), "3605.0 km");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the simulation substrate: unit arithmetic,
+//! clock monotonicity, distribution support.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::clock::SimClock;
+use geoproof_sim::dist::LatencyDist;
+use geoproof_sim::time::{Km, SimDuration, Speed};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn duration_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!(da + db, db + da);
+    }
+
+    #[test]
+    fn duration_saturating_sub_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let d = SimDuration::from_nanos(a).saturating_sub(SimDuration::from_nanos(b));
+        prop_assert!(d.as_nanos() <= a);
+    }
+
+    #[test]
+    fn millis_conversion_roundtrip(ms in 0.0f64..1e9) {
+        let d = SimDuration::from_millis_f64(ms);
+        prop_assert!((d.as_millis_f64() - ms).abs() < 1e-6 * ms.max(1.0));
+    }
+
+    #[test]
+    fn travel_time_scales_linearly(km in 0.0f64..10_000.0, speed in 1.0f64..500.0) {
+        let s = Speed(speed);
+        let t1 = s.travel_time(Km(km));
+        let t2 = s.travel_time(Km(2.0 * km));
+        let diff = t2.as_millis_f64() - 2.0 * t1.as_millis_f64();
+        prop_assert!(diff.abs() < 1e-5, "nonlinear: {diff}");
+    }
+
+    #[test]
+    fn speed_distance_inverse(km in 0.1f64..10_000.0, speed in 1.0f64..500.0) {
+        let s = Speed(speed);
+        let t = s.travel_time(Km(km));
+        let back = s.distance_in(t);
+        prop_assert!((back.0 - km).abs() < 1e-3, "got {} for {km}", back.0);
+    }
+
+    #[test]
+    fn clock_is_monotone(steps in prop::collection::vec(0u64..1_000_000, 1..50)) {
+        let clock = SimClock::new();
+        let mut last = clock.now();
+        for ns in steps {
+            clock.advance(SimDuration::from_nanos(ns));
+            let now = clock.now();
+            prop_assert!(now >= last);
+            prop_assert_eq!(now.duration_since(last).as_nanos(), ns);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn stopwatch_sums_advances(steps in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let clock = SimClock::new();
+        let sw = clock.start_timer();
+        let total: u64 = steps.iter().sum();
+        for ns in steps {
+            clock.advance(SimDuration::from_nanos(ns));
+        }
+        prop_assert_eq!(sw.elapsed().as_nanos(), total);
+    }
+
+    #[test]
+    fn distributions_are_non_negative_and_bounded_support(
+        seed in any::<u64>(),
+        lo in 0u64..1_000_000,
+        width in 0u64..1_000_000,
+    ) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let dist = LatencyDist::Uniform {
+            lo: SimDuration::from_nanos(lo),
+            hi: SimDuration::from_nanos(lo + width),
+        };
+        for _ in 0..20 {
+            let s = dist.sample(&mut rng);
+            prop_assert!(s.as_nanos() >= lo && s.as_nanos() <= lo + width);
+        }
+    }
+
+    #[test]
+    fn shifted_exponential_respects_floor(seed in any::<u64>(), base_ms in 0.0f64..50.0) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let base = SimDuration::from_millis_f64(base_ms);
+        let dist = LatencyDist::ShiftedExponential {
+            base,
+            tail_mean: SimDuration::from_micros(200),
+        };
+        for _ in 0..20 {
+            prop_assert!(dist.sample(&mut rng) >= base);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Disk read-cache model and the cache-assisted cheating question.
+//!
+//! A provider might try to beat the Δt_max timing check not by buying
+//! faster spindles (Table I) but by answering challenges from RAM. The
+//! defence is already in the protocol: challenges are *uniformly random*
+//! over a file far larger than any cache, so the expected hit rate — and
+//! with it the fraction of rounds that dodge the disk — is `cache/file`,
+//! and the TPA times **every** round (the paper verifies
+//! `max Δt_j ≤ Δt_max`, so a single miss exposes the relay). This module
+//! quantifies that argument.
+
+use crate::hdd::HddModel;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::time::SimDuration;
+use std::collections::HashMap;
+
+/// An LRU read cache in front of a disk model.
+#[derive(Debug)]
+pub struct CachedDisk {
+    disk: HddModel,
+    capacity: usize,
+    hit_latency: SimDuration,
+    // index -> recency stamp; simple counter-based LRU.
+    resident: HashMap<u64, u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedDisk {
+    /// Wraps `disk` with a cache holding `capacity` segments; cache hits
+    /// cost `hit_latency` (RAM + controller, typically tens of µs).
+    pub fn new(disk: HddModel, capacity: usize, hit_latency: SimDuration) -> Self {
+        CachedDisk {
+            disk,
+            capacity,
+            hit_latency,
+            resident: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Reads segment `index` of `bytes` size; returns the latency charged.
+    pub fn read(&mut self, index: u64, bytes: usize, rng: &mut ChaChaRng) -> SimDuration {
+        self.tick += 1;
+        if self.capacity == 0 {
+            self.misses += 1;
+            return self.disk.sample_lookup(bytes, rng);
+        }
+        if self.resident.contains_key(&index) {
+            self.resident.insert(index, self.tick);
+            self.hits += 1;
+            return self.hit_latency;
+        }
+        self.misses += 1;
+        // Admit, evicting the least recently used entry if full.
+        if self.resident.len() >= self.capacity {
+            if let Some((&lru, _)) = self.resident.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.resident.remove(&lru);
+            }
+        }
+        self.resident.insert(index, self.tick);
+        self.disk.sample_lookup(bytes, rng)
+    }
+
+    /// Pre-warms the cache with specific segment indices (the cheating
+    /// provider's best move: pin whatever it can).
+    pub fn warm(&mut self, indices: impl IntoIterator<Item = u64>) {
+        for idx in indices {
+            if self.resident.len() >= self.capacity {
+                break;
+            }
+            self.tick += 1;
+            self.resident.insert(idx, self.tick);
+        }
+    }
+
+    /// (hits, misses) served so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Observed hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Probability that *all* `k` uniformly random distinct challenges out of
+/// `n_segments` land in a cache of `cached` segments — the only event that
+/// lets a cache-reliant cheat pass a full audit (hypergeometric).
+pub fn all_hits_probability(n_segments: u64, cached: u64, k: u32) -> f64 {
+    if u64::from(k) > cached {
+        return 0.0;
+    }
+    let mut p = 1.0f64;
+    for i in 0..u64::from(k) {
+        p *= (cached - i) as f64 / (n_segments - i) as f64;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdd::{HddModel, WD_2500JD};
+
+    fn cached(capacity: usize) -> CachedDisk {
+        CachedDisk::new(
+            HddModel::deterministic(WD_2500JD),
+            capacity,
+            SimDuration::from_micros(50),
+        )
+    }
+
+    #[test]
+    fn hit_is_fast_miss_is_disk_speed() {
+        let mut c = cached(4);
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let miss = c.read(7, 512, &mut rng);
+        assert!(miss.as_millis_f64() > 13.0);
+        let hit = c.read(7, 512, &mut rng);
+        assert_eq!(hit, SimDuration::from_micros(50));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = cached(2);
+        let mut rng = ChaChaRng::from_u64_seed(2);
+        c.read(1, 512, &mut rng);
+        c.read(2, 512, &mut rng);
+        c.read(3, 512, &mut rng); // evicts 1
+        let t1 = c.read(1, 512, &mut rng); // miss again
+        assert!(t1.as_millis_f64() > 13.0);
+        let t3 = c.read(3, 512, &mut rng); // still resident
+        assert_eq!(t3, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn zero_capacity_never_hits() {
+        let mut c = cached(0);
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        c.read(5, 512, &mut rng);
+        c.read(5, 512, &mut rng);
+        assert_eq!(c.stats(), (0, 2));
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn warm_pins_segments() {
+        let mut c = cached(10);
+        c.warm(0..10);
+        let mut rng = ChaChaRng::from_u64_seed(4);
+        for i in 0..10 {
+            assert_eq!(c.read(i, 512, &mut rng), SimDuration::from_micros(50));
+        }
+        assert_eq!(c.stats(), (10, 0));
+    }
+
+    #[test]
+    fn random_challenges_mostly_miss_a_small_cache() {
+        // 10,000-segment file, 100-segment cache (1%), 200 random reads.
+        let mut c = cached(100);
+        c.warm(0..100);
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        for _ in 0..200 {
+            let idx = rng.gen_range(10_000);
+            c.read(idx, 512, &mut rng);
+        }
+        assert!(c.hit_rate() < 0.05, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn all_hits_probability_collapses_fast() {
+        // Even a 10% cache: k = 20 all-hits probability ≈ 1e-20.
+        let p = all_hits_probability(1_000_000, 100_000, 20);
+        assert!(p < 1e-19, "p = {p}");
+        // Degenerate cases.
+        assert_eq!(all_hits_probability(100, 5, 10), 0.0);
+        assert!((all_hits_probability(100, 100, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_miss_exposes_the_audit() {
+        // The max-RTT check means one miss in k rounds is enough; verify
+        // the complement: P[detected] = 1 - all_hits.
+        let p_all = all_hits_probability(10_000, 1_000, 10);
+        assert!(1.0 - p_all > 0.9999999999, "p_all = {p_all}");
+    }
+}

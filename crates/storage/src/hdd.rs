@@ -1,0 +1,280 @@
+//! Hard-disk latency models, parameterised with the paper's Table I.
+//!
+//! §V-D decomposes the look-up latency as
+//! `Δt_L = Δt_seek + Δt_rotate + Δt_transfer` and works two examples:
+//! the "average" WD 2500JD (13.1055 ms per 512-byte look-up) and the
+//! "best" IBM 36Z15 (5.406 ms) a relay attacker would buy. The five-disk
+//! catalogue below reproduces Table I exactly; the stochastic model jitters
+//! seek and rotation around those averages for distribution-shape
+//! experiments.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::dist::LatencyDist;
+use geoproof_sim::time::SimDuration;
+
+/// Static description of a hard-disk model (one Table I row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HddSpec {
+    /// Marketing name, as printed in Table I.
+    pub name: &'static str,
+    /// Spindle speed in revolutions per minute.
+    pub rpm: u32,
+    /// Average seek time in milliseconds.
+    pub avg_seek_ms: f64,
+    /// Average rotational latency in milliseconds.
+    pub avg_rotate_ms: f64,
+    /// Average internal data rate in MB/s (Table I's "avg(IDR) Mb/s" row,
+    /// which the worked examples treat as megabytes per second).
+    pub idr_mb_s: f64,
+    /// Media transfer rate in Mbit/s used by the paper's §V-D worked
+    /// examples where given (748 for the WD 2500JD, 647 for the IBM 36Z15);
+    /// derived as `8 × idr_mb_s` otherwise.
+    pub media_rate_mbit_s: f64,
+}
+
+/// IBM Ultrastar 36Z15 — the paper's "best" disk a relay attacker deploys.
+pub const IBM_36Z15: HddSpec = HddSpec {
+    name: "IBM 36Z15",
+    rpm: 15_000,
+    avg_seek_ms: 3.4,
+    avg_rotate_ms: 2.0,
+    idr_mb_s: 55.0,
+    media_rate_mbit_s: 647.0,
+};
+
+/// IBM 73LZX.
+pub const IBM_73LZX: HddSpec = HddSpec {
+    name: "IBM 73LZX",
+    rpm: 10_000,
+    avg_seek_ms: 4.9,
+    avg_rotate_ms: 3.0,
+    idr_mb_s: 53.0,
+    media_rate_mbit_s: 8.0 * 53.0,
+};
+
+/// Western Digital 2500JD — the paper's "average" cloud-provider disk.
+pub const WD_2500JD: HddSpec = HddSpec {
+    name: "WD 2500JD",
+    rpm: 7_200,
+    avg_seek_ms: 8.9,
+    avg_rotate_ms: 4.2,
+    idr_mb_s: 93.5,
+    media_rate_mbit_s: 748.0,
+};
+
+/// IBM 40GNX.
+pub const IBM_40GNX: HddSpec = HddSpec {
+    name: "IBM 40GNX",
+    rpm: 5_400,
+    avg_seek_ms: 12.0,
+    avg_rotate_ms: 5.5,
+    idr_mb_s: 25.0,
+    media_rate_mbit_s: 8.0 * 25.0,
+};
+
+/// Hitachi DK23DA.
+pub const HITACHI_DK23DA: HddSpec = HddSpec {
+    name: "Hitachi DK23DA",
+    rpm: 4_200,
+    avg_seek_ms: 13.0,
+    avg_rotate_ms: 7.1,
+    idr_mb_s: 34.7,
+    media_rate_mbit_s: 8.0 * 34.7,
+};
+
+/// The full Table I catalogue, fastest spindle first.
+pub const TABLE_I: [HddSpec; 5] = [IBM_36Z15, IBM_73LZX, WD_2500JD, IBM_40GNX, HITACHI_DK23DA];
+
+impl HddSpec {
+    /// Rotational latency implied by the spindle speed: half a revolution,
+    /// `60_000 / (2 · RPM)` ms. Table I's quoted averages round this.
+    pub fn derived_rotate_ms(&self) -> f64 {
+        60_000.0 / (2.0 * self.rpm as f64)
+    }
+
+    /// Transfer time for `bytes` at the media rate:
+    /// `bytes × 8 / (rate_mbit_s × 10³)` ms (the paper's §V-D formula).
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_millis_f64(bytes as f64 * 8.0 / (self.media_rate_mbit_s * 1e3))
+    }
+
+    /// Average look-up latency for a `bytes`-sized read:
+    /// `Δt_L = Δt_seek + Δt_rotate + Δt_transfer`.
+    pub fn avg_lookup(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.avg_seek_ms + self.avg_rotate_ms)
+            + self.transfer_time(bytes)
+    }
+}
+
+/// A samplable disk: seek uniform in `[0, 2·avg]`, rotation uniform over
+/// one revolution, deterministic transfer — or exact averages in
+/// deterministic mode.
+#[derive(Clone, Debug)]
+pub struct HddModel {
+    spec: HddSpec,
+    seek: LatencyDist,
+    rotate: LatencyDist,
+}
+
+impl HddModel {
+    /// Deterministic model: every look-up costs exactly the Table I
+    /// average (reproduces the paper's arithmetic).
+    pub fn deterministic(spec: HddSpec) -> Self {
+        let seek = LatencyDist::Constant(SimDuration::from_millis_f64(spec.avg_seek_ms));
+        let rotate = LatencyDist::Constant(SimDuration::from_millis_f64(spec.avg_rotate_ms));
+        HddModel { spec, seek, rotate }
+    }
+
+    /// Stochastic model: seek ~ U[0, 2·avg_seek], rotation ~ U[0, one
+    /// revolution]; means match Table I.
+    pub fn stochastic(spec: HddSpec) -> Self {
+        let seek = LatencyDist::Uniform {
+            lo: SimDuration::ZERO,
+            hi: SimDuration::from_millis_f64(2.0 * spec.avg_seek_ms),
+        };
+        let rotate = LatencyDist::Uniform {
+            lo: SimDuration::ZERO,
+            hi: SimDuration::from_millis_f64(60_000.0 / spec.rpm as f64),
+        };
+        HddModel { spec, seek, rotate }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &HddSpec {
+        &self.spec
+    }
+
+    /// Samples one look-up of `bytes` (seek + rotation + transfer).
+    pub fn sample_lookup(&self, bytes: usize, rng: &mut ChaChaRng) -> SimDuration {
+        self.seek.sample(rng) + self.rotate.sample(rng) + self.spec.transfer_time(bytes)
+    }
+
+    /// Mean look-up latency for a `bytes`-sized read.
+    pub fn mean_lookup(&self, bytes: usize) -> SimDuration {
+        self.seek.mean() + self.rotate.mean() + self.spec.transfer_time(bytes)
+    }
+}
+
+/// An SSD-class device (extension beyond the paper): near-constant
+/// microsecond-scale access, no mechanical components.
+#[derive(Clone, Debug)]
+pub struct SsdModel {
+    access: LatencyDist,
+    throughput_mb_s: f64,
+}
+
+impl SsdModel {
+    /// A typical SATA-era SSD: ~100 µs access, 500 MB/s.
+    pub fn typical() -> Self {
+        SsdModel {
+            access: LatencyDist::ShiftedExponential {
+                base: SimDuration::from_micros(60),
+                tail_mean: SimDuration::from_micros(40),
+            },
+            throughput_mb_s: 500.0,
+        }
+    }
+
+    /// Samples a read of `bytes`.
+    pub fn sample_lookup(&self, bytes: usize, rng: &mut ChaChaRng) -> SimDuration {
+        self.access.sample(rng)
+            + SimDuration::from_millis_f64(bytes as f64 / (self.throughput_mb_s * 1e3))
+    }
+
+    /// Mean read latency for `bytes`.
+    pub fn mean_lookup(&self, bytes: usize) -> SimDuration {
+        self.access.mean()
+            + SimDuration::from_millis_f64(bytes as f64 / (self.throughput_mb_s * 1e3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wd2500jd_matches_paper_example() {
+        // §V-D: Δt_L = 8.9 + 4.2 + 5.48e-3 ≈ 13.1055 ms for 512 bytes.
+        let t = WD_2500JD.avg_lookup(512).as_millis_f64();
+        assert!((t - 13.1055).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn ibm36z15_matches_paper_example() {
+        // §V-D: Δt_L = 3.4 + 2 + 6.33e-3 ≈ 5.406 ms for 512 bytes.
+        let t = IBM_36Z15.avg_lookup(512).as_millis_f64();
+        assert!((t - 5.406).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn rotational_latency_follows_rpm() {
+        for spec in TABLE_I {
+            let derived = spec.derived_rotate_ms();
+            assert!(
+                (derived - spec.avg_rotate_ms).abs() < 0.1,
+                "{}: derived {derived} vs table {}",
+                spec.name,
+                spec.avg_rotate_ms
+            );
+        }
+    }
+
+    #[test]
+    fn catalogue_ordering_best_to_worst() {
+        // Higher RPM ⇒ lower average look-up (Table I's headline claim).
+        let lookups: Vec<f64> = TABLE_I
+            .iter()
+            .map(|s| s.avg_lookup(512).as_millis_f64())
+            .collect();
+        for w in lookups.windows(2) {
+            assert!(w[0] < w[1], "lookup times must increase: {lookups:?}");
+        }
+    }
+
+    #[test]
+    fn best_disk_differential_vs_average() {
+        // The relay-attack analysis hinges on ΔtLW - ΔtLB ≈ 7.7 ms.
+        let diff = WD_2500JD.avg_lookup(512).as_millis_f64()
+            - IBM_36Z15.avg_lookup(512).as_millis_f64();
+        assert!((diff - 7.6995).abs() < 0.01, "got {diff}");
+    }
+
+    #[test]
+    fn stochastic_mean_matches_deterministic() {
+        let det = HddModel::deterministic(WD_2500JD);
+        let sto = HddModel::stochastic(WD_2500JD);
+        let mut rng = ChaChaRng::from_u64_seed(11);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| sto.sample_lookup(512, &mut rng).as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        let target = det.mean_lookup(512).as_millis_f64();
+        assert!(
+            (mean - target).abs() < 0.15,
+            "stochastic mean {mean} vs deterministic {target}"
+        );
+    }
+
+    #[test]
+    fn deterministic_sampling_is_exact() {
+        let det = HddModel::deterministic(IBM_36Z15);
+        let mut rng = ChaChaRng::from_u64_seed(0);
+        let s = det.sample_lookup(512, &mut rng);
+        assert_eq!(s, det.mean_lookup(512));
+    }
+
+    #[test]
+    fn ssd_is_orders_of_magnitude_faster() {
+        let ssd = SsdModel::typical();
+        let hdd = HddModel::deterministic(IBM_36Z15);
+        assert!(ssd.mean_lookup(512).as_millis_f64() * 10.0 < hdd.mean_lookup(512).as_millis_f64());
+    }
+
+    #[test]
+    fn transfer_scales_linearly() {
+        let t1 = WD_2500JD.transfer_time(512).as_millis_f64();
+        let t2 = WD_2500JD.transfer_time(1024).as_millis_f64();
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # geoproof-storage
+//!
+//! Disk and storage-server models for the GeoProof evaluation:
+//!
+//! * [`hdd`] — the paper's Table I hard-disk catalogue (IBM 36Z15 …
+//!   Hitachi DK23DA) with the §V-D look-up decomposition
+//!   `Δt_L = Δt_seek + Δt_rotate + Δt_transfer`, in deterministic and
+//!   stochastic flavours, plus an SSD extension model;
+//! * [`cache`] — an LRU read cache and the cache-assisted-cheating
+//!   analysis (random challenges defeat it);
+//! * [`server`] — a simulated cloud storage node whose segment reads cost
+//!   modelled disk time, with corruption/deletion hooks for adversarial
+//!   experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_storage::hdd::{WD_2500JD, IBM_36Z15};
+//!
+//! // The paper's two §V-D worked examples:
+//! assert!((WD_2500JD.avg_lookup(512).as_millis_f64() - 13.1055).abs() < 1e-3);
+//! assert!((IBM_36Z15.avg_lookup(512).as_millis_f64() - 5.406).abs() < 1e-3);
+//! ```
+
+pub mod cache;
+pub mod hdd;
+pub mod server;
+
+pub use cache::{all_hits_probability, CachedDisk};
+pub use hdd::{HddModel, HddSpec, SsdModel, TABLE_I};
+pub use server::{FileId, ReadOutcome, StorageServer};

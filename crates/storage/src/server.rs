@@ -1,0 +1,200 @@
+//! A simulated cloud storage server: tagged segments on a modelled disk.
+//!
+//! The prover P in the GeoProof protocol (paper Fig. 5) receives a
+//! challenge index `c_j`, performs a disk look-up costing `Δt_L_j`, and
+//! returns the segment-with-tag `S_cj ‖ τ_cj`. [`StorageServer`] is that
+//! machine: a segment store whose reads cost simulated disk time.
+
+use crate::hdd::HddModel;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::time::SimDuration;
+use std::collections::HashMap;
+
+/// Identifies a stored file.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub String);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for FileId {
+    fn from(s: &str) -> Self {
+        FileId(s.to_owned())
+    }
+}
+
+/// Result of one segment read: the bytes and the disk time it cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The segment bytes (tag embedded), or `None` if missing/deleted.
+    pub data: Option<Vec<u8>>,
+    /// Simulated look-up latency charged for the read.
+    pub latency: SimDuration,
+}
+
+/// A simulated storage node holding segmented files on one disk model.
+#[derive(Debug)]
+pub struct StorageServer {
+    disk: HddModel,
+    files: HashMap<FileId, Vec<Vec<u8>>>,
+    rng: ChaChaRng,
+    reads: u64,
+}
+
+impl StorageServer {
+    /// Creates a server on `disk`, with `seed` driving latency sampling.
+    pub fn new(disk: HddModel, seed: u64) -> Self {
+        StorageServer {
+            disk,
+            files: HashMap::new(),
+            rng: ChaChaRng::from_u64_seed(seed),
+            reads: 0,
+        }
+    }
+
+    /// Stores (or replaces) a file as an ordered list of segments.
+    pub fn put_file(&mut self, fid: FileId, segments: Vec<Vec<u8>>) {
+        self.files.insert(fid, segments);
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn delete_file(&mut self, fid: &FileId) -> bool {
+        self.files.remove(fid).is_some()
+    }
+
+    /// Number of segments stored for `fid`.
+    pub fn segment_count(&self, fid: &FileId) -> Option<usize> {
+        self.files.get(fid).map(|s| s.len())
+    }
+
+    /// Reads segment `idx` of `fid`, charging one disk look-up.
+    ///
+    /// Missing files or out-of-range indices still cost a look-up (the disk
+    /// had to search before discovering the miss).
+    pub fn read_segment(&mut self, fid: &FileId, idx: usize) -> ReadOutcome {
+        self.reads += 1;
+        let data = self
+            .files
+            .get(fid)
+            .and_then(|segs| segs.get(idx))
+            .cloned();
+        let bytes = data.as_ref().map_or(512, Vec::len);
+        let latency = self.disk.sample_lookup(bytes, &mut self.rng);
+        ReadOutcome { data, latency }
+    }
+
+    /// Corrupts segment `idx` by XOR-ing `mask` into every byte; returns
+    /// whether the segment existed. Used by adversarial experiments.
+    pub fn corrupt_segment(&mut self, fid: &FileId, idx: usize, mask: u8) -> bool {
+        if let Some(seg) = self.files.get_mut(fid).and_then(|s| s.get_mut(idx)) {
+            for b in seg.iter_mut() {
+                *b ^= mask;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deletes a single segment's contents (sets it empty); returns whether
+    /// it existed.
+    pub fn drop_segment(&mut self, fid: &FileId, idx: usize) -> bool {
+        if let Some(seg) = self.files.get_mut(fid).and_then(|s| s.get_mut(idx)) {
+            seg.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total reads served (audit statistics).
+    pub fn reads_served(&self) -> u64 {
+        self.reads
+    }
+
+    /// The disk model backing this server.
+    pub fn disk(&self) -> &HddModel {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdd::{HddModel, IBM_36Z15, WD_2500JD};
+
+    fn server() -> StorageServer {
+        let mut s = StorageServer::new(HddModel::deterministic(WD_2500JD), 1);
+        s.put_file(
+            FileId::from("f1"),
+            vec![b"seg0".to_vec(), b"seg1".to_vec(), b"seg2".to_vec()],
+        );
+        s
+    }
+
+    #[test]
+    fn read_returns_data_and_charges_latency() {
+        let mut s = server();
+        let out = s.read_segment(&FileId::from("f1"), 1);
+        assert_eq!(out.data.as_deref(), Some(&b"seg1"[..]));
+        // Deterministic WD2500JD, 4-byte read ≈ 13.1 ms.
+        assert!((out.latency.as_millis_f64() - 13.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn missing_segment_still_costs_time() {
+        let mut s = server();
+        let out = s.read_segment(&FileId::from("f1"), 99);
+        assert!(out.data.is_none());
+        assert!(out.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn missing_file_returns_none() {
+        let mut s = server();
+        assert!(s.read_segment(&FileId::from("nope"), 0).data.is_none());
+    }
+
+    #[test]
+    fn corrupt_and_drop() {
+        let mut s = server();
+        assert!(s.corrupt_segment(&FileId::from("f1"), 0, 0xff));
+        let out = s.read_segment(&FileId::from("f1"), 0);
+        assert_ne!(out.data.as_deref(), Some(&b"seg0"[..]));
+        assert!(s.drop_segment(&FileId::from("f1"), 0));
+        assert_eq!(s.read_segment(&FileId::from("f1"), 0).data.as_deref(), Some(&[][..]));
+        assert!(!s.corrupt_segment(&FileId::from("f1"), 42, 1));
+    }
+
+    #[test]
+    fn delete_file() {
+        let mut s = server();
+        assert!(s.delete_file(&FileId::from("f1")));
+        assert!(!s.delete_file(&FileId::from("f1")));
+        assert_eq!(s.segment_count(&FileId::from("f1")), None);
+    }
+
+    #[test]
+    fn read_counter_increments() {
+        let mut s = server();
+        assert_eq!(s.reads_served(), 0);
+        s.read_segment(&FileId::from("f1"), 0);
+        s.read_segment(&FileId::from("f1"), 1);
+        assert_eq!(s.reads_served(), 2);
+    }
+
+    #[test]
+    fn fast_disk_is_faster() {
+        let mut slow = StorageServer::new(HddModel::deterministic(WD_2500JD), 1);
+        let mut fast = StorageServer::new(HddModel::deterministic(IBM_36Z15), 1);
+        let fid = FileId::from("f");
+        slow.put_file(fid.clone(), vec![vec![0u8; 512]]);
+        fast.put_file(fid.clone(), vec![vec![0u8; 512]]);
+        let ls = slow.read_segment(&fid, 0).latency;
+        let lf = fast.read_segment(&fid, 0).latency;
+        assert!(lf < ls);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the storage models.
+
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_sim::time::SimDuration;
+use geoproof_storage::cache::{all_hits_probability, CachedDisk};
+use geoproof_storage::hdd::{HddModel, HddSpec, TABLE_I};
+use geoproof_storage::server::{FileId, StorageServer};
+use proptest::prelude::*;
+
+fn any_table_disk() -> impl Strategy<Value = HddSpec> {
+    (0usize..TABLE_I.len()).prop_map(|i| TABLE_I[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lookup_always_exceeds_transfer(
+        spec in any_table_disk(),
+        bytes in 1usize..100_000,
+        seed in any::<u64>(),
+    ) {
+        let model = HddModel::stochastic(spec.clone());
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let t = model.sample_lookup(bytes, &mut rng);
+        prop_assert!(t >= spec.transfer_time(bytes));
+    }
+
+    #[test]
+    fn deterministic_model_is_constant(
+        spec in any_table_disk(),
+        bytes in 1usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let model = HddModel::deterministic(spec);
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let a = model.sample_lookup(bytes, &mut rng);
+        let b = model.sample_lookup(bytes, &mut rng);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, model.mean_lookup(bytes));
+    }
+
+    #[test]
+    fn faster_spindle_never_slower_on_average(bytes in 1usize..10_000) {
+        // Table I ordering must hold for any read size.
+        for w in TABLE_I.windows(2) {
+            prop_assert!(
+                w[0].avg_lookup(bytes) < w[1].avg_lookup(bytes),
+                "{} vs {} at {bytes} bytes", w[0].name, w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn server_reads_are_faithful(
+        n_segments in 1usize..50,
+        read_idx in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut server = StorageServer::new(
+            HddModel::deterministic(TABLE_I[2].clone()),
+            seed,
+        );
+        let segments: Vec<Vec<u8>> = (0..n_segments)
+            .map(|i| vec![i as u8; 40])
+            .collect();
+        server.put_file(FileId::from("f"), segments.clone());
+        let out = server.read_segment(&FileId::from("f"), read_idx);
+        if read_idx < n_segments {
+            prop_assert_eq!(out.data.as_deref(), Some(&segments[read_idx][..]));
+        } else {
+            prop_assert!(out.data.is_none());
+        }
+        prop_assert!(out.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cache_hit_rate_tracks_capacity(
+        capacity in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let n_segments = 1000u64;
+        let mut disk = CachedDisk::new(
+            HddModel::deterministic(TABLE_I[0].clone()),
+            capacity,
+            SimDuration::from_micros(50),
+        );
+        disk.warm(0..capacity as u64);
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        for _ in 0..400 {
+            let idx = rng.gen_range(n_segments);
+            disk.read(idx, 512, &mut rng);
+        }
+        // Expected hit rate ≈ capacity/n (LRU churn pushes it below).
+        let expected = capacity as f64 / n_segments as f64;
+        prop_assert!(
+            disk.hit_rate() <= expected * 2.5 + 0.05,
+            "hit rate {} vs expected {expected}", disk.hit_rate()
+        );
+    }
+
+    #[test]
+    fn all_hits_probability_is_monotone_in_cache(
+        n in 100u64..10_000,
+        k in 1u32..20,
+        c1 in 0u64..10_000,
+        c2 in 0u64..10_000,
+    ) {
+        let c1 = c1.min(n);
+        let c2 = c2.min(n);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(
+            all_hits_probability(n, lo, k) <= all_hits_probability(n, hi, k) + 1e-12
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Length-prefixed wire encoding for GeoProof protocol messages.
+//!
+//! Frames are `u32 length ‖ u8 tag ‖ payload`, with all integers
+//! big-endian and all variable-length fields length-prefixed — the same
+//! canonical-encoding discipline as the signed transcript, so nothing
+//! depends on parser lenience.
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum accepted frame size (1 MiB) — segments are ~83 bytes, so
+/// anything near this is hostile.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A protocol message on the verifier↔prover (and TPA↔verifier) links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Verifier → prover: fetch segment `index` of `file_id`.
+    Challenge {
+        /// File identifier.
+        file_id: String,
+        /// Segment index.
+        index: u64,
+    },
+    /// Prover → verifier: the segment, or `None` when missing.
+    Response {
+        /// Segment bytes with embedded tag.
+        segment: Option<Vec<u8>>,
+    },
+    /// TPA → verifier: start an audit (ñ, k, nonce as in Fig. 5).
+    StartAudit {
+        /// File identifier.
+        file_id: String,
+        /// Total segments ñ.
+        n_segments: u64,
+        /// Challenge count k.
+        k: u32,
+        /// Audit nonce N.
+        nonce: [u8; 32],
+    },
+    /// Graceful connection close.
+    Bye,
+}
+
+/// Decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame advertises more than [`MAX_FRAME`] bytes.
+    FrameTooLarge(usize),
+    /// Payload ended before the advertised length.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A string field was not UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadString => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_CHALLENGE: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+const TAG_START_AUDIT: u8 = 3;
+const TAG_BYE: u8 = 4;
+
+impl WireMessage {
+    /// Encodes the message as one frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = BytesMut::new();
+        match self {
+            WireMessage::Challenge { file_id, index } => {
+                payload.put_u8(TAG_CHALLENGE);
+                put_str(&mut payload, file_id);
+                payload.put_u64(*index);
+            }
+            WireMessage::Response { segment } => {
+                payload.put_u8(TAG_RESPONSE);
+                match segment {
+                    Some(bytes) => {
+                        payload.put_u8(1);
+                        payload.put_u32(bytes.len() as u32);
+                        payload.put_slice(bytes);
+                    }
+                    None => payload.put_u8(0),
+                }
+            }
+            WireMessage::StartAudit {
+                file_id,
+                n_segments,
+                k,
+                nonce,
+            } => {
+                payload.put_u8(TAG_START_AUDIT);
+                put_str(&mut payload, file_id);
+                payload.put_u64(*n_segments);
+                payload.put_u32(*k);
+                payload.put_slice(nonce);
+            }
+            WireMessage::Bye => payload.put_u8(TAG_BYE),
+        }
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decodes one frame's payload (after the length prefix was consumed).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    pub fn decode(payload: &[u8]) -> Result<WireMessage, CodecError> {
+        let mut buf = payload;
+        if buf.is_empty() {
+            return Err(CodecError::Truncated);
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_CHALLENGE => {
+                let file_id = get_str(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(WireMessage::Challenge {
+                    file_id,
+                    index: buf.get_u64(),
+                })
+            }
+            TAG_RESPONSE => {
+                if buf.remaining() < 1 {
+                    return Err(CodecError::Truncated);
+                }
+                match buf.get_u8() {
+                    0 => Ok(WireMessage::Response { segment: None }),
+                    _ => {
+                        if buf.remaining() < 4 {
+                            return Err(CodecError::Truncated);
+                        }
+                        let len = buf.get_u32() as usize;
+                        if len > MAX_FRAME {
+                            return Err(CodecError::FrameTooLarge(len));
+                        }
+                        if buf.remaining() < len {
+                            return Err(CodecError::Truncated);
+                        }
+                        let segment = buf[..len].to_vec();
+                        Ok(WireMessage::Response {
+                            segment: Some(segment),
+                        })
+                    }
+                }
+            }
+            TAG_START_AUDIT => {
+                let file_id = get_str(&mut buf)?;
+                if buf.remaining() < 8 + 4 + 32 {
+                    return Err(CodecError::Truncated);
+                }
+                let n_segments = buf.get_u64();
+                let k = buf.get_u32();
+                let mut nonce = [0u8; 32];
+                nonce.copy_from_slice(&buf[..32]);
+                Ok(WireMessage::StartAudit {
+                    file_id,
+                    n_segments,
+                    k,
+                    nonce,
+                })
+            }
+            TAG_BYE => Ok(WireMessage::Bye),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if len > MAX_FRAME {
+        return Err(CodecError::FrameTooLarge(len));
+    }
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let s = String::from_utf8(buf[..len].to_vec()).map_err(|_| CodecError::BadString)?;
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Reads one complete frame from a blocking reader.
+///
+/// # Errors
+///
+/// I/O errors pass through; malformed frames become
+/// `io::ErrorKind::InvalidData`.
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> std::io::Result<WireMessage> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            CodecError::FrameTooLarge(len),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    WireMessage::decode(&payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Writes one frame to a blocking writer.
+///
+/// # Errors
+///
+/// I/O errors pass through.
+pub fn write_frame<W: std::io::Write>(writer: &mut W, msg: &WireMessage) -> std::io::Result<()> {
+    writer.write_all(&msg.encode())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMessage) {
+        let frame = msg.encode();
+        let payload = &frame[4..];
+        assert_eq!(WireMessage::decode(payload), Ok(msg));
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(WireMessage::Challenge {
+            file_id: "f".into(),
+            index: 42,
+        });
+        roundtrip(WireMessage::Response {
+            segment: Some(vec![1, 2, 3]),
+        });
+        roundtrip(WireMessage::Response { segment: None });
+        roundtrip(WireMessage::StartAudit {
+            file_id: "audit-file".into(),
+            n_segments: 1_000_000,
+            k: 1000,
+            nonce: [7u8; 32],
+        });
+        roundtrip(WireMessage::Bye);
+    }
+
+    #[test]
+    fn frame_length_prefix_is_exact() {
+        let msg = WireMessage::Challenge {
+            file_id: "abc".into(),
+            index: 7,
+        };
+        let frame = msg.encode();
+        let advertised = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(advertised, frame.len() - 4);
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        assert_eq!(WireMessage::decode(&[99]), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let msg = WireMessage::StartAudit {
+            file_id: "f".into(),
+            n_segments: 10,
+            k: 5,
+            nonce: [1u8; 32],
+        };
+        let frame = msg.encode();
+        let payload = &frame[4..];
+        for cut in 1..payload.len() {
+            let r = WireMessage::decode(&payload[..cut]);
+            assert!(r.is_err(), "cut at {cut} decoded to {r:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_non_utf8() {
+        // Challenge with an invalid UTF-8 "string".
+        let mut payload = vec![TAG_CHALLENGE];
+        payload.extend_from_slice(&2u32.to_be_bytes());
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        payload.extend_from_slice(&0u64.to_be_bytes());
+        assert_eq!(WireMessage::decode(&payload), Err(CodecError::BadString));
+    }
+
+    #[test]
+    fn stream_read_write_roundtrip() {
+        let msgs = vec![
+            WireMessage::Challenge { file_id: "f".into(), index: 1 },
+            WireMessage::Response { segment: Some(vec![9; 83]) },
+            WireMessage::Bye,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_by_reader() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

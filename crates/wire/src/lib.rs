@@ -1,0 +1,26 @@
+//! # geoproof-wire
+//!
+//! Wire-level transport for GeoProof:
+//!
+//! * [`codec`] — length-prefixed frames for challenge/response and audit
+//!   control messages, with strict parsing (size caps, UTF-8 checks,
+//!   truncation detection);
+//! * [`tcp`] — a threaded TCP prover server plus a wall-clock timing
+//!   client, so the timed challenge–response phase can run over a real
+//!   socket rather than the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_wire::codec::WireMessage;
+//!
+//! let msg = WireMessage::Challenge { file_id: "f".into(), index: 7 };
+//! let frame = msg.encode();
+//! assert_eq!(WireMessage::decode(&frame[4..]), Ok(msg));
+//! ```
+
+pub mod codec;
+pub mod tcp;
+
+pub use codec::{read_frame, write_frame, CodecError, WireMessage, MAX_FRAME};
+pub use tcp::{ProverServer, SegmentStore, TcpChallenger};

@@ -1,0 +1,287 @@
+//! Real TCP challenge–response: a prover server and a timing client.
+//!
+//! Everything else in the workspace runs on simulated time; this module
+//! runs the verifier↔prover link over an actual socket with wall-clock
+//! timing, demonstrating the protocol outside the simulator (the role the
+//! repro hint assigns to a "challenge-response server"). Threads plus
+//! blocking I/O keep it dependency-free.
+
+use crate::codec::{read_frame, write_frame, WireMessage};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared segment store served by a [`ProverServer`].
+pub type SegmentStore = Arc<Mutex<HashMap<String, Vec<Vec<u8>>>>>;
+
+/// A TCP prover: answers `Challenge` frames with `Response` frames.
+pub struct ProverServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    store: SegmentStore,
+    /// Artificial per-request service delay (simulates disk look-up).
+    service_delay: Duration,
+}
+
+impl std::fmt::Debug for ProverServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProverServer")
+            .field("addr", &self.addr)
+            .field("service_delay", &self.service_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProverServer {
+    /// Binds to an ephemeral localhost port and starts serving.
+    ///
+    /// `service_delay` is added per request, emulating storage latency so
+    /// wall-clock experiments can contrast disk classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(store: SegmentStore, service_delay: Duration) -> std::io::Result<ProverServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let store_ref = store.clone();
+        listener.set_nonblocking(true)?;
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let store = store_ref.clone();
+                        let stop = stop_flag.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, store, service_delay, stop);
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(ProverServer {
+            addr,
+            stop,
+            handle: Some(handle),
+            store,
+            service_delay,
+        })
+    }
+
+    /// The server's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces a file's segments.
+    pub fn put_file(&self, file_id: &str, segments: Vec<Vec<u8>>) {
+        self.store.lock().insert(file_id.to_owned(), segments);
+    }
+
+    /// Stops the accept loop (open connections close as clients hang up).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ProverServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    store: SegmentStore,
+    service_delay: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let msg = match read_frame(&mut reader) {
+            Ok(m) => m,
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return Ok(()), // disconnect
+        };
+        match msg {
+            WireMessage::Challenge { file_id, index } => {
+                if !service_delay.is_zero() {
+                    std::thread::sleep(service_delay);
+                }
+                let segment = store
+                    .lock()
+                    .get(&file_id)
+                    .and_then(|segs| segs.get(index as usize))
+                    .cloned();
+                write_frame(&mut writer, &WireMessage::Response { segment })?;
+            }
+            WireMessage::Bye => return Ok(()),
+            // A prover ignores audit-control frames.
+            _ => {}
+        }
+    }
+}
+
+/// A timing client: sends challenges over TCP and measures wall-clock RTT.
+#[derive(Debug)]
+pub struct TcpChallenger {
+    stream: TcpStream,
+}
+
+impl TcpChallenger {
+    /// Connects to a prover server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpChallenger> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpChallenger { stream })
+    }
+
+    /// Sends one challenge and returns `(segment, wall-clock RTT)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a non-`Response` reply is
+    /// `InvalidData`.
+    pub fn challenge(
+        &mut self,
+        file_id: &str,
+        index: u64,
+    ) -> std::io::Result<(Option<Vec<u8>>, Duration)> {
+        let start = Instant::now();
+        write_frame(
+            &mut self.stream,
+            &WireMessage::Challenge {
+                file_id: file_id.to_owned(),
+                index,
+            },
+        )?;
+        let reply = read_frame(&mut self.stream)?;
+        let rtt = start.elapsed();
+        match reply {
+            WireMessage::Response { segment } => Ok((segment, rtt)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Ends the session politely.
+    pub fn bye(&mut self) -> std::io::Result<()> {
+        write_frame(&mut self.stream, &WireMessage::Bye)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(file: &str, n: usize) -> SegmentStore {
+        let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
+        store.lock().insert(
+            file.to_owned(),
+            (0..n).map(|i| vec![i as u8; 83]).collect(),
+        );
+        store
+    }
+
+    #[test]
+    fn serves_segments_over_tcp() {
+        let server =
+            ProverServer::spawn(store_with("f", 10), Duration::ZERO).expect("bind");
+        let mut client = TcpChallenger::connect(server.addr()).expect("connect");
+        for idx in [0u64, 5, 9] {
+            let (seg, rtt) = client.challenge("f", idx).expect("challenge");
+            assert_eq!(seg.unwrap(), vec![idx as u8; 83]);
+            assert!(rtt < Duration::from_secs(1));
+        }
+        client.bye().unwrap();
+    }
+
+    #[test]
+    fn missing_segment_returns_none() {
+        let server =
+            ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
+        let mut client = TcpChallenger::connect(server.addr()).expect("connect");
+        let (seg, _) = client.challenge("f", 99).unwrap();
+        assert!(seg.is_none());
+        let (seg, _) = client.challenge("ghost", 0).unwrap();
+        assert!(seg.is_none());
+    }
+
+    #[test]
+    fn service_delay_shows_up_in_rtt() {
+        let fast =
+            ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
+        let slow = ProverServer::spawn(store_with("f", 3), Duration::from_millis(30))
+            .expect("bind");
+        let mut cf = TcpChallenger::connect(fast.addr()).unwrap();
+        let mut cs = TcpChallenger::connect(slow.addr()).unwrap();
+        let (_, rf) = cf.challenge("f", 0).unwrap();
+        let (_, rs) = cs.challenge("f", 0).unwrap();
+        assert!(
+            rs >= rf + Duration::from_millis(20),
+            "fast {rf:?}, slow {rs:?}"
+        );
+    }
+
+    #[test]
+    fn multiple_clients_share_one_server() {
+        let server =
+            ProverServer::spawn(store_with("f", 5), Duration::ZERO).expect("bind");
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = TcpChallenger::connect(addr).unwrap();
+                    for i in 0..5 {
+                        let (seg, _) = c.challenge("f", i).unwrap();
+                        assert!(seg.is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn put_file_updates_store() {
+        let server =
+            ProverServer::spawn(store_with("f", 1), Duration::ZERO).expect("bind");
+        server.put_file("g", vec![vec![0xaa; 10]]);
+        let mut client = TcpChallenger::connect(server.addr()).unwrap();
+        let (seg, _) = client.challenge("g", 0).unwrap();
+        assert_eq!(seg.unwrap(), vec![0xaa; 10]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The distance-bounding protocol family, hands on (paper §III-A).
+//!
+//! Runs each implemented protocol against an honest prover and each
+//! attack, printing verdicts — a tour of the machinery GeoProof's timed
+//! phase descends from.
+//!
+//! ```sh
+//! cargo run --example distance_bounding
+//! ```
+
+use geoproof::crypto::chacha::ChaChaRng;
+use geoproof::crypto::schnorr::SigningKey;
+use geoproof::distbound::brands_chaum::{bc_verify, BcProver};
+use geoproof::distbound::hancke_kuhn::HkSession;
+use geoproof::distbound::noise::{verify_with_threshold, NoisyChannel};
+use geoproof::distbound::reid::ReidSession;
+use geoproof::distbound::rounds::{ChannelModel, Scenario};
+use geoproof::distbound::swiss_knife::SwissKnifeSession;
+use geoproof::sim::time::Km;
+
+const N: usize = 32;
+
+fn verdict_str(ok: bool) -> &'static str {
+    if ok { "ACCEPT" } else { "reject" }
+}
+
+fn main() {
+    let channel = ChannelModel::default();
+    let max_rtt = channel.max_rtt_for(Km(0.1)); // 100 m bound
+    let mut rng = ChaChaRng::from_u64_seed(2026);
+
+    let scenarios = [
+        ("honest @50m", Scenario::Honest { distance: Km(0.05) }),
+        ("honest @300km", Scenario::Honest { distance: Km(300.0) }),
+        ("mafia relay", Scenario::MafiaFraud { attacker_distance: Km(0.05) }),
+        ("terrorist", Scenario::Terrorist { accomplice_distance: Km(0.05) }),
+    ];
+
+    println!("n = {N} rounds, distance bound 100 m (Δt_max = {:.3} µs)\n", max_rtt.as_micros_f64());
+    println!("{:<22} {:>14} {:>14} {:>14} {:>14}", "protocol", scenarios[0].0, scenarios[1].0, scenarios[2].0, scenarios[3].0);
+    println!("{}", "-".repeat(82));
+
+    // Hancke–Kuhn.
+    let mut row = format!("{:<22}", "Hancke-Kuhn");
+    for (_, sc) in scenarios {
+        let s = HkSession::initialise(b"secret", b"nv", b"np", N);
+        let t = s.run(sc, &channel, &mut rng);
+        row += &format!(" {:>14}", verdict_str(s.verify(&t, max_rtt).is_accept()));
+    }
+    println!("{row}");
+
+    // Reid et al.
+    let mut row = format!("{:<22}", "Reid et al.");
+    for (_, sc) in scenarios {
+        let s = ReidSession::initialise(&[7u8; 32], b"idv", b"idp", b"nv", b"np", N);
+        let t = s.run(sc, &channel, &mut rng);
+        row += &format!(" {:>14}", verdict_str(s.verify(&t, max_rtt).is_accept()));
+    }
+    println!("{row}");
+
+    // Brands–Chaum.
+    let sk = SigningKey::generate(&mut rng);
+    let mut row = format!("{:<22}", "Brands-Chaum");
+    for (_, sc) in scenarios {
+        let (p, c) = BcProver::new(sk.clone(), N, &mut rng);
+        let t = p.run(sc, &channel, &mut rng);
+        let open = p.open(&t, &mut rng);
+        let ok = bc_verify(&c, &t, &open, &sk.verifying_key(), max_rtt).is_accept();
+        row += &format!(" {:>14}", verdict_str(ok));
+    }
+    println!("{row}");
+
+    // Swiss-Knife style.
+    let mut row = format!("{:<22}", "Swiss-Knife style");
+    for (_, sc) in scenarios {
+        let s = SwissKnifeSession::initialise(&[9u8; 32], b"idp", b"nv", b"np", N);
+        let out = s.run(sc, &channel, &mut rng);
+        row += &format!(" {:>14}", verdict_str(s.verify(&out, max_rtt).is_accept()));
+    }
+    println!("{row}");
+
+    println!("\nexpected: column 1 all ACCEPT; column 2 all reject (timing); column 3 all");
+    println!("reject; column 4 exposes the terrorist split — HK and BC accept (their");
+    println!("documented weakness), Reid and Swiss-Knife style reject.\n");
+
+    // Bonus: noise tolerance.
+    println!("noisy channel (BER 3%), Hancke-Kuhn honest @50m, 10 runs:");
+    let noisy = NoisyChannel::new(channel, 0.03);
+    let s = HkSession::initialise(b"secret", b"nv2", b"np", 64);
+    let mut strict = 0;
+    let mut thresh = 0;
+    for _ in 0..10 {
+        let t = noisy.run_hk(&s, Scenario::Honest { distance: Km(0.05) }, &mut rng);
+        if s.verify(&t, max_rtt).is_accept() {
+            strict += 1;
+        }
+        if verify_with_threshold(&s, &t, max_rtt, 6).is_accept() {
+            thresh += 1;
+        }
+    }
+    println!("  strict verification accepts {strict}/10; threshold (e = 6) accepts {thresh}/10");
+    println!("  (availability recovered for a quantified security cost — see exp_noise)");
+}

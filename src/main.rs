@@ -1,0 +1,284 @@
+//! `geoproof` — command-line interface to the GeoProof toolkit.
+//!
+//! ```text
+//! geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
+//! geoproof extract <store-dir> <output-file> --master <secret>
+//! geoproof serve   <store-dir> [--delay-ms N]
+//! geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
+//! geoproof info    <store-dir>
+//! ```
+//!
+//! `encode` runs the paper's five-step setup and writes a portable store
+//! directory (`segments.bin` + `metadata.txt`); `serve` exposes it over
+//! TCP; `audit` runs the wall-clock timed challenge–response against a
+//! server and applies the Δt_max policy. The TPA's MAC key is derived
+//! from `--master`, so auditing needs the owner's secret (as in the
+//! paper, where the owner provisions the TPA).
+
+use geoproof::crypto::chacha::ChaChaRng;
+use geoproof::crypto::schnorr::SigningKey;
+use geoproof::geo::coords::places::BRISBANE;
+use geoproof::geo::gps::GpsReceiver;
+use geoproof::por::encode::{FileMetadata, PorEncoder};
+use geoproof::por::keys::PorKeys;
+use geoproof::por::params::PorParams;
+use geoproof::tcp_audit::WallClockVerifier;
+use geoproof::wire::tcp::{ProverServer, SegmentStore};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage:
+  geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
+  geoproof extract <store-dir> <output-file> --master <secret>
+  geoproof serve   <store-dir> [--delay-ms N]
+  geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
+  geoproof info    <store-dir>";
+
+type CliResult = Result<(), String>;
+
+fn run(args: &[String]) -> CliResult {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "encode" => cmd_encode(rest),
+        "extract" => cmd_extract(rest),
+        "serve" => cmd_serve(rest),
+        "audit" => cmd_audit(rest),
+        "info" => cmd_info(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Fetches `--name value` from the argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn positional(args: &[String], idx: usize) -> Result<&str, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .nth(idx)
+        .ok_or_else(|| format!("missing positional argument {idx}"))
+}
+
+// --- store directory format -------------------------------------------------
+// metadata.txt: key=value lines; segments.bin: u32-BE length-prefixed blobs.
+
+fn write_store(dir: &Path, segments: &[Vec<u8>], md: &FileMetadata) -> CliResult {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+    let mut seg_file = std::fs::File::create(dir.join("segments.bin"))
+        .map_err(|e| format!("segments.bin: {e}"))?;
+    for seg in segments {
+        seg_file
+            .write_all(&(seg.len() as u32).to_be_bytes())
+            .and_then(|()| seg_file.write_all(seg))
+            .map_err(|e| format!("write segment: {e}"))?;
+    }
+    let meta = format!(
+        "file_id={}\noriginal_len={}\nraw_blocks={}\nencoded_blocks={}\nsegments={}\n",
+        md.file_id, md.original_len, md.raw_blocks, md.encoded_blocks, md.segments
+    );
+    std::fs::write(dir.join("metadata.txt"), meta).map_err(|e| format!("metadata.txt: {e}"))
+}
+
+fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
+    let meta_text = std::fs::read_to_string(dir.join("metadata.txt"))
+        .map_err(|e| format!("metadata.txt: {e}"))?;
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    for line in meta_text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            fields.insert(k.trim(), v.trim());
+        }
+    }
+    let get = |k: &str| -> Result<&str, String> {
+        fields.get(k).copied().ok_or(format!("metadata missing {k}"))
+    };
+    let parse_u64 = |k: &str| -> Result<u64, String> {
+        get(k)?.parse().map_err(|e| format!("bad {k}: {e}"))
+    };
+    let md = FileMetadata {
+        file_id: get("file_id")?.to_owned(),
+        original_len: parse_u64("original_len")?,
+        raw_blocks: parse_u64("raw_blocks")?,
+        encoded_blocks: parse_u64("encoded_blocks")?,
+        segments: parse_u64("segments")?,
+    };
+    let mut bytes = Vec::new();
+    std::fs::File::open(dir.join("segments.bin"))
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("segments.bin: {e}"))?;
+    let mut segments = Vec::with_capacity(md.segments as usize);
+    let mut pos = 0usize;
+    while pos + 4 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err("segments.bin truncated".into());
+        }
+        segments.push(bytes[pos..pos + len].to_vec());
+        pos += len;
+    }
+    if segments.len() as u64 != md.segments {
+        return Err(format!(
+            "metadata says {} segments, file holds {}",
+            md.segments,
+            segments.len()
+        ));
+    }
+    Ok((segments, md))
+}
+
+// --- subcommands ---------------------------------------------------------------
+
+fn cmd_encode(args: &[String]) -> CliResult {
+    let input = positional(args, 0)?;
+    let store = positional(args, 1)?.to_owned();
+    let fid = flag(args, "--fid").ok_or("--fid required")?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let encoder = PorEncoder::new(PorParams::paper());
+    let keys = PorKeys::derive(master.as_bytes(), &fid);
+    let tagged = encoder.encode(&data, &keys, &fid);
+    write_store(Path::new(&store), &tagged.segments, &tagged.metadata)?;
+    let stored: usize = tagged.segments.iter().map(Vec::len).sum();
+    println!(
+        "encoded {} bytes -> {} segments ({} bytes, +{:.1}%) in {store}",
+        data.len(),
+        tagged.segments.len(),
+        stored,
+        (stored as f64 / data.len().max(1) as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_extract(args: &[String]) -> CliResult {
+    let store = positional(args, 0)?;
+    let output = positional(args, 1)?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let (segments, md) = read_store(Path::new(store))?;
+    let encoder = PorEncoder::new(PorParams::paper());
+    let keys = PorKeys::derive(master.as_bytes(), &md.file_id);
+    let data = encoder
+        .extract(&segments, &keys, &md)
+        .map_err(|e| format!("extract: {e}"))?;
+    std::fs::write(output, &data).map_err(|e| format!("write {output}: {e}"))?;
+    println!("extracted {} bytes to {output}", data.len());
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let store_dir = positional(args, 0)?;
+    let delay_ms: u64 = flag(args, "--delay-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --delay-ms: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let (segments, md) = read_store(Path::new(store_dir))?;
+    let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
+    store.lock().insert(md.file_id.clone(), segments);
+    // The server binds an ephemeral port and reports it.
+    let server = ProverServer::spawn(store, std::time::Duration::from_millis(delay_ms))
+        .map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "serving {} ({} segments) on {} (service delay {delay_ms} ms); Ctrl-C to stop",
+        md.file_id, md.segments, server.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_audit(args: &[String]) -> CliResult {
+    let addr: std::net::SocketAddr = positional(args, 0)?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let store = positional(args, 1)?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let k: u32 = flag(args, "--k")
+        .map(|v| v.parse().map_err(|e| format!("bad --k: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let budget_ms: f64 = flag(args, "--budget-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --budget-ms: {e}")))
+        .transpose()?
+        .unwrap_or(16.0);
+    let (_segments, md) = read_store(Path::new(store))?;
+    let params = PorParams::paper();
+    let keys = PorKeys::derive(master.as_bytes(), &md.file_id);
+
+    let mut rng = ChaChaRng::from_u64_seed(0x617564_6974);
+    let device_key = SigningKey::generate(&mut rng);
+    let mut verifier = WallClockVerifier::new(device_key.clone(), GpsReceiver::new(BRISBANE), 7);
+    let mut auditor = geoproof::core::auditor::Auditor::new(
+        md.file_id.clone(),
+        md.segments,
+        PorEncoder::new(params),
+        keys.auditor_view(),
+        device_key.verifying_key(),
+        BRISBANE,
+        geoproof::sim::time::Km(25.0),
+        geoproof::core::policy::TimingPolicy {
+            max_network: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
+            max_lookup: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
+        },
+        8,
+    );
+    let request = auditor.issue_request(k);
+    let transcript = verifier
+        .run_audit(&request, addr)
+        .map_err(|e| format!("audit I/O: {e}"))?;
+    let report = auditor.verify(&request, &transcript);
+    println!(
+        "audit of {} @ {addr}: {} challenges, max Δt' = {:.3} ms (budget {budget_ms} ms)",
+        md.file_id,
+        k,
+        report.max_rtt.as_millis_f64()
+    );
+    println!("segments verified: {}/{k}", report.segments_ok);
+    for v in &report.violations {
+        println!("violation: {v}");
+    }
+    println!("verdict: {}", if report.accepted() { "ACCEPT" } else { "REJECT" });
+    if report.accepted() {
+        Ok(())
+    } else {
+        Err("audit rejected".into())
+    }
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let store = positional(args, 0)?;
+    let (segments, md) = read_store(Path::new(store))?;
+    println!("file_id        : {}", md.file_id);
+    println!("original bytes : {}", md.original_len);
+    println!("raw blocks     : {}", md.raw_blocks);
+    println!("encoded blocks : {}", md.encoded_blocks);
+    println!("segments       : {}", md.segments);
+    let stored: usize = segments.iter().map(Vec::len).sum();
+    println!(
+        "stored bytes   : {stored} (+{:.1}%)",
+        (stored as f64 / md.original_len.max(1) as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration: owner → cloud → verifier → TPA across every
+//! provider behaviour, plus extraction after detected damage.
+
+use geoproof::prelude::*;
+
+#[test]
+fn honest_deployment_hundred_audits_zero_false_alarms() {
+    let mut d = DeploymentBuilder::new(BRISBANE).seed(100).build();
+    for i in 0..100 {
+        let r = d.run_audit(10);
+        assert!(r.accepted(), "audit {i} false alarm: {:?}", r.violations);
+    }
+}
+
+#[test]
+fn all_adversarial_behaviours_eventually_detected() {
+    let behaviours = vec![
+        ProviderBehaviour::Relay {
+            remote_disk: IBM_36Z15,
+            distance: Km(720.0),
+            access: AccessKind::DataCentre,
+        },
+        ProviderBehaviour::Corrupting {
+            disk: WD_2500JD,
+            fraction: 0.2,
+        },
+        ProviderBehaviour::Slow {
+            disk: WD_2500JD,
+            extra: SimDuration::from_millis(8),
+        },
+    ];
+    for behaviour in behaviours {
+        let label = format!("{behaviour:?}");
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(behaviour)
+            .seed(200)
+            .build();
+        let detected = (0..10).any(|_| !d.run_audit(20).accepted());
+        assert!(detected, "behaviour never detected in 10 audits: {label}");
+    }
+}
+
+#[test]
+fn relay_detection_is_monotone_in_distance() {
+    let mut rates = Vec::new();
+    for km in [60.0, 360.0, 480.0, 720.0] {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(km),
+                access: AccessKind::DataCentre,
+            })
+            .seed(300)
+            .build();
+        rates.push(d.detection_rate(10, 10));
+    }
+    for w in rates.windows(2) {
+        assert!(w[1] >= w[0], "detection must not drop with distance: {rates:?}");
+    }
+    assert_eq!(rates[0], 0.0, "60 km relay hides in the differential");
+    assert_eq!(*rates.last().unwrap(), 1.0, "720 km relay always caught");
+}
+
+#[test]
+fn audit_reports_carry_diagnostics() {
+    let mut d = DeploymentBuilder::new(BRISBANE)
+        .behaviour(ProviderBehaviour::Slow {
+            disk: WD_2500JD,
+            extra: SimDuration::from_millis(10),
+        })
+        .seed(400)
+        .build();
+    let r = d.run_audit(5);
+    assert!(!r.accepted());
+    assert_eq!(r.segments_ok, 5, "segments are genuine, only timing failed");
+    assert!(r.max_rtt > TimingPolicy::paper().max_rtt());
+    assert!(r
+        .violations
+        .iter()
+        .all(|v| matches!(v, Violation::TooSlow { .. })));
+}
+
+#[test]
+fn owner_extracts_original_after_bounded_corruption() {
+    let owner = DataOwner::new(b"master", PorParams::test_small());
+    let mut rng = ChaChaRng::from_u64_seed(5);
+    let mut data = vec![0u8; 50_000];
+    rng.fill_bytes(&mut data);
+    let (tagged, keys) = owner.prepare(&data, "f");
+    let mut damaged = tagged.segments.clone();
+    // Corrupt three scattered segments (within RS capacity after PRP).
+    damaged[2][0] ^= 0x01;
+    damaged[40][10] ^= 0x02;
+    damaged[100][30] ^= 0x04;
+    let recovered = owner
+        .encoder()
+        .extract(&damaged, &keys, &tagged.metadata)
+        .expect("within correction capacity");
+    assert_eq!(recovered, data);
+}
+
+#[test]
+fn paper_params_full_pipeline() {
+    // The real (255, 223) configuration end to end on a 200 KiB file.
+    let owner = DataOwner::new(b"master", PorParams::paper());
+    let mut rng = ChaChaRng::from_u64_seed(6);
+    let mut data = vec![0u8; 200_000];
+    rng.fill_bytes(&mut data);
+    let (tagged, keys) = owner.prepare(&data, "paper-file");
+    // Overhead sanity: stored/original within the paper's ~17-18%
+    // (byte-padded tags slightly above nominal 16.5%).
+    let stored: usize = tagged.segments.iter().map(Vec::len).sum();
+    let overhead = stored as f64 / data.len() as f64;
+    assert!(overhead > 1.14 && overhead < 1.21, "overhead {overhead}");
+    // Clean extract.
+    let out = owner
+        .encoder()
+        .extract(&tagged.segments, &keys, &tagged.metadata)
+        .unwrap();
+    assert_eq!(out, data);
+}
+
+#[test]
+fn detection_rate_convergence_for_corruption() {
+    // ε = 15% corruption, k = 10: per-audit detection 1-(0.85)^10 ≈ 80%.
+    let mut d = DeploymentBuilder::new(BRISBANE)
+        .behaviour(ProviderBehaviour::Corrupting {
+            disk: WD_2500JD,
+            fraction: 0.15,
+        })
+        .seed(500)
+        .build();
+    let rate = d.detection_rate(60, 10);
+    assert!((rate - 0.80).abs() < 0.15, "rate {rate}");
+}

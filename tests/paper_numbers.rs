@@ -1,0 +1,219 @@
+//! Every headline number in the paper, checked against the implementation.
+//! This file is the executable version of EXPERIMENTS.md.
+
+use geoproof::distbound::attacks::{acceptance_probability, Attack, Protocol};
+use geoproof::geo::coords::places;
+use geoproof::net::lan::LanPath;
+use geoproof::net::wan::{AccessKind, WanModel};
+use geoproof::por::analysis::{detection_probability, irretrievability_bound};
+use geoproof::por::params::{overhead_example, PorParams};
+use geoproof::prelude::*;
+use geoproof::sim::time::{FIBRE_SPEED, INTERNET_SPEED, SPEED_OF_LIGHT};
+use geoproof::storage::hdd::{HITACHI_DK23DA, IBM_36Z15, IBM_40GNX, IBM_73LZX, WD_2500JD};
+
+// --- §III-A distance bounding ------------------------------------------
+
+#[test]
+fn one_ms_timing_error_is_150km() {
+    // "the timing error of 1ms corresponds to a distance error of 150 km"
+    let d = SPEED_OF_LIGHT.distance_in(SimDuration::from_millis(1));
+    assert!((d.0 / 2.0 - 150.0).abs() < 1e-9);
+}
+
+#[test]
+fn hancke_kuhn_mafia_success_is_three_quarters_per_round() {
+    assert_eq!(
+        acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 1),
+        0.75
+    );
+}
+
+// --- §V-A setup parameters ----------------------------------------------
+
+#[test]
+fn paper_segment_is_660_bits() {
+    // ℓ_S = 128×5 + 20 = 660 bits
+    assert_eq!(PorParams::paper().segment_bits_nominal(), 660);
+}
+
+#[test]
+fn two_gb_file_is_2_pow_27_blocks() {
+    let ex = overhead_example(&PorParams::paper(), 2u64 << 30);
+    assert_eq!(ex.raw_blocks, 1 << 27);
+}
+
+#[test]
+fn rs_expansion_about_14_percent() {
+    let e = PorParams::paper().rs_expansion();
+    assert!((e - 1.1435).abs() < 0.001, "got {e}");
+}
+
+#[test]
+fn total_expansion_about_16_5_percent() {
+    let e = PorParams::paper().total_expansion();
+    assert!(e > 1.16 && e < 1.19, "got {e}");
+}
+
+// --- §V-C(a) POR security -------------------------------------------------
+
+#[test]
+fn detection_71_3_percent() {
+    // "1,000 segments in each challenge … about 71.3%"
+    let p = detection_probability(0.00125, 1000);
+    assert!((p - 0.713).abs() < 0.002, "got {p}");
+}
+
+#[test]
+fn irretrievability_below_one_in_200k() {
+    // "the probability that the adversary could make the file
+    //  irretrievable is less than 1 in 200,000"
+    let chunks = (1u64 << 27).div_ceil(223);
+    let p = irretrievability_bound(255, 16, chunks, 0.005);
+    assert!(p < 1.0 / 200_000.0, "got {p}");
+}
+
+// --- §V-C(b) timing budget -------------------------------------------------
+
+#[test]
+fn delta_t_max_is_16ms() {
+    // "Δt_VP of 3ms, and a maximum look up time Δt_L of 13ms … ≈ 16 ms"
+    assert_eq!(
+        TimingPolicy::paper().max_rtt(),
+        SimDuration::from_millis(16)
+    );
+}
+
+#[test]
+fn relay_bound_is_360km() {
+    // "4/9 3×10² km/ms × 5.406 ms = 720 km / 2 … = 360 km"
+    let d = paper_relay_bound();
+    assert!((d.0 - 360.4).abs() < 0.5, "got {}", d.0);
+}
+
+#[test]
+fn empirical_relay_crossover_matches_360km_bound() {
+    // Below the bound: hidden. Above: caught. (WAN hop overheads shift the
+    // empirical crossover slightly below the frictionless 360 km.)
+    let rate_at = |km: f64| {
+        let mut d = DeploymentBuilder::new(BRISBANE)
+            .behaviour(ProviderBehaviour::Relay {
+                remote_disk: IBM_36Z15,
+                distance: Km(km),
+                access: AccessKind::DataCentre,
+            })
+            .seed(42)
+            .build();
+        d.detection_rate(5, 10)
+    };
+    assert_eq!(rate_at(240.0), 0.0, "240 km must hide in the differential");
+    assert_eq!(rate_at(480.0), 1.0, "480 km must always be caught");
+}
+
+// --- §V-D disk latencies ---------------------------------------------------
+
+#[test]
+fn wd2500jd_lookup_13_1055ms() {
+    let t = WD_2500JD.avg_lookup(512).as_millis_f64();
+    assert!((t - 13.1055).abs() < 1e-3, "got {t}");
+}
+
+#[test]
+fn ibm36z15_lookup_5_406ms() {
+    let t = IBM_36Z15.avg_lookup(512).as_millis_f64();
+    assert!((t - 5.406).abs() < 1e-3, "got {t}");
+}
+
+#[test]
+fn table_i_rpm_ordering() {
+    let rpms = [
+        IBM_36Z15.rpm,
+        IBM_73LZX.rpm,
+        WD_2500JD.rpm,
+        IBM_40GNX.rpm,
+        HITACHI_DK23DA.rpm,
+    ];
+    assert_eq!(rpms, [15_000, 10_000, 7_200, 5_400, 4_200]);
+}
+
+// --- §V-E LAN latency -------------------------------------------------------
+
+#[test]
+fn fibre_speed_200_km_per_ms() {
+    assert_eq!(FIBRE_SPEED.0, 200.0);
+}
+
+#[test]
+fn lan_rtt_within_200km_about_1ms_one_way() {
+    // "the round trip time (RTT) … between V and P is about 1ms within
+    //  the range of 200 km" (one way at 200 km/ms)
+    let t = FIBRE_SPEED.travel_time(Km(200.0));
+    assert!((t.as_millis_f64() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn table_ii_lan_under_1ms() {
+    let mut rng = ChaChaRng::from_u64_seed(9);
+    for km in [0.0, 0.01, 0.02, 0.5, 3.2, 45.0] {
+        let t = LanPath::campus(Km(km)).one_way(64, &mut rng);
+        assert!(t.as_millis_f64() < 1.0, "{km} km gave {t}");
+    }
+}
+
+#[test]
+fn ethernet_worst_case_propagation() {
+    // "the propagation time delay for the Ethernet is about 0.0256 ms":
+    // ≈ 5 km of copper at 0.64 c.
+    let t = geoproof::net::lan::Medium::Copper.speed().travel_time(Km(4.9));
+    assert!((t.as_millis_f64() - 0.0255).abs() < 0.001, "got {t}");
+}
+
+// --- §V-F Internet latency ---------------------------------------------------
+
+#[test]
+fn internet_speed_4_9_c() {
+    assert!((INTERNET_SPEED.0 - 400.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn three_ms_covers_200km() {
+    // "in 3ms, a packet can travel via the Internet for … 400km/2 = 200km"
+    let d = INTERNET_SPEED.distance_in(SimDuration::from_millis(3));
+    assert!((d.0 / 2.0 - 200.0).abs() < 1e-6);
+}
+
+#[test]
+fn table_iii_shape_positive_distance_latency_relation() {
+    let wan = WanModel::calibrated(AccessKind::Adsl2);
+    let hosts = [
+        places::UQ_ST_LUCIA,
+        places::ARMIDALE,
+        places::SYDNEY,
+        places::TOWNSVILLE,
+        places::MELBOURNE,
+        places::ADELAIDE,
+        places::HOBART,
+        places::PERTH,
+    ];
+    let mut prev = SimDuration::ZERO;
+    for h in hosts {
+        let t = wan.mean_rtt(places::ADSL_VANTAGE.distance(&h));
+        assert!(t > prev, "latency must grow with distance");
+        prev = t;
+    }
+}
+
+#[test]
+fn table_iii_absolute_values_close_to_paper() {
+    let wan = WanModel::calibrated(AccessKind::Adsl2);
+    for (host, paper_ms) in [
+        (places::UQ_ST_LUCIA, 18.0),
+        (places::SYDNEY, 34.0),
+        (places::TOWNSVILLE, 39.0),
+        (places::PERTH, 82.0),
+    ] {
+        let t = wan
+            .mean_rtt(places::ADSL_VANTAGE.distance(&host))
+            .as_millis_f64();
+        assert!((t - paper_ms).abs() < 14.0, "model {t} vs paper {paper_ms}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Adversarial integration tests: every way a cheating provider (or a
+//! compromised network) might try to beat the audit, and the specific
+//! check that stops it.
+
+use geoproof::core::auditor::Violation;
+use geoproof::core::messages::{SignedTranscript, TimedRound};
+use geoproof::crypto::schnorr::{Signature, SigningKey};
+use geoproof::prelude::*;
+
+fn rig() -> Deployment {
+    DeploymentBuilder::new(BRISBANE).seed(77).build()
+}
+
+#[test]
+fn forged_faster_times_break_the_signature() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(8);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    for r in t.rounds.iter_mut() {
+        r.rtt = SimDuration::from_millis(1);
+    }
+    let report = d.auditor.verify(&req, &t);
+    assert!(report.violations.contains(&Violation::BadSignature));
+}
+
+#[test]
+fn resigning_with_another_key_fails() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(8);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    // The provider forges the whole transcript and signs with its own key.
+    for r in t.rounds.iter_mut() {
+        r.rtt = SimDuration::from_millis(1);
+    }
+    let mut rng = ChaChaRng::from_u64_seed(123);
+    let provider_key = SigningKey::generate(&mut rng);
+    let bytes = SignedTranscript::signing_bytes(&t.file_id, &t.nonce, &t.position, &t.rounds);
+    t.signature = provider_key.sign(&bytes, &mut rng);
+    let report = d.auditor.verify(&req, &t);
+    assert!(
+        report.violations.contains(&Violation::BadSignature),
+        "auditor must pin the registered device key"
+    );
+}
+
+#[test]
+fn replay_of_old_transcript_rejected() {
+    let mut d = rig();
+    let req1 = d.auditor.issue_request(8);
+    let old = d.verifier.run_audit(&req1, d.provider.as_mut());
+    let req2 = d.auditor.issue_request(8);
+    let report = d.auditor.verify(&req2, &old);
+    assert!(report.violations.contains(&Violation::StaleNonce));
+}
+
+#[test]
+fn segment_substitution_fails_mac() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(8);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    // Swap two segments (provider returns the wrong but genuine segment).
+    let seg0 = t.rounds[0].segment.clone();
+    t.rounds[0].segment = t.rounds[1].segment.clone();
+    t.rounds[1].segment = seg0;
+    let report = d.auditor.verify(&req, &t);
+    // Both the signature (transcript changed) and the index-bound MACs fail.
+    assert!(report.violations.contains(&Violation::BadSignature));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::BadSegment { .. })));
+}
+
+#[test]
+fn duplicate_challenge_indices_flagged() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(4);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    t.rounds[1] = TimedRound {
+        index: t.rounds[0].index,
+        segment: t.rounds[0].segment.clone(),
+        rtt: t.rounds[0].rtt,
+    };
+    let report = d.auditor.verify(&req, &t);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::MalformedChallenge { .. })));
+}
+
+#[test]
+fn out_of_range_index_flagged() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(4);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    t.rounds[2].index = d.n_segments + 5;
+    let report = d.auditor.verify(&req, &t);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::MalformedChallenge { round: 2 })));
+}
+
+#[test]
+fn gps_spoof_to_wrong_city_detected_by_sla_check() {
+    let mut d = rig();
+    d.verifier.gps_mut().spoof(PERTH);
+    let report = d.run_audit(6);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::WrongLocation { .. })));
+}
+
+#[test]
+fn gps_spoof_also_caught_by_landmark_crosscheck() {
+    use geoproof::geo::gps::{verify_position_with_landmarks, GpsReceiver};
+    use geoproof::geo::triangulation::RangeMeasurement;
+    // Device is in Brisbane; provider spoofs the fix to look like Sydney
+    // (where the SLA says the data should be) — the SLA check alone would
+    // pass, but landmark ranging sees Brisbane.
+    let mut gps = GpsReceiver::new(BRISBANE);
+    gps.spoof(SYDNEY);
+    let ranges: Vec<RangeMeasurement> = [MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE]
+        .iter()
+        .map(|lm| RangeMeasurement {
+            landmark: *lm,
+            distance: lm.distance(&BRISBANE), // physical reality
+        })
+        .collect();
+    let check =
+        verify_position_with_landmarks(&gps.read_fix(), &ranges, Km(100.0)).expect("landmarks");
+    assert!(!check.consistent, "spoof must be exposed by triangulation");
+    assert!(check.discrepancy.0 > 500.0);
+}
+
+#[test]
+fn truncated_transcript_rejected() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(8);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    t.rounds.truncate(5);
+    let report = d.auditor.verify(&req, &t);
+    assert!(report.violations.contains(&Violation::BadSignature));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::WrongRoundCount { .. })));
+}
+
+#[test]
+fn zeroed_signature_never_verifies() {
+    let mut d = rig();
+    let req = d.auditor.issue_request(4);
+    let mut t = d.verifier.run_audit(&req, d.provider.as_mut());
+    t.signature = Signature::from_bytes(&[0u8; 64]);
+    assert!(d
+        .auditor
+        .verify(&req, &t)
+        .violations
+        .contains(&Violation::BadSignature));
+}
