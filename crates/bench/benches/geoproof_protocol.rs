@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
 use geoproof_geo::coords::places::BRISBANE;
-use geoproof_sim::time::Km;
 use geoproof_net::wan::AccessKind;
+use geoproof_sim::time::Km;
 use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
 use std::hint::black_box;
 

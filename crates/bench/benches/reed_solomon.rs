@@ -44,7 +44,10 @@ fn bench_block_code(c: &mut Criterion) {
         with_erasures[e] = [0u8; 16];
     }
     g.bench_function("decode_32_block_erasures", |b| {
-        b.iter(|| code.decode_chunk(black_box(&with_erasures), black_box(&erased)).unwrap());
+        b.iter(|| {
+            code.decode_chunk(black_box(&with_erasures), black_box(&erased))
+                .unwrap()
+        });
     });
     g.finish();
 }

@@ -64,7 +64,10 @@ fn main() {
             format!("2^-{bits}"),
             format!(
                 "{}%",
-                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)
+                fmt_f64(
+                    (ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0,
+                    2
+                )
             ),
         ]);
     }
@@ -94,7 +97,10 @@ fn main() {
             ex.segments.to_string(),
             format!(
                 "{}%",
-                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)
+                fmt_f64(
+                    (ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0,
+                    2
+                )
             ),
             fmt_f64(transfer.as_micros_f64(), 1),
         ]);
@@ -124,7 +130,10 @@ fn main() {
             (n - k).to_string(),
             format!(
                 "{}%",
-                fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 1)
+                fmt_f64(
+                    (ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0,
+                    1
+                )
             ),
         ]);
     }

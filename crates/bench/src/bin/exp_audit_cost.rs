@@ -19,7 +19,10 @@ fn human(bytes: u64) -> String {
 }
 
 fn main() {
-    banner("COST", "Audit traffic vs naive download (paper §IV's POS property)");
+    banner(
+        "COST",
+        "Audit traffic vs naive download (paper §IV's POS property)",
+    );
     let p = PorParams::paper();
     let k = 1000u32;
     let audit = audit_cost(&p, 8, k);
@@ -48,7 +51,10 @@ fn main() {
             label.to_string(),
             human(download),
             human(audit.total_bytes()),
-            format!("{}x", fmt_f64(download as f64 / audit.total_bytes() as f64, 0)),
+            format!(
+                "{}x",
+                fmt_f64(download as f64 / audit.total_bytes() as f64, 0)
+            ),
         ]);
     }
     table.print();

@@ -17,9 +17,15 @@ const TRIALS: u32 = 800;
 
 fn scenario(attack: Attack) -> Scenario {
     match attack {
-        Attack::Mafia => Scenario::MafiaFraud { attacker_distance: Km(0.05) },
-        Attack::Distance => Scenario::DistanceFraud { claimed_distance: Km(0.05) },
-        Attack::Terrorist => Scenario::Terrorist { accomplice_distance: Km(0.05) },
+        Attack::Mafia => Scenario::MafiaFraud {
+            attacker_distance: Km(0.05),
+        },
+        Attack::Distance => Scenario::DistanceFraud {
+            claimed_distance: Km(0.05),
+        },
+        Attack::Terrorist => Scenario::Terrorist {
+            accomplice_distance: Km(0.05),
+        },
     }
 }
 
@@ -118,5 +124,4 @@ fn main() {
     println!("style gets (1/2)^n *and* terrorist resistance via the confirmation MAC.");
     println!("\nGeoProof needs none of the bit-level machinery: its 'response' is the stored");
     println!("segment itself, authenticated by MAC — but the timing skeleton is this family's.");
-
 }

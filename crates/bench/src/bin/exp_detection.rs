@@ -55,8 +55,11 @@ fn main() {
     let chunks = (1u64 << 27).div_ceil(223);
     let p = irretrievability_bound(255, 16, chunks, 0.005);
     println!("  union bound over {chunks} chunks: P[irretrievable] ≤ {p:.3e}");
-    println!("  paper: \"less than 1 in 200,000\" = {:.1e} — bound holds: {}",
-        1.0 / 200_000.0, p < 1.0 / 200_000.0);
+    println!(
+        "  paper: \"less than 1 in 200,000\" = {:.1e} — bound holds: {}",
+        1.0 / 200_000.0,
+        p < 1.0 / 200_000.0
+    );
 
     let mut t3 = Table::new(&["block corruption", "P[irretrievable] (≤)"]);
     for frac in [0.005, 0.01, 0.02, 0.03, 0.05] {

@@ -15,7 +15,9 @@ fn run_at(distance_km: f64, max_km: f64) {
     let mut rng = ChaChaRng::from_u64_seed(11);
     let session = HkSession::initialise(b"shared-secret-s", b"nonce-rA", b"nonce-rB", 8);
     let transcript = session.run(
-        Scenario::Honest { distance: Km(distance_km) },
+        Scenario::Honest {
+            distance: Km(distance_km),
+        },
         &channel,
         &mut rng,
     );
@@ -26,7 +28,13 @@ fn run_at(distance_km: f64, max_km: f64) {
         fmt_f64(max_rtt.as_micros_f64(), 3),
         fmt_f64(max_km, 1),
     );
-    let mut table = Table::new(&["round j", "challenge α_j", "response β_j", "Δt_j (µs)", "within Δt_max"]);
+    let mut table = Table::new(&[
+        "round j",
+        "challenge α_j",
+        "response β_j",
+        "Δt_j (µs)",
+        "within Δt_max",
+    ]);
     for (j, r) in transcript.rounds.iter().enumerate() {
         table.row_owned(vec![
             (j + 1).to_string(),
@@ -42,11 +50,18 @@ fn run_at(distance_km: f64, max_km: f64) {
 }
 
 fn main() {
-    banner("F1", "General view of distance-bounding protocols (paper Fig. 1)");
-    println!("initialisation phase: exchange nonces, derive per-session registers (not time-critical)\n");
+    banner(
+        "F1",
+        "General view of distance-bounding protocols (paper Fig. 1)",
+    );
+    println!(
+        "initialisation phase: exchange nonces, derive per-session registers (not time-critical)\n"
+    );
     // In range: 5 km prover against a 10 km bound.
     run_at(5.0, 10.0);
     // Out of range: 150 km prover against the same bound -> TooSlow.
     run_at(150.0, 10.0);
-    println!("paper reference: a 1 ms timing error corresponds to 150 km of distance error (RTT at c/2)");
+    println!(
+        "paper reference: a 1 ms timing error corresponds to 150 km of distance error (RTT at c/2)"
+    );
 }

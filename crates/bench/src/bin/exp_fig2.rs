@@ -6,12 +6,13 @@
 //! (always accepted) the paper uses to motivate Reid et al.
 
 use geoproof_bench::{banner, fmt_f64, Table};
-use geoproof_distbound::attacks::{
-    acceptance_probability, empirical_acceptance, Attack, Protocol,
-};
+use geoproof_distbound::attacks::{acceptance_probability, empirical_acceptance, Attack, Protocol};
 
 fn main() {
-    banner("F2", "Hancke-Kuhn distance bounding (paper Fig. 2): attack success vs rounds");
+    banner(
+        "F2",
+        "Hancke-Kuhn distance bounding (paper Fig. 2): attack success vs rounds",
+    );
     let mut table = Table::new(&[
         "rounds n",
         "mafia analytic (3/4)^n",
@@ -22,8 +23,13 @@ fn main() {
     for n in [1u32, 2, 4, 8, 16, 32] {
         let mafia_a = acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, n);
         let trials = if n <= 8 { 4000 } else { 1000 };
-        let mafia_e =
-            empirical_acceptance(Protocol::HanckeKuhn, Attack::Mafia, n as usize, trials, 100 + u64::from(n));
+        let mafia_e = empirical_acceptance(
+            Protocol::HanckeKuhn,
+            Attack::Mafia,
+            n as usize,
+            trials,
+            100 + u64::from(n),
+        );
         let terror_a = acceptance_probability(Protocol::HanckeKuhn, Attack::Terrorist, n);
         let terror_e = empirical_acceptance(
             Protocol::HanckeKuhn,

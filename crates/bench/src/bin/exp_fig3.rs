@@ -5,12 +5,13 @@
 //! the long-term secret `s = D_k(e)`.
 
 use geoproof_bench::{banner, fmt_f64, Table};
-use geoproof_distbound::attacks::{
-    acceptance_probability, empirical_acceptance, Attack, Protocol,
-};
+use geoproof_distbound::attacks::{acceptance_probability, empirical_acceptance, Attack, Protocol};
 
 fn main() {
-    banner("F3", "Reid et al. distance bounding (paper Fig. 3): terrorist resistance");
+    banner(
+        "F3",
+        "Reid et al. distance bounding (paper Fig. 3): terrorist resistance",
+    );
     let n = 16u32;
     let mut table = Table::new(&[
         "attack",

@@ -15,8 +15,14 @@ fn main() {
     let k = 20;
     let audits = 10;
     let behaviours: Vec<(&str, ProviderBehaviour)> = vec![
-        ("honest, average disk (WD 2500JD)", ProviderBehaviour::Honest { disk: WD_2500JD }),
-        ("honest, best disk (IBM 36Z15)", ProviderBehaviour::Honest { disk: IBM_36Z15 }),
+        (
+            "honest, average disk (WD 2500JD)",
+            ProviderBehaviour::Honest { disk: WD_2500JD },
+        ),
+        (
+            "honest, best disk (IBM 36Z15)",
+            ProviderBehaviour::Honest { disk: IBM_36Z15 },
+        ),
         (
             "relay 720 km, best disk",
             ProviderBehaviour::Relay {
@@ -27,7 +33,10 @@ fn main() {
         ),
         (
             "corrupting 10% of segments",
-            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.10 },
+            ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.10,
+            },
         ),
         (
             "overloaded (+10 ms per request)",

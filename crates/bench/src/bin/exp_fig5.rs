@@ -15,8 +15,13 @@ fn main() {
 
     // TPA → V: (ñ, k, N)
     let req = d.auditor.issue_request(k);
-    println!("TPA → V : StartAudit {{ fid: {:?}, ñ: {}, k: {}, N: {:02x?}… }}\n",
-        req.file_id, req.n_segments, req.k, &req.nonce[..4]);
+    println!(
+        "TPA → V : StartAudit {{ fid: {:?}, ñ: {}, k: {}, N: {:02x?}… }}\n",
+        req.file_id,
+        req.n_segments,
+        req.k,
+        &req.nonce[..4]
+    );
 
     // V ↔ P: timed rounds.
     let transcript = d.verifier.run_audit(&req, d.provider.as_mut());
@@ -33,17 +38,56 @@ fn main() {
 
     println!("\nV → TPA : Sign_SK(Δt*, c, {{S_cj}}, N, Pos_v)");
     println!("  Pos_v     = {}", transcript.position);
-    println!("  Δt' (max) = {} ms", fmt_f64(transcript.max_rtt().as_millis_f64(), 3));
+    println!(
+        "  Δt' (max) = {} ms",
+        fmt_f64(transcript.max_rtt().as_millis_f64(), 3)
+    );
     println!("  signature = {:?}\n", transcript.signature);
 
     // TPA verification steps (paper §V-B(b)).
     let report = d.auditor.verify(&req, &transcript);
     println!("TPA verification:");
-    println!("  1. verify Sign_SK(R)            : {}", step(!report.violations.iter().any(|v| matches!(v, geoproof_core::auditor::Violation::BadSignature))));
-    println!("  2. verify Pos_v vs SLA location : {}", step(!report.violations.iter().any(|v| matches!(v, geoproof_core::auditor::Violation::WrongLocation { .. }))));
-    println!("  3. τ_cj = MAC_K'(S_cj, c_j, fid): {} ({}/{} segments)", step(report.segments_ok == k as usize), report.segments_ok, k);
-    println!("  4. Δt' ≤ Δt_max (16 ms)         : {}", step(!report.violations.iter().any(|v| matches!(v, geoproof_core::auditor::Violation::TooSlow { .. }))));
-    println!("\naudit verdict: {}", if report.accepted() { "ACCEPT" } else { "REJECT" });
+    println!(
+        "  1. verify Sign_SK(R)            : {}",
+        step(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, geoproof_core::auditor::Violation::BadSignature))
+        )
+    );
+    println!(
+        "  2. verify Pos_v vs SLA location : {}",
+        step(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, geoproof_core::auditor::Violation::WrongLocation { .. }))
+        )
+    );
+    println!(
+        "  3. τ_cj = MAC_K'(S_cj, c_j, fid): {} ({}/{} segments)",
+        step(report.segments_ok == k as usize),
+        report.segments_ok,
+        k
+    );
+    println!(
+        "  4. Δt' ≤ Δt_max (16 ms)         : {}",
+        step(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, geoproof_core::auditor::Violation::TooSlow { .. }))
+        )
+    );
+    println!(
+        "\naudit verdict: {}",
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
+    );
 }
 
 fn step(ok: bool) -> &'static str {

@@ -15,7 +15,10 @@ use geoproof_sim::time::{Km, SimDuration, INTERNET_SPEED};
 use geoproof_storage::hdd::{IBM_36Z15, TABLE_I, WD_2500JD};
 
 fn main() {
-    banner("F6", "Relay attack distance bound (paper Fig. 6 and §V-C(b))");
+    banner(
+        "F6",
+        "Relay attack distance bound (paper Fig. 6 and §V-C(b))",
+    );
 
     println!("analytic bound: relay distance ≤ internet_speed × lookup_differential / 2\n");
     let mut bounds = Table::new(&[

@@ -38,11 +38,18 @@ fn main() {
     for cal in [BRISBANE, SYDNEY, MELBOURNE, PERTH, HOBART, ADELAIDE] {
         db.add(CalibrationEntry {
             position: cal,
-            delays: observe(cal, SimDuration::ZERO).iter().map(|o| o.rtt).collect(),
+            delays: observe(cal, SimDuration::ZERO)
+                .iter()
+                .map(|o| o.rtt)
+                .collect(),
         });
     }
 
-    let targets = [("Brisbane", BRISBANE), ("Armidale", ARMIDALE), ("Townsville", TOWNSVILLE)];
+    let targets = [
+        ("Brisbane", BRISBANE),
+        ("Armidale", ARMIDALE),
+        ("Townsville", TOWNSVILLE),
+    ];
     let mut table = Table::new(&[
         "target",
         "adversarial delay",
@@ -54,7 +61,10 @@ fn main() {
     let mut worst_honest: f64 = 0.0;
     let mut worst_adv: f64 = 0.0;
     for (name, target) in targets {
-        for (dlabel, extra) in [("none", SimDuration::ZERO), ("+40 ms", SimDuration::from_millis(40))] {
+        for (dlabel, extra) in [
+            ("none", SimDuration::ZERO),
+            ("+40 ms", SimDuration::from_millis(40)),
+        ] {
             let obs = observe(target, extra);
             let gp = db
                 .locate(&obs.iter().map(|o| o.rtt).collect::<Vec<_>>())
@@ -82,8 +92,14 @@ fn main() {
         }
     }
     table.print();
-    println!("\nworst-case error, honest targets:      {} km", fmt_f64(worst_honest, 0));
-    println!("worst-case error, adversarial targets: {} km", fmt_f64(worst_adv, 0));
+    println!(
+        "\nworst-case error, honest targets:      {} km",
+        fmt_f64(worst_honest, 0)
+    );
+    println!(
+        "worst-case error, adversarial targets: {} km",
+        fmt_f64(worst_adv, 0)
+    );
     println!("(paper: \"most provide location estimates with worst-case errors of over 1000 km\"");
     println!(" and \"do not assume that the prover … is malicious\")");
 
@@ -99,7 +115,11 @@ fn main() {
     let report = d.run_audit(10);
     println!(
         "  audit verdict: {} (max Δt' = {} ms > 16 ms budget)",
-        if report.accepted() { "ACCEPT" } else { "REJECT" },
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         fmt_f64(report.max_rtt.as_millis_f64(), 1)
     );
     println!("  delay cannot *relocate* a GeoProof deployment — it can only fail the audit;");

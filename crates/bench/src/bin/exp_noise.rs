@@ -31,7 +31,10 @@ fn empirical_honest_reject(ber: f64, e: usize, trials: u32, seed: u64) -> f64 {
 }
 
 fn main() {
-    banner("NOISE", "Threshold verification on noisy channels (extends §III-A)");
+    banner(
+        "NOISE",
+        "Threshold verification on noisy channels (extends §III-A)",
+    );
     println!("Hancke-Kuhn, n = {N} rounds; accept with ≤ e wrong bits\n");
     let mut table = Table::new(&[
         "BER",

@@ -10,10 +10,16 @@ use geoproof_por::keys::PorKeys;
 use geoproof_por::params::{overhead_example, PorParams};
 
 fn main() {
-    banner("E1", "Setup-phase storage overhead (paper §V-A worked example)");
+    banner(
+        "E1",
+        "Setup-phase storage overhead (paper §V-A worked example)",
+    );
     let p = PorParams::paper();
     println!("parameters: ℓ_B = 128 bits, RS(255, 223, 32), v = 5, ℓ_τ = 20 bits");
-    println!("segment size ℓ_S = 128×5 + 20 = {} bits (paper: 660)\n", p.segment_bits_nominal());
+    println!(
+        "segment size ℓ_S = 128×5 + 20 = {} bits (paper: 660)\n",
+        p.segment_bits_nominal()
+    );
 
     let mut table = Table::new(&[
         "file size",
@@ -37,16 +43,27 @@ fn main() {
             ex.encoded_blocks.to_string(),
             ex.segments.to_string(),
             ex.stored_bytes.to_string(),
-            format!("{}%", fmt_f64((ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0, 2)),
+            format!(
+                "{}%",
+                fmt_f64(
+                    (ex.stored_bytes as f64 / ex.file_bytes as f64 - 1.0) * 100.0,
+                    2
+                )
+            ),
         ]);
     }
     table.print();
 
-    println!("\npaper reference: b = 2^27 = {} for 2 GiB; RS +14%, MAC +2.5%, total ≈ 16.5%", 1u64 << 27);
-    println!("nominal expansions: RS ×{} MAC ×{} total ×{}",
+    println!(
+        "\npaper reference: b = 2^27 = {} for 2 GiB; RS +14%, MAC +2.5%, total ≈ 16.5%",
+        1u64 << 27
+    );
+    println!(
+        "nominal expansions: RS ×{} MAC ×{} total ×{}",
         fmt_f64(p.rs_expansion(), 4),
         fmt_f64(p.mac_expansion(), 4),
-        fmt_f64(p.total_expansion(), 4));
+        fmt_f64(p.total_expansion(), 4)
+    );
 
     // Cross-check with a real encoding.
     let encoder = PorEncoder::new(p);
@@ -57,8 +74,13 @@ fn main() {
     let tagged = encoder.encode(&data, &keys, "overhead-check");
     let stored: usize = tagged.segments.iter().map(Vec::len).sum();
     let predicted = overhead_example(&p, data.len() as u64);
-    println!("\nreal 1 MiB encoding: {} segments, {} stored bytes (closed form predicts {} / {})",
-        tagged.segments.len(), stored, predicted.segments, predicted.stored_bytes);
+    println!(
+        "\nreal 1 MiB encoding: {} segments, {} stored bytes (closed form predicts {} / {})",
+        tagged.segments.len(),
+        stored,
+        predicted.segments,
+        predicted.stored_bytes
+    );
     assert_eq!(tagged.segments.len() as u64, predicted.segments);
     assert_eq!(stored as u64, predicted.stored_bytes);
     println!("closed-form arithmetic matches the implementation exactly.");

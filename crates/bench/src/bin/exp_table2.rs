@@ -47,7 +47,11 @@ fn main() {
             machine.to_string(),
             location.to_string(),
             fmt_f64(km, 2),
-            format!("{} ({})", fmt_f64(median, 3), if median < 1.0 { "< 1" } else { ">= 1" }),
+            format!(
+                "{} ({})",
+                fmt_f64(median, 3),
+                if median < 1.0 { "< 1" } else { ">= 1" }
+            ),
             "< 1".to_string(),
         ]);
     }

@@ -13,12 +13,36 @@ fn main() {
     banner("T3", "Internet latency within Australia (paper Table III)");
     let hosts = [
         ("uq.edu.au", "Brisbane (AU)", places::UQ_ST_LUCIA, 8.0, 18.0),
-        ("qut.edu.au", "Brisbane (AU)", places::QUT_GARDENS_POINT, 12.0, 20.0),
+        (
+            "qut.edu.au",
+            "Brisbane (AU)",
+            places::QUT_GARDENS_POINT,
+            12.0,
+            20.0,
+        ),
         ("une.edu.au", "Armidale (AU)", places::ARMIDALE, 350.0, 26.0),
         ("sydney.edu.au", "Sydney (AU)", places::SYDNEY, 722.0, 34.0),
-        ("jcu.edu.au", "Townsville (AU)", places::TOWNSVILLE, 1120.0, 39.0),
-        ("mh.org.au", "Melbourne (AU)", places::MELBOURNE, 1363.0, 42.0),
-        ("rah.sa.gov.au", "Adelaide (AU)", places::ADELAIDE, 1592.0, 54.0),
+        (
+            "jcu.edu.au",
+            "Townsville (AU)",
+            places::TOWNSVILLE,
+            1120.0,
+            39.0,
+        ),
+        (
+            "mh.org.au",
+            "Melbourne (AU)",
+            places::MELBOURNE,
+            1363.0,
+            42.0,
+        ),
+        (
+            "rah.sa.gov.au",
+            "Adelaide (AU)",
+            places::ADELAIDE,
+            1592.0,
+            54.0,
+        ),
         ("utas.edu.au", "Hobart (AU)", places::HOBART, 1785.0, 64.0),
         ("uwa.edu.au", "Perth (AU)", places::PERTH, 3605.0, 82.0),
     ];
@@ -52,7 +76,13 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\nlatency monotone in distance: {}", if monotone { "yes" } else { "NO" });
-    println!("worst absolute error vs paper: {} ms", fmt_f64(worst_err, 1));
+    println!(
+        "\nlatency monotone in distance: {}",
+        if monotone { "yes" } else { "NO" }
+    );
+    println!(
+        "worst absolute error vs paper: {} ms",
+        fmt_f64(worst_err, 1)
+    );
     println!("(the paper's finding: \"a positive relationship between the physical distance and the Internet latency\")");
 }

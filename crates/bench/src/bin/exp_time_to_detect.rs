@@ -16,7 +16,10 @@ use geoproof_sim::time::Km;
 use geoproof_storage::hdd::{IBM_36Z15, WD_2500JD};
 
 fn main() {
-    banner("TTD", "Time-to-detection across audit campaigns (extends §V-C(a))");
+    banner(
+        "TTD",
+        "Time-to-detection across audit campaigns (extends §V-C(a))",
+    );
     let honest = ProviderBehaviour::Honest { disk: WD_2500JD };
     let cases: Vec<(&str, ProviderBehaviour, f64)> = vec![
         (
@@ -30,17 +33,26 @@ fn main() {
         ),
         (
             "corrupt 20% of segments",
-            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.20 },
+            ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.20,
+            },
             detection_probability(0.20, 10),
         ),
         (
             "corrupt 5% of segments",
-            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.05 },
+            ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.05,
+            },
             detection_probability(0.05, 10),
         ),
         (
             "corrupt 1% of segments",
-            ProviderBehaviour::Corrupting { disk: WD_2500JD, fraction: 0.01 },
+            ProviderBehaviour::Corrupting {
+                disk: WD_2500JD,
+                fraction: 0.01,
+            },
             detection_probability(0.01, 10),
         ),
     ];

@@ -32,10 +32,16 @@ fn rejection_rate(behaviour: ProviderBehaviour, error_ms: f64, seed: u64) -> f64
 }
 
 fn main() {
-    banner("TIMERR", "Verifier timing-error budget (extends paper §III-A)");
+    banner(
+        "TIMERR",
+        "Verifier timing-error budget (extends paper §III-A)",
+    );
     println!(
         "distance value of timing error at 4/9 c: 1 ms ↔ {} km one-way\n",
-        fmt_f64(INTERNET_SPEED.distance_in(SimDuration::from_millis(1)).0 / 2.0, 1)
+        fmt_f64(
+            INTERNET_SPEED.distance_in(SimDuration::from_millis(1)).0 / 2.0,
+            1
+        )
     );
 
     // False rejects: honest WD provider whose *measured* times read high.

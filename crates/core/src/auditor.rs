@@ -322,9 +322,15 @@ mod tests {
     fn corrupted_segment_is_flagged() {
         let mut r = rig();
         // Corrupt everything so any challenge set hits corruption.
-        let n = r.provider.storage_mut().segment_count(&FileId::from("f")).unwrap();
+        let n = r
+            .provider
+            .storage_mut()
+            .segment_count(&FileId::from("f"))
+            .unwrap();
         for i in 0..n {
-            r.provider.storage_mut().corrupt_segment(&FileId::from("f"), i, 0x80);
+            r.provider
+                .storage_mut()
+                .corrupt_segment(&FileId::from("f"), i, 0x80);
         }
         let req = r.auditor.issue_request(10);
         let t = r.verifier.run_audit(&req, &mut r.provider);
@@ -399,10 +405,13 @@ mod tests {
         let mut t = r.verifier.run_audit(&req, &mut r.provider);
         t.rounds.pop();
         let report = r.auditor.verify(&req, &t);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::WrongRoundCount { expected: 5, actual: 4 })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::WrongRoundCount {
+                expected: 5,
+                actual: 4
+            }
+        )));
     }
 
     #[test]

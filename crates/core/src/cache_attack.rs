@@ -44,7 +44,8 @@ impl CachingRelayProvider {
         let mut rng = ChaChaRng::from_u64_seed(seed);
         let n = remote.segment_count(fid).unwrap_or(0) as u64;
         let n_cached = ((n as f64) * cache_fraction).round() as usize;
-        let cached: HashSet<u64> = rng.sample_distinct(n.max(1), n_cached.min(n as usize))
+        let cached: HashSet<u64> = rng
+            .sample_distinct(n.max(1), n_cached.min(n as usize))
             .into_iter()
             .collect();
         let mut front_copies = std::collections::HashMap::new();

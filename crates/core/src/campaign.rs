@@ -157,7 +157,9 @@ mod tests {
             2,
         );
         // Per-audit detection 1-(0.7)^10 ≈ 97%: lag almost surely tiny.
-        let lag = result.detection_lag().expect("must be detected in 28 tries");
+        let lag = result
+            .detection_lag()
+            .expect("must be detected in 28 tries");
         assert!(lag <= 3, "lag {lag}");
         assert_eq!(result.false_alarms(), 0);
     }

@@ -105,10 +105,7 @@ mod tests {
     #[test]
     fn duration_scales_with_k() {
         let per_round = SimDuration::from_millis_f64(13.2);
-        assert_eq!(
-            audit_duration(10, per_round).as_millis_f64(),
-            132.0
-        );
+        assert_eq!(audit_duration(10, per_round).as_millis_f64(), 132.0);
         assert!(audit_duration(1000, per_round).as_millis_f64() < 14_000.0);
     }
 

@@ -198,7 +198,11 @@ impl DeploymentBuilder {
                 for v in victims {
                     storage.corrupt_segment(&FileId::from(fid), v as usize, 0x55);
                 }
-                Box::new(LocalProvider::new(storage, LanPath::adjacent(), self.seed + 2))
+                Box::new(LocalProvider::new(
+                    storage,
+                    LanPath::adjacent(),
+                    self.seed + 2,
+                ))
             }
             ProviderBehaviour::Slow { disk, extra } => Box::new(DelayedProvider::new(
                 LocalProvider::new(

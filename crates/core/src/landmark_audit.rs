@@ -10,12 +10,12 @@
 //! claimed fix, catching the spoof-to-SLA attack.
 
 use crate::auditor::{AuditReport, Violation};
+use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_geo::coords::GeoPoint;
 use geoproof_geo::gps::{verify_position_with_landmarks, GpsFix, PositionCheck};
 use geoproof_geo::schemes::rtt_to_distance;
 use geoproof_geo::triangulation::RangeMeasurement;
 use geoproof_net::wan::WanModel;
-use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_sim::time::{Km, SimDuration};
 
 /// One landmark's ping measurement of the verifier device.
@@ -101,7 +101,9 @@ mod tests {
     }
 
     fn ranging_speed() -> geoproof_sim::time::Speed {
-        WanModel::calibrated(AccessKind::Fibre).ranging_calibration().0
+        WanModel::calibrated(AccessKind::Fibre)
+            .ranging_calibration()
+            .0
     }
 
     #[test]
@@ -123,8 +125,8 @@ mod tests {
         // Brisbane — the SLA site. The plain SLA check would pass; the
         // landmark ranging sees Perth.
         let check = landmark_position_check(
-            BRISBANE,           // claimed (spoofed)
-            &pings(PERTH),      // physical truth drives the pings
+            BRISBANE,      // claimed (spoofed)
+            &pings(PERTH), // physical truth drives the pings
             ranging_speed(),
             Km(400.0),
         )
@@ -140,13 +142,8 @@ mod tests {
             max_rtt: SimDuration::from_millis(13),
             segments_ok: 10,
         };
-        let check = landmark_position_check(
-            BRISBANE,
-            &pings(PERTH),
-            ranging_speed(),
-            Km(400.0),
-        )
-        .unwrap();
+        let check =
+            landmark_position_check(BRISBANE, &pings(PERTH), ranging_speed(), Km(400.0)).unwrap();
         let hardened = harden_report(base, &check);
         assert!(!hardened.accepted());
         assert!(hardened

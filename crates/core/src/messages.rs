@@ -125,8 +125,12 @@ mod tests {
         let other_nonce = SignedTranscript::signing_bytes("f", &[8u8; 32], &pos, &rounds());
         assert_ne!(base, other_nonce);
 
-        let other_pos =
-            SignedTranscript::signing_bytes("f", &[7u8; 32], &GeoPoint::new(-27.5, 153.1), &rounds());
+        let other_pos = SignedTranscript::signing_bytes(
+            "f",
+            &[7u8; 32],
+            &GeoPoint::new(-27.5, 153.1),
+            &rounds(),
+        );
         assert_ne!(base, other_pos);
 
         let mut r = rounds();
@@ -145,8 +149,16 @@ mod tests {
         // ("ab", rounds with segment "c") vs ("a", segment "bc") must
         // encode differently even though the concatenated bytes agree.
         let pos = GeoPoint::new(0.0, 0.0);
-        let r1 = vec![TimedRound { index: 0, segment: b"c".to_vec(), rtt: SimDuration::ZERO }];
-        let r2 = vec![TimedRound { index: 0, segment: b"bc".to_vec(), rtt: SimDuration::ZERO }];
+        let r1 = vec![TimedRound {
+            index: 0,
+            segment: b"c".to_vec(),
+            rtt: SimDuration::ZERO,
+        }];
+        let r2 = vec![TimedRound {
+            index: 0,
+            segment: b"bc".to_vec(),
+            rtt: SimDuration::ZERO,
+        }];
         let a = SignedTranscript::signing_bytes("ab", &[0u8; 32], &pos, &r1);
         let b = SignedTranscript::signing_bytes("a", &[0u8; 32], &pos, &r2);
         assert_ne!(a, b);

@@ -13,9 +13,9 @@ use crate::auditor::AuditReport;
 use crate::deployment::{Deployment, DeploymentBuilder, ProviderBehaviour};
 use crate::policy::TimingPolicy;
 use geoproof_geo::coords::GeoPoint;
+use geoproof_net::wan::AccessKind;
 use geoproof_por::params::PorParams;
 use geoproof_sim::time::Km;
-use geoproof_net::wan::AccessKind;
 use geoproof_storage::hdd::{HddSpec, IBM_36Z15};
 
 /// One contracted replica site.

@@ -113,7 +113,9 @@ impl SegmentProvider for RelayProvider {
         let read = self.remote_storage.read_segment(fid, idx as usize);
         let resp_bytes = read.data.as_ref().map_or(64, Vec::len);
         // V → P over the LAN, P → P̃ over the Internet, look-up at P̃.
-        let lan = self.local_lan.rtt(self.request_bytes, resp_bytes, &mut self.rng);
+        let lan = self
+            .local_lan
+            .rtt(self.request_bytes, resp_bytes, &mut self.rng);
         let wan = self.wan.rtt(self.distance, &mut self.rng);
         (read.data, lan + wan + read.latency)
     }
@@ -178,13 +180,7 @@ mod tests {
     #[test]
     fn relay_provider_is_slower_despite_fast_disk() {
         let wan = WanModel::calibrated(AccessKind::DataCentre);
-        let mut p = RelayProvider::new(
-            storage(IBM_36Z15),
-            LanPath::adjacent(),
-            wan,
-            Km(720.0),
-            3,
-        );
+        let mut p = RelayProvider::new(storage(IBM_36Z15), LanPath::adjacent(), wan, Km(720.0), 3);
         let (data, t) = p.serve(&FileId::from("f"), 7);
         assert!(data.is_some());
         // 720 km at 4/9 c is ~10.8 ms RTT + hops + fast lookup 5.4 ms:
@@ -197,13 +193,7 @@ mod tests {
         // The flip side of the 360 km bound: a *near* relay with the best
         // disk fits inside Δt_max — exactly the paper's residual risk.
         let wan = WanModel::calibrated(AccessKind::DataCentre);
-        let mut p = RelayProvider::new(
-            storage(IBM_36Z15),
-            LanPath::adjacent(),
-            wan,
-            Km(100.0),
-            4,
-        );
+        let mut p = RelayProvider::new(storage(IBM_36Z15), LanPath::adjacent(), wan, Km(100.0), 4);
         let (_, t) = p.serve(&FileId::from("f"), 7);
         assert!(t.as_millis_f64() < 16.0, "served in {t}");
     }

@@ -134,8 +134,7 @@ mod tests {
         let mut p = provider();
         let t = v.run_audit(&request(10), &mut p);
         assert_eq!(t.rounds.len(), 10);
-        let set: std::collections::HashSet<u64> =
-            t.rounds.iter().map(|r| r.index).collect();
+        let set: std::collections::HashSet<u64> = t.rounds.iter().map(|r| r.index).collect();
         assert_eq!(set.len(), 10, "challenge indices must be distinct");
         assert!(t.rounds.iter().all(|r| r.index < 50));
     }
@@ -157,8 +156,7 @@ mod tests {
         let mut v = device(3);
         let mut p = provider();
         let t = v.run_audit(&request(5), &mut p);
-        let bytes =
-            SignedTranscript::signing_bytes(&t.file_id, &t.nonce, &t.position, &t.rounds);
+        let bytes = SignedTranscript::signing_bytes(&t.file_id, &t.nonce, &t.position, &t.rounds);
         assert!(v.verifying_key().verify(&bytes, &t.signature));
     }
 

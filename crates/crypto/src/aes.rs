@@ -212,7 +212,8 @@ fn mix_columns(s: &mut [u8; 16]) {
 fn inv_mix_columns(s: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        s[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
         s[4 * c + 1] =
             gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
         s[4 * c + 2] =
@@ -282,8 +283,12 @@ mod tests {
     // FIPS 197 Appendix B.
     #[test]
     fn fips197_appendix_b() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
-        let pt: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("3243f6a8885a308d313198a2e0370734")
+            .try_into()
+            .unwrap();
         let cipher = Aes128::new(&key);
         let ct = cipher.encrypt_block(&pt);
         assert_eq!(ct.to_vec(), from_hex("3925841d02dc09fbdc118597196a0b32"));
@@ -293,8 +298,12 @@ mod tests {
     // FIPS 197 Appendix C.1.
     #[test]
     fn fips197_appendix_c1() {
-        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let key: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f")
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let cipher = Aes128::new(&key);
         let ct = cipher.encrypt_block(&pt);
         assert_eq!(ct.to_vec(), from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
@@ -304,14 +313,20 @@ mod tests {
     // NIST SP 800-38A F.1.1 (first two ECB-AES128 blocks double as S-box checks).
     #[test]
     fn sp800_38a_ecb_blocks() {
-        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let key: [u8; 16] = from_hex("2b7e151628aed2a6abf7158809cf4f3c")
+            .try_into()
+            .unwrap();
         let cipher = Aes128::new(&key);
-        let pt1: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+        let pt1: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .try_into()
+            .unwrap();
         assert_eq!(
             cipher.encrypt_block(&pt1).to_vec(),
             from_hex("3ad77bb40d7a3660a89ecaf32466ef97")
         );
-        let pt2: [u8; 16] = from_hex("ae2d8a571e03ac9c9eb76fac45af8e51").try_into().unwrap();
+        let pt2: [u8; 16] = from_hex("ae2d8a571e03ac9c9eb76fac45af8e51")
+            .try_into()
+            .unwrap();
         assert_eq!(
             cipher.encrypt_block(&pt2).to_vec(),
             from_hex("f5d3d58503b9699de785895a96fdbaaf")

@@ -38,12 +38,8 @@ pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; BL
     state[2] = 0x7962_2d32;
     state[3] = 0x6b20_6574;
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[4 * i],
-            key[4 * i + 1],
-            key[4 * i + 2],
-            key[4 * i + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -164,7 +160,10 @@ impl ChaChaRng {
     ///
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: u64, k: usize) -> Vec<u64> {
-        assert!((k as u64) <= n, "cannot sample {k} distinct values from {n}");
+        assert!(
+            (k as u64) <= n,
+            "cannot sample {k} distinct values from {n}"
+        );
         let mut chosen = std::collections::HashSet::with_capacity(k);
         let mut out = Vec::with_capacity(k);
         for j in (n - k as u64)..n {

@@ -215,8 +215,7 @@ fn const_2d() -> Fe {
 impl PartialEq for Point {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1 == X2/Z2) && (Y1/Z1 == Y2/Z2), cross-multiplied.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 impl Eq for Point {}

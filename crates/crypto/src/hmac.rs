@@ -92,7 +92,10 @@ impl TruncatedMac {
     ///
     /// Panics if `bits` is zero or exceeds 256.
     pub fn new(bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 256, "tag width must be in 1..=256 bits");
+        assert!(
+            bits >= 1 && bits <= 256,
+            "tag width must be in 1..=256 bits"
+        );
         TruncatedMac { bits }
     }
 
@@ -184,7 +187,10 @@ mod tests {
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaau8; 131];
-        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -52,10 +52,7 @@ impl FeistelPrp {
     ///
     /// Panics unless `1 <= half_bits <= 32`.
     pub fn new(key: &[u8; 32], half_bits: u32) -> Self {
-        assert!(
-            (1..=32).contains(&half_bits),
-            "half_bits must be in 1..=32"
-        );
+        assert!((1..=32).contains(&half_bits), "half_bits must be in 1..=32");
         FeistelPrp {
             key: *key,
             half_bits,

@@ -113,12 +113,7 @@ pub fn empirical_acceptance(
                 let mut nonce = b"nonce-v-".to_vec();
                 nonce.extend_from_slice(&trial.to_be_bytes());
                 let s = ReidSession::initialise(
-                    &[7u8; 32],
-                    b"idv",
-                    b"idp",
-                    &nonce,
-                    b"nonce-p",
-                    n_rounds,
+                    &[7u8; 32], b"idv", b"idp", &nonce, b"nonce-p", n_rounds,
                 );
                 let t = s.run(scenario, &channel, &mut rng);
                 if s.verify(&t, max_rtt).is_accept() {
@@ -147,10 +142,11 @@ mod tests {
 
     #[test]
     fn analytic_formulas() {
-        assert!((acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 8)
-            - 0.75f64.powi(8))
-        .abs()
-            < 1e-12);
+        assert!(
+            (acceptance_probability(Protocol::HanckeKuhn, Attack::Mafia, 8) - 0.75f64.powi(8))
+                .abs()
+                < 1e-12
+        );
         assert_eq!(
             acceptance_probability(Protocol::HanckeKuhn, Attack::Terrorist, 64),
             1.0

@@ -183,7 +183,13 @@ mod tests {
         let (p, c, mut rng, ch) = setup(64, 1);
         let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
         let open = p.open(&t, &mut rng);
-        let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        let v = bc_verify(
+            &c,
+            &t,
+            &open,
+            &p.signing.verifying_key(),
+            ch.max_rtt_for(Km(0.1)),
+        );
         assert_eq!(v, Verdict::Accept);
     }
 
@@ -194,7 +200,13 @@ mod tests {
         let mut wins = 0;
         let trials = 2000;
         for _ in 0..trials {
-            let t = p.run(Scenario::MafiaFraud { attacker_distance: Km(0.05) }, &ch, &mut rng);
+            let t = p.run(
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
+                &ch,
+                &mut rng,
+            );
             let r = &t.rounds[0];
             if r.response == p.respond(0, r.challenge) {
                 wins += 1;
@@ -209,7 +221,13 @@ mod tests {
         let (p, c, mut rng, ch) = setup(64, 3);
         let max_rtt = ch.max_rtt_for(Km(0.1));
         for _ in 0..100 {
-            let t = p.run(Scenario::MafiaFraud { attacker_distance: Km(0.05) }, &ch, &mut rng);
+            let t = p.run(
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
+                &ch,
+                &mut rng,
+            );
             let open = p.open(&t, &mut rng);
             let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), max_rtt);
             assert!(!v.is_accept());
@@ -222,7 +240,13 @@ mod tests {
         let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
         let open = p.open(&t, &mut rng);
         let bad_c = Commitment([0u8; 32]);
-        let v = bc_verify(&bad_c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        let v = bc_verify(
+            &bad_c,
+            &t,
+            &open,
+            &p.signing.verifying_key(),
+            ch.max_rtt_for(Km(0.1)),
+        );
         assert!(!v.is_accept());
     }
 
@@ -232,16 +256,34 @@ mod tests {
         let t = p.run(Scenario::Honest { distance: Km(0.05) }, &ch, &mut rng);
         let open = p.open(&t, &mut rng);
         let other = SigningKey::generate(&mut rng);
-        let v = bc_verify(&c, &t, &open, &other.verifying_key(), ch.max_rtt_for(Km(0.1)));
+        let v = bc_verify(
+            &c,
+            &t,
+            &open,
+            &other.verifying_key(),
+            ch.max_rtt_for(Km(0.1)),
+        );
         assert!(!v.is_accept());
     }
 
     #[test]
     fn distant_prover_fails_timing() {
         let (p, c, mut rng, ch) = setup(16, 6);
-        let t = p.run(Scenario::Honest { distance: Km(300.0) }, &ch, &mut rng);
+        let t = p.run(
+            Scenario::Honest {
+                distance: Km(300.0),
+            },
+            &ch,
+            &mut rng,
+        );
         let open = p.open(&t, &mut rng);
-        let v = bc_verify(&c, &t, &open, &p.signing.verifying_key(), ch.max_rtt_for(Km(1.0)));
+        let v = bc_verify(
+            &c,
+            &t,
+            &open,
+            &p.signing.verifying_key(),
+            ch.max_rtt_for(Km(1.0)),
+        );
         assert_eq!(v, Verdict::TooSlow(0));
     }
 }

@@ -162,7 +162,13 @@ mod tests {
         let s = session(32);
         let ch = ChannelModel::default();
         let mut rng = ChaChaRng::from_u64_seed(2);
-        let t = s.run(Scenario::Honest { distance: Km(500.0) }, &ch, &mut rng);
+        let t = s.run(
+            Scenario::Honest {
+                distance: Km(500.0),
+            },
+            &ch,
+            &mut rng,
+        );
         let verdict = s.verify(&t, ch.max_rtt_for(Km(10.0)));
         assert_eq!(verdict, Verdict::TooSlow(0));
     }
@@ -176,7 +182,9 @@ mod tests {
         let mut accepted = 0;
         for _ in 0..200 {
             let t = s.run(
-                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
                 &ch,
                 &mut rng,
             );
@@ -195,7 +203,9 @@ mod tests {
         let ch = ChannelModel::default();
         let mut rng = ChaChaRng::from_u64_seed(4);
         let t = s.run(
-            Scenario::Terrorist { accomplice_distance: Km(0.05) },
+            Scenario::Terrorist {
+                accomplice_distance: Km(0.05),
+            },
             &ch,
             &mut rng,
         );

@@ -163,8 +163,14 @@ mod tests {
                 threshold_rejects += 1;
             }
         }
-        assert!(strict_rejects > 45, "strict should nearly always reject: {strict_rejects}");
-        assert!(threshold_rejects < 5, "threshold should nearly always accept: {threshold_rejects}");
+        assert!(
+            strict_rejects > 45,
+            "strict should nearly always reject: {strict_rejects}"
+        );
+        assert!(
+            threshold_rejects < 5,
+            "threshold should nearly always accept: {threshold_rejects}"
+        );
     }
 
     #[test]
@@ -198,14 +204,18 @@ mod tests {
         let mut rng = ChaChaRng::from_u64_seed(3);
         let n = 8usize;
         let e = 2usize;
-        fn trials_u32() -> u32 { 3000 }
+        fn trials_u32() -> u32 {
+            3000
+        }
         let trials = trials_u32();
         let mut accepted = 0u32;
         for t in 0..trials_u32() {
             let s = HkSession::initialise(b"secret", &t.to_be_bytes(), b"np", n);
             let tr = ch.run_hk(
                 &s,
-                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
                 &mut rng,
             );
             let max_rtt = ch.timing.max_rtt_for(Km(0.1));

@@ -60,7 +60,8 @@ impl ReidSession {
         let k_register = hk.expand(&info, secret.len());
         // e = E_k(s): CTR encryption of the secret under a key derived
         // from the register material.
-        let enc_key: [u8; 16] = hk.expand(&[&info[..], b"enc"].concat(), 16)
+        let enc_key: [u8; 16] = hk
+            .expand(&[&info[..], b"enc"].concat(), 16)
             .try_into()
             .expect("16 bytes");
         let mut e_register = secret.to_vec();
@@ -185,7 +186,9 @@ mod tests {
         let mut accepted = 0;
         for _ in 0..200 {
             let t = s.run(
-                Scenario::Terrorist { accomplice_distance: Km(0.05) },
+                Scenario::Terrorist {
+                    accomplice_distance: Km(0.05),
+                },
                 &ch,
                 &mut rng,
             );
@@ -207,8 +210,8 @@ mod tests {
             b"nonce-p",
             64,
         );
-        let differs = (0..64).any(|i| a.respond(i, 0) != b.respond(i, 0)
-            || a.respond(i, 1) != b.respond(i, 1));
+        let differs = (0..64)
+            .any(|i| a.respond(i, 0) != b.respond(i, 0) || a.respond(i, 1) != b.respond(i, 1));
         assert!(differs, "different prover identity must change registers");
     }
 
@@ -223,8 +226,8 @@ mod tests {
             b"nonce-p",
             64,
         );
-        let differs = (0..64).any(|i| a.respond(i, 0) != b.respond(i, 0)
-            || a.respond(i, 1) != b.respond(i, 1));
+        let differs = (0..64)
+            .any(|i| a.respond(i, 0) != b.respond(i, 0) || a.respond(i, 1) != b.respond(i, 1));
         assert!(differs, "fresh nonces must refresh registers");
     }
 
@@ -234,7 +237,9 @@ mod tests {
         let ch = ChannelModel::default();
         let mut rng = ChaChaRng::from_u64_seed(3);
         let t = s.run(
-            Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+            Scenario::MafiaFraud {
+                attacker_distance: Km(0.05),
+            },
             &ch,
             &mut rng,
         );

@@ -180,9 +180,21 @@ mod tests {
     fn transcript_max_rtt() {
         let t = Transcript {
             rounds: vec![
-                Round { challenge: 0, response: 1, rtt: SimDuration::from_micros(3) },
-                Round { challenge: 1, response: 0, rtt: SimDuration::from_micros(9) },
-                Round { challenge: 1, response: 1, rtt: SimDuration::from_micros(5) },
+                Round {
+                    challenge: 0,
+                    response: 1,
+                    rtt: SimDuration::from_micros(3),
+                },
+                Round {
+                    challenge: 1,
+                    response: 0,
+                    rtt: SimDuration::from_micros(9),
+                },
+                Round {
+                    challenge: 1,
+                    response: 1,
+                    rtt: SimDuration::from_micros(5),
+                },
             ],
         };
         assert_eq!(t.max_rtt(), SimDuration::from_micros(9));
@@ -206,9 +218,18 @@ mod tests {
 
     #[test]
     fn scenario_responder_distances() {
-        assert_eq!(Scenario::Honest { distance: Km(5.0) }.responder_distance().0, 5.0);
         assert_eq!(
-            Scenario::MafiaFraud { attacker_distance: Km(0.1) }.responder_distance().0,
+            Scenario::Honest { distance: Km(5.0) }
+                .responder_distance()
+                .0,
+            5.0
+        );
+        assert_eq!(
+            Scenario::MafiaFraud {
+                attacker_distance: Km(0.1)
+            }
+            .responder_distance()
+            .0,
             0.1
         );
     }

@@ -45,7 +45,13 @@ impl SwissKnifeSession {
     /// # Panics
     ///
     /// Panics if `n_rounds` is 0 or exceeds 1024.
-    pub fn initialise(key: &[u8], id_p: &[u8], nonce_v: &[u8], nonce_p: &[u8], n_rounds: usize) -> Self {
+    pub fn initialise(
+        key: &[u8],
+        id_p: &[u8],
+        nonce_v: &[u8],
+        nonce_p: &[u8],
+        n_rounds: usize,
+    ) -> Self {
         assert!((1..=1024).contains(&n_rounds), "round count out of range");
         let reg_bytes = n_rounds.div_ceil(8);
         let mut material = Vec::new();
@@ -232,7 +238,9 @@ mod tests {
                 8,
             );
             let out = s.run(
-                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
                 &ch,
                 &mut rng,
             );
@@ -260,7 +268,9 @@ mod tests {
                 n,
             );
             let out = s.run(
-                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
                 &ch,
                 &mut rng,
             );
@@ -282,7 +292,9 @@ mod tests {
         let ch = ChannelModel::default();
         let mut rng = ChaChaRng::from_u64_seed(4);
         let out = s.run(
-            Scenario::Terrorist { accomplice_distance: Km(0.05) },
+            Scenario::Terrorist {
+                accomplice_distance: Km(0.05),
+            },
             &ch,
             &mut rng,
         );
@@ -305,7 +317,13 @@ mod tests {
         let s = session(16);
         let ch = ChannelModel::default();
         let mut rng = ChaChaRng::from_u64_seed(5);
-        let out = s.run(Scenario::Honest { distance: Km(400.0) }, &ch, &mut rng);
+        let out = s.run(
+            Scenario::Honest {
+                distance: Km(400.0),
+            },
+            &ch,
+            &mut rng,
+        );
         assert_eq!(s.verify(&out, ch.max_rtt_for(Km(1.0))), Verdict::TooSlow(0));
     }
 }

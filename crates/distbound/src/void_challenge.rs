@@ -248,7 +248,9 @@ mod tests {
         for seed in 0..50u8 {
             let s = session(32, seed);
             let out = s.run(
-                Scenario::MafiaFraud { attacker_distance: Km(0.05) },
+                Scenario::MafiaFraud {
+                    attacker_distance: Km(0.05),
+                },
                 &ch,
                 &mut rng,
             );

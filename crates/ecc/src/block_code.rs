@@ -142,7 +142,10 @@ mod tests {
             .map(|i| {
                 let mut b = [0u8; BLOCK_BYTES];
                 for (j, byte) in b.iter_mut().enumerate() {
-                    *byte = (i as u8).wrapping_mul(7).wrapping_add(j as u8).wrapping_add(seed);
+                    *byte = (i as u8)
+                        .wrapping_mul(7)
+                        .wrapping_add(j as u8)
+                        .wrapping_add(seed);
                 }
                 b
             })

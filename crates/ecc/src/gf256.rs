@@ -248,7 +248,10 @@ mod tests {
     fn poly_eval_horner() {
         // p(x) = 1 + 2x + 3x^2 at x = 2: 1 ^ (2*2) ^ (3*4) = 1 ^ 4 ^ 12 = 9
         let p = [Gf(1), Gf(2), Gf(3)];
-        assert_eq!(poly_eval(&p, Gf(2)), Gf(1).add(Gf(2).mul(Gf(2))).add(Gf(3).mul(Gf(4))));
+        assert_eq!(
+            poly_eval(&p, Gf(2)),
+            Gf(1).add(Gf(2).mul(Gf(2))).add(Gf(3).mul(Gf(4)))
+        );
     }
 
     #[test]

@@ -356,7 +356,9 @@ mod tests {
     use super::*;
 
     fn make_data(k: usize, seed: u8) -> Vec<u8> {
-        (0..k).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..k)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -455,10 +457,7 @@ mod tests {
         let data = make_data(11, 8);
         let cw = code.encode(&data);
         let erasures: Vec<usize> = (0..5).collect(); // nsym = 4
-        assert_eq!(
-            code.decode(&cw, &erasures),
-            Err(DecodeError::TooManyErrors)
-        );
+        assert_eq!(code.decode(&cw, &erasures), Err(DecodeError::TooManyErrors));
     }
 
     #[test]
@@ -466,7 +465,10 @@ mod tests {
         let code = RsCode::new(15, 11);
         assert!(matches!(
             code.decode(&[0u8; 14], &[]),
-            Err(DecodeError::WrongLength { expected: 15, actual: 14 })
+            Err(DecodeError::WrongLength {
+                expected: 15,
+                actual: 14
+            })
         ));
     }
 
@@ -504,14 +506,17 @@ mod tests {
         let code = RsCode::new(255, 223);
         let mut data = vec![0u8; 150];
         data.extend_from_slice(&[
-            110, 88, 165, 86, 93, 138, 154, 239, 38, 165, 6, 73, 23, 22, 232, 25, 136, 63,
-            245, 144, 173, 192, 24, 166, 44, 6, 120, 95, 59, 100, 95, 237, 213, 241, 254, 99,
-            136, 166, 129, 251, 217, 73, 183, 6, 42, 9, 225, 26, 15, 226, 103, 234, 84, 156,
-            149, 72, 193, 14, 57, 250, 114, 53, 18, 174, 196, 47, 55, 92, 43, 98, 121, 134,
-            203,
+            110, 88, 165, 86, 93, 138, 154, 239, 38, 165, 6, 73, 23, 22, 232, 25, 136, 63, 245,
+            144, 173, 192, 24, 166, 44, 6, 120, 95, 59, 100, 95, 237, 213, 241, 254, 99, 136, 166,
+            129, 251, 217, 73, 183, 6, 42, 9, 225, 26, 15, 226, 103, 234, 84, 156, 149, 72, 193,
+            14, 57, 250, 114, 53, 18, 174, 196, 47, 55, 92, 43, 98, 121, 134, 203,
         ]);
-        let positions = [4usize, 10, 21, 40, 53, 60, 66, 82, 83, 97, 106, 123, 146, 173, 187, 241];
-        let masks = [26u8, 7, 163, 181, 18, 118, 249, 95, 24, 76, 46, 1, 111, 13, 147, 106];
+        let positions = [
+            4usize, 10, 21, 40, 53, 60, 66, 82, 83, 97, 106, 123, 146, 173, 187, 241,
+        ];
+        let masks = [
+            26u8, 7, 163, 181, 18, 118, 249, 95, 24, 76, 46, 1, 111, 13, 147, 106,
+        ];
         let cw = code.encode(&data);
         let mut bad = cw.clone();
         for (i, &pos) in positions.iter().enumerate() {
@@ -526,10 +531,12 @@ mod tests {
         let code = RsCode::new(255, 223);
         let mut seed = 0xfeed_beefu64;
         for trial in 0..40 {
-            let data: Vec<u8> = (0..223).map(|_| {
-                seed = rand_u64(seed);
-                seed as u8
-            }).collect();
+            let data: Vec<u8> = (0..223)
+                .map(|_| {
+                    seed = rand_u64(seed);
+                    seed as u8
+                })
+                .collect();
             let cw = code.encode(&data);
             let mut bad = cw.clone();
             let nerr = (trial % 17) as usize; // 0..=16

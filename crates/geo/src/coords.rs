@@ -41,8 +41,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().asin();
         Km(EARTH_RADIUS_KM * c)
     }
@@ -59,28 +58,61 @@ pub mod places {
     use super::GeoPoint;
 
     /// Brisbane CBD (the paper's vantage point, ADSL2).
-    pub const BRISBANE: GeoPoint = GeoPoint { lat: -27.4698, lon: 153.0251 };
+    pub const BRISBANE: GeoPoint = GeoPoint {
+        lat: -27.4698,
+        lon: 153.0251,
+    };
     /// Suburban Brisbane ADSL vantage (Indooroopilly): closer to UQ than to
     /// QUT, matching the ordering of the paper's first two Table III rows.
-    pub const ADSL_VANTAGE: GeoPoint = GeoPoint { lat: -27.4986, lon: 152.9729 };
+    pub const ADSL_VANTAGE: GeoPoint = GeoPoint {
+        lat: -27.4986,
+        lon: 152.9729,
+    };
     /// University of Queensland, St Lucia (uq.edu.au, 8 km).
-    pub const UQ_ST_LUCIA: GeoPoint = GeoPoint { lat: -27.4975, lon: 153.0137 };
+    pub const UQ_ST_LUCIA: GeoPoint = GeoPoint {
+        lat: -27.4975,
+        lon: 153.0137,
+    };
     /// QUT Gardens Point (qut.edu.au, 12 km).
-    pub const QUT_GARDENS_POINT: GeoPoint = GeoPoint { lat: -27.4772, lon: 153.0283 };
+    pub const QUT_GARDENS_POINT: GeoPoint = GeoPoint {
+        lat: -27.4772,
+        lon: 153.0283,
+    };
     /// University of New England, Armidale (une.edu.au, 350 km).
-    pub const ARMIDALE: GeoPoint = GeoPoint { lat: -30.5120, lon: 151.6655 };
+    pub const ARMIDALE: GeoPoint = GeoPoint {
+        lat: -30.5120,
+        lon: 151.6655,
+    };
     /// University of Sydney (sydney.edu.au, 722 km).
-    pub const SYDNEY: GeoPoint = GeoPoint { lat: -33.8688, lon: 151.2093 };
+    pub const SYDNEY: GeoPoint = GeoPoint {
+        lat: -33.8688,
+        lon: 151.2093,
+    };
     /// James Cook University, Townsville (jcu.edu.au, 1120 km).
-    pub const TOWNSVILLE: GeoPoint = GeoPoint { lat: -19.2590, lon: 146.8169 };
+    pub const TOWNSVILLE: GeoPoint = GeoPoint {
+        lat: -19.2590,
+        lon: 146.8169,
+    };
     /// Royal Melbourne Hospital (mh.org.au, 1363 km).
-    pub const MELBOURNE: GeoPoint = GeoPoint { lat: -37.8136, lon: 144.9631 };
+    pub const MELBOURNE: GeoPoint = GeoPoint {
+        lat: -37.8136,
+        lon: 144.9631,
+    };
     /// Royal Adelaide Hospital (rah.sa.gov.au, 1592 km).
-    pub const ADELAIDE: GeoPoint = GeoPoint { lat: -34.9285, lon: 138.6007 };
+    pub const ADELAIDE: GeoPoint = GeoPoint {
+        lat: -34.9285,
+        lon: 138.6007,
+    };
     /// University of Tasmania, Hobart (utas.edu.au, 1785 km).
-    pub const HOBART: GeoPoint = GeoPoint { lat: -42.8821, lon: 147.3272 };
+    pub const HOBART: GeoPoint = GeoPoint {
+        lat: -42.8821,
+        lon: 147.3272,
+    };
     /// University of Western Australia, Perth (uwa.edu.au, 3605 km).
-    pub const PERTH: GeoPoint = GeoPoint { lat: -31.9505, lon: 115.8605 };
+    pub const PERTH: GeoPoint = GeoPoint {
+        lat: -31.9505,
+        lon: 115.8605,
+    };
 }
 
 #[cfg(test)]

@@ -138,12 +138,9 @@ mod tests {
     #[test]
     fn landmark_check_accepts_honest_fix() {
         let gps = GpsReceiver::new(BRISBANE);
-        let check = verify_position_with_landmarks(
-            &gps.read_fix(),
-            &ranges_from(BRISBANE),
-            Km(50.0),
-        )
-        .expect("enough landmarks");
+        let check =
+            verify_position_with_landmarks(&gps.read_fix(), &ranges_from(BRISBANE), Km(50.0))
+                .expect("enough landmarks");
         assert!(check.consistent, "discrepancy {}", check.discrepancy);
     }
 
@@ -151,13 +148,10 @@ mod tests {
     fn landmark_check_catches_spoof() {
         let mut gps = GpsReceiver::new(BRISBANE);
         gps.spoof(PERTH); // claims Perth, actually in Brisbane
-        // Ranges are physical, so they still reflect Brisbane.
-        let check = verify_position_with_landmarks(
-            &gps.read_fix(),
-            &ranges_from(BRISBANE),
-            Km(50.0),
-        )
-        .expect("enough landmarks");
+                          // Ranges are physical, so they still reflect Brisbane.
+        let check =
+            verify_position_with_landmarks(&gps.read_fix(), &ranges_from(BRISBANE), Km(50.0))
+                .expect("enough landmarks");
         assert!(!check.consistent);
         assert!(check.discrepancy.0 > 3000.0, "Perth vs Brisbane ≈ 3600 km");
     }

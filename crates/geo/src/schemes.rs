@@ -148,10 +148,26 @@ pub fn octant_locate(
         .collect();
     // Grid over the landmarks' bounding box, padded by the largest radius.
     let pad_deg = radii.iter().map(|r| r.0).fold(0.0, f64::max) / 111.32;
-    let lat_min = observations.iter().map(|o| o.landmark.lat).fold(f64::MAX, f64::min) - pad_deg;
-    let lat_max = observations.iter().map(|o| o.landmark.lat).fold(f64::MIN, f64::max) + pad_deg;
-    let lon_min = observations.iter().map(|o| o.landmark.lon).fold(f64::MAX, f64::min) - pad_deg;
-    let lon_max = observations.iter().map(|o| o.landmark.lon).fold(f64::MIN, f64::max) + pad_deg;
+    let lat_min = observations
+        .iter()
+        .map(|o| o.landmark.lat)
+        .fold(f64::MAX, f64::min)
+        - pad_deg;
+    let lat_max = observations
+        .iter()
+        .map(|o| o.landmark.lat)
+        .fold(f64::MIN, f64::max)
+        + pad_deg;
+    let lon_min = observations
+        .iter()
+        .map(|o| o.landmark.lon)
+        .fold(f64::MAX, f64::min)
+        - pad_deg;
+    let lon_max = observations
+        .iter()
+        .map(|o| o.landmark.lon)
+        .fold(f64::MIN, f64::max)
+        + pad_deg;
 
     const STEPS: usize = 60;
     let mut feasible_pts: Vec<GeoPoint> = Vec::new();
@@ -231,15 +247,24 @@ pub fn tbg_locate(
 mod tests {
     use super::*;
     use crate::coords::places::*;
-    use geoproof_sim::time::{INTERNET_SPEED, FIBRE_SPEED};
+    use geoproof_sim::time::{FIBRE_SPEED, INTERNET_SPEED};
 
     /// Ideal RTT at `speed` with `overhead` for a landmark→target pair.
-    fn ideal_rtt(lm: GeoPoint, target: GeoPoint, overhead: SimDuration, speed: Speed) -> SimDuration {
+    fn ideal_rtt(
+        lm: GeoPoint,
+        target: GeoPoint,
+        overhead: SimDuration,
+        speed: Speed,
+    ) -> SimDuration {
         let one_way = speed.travel_time(lm.distance(&target));
         overhead + one_way + one_way
     }
 
-    fn observations(target: GeoPoint, overhead: SimDuration, speed: Speed) -> Vec<DelayObservation> {
+    fn observations(
+        target: GeoPoint,
+        overhead: SimDuration,
+        speed: Speed,
+    ) -> Vec<DelayObservation> {
         [SYDNEY, MELBOURNE, PERTH, TOWNSVILLE, ADELAIDE]
             .iter()
             .map(|lm| DelayObservation {
@@ -308,7 +333,9 @@ mod tests {
 
     #[test]
     fn geoping_empty_db_returns_none() {
-        assert!(GeoPingDb::new().locate(&[SimDuration::from_millis(1)]).is_none());
+        assert!(GeoPingDb::new()
+            .locate(&[SimDuration::from_millis(1)])
+            .is_none());
     }
 
     #[test]

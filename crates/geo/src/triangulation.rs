@@ -50,9 +50,8 @@ pub fn multilaterate(ranges: &[RangeMeasurement]) -> Option<GeoPoint> {
             // Unit vector from landmark towards current estimate, in local
             // flat-earth km coordinates.
             let dlat_km = (here.lat - r.landmark.lat) * KM_PER_DEG_LAT;
-            let dlon_km = (here.lon - r.landmark.lon)
-                * KM_PER_DEG_LAT
-                * here.lat.to_radians().cos();
+            let dlon_km =
+                (here.lon - r.landmark.lon) * KM_PER_DEG_LAT * here.lat.to_radians().cos();
             let norm = (dlat_km * dlat_km + dlon_km * dlon_km).sqrt().max(1e-9);
             gx += residual * (dlon_km / norm);
             gy += residual * (dlat_km / norm);

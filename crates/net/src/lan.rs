@@ -191,10 +191,7 @@ mod tests {
         for km in [0.0, 0.01, 0.02, 0.5, 3.2, 45.0] {
             let path = LanPath::campus(Km(km));
             let t = path.one_way(64, &mut r);
-            assert!(
-                t.as_millis_f64() < 1.0,
-                "one-way at {km} km was {t}"
-            );
+            assert!(t.as_millis_f64() < 1.0, "one-way at {km} km was {t}");
         }
     }
 

@@ -198,7 +198,10 @@ mod tests {
             let err = (predicted - measured).abs();
             // Within 14 ms of every row (Hobart routes indirectly via
             // Melbourne, which a distance model cannot capture).
-            assert!(err < 14.0, "{name}: predicted {predicted:.1}, measured {measured}");
+            assert!(
+                err < 14.0,
+                "{name}: predicted {predicted:.1}, measured {measured}"
+            );
         }
     }
 

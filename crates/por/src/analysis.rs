@@ -56,31 +56,25 @@ pub fn binomial_tail(n: u64, p: f64, threshold: u64) -> f64 {
 /// Union-bound probability that *any* chunk of an RS(n, k) coded file
 /// becomes undecodable when each block is independently corrupted with
 /// probability `block_corrupt_p`: `chunks × P[Bin(n, p) > t]`.
-pub fn irretrievability_bound(
-    rs_n: u64,
-    rs_t: u64,
-    chunks: u64,
-    block_corrupt_p: f64,
-) -> f64 {
+pub fn irretrievability_bound(rs_n: u64, rs_t: u64, chunks: u64, block_corrupt_p: f64) -> f64 {
     (chunks as f64 * binomial_tail(rs_n, block_corrupt_p, rs_t + 1)).min(1.0)
 }
 
 /// Monte-Carlo estimate of the per-challenge detection rate: corrupt
 /// `corrupt` of `n_segments` uniformly, challenge `k` distinct segments,
 /// repeat `trials` times.
-pub fn empirical_detection(
-    n_segments: u64,
-    corrupt: u64,
-    k: usize,
-    trials: u32,
-    seed: u64,
-) -> f64 {
-    assert!(corrupt <= n_segments, "cannot corrupt more than all segments");
+pub fn empirical_detection(n_segments: u64, corrupt: u64, k: usize, trials: u32, seed: u64) -> f64 {
+    assert!(
+        corrupt <= n_segments,
+        "cannot corrupt more than all segments"
+    );
     let mut rng = ChaChaRng::from_u64_seed(seed);
     let mut detected = 0u32;
     for _ in 0..trials {
-        let bad: std::collections::HashSet<u64> =
-            rng.sample_distinct(n_segments, corrupt as usize).into_iter().collect();
+        let bad: std::collections::HashSet<u64> = rng
+            .sample_distinct(n_segments, corrupt as usize)
+            .into_iter()
+            .collect();
         let challenge = rng.sample_distinct(n_segments, k);
         if challenge.iter().any(|c| bad.contains(c)) {
             detected += 1;

@@ -181,11 +181,7 @@ impl PorEncoder {
             return false;
         }
         let (body, tag) = segment.split_at(p.segment_blocks * BLOCK_BYTES);
-        TruncatedMac::new(p.tag_bits).verify(
-            mac_key,
-            &segment_message(body, index, file_id),
-            tag,
-        )
+        TruncatedMac::new(p.tag_bits).verify(mac_key, &segment_message(body, index, file_id), tag)
     }
 
     /// Recovers the original file from (possibly corrupted) segments.
@@ -223,8 +219,7 @@ impl PorEncoder {
                     break;
                 }
                 if ok {
-                    permuted[idx]
-                        .copy_from_slice(&seg[j * BLOCK_BYTES..(j + 1) * BLOCK_BYTES]);
+                    permuted[idx].copy_from_slice(&seg[j * BLOCK_BYTES..(j + 1) * BLOCK_BYTES]);
                 }
                 block_ok[idx] = ok;
             }
@@ -249,9 +244,7 @@ impl PorEncoder {
         let mut blocks: Vec<Block> = Vec::with_capacity(chunks * p.rs_k);
         for c in 0..chunks {
             let chunk = &encoded[c * p.rs_n..(c + 1) * p.rs_n];
-            let erasures: Vec<usize> = (0..p.rs_n)
-                .filter(|j| erased[c * p.rs_n + j])
-                .collect();
+            let erasures: Vec<usize> = (0..p.rs_n).filter(|j| erased[c * p.rs_n + j]).collect();
             let data = self
                 .code
                 .decode_chunk(chunk, &erasures)
@@ -330,8 +323,14 @@ mod tests {
         let k = keys();
         let tagged = enc.encode(&sample_data(2000), &k, "file-7");
         let seg = &tagged.segments[0];
-        assert!(!enc.verify_segment(k.mac_key(), "file-7", 1, seg), "index swap");
-        assert!(!enc.verify_segment(k.mac_key(), "file-8", 0, seg), "fid swap");
+        assert!(
+            !enc.verify_segment(k.mac_key(), "file-7", 1, seg),
+            "index swap"
+        );
+        assert!(
+            !enc.verify_segment(k.mac_key(), "file-8", 0, seg),
+            "fid swap"
+        );
     }
 
     #[test]
@@ -410,10 +409,7 @@ mod tests {
         assert_eq!(md.raw_blocks, 5000u64.div_ceil(16));
         assert_eq!(md.encoded_blocks % 15, 0);
         assert_eq!(md.segments as usize, tagged.segments.len());
-        assert_eq!(
-            md.segments,
-            md.encoded_blocks.div_ceil(2)
-        );
+        assert_eq!(md.segments, md.encoded_blocks.div_ceil(2));
     }
 
     #[test]

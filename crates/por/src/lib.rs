@@ -39,9 +39,9 @@ pub mod params;
 pub mod sentinel;
 
 pub use analysis::{detection_probability, irretrievability_bound};
+pub use dynamic::{DynamicDigest, DynamicStore};
 pub use encode::{ExtractError, FileMetadata, PorEncoder, TaggedFile};
 pub use keys::{AuditorKey, PorKeys};
-pub use params::PorParams;
-pub use dynamic::{DynamicDigest, DynamicStore};
 pub use merkle::{MerkleProof, MerkleTree};
+pub use params::PorParams;
 pub use sentinel::{SentinelEncoder, SentinelMetadata};

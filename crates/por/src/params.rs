@@ -48,8 +48,12 @@ impl PorParams {
     ///
     /// Panics on degenerate values (zero sizes, k ≥ n, n > 255, tag > 256).
     pub fn validate(&self) {
-        assert!(self.rs_n <= 255 && self.rs_k >= 1 && self.rs_k < self.rs_n,
-            "invalid RS dimensions ({}, {})", self.rs_n, self.rs_k);
+        assert!(
+            self.rs_n <= 255 && self.rs_k >= 1 && self.rs_k < self.rs_n,
+            "invalid RS dimensions ({}, {})",
+            self.rs_n,
+            self.rs_k
+        );
         assert!(self.segment_blocks >= 1, "segment must hold ≥ 1 block");
         assert!((1..=256).contains(&self.tag_bits), "tag width out of range");
     }
@@ -110,9 +114,8 @@ pub fn overhead_example(params: &PorParams, file_bytes: u64) -> OverheadExample 
     let chunks = raw_blocks.div_ceil(params.rs_k as u64);
     let encoded_blocks = chunks * params.rs_n as u64;
     let segments = encoded_blocks.div_ceil(params.segment_blocks as u64);
-    let stored_bytes =
-        segments * params.segment_blocks as u64 * BLOCK_BYTES as u64
-            + segments * params.tag_byte_len() as u64;
+    let stored_bytes = segments * params.segment_blocks as u64 * BLOCK_BYTES as u64
+        + segments * params.tag_byte_len() as u64;
     OverheadExample {
         file_bytes,
         raw_blocks,
@@ -153,7 +156,10 @@ mod tests {
         // ceil(2^27 / 223) × 255 = 153,477,990 — the paper's figure applies
         // the ratio directly. Both are ≈ 14.3 % expansion; check ours.
         let expansion = ex.encoded_blocks as f64 / ex.raw_blocks as f64;
-        assert!((expansion - 255.0 / 223.0).abs() < 1e-4, "expansion {expansion}");
+        assert!(
+            (expansion - 255.0 / 223.0).abs() < 1e-4,
+            "expansion {expansion}"
+        );
         assert!((ex.encoded_blocks as i64 - 153_008_209i64).abs() < 600_000);
     }
 
@@ -186,6 +192,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid RS dimensions")]
     fn bad_params_panic() {
-        PorParams { rs_n: 10, rs_k: 10, segment_blocks: 1, tag_bits: 20 }.validate();
+        PorParams {
+            rs_n: 10,
+            rs_k: 10,
+            segment_blocks: 1,
+            tag_bits: 20,
+        }
+        .validate();
     }
 }

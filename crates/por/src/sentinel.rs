@@ -100,11 +100,7 @@ impl SentinelEncoder {
 
     /// The stored position of sentinel `j` (verifier-side secret until
     /// challenged).
-    pub fn sentinel_position(
-        keys: &PorKeys,
-        meta: &SentinelMetadata,
-        j: u64,
-    ) -> u64 {
+    pub fn sentinel_position(keys: &PorKeys, meta: &SentinelMetadata, j: u64) -> u64 {
         assert!(j < meta.sentinels, "sentinel index out of range");
         DomainPrp::new(keys.prp_key(), meta.total_blocks()).permute(meta.data_blocks + j)
     }
@@ -121,12 +117,7 @@ impl SentinelEncoder {
 
     /// Decodes the original data from intact storage (no error
     /// correction in this baseline variant — JK layer ECC separately).
-    pub fn decode(
-        &self,
-        stored: &[Block],
-        keys: &PorKeys,
-        meta: &SentinelMetadata,
-    ) -> Vec<u8> {
+    pub fn decode(&self, stored: &[Block], keys: &PorKeys, meta: &SentinelMetadata) -> Vec<u8> {
         let prp = DomainPrp::new(keys.prp_key(), meta.total_blocks());
         let mut flat = Vec::with_capacity((meta.data_blocks as usize) * BLOCK_BYTES);
         for i in 0..meta.data_blocks {
@@ -186,7 +177,12 @@ mod tests {
         let (mut stored, meta) = enc.encode(&data(1000), &k, "sfile");
         let pos = SentinelEncoder::sentinel_position(&k, &meta, 5) as usize;
         stored[pos][0] ^= 1;
-        assert!(!SentinelEncoder::verify_sentinel(&k, &meta, 5, &stored[pos]));
+        assert!(!SentinelEncoder::verify_sentinel(
+            &k,
+            &meta,
+            5,
+            &stored[pos]
+        ));
     }
 
     #[test]
@@ -204,7 +200,10 @@ mod tests {
             let pos = SentinelEncoder::sentinel_position(&k, &meta, j) as usize;
             !SentinelEncoder::verify_sentinel(&k, &meta, j, &stored[pos])
         });
-        assert!(hit, "10% corruption should hit at least one of 50 sentinels");
+        assert!(
+            hit,
+            "10% corruption should hit at least one of 50 sentinels"
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the POR: encode/extract identity, tag
 //! soundness, Merkle/dynamic invariants, analysis monotonicity.
 
-use geoproof_por::analysis::{
-    binomial_tail, corruption_for_detection, detection_probability,
-};
+use geoproof_por::analysis::{binomial_tail, corruption_for_detection, detection_probability};
 use geoproof_por::dynamic::{verify_challenge, DynamicStore};
 use geoproof_por::encode::PorEncoder;
 use geoproof_por::keys::PorKeys;

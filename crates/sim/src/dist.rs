@@ -80,9 +80,9 @@ impl LatencyDist {
     pub fn mean(&self) -> SimDuration {
         match *self {
             LatencyDist::Constant(d) => d,
-            LatencyDist::Uniform { lo, hi } => SimDuration::from_nanos(
-                (lo.as_nanos() + hi.as_nanos()) / 2,
-            ),
+            LatencyDist::Uniform { lo, hi } => {
+                SimDuration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2)
+            }
             LatencyDist::Normal { mean, .. } => mean,
             LatencyDist::Exponential { mean } => mean,
             LatencyDist::ShiftedExponential { base, tail_mean } => base + tail_mean,
@@ -117,7 +117,10 @@ mod tests {
 
     fn sample_mean(dist: &LatencyDist, n: usize) -> f64 {
         let mut r = rng();
-        (0..n).map(|_| dist.sample(&mut r).as_millis_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut r).as_millis_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

@@ -234,8 +234,8 @@ mod tests {
     #[test]
     fn best_disk_differential_vs_average() {
         // The relay-attack analysis hinges on ΔtLW - ΔtLB ≈ 7.7 ms.
-        let diff = WD_2500JD.avg_lookup(512).as_millis_f64()
-            - IBM_36Z15.avg_lookup(512).as_millis_f64();
+        let diff =
+            WD_2500JD.avg_lookup(512).as_millis_f64() - IBM_36Z15.avg_lookup(512).as_millis_f64();
         assert!((diff - 7.6995).abs() < 0.01, "got {diff}");
     }
 

@@ -76,11 +76,7 @@ impl StorageServer {
     /// had to search before discovering the miss).
     pub fn read_segment(&mut self, fid: &FileId, idx: usize) -> ReadOutcome {
         self.reads += 1;
-        let data = self
-            .files
-            .get(fid)
-            .and_then(|segs| segs.get(idx))
-            .cloned();
+        let data = self.files.get(fid).and_then(|segs| segs.get(idx)).cloned();
         let bytes = data.as_ref().map_or(512, Vec::len);
         let latency = self.disk.sample_lookup(bytes, &mut self.rng);
         ReadOutcome { data, latency }
@@ -165,7 +161,10 @@ mod tests {
         let out = s.read_segment(&FileId::from("f1"), 0);
         assert_ne!(out.data.as_deref(), Some(&b"seg0"[..]));
         assert!(s.drop_segment(&FileId::from("f1"), 0));
-        assert_eq!(s.read_segment(&FileId::from("f1"), 0).data.as_deref(), Some(&[][..]));
+        assert_eq!(
+            s.read_segment(&FileId::from("f1"), 0).data.as_deref(),
+            Some(&[][..])
+        );
         assert!(!s.corrupt_segment(&FileId::from("f1"), 42, 1));
     }
 

@@ -308,8 +308,13 @@ mod tests {
     #[test]
     fn stream_read_write_roundtrip() {
         let msgs = vec![
-            WireMessage::Challenge { file_id: "f".into(), index: 1 },
-            WireMessage::Response { segment: Some(vec![9; 83]) },
+            WireMessage::Challenge {
+                file_id: "f".into(),
+                index: 1,
+            },
+            WireMessage::Response {
+                segment: Some(vec![9; 83]),
+            },
             WireMessage::Bye,
         ];
         let mut buf = Vec::new();

@@ -207,17 +207,15 @@ mod tests {
 
     fn store_with(file: &str, n: usize) -> SegmentStore {
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
-        store.lock().insert(
-            file.to_owned(),
-            (0..n).map(|i| vec![i as u8; 83]).collect(),
-        );
+        store
+            .lock()
+            .insert(file.to_owned(), (0..n).map(|i| vec![i as u8; 83]).collect());
         store
     }
 
     #[test]
     fn serves_segments_over_tcp() {
-        let server =
-            ProverServer::spawn(store_with("f", 10), Duration::ZERO).expect("bind");
+        let server = ProverServer::spawn(store_with("f", 10), Duration::ZERO).expect("bind");
         let mut client = TcpChallenger::connect(server.addr()).expect("connect");
         for idx in [0u64, 5, 9] {
             let (seg, rtt) = client.challenge("f", idx).expect("challenge");
@@ -229,8 +227,7 @@ mod tests {
 
     #[test]
     fn missing_segment_returns_none() {
-        let server =
-            ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
+        let server = ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
         let mut client = TcpChallenger::connect(server.addr()).expect("connect");
         let (seg, _) = client.challenge("f", 99).unwrap();
         assert!(seg.is_none());
@@ -240,10 +237,9 @@ mod tests {
 
     #[test]
     fn service_delay_shows_up_in_rtt() {
-        let fast =
-            ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
-        let slow = ProverServer::spawn(store_with("f", 3), Duration::from_millis(30))
-            .expect("bind");
+        let fast = ProverServer::spawn(store_with("f", 3), Duration::ZERO).expect("bind");
+        let slow =
+            ProverServer::spawn(store_with("f", 3), Duration::from_millis(30)).expect("bind");
         let mut cf = TcpChallenger::connect(fast.addr()).unwrap();
         let mut cs = TcpChallenger::connect(slow.addr()).unwrap();
         let (_, rf) = cf.challenge("f", 0).unwrap();
@@ -256,8 +252,7 @@ mod tests {
 
     #[test]
     fn multiple_clients_share_one_server() {
-        let server =
-            ProverServer::spawn(store_with("f", 5), Duration::ZERO).expect("bind");
+        let server = ProverServer::spawn(store_with("f", 5), Duration::ZERO).expect("bind");
         let addr = server.addr();
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -277,8 +272,7 @@ mod tests {
 
     #[test]
     fn put_file_updates_store() {
-        let server =
-            ProverServer::spawn(store_with("f", 1), Duration::ZERO).expect("bind");
+        let server = ProverServer::spawn(store_with("f", 1), Duration::ZERO).expect("bind");
         server.put_file("g", vec![vec![0xaa; 10]]);
         let mut client = TcpChallenger::connect(server.addr()).unwrap();
         let (seg, _) = client.challenge("g", 0).unwrap();

@@ -25,10 +25,7 @@ fn main() {
     let mut honest = DeploymentBuilder::new(BRISBANE).seed(1).build();
     for month in 1..=3 {
         let r = honest.run_audit(12);
-        println!(
-            "month {month:>2}: honest provider        → {}",
-            verdict(&r)
-        );
+        println!("month {month:>2}: honest provider        → {}", verdict(&r));
     }
 
     // --- Months 4-6: bit-rot / silent corruption ------------------------
@@ -41,10 +38,7 @@ fn main() {
         .build();
     for month in 4..=6 {
         let r = corrupting.run_audit(12);
-        println!(
-            "month {month:>2}: 8% segments corrupted  → {}",
-            verdict(&r)
-        );
+        println!("month {month:>2}: 8% segments corrupted  → {}", verdict(&r));
     }
     println!("         (detection is probabilistic per audit: 1-(0.92)^12 ≈ 63%, cumulative ≈ 95% over 3 audits)");
 
@@ -59,10 +53,7 @@ fn main() {
         .build();
     for month in 7..=9 {
         let r = relayed.run_audit(12);
-        println!(
-            "month {month:>2}: data moved 1400 km     → {}",
-            verdict(&r)
-        );
+        println!("month {month:>2}: data moved 1400 km     → {}", verdict(&r));
     }
 
     // --- Recovery: extraction repairs bounded damage --------------------

@@ -21,7 +21,11 @@ use geoproof::sim::time::Km;
 const N: usize = 32;
 
 fn verdict_str(ok: bool) -> &'static str {
-    if ok { "ACCEPT" } else { "reject" }
+    if ok {
+        "ACCEPT"
+    } else {
+        "reject"
+    }
 }
 
 fn main() {
@@ -31,13 +35,34 @@ fn main() {
 
     let scenarios = [
         ("honest @50m", Scenario::Honest { distance: Km(0.05) }),
-        ("honest @300km", Scenario::Honest { distance: Km(300.0) }),
-        ("mafia relay", Scenario::MafiaFraud { attacker_distance: Km(0.05) }),
-        ("terrorist", Scenario::Terrorist { accomplice_distance: Km(0.05) }),
+        (
+            "honest @300km",
+            Scenario::Honest {
+                distance: Km(300.0),
+            },
+        ),
+        (
+            "mafia relay",
+            Scenario::MafiaFraud {
+                attacker_distance: Km(0.05),
+            },
+        ),
+        (
+            "terrorist",
+            Scenario::Terrorist {
+                accomplice_distance: Km(0.05),
+            },
+        ),
     ];
 
-    println!("n = {N} rounds, distance bound 100 m (Δt_max = {:.3} µs)\n", max_rtt.as_micros_f64());
-    println!("{:<22} {:>14} {:>14} {:>14} {:>14}", "protocol", scenarios[0].0, scenarios[1].0, scenarios[2].0, scenarios[3].0);
+    println!(
+        "n = {N} rounds, distance bound 100 m (Δt_max = {:.3} µs)\n",
+        max_rtt.as_micros_f64()
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>14}",
+        "protocol", scenarios[0].0, scenarios[1].0, scenarios[2].0, scenarios[3].0
+    );
     println!("{}", "-".repeat(82));
 
     // Hancke–Kuhn.

@@ -31,7 +31,10 @@ fn main() {
     let overhead = AccessKind::Fibre.overhead();
     println!("target really is in Brisbane; landmarks in 5 Australian cities\n");
 
-    for (label, extra) in [("honest target", 0u64), ("target stalls replies +40 ms", 40)] {
+    for (label, extra) in [
+        ("honest target", 0u64),
+        ("target stalls replies +40 ms", 40),
+    ] {
         let obs = observe(BRISBANE, extra);
         let tbg = tbg_locate(&obs, overhead, INTERNET_SPEED).expect("landmarks");
         let oct = octant_locate(&obs, overhead, FIBRE_SPEED).expect("landmarks");
@@ -59,7 +62,11 @@ fn main() {
     let report = d.run_audit(10);
     println!(
         "  audit verdict: {} (max Δt' {:.1} ms > 16 ms budget)",
-        if report.accepted() { "ACCEPT" } else { "REJECT" },
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         report.max_rtt.as_millis_f64()
     );
     println!("\nthe asymmetry is the point (paper §III-B): geolocation schemes assume a");

@@ -20,8 +20,7 @@ fn main() {
         document.len(),
         tagged.segments.len(),
         tagged.segments.iter().map(Vec::len).sum::<usize>(),
-        (tagged.segments.iter().map(Vec::len).sum::<usize>() as f64 / document.len() as f64
-            - 1.0)
+        (tagged.segments.iter().map(Vec::len).sum::<usize>() as f64 / document.len() as f64 - 1.0)
             * 100.0
     );
 
@@ -34,7 +33,11 @@ fn main() {
     let report = deployment.run_audit(15);
     println!(
         "\naudit: {} (max Δt' = {:.2} ms, {} segments verified)",
-        if report.accepted() { "ACCEPT" } else { "REJECT" },
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         report.max_rtt.as_millis_f64(),
         report.segments_ok
     );
@@ -53,7 +56,11 @@ fn main() {
     let report = cheating.run_audit(15);
     println!(
         "\nafter relocating the data 720 km away: {} (max Δt' = {:.2} ms)",
-        if report.accepted() { "ACCEPT" } else { "REJECT" },
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         report.max_rtt.as_millis_f64()
     );
     for v in report.violations.iter().take(3) {

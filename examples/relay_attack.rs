@@ -11,10 +11,15 @@ use geoproof::prelude::*;
 
 fn main() {
     println!("relay attack sweep: remote site uses the fastest Table I disk (IBM 36Z15)\n");
-    println!("{:>14} | {:>12} | {:>10} | verdict", "distance (km)", "max Δt' (ms)", "budget(ms)");
+    println!(
+        "{:>14} | {:>12} | {:>10} | verdict",
+        "distance (km)", "max Δt' (ms)", "budget(ms)"
+    );
     println!("{}", "-".repeat(58));
 
-    for km in [30.0, 60.0, 120.0, 240.0, 360.0, 480.0, 720.0, 1440.0, 3600.0] {
+    for km in [
+        30.0, 60.0, 120.0, 240.0, 360.0, 480.0, 720.0, 1440.0, 3600.0,
+    ] {
         let mut d = DeploymentBuilder::new(BRISBANE)
             .behaviour(ProviderBehaviour::Relay {
                 remote_disk: IBM_36Z15,
@@ -28,7 +33,11 @@ fn main() {
             "{km:>14.0} | {:>12.2} | {:>10.2} | {}",
             report.max_rtt.as_millis_f64(),
             TimingPolicy::paper().max_rtt().as_millis_f64(),
-            if report.accepted() { "ACCEPT  ← hidden!" } else { "REJECT" }
+            if report.accepted() {
+                "ACCEPT  ← hidden!"
+            } else {
+                "REJECT"
+            }
         );
     }
 
@@ -54,6 +63,10 @@ fn main() {
     println!(
         "  max Δt' = {:.2} ms → {} (no fast-disk differential to hide in)",
         report.max_rtt.as_millis_f64(),
-        if report.accepted() { "ACCEPT" } else { "REJECT" }
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
     );
 }

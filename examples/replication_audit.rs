@@ -36,7 +36,10 @@ fn main() {
 
     println!("SLA: three replicas — Brisbane, Sydney, Melbourne; k = 12 challenges per site\n");
 
-    for (label, genuine) in [("provider replicates honestly", true), ("provider fakes the Sydney replica", false)] {
+    for (label, genuine) in [
+        ("provider replicates honestly", true),
+        ("provider fakes the Sydney replica", false),
+    ] {
         let mut audit = ReplicationAudit::new(
             &sla_sites(genuine),
             PorParams::test_small(),
@@ -49,7 +52,11 @@ fn main() {
             println!(
                 "  {:8} → {} (max Δt' {:.1} ms)",
                 site.site,
-                if site.report.accepted() { "ACCEPT" } else { "REJECT" },
+                if site.report.accepted() {
+                    "ACCEPT"
+                } else {
+                    "REJECT"
+                },
                 site.report.max_rtt.as_millis_f64()
             );
         }

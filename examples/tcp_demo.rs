@@ -46,7 +46,10 @@ fn main() -> std::io::Result<()> {
     let relay = ProverServer::spawn(make_store(), Duration::from_millis(25))?;
 
     let budget = Duration::from_millis(16); // the paper's Δt_max
-    for (label, addr) in [("local prover", local.addr()), ("relay prover", relay.addr())] {
+    for (label, addr) in [
+        ("local prover", local.addr()),
+        ("relay prover", relay.addr()),
+    ] {
         let mut challenger = TcpChallenger::connect(addr)?;
         let mut max_rtt = Duration::ZERO;
         let mut verified = 0;

@@ -1,0 +1,120 @@
+//! The [`Arbitrary`] trait and [`any`], covering the primitives and
+//! byte arrays this workspace generates.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy yielding unconstrained values of `A` (see [`any`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<A> {
+    _marker: PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `A`: `any::<u64>()`, `any::<[u8; 32]>()`, …
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias towards ASCII (as the real crate does), with occasional
+        // wider code points.
+        if rng.below(4) > 0 {
+            (0x20 + rng.below(0x5f) as u32) as u8 as char
+        } else {
+            char::from_u32(rng.below(0xd800) as u32).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exponent = rng.below(61) as i32 - 30;
+        mantissa * 10f64.powi(exponent)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary(_rng: &mut TestRng) -> () {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::from_seed_str("arbitrary-tests");
+        let a: u64 = any().generate(&mut rng);
+        let b: u64 = any().generate(&mut rng);
+        assert_ne!(a, b);
+
+        let bytes: [u8; 32] = any().generate(&mut rng);
+        assert!(bytes.iter().any(|&x| x != 0));
+
+        let f: f64 = any().generate(&mut rng);
+        assert!(f.is_finite());
+    }
+}

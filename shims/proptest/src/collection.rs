@@ -1,0 +1,145 @@
+//! Collection strategies: `vec` and `btree_set` with flexible size
+//! specifications (`usize`, `Range`, `RangeInclusive`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    /// Draws a length uniformly from the range.
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.min >= self.max {
+            return self.min;
+        }
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+///
+/// Duplicates are retried a bounded number of times, so a narrow element
+/// domain may yield a set smaller than the drawn target (matching the
+/// real crate's behaviour under rejection pressure).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(10) + 16 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_specs() {
+        let mut rng = TestRng::from_seed_str("collection-tests");
+        for _ in 0..200 {
+            assert_eq!(vec(any::<u8>(), 16usize).generate(&mut rng).len(), 16);
+            let v = vec(any::<u8>(), 1..8).generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            let w = vec(0u64..100, 0..=3).generate(&mut rng);
+            assert!(w.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_bounds_and_uniqueness() {
+        let mut rng = TestRng::from_seed_str("collection-tests-2");
+        for _ in 0..200 {
+            let s = btree_set(0usize..255, 0..=16).generate(&mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.iter().all(|&x| x < 255));
+        }
+        // Narrow domain: cannot exceed the domain size.
+        let s = btree_set(0usize..3, 0..=10).generate(&mut rng);
+        assert!(s.len() <= 3);
+    }
+}

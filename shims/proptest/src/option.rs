@@ -1,0 +1,42 @@
+//! `Option` strategies: [`of`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` about a quarter of the time and
+/// `Some(inner)` otherwise (the real crate's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let mut rng = TestRng::from_seed_str("option-tests");
+        let s = of(any::<u8>());
+        let values: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

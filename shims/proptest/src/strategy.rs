@@ -1,0 +1,299 @@
+//! The [`Strategy`] trait and its built-in implementations: integer and
+//! float ranges, tuples, fixed arrays (uniform choice), `Just`, and the
+//! `prop_map`/`prop_filter` adaptors.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike the real crate there is no value tree or shrinking: a strategy
+/// is just a deterministic-RNG → value function.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (regenerating, up to a
+    /// retry cap).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// Strategies can be taken by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Adaptor returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Adaptor returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 10000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Type-erased strategy handle.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+// --- Integer and float ranges -------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {:?}", self
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {:?}", self);
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: any value is in bounds.
+                    return rng.next_u64() as $ty;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(
+                    self.start < self.end,
+                    "empty range strategy {:?}", self
+                );
+                // The product can round up to exactly `end` (e.g. an f32
+                // cast of a unit value within 2^-25 of 1.0); resample so
+                // the excluded bound is never returned.
+                for _ in 0..8 {
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $ty;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+                self.start
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy {:?}", self);
+                lo + (hi - lo) * rng.unit_f64() as $ty
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- Tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// --- Fixed arrays: uniform choice among listed values --------------------
+
+/// `x in [a, b, c]` picks one of the listed values uniformly (the shape
+/// `proptest::sample::select` covers in the real crate).
+impl<T: Clone + std::fmt::Debug, const N: usize> Strategy for [T; N] {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(N > 0, "cannot select from an empty array");
+        self[rng.below(N as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed_str("strategy-tests")
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let v = (-80.0f64..80.0).generate(&mut rng);
+            assert!((-80.0..80.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_excludes_end_even_under_rounding() {
+        // The hazard the resample guard defends against: an f64 unit
+        // value within 2^-25 of 1.0 rounds to exactly 1.0 when cast to
+        // f32, which would make `start + (end - start) * unit` return
+        // the excluded `end`.
+        let near_one = 1.0f64 - 2f64.powi(-54);
+        assert_eq!(near_one as f32, 1.0f32, "premise: the cast rounds up");
+        let mut rng = rng();
+        for _ in 0..1_000_000u32 {
+            let v = (0.0f32..1.0).generate(&mut rng);
+            assert!(v < 1.0, "exclusive range produced its end bound");
+        }
+    }
+
+    #[test]
+    fn map_filter_tuple_array_compose() {
+        let mut rng = rng();
+        let s = (0u8..10, 0u8..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) < 19);
+        }
+        let odd = (0u32..100).prop_filter("odd", |v| v % 2 == 1);
+        assert_eq!(odd.generate(&mut rng) % 2, 1);
+        let pick = [3u8, 5, 7].generate(&mut rng);
+        assert!([3u8, 5, 7].contains(&pick));
+        assert_eq!(Just(9).generate(&mut rng), 9);
+    }
+}

@@ -1,0 +1,169 @@
+//! String-pattern strategies: `&str` as a strategy generating matching
+//! `String`s, for the tiny regex subset `lit`, `[class]`, `{m}`,
+//! `{m,n}`, `?`, `*`, `+`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Unbounded repetitions (`*`, `+`) are capped here.
+const MAX_UNBOUNDED_REPEAT: u32 = 16;
+
+/// A string literal used as a strategy generates strings matching it as
+/// a (simple) regex: `"[a-z0-9-]{1,30}"`, `"ab?c*"` …
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms =
+            parse(self).unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for (chars, min, max) in &atoms {
+            let n = if min == max {
+                *min
+            } else {
+                min + rng.below(u64::from(max - min + 1)) as u32
+            };
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, u32, u32);
+
+fn parse(pattern: &str) -> Result<Vec<Atom>, String> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated character class".into()),
+                        Some(']') => break,
+                        Some('-') => match (prev, chars.peek()) {
+                            // A range like `a-z` (but trailing `-` is a literal).
+                            (Some(lo), Some(&hi)) if hi != ']' => {
+                                chars.next();
+                                if lo > hi {
+                                    return Err(format!("bad range {lo}-{hi}"));
+                                }
+                                class.extend(lo..=hi);
+                                prev = None;
+                            }
+                            _ => {
+                                class.push('-');
+                                prev = Some('-');
+                            }
+                        },
+                        Some('\\') => {
+                            let esc = chars.next().ok_or("dangling escape")?;
+                            class.push(esc);
+                            prev = Some(esc);
+                        }
+                        Some(other) => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if class.is_empty() {
+                    return Err("empty character class".into());
+                }
+                class
+            }
+            '\\' => vec![chars.next().ok_or("dangling escape")?],
+            '{' | '}' | '?' | '*' | '+' => {
+                return Err(format!("repetition `{c}` with nothing to repeat"))
+            }
+            other => vec![other],
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, MAX_UNBOUNDED_REPEAT)
+            }
+            Some('+') => {
+                chars.next();
+                (1, MAX_UNBOUNDED_REPEAT)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated repetition".into()),
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                    }
+                }
+                match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad count {spec:?}"))?;
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad count {spec:?}"))?;
+                        let hi: u32 = if hi.trim().is_empty() {
+                            lo + MAX_UNBOUNDED_REPEAT
+                        } else {
+                            hi.trim()
+                                .parse()
+                                .map_err(|_| format!("bad count {spec:?}"))?
+                        };
+                        if lo > hi {
+                            return Err(format!("bad repetition {spec:?}"));
+                        }
+                        (lo, hi)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push((alphabet, min, max));
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_seed_str("string-tests");
+        for _ in 0..200 {
+            let s = "[a-z0-9-]{1,30}".generate(&mut rng);
+            assert!((1..=30).contains(&s.len()), "bad length: {s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "bad char in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_suffixes() {
+        let mut rng = TestRng::from_seed_str("string-tests-2");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        for _ in 0..50 {
+            let s = "ab?".generate(&mut rng);
+            assert!(s == "a" || s == "ab");
+        }
+    }
+}

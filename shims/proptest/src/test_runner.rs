@@ -1,0 +1,219 @@
+//! Deterministic test-case runner: configuration, RNG, and the
+//! pass/fail/reject protocol used by the `proptest!` macro.
+
+/// Runner configuration (the `ProptestConfig` of the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` discards across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A default config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case hit a failed `prop_assume!`; generate a fresh one.
+    Reject(String),
+    /// The case hit a failed `prop_assert*!`; the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (discard) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Deterministic pseudo-random source handed to strategies.
+///
+/// SplitMix64 — statistically solid for test-data generation, two lines
+/// long, and dependency-free.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary byte string (e.g. the test name).
+    pub fn from_seed_str(seed: &str) -> Self {
+        // FNV-1a folds the name into the initial state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in seed.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniform bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` via 128-bit multiply (no modulo bias
+    /// worth caring about for test generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range handed to the RNG");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fills `dst` with uniform bytes.
+    pub fn fill_bytes(&mut self, dst: &mut [u8]) {
+        for chunk in dst.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Drives a property through `config.cases` generated inputs.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    name: String,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner for the named test; the name seeds the RNG so reruns
+    /// are reproducible.
+    pub fn new(config: Config, name: &str) -> Self {
+        Self {
+            rng: TestRng::from_seed_str(name),
+            config,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Runs `case` until `config.cases` inputs pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the `#[test]`) on the first `Fail` result, or if
+    /// rejections exceed `config.max_global_rejects`.
+    pub fn run(&mut self, case: &mut dyn FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "property `{}`: too many prop_assume! rejections \
+                             ({rejected}) before reaching {} passing cases",
+                            self.name, self.config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{}` failed at case {} (after {rejected} rejects):\n{msg}\n\
+                         (deterministic shim: rerunning reproduces this case)",
+                        self.name,
+                        passed + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed_str("x");
+        let mut b = TestRng::from_seed_str("x");
+        let mut c = TestRng::from_seed_str("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut rng = TestRng::from_seed_str("bounds");
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_counts_only_passing_cases() {
+        let mut runner = TestRunner::new(Config::with_cases(10), "counts");
+        let mut calls = 0u32;
+        runner.run(&mut |rng| {
+            calls += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_panics_on_failure() {
+        let mut runner = TestRunner::new(Config::with_cases(5), "fails");
+        runner.run(&mut |_| Err(TestCaseError::fail("boom")));
+    }
+}

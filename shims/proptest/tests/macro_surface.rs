@@ -1,0 +1,59 @@
+//! End-to-end exercise of the `proptest!` macro surface the workspace
+//! relies on: config override, multiple args, collections, assume,
+//! string patterns, tuples + `prop_map`, and fixed-array choice.
+
+use proptest::prelude::*;
+
+fn pair() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..10, 10u8..20).prop_map(|(a, b)| (a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ranges_and_any(a in any::<u64>(), b in 1u64..1000, c in 0.0f64..50.0) {
+        prop_assert!(b >= 1 && b < 1000);
+        prop_assert!((0.0..50.0).contains(&c));
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn collections(
+        v in prop::collection::vec(any::<u8>(), 1..64),
+        s in prop::collection::btree_set(0usize..255, 0..=16),
+        o in prop::option::of(prop::collection::vec(any::<u8>(), 0..8)),
+    ) {
+        prop_assert!(!v.is_empty() && v.len() < 64);
+        prop_assert!(s.len() <= 16);
+        if let Some(inner) = o {
+            prop_assert!(inner.len() < 8);
+        }
+    }
+
+    #[test]
+    fn assume_and_patterns(n in any::<u64>(), fid in "[a-z0-9-]{1,30}") {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+        prop_assert!(!fid.is_empty() && fid.len() <= 30);
+    }
+
+    #[test]
+    fn tuples_arrays_and_helpers(
+        (lo, hi) in pair(),
+        pick in [1u8, 3, 5],
+        fixed in any::<[u8; 32]>(),
+    ) {
+        prop_assert!(lo < hi);
+        prop_assert_ne!(pick, 0);
+        prop_assert_eq!(fixed.len(), 32);
+    }
+}
+
+proptest! {
+    // Default config (no inner attribute) must also parse.
+    #[test]
+    fn default_config(x in 0u32..10) {
+        prop_assert!(x < 10);
+    }
+}

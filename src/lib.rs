@@ -53,17 +53,17 @@ pub use geoproof_wire as wire;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use geoproof_core::auditor::{AuditReport, Auditor, Violation};
+    pub use geoproof_core::campaign::{run_campaign, CampaignResult, MisbehaviourOnset};
+    pub use geoproof_core::cost::{audit_cost, naive_download_bytes, AuditCost};
     pub use geoproof_core::deployment::{
         DataOwner, Deployment, DeploymentBuilder, ProviderBehaviour,
     };
     pub use geoproof_core::messages::{AuditRequest, SignedTranscript, TimedRound};
+    pub use geoproof_core::multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
     pub use geoproof_core::policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
     pub use geoproof_core::provider::{
         DelayedProvider, LocalProvider, RelayProvider, SegmentProvider,
     };
-    pub use geoproof_core::campaign::{run_campaign, CampaignResult, MisbehaviourOnset};
-    pub use geoproof_core::cost::{audit_cost, naive_download_bytes, AuditCost};
-    pub use geoproof_core::multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
     pub use geoproof_core::verifier::VerifierDevice;
     pub use geoproof_crypto::chacha::ChaChaRng;
     pub use geoproof_geo::coords::places::*;

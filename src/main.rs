@@ -113,11 +113,13 @@ fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
         }
     }
     let get = |k: &str| -> Result<&str, String> {
-        fields.get(k).copied().ok_or(format!("metadata missing {k}"))
+        fields
+            .get(k)
+            .copied()
+            .ok_or(format!("metadata missing {k}"))
     };
-    let parse_u64 = |k: &str| -> Result<u64, String> {
-        get(k)?.parse().map_err(|e| format!("bad {k}: {e}"))
-    };
+    let parse_u64 =
+        |k: &str| -> Result<u64, String> { get(k)?.parse().map_err(|e| format!("bad {k}: {e}")) };
     let md = FileMetadata {
         file_id: get("file_id")?.to_owned(),
         original_len: parse_u64("original_len")?,
@@ -202,7 +204,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map_err(|e| format!("bind: {e}"))?;
     println!(
         "serving {} ({} segments) on {} (service delay {delay_ms} ms); Ctrl-C to stop",
-        md.file_id, md.segments, server.addr()
+        md.file_id,
+        md.segments,
+        server.addr()
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -259,7 +263,14 @@ fn cmd_audit(args: &[String]) -> CliResult {
     for v in &report.violations {
         println!("violation: {v}");
     }
-    println!("verdict: {}", if report.accepted() { "ACCEPT" } else { "REJECT" });
+    println!(
+        "verdict: {}",
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
+    );
     if report.accepted() {
         Ok(())
     } else {

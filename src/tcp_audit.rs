@@ -71,12 +71,8 @@ impl WallClockVerifier {
         }
         let _ = challenger.bye();
         let position = self.gps.read_fix().position;
-        let bytes = SignedTranscript::signing_bytes(
-            &request.file_id,
-            &request.nonce,
-            &position,
-            &rounds,
-        );
+        let bytes =
+            SignedTranscript::signing_bytes(&request.file_id, &request.nonce, &position, &rounds);
         let signature = self.signing.sign(&bytes, &mut self.rng);
         Ok(SignedTranscript {
             file_id: request.file_id.clone(),

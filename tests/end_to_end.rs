@@ -55,7 +55,10 @@ fn relay_detection_is_monotone_in_distance() {
         rates.push(d.detection_rate(10, 10));
     }
     for w in rates.windows(2) {
-        assert!(w[1] >= w[0], "detection must not drop with distance: {rates:?}");
+        assert!(
+            w[1] >= w[0],
+            "detection must not drop with distance: {rates:?}"
+        );
     }
     assert_eq!(rates[0], 0.0, "60 km relay hides in the differential");
     assert_eq!(*rates.last().unwrap(), 1.0, "720 km relay always caught");

@@ -36,7 +36,13 @@ fn dynamic_file_lifecycle_with_audits_between_updates() {
             .expect("in range");
         // The updated segment verifies under the intermediate digest…
         let resp = store.challenge(victim).expect("in range");
-        assert!(verify_challenge(&after_update, "ledger", victim, &resp, &keys));
+        assert!(verify_challenge(
+            &after_update,
+            "ledger",
+            victim,
+            &resp,
+            &keys
+        ));
         // …and the append supersedes it.
         digest = store.append(format!("appended-{epoch}").as_bytes(), &keys);
     }
@@ -69,7 +75,8 @@ fn replication_audit_names_exactly_the_cheating_sites() {
             relay_distance: Km(650.0),
         },
     ];
-    let mut audit = ReplicationAudit::new(&sites, PorParams::test_small(), TimingPolicy::paper(), 3);
+    let mut audit =
+        ReplicationAudit::new(&sites, PorParams::test_small(), TimingPolicy::paper(), 3);
     let report = audit.audit_all(12);
     let mut failed = report.failed_sites();
     failed.sort_unstable();
@@ -163,7 +170,6 @@ fn audit_cost_matches_deployed_transcript_size() {
     );
     // And the flatness claim holds against the download baseline.
     assert!(
-        naive_download_bytes(&PorParams::test_small(), 1 << 30)
-            > predicted.total_bytes() * 1000
+        naive_download_bytes(&PorParams::test_small(), 1 << 30) > predicted.total_bytes() * 1000
     );
 }

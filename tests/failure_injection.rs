@@ -198,8 +198,13 @@ fn tcp_missing_file_yields_none_not_error() {
 #[test]
 fn codec_rejects_every_truncation_of_every_variant() {
     let messages = vec![
-        WireMessage::Challenge { file_id: "abc".into(), index: 123 },
-        WireMessage::Response { segment: Some(vec![7; 30]) },
+        WireMessage::Challenge {
+            file_id: "abc".into(),
+            index: 123,
+        },
+        WireMessage::Response {
+            segment: Some(vec![7; 30]),
+        },
         WireMessage::StartAudit {
             file_id: "f".into(),
             n_segments: 10,

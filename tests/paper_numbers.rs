@@ -163,7 +163,9 @@ fn table_ii_lan_under_1ms() {
 fn ethernet_worst_case_propagation() {
     // "the propagation time delay for the Ethernet is about 0.0256 ms":
     // ≈ 5 km of copper at 0.64 c.
-    let t = geoproof::net::lan::Medium::Copper.speed().travel_time(Km(4.9));
+    let t = geoproof::net::lan::Medium::Copper
+        .speed()
+        .travel_time(Km(4.9));
     assert!((t.as_millis_f64() - 0.0255).abs() < 0.001, "got {t}");
 }
 
