@@ -1,0 +1,136 @@
+//! Concurrent audit engine benchmarks: audits/sec at 1, 16 and 128
+//! concurrent sessions on the work-stealing pool, plus the batched vs
+//! sequential verification passes in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geoproof_core::engine::{AuditEngine, EngineConfig, ProverId, ProverSpec};
+use geoproof_core::provider::{LocalProvider, SegmentProvider};
+use geoproof_core::verifier::VerifierDevice;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_geo::gps::GpsReceiver;
+use geoproof_net::lan::LanPath;
+use geoproof_por::encode::{PorEncoder, TaggedFile};
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::PorParams;
+use geoproof_sim::clock::SimClock;
+use geoproof_storage::hdd::{HddModel, WD_2500JD};
+use geoproof_storage::server::{FileId, StorageServer};
+use std::hint::black_box;
+
+const K: u32 = 8;
+
+struct Rig {
+    tagged: TaggedFile,
+    keys: PorKeys,
+    device_keys: Vec<SigningKey>,
+}
+
+impl Rig {
+    /// One-time expensive setup: encode the file, generate device keys.
+    fn new(max_provers: usize) -> Self {
+        let encoder = PorEncoder::new(PorParams::test_small());
+        let keys = PorKeys::derive(b"bench-master", "bf");
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        let tagged = encoder.encode(&data, &keys, "bf");
+        let mut rng = ChaChaRng::from_u64_seed(1);
+        let device_keys = (0..max_provers)
+            .map(|_| SigningKey::generate(&mut rng))
+            .collect();
+        Rig {
+            tagged,
+            keys,
+            device_keys,
+        }
+    }
+
+    /// Cheap per-iteration construction of an engine plus an n-prover
+    /// fleet (honest local providers on the paper's reference disk).
+    #[allow(clippy::type_complexity)]
+    fn fleet(
+        &self,
+        n: usize,
+        workers: usize,
+    ) -> (
+        AuditEngine,
+        Vec<(ProverId, VerifierDevice, Box<dyn SegmentProvider + Send>)>,
+    ) {
+        let engine = AuditEngine::new(
+            "bf",
+            self.tagged.metadata.segments,
+            PorEncoder::new(PorParams::test_small()),
+            self.keys.auditor_view(),
+            EngineConfig {
+                k: K,
+                workers,
+                ..EngineConfig::default()
+            },
+        );
+        let fleet = (0..n)
+            .map(|i| {
+                let id = ProverId(format!("prover-{i:04}"));
+                let sk = self.device_keys[i].clone();
+                engine.register_prover(
+                    id.clone(),
+                    ProverSpec {
+                        device_key: sk.verifying_key(),
+                        sla_location: BRISBANE,
+                    },
+                );
+                let device =
+                    VerifierDevice::new(sk, GpsReceiver::new(BRISBANE), SimClock::new(), i as u64);
+                let mut storage = StorageServer::new(HddModel::deterministic(WD_2500JD), i as u64);
+                storage.put_file(FileId::from("bf"), self.tagged.segments.clone());
+                let provider: Box<dyn SegmentProvider + Send> = Box::new(LocalProvider::new(
+                    storage,
+                    LanPath::adjacent(),
+                    i as u64 + 9,
+                ));
+                (id, device, provider)
+            })
+            .collect();
+        (engine, fleet)
+    }
+}
+
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let rig = Rig::new(128);
+    let mut g = c.benchmark_group("audit_engine");
+    g.sample_size(10);
+    for n in [1usize, 16, 128] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sessions", n), &n, |b, &n| {
+            b.iter(|| {
+                let (engine, fleet) = rig.fleet(n, 4);
+                let (reports, _) = engine.run_sessions(fleet);
+                assert_eq!(reports.len(), n);
+                black_box(reports)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verification_passes(c: &mut Criterion) {
+    let rig = Rig::new(128);
+    let (engine, fleet) = rig.fleet(128, 4);
+    engine.run_sessions(fleet); // park 128 collected sessions
+    let mut g = c.benchmark_group("verify_128_sessions");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(engine.verify_collected_sequential()));
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| black_box(engine.verify_collected_batched()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_concurrent_sessions,
+    bench_verification_passes
+);
+criterion_main!(benches);

@@ -176,6 +176,55 @@ impl Auditor {
     /// Runs the §V-B(b) verification of a transcript against the request
     /// that triggered it.
     pub fn verify(&self, request: &AuditRequest, transcript: &SignedTranscript) -> AuditReport {
+        let checks = VerifyChecks {
+            file_id: &self.file_id,
+            n_segments: self.n_segments,
+            device_key: &self.device_key,
+            sla_location: self.sla_location,
+            location_tolerance: self.location_tolerance,
+            policy: &self.policy,
+        };
+        checks.verify_transcript(request, transcript, |_, round| {
+            self.encoder.verify_segment(
+                self.auditor_key.mac_key(),
+                &self.file_id,
+                round.index,
+                &round.segment,
+            )
+        })
+    }
+}
+
+/// The transcript checks every audit path applies — signature, nonce,
+/// GPS, round sanity, timing — with the per-segment MAC check pluggable
+/// so the sequential path ([`Auditor::verify`]) and the engine's batched
+/// path run *exactly the same* verification logic and differ only in how
+/// MACs are evaluated.
+#[derive(Clone, Debug)]
+pub struct VerifyChecks<'a> {
+    /// File under audit.
+    pub file_id: &'a str,
+    /// Total segments ñ.
+    pub n_segments: u64,
+    /// The verifier device's registered public key.
+    pub device_key: &'a VerifyingKey,
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted GPS offset from the SLA location.
+    pub location_tolerance: Km,
+    /// The Δt_max policy.
+    pub policy: &'a TimingPolicy,
+}
+
+impl VerifyChecks<'_> {
+    /// Runs the full §V-B(b) check sequence; `segment_ok(round_index,
+    /// round)` judges each returned segment's MAC.
+    pub fn verify_transcript(
+        &self,
+        request: &AuditRequest,
+        transcript: &SignedTranscript,
+        mut segment_ok: impl FnMut(usize, &crate::messages::TimedRound) -> bool,
+    ) -> AuditReport {
         let mut violations = Vec::new();
 
         // 1. Signature over the canonical transcript bytes.
@@ -217,13 +266,7 @@ impl Auditor {
         // 3. MAC verification of every returned segment.
         let mut segments_ok = 0;
         for (i, round) in transcript.rounds.iter().enumerate() {
-            let ok = self.encoder.verify_segment(
-                self.auditor_key.mac_key(),
-                &self.file_id,
-                round.index,
-                &round.segment,
-            );
-            if ok {
+            if segment_ok(i, round) {
                 segments_ok += 1;
             } else {
                 violations.push(Violation::BadSegment {

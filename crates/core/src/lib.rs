@@ -19,6 +19,12 @@
 //!   GPS position, MACs and `max Δt_j ≤ Δt_max`
 //!   ([`policy::TimingPolicy`], ≈ 16 ms in the paper).
 //!
+//! Beyond the paper's single-prover protocol, [`engine`] runs many audit
+//! sessions concurrently (sharded session table, work-stealing [`pool`],
+//! batched verification), and [`fleet`] simulates whole mixed
+//! honest/adversarial prover fleets deterministically on a seeded event
+//! scheduler.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,21 +54,29 @@ pub mod cache_attack;
 pub mod campaign;
 pub mod cost;
 pub mod deployment;
+pub mod engine;
+pub mod fleet;
 pub mod landmark_audit;
 pub mod messages;
 pub mod multisite;
 pub mod policy;
+pub mod pool;
 pub mod provider;
 pub mod verifier;
 
-pub use auditor::{AuditReport, Auditor, Violation};
+pub use auditor::{AuditReport, Auditor, VerifyChecks, Violation};
 pub use cache_attack::CachingRelayProvider;
 pub use campaign::{run_campaign, CampaignResult, MisbehaviourOnset};
 pub use cost::{audit_cost, naive_download_bytes, AuditCost};
 pub use deployment::{DataOwner, Deployment, DeploymentBuilder, ProviderBehaviour};
+pub use engine::{
+    AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
+};
+pub use fleet::{run_fleet, AdversaryProfile, FleetConfig, FleetOutcome};
 pub use landmark_audit::{harden_report, landmark_position_check, LandmarkPing};
 pub use messages::{AuditRequest, SignedTranscript, TimedRound};
 pub use multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
 pub use policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
+pub use pool::{run_jobs, PoolStats};
 pub use provider::{DelayedProvider, LocalProvider, RelayProvider, SegmentProvider};
 pub use verifier::VerifierDevice;

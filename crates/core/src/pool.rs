@@ -1,0 +1,218 @@
+//! A small work-stealing thread pool for driving audit sessions.
+//!
+//! The audit engine's unit of work is one whole session (k sequential
+//! challenge rounds — the protocol's timing only means something if the
+//! rounds of a session stay ordered), so the pool schedules *sessions*
+//! across workers. Each worker owns a deque seeded round-robin; when its
+//! own deque runs dry it steals from the back of a sibling's, so a worker
+//! stuck behind slow provers sheds its backlog to idle ones.
+//!
+//! Dependency-free by necessity (no crossbeam in the build environment):
+//! per-worker `parking_lot` mutex deques, which at session granularity
+//! (milliseconds per job) cost nothing measurable.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One unit of work.
+pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// What a pool run did — exposed so tests (and benches) can observe that
+/// stealing actually happens under skew.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Jobs a worker took from a sibling's deque.
+    pub steals: u64,
+}
+
+/// Runs `jobs` to completion on `workers` threads with work stealing.
+///
+/// Jobs may borrow from the caller's stack (the pool is scoped); the call
+/// returns when every job has finished. Zero workers is clamped to one.
+pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
+    let workers = workers.clamp(1, 256);
+    let total = jobs.len();
+    let queues: Vec<Mutex<VecDeque<Job<'env>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queues[i % workers].lock().push_back(job);
+    }
+    let remaining = AtomicUsize::new(total);
+    let steals = AtomicU64::new(0);
+
+    // Counts a job as done even if it panics: without this, a panicking
+    // job would leave `remaining` nonzero forever, the surviving workers
+    // would spin, and `thread::scope` would never join (deadlock instead
+    // of a propagated panic).
+    struct DoneGuard<'a>(&'a AtomicUsize);
+    impl Drop for DoneGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let remaining = &remaining;
+            let steals = &steals;
+            scope.spawn(move || {
+                let mut idle_rounds: u32 = 0;
+                loop {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    // Own deque first (front: FIFO for cache-friendly order)…
+                    let job = queues[me].lock().pop_front().or_else(|| {
+                        // …then steal from a sibling's back.
+                        for delta in 1..queues.len() {
+                            let victim = (me + delta) % queues.len();
+                            if let Some(stolen) = queues[victim].lock().pop_back() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                return Some(stolen);
+                            }
+                        }
+                        None
+                    });
+                    match job {
+                        Some(job) => {
+                            idle_rounds = 0;
+                            let guard = DoneGuard(remaining);
+                            job();
+                            drop(guard);
+                        }
+                        None => {
+                            // Nothing runnable: yield briefly, then back
+                            // off to sleeping so idle workers don't burn a
+                            // core while the tail jobs finish elsewhere.
+                            idle_rounds = idle_rounds.saturating_add(1);
+                            if idle_rounds < 16 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(
+                                    100u64 << (idle_rounds - 16).min(4),
+                                ));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    PoolStats {
+        workers,
+        jobs: total as u64,
+        steals: steals.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let jobs: Vec<Job> = (0..100)
+            .map(|i| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        let stats = run_jobs(4, jobs);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.jobs, 100);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let ran = AtomicU32::new(0);
+        let jobs: Vec<Job> = (0..5)
+            .map(|_| {
+                let ran = &ran;
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        let stats = run_jobs(0, jobs);
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn skewed_load_gets_stolen() {
+        // Round-robin seeding puts all the slow jobs on worker 0 (indices
+        // ≡ 0 mod 2 with 2 workers); worker 1 finishes its fast jobs and
+        // must steal to keep the wall clock short.
+        let jobs: Vec<Job> = (0..32)
+            .map(|i| {
+                Box::new(move || {
+                    if i % 2 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                }) as Job
+            })
+            .collect();
+        let stats = run_jobs(2, jobs);
+        assert!(stats.steals > 0, "expected stealing under skew");
+    }
+
+    #[test]
+    fn panicking_job_propagates_instead_of_deadlocking() {
+        // Regression: a panicking job used to leave `remaining` stuck
+        // above zero, spinning the other workers forever inside
+        // thread::scope. Now the panic propagates and every other job
+        // still runs.
+        let ran = AtomicU32::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let jobs: Vec<Job> = (0..8)
+                .map(|i| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }) as Job
+                })
+                .collect();
+            run_jobs(2, jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(ran.load(Ordering::Relaxed), 7, "other jobs still ran");
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let stats = run_jobs(8, Vec::new());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_state() {
+        let results = Mutex::new(Vec::new());
+        let inputs = vec![1u32, 2, 3, 4, 5];
+        let jobs: Vec<Job> = inputs
+            .iter()
+            .map(|&x| {
+                let results = &results;
+                Box::new(move || results.lock().push(x * x)) as Job
+            })
+            .collect();
+        run_jobs(3, jobs);
+        let mut got = results.into_inner();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 4, 9, 16, 25]);
+    }
+}

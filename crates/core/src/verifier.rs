@@ -12,6 +12,7 @@ use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::schnorr::{SigningKey, VerifyingKey};
 use geoproof_geo::gps::GpsReceiver;
 use geoproof_sim::clock::SimClock;
+use geoproof_sim::time::SimDuration;
 use geoproof_storage::server::FileId;
 
 /// The verifier device.
@@ -52,12 +53,70 @@ impl VerifierDevice {
         &mut self.gps
     }
 
+    /// The clock this device charges round times to. The fleet simulator
+    /// re-anchors it to the event scheduler's timeline.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Starts the Fig. 5 protocol, returning the per-session state
+    /// machine. The device draws the k distinct challenge indices up
+    /// front; the caller (a blocking loop, a worker thread, or a
+    /// discrete-event simulation) then feeds responses round by round and
+    /// calls [`VerifierDevice::finish_audit`] for the signed transcript.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request asks for more distinct challenges than there
+    /// are segments.
+    pub fn begin_audit(&mut self, request: &AuditRequest) -> AuditRun {
+        let indices = self
+            .rng
+            .sample_distinct(request.n_segments, request.k as usize);
+        let capacity = indices.len();
+        AuditRun {
+            request: request.clone(),
+            indices,
+            rounds: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Signs a completed run into the transcript the TPA verifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds are still outstanding — a device never signs a
+    /// partial transcript.
+    pub fn finish_audit(&mut self, run: AuditRun) -> SignedTranscript {
+        assert!(
+            run.is_complete(),
+            "cannot sign a transcript with {} rounds outstanding",
+            run.remaining()
+        );
+        let position = self.gps.read_fix().position;
+        let bytes = SignedTranscript::signing_bytes(
+            &run.request.file_id,
+            &run.request.nonce,
+            &position,
+            &run.rounds,
+        );
+        let signature = self.signing.sign(&bytes, &mut self.rng);
+        SignedTranscript {
+            file_id: run.request.file_id,
+            nonce: run.request.nonce,
+            position,
+            rounds: run.rounds,
+            signature,
+        }
+    }
+
     /// Runs the Fig. 5 protocol against `provider` and returns the signed
     /// transcript.
     ///
     /// Per round j: pick c_j, start the clock, request segment c_j, stop
     /// the clock on response; afterwards sign
-    /// `(Δt*, c, {S_cj}, N, Pos_v)`.
+    /// `(Δt*, c, {S_cj}, N, Pos_v)`. This is [`VerifierDevice::begin_audit`]
+    /// driven to completion in a blocking loop.
     ///
     /// # Panics
     ///
@@ -69,32 +128,66 @@ impl VerifierDevice {
         provider: &mut dyn SegmentProvider,
     ) -> SignedTranscript {
         let fid = FileId(request.file_id.clone());
-        let indices = self
-            .rng
-            .sample_distinct(request.n_segments, request.k as usize);
-        let mut rounds = Vec::with_capacity(indices.len());
-        for &index in &indices {
+        let mut run = self.begin_audit(request);
+        while let Some(index) = run.next_index() {
             let timer = self.clock.start_timer();
             let (data, service_time) = provider.serve(&fid, index);
             self.clock.advance(service_time);
-            let rtt = timer.elapsed();
-            rounds.push(TimedRound {
-                index,
-                segment: data.unwrap_or_default(),
-                rtt,
-            });
+            run.record_round(data, timer.elapsed());
         }
-        let position = self.gps.read_fix().position;
-        let bytes =
-            SignedTranscript::signing_bytes(&request.file_id, &request.nonce, &position, &rounds);
-        let signature = self.signing.sign(&bytes, &mut self.rng);
-        SignedTranscript {
-            file_id: request.file_id.clone(),
-            nonce: request.nonce,
-            position,
-            rounds,
-            signature,
-        }
+        self.finish_audit(run)
+    }
+}
+
+/// One audit in progress on a verifier device: the challenge/response
+/// state machine the concurrent engine drives.
+///
+/// Rounds must be answered in challenge order (the protocol is strictly
+/// sequential per session — that is what makes the timing meaningful);
+/// concurrency comes from interleaving many `AuditRun`s, not from
+/// reordering rounds within one.
+#[derive(Debug)]
+pub struct AuditRun {
+    request: AuditRequest,
+    indices: Vec<u64>,
+    rounds: Vec<TimedRound>,
+}
+
+impl AuditRun {
+    /// The request that started this run.
+    pub fn request(&self) -> &AuditRequest {
+        &self.request
+    }
+
+    /// The next index to challenge, or `None` when all rounds are done.
+    pub fn next_index(&self) -> Option<u64> {
+        self.indices.get(self.rounds.len()).copied()
+    }
+
+    /// Records the response to the current round with its measured RTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already complete.
+    pub fn record_round(&mut self, segment: Option<Vec<u8>>, rtt: SimDuration) {
+        let index = self
+            .next_index()
+            .expect("record_round called on a completed run");
+        self.rounds.push(TimedRound {
+            index,
+            segment: segment.unwrap_or_default(),
+            rtt,
+        });
+    }
+
+    /// Rounds still outstanding.
+    pub fn remaining(&self) -> usize {
+        self.indices.len() - self.rounds.len()
+    }
+
+    /// True when every challenge has been answered.
+    pub fn is_complete(&self) -> bool {
+        self.rounds.len() == self.indices.len()
     }
 }
 
@@ -180,6 +273,52 @@ mod tests {
         };
         let t = v.run_audit(&req, &mut p);
         assert!(t.rounds.iter().all(|r| r.segment.is_empty()));
+    }
+
+    #[test]
+    fn stepwise_run_equals_blocking_run() {
+        // Driving the state machine by hand must produce byte-identical
+        // transcripts to run_audit under the same device state.
+        let mut v1 = device(7);
+        let mut v2 = device(7);
+        let mut p1 = provider();
+        let mut p2 = provider();
+        let req = request(6);
+        let blocking = v1.run_audit(&req, &mut p1);
+
+        let mut run = v2.begin_audit(&req);
+        let fid = FileId::from("f");
+        while let Some(index) = run.next_index() {
+            let timer = v2.clock().start_timer();
+            let (data, t) = p2.serve(&fid, index);
+            v2.clock().advance(t);
+            run.record_round(data, timer.elapsed());
+        }
+        let stepwise = v2.finish_audit(run);
+        assert_eq!(blocking, stepwise);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds outstanding")]
+    fn partial_transcript_is_never_signed() {
+        let mut v = device(8);
+        let req = request(5);
+        let run = v.begin_audit(&req);
+        let _ = v.finish_audit(run); // zero of five rounds recorded
+    }
+
+    #[test]
+    fn run_tracks_progress() {
+        let mut v = device(9);
+        let mut run = v.begin_audit(&request(3));
+        assert_eq!(run.remaining(), 3);
+        assert!(!run.is_complete());
+        while let Some(_idx) = run.next_index() {
+            run.record_round(Some(vec![1]), SimDuration::from_millis(1));
+        }
+        assert!(run.is_complete());
+        assert_eq!(run.remaining(), 0);
+        assert_eq!(run.next_index(), None);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Property tests for the concurrent engine's session table: no session
+//! is ever lost or duplicated under interleaved insert/complete, whether
+//! the interleaving comes from a generated op sequence or from real
+//! threads hammering the shards.
+
+use geoproof_core::engine::{AuditSession, ProverId, SessionTable};
+use geoproof_core::messages::AuditRequest;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn session(id: &str) -> AuditSession {
+    AuditSession {
+        prover: ProverId::from(id),
+        request: AuditRequest {
+            file_id: "f".into(),
+            n_segments: 16,
+            k: 4,
+            nonce: [0u8; 32],
+        },
+        transcript: None,
+        report: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An arbitrary interleaving of inserts and completes over a small id
+    /// space must leave the table exactly matching a sequential model
+    /// set: inserts succeed iff the id is absent, completes succeed iff
+    /// present, and the live set is conserved.
+    #[test]
+    fn table_matches_model_under_arbitrary_interleavings(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..12), 1..120),
+        shards in 1usize..9,
+    ) {
+        let table = SessionTable::new(shards);
+        let mut model: HashSet<String> = HashSet::new();
+        for (is_insert, id_byte) in ops {
+            let id = format!("prover-{id_byte}");
+            if is_insert {
+                let inserted = table.insert(session(&id));
+                prop_assert_eq!(inserted, model.insert(id.clone()), "insert {}", id);
+            } else {
+                let removed = table.complete(&ProverId::from(id.as_str()));
+                prop_assert_eq!(removed.is_some(), model.remove(&id), "complete {}", id);
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        let live: Vec<String> = table.ids().into_iter().map(|p| p.0).collect();
+        let mut expected: Vec<String> = model.into_iter().collect();
+        expected.sort();
+        prop_assert_eq!(live, expected);
+    }
+
+    /// Sessions parked in the table keep their request contents intact —
+    /// shard routing must never mix sessions up.
+    #[test]
+    fn sessions_keep_their_identity_across_shards(
+        ids in proptest::collection::btree_set("[a-z]{1,8}", 1..20),
+        shards in 1usize..17,
+    ) {
+        let table = SessionTable::new(shards);
+        for id in &ids {
+            let mut s = session(id);
+            s.request.n_segments = id.len() as u64; // marker tied to the id
+            prop_assert!(table.insert(s));
+        }
+        for id in &ids {
+            let n = table
+                .with_mut(&ProverId::from(id.as_str()), |s| s.request.n_segments)
+                .expect("session present");
+            prop_assert_eq!(n, id.len() as u64, "session for {} corrupted", id);
+        }
+        prop_assert_eq!(table.len(), ids.len());
+    }
+}
+
+/// Real threads, one shared table: each thread owns a disjoint id space
+/// and loops insert→complete; a final sweep checks conservation (total
+/// successful inserts − completes == live sessions, and every live
+/// session belongs to exactly one owner).
+#[test]
+fn threads_never_lose_or_duplicate_sessions() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let table = SessionTable::new(8);
+    let inserts = AtomicUsize::new(0);
+    let completes = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let table = &table;
+            let inserts = &inserts;
+            let completes = &completes;
+            scope.spawn(move || {
+                for round in 0..200 {
+                    let id = format!("t{}-{}", t, round % 10);
+                    if table.insert(session(&id)) {
+                        inserts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Complete every other round, so some sessions stay live.
+                    if round % 2 == 0 {
+                        if table.complete(&ProverId::from(id.as_str())).is_some() {
+                            completes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let live = table.len();
+    assert_eq!(
+        inserts.load(Ordering::Relaxed) - completes.load(Ordering::Relaxed),
+        live,
+        "sessions lost or duplicated across shards"
+    );
+    // No id appears twice in the live listing.
+    let ids = table.ids();
+    let set: HashSet<_> = ids.iter().collect();
+    assert_eq!(set.len(), ids.len());
+}
+
+/// Concurrent inserts of the *same* ids from many threads: exactly one
+/// winner per id, everyone else refused.
+#[test]
+fn contended_inserts_have_exactly_one_winner() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let table = SessionTable::new(4);
+    let wins = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let table = &table;
+            let wins = &wins;
+            scope.spawn(move || {
+                for id in 0..50 {
+                    if table.insert(session(&format!("shared-{id}"))) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(wins.load(Ordering::Relaxed), 50);
+    assert_eq!(table.len(), 50);
+}

@@ -1,0 +1,77 @@
+//! FNV-1a — a tiny, deterministic, non-cryptographic hash.
+//!
+//! Used wherever the workspace needs a *stable* hash for routing or
+//! seed-mixing (shard selection in the audit engine and the mux server,
+//! per-request latency derivation in the storage model): unlike std's
+//! `RandomState`, the result never varies per process, so load patterns
+//! and simulations reproduce exactly. Never use this where an adversary
+//! controls the input and collisions have security consequences — that
+//! is what [`crate::sha256`] is for.
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte string.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo").write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn distinct_inputs_diverge() {
+        assert_ne!(fnv1a_64(b"prover-0001"), fnv1a_64(b"prover-0002"));
+    }
+}

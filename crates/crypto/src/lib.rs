@@ -38,6 +38,7 @@ pub mod chacha;
 pub mod ct;
 pub mod ed25519;
 pub mod fe25519;
+pub mod fnv;
 pub mod hmac;
 pub mod kdf;
 pub mod prp;

@@ -9,7 +9,9 @@
 //!   overheads, hop delays; calibrated against Table III's nine Australian
 //!   paths; plus [`wan::Placement`] for honest-vs-relayed storage;
 //! * [`topology`] — named hosts at geographic positions with `ping` and
-//!   `traceroute`.
+//!   `traceroute`;
+//! * [`load`] — queueing/contention models for provers answering many
+//!   concurrent audit sessions at once.
 //!
 //! # Examples
 //!
@@ -24,9 +26,11 @@
 //! ```
 
 pub mod lan;
+pub mod load;
 pub mod topology;
 pub mod wan;
 
 pub use lan::{LanPath, LinkRate, Medium};
+pub use load::{max_concurrent_within_budget, mm1_mean_wait, ContentionModel};
 pub use topology::{Hop, Host, Network, TopologyError};
 pub use wan::{AccessKind, Placement, WanModel};

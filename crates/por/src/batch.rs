@@ -1,0 +1,463 @@
+//! Batched verification and order-independent challenge planning.
+//!
+//! One TPA auditing one prover can afford to re-key the MAC, rebuild the
+//! PRP and re-derive challenge randomness per round. An audit engine
+//! driving hundreds of concurrent sessions cannot: this module shares the
+//! per-file setup (MAC parameterisation, message buffer, sentinel PRP,
+//! Merkle path cache) across every session touching that file, so N
+//! sessions cost one pass over keys and proofs instead of N.
+//!
+//! Everything here is *exactly equivalent* to the sequential entry points
+//! ([`PorEncoder::verify_segment`], [`SentinelEncoder::verify_sentinel`],
+//! [`crate::merkle::verify_proof`]) — property tests in
+//! `tests/batch_prop.rs` pin that equivalence for arbitrary session mixes.
+//! Batching changes *cost*, never *verdicts*.
+
+use crate::encode::{segment_message, PorEncoder};
+use crate::keys::PorKeys;
+use crate::merkle::{leaf_hash, node_hash, Digest, MerkleProof};
+use crate::sentinel::{SentinelEncoder, SentinelMetadata};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::hmac::TruncatedMac;
+use geoproof_crypto::prp::DomainPrp;
+use geoproof_crypto::sha256::Sha256;
+use geoproof_ecc::block_code::{Block, BLOCK_BYTES};
+use std::collections::HashMap;
+
+// --- batched segment-MAC verification ------------------------------------
+
+/// Verifies many challenged segments of one file in a single pass.
+///
+/// Shares the [`TruncatedMac`] parameterisation and one growable message
+/// buffer across all checks; per check it performs exactly the computation
+/// of [`PorEncoder::verify_segment`].
+#[derive(Debug)]
+pub struct SegmentBatchVerifier<'a> {
+    mac: TruncatedMac,
+    mac_key: &'a [u8; 32],
+    file_id: &'a str,
+    segment_bytes: usize,
+    body_bytes: usize,
+    buf: Vec<u8>,
+    checked: u64,
+}
+
+impl<'a> SegmentBatchVerifier<'a> {
+    /// Creates a batch verifier for `file_id` under `encoder`'s parameters.
+    pub fn new(encoder: &PorEncoder, mac_key: &'a [u8; 32], file_id: &'a str) -> Self {
+        let p = encoder.params();
+        SegmentBatchVerifier {
+            mac: TruncatedMac::new(p.tag_bits),
+            mac_key,
+            file_id,
+            segment_bytes: p.segment_bytes(),
+            body_bytes: p.segment_blocks * BLOCK_BYTES,
+            buf: Vec::with_capacity(p.segment_bytes() + 8 + file_id.len()),
+            checked: 0,
+        }
+    }
+
+    /// Verifies one challenged segment; equivalent to
+    /// [`PorEncoder::verify_segment`] with the same arguments.
+    pub fn verify_one(&mut self, index: u64, segment: &[u8]) -> bool {
+        self.checked += 1;
+        if segment.len() != self.segment_bytes {
+            return false;
+        }
+        let (body, tag) = segment.split_at(self.body_bytes);
+        self.buf.clear();
+        self.buf.extend_from_slice(body);
+        self.buf.extend_from_slice(&index.to_be_bytes());
+        self.buf.extend_from_slice(self.file_id.as_bytes());
+        debug_assert_eq!(self.buf, segment_message(body, index, self.file_id));
+        self.mac.verify(self.mac_key, &self.buf, tag)
+    }
+
+    /// Verifies a whole challenge set, one verdict per check.
+    pub fn verify_all<S: AsRef<[u8]>>(&mut self, checks: &[(u64, S)]) -> Vec<bool> {
+        checks
+            .iter()
+            .map(|(index, segment)| self.verify_one(*index, segment.as_ref()))
+            .collect()
+    }
+
+    /// Total checks performed over the verifier's lifetime.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+}
+
+// --- batched sentinel verification ----------------------------------------
+
+/// Verifies many sentinel responses sharing one PRP instantiation.
+///
+/// [`SentinelEncoder::sentinel_position`] rebuilds the domain PRP on every
+/// call; across k sentinel probes × N sessions that dominates. This batch
+/// form builds it once per (keys, file) pair.
+#[derive(Debug)]
+pub struct SentinelBatch<'a> {
+    keys: &'a PorKeys,
+    meta: &'a SentinelMetadata,
+    prp: DomainPrp,
+}
+
+impl<'a> SentinelBatch<'a> {
+    /// Creates the batch context for one sentinel-encoded file.
+    pub fn new(keys: &'a PorKeys, meta: &'a SentinelMetadata) -> Self {
+        SentinelBatch {
+            keys,
+            meta,
+            prp: DomainPrp::new(keys.prp_key(), meta.total_blocks()),
+        }
+    }
+
+    /// Stored position of sentinel `j`; equivalent to
+    /// [`SentinelEncoder::sentinel_position`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range, matching the sequential call.
+    pub fn position(&self, j: u64) -> u64 {
+        assert!(j < self.meta.sentinels, "sentinel index out of range");
+        self.prp.permute(self.meta.data_blocks + j)
+    }
+
+    /// Verifies one response; equivalent to
+    /// [`SentinelEncoder::verify_sentinel`].
+    pub fn verify_one(&self, j: u64, response: &Block) -> bool {
+        &SentinelEncoder::sentinel_value(self.keys, &self.meta.file_id, j) == response
+    }
+
+    /// Verifies a batch of `(sentinel index, claimed value)` responses.
+    pub fn verify_all(&self, responses: &[(u64, Block)]) -> Vec<bool> {
+        responses
+            .iter()
+            .map(|(j, resp)| self.verify_one(*j, resp))
+            .collect()
+    }
+}
+
+// --- batched Merkle-proof verification -------------------------------------
+
+/// A memoised climb position: the digest observed at `(level, index)`
+/// and the exact sibling suffix that carried it to the root.
+#[derive(Clone, Debug)]
+struct VerifiedClimb {
+    digest: Digest,
+    suffix: Vec<(Digest, bool)>,
+}
+
+/// Verifies many Merkle membership proofs against one trusted root,
+/// memoising climbs already shown to reach that root.
+///
+/// Proofs for nearby leaves share their upper path; once a `(level,
+/// index)` position has been chained to the root, a later proof that
+/// reproduces the **same digest and the same remaining sibling suffix**
+/// at that position stops climbing there — by construction the rest of
+/// its computation is identical to the verified one. A memo entry is
+/// only ever a shortcut for a computation that already happened, so
+/// verdicts are *exactly* those of [`crate::merkle::verify_proof`]; on
+/// any mismatch the climb simply continues hash by hash.
+#[derive(Debug)]
+pub struct MerkleBatchVerifier {
+    root: Digest,
+    verified: HashMap<(u32, u64), VerifiedClimb>,
+    hashes_computed: u64,
+}
+
+impl MerkleBatchVerifier {
+    /// Creates a batch verifier for `root`.
+    pub fn new(root: Digest) -> Self {
+        MerkleBatchVerifier {
+            root,
+            verified: HashMap::new(),
+            hashes_computed: 0,
+        }
+    }
+
+    /// Verifies one proof; equivalent to [`crate::merkle::verify_proof`]
+    /// against the same root.
+    pub fn verify_one(&mut self, data: &[u8], proof: &MerkleProof) -> bool {
+        let mut acc = leaf_hash(proof.index, data);
+        self.hashes_computed += 1;
+        let mut idx = proof.index;
+        // Path positions pending promotion into the memo on success.
+        let mut path: Vec<((u32, u64), Digest)> = Vec::with_capacity(proof.siblings.len() + 1);
+        path.push(((0, idx), acc));
+        let mut reached_root = false;
+        for (level, (sibling, sibling_on_right)) in proof.siblings.iter().enumerate() {
+            // Shortcut only when this exact computation already ran: same
+            // digest at this position *and* the identical remaining
+            // sibling suffix. Anything else keeps hashing — never an
+            // early verdict, so batch == sequential byte for byte.
+            if let Some(known) = self.verified.get(&(level as u32, idx)) {
+                if known.digest == acc && known.suffix == proof.siblings[level..] {
+                    reached_root = true;
+                    break;
+                }
+            }
+            acc = if *sibling_on_right {
+                node_hash(&acc, sibling)
+            } else {
+                node_hash(sibling, &acc)
+            };
+            self.hashes_computed += 1;
+            idx /= 2;
+            path.push(((level as u32 + 1, idx), acc));
+        }
+        if reached_root || acc == self.root {
+            for (i, (key, digest)) in path.into_iter().enumerate() {
+                self.verified.entry(key).or_insert_with(|| VerifiedClimb {
+                    digest,
+                    suffix: proof.siblings[i..].to_vec(),
+                });
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Verifies a batch of `(leaf data, proof)` pairs.
+    pub fn verify_all<S: AsRef<[u8]>>(&mut self, items: &[(S, MerkleProof)]) -> Vec<bool> {
+        items
+            .iter()
+            .map(|(data, proof)| self.verify_one(data.as_ref(), proof))
+            .collect()
+    }
+
+    /// Node hashes computed so far (memo hits skip the remaining climb —
+    /// the batching win, observable in benches).
+    pub fn hashes_computed(&self) -> u64 {
+        self.hashes_computed
+    }
+}
+
+// --- order-independent challenge planning ----------------------------------
+
+/// A session's challenge material, derived purely from `(engine seed,
+/// session key)` — never from shared mutable RNG state — so plans are
+/// identical no matter how many sibling sessions exist or in which order
+/// they are opened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChallengePlan {
+    /// Audit nonce N for this session.
+    pub nonce: [u8; 32],
+    /// The k distinct challenge indices, in issue order.
+    pub indices: Vec<u64>,
+}
+
+/// Derives the per-session RNG seed: `SHA-256("geoproof-plan-v1" ‖
+/// engine_seed ‖ len(session_key) ‖ session_key)`.
+pub fn session_seed(engine_seed: u64, session_key: &str) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"geoproof-plan-v1");
+    h.update(&engine_seed.to_be_bytes());
+    h.update(&(session_key.len() as u64).to_be_bytes());
+    h.update(session_key.as_bytes());
+    h.finalize()
+}
+
+/// Derives only the session nonce — the prefix of [`plan_session`]'s RNG
+/// stream — for engines whose verifier devices draw the challenge
+/// indices themselves (as the paper's protocol has the device do).
+pub fn session_nonce(engine_seed: u64, session_key: &str) -> [u8; 32] {
+    let mut rng = ChaChaRng::from_seed(session_seed(engine_seed, session_key));
+    let mut nonce = [0u8; 32];
+    rng.fill_bytes(&mut nonce);
+    nonce
+}
+
+/// Plans one session: nonce plus `k` distinct indices below `n_segments`.
+///
+/// # Panics
+///
+/// Panics if `k > n_segments` (cannot sample that many distinct indices).
+pub fn plan_session(engine_seed: u64, session_key: &str, n_segments: u64, k: u32) -> ChallengePlan {
+    let mut rng = ChaChaRng::from_seed(session_seed(engine_seed, session_key));
+    let mut nonce = [0u8; 32];
+    rng.fill_bytes(&mut nonce);
+    let indices = rng.sample_distinct(n_segments, k as usize);
+    ChallengePlan { nonce, indices }
+}
+
+/// Plans a whole batch of sessions in one call. Equivalent to mapping
+/// [`plan_session`] over `session_keys`; provided so engines have a single
+/// entry point to amortise across.
+pub fn plan_batch(
+    engine_seed: u64,
+    session_keys: &[&str],
+    n_segments: u64,
+    k: u32,
+) -> Vec<ChallengePlan> {
+    session_keys
+        .iter()
+        .map(|key| plan_session(engine_seed, key, n_segments, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merkle::{verify_proof, MerkleTree};
+    use crate::params::PorParams;
+
+    fn encoder() -> PorEncoder {
+        PorEncoder::new(PorParams::test_small())
+    }
+
+    fn keys() -> PorKeys {
+        PorKeys::derive(b"batch-master", "bf")
+    }
+
+    fn sample_data(len: usize, seed: u64) -> Vec<u8> {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn segment_batch_matches_sequential() {
+        let enc = encoder();
+        let k = keys();
+        let mut tagged = enc.encode(&sample_data(4000, 1), &k, "bf");
+        tagged.segments[2][0] ^= 0xff; // one corrupted segment
+        let checks: Vec<(u64, &[u8])> = tagged
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, s.as_slice()))
+            .collect();
+        let mut batch = SegmentBatchVerifier::new(&enc, k.mac_key(), "bf");
+        let got = batch.verify_all(&checks);
+        let want: Vec<bool> = checks
+            .iter()
+            .map(|(i, s)| enc.verify_segment(k.mac_key(), "bf", *i, s))
+            .collect();
+        assert_eq!(got, want);
+        assert!(!got[2] && got[0]);
+        assert_eq!(batch.checked(), checks.len() as u64);
+    }
+
+    #[test]
+    fn segment_batch_rejects_wrong_length() {
+        let enc = encoder();
+        let k = keys();
+        let mut batch = SegmentBatchVerifier::new(&enc, k.mac_key(), "bf");
+        assert!(!batch.verify_one(0, b"short"));
+    }
+
+    #[test]
+    fn sentinel_batch_matches_sequential() {
+        let senc = SentinelEncoder::new(20);
+        let k = keys();
+        let (mut stored, meta) = senc.encode(&sample_data(2000, 2), &k, "bf");
+        let batch = SentinelBatch::new(&k, &meta);
+        // Forge one stored sentinel.
+        let forged_pos = batch.position(4) as usize;
+        stored[forged_pos][0] ^= 1;
+        for j in 0..meta.sentinels {
+            let pos = batch.position(j);
+            assert_eq!(pos, SentinelEncoder::sentinel_position(&k, &meta, j));
+            let got = batch.verify_one(j, &stored[pos as usize]);
+            let want = SentinelEncoder::verify_sentinel(&k, &meta, j, &stored[pos as usize]);
+            assert_eq!(got, want, "sentinel {j}");
+            assert_eq!(got, j != 4);
+        }
+    }
+
+    #[test]
+    fn merkle_batch_matches_sequential_and_saves_hashes() {
+        let segs: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 24]).collect();
+        let tree = MerkleTree::build(&segs);
+        let items: Vec<(&[u8], MerkleProof)> = (0..64)
+            .map(|i| (segs[i].as_slice(), tree.prove(i as u64)))
+            .collect();
+        let mut batch = MerkleBatchVerifier::new(tree.root());
+        let got = batch.verify_all(&items);
+        assert!(got.iter().all(|&b| b));
+        for (data, proof) in &items {
+            assert!(verify_proof(&tree.root(), data, proof));
+        }
+        // 64 leaves, depth 6: sequential costs 64×7 = 448 hashes; the memo
+        // must save a strict majority of the climb.
+        assert!(
+            batch.hashes_computed() < 448 / 2,
+            "computed {} hashes",
+            batch.hashes_computed()
+        );
+    }
+
+    #[test]
+    fn merkle_batch_rejects_garbage_siblings_even_for_known_good_leaves() {
+        // Regression: the memo used to fast-accept on leaf-digest
+        // equality alone, so a proof carrying the right leaf but garbage
+        // siblings passed after warm-up while verify_proof rejected it.
+        // A memo hit now also requires the identical sibling suffix.
+        let segs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
+        let tree = MerkleTree::build(&segs);
+        let mut batch = MerkleBatchVerifier::new(tree.root());
+        assert!(batch.verify_one(&segs[3], &tree.prove(3)));
+        let mut garbage = tree.prove(3);
+        for (sib, _) in garbage.siblings.iter_mut() {
+            sib[0] ^= 0xff;
+        }
+        assert!(!verify_proof(&tree.root(), &segs[3], &garbage));
+        assert!(
+            !batch.verify_one(&segs[3], &garbage),
+            "batched verdict must match sequential for malformed siblings"
+        );
+        // The genuine proof still verifies (memo intact).
+        assert!(batch.verify_one(&segs[3], &tree.prove(3)));
+    }
+
+    #[test]
+    fn merkle_batch_still_rejects_forgeries_after_warmup() {
+        let segs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 24]).collect();
+        let tree = MerkleTree::build(&segs);
+        let mut batch = MerkleBatchVerifier::new(tree.root());
+        for i in 0..16 {
+            assert!(batch.verify_one(&segs[i], &tree.prove(i as u64)));
+        }
+        // Wrong data under a valid proof must fail even with a warm cache.
+        assert!(!batch.verify_one(b"forged", &tree.prove(3)));
+        // Proof index mismatch must fail too.
+        assert!(!batch.verify_one(&segs[2], &tree.prove(3)));
+    }
+
+    #[test]
+    fn plans_are_order_independent() {
+        let forward = plan_batch(9, &["p-0", "p-1", "p-2"], 100, 10);
+        let reversed = plan_batch(9, &["p-2", "p-1", "p-0"], 100, 10);
+        assert_eq!(forward[0], reversed[2]);
+        assert_eq!(forward[1], reversed[1]);
+        assert_eq!(forward[2], reversed[0]);
+    }
+
+    #[test]
+    fn plans_differ_across_sessions_and_seeds() {
+        let a = plan_session(9, "p-0", 100, 10);
+        let b = plan_session(9, "p-1", 100, 10);
+        let c = plan_session(10, "p-0", 100, 10);
+        assert_ne!(a.nonce, b.nonce);
+        assert_ne!(a.nonce, c.nonce);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn session_nonce_is_the_plan_nonce() {
+        assert_eq!(
+            session_nonce(9, "p-0"),
+            plan_session(9, "p-0", 100, 10).nonce
+        );
+    }
+
+    #[test]
+    fn plan_indices_are_distinct_and_in_range() {
+        let plan = plan_session(1, "p", 50, 50);
+        let set: std::collections::HashSet<u64> = plan.indices.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+        assert!(plan.indices.iter().all(|&i| i < 50));
+    }
+}

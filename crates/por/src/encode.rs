@@ -263,8 +263,9 @@ impl PorEncoder {
 }
 
 /// The MACed message for a segment: body ‖ index ‖ fid (the paper's
-/// `MAC_K′(S_i, i, fid)`).
-fn segment_message(body: &[u8], index: u64, file_id: &str) -> Vec<u8> {
+/// `MAC_K′(S_i, i, fid)`). Shared with [`crate::batch`], which builds the
+/// same bytes into a reused buffer.
+pub(crate) fn segment_message(body: &[u8], index: u64, file_id: &str) -> Vec<u8> {
     let mut msg = Vec::with_capacity(body.len() + 8 + file_id.len());
     msg.extend_from_slice(body);
     msg.extend_from_slice(&index.to_be_bytes());

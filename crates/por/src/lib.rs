@@ -12,7 +12,9 @@
 //! * [`merkle`] / [`dynamic`] — the dynamic-POR extension the paper names
 //!   (Wang et al. DPOR): Merkle-authenticated updates and appends;
 //! * [`analysis`] — detection-probability analysis reproducing §V-C(a)'s
-//!   "71.3 % per challenge" and "< 1 in 200,000 irretrievability" figures.
+//!   "71.3 % per challenge" and "< 1 in 200,000 irretrievability" figures;
+//! * [`batch`] — batched MAC/sentinel/Merkle verification and
+//!   order-independent challenge planning for the concurrent audit engine.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 //! ```
 
 pub mod analysis;
+pub mod batch;
 pub mod dynamic;
 pub mod encode;
 pub mod keys;
@@ -39,6 +42,10 @@ pub mod params;
 pub mod sentinel;
 
 pub use analysis::{detection_probability, irretrievability_bound};
+pub use batch::{
+    plan_batch, plan_session, session_nonce, ChallengePlan, MerkleBatchVerifier,
+    SegmentBatchVerifier, SentinelBatch,
+};
 pub use dynamic::{DynamicDigest, DynamicStore};
 pub use encode::{ExtractError, FileMetadata, PorEncoder, TaggedFile};
 pub use keys::{AuditorKey, PorKeys};

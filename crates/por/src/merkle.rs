@@ -12,7 +12,7 @@ use geoproof_crypto::sha256::{Sha256, DIGEST_LEN};
 /// A node hash.
 pub type Digest = [u8; DIGEST_LEN];
 
-fn leaf_hash(index: u64, data: &[u8]) -> Digest {
+pub(crate) fn leaf_hash(index: u64, data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(b"leaf-v1");
     h.update(&index.to_be_bytes());
@@ -20,7 +20,7 @@ fn leaf_hash(index: u64, data: &[u8]) -> Digest {
     h.finalize()
 }
 
-fn node_hash(left: &Digest, right: &Digest) -> Digest {
+pub(crate) fn node_hash(left: &Digest, right: &Digest) -> Digest {
     let mut h = Sha256::new();
     h.update(b"node-v1");
     h.update(left);

@@ -53,7 +53,7 @@ impl SentinelEncoder {
 
     /// Sentinel value for index `j`: a PRF of the MAC key (indistinguishable
     /// from encrypted data blocks).
-    fn sentinel_value(keys: &PorKeys, file_id: &str, j: u64) -> Block {
+    pub(crate) fn sentinel_value(keys: &PorKeys, file_id: &str, j: u64) -> Block {
         let mut h = HmacSha256::new(keys.mac_key());
         h.update(b"sentinel-v1");
         h.update(file_id.as_bytes());

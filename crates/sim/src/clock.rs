@@ -5,14 +5,16 @@
 //! wall clock, so protocol runs and experiments are exactly reproducible.
 
 use crate::time::{SimDuration, SimInstant};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A shareable simulated clock.
 ///
 /// Cloning yields a handle onto the same timeline, letting the verifier,
 /// the network and the disk model all charge time to one clock, mirroring
-/// how the paper's Δt_j accumulates network plus look-up latency.
+/// how the paper's Δt_j accumulates network plus look-up latency. The
+/// timeline is an atomic counter, so handles may be shared across worker
+/// threads (the concurrent audit engine runs one session per worker).
 ///
 /// # Examples
 ///
@@ -27,25 +29,32 @@ use std::rc::Rc;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
-    now: Rc<Cell<u64>>,
+    now: Arc<AtomicU64>,
 }
 
 impl SimClock {
     /// Creates a clock at the epoch.
     pub fn new() -> Self {
         SimClock {
-            now: Rc::new(Cell::new(0)),
+            now: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// The current instant.
     pub fn now(&self) -> SimInstant {
-        SimInstant::EPOCH.advance(SimDuration::from_nanos(self.now.get()))
+        SimInstant::EPOCH.advance(SimDuration::from_nanos(self.now.load(Ordering::Relaxed)))
     }
 
     /// Advances the timeline by `d`.
     pub fn advance(&self, d: SimDuration) {
-        self.now.set(self.now.get() + d.as_nanos());
+        self.now.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Moves the timeline forward to `at` if it is in the future (no-op
+    /// otherwise). Used by event schedulers that re-anchor shared clocks
+    /// to their own timeline.
+    pub fn advance_to(&self, at: SimInstant) {
+        self.now.fetch_max(at.as_nanos(), Ordering::Relaxed);
     }
 
     /// Starts a stopwatch at the current instant.
@@ -107,5 +116,34 @@ mod tests {
         let b = SimClock::new();
         a.advance(SimDuration::from_millis(9));
         assert_eq!(b.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_millis(5));
+        c.advance_to(SimInstant::EPOCH.advance(SimDuration::from_millis(3)));
+        assert_eq!(c.now().as_nanos(), 5_000_000);
+        c.advance_to(SimInstant::EPOCH.advance(SimDuration::from_millis(8)));
+        assert_eq!(c.now().as_nanos(), 8_000_000);
+    }
+
+    #[test]
+    fn clock_is_shareable_across_threads() {
+        let clock = SimClock::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = clock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.advance(SimDuration::from_nanos(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now().as_nanos(), 400);
     }
 }

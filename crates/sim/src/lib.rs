@@ -9,7 +9,10 @@
 //!   charges latency to;
 //! * [`dist`] — samplable latency distributions (constant, uniform, normal,
 //!   exponential) so experiments run either as the paper's exact arithmetic
-//!   or stochastically.
+//!   or stochastically;
+//! * [`simnet`] — a deterministic discrete-event scheduler
+//!   ([`simnet::SimNet`]) for driving many concurrent audit sessions on
+//!   one seeded timeline.
 //!
 //! # Examples
 //!
@@ -27,8 +30,10 @@
 
 pub mod clock;
 pub mod dist;
+pub mod simnet;
 pub mod time;
 
 pub use clock::{SimClock, Stopwatch};
 pub use dist::LatencyDist;
+pub use simnet::SimNet;
 pub use time::{Km, SimDuration, SimInstant, Speed, FIBRE_SPEED, INTERNET_SPEED, SPEED_OF_LIGHT};

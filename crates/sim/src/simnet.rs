@@ -1,0 +1,252 @@
+//! `SimNet` — a deterministic discrete-event scheduler.
+//!
+//! The concurrent audit engine must be testable against hundreds of
+//! simulated provers without real sockets or real time. `SimNet` provides
+//! the substrate: a priority queue of typed events on a virtual timeline,
+//! with a seeded RNG for latency sampling. Two runs with the same seed and
+//! the same schedule calls process the same events at the same instants in
+//! the same order — ties are broken by insertion sequence, never by hash
+//! order or thread timing.
+//!
+//! See `crates/sim/docs/simnet.md` for the design note and a guide to
+//! writing adversary profiles on top of this scheduler.
+//!
+//! # Examples
+//!
+//! ```
+//! use geoproof_sim::simnet::SimNet;
+//! use geoproof_sim::time::SimDuration;
+//!
+//! let mut net: SimNet<&str> = SimNet::new(7);
+//! net.schedule(SimDuration::from_millis(2), "second");
+//! net.schedule(SimDuration::from_millis(1), "first");
+//! let mut order = Vec::new();
+//! net.run(|net, ev| {
+//!     order.push((net.now().as_nanos(), ev));
+//! });
+//! assert_eq!(order, vec![(1_000_000, "first"), (2_000_000, "second")]);
+//! ```
+
+use crate::clock::SimClock;
+use crate::dist::LatencyDist;
+use crate::time::{SimDuration, SimInstant};
+use geoproof_crypto::chacha::ChaChaRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event waiting on the timeline.
+///
+/// Ordering is `(time, seq)`: earlier instants first, and within one
+/// instant, insertion order — the determinism guarantee.
+#[derive(Clone, Debug)]
+struct Scheduled<E> {
+    at: SimInstant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic event scheduler over simulated time.
+///
+/// `E` is the caller's event type; `SimNet` never inspects it. The
+/// scheduler owns the timeline (exposed as a shareable [`SimClock`] so
+/// model components like verifier devices can be re-anchored to it) and a
+/// seeded RNG for latency sampling, keeping *all* sources of randomness
+/// in a fleet simulation under one seed.
+#[derive(Debug)]
+pub struct SimNet<E> {
+    clock: SimClock,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    rng: ChaChaRng,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> SimNet<E> {
+    /// Creates a scheduler at the epoch, with all randomness derived from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimNet {
+            clock: SimClock::new(),
+            queue: BinaryHeap::new(),
+            rng: ChaChaRng::from_u64_seed(seed),
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// A handle onto the scheduler's timeline. Clones share the timeline,
+    /// so components holding one observe event time as it advances.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// The seeded RNG — the only randomness a deterministic simulation
+    /// should consume.
+    pub fn rng(&mut self) -> &mut ChaChaRng {
+        &mut self.rng
+    }
+
+    /// Samples a latency from `dist` using the scheduler's RNG.
+    pub fn sample(&mut self, dist: &LatencyDist) -> SimDuration {
+        dist.sample(&mut self.rng)
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        let at = self.now().advance(delay);
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at an absolute instant. Instants in the past fire
+    /// immediately-next (time never rewinds).
+    pub fn schedule_at(&mut self, at: SimInstant, event: E) {
+        let at = at.max(self.now());
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pops the next event, advancing the timeline to its instant.
+    pub fn next_event(&mut self) -> Option<(SimInstant, E)> {
+        let Reverse(sch) = self.queue.pop()?;
+        self.clock.advance_to(sch.at);
+        self.processed += 1;
+        Some((sch.at, sch.event))
+    }
+
+    /// Drains the queue, invoking `handler` for every event in timeline
+    /// order. Handlers may schedule further events; the loop ends when the
+    /// queue is empty.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some((_, event)) = self.next_event() {
+            handler(self, event);
+        }
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut net: SimNet<u32> = SimNet::new(1);
+        net.schedule(SimDuration::from_millis(30), 3);
+        net.schedule(SimDuration::from_millis(10), 1);
+        net.schedule(SimDuration::from_millis(20), 2);
+        let mut seen = Vec::new();
+        net.run(|_, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut net: SimNet<u32> = SimNet::new(1);
+        for i in 0..50 {
+            net.schedule(SimDuration::from_millis(5), i);
+        }
+        let mut seen = Vec::new();
+        net.run(|_, e| seen.push(e));
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut net: SimNet<u32> = SimNet::new(1);
+        net.schedule(SimDuration::from_millis(1), 0);
+        let mut fired = Vec::new();
+        net.run(|net, e| {
+            fired.push((net.now().as_nanos(), e));
+            if e < 3 {
+                net.schedule(SimDuration::from_millis(1), e + 1);
+            }
+        });
+        assert_eq!(
+            fired,
+            vec![
+                (1_000_000, 0),
+                (2_000_000, 1),
+                (3_000_000, 2),
+                (4_000_000, 3)
+            ]
+        );
+        assert_eq!(net.events_processed(), 4);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let dist = LatencyDist::Exponential {
+            mean: SimDuration::from_millis(4),
+        };
+        let trace = |seed: u64| -> Vec<u64> {
+            let mut net: SimNet<u32> = SimNet::new(seed);
+            for i in 0..20 {
+                let d = net.sample(&dist);
+                net.schedule(d, i);
+            }
+            let mut out = Vec::new();
+            net.run(|net, e| out.push(net.now().as_nanos() ^ u64::from(e)));
+            out
+        };
+        assert_eq!(trace(42), trace(42));
+        assert_ne!(trace(42), trace(43));
+    }
+
+    #[test]
+    fn past_instants_clamp_to_now() {
+        let mut net: SimNet<&str> = SimNet::new(1);
+        net.schedule(SimDuration::from_millis(10), "late");
+        let mut seen = Vec::new();
+        net.run(|net, e| {
+            if e == "late" {
+                // Scheduling "at the epoch" after time has advanced must not
+                // rewind the clock.
+                net.schedule_at(SimInstant::EPOCH, "clamped");
+            }
+            seen.push((net.now().as_nanos(), e));
+        });
+        assert_eq!(seen[1], (10_000_000, "clamped"));
+    }
+
+    #[test]
+    fn shared_clock_tracks_event_time() {
+        let mut net: SimNet<()> = SimNet::new(1);
+        let clock = net.clock();
+        net.schedule(SimDuration::from_millis(7), ());
+        net.run(|_, ()| {});
+        assert_eq!(clock.now().as_nanos(), 7_000_000);
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::hdd::HddModel;
 use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::fnv::fnv1a_64;
 use geoproof_sim::time::SimDuration;
 use std::collections::HashMap;
 
@@ -36,11 +37,22 @@ pub struct ReadOutcome {
 }
 
 /// A simulated storage node holding segmented files on one disk model.
+///
+/// Latency sampling is *per-request deterministic*: the sample for the
+/// m-th read of segment `(fid, idx)` depends only on `(seed, fid, idx,
+/// m)`, never on which other reads the server has served in between.
+/// (An earlier version walked one shared RNG forward per read, so a
+/// second audit interleaved on the same server silently perturbed the
+/// first audit's latency stream — state leaking across audits, surfaced
+/// by the concurrent harness.)
 #[derive(Debug)]
 pub struct StorageServer {
     disk: HddModel,
     files: HashMap<FileId, Vec<Vec<u8>>>,
-    rng: ChaChaRng,
+    seed: u64,
+    /// Per-slot access counters keyed by `(fnv1a(fid), idx)` — hashed
+    /// keys keep the hot read path allocation-free.
+    access_counts: HashMap<(u64, usize), u64>,
     reads: u64,
 }
 
@@ -50,7 +62,8 @@ impl StorageServer {
         StorageServer {
             disk,
             files: HashMap::new(),
-            rng: ChaChaRng::from_u64_seed(seed),
+            seed,
+            access_counts: HashMap::new(),
             reads: 0,
         }
     }
@@ -76,10 +89,35 @@ impl StorageServer {
     /// had to search before discovering the miss).
     pub fn read_segment(&mut self, fid: &FileId, idx: usize) -> ReadOutcome {
         self.reads += 1;
+        let fid_hash = fnv1a_64(fid.0.as_bytes());
+        let access = self
+            .access_counts
+            .entry((fid_hash, idx))
+            .and_modify(|c| *c += 1)
+            .or_insert(0);
+        let mut rng = Self::request_rng(self.seed, fid_hash, idx, *access);
         let data = self.files.get(fid).and_then(|segs| segs.get(idx)).cloned();
         let bytes = data.as_ref().map_or(512, Vec::len);
-        let latency = self.disk.sample_lookup(bytes, &mut self.rng);
+        let latency = self.disk.sample_lookup(bytes, &mut rng);
         ReadOutcome { data, latency }
+    }
+
+    /// A fresh RNG for one request, derived from `(seed, fid, idx,
+    /// access#)` so the sample is independent of every other request the
+    /// server has served. Latency jitter needs determinism and
+    /// decorrelation, not cryptographic strength, so the tuple is mixed
+    /// with splitmix64 finalisers rather than a hash function.
+    fn request_rng(seed: u64, fid_hash: u64, idx: usize, access: u64) -> ChaChaRng {
+        fn splitmix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut acc = splitmix(seed ^ 0x6765_6f73_746f_7261); // "geostora"
+        acc = splitmix(acc ^ fid_hash);
+        acc = splitmix(acc ^ idx as u64);
+        acc = splitmix(acc ^ access);
+        ChaChaRng::from_u64_seed(acc)
     }
 
     /// Corrupts segment `idx` by XOR-ing `mask` into every byte; returns
@@ -183,6 +221,56 @@ mod tests {
         s.read_segment(&FileId::from("f1"), 0);
         s.read_segment(&FileId::from("f1"), 1);
         assert_eq!(s.reads_served(), 2);
+    }
+
+    #[test]
+    fn interleaving_does_not_perturb_latency_streams() {
+        // Regression: latency samples used to come from one shared RNG
+        // walked per read, so running a second audit concurrently shifted
+        // the first audit's samples. Per-request derivation makes each
+        // (fid, idx, access#) sample independent of interleaving.
+        let stochastic = || {
+            let mut s = StorageServer::new(HddModel::stochastic(WD_2500JD), 42);
+            s.put_file(FileId::from("a"), vec![vec![1u8; 83]; 8]);
+            s.put_file(FileId::from("b"), vec![vec![2u8; 83]; 8]);
+            s
+        };
+
+        // Sequential: all of "a", then all of "b".
+        let mut seq = stochastic();
+        let a_seq: Vec<_> = (0..8)
+            .map(|i| seq.read_segment(&FileId::from("a"), i).latency)
+            .collect();
+        let b_seq: Vec<_> = (0..8)
+            .map(|i| seq.read_segment(&FileId::from("b"), i).latency)
+            .collect();
+
+        // Interleaved: "a" and "b" alternating, "b" first.
+        let mut inter = stochastic();
+        let mut a_inter = Vec::new();
+        let mut b_inter = Vec::new();
+        for i in 0..8 {
+            b_inter.push(inter.read_segment(&FileId::from("b"), i).latency);
+            a_inter.push(inter.read_segment(&FileId::from("a"), i).latency);
+        }
+        assert_eq!(a_seq, a_inter);
+        assert_eq!(b_seq, b_inter);
+    }
+
+    #[test]
+    fn repeat_reads_resample_independently() {
+        let mut s = StorageServer::new(HddModel::stochastic(WD_2500JD), 7);
+        s.put_file(FileId::from("f"), vec![vec![0u8; 83]; 1]);
+        let first = s.read_segment(&FileId::from("f"), 0).latency;
+        let second = s.read_segment(&FileId::from("f"), 0).latency;
+        // Distinct access numbers draw distinct samples (a disk does not
+        // repeat its jitter), but re-running the whole server reproduces
+        // both exactly.
+        assert_ne!(first, second);
+        let mut again = StorageServer::new(HddModel::stochastic(WD_2500JD), 7);
+        again.put_file(FileId::from("f"), vec![vec![0u8; 83]; 1]);
+        assert_eq!(again.read_segment(&FileId::from("f"), 0).latency, first);
+        assert_eq!(again.read_segment(&FileId::from("f"), 0).latency, second);
     }
 
     #[test]

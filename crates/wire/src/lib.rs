@@ -7,7 +7,10 @@
 //!   truncation detection);
 //! * [`tcp`] — a threaded TCP prover server plus a wall-clock timing
 //!   client, so the timed challenge–response phase can run over a real
-//!   socket rather than the simulator.
+//!   socket rather than the simulator;
+//! * [`mux`] — the multi-connection, session-multiplexing server behind
+//!   `geoproof serve --concurrent`: sharded session table, per-session
+//!   statistics, graceful shutdown that joins every connection.
 //!
 //! # Examples
 //!
@@ -20,7 +23,9 @@
 //! ```
 
 pub mod codec;
+pub mod mux;
 pub mod tcp;
 
 pub use codec::{read_frame, write_frame, CodecError, WireMessage, MAX_FRAME};
+pub use mux::{MuxProverServer, MuxStats, SessionKey, SessionStats};
 pub use tcp::{ProverServer, SegmentStore, TcpChallenger};

@@ -1,0 +1,500 @@
+//! Multi-connection prover server with session multiplexing.
+//!
+//! [`crate::tcp::ProverServer`] answers one stream of challenges and
+//! forgets its connections at shutdown. `MuxProverServer` is the
+//! production-shaped variant behind `geoproof serve --concurrent`:
+//!
+//! * many simultaneous connections, each able to interleave challenges
+//!   for several audit sessions (a session = one `(connection, file)`
+//!   pair, opened implicitly or via a `StartAudit` frame);
+//! * a **sharded session table** (per-shard `parking_lot` mutexes keyed
+//!   by session), so hot sessions on different shards never contend;
+//! * graceful shutdown that joins every connection thread, and aggregate
+//!   statistics so operators can see load.
+
+use crate::codec::{write_frame, WireMessage};
+use crate::tcp::{IdleFrameReader, Polled, SegmentStore};
+use geoproof_crypto::fnv::Fnv1a;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of shards in the session table. A power of two; sized so a
+/// few hundred concurrent sessions rarely share a shard lock.
+const SESSION_SHARDS: usize = 16;
+
+/// Identifies one audit session on the server: a connection and the file
+/// it is challenging.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Server-assigned connection number (accept order).
+    pub connection: u64,
+    /// File under audit.
+    pub file_id: String,
+}
+
+/// Per-session bookkeeping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Challenges answered for this session.
+    pub challenges: u64,
+    /// Challenges that found the segment.
+    pub hits: u64,
+    /// Announced challenge count k, when the client sent `StartAudit`.
+    pub announced_k: Option<u32>,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Sessions ever opened (connection × file pairs).
+    pub sessions: u64,
+    /// Total challenges served.
+    pub challenges: u64,
+}
+
+/// FNV-1a over the session key — deterministic shard choice (std's
+/// `RandomState` would randomise it per process, which makes load
+/// investigations unrepeatable).
+fn shard_of(key: &SessionKey) -> usize {
+    let mut h = Fnv1a::new();
+    h.write(&key.connection.to_be_bytes())
+        .write(key.file_id.as_bytes());
+    (h.finish() as usize) % SESSION_SHARDS
+}
+
+/// Sharded session table shared by all connection threads.
+#[derive(Debug, Default)]
+struct SessionTable {
+    shards: [Mutex<HashMap<SessionKey, SessionStats>>; SESSION_SHARDS],
+    opened: AtomicU64,
+}
+
+impl SessionTable {
+    fn with_session<R>(&self, key: &SessionKey, f: impl FnOnce(&mut SessionStats) -> R) -> R {
+        let mut shard = self.shards[shard_of(key)].lock();
+        let entry = shard.entry(key.clone());
+        if matches!(entry, std::collections::hash_map::Entry::Vacant(_)) {
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+        f(entry.or_default())
+    }
+
+    fn snapshot(&self) -> Vec<(SessionKey, SessionStats)> {
+        let mut all: Vec<(SessionKey, SessionStats)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| (a.0.connection, &a.0.file_id).cmp(&(b.0.connection, &b.0.file_id)));
+        all
+    }
+
+    /// Drops every session belonging to a closed connection. Aggregate
+    /// counters (`opened`, challenge totals) are unaffected — without
+    /// this, a long-running server would grow per-session state without
+    /// bound as short-lived audit connections come and go.
+    fn evict_connection(&self, conn_id: u64) {
+        for shard in &self.shards {
+            shard.lock().retain(|k, _| k.connection != conn_id);
+        }
+    }
+}
+
+/// The multi-connection, session-multiplexing prover server.
+pub struct MuxProverServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    sessions: Arc<SessionTable>,
+    connections: Arc<AtomicU64>,
+    challenges: Arc<AtomicU64>,
+    store: SegmentStore,
+}
+
+impl std::fmt::Debug for MuxProverServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxProverServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxProverServer {
+    /// Binds to an ephemeral localhost port and starts accepting.
+    ///
+    /// `service_delay` is added per challenge, as in
+    /// [`crate::tcp::ProverServer::spawn`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn(store: SegmentStore, service_delay: Duration) -> std::io::Result<MuxProverServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionTable::default());
+        let connections = Arc::new(AtomicU64::new(0));
+        let challenges = Arc::new(AtomicU64::new(0));
+        let conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let accept_stop = stop.clone();
+        let accept_sessions = sessions.clone();
+        let accept_connections = connections.clone();
+        let accept_challenges = challenges.clone();
+        let accept_conns = conn_handles.clone();
+        let accept_store = store.clone();
+        let accept_handle = std::thread::spawn(move || {
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_id = accept_connections.fetch_add(1, Ordering::Relaxed);
+                        let store = accept_store.clone();
+                        let stop = accept_stop.clone();
+                        let sessions = accept_sessions.clone();
+                        let challenges = accept_challenges.clone();
+                        let handle = std::thread::spawn(move || {
+                            let _ = serve_mux_connection(
+                                stream,
+                                conn_id,
+                                store,
+                                service_delay,
+                                stop,
+                                sessions.clone(),
+                                challenges,
+                            );
+                            // Connection over: release its session state.
+                            sessions.evict_connection(conn_id);
+                        });
+                        // Reap handles of connections that already
+                        // finished, so a long-lived server doesn't hoard
+                        // one JoinHandle per connection it ever served.
+                        let mut handles = accept_conns.lock();
+                        let mut i = 0;
+                        while i < handles.len() {
+                            if handles[i].is_finished() {
+                                let _ = handles.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        handles.push(handle);
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(MuxProverServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            conn_handles,
+            sessions,
+            connections,
+            challenges,
+            store,
+        })
+    }
+
+    /// The server's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces a file's segments.
+    pub fn put_file(&self, file_id: &str, segments: Vec<Vec<u8>>) {
+        self.store.lock().insert(file_id.to_owned(), segments);
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MuxStats {
+        MuxStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            sessions: self.sessions.opened.load(Ordering::Relaxed),
+            challenges: self.challenges.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-session statistics for **live** connections, sorted by
+    /// `(connection, file_id)`. A connection's sessions are evicted when
+    /// it closes (their totals stay in [`MuxProverServer::stats`]), so
+    /// this stays bounded by current concurrency, not server lifetime.
+    pub fn sessions(&self) -> Vec<(SessionKey, SessionStats)> {
+        self.sessions.snapshot()
+    }
+
+    /// Stops accepting, then joins the accept loop **and every
+    /// connection thread** (connections notice the stop flag at their
+    /// next idle poll; in-flight responses complete first).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conn_handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MuxProverServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_mux_connection(
+    stream: TcpStream,
+    conn_id: u64,
+    store: SegmentStore,
+    service_delay: Duration,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<SessionTable>,
+    challenges: Arc<AtomicU64>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = stream;
+    let mut frames = IdleFrameReader::new();
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let msg = match frames.poll(&mut reader, &stop) {
+            Ok(Polled::Frame(m)) => m,
+            Ok(Polled::Idle) => continue,
+            Ok(Polled::Closed) | Err(_) => return Ok(()),
+        };
+        match msg {
+            WireMessage::StartAudit { file_id, k, .. } => {
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                sessions.with_session(&key, |s| s.announced_k = Some(k));
+            }
+            WireMessage::Challenge { file_id, index } => {
+                if !service_delay.is_zero() {
+                    std::thread::sleep(service_delay);
+                }
+                let segment = store
+                    .lock()
+                    .get(&file_id)
+                    .and_then(|segs| segs.get(index as usize))
+                    .cloned();
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                let hit = segment.is_some();
+                sessions.with_session(&key, |s| {
+                    s.challenges += 1;
+                    if hit {
+                        s.hits += 1;
+                    }
+                });
+                challenges.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut writer, &WireMessage::Response { segment })?;
+            }
+            WireMessage::Bye => return Ok(()),
+            WireMessage::Response { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpChallenger;
+    use std::collections::HashMap;
+
+    fn store_with(files: &[(&str, usize)]) -> SegmentStore {
+        let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
+        for &(fid, n) in files {
+            store
+                .lock()
+                .insert(fid.to_owned(), (0..n).map(|i| vec![i as u8; 83]).collect());
+        }
+        store
+    }
+
+    #[test]
+    fn multiplexes_sessions_across_connections_and_files() {
+        let server =
+            MuxProverServer::spawn(store_with(&[("a", 8), ("b", 8)]), Duration::ZERO).unwrap();
+        let addr = server.addr();
+        // Keep all four connections open while inspecting live sessions.
+        let clients: Vec<TcpChallenger> = (0..4)
+            .map(|_| {
+                let mut c = TcpChallenger::connect(addr).unwrap();
+                // Interleave two files on one connection.
+                for i in 0..8u64 {
+                    let fid = if i % 2 == 0 { "a" } else { "b" };
+                    let (seg, _) = c.challenge(fid, i % 8).unwrap();
+                    assert!(seg.is_some());
+                }
+                c
+            })
+            .collect();
+        let stats = server.stats();
+        assert_eq!(stats.connections, 4);
+        assert_eq!(stats.sessions, 8); // 4 connections × 2 files
+        assert_eq!(stats.challenges, 32);
+        let per_session = server.sessions();
+        assert_eq!(per_session.len(), 8);
+        assert!(per_session.iter().all(|(_, s)| s.challenges == 4));
+        assert!(per_session.iter().all(|(_, s)| s.hits == 4));
+        drop(clients);
+        // Closed connections release their per-session state (aggregate
+        // totals survive) — a long-running server stays bounded.
+        for _ in 0..100 {
+            if server.sessions().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.sessions().is_empty());
+        assert_eq!(server.stats().challenges, 32);
+        assert_eq!(server.stats().sessions, 8);
+    }
+
+    #[test]
+    fn start_audit_announces_session() {
+        let server = MuxProverServer::spawn(store_with(&[("f", 4)]), Duration::ZERO).unwrap();
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        write_frame(
+            &mut raw,
+            &WireMessage::StartAudit {
+                file_id: "f".to_owned(),
+                n_segments: 4,
+                k: 3,
+                nonce: [1u8; 32],
+            },
+        )
+        .unwrap();
+        // Wait for the (still-open) connection's session to register.
+        for _ in 0..100 {
+            if server.stats().sessions == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let sessions = server.sessions();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].1.announced_k, Some(3));
+        write_frame(&mut raw, &WireMessage::Bye).unwrap();
+    }
+
+    #[test]
+    fn shutdown_joins_all_connection_threads() {
+        let mut server = MuxProverServer::spawn(store_with(&[("f", 4)]), Duration::ZERO).unwrap();
+        let addr = server.addr();
+        // Leave two idle connections open — shutdown must not hang on them.
+        let c1 = TcpChallenger::connect(addr).unwrap();
+        let c2 = TcpChallenger::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+        assert!(server.conn_handles.lock().is_empty());
+        drop((c1, c2));
+        // After shutdown no new connections are served: a connect may
+        // still land in the listen backlog, but nothing accepts it, so a
+        // challenge never gets an answer (bounded by a read timeout) —
+        // any valid Response here would mean the accept loop survived.
+        if let Ok(raw) = std::net::TcpStream::connect(addr) {
+            raw.set_read_timeout(Some(Duration::from_millis(300)))
+                .unwrap();
+            let mut raw = raw;
+            use std::io::Write;
+            let _ = raw.write_all(
+                &WireMessage::Challenge {
+                    file_id: "f".to_owned(),
+                    index: 0,
+                }
+                .encode(),
+            );
+            let reply = crate::codec::read_frame(&mut raw);
+            assert!(
+                reply.is_err(),
+                "server answered a challenge after shutdown: {reply:?}"
+            );
+        }
+        assert_eq!(server.stats().challenges, 0);
+    }
+
+    #[test]
+    fn shutdown_is_not_held_hostage_by_a_slow_loris_client() {
+        // Regression: a client dribbling bytes faster than the read
+        // timeout (but never completing a frame) used to keep the
+        // connection thread inside the frame reader's fill loop, so
+        // shutdown joined forever. The stop flag is now checked between
+        // reads.
+        let mut server = MuxProverServer::spawn(store_with(&[("f", 4)]), Duration::ZERO).unwrap();
+        let addr = server.addr();
+        let dribbling = Arc::new(AtomicBool::new(true));
+        let keep_going = dribbling.clone();
+        let loris = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            // A frame header promising far more bytes than we ever send.
+            let _ = raw.write_all(&1000u32.to_be_bytes());
+            while keep_going.load(Ordering::Relaxed) {
+                if raw.write_all(&[0u8]).is_err() {
+                    break;
+                }
+                let _ = raw.flush();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100)); // let it dribble
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown hung on the dribbling connection"
+        );
+        dribbling.store(false, Ordering::Relaxed);
+        loris.join().unwrap();
+    }
+
+    #[test]
+    fn missing_files_are_counted_as_misses() {
+        let server = MuxProverServer::spawn(store_with(&[("f", 2)]), Duration::ZERO).unwrap();
+        let mut c = TcpChallenger::connect(server.addr()).unwrap();
+        let (seg, _) = c.challenge("ghost", 0).unwrap();
+        assert!(seg.is_none());
+        let (seg, _) = c.challenge("f", 1).unwrap();
+        assert!(seg.is_some());
+        for _ in 0..100 {
+            if server.stats().challenges == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Inspect while the connection is still open (sessions are live
+        // per-connection state).
+        let sessions = server.sessions();
+        let ghost = sessions.iter().find(|(k, _)| k.file_id == "ghost").unwrap();
+        assert_eq!(ghost.1.challenges, 1);
+        assert_eq!(ghost.1.hits, 0);
+        c.bye().unwrap();
+    }
+}

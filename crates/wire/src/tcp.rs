@@ -6,10 +6,10 @@
 //! repro hint assigns to a "challenge-response server"). Threads plus
 //! blocking I/O keep it dependency-free.
 
-use crate::codec::{read_frame, write_frame, WireMessage};
+use crate::codec::{read_frame, write_frame, CodecError, WireMessage, MAX_FRAME};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -104,6 +104,85 @@ impl Drop for ProverServer {
     }
 }
 
+/// Result of one poll on an idle-tolerant frame reader.
+#[derive(Debug)]
+pub(crate) enum Polled {
+    /// A complete frame arrived.
+    Frame(WireMessage),
+    /// The read timed out with no complete frame; buffered partial bytes
+    /// are retained for the next poll.
+    Idle,
+    /// The peer closed the connection.
+    Closed,
+}
+
+/// Reads frames from a stream with a read timeout *without losing
+/// partially-read bytes across timeouts.
+///
+/// The previous implementation called [`read_frame`] directly on the
+/// socket; `read_exact` under a read timeout can consume part of a frame
+/// and then fail with `WouldBlock`/`TimedOut`, and treating that as "no
+/// frame yet" silently discarded the consumed bytes — desynchronising the
+/// stream for every later frame on that connection. This reader buffers
+/// partial frames so an idle timeout is always restartable.
+#[derive(Debug)]
+pub(crate) struct IdleFrameReader {
+    buf: Vec<u8>,
+}
+
+impl IdleFrameReader {
+    pub(crate) fn new() -> Self {
+        IdleFrameReader { buf: Vec::new() }
+    }
+
+    /// Polls for one frame; `Idle` on timeout, `Closed` on EOF.
+    ///
+    /// `stop` is checked between reads so a server shutting down is never
+    /// held hostage by a client dribbling bytes faster than the read
+    /// timeout but slower than a frame (slow loris).
+    pub(crate) fn poll<R: Read>(
+        &mut self,
+        reader: &mut R,
+        stop: &AtomicBool,
+    ) -> std::io::Result<Polled> {
+        loop {
+            // A complete frame already buffered?
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        CodecError::FrameTooLarge(len),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let msg = WireMessage::decode(&self.buf[4..4 + len])
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                    self.buf.drain(..4 + len);
+                    return Ok(Polled::Frame(msg));
+                }
+            }
+            if stop.load(Ordering::Relaxed) {
+                return Ok(Polled::Idle);
+            }
+            // Need more bytes.
+            let mut chunk = [0u8; 4096];
+            match reader.read(&mut chunk) {
+                Ok(0) => return Ok(Polled::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Polled::Idle);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     store: SegmentStore,
@@ -113,20 +192,16 @@ fn serve_connection(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    let mut reader = stream;
+    let mut frames = IdleFrameReader::new();
     loop {
         if stop.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let msg = match read_frame(&mut reader) {
-            Ok(m) => m,
-            Err(ref e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return Ok(()), // disconnect
+        let msg = match frames.poll(&mut reader, &stop) {
+            Ok(Polled::Frame(m)) => m,
+            Ok(Polled::Idle) => continue,
+            Ok(Polled::Closed) | Err(_) => return Ok(()), // disconnect
         };
         match msg {
             WireMessage::Challenge { file_id, index } => {
@@ -268,6 +343,51 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn slow_dribbled_frame_does_not_desync_the_stream() {
+        // Regression: a frame split across the server's 200 ms read
+        // timeout used to lose its already-consumed bytes, desynchronising
+        // every later frame on the connection.
+        let server = ProverServer::spawn(store_with("f", 4), Duration::ZERO).expect("bind");
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        raw.set_nodelay(true).unwrap();
+        let frame = WireMessage::Challenge {
+            file_id: "f".to_owned(),
+            index: 2,
+        }
+        .encode();
+        // Send the length prefix plus one payload byte, stall past the
+        // server's read timeout, then send the rest.
+        use std::io::Write;
+        raw.write_all(&frame[..5]).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(350));
+        raw.write_all(&frame[5..]).unwrap();
+        raw.flush().unwrap();
+        let reply = read_frame(&mut raw).expect("reply after dribble");
+        assert_eq!(
+            reply,
+            WireMessage::Response {
+                segment: Some(vec![2u8; 83])
+            }
+        );
+        // The stream is still in sync: a second, normally-sent challenge
+        // round-trips too.
+        let frame2 = WireMessage::Challenge {
+            file_id: "f".to_owned(),
+            index: 0,
+        }
+        .encode();
+        raw.write_all(&frame2).unwrap();
+        let reply2 = read_frame(&mut raw).expect("second reply");
+        assert_eq!(
+            reply2,
+            WireMessage::Response {
+                segment: Some(vec![0u8; 83])
+            }
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! | [`geo`] | `geoproof-geo` | coordinates, GPS + spoofing, triangulation, geolocation baselines |
 //! | [`distbound`] | `geoproof-distbound` | Brands–Chaum, Hancke–Kuhn, Reid et al. + attacks |
 //! | [`por`] | `geoproof-por` | MAC-based and sentinel PORs, detection analysis |
-//! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA |
-//! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response |
+//! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine and deterministic fleet simulator |
+//! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server |
 //!
 //! # Quickstart
 //!
@@ -58,6 +58,10 @@ pub mod prelude {
     pub use geoproof_core::deployment::{
         DataOwner, Deployment, DeploymentBuilder, ProviderBehaviour,
     };
+    pub use geoproof_core::engine::{
+        AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
+    };
+    pub use geoproof_core::fleet::{run_fleet, AdversaryProfile, FleetConfig, FleetOutcome};
     pub use geoproof_core::messages::{AuditRequest, SignedTranscript, TimedRound};
     pub use geoproof_core::multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
     pub use geoproof_core::policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
@@ -72,6 +76,7 @@ pub mod prelude {
     pub use geoproof_por::encode::PorEncoder;
     pub use geoproof_por::keys::PorKeys;
     pub use geoproof_por::params::PorParams;
+    pub use geoproof_sim::simnet::SimNet;
     pub use geoproof_sim::time::{Km, SimDuration};
     pub use geoproof_storage::hdd::{HddSpec, IBM_36Z15, TABLE_I, WD_2500JD};
     pub use geoproof_storage::server::FileId;

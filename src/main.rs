@@ -3,17 +3,19 @@
 //! ```text
 //! geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
 //! geoproof extract <store-dir> <output-file> --master <secret>
-//! geoproof serve   <store-dir> [--delay-ms N]
+//! geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
 //! geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
 //! geoproof info    <store-dir>
 //! ```
 //!
 //! `encode` runs the paper's five-step setup and writes a portable store
 //! directory (`segments.bin` + `metadata.txt`); `serve` exposes it over
-//! TCP; `audit` runs the wall-clock timed challenge–response against a
-//! server and applies the Δt_max policy. The TPA's MAC key is derived
-//! from `--master`, so auditing needs the owner's secret (as in the
-//! paper, where the owner provisions the TPA).
+//! TCP (`--concurrent` switches to the multi-connection session-
+//! multiplexing server with per-session statistics); `audit` runs the
+//! wall-clock timed challenge–response against a server and applies the
+//! Δt_max policy. The TPA's MAC key is derived from `--master`, so
+//! auditing needs the owner's secret (as in the paper, where the owner
+//! provisions the TPA).
 
 use geoproof::crypto::chacha::ChaChaRng;
 use geoproof::crypto::schnorr::SigningKey;
@@ -23,6 +25,7 @@ use geoproof::por::encode::{FileMetadata, PorEncoder};
 use geoproof::por::keys::PorKeys;
 use geoproof::por::params::PorParams;
 use geoproof::tcp_audit::WallClockVerifier;
+use geoproof::wire::mux::MuxProverServer;
 use geoproof::wire::tcp::{ProverServer, SegmentStore};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -47,7 +50,7 @@ fn main() {
 const USAGE: &str = "usage:
   geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
   geoproof extract <store-dir> <output-file> --master <secret>
-  geoproof serve   <store-dir> [--delay-ms N]
+  geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
   geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
   geoproof info    <store-dir>";
 
@@ -196,12 +199,31 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .map(|v| v.parse().map_err(|e| format!("bad --delay-ms: {e}")))
         .transpose()?
         .unwrap_or(0);
+    let concurrent = args.iter().any(|a| a == "--concurrent");
     let (segments, md) = read_store(Path::new(store_dir))?;
     let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
     store.lock().insert(md.file_id.clone(), segments);
-    // The server binds an ephemeral port and reports it.
-    let server = ProverServer::spawn(store, std::time::Duration::from_millis(delay_ms))
-        .map_err(|e| format!("bind: {e}"))?;
+    let delay = std::time::Duration::from_millis(delay_ms);
+    // Both servers bind an ephemeral port and report it.
+    if concurrent {
+        let server = MuxProverServer::spawn(store, delay).map_err(|e| format!("bind: {e}"))?;
+        println!(
+            "serving {} ({} segments) on {} (concurrent mode, service delay {delay_ms} ms); \
+             Ctrl-C to stop",
+            md.file_id,
+            md.segments,
+            server.addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+            let stats = server.stats();
+            println!(
+                "[stats] connections {} | sessions {} | challenges {}",
+                stats.connections, stats.sessions, stats.challenges
+            );
+        }
+    }
+    let server = ProverServer::spawn(store, delay).map_err(|e| format!("bind: {e}"))?;
     println!(
         "serving {} ({} segments) on {} (service delay {delay_ms} ms); Ctrl-C to stop",
         md.file_id,
