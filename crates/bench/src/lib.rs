@@ -68,8 +68,8 @@ impl Table {
             out.push_str("|\n");
         };
         line(&mut out, &self.headers);
-        for (c, w) in widths.iter().enumerate() {
-            out.push_str(if c == 0 { "|" } else { "|" });
+        for w in &widths {
+            out.push('|');
             out.push_str(&"-".repeat(w + 2));
         }
         out.push_str("|\n");

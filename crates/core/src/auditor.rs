@@ -370,11 +370,9 @@ mod tests {
             .storage_mut()
             .segment_count(&FileId::from("f"))
             .unwrap();
-        for i in 0..n {
-            r.provider
-                .storage_mut()
-                .corrupt_segment(&FileId::from("f"), i, 0x80);
-        }
+        r.provider
+            .storage_mut()
+            .corrupt_segments(&FileId::from("f"), 0..n, 0x80);
         let req = r.auditor.issue_request(10);
         let t = r.verifier.run_audit(&req, &mut r.provider);
         let report = r.auditor.verify(&req, &t);

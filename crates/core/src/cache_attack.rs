@@ -8,6 +8,7 @@
 //! This module implements that adversary so experiments can measure it.
 
 use crate::provider::SegmentProvider;
+use bytes::Bytes;
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_net::lan::LanPath;
 use geoproof_net::wan::WanModel;
@@ -24,8 +25,8 @@ pub struct CachingRelayProvider {
     wan: WanModel,
     distance: Km,
     rng: ChaChaRng,
-    /// Front-node copies of the cached segments.
-    front_copies: std::collections::HashMap<u64, Vec<u8>>,
+    /// Front-node views of the cached segments (alias the remote arena).
+    front_copies: std::collections::HashMap<u64, Bytes>,
 }
 
 impl CachingRelayProvider {
@@ -73,7 +74,7 @@ impl CachingRelayProvider {
 }
 
 impl SegmentProvider for CachingRelayProvider {
-    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Bytes>, SimDuration) {
         let lan = self.lan.rtt(64, 96, &mut self.rng);
         if self.cached_segments.contains(&idx) {
             // Front-node hit: LAN + RAM only. Looks exactly like an

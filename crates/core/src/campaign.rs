@@ -59,6 +59,7 @@ impl CampaignResult {
 /// Each period rebuilds the deployment so provider state (storage,
 /// caches) matches the active behaviour; seeds vary per period so audits
 /// draw fresh challenges.
+#[allow(clippy::too_many_arguments)]
 pub fn run_campaign(
     sla_location: GeoPoint,
     params: PorParams,

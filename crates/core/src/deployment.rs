@@ -18,6 +18,7 @@ use geoproof_net::wan::{AccessKind, WanModel};
 use geoproof_por::encode::{PorEncoder, TaggedFile};
 use geoproof_por::keys::PorKeys;
 use geoproof_por::params::PorParams;
+use geoproof_por::stream::TaggedArena;
 use geoproof_sim::clock::SimClock;
 use geoproof_sim::time::{Km, SimDuration};
 use geoproof_storage::hdd::{HddModel, HddSpec, WD_2500JD};
@@ -49,6 +50,13 @@ impl DataOwner {
     pub fn prepare(&self, data: &[u8], file_id: &str) -> (TaggedFile, PorKeys) {
         let keys = PorKeys::derive(&self.master, file_id);
         (self.encoder.encode(data, &keys, file_id), keys)
+    }
+
+    /// Like [`DataOwner::prepare`], but produces the contiguous arena
+    /// form — the zero-copy upload every storage node can share.
+    pub fn prepare_arena(&self, data: &[u8], file_id: &str) -> (TaggedArena, PorKeys) {
+        let keys = PorKeys::derive(&self.master, file_id);
+        (self.encoder.encode_arena(data, &keys, file_id), keys)
     }
 
     /// The owner's encoder (parameters).
@@ -165,18 +173,20 @@ impl DeploymentBuilder {
         let mut data = vec![0u8; self.file_bytes];
         rng.fill_bytes(&mut data);
         let fid = "sla-file";
-        let (tagged, keys) = owner.prepare(&data, fid);
-        let n_segments = tagged.metadata.segments;
+        let (tagged, keys) = owner.prepare_arena(&data, fid);
+        let n_segments = tagged.metadata().segments;
 
-        let make_storage = |disk: HddSpec, segs: Vec<Vec<u8>>, seed: u64| {
+        // Every behaviour stores views of the *same* encoded arena —
+        // the upload is never copied per provider.
+        let make_storage = |disk: HddSpec, seed: u64| {
             let mut s = StorageServer::new(HddModel::deterministic(disk), seed);
-            s.put_file(FileId::from(fid), segs);
+            s.put_arena(FileId::from(fid), crate::provider::shared_store(&tagged));
             s
         };
 
         let provider: Box<dyn SegmentProvider> = match self.behaviour {
             ProviderBehaviour::Honest { disk } => Box::new(LocalProvider::new(
-                make_storage(disk, tagged.segments.clone(), self.seed + 1),
+                make_storage(disk, self.seed + 1),
                 LanPath::adjacent(),
                 self.seed + 2,
             )),
@@ -185,19 +195,24 @@ impl DeploymentBuilder {
                 distance,
                 access,
             } => Box::new(RelayProvider::new(
-                make_storage(remote_disk, tagged.segments.clone(), self.seed + 1),
+                make_storage(remote_disk, self.seed + 1),
                 LanPath::adjacent(),
                 WanModel::calibrated(access),
                 distance,
                 self.seed + 2,
             )),
             ProviderBehaviour::Corrupting { disk, fraction } => {
-                let mut storage = make_storage(disk, tagged.segments.clone(), self.seed + 1);
+                let mut storage = make_storage(disk, self.seed + 1);
                 let n_corrupt = ((n_segments as f64) * fraction).round() as usize;
                 let victims = rng.sample_distinct(n_segments, n_corrupt);
-                for v in victims {
-                    storage.corrupt_segment(&FileId::from(fid), v as usize, 0x55);
-                }
+                // One copy-on-write rebuild for the whole victim set —
+                // per-victim corrupt calls would re-copy the arena each
+                // time.
+                storage.corrupt_segments(
+                    &FileId::from(fid),
+                    victims.iter().map(|&v| v as usize),
+                    0x55,
+                );
                 Box::new(LocalProvider::new(
                     storage,
                     LanPath::adjacent(),
@@ -206,7 +221,7 @@ impl DeploymentBuilder {
             }
             ProviderBehaviour::Slow { disk, extra } => Box::new(DelayedProvider::new(
                 LocalProvider::new(
-                    make_storage(disk, tagged.segments.clone(), self.seed + 1),
+                    make_storage(disk, self.seed + 1),
                     LanPath::adjacent(),
                     self.seed + 2,
                 ),

@@ -589,21 +589,18 @@ mod tests {
         assert_eq!(t.len(), 2);
     }
 
+    /// One prover's kit: identity, device, and the provider under audit.
+    type FleetEntry = (ProverId, VerifierDevice, Box<dyn SegmentProvider + Send>);
+
     /// A full in-memory rig: one encoded file, n provers with their own
     /// devices and honest local storage.
-    fn rig(
-        n_provers: usize,
-        seed: u64,
-    ) -> (
-        AuditEngine,
-        Vec<(ProverId, VerifierDevice, Box<dyn SegmentProvider + Send>)>,
-    ) {
+    fn rig(n_provers: usize, seed: u64) -> (AuditEngine, Vec<FleetEntry>) {
         let params = PorParams::test_small();
         let encoder = PorEncoder::new(params);
         let keys = PorKeys::derive(b"engine-master", "ef");
         let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
-        let tagged = encoder.encode(&data, &keys, "ef");
-        let n = tagged.metadata.segments;
+        let tagged = encoder.encode_arena(&data, &keys, "ef");
+        let n = tagged.metadata().segments;
 
         let engine = AuditEngine::new(
             "ef",
@@ -637,7 +634,7 @@ mod tests {
                 seed ^ (i as u64 + 77),
             );
             let mut storage = StorageServer::new(HddModel::deterministic(WD_2500JD), i as u64);
-            storage.put_file(FileId::from("ef"), tagged.segments.clone());
+            storage.put_arena(FileId::from("ef"), crate::provider::shared_store(&tagged));
             let provider: Box<dyn SegmentProvider + Send> = Box::new(LocalProvider::new(
                 storage,
                 LanPath::adjacent(),

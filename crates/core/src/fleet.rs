@@ -194,7 +194,7 @@ struct Driver {
     provider: Box<dyn SegmentProvider>,
     run: Option<AuditRun>,
     timer: Option<Stopwatch>,
-    pending: Option<Option<Vec<u8>>>,
+    pending: Option<Option<bytes::Bytes>>,
 }
 
 /// Scheduler events: a session starting, or a round's response arriving.
@@ -221,8 +221,8 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
     let mut content_rng = ChaChaRng::from_u64_seed(config.seed ^ 0xf1ee7);
     let mut data = vec![0u8; config.file_bytes];
     content_rng.fill_bytes(&mut data);
-    let tagged = encoder.encode(&data, &keys, file_id);
-    let n_segments = tagged.metadata.segments;
+    let tagged = encoder.encode_arena(&data, &keys, file_id);
+    let n_segments = tagged.metadata().segments;
 
     let engine = AuditEngine::new(
         file_id,
@@ -263,15 +263,18 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
 
         let storage = |disk: HddSpec, seed: u64, corrupt: bool| {
             let mut s = StorageServer::new(HddModel::deterministic(disk), seed);
-            let mut segments = tagged.segments.clone();
             if corrupt {
-                for seg in segments.iter_mut() {
-                    for b in seg.iter_mut() {
-                        *b ^= 0x5a;
-                    }
-                }
+                // The forger rewrites the data, so it genuinely owns a
+                // mutated copy.
+                let segments: Vec<Vec<u8>> = tagged
+                    .iter()
+                    .map(|seg| seg.iter().map(|b| b ^ 0x5a).collect())
+                    .collect();
+                s.put_file(fid.clone(), segments);
+            } else {
+                // Honest provers all share views of the one upload.
+                s.put_arena(fid.clone(), crate::provider::shared_store(&tagged));
             }
-            s.put_file(fid.clone(), segments);
             s
         };
         let prover_seed = config.seed ^ ((i as u64 + 1) << 16);

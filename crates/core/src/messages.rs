@@ -5,6 +5,7 @@
 //! the signature over exactly those bytes, so every field is
 //! length-delimited and order-fixed here.
 
+use bytes::Bytes;
 use geoproof_crypto::schnorr::Signature;
 use geoproof_geo::coords::GeoPoint;
 use geoproof_sim::time::SimDuration;
@@ -30,8 +31,10 @@ pub struct TimedRound {
     /// Challenged segment index c_j.
     pub index: u64,
     /// Returned segment bytes S_cj ‖ τ_cj (empty when the prover had
-    /// nothing — still signed, still damning).
-    pub segment: Vec<u8>,
+    /// nothing — still signed, still damning). A refcounted view: on the
+    /// honest path these bytes alias the prover-side arena (local audits)
+    /// or the received frame buffer (TCP audits), never a copy.
+    pub segment: Bytes,
     /// Measured round-trip time Δt_j.
     pub rtt: SimDuration,
 }
@@ -95,12 +98,12 @@ mod tests {
         vec![
             TimedRound {
                 index: 5,
-                segment: vec![1, 2, 3],
+                segment: vec![1, 2, 3].into(),
                 rtt: SimDuration::from_millis(14),
             },
             TimedRound {
                 index: 99,
-                segment: vec![],
+                segment: Bytes::new(),
                 rtt: SimDuration::from_millis(15),
             },
         ]
@@ -139,7 +142,7 @@ mod tests {
         assert_ne!(base, other_rtt);
 
         let mut r = rounds();
-        r[1].segment = vec![0];
+        r[1].segment = vec![0].into();
         let other_seg = SignedTranscript::signing_bytes("f", &[7u8; 32], &pos, &r);
         assert_ne!(base, other_seg);
     }
@@ -151,12 +154,12 @@ mod tests {
         let pos = GeoPoint::new(0.0, 0.0);
         let r1 = vec![TimedRound {
             index: 0,
-            segment: b"c".to_vec(),
+            segment: Bytes::from(b"c".to_vec()),
             rtt: SimDuration::ZERO,
         }];
         let r2 = vec![TimedRound {
             index: 0,
-            segment: b"bc".to_vec(),
+            segment: Bytes::from(b"bc".to_vec()),
             rtt: SimDuration::ZERO,
         }];
         let a = SignedTranscript::signing_bytes("ab", &[0u8; 32], &pos, &r1);

@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn jobs_may_borrow_caller_state() {
         let results = Mutex::new(Vec::new());
-        let inputs = vec![1u32, 2, 3, 4, 5];
+        let inputs = [1u32, 2, 3, 4, 5];
         let jobs: Vec<Job> = inputs
             .iter()
             .map(|&x| {

@@ -7,22 +7,39 @@
 //! provider's LAN forwards every request over the Internet to a remote
 //! data centre with faster disks.
 
+use bytes::Bytes;
 use geoproof_net::lan::LanPath;
 use geoproof_net::wan::WanModel;
+use geoproof_por::stream::TaggedArena;
 use geoproof_sim::time::{Km, SimDuration};
+use geoproof_storage::arena::SegmentArena;
 use geoproof_storage::server::{FileId, StorageServer};
 
 /// Anything that can answer a challenge for segment `idx` of file `fid`.
 ///
 /// Returns the segment bytes (or `None` when missing) plus the *total*
 /// simulated service time the verifier will observe for the round —
-/// network transit plus storage look-up.
+/// network transit plus storage look-up. The bytes are a refcounted
+/// view ([`Bytes`]); honest providers serve slices of their storage
+/// arena without copying.
 pub trait SegmentProvider {
     /// Serves one segment request.
-    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration);
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Bytes>, SimDuration);
 
     /// Human-readable description for reports.
     fn describe(&self) -> String;
+}
+
+/// Wraps an encoded [`TaggedArena`] as storage-layer [`SegmentArena`]
+/// without copying: both index the *same* refcounted buffer, so one
+/// encode can back any number of provider storages (replicas, fleet
+/// rigs) at zero marginal payload cost.
+pub fn shared_store(arena: &TaggedArena) -> SegmentArena {
+    SegmentArena::from_contiguous(
+        arena.bytes().clone(),
+        arena.stride(),
+        arena.segment_count() as usize,
+    )
 }
 
 /// The honest deployment: the verifier device and the storage node share
@@ -53,9 +70,9 @@ impl LocalProvider {
 }
 
 impl SegmentProvider for LocalProvider {
-    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Bytes>, SimDuration) {
         let read = self.storage.read_segment(fid, idx as usize);
-        let resp_bytes = read.data.as_ref().map_or(64, Vec::len);
+        let resp_bytes = read.data.as_ref().map_or(64, Bytes::len);
         let net = self.lan.rtt(self.request_bytes, resp_bytes, &mut self.rng);
         (read.data, net + read.latency)
     }
@@ -109,9 +126,9 @@ impl RelayProvider {
 }
 
 impl SegmentProvider for RelayProvider {
-    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Bytes>, SimDuration) {
         let read = self.remote_storage.read_segment(fid, idx as usize);
-        let resp_bytes = read.data.as_ref().map_or(64, Vec::len);
+        let resp_bytes = read.data.as_ref().map_or(64, Bytes::len);
         // V → P over the LAN, P → P̃ over the Internet, look-up at P̃.
         let lan = self
             .local_lan
@@ -145,7 +162,7 @@ impl<P: SegmentProvider> DelayedProvider<P> {
 }
 
 impl<P: SegmentProvider> SegmentProvider for DelayedProvider<P> {
-    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Vec<u8>>, SimDuration) {
+    fn serve(&mut self, fid: &FileId, idx: u64) -> (Option<Bytes>, SimDuration) {
         let (data, t) = self.inner.serve(fid, idx);
         (data, t + self.extra)
     }

@@ -8,6 +8,7 @@
 
 use crate::messages::{AuditRequest, SignedTranscript, TimedRound};
 use crate::provider::SegmentProvider;
+use bytes::Bytes;
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::schnorr::{SigningKey, VerifyingKey};
 use geoproof_geo::gps::GpsReceiver;
@@ -169,7 +170,7 @@ impl AuditRun {
     /// # Panics
     ///
     /// Panics if the run is already complete.
-    pub fn record_round(&mut self, segment: Option<Vec<u8>>, rtt: SimDuration) {
+    pub fn record_round(&mut self, segment: Option<Bytes>, rtt: SimDuration) {
         let index = self
             .next_index()
             .expect("record_round called on a completed run");
@@ -314,7 +315,7 @@ mod tests {
         assert_eq!(run.remaining(), 3);
         assert!(!run.is_complete());
         while let Some(_idx) = run.next_index() {
-            run.record_round(Some(vec![1]), SimDuration::from_millis(1));
+            run.record_round(Some(vec![1].into()), SimDuration::from_millis(1));
         }
         assert!(run.is_complete());
         assert_eq!(run.remaining(), 0);

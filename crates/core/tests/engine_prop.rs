@@ -99,10 +99,8 @@ fn threads_never_lose_or_duplicate_sessions() {
                         inserts.fetch_add(1, Ordering::Relaxed);
                     }
                     // Complete every other round, so some sessions stay live.
-                    if round % 2 == 0 {
-                        if table.complete(&ProverId::from(id.as_str())).is_some() {
-                            completes.fetch_add(1, Ordering::Relaxed);
-                        }
+                    if round % 2 == 0 && table.complete(&ProverId::from(id.as_str())).is_some() {
+                        completes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             });

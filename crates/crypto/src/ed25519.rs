@@ -104,10 +104,10 @@ impl Scalar {
     pub fn add(&self, other: &Scalar) -> Scalar {
         let mut sum = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, word) in sum.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(other.0[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            sum[i] = s2;
+            *word = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         // Both inputs < ℓ < 2^253, so no carry out of word 3.
@@ -129,10 +129,10 @@ impl Scalar {
             sub_in_place(&mut d, &other.0);
             let mut sum = d;
             let mut carry = 0u64;
-            for i in 0..4 {
-                let (s1, c1) = sum[i].overflowing_add(self.0[i]);
+            for (i, word) in sum.iter_mut().enumerate() {
+                let (s1, c1) = word.overflowing_add(self.0[i]);
                 let (s2, c2) = s1.overflowing_add(carry);
-                sum[i] = s2;
+                *word = s2;
                 carry = (c1 as u64) + (c2 as u64);
             }
             debug_assert_eq!(carry, 0);

@@ -133,8 +133,8 @@ impl Fe {
     /// Field addition.
     pub fn add(&self, other: &Fe) -> Fe {
         let mut l = [0u64; 5];
-        for i in 0..5 {
-            l[i] = self.0[i] + other.0[i];
+        for (i, limb) in l.iter_mut().enumerate() {
+            *limb = self.0[i] + other.0[i];
         }
         Fe(l).reduce_limbs()
     }
@@ -189,13 +189,13 @@ impl Fe {
 
         // Carry propagation.
         let mut l = [0u64; 5];
-        t1 += (t0 >> 51) as u128;
+        t1 += t0 >> 51;
         l[0] = (t0 as u64) & MASK51;
-        t2 += (t1 >> 51) as u128;
+        t2 += t1 >> 51;
         l[1] = (t1 as u64) & MASK51;
-        t3 += (t2 >> 51) as u128;
+        t3 += t2 >> 51;
         l[2] = (t2 as u64) & MASK51;
-        t4 += (t3 >> 51) as u128;
+        t4 += t3 >> 51;
         l[3] = (t3 as u64) & MASK51;
         let carry = (t4 >> 51) as u64;
         l[4] = (t4 as u64) & MASK51;

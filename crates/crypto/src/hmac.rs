@@ -93,7 +93,7 @@ impl TruncatedMac {
     /// Panics if `bits` is zero or exceeds 256.
     pub fn new(bits: u32) -> Self {
         assert!(
-            bits >= 1 && bits <= 256,
+            (1..=256).contains(&bits),
             "tag width must be in 1..=256 bits"
         );
         TruncatedMac { bits }

@@ -268,9 +268,9 @@ mod tests {
         // Add ℓ to s: same value mod ℓ but non-canonical encoding.
         use crate::ed25519::L_BYTES_LE;
         let mut carry = 0u16;
-        for i in 0..32 {
-            let v = sig.s_bytes[i] as u16 + L_BYTES_LE[i] as u16 + carry;
-            sig.s_bytes[i] = v as u8;
+        for (byte, l) in sig.s_bytes.iter_mut().zip(L_BYTES_LE) {
+            let v = *byte as u16 + l as u16 + carry;
+            *byte = v as u8;
             carry = v >> 8;
         }
         assert!(!sk.verifying_key().verify(b"msg", &sig));

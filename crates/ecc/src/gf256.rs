@@ -26,8 +26,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x = 1u16;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -61,20 +61,26 @@ impl Gf {
         Gf(tables().exp[i % GROUP_ORDER])
     }
 
-    /// Addition (XOR).
+    /// Addition (XOR). Named methods are kept instead of the `std::ops`
+    /// traits: field arithmetic here is deliberately explicit (no `+`
+    /// sugar in the RS hot loops), and the names mirror the coding-theory
+    /// references.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Gf) -> Gf {
         Gf(self.0 ^ other.0)
     }
 
     /// Subtraction — identical to addition in characteristic 2.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Gf) -> Gf {
         self.add(other)
     }
 
     /// Multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Gf) -> Gf {
         if self.0 == 0 || other.0 == 0 {
             return Gf::ZERO;
@@ -102,6 +108,7 @@ impl Gf {
     ///
     /// Panics if `other` is zero.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Gf) -> Gf {
         self.mul(other.inv())
     }

@@ -417,8 +417,8 @@ mod tests {
         let segs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 24]).collect();
         let tree = MerkleTree::build(&segs);
         let mut batch = MerkleBatchVerifier::new(tree.root());
-        for i in 0..16 {
-            assert!(batch.verify_one(&segs[i], &tree.prove(i as u64)));
+        for (i, seg) in segs.iter().enumerate() {
+            assert!(batch.verify_one(seg, &tree.prove(i as u64)));
         }
         // Wrong data under a valid proof must fail even with a warm cache.
         assert!(!batch.verify_one(b"forged", &tree.prove(3)));

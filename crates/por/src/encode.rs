@@ -14,6 +14,7 @@
 
 use crate::keys::PorKeys;
 use crate::params::PorParams;
+use crate::stream::{ArenaSink, SegmentSink, StreamingEncoder, TaggedArena};
 use geoproof_crypto::aes::Aes128Ctr;
 use geoproof_crypto::hmac::TruncatedMac;
 use geoproof_crypto::prp::DomainPrp;
@@ -98,73 +99,47 @@ impl PorEncoder {
         &self.params
     }
 
-    /// Runs the full five-step setup on `data`, producing the tagged file.
+    /// Runs the full five-step setup on `data`, producing the tagged file
+    /// with one owned `Vec<u8>` per segment.
+    ///
+    /// Thin wrapper over the streaming pipeline (see [`crate::stream`]):
+    /// output bytes are identical; only the allocation shape differs from
+    /// [`PorEncoder::encode_arena`], which callers on the hot path should
+    /// prefer.
     pub fn encode(&self, data: &[u8], keys: &PorKeys, file_id: &str) -> TaggedFile {
-        let p = &self.params;
-        // Step 1: split into blocks (zero-padded tail).
-        let raw_blocks = (data.len() as u64).div_ceil(BLOCK_BYTES as u64).max(1);
-        let mut blocks: Vec<Block> = Vec::with_capacity(raw_blocks as usize);
-        for i in 0..raw_blocks as usize {
-            let mut b = [0u8; BLOCK_BYTES];
-            let start = i * BLOCK_BYTES;
-            if start < data.len() {
-                let end = (start + BLOCK_BYTES).min(data.len());
-                b[..end - start].copy_from_slice(&data[start..end]);
-            }
-            blocks.push(b);
-        }
-        // Step 2: chunk + Reed–Solomon (zero-block padding to a whole chunk).
-        let chunks = blocks.len().div_ceil(p.rs_k);
-        let mut encoded: Vec<Block> = Vec::with_capacity(chunks * p.rs_n);
-        for c in 0..chunks {
-            let mut chunk: Vec<Block> = Vec::with_capacity(p.rs_k);
-            for j in 0..p.rs_k {
-                chunk.push(*blocks.get(c * p.rs_k + j).unwrap_or(&[0u8; BLOCK_BYTES]));
-            }
-            encoded.extend(self.code.encode_chunk(&chunk));
-        }
-        let encoded_blocks = encoded.len() as u64;
-        // Step 3: encrypt. Each 16-byte block is one CTR block, counter =
-        // block index, so extraction can decrypt blocks independently.
-        let ctr = Aes128Ctr::new(keys.enc_key(), *b"geoproof");
-        let mut flat: Vec<u8> = Vec::with_capacity(encoded.len() * BLOCK_BYTES);
-        for b in &encoded {
-            flat.extend_from_slice(b);
-        }
-        ctr.apply_keystream(&mut flat);
-        // Step 4: permute blocks.
-        let prp = DomainPrp::new(keys.prp_key(), encoded_blocks);
-        let mut permuted: Vec<Block> = vec![[0u8; BLOCK_BYTES]; encoded.len()];
-        for i in 0..encoded.len() {
-            let src = &flat[i * BLOCK_BYTES..(i + 1) * BLOCK_BYTES];
-            let dst = prp.permute(i as u64) as usize;
-            permuted[dst].copy_from_slice(src);
-        }
-        // Step 5: segment + MAC.
-        let mac = TruncatedMac::new(p.tag_bits);
-        let n_segments = encoded.len().div_ceil(p.segment_blocks);
-        let mut segments = Vec::with_capacity(n_segments);
-        for s in 0..n_segments {
-            let mut seg = Vec::with_capacity(p.segment_bytes());
-            for j in 0..p.segment_blocks {
-                let idx = s * p.segment_blocks + j;
-                let block = permuted.get(idx).unwrap_or(&[0u8; BLOCK_BYTES]);
-                seg.extend_from_slice(block);
-            }
-            let tag = mac.mac(keys.mac_key(), &segment_message(&seg, s as u64, file_id));
-            seg.extend_from_slice(&tag);
-            segments.push(seg);
-        }
-        TaggedFile {
-            segments,
-            metadata: FileMetadata {
-                file_id: file_id.to_owned(),
-                original_len: data.len() as u64,
-                raw_blocks,
-                encoded_blocks,
-                segments: n_segments as u64,
-            },
-        }
+        self.encode_arena(data, keys, file_id).to_tagged_file()
+    }
+
+    /// Runs the five-step setup into one contiguous arena: segment `i` is
+    /// a zero-copy [`bytes::Bytes`] view at stride `i`. This is the
+    /// upload format the storage and wire layers serve without copying.
+    pub fn encode_arena(&self, data: &[u8], keys: &PorKeys, file_id: &str) -> TaggedArena {
+        let mut stream = self.begin_encode(keys, file_id, data.len() as u64, ArenaSink::default());
+        stream.push(data);
+        let (metadata, sink) = stream.finish();
+        sink.into_arena(metadata)
+    }
+
+    /// Starts a streaming encode of a `total_len`-byte input into `sink`.
+    ///
+    /// Feed the input with [`StreamingEncoder::push`] in chunks of any
+    /// size; peak working memory stays at one Reed–Solomon chunk plus the
+    /// sink itself, instead of several copies of the whole file.
+    pub fn begin_encode<S: SegmentSink>(
+        &self,
+        keys: &PorKeys,
+        file_id: &str,
+        total_len: u64,
+        sink: S,
+    ) -> StreamingEncoder<S> {
+        StreamingEncoder::new(
+            self.code.clone(),
+            self.params,
+            keys,
+            file_id,
+            total_len,
+            sink,
+        )
     }
 
     /// Verifies one segment's embedded tag (what the TPA does per
@@ -194,9 +169,9 @@ impl PorEncoder {
     /// [`ExtractError::TooCorrupt`] when a chunk exceeds the code's
     /// correction capacity; [`ExtractError::WrongSegmentCount`] on length
     /// mismatch.
-    pub fn extract(
+    pub fn extract<S: AsRef<[u8]>>(
         &self,
-        segments: &[Vec<u8>],
+        segments: &[S],
         keys: &PorKeys,
         metadata: &FileMetadata,
     ) -> Result<Vec<u8>, ExtractError> {
@@ -212,6 +187,7 @@ impl PorEncoder {
         let mut permuted: Vec<Block> = vec![[0u8; BLOCK_BYTES]; encoded_blocks];
         let mut block_ok = vec![false; encoded_blocks];
         for (s, seg) in segments.iter().enumerate() {
+            let seg = seg.as_ref();
             let ok = self.verify_segment(keys.mac_key(), &metadata.file_id, s as u64, seg);
             for j in 0..p.segment_blocks {
                 let idx = s * p.segment_blocks + j;

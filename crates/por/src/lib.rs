@@ -8,6 +8,10 @@
 //! * [`keys`] — per-file key derivation; the TPA receives only the MAC key;
 //! * [`encode`] — the five-step MAC-based setup (split → RS → encrypt →
 //!   permute → segment-and-tag) and the erasure-aware extractor;
+//! * [`stream`] — the same pipeline as a bounded-memory streaming encode
+//!   into a [`stream::SegmentSink`], with the contiguous
+//!   [`stream::TaggedArena`] as the zero-copy upload format
+//!   (see `docs/datapath.md`);
 //! * [`sentinel`] — the original sentinel-based variant as a baseline;
 //! * [`merkle`] / [`dynamic`] — the dynamic-POR extension the paper names
 //!   (Wang et al. DPOR): Merkle-authenticated updates and appends;
@@ -40,6 +44,7 @@ pub mod keys;
 pub mod merkle;
 pub mod params;
 pub mod sentinel;
+pub mod stream;
 
 pub use analysis::{detection_probability, irretrievability_bound};
 pub use batch::{
@@ -52,3 +57,4 @@ pub use keys::{AuditorKey, PorKeys};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use params::PorParams;
 pub use sentinel::{SentinelEncoder, SentinelMetadata};
+pub use stream::{ArenaSink, SegmentLayout, SegmentSink, StreamingEncoder, TaggedArena};

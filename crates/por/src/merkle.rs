@@ -178,12 +178,9 @@ mod tests {
         for n in [1usize, 2, 3, 4, 5, 8, 13, 64] {
             let segs = segments(n);
             let tree = MerkleTree::build(&segs);
-            for i in 0..n {
+            for (i, seg) in segs.iter().enumerate() {
                 let proof = tree.prove(i as u64);
-                assert!(
-                    verify_proof(&tree.root(), &segs[i], &proof),
-                    "n={n} leaf={i}"
-                );
+                assert!(verify_proof(&tree.root(), seg, &proof), "n={n} leaf={i}");
             }
         }
     }

@@ -1,0 +1,664 @@
+//! Streaming five-step setup: bounded-memory encoding into a
+//! [`SegmentSink`].
+//!
+//! [`crate::encode::PorEncoder::encode`] used to materialise five full
+//! copies of the file (raw blocks, RS-expanded blocks, the flat
+//! ciphertext, the permuted blocks, and the per-segment `Vec`s). This
+//! module restructures the same pipeline around a push API:
+//!
+//! * input is fed in arbitrary-sized chunks and buffered only up to one
+//!   Reed–Solomon chunk (`rs_k` blocks);
+//! * each chunk is RS-encoded, encrypted block-by-block (CTR counter =
+//!   global block index), and every ciphertext block is written straight
+//!   into its *final* permuted position inside the destination
+//!   [`SegmentSink`] — no intermediate file-sized buffer exists;
+//! * a segment is MAC-tagged and announced the moment its last block
+//!   lands (the PRP scatters blocks, so completion order is pseudorandom,
+//!   not index order).
+//!
+//! Working memory beyond the destination is **O(chunk)** data plus a
+//! 2-byte fill counter per segment (≈ 2.4 % of the stored bytes at paper
+//! parameters) — not O(file). The emitted bytes are **bit-identical** to
+//! the historical `encode` output; `tests/golden` pins in the facade
+//! crate and property tests in `tests/stream_prop.rs` enforce that.
+//!
+//! See `docs/datapath.md` for the end-to-end zero-copy story
+//! (encode → upload → disk → challenge → transcript).
+
+use crate::encode::FileMetadata;
+use crate::keys::PorKeys;
+use crate::params::PorParams;
+use bytes::Bytes;
+use geoproof_crypto::aes::Aes128Ctr;
+use geoproof_crypto::hmac::{HmacSha256, TruncatedMac};
+use geoproof_crypto::prp::DomainPrp;
+use geoproof_ecc::block_code::{Block, BlockCode, BLOCK_BYTES};
+
+/// The derived geometry of one encoded file: how `total_len` input bytes
+/// map onto blocks, Reed–Solomon chunks, and tagged segments. Pure
+/// arithmetic over [`PorParams`]; both the streaming encoder and sinks
+/// size themselves from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentLayout {
+    params: PorParams,
+    original_len: u64,
+    raw_blocks: u64,
+    encoded_blocks: u64,
+    segments: u64,
+}
+
+impl SegmentLayout {
+    /// Computes the layout for a `total_len`-byte input under `params`.
+    pub fn for_len(params: PorParams, total_len: u64) -> Self {
+        params.validate();
+        // An empty file still occupies one (zero) block, as the batch
+        // encoder always produced.
+        let raw_blocks = total_len.div_ceil(BLOCK_BYTES as u64).max(1);
+        let chunks = raw_blocks.div_ceil(params.rs_k as u64);
+        let encoded_blocks = chunks * params.rs_n as u64;
+        let segments = encoded_blocks.div_ceil(params.segment_blocks as u64);
+        SegmentLayout {
+            params,
+            original_len: total_len,
+            raw_blocks,
+            encoded_blocks,
+            segments,
+        }
+    }
+
+    /// The parameter set the layout was computed for.
+    pub fn params(&self) -> &PorParams {
+        &self.params
+    }
+
+    /// Input length in bytes.
+    pub fn original_len(&self) -> u64 {
+        self.original_len
+    }
+
+    /// Blocks before coding (b).
+    pub fn raw_blocks(&self) -> u64 {
+        self.raw_blocks
+    }
+
+    /// Blocks after Reed–Solomon coding (b′).
+    pub fn encoded_blocks(&self) -> u64 {
+        self.encoded_blocks
+    }
+
+    /// Reed–Solomon chunks.
+    pub fn chunks(&self) -> u64 {
+        self.encoded_blocks / self.params.rs_n as u64
+    }
+
+    /// Stored segments (ñ).
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Bytes per stored segment (body + tag).
+    pub fn segment_bytes(&self) -> usize {
+        self.params.segment_bytes()
+    }
+
+    /// Bytes of segment body (the `v` blocks, without the tag).
+    pub fn body_bytes(&self) -> usize {
+        self.params.segment_blocks * BLOCK_BYTES
+    }
+
+    /// Total stored bytes across all segments.
+    pub fn stored_bytes(&self) -> u64 {
+        self.segments * self.segment_bytes() as u64
+    }
+
+    /// Data blocks that land in segment `s` — `v`, except the final
+    /// segment which may be padded with zero blocks past `encoded_blocks`.
+    fn blocks_in_segment(&self, s: u64) -> u16 {
+        let start = s * self.params.segment_blocks as u64;
+        let end = (start + self.params.segment_blocks as u64).min(self.encoded_blocks);
+        (end - start) as u16
+    }
+
+    /// The retained metadata for this layout.
+    pub fn metadata(&self, file_id: &str) -> FileMetadata {
+        FileMetadata {
+            file_id: file_id.to_owned(),
+            original_len: self.original_len,
+            raw_blocks: self.raw_blocks,
+            encoded_blocks: self.encoded_blocks,
+            segments: self.segments,
+        }
+    }
+}
+
+/// Destination for streamed tagged segments.
+///
+/// The encoder writes ciphertext blocks directly into sink-owned memory
+/// (the PRP scatters them, so writes are random-access) and seals each
+/// segment in place once its last block arrives. Contract:
+///
+/// * [`SegmentSink::segment_mut`] returns a buffer of exactly
+///   `layout.segment_bytes()` bytes that is **zero-initialised** on
+///   first access — trailing padding blocks and the tag area are never
+///   explicitly written before sealing;
+/// * [`SegmentSink::complete`] fires exactly once per segment, in
+///   PRP-completion order (pseudorandom, *not* ascending index);
+/// * [`SegmentSink::finish`] fires once, after every segment completed.
+pub trait SegmentSink {
+    /// Called once before any write; the sink sizes itself here.
+    fn begin(&mut self, layout: &SegmentLayout);
+
+    /// Mutable storage for segment `index` (body followed by tag area).
+    fn segment_mut(&mut self, index: u64) -> &mut [u8];
+
+    /// Segment `index` is fully written (body and tag).
+    fn complete(&mut self, index: u64) {
+        let _ = index;
+    }
+
+    /// All segments are complete.
+    fn finish(&mut self, layout: &SegmentLayout) {
+        let _ = layout;
+    }
+}
+
+/// The streaming five-step encoder: feed input with
+/// [`StreamingEncoder::push`], close with [`StreamingEncoder::finish`].
+///
+/// Construct via [`crate::encode::PorEncoder::begin_encode`]. The total
+/// input length must be declared up front: the block permutation spans
+/// the whole encoded file, so its domain (and every segment's final
+/// position) depends on it.
+pub struct StreamingEncoder<S: SegmentSink> {
+    layout: SegmentLayout,
+    code: BlockCode,
+    prp: DomainPrp,
+    ctr: Aes128Ctr,
+    mac: TruncatedMac,
+    mac_key: [u8; 32],
+    file_id: String,
+    /// Raw input bytes buffered toward the current RS chunk (< rs_k·16).
+    pending: Vec<u8>,
+    fed: u64,
+    next_chunk: u64,
+    /// Blocks landed per segment; a segment seals when it hits
+    /// [`SegmentLayout::blocks_in_segment`]. Two bytes per segment — the
+    /// only per-file index the encoder keeps (≈ 2.4 % of stored bytes at
+    /// paper parameters).
+    fill: Vec<u16>,
+    sealed: u64,
+    sink: S,
+}
+
+impl<S: SegmentSink> std::fmt::Debug for StreamingEncoder<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingEncoder")
+            .field("layout", &self.layout)
+            .field("fed", &self.fed)
+            .field("sealed", &self.sealed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SegmentSink> StreamingEncoder<S> {
+    pub(crate) fn new(
+        code: BlockCode,
+        params: PorParams,
+        keys: &PorKeys,
+        file_id: &str,
+        total_len: u64,
+        mut sink: S,
+    ) -> Self {
+        let layout = SegmentLayout::for_len(params, total_len);
+        assert!(
+            params.segment_blocks <= u16::MAX as usize,
+            "segment_blocks exceeds the fill-counter range"
+        );
+        sink.begin(&layout);
+        StreamingEncoder {
+            code,
+            prp: DomainPrp::new(keys.prp_key(), layout.encoded_blocks()),
+            ctr: Aes128Ctr::new(keys.enc_key(), *b"geoproof"),
+            mac: TruncatedMac::new(params.tag_bits),
+            mac_key: *keys.mac_key(),
+            file_id: file_id.to_owned(),
+            pending: Vec::with_capacity(params.rs_k * BLOCK_BYTES),
+            fed: 0,
+            next_chunk: 0,
+            fill: vec![0u16; layout.segments() as usize],
+            sealed: 0,
+            sink,
+            layout,
+        }
+    }
+
+    /// The layout being encoded into.
+    pub fn layout(&self) -> &SegmentLayout {
+        &self.layout
+    }
+
+    /// Bytes fed so far.
+    pub fn bytes_fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// Segments sealed (tag written, sink notified) so far.
+    pub fn segments_sealed(&self) -> u64 {
+        self.sealed
+    }
+
+    /// Feeds the next `data` bytes of the input. Chunking is free-form;
+    /// the encoder buffers at most one RS chunk internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bytes than the declared total length are fed.
+    pub fn push(&mut self, mut data: &[u8]) {
+        assert!(
+            self.fed + data.len() as u64 <= self.layout.original_len(),
+            "push overflows declared length {} (fed {}, pushing {})",
+            self.layout.original_len(),
+            self.fed,
+            data.len()
+        );
+        let chunk_bytes = self.layout.params().rs_k * BLOCK_BYTES;
+        while !data.is_empty() {
+            let take = (chunk_bytes - self.pending.len()).min(data.len());
+            self.pending.extend_from_slice(&data[..take]);
+            self.fed += take as u64;
+            data = &data[take..];
+            if self.pending.len() == chunk_bytes {
+                self.flush_chunk();
+            }
+        }
+    }
+
+    /// Flushes the final (possibly padded) chunk, seals any remaining
+    /// segments and returns the metadata plus the filled sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer bytes than the declared total length were fed.
+    pub fn finish(mut self) -> (FileMetadata, S) {
+        assert_eq!(
+            self.fed,
+            self.layout.original_len(),
+            "finish called after {} of {} declared bytes",
+            self.fed,
+            self.layout.original_len()
+        );
+        // At most one ragged chunk remains; an empty input still owes its
+        // single all-zero chunk.
+        while self.next_chunk < self.layout.chunks() {
+            self.flush_chunk();
+        }
+        debug_assert_eq!(self.sealed, self.layout.segments());
+        self.sink.finish(&self.layout);
+        (self.layout.metadata(&self.file_id), self.sink)
+    }
+
+    /// RS-encodes the buffered chunk (zero-padded to `rs_k` blocks),
+    /// encrypts each output block at its global CTR position, and scatters
+    /// the ciphertext through the PRP into the sink.
+    fn flush_chunk(&mut self) {
+        let p = *self.layout.params();
+        let mut chunk: Vec<Block> = Vec::with_capacity(p.rs_k);
+        for j in 0..p.rs_k {
+            let mut b: Block = [0u8; BLOCK_BYTES];
+            let start = j * BLOCK_BYTES;
+            if start < self.pending.len() {
+                let end = (start + BLOCK_BYTES).min(self.pending.len());
+                b[..end - start].copy_from_slice(&self.pending[start..end]);
+            }
+            chunk.push(b);
+        }
+        let encoded = self.code.encode_chunk(&chunk);
+        let base = self.next_chunk * p.rs_n as u64;
+        for (j, block) in encoded.into_iter().enumerate() {
+            let mut block = block;
+            let index = base + j as u64;
+            self.ctr.apply_keystream_at(&mut block, index);
+            let dst = self.prp.permute(index);
+            let seg = dst / p.segment_blocks as u64;
+            let offset = (dst % p.segment_blocks as u64) as usize * BLOCK_BYTES;
+            self.sink.segment_mut(seg)[offset..offset + BLOCK_BYTES].copy_from_slice(&block);
+            self.fill[seg as usize] += 1;
+            if self.fill[seg as usize] == self.layout.blocks_in_segment(seg) {
+                self.seal_segment(seg);
+            }
+        }
+        self.next_chunk += 1;
+        self.pending.clear();
+    }
+
+    /// MACs the completed body in place and writes the tag after it.
+    fn seal_segment(&mut self, seg: u64) {
+        let body_bytes = self.layout.body_bytes();
+        let buf = self.sink.segment_mut(seg);
+        let mut h = HmacSha256::new(&self.mac_key);
+        h.update(&buf[..body_bytes]);
+        h.update(&seg.to_be_bytes());
+        h.update(self.file_id.as_bytes());
+        let tag = self.mac.truncate(&h.finalize());
+        buf[body_bytes..].copy_from_slice(&tag);
+        self.sink.complete(seg);
+        self.sealed += 1;
+    }
+}
+
+// --- the contiguous-arena sink ---------------------------------------------
+
+/// A [`SegmentSink`] backing all segments with one contiguous,
+/// fixed-stride allocation — the zero-copy upload format. Freeze into a
+/// [`TaggedArena`] with [`ArenaSink::into_arena`].
+#[derive(Debug, Default)]
+pub struct ArenaSink {
+    buf: Vec<u8>,
+    stride: usize,
+}
+
+impl SegmentSink for ArenaSink {
+    fn begin(&mut self, layout: &SegmentLayout) {
+        self.stride = layout.segment_bytes();
+        self.buf = vec![0u8; layout.stored_bytes() as usize];
+    }
+
+    fn segment_mut(&mut self, index: u64) -> &mut [u8] {
+        let start = index as usize * self.stride;
+        &mut self.buf[start..start + self.stride]
+    }
+}
+
+impl ArenaSink {
+    /// Freezes the filled arena (no copy).
+    pub fn into_arena(self, metadata: FileMetadata) -> TaggedArena {
+        debug_assert_eq!(
+            self.buf.len(),
+            metadata.segments as usize * self.stride,
+            "arena size does not match metadata"
+        );
+        TaggedArena {
+            buf: Bytes::from(self.buf),
+            stride: self.stride,
+            metadata,
+        }
+    }
+}
+
+/// An encoded, tagged file in one contiguous buffer: segment `i` lives at
+/// byte offset `i × stride`. [`TaggedArena::segment`] returns a
+/// refcounted [`Bytes`] view — storing, serving, and framing a segment
+/// all alias this one allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedArena {
+    buf: Bytes,
+    stride: usize,
+    metadata: FileMetadata,
+}
+
+impl TaggedArena {
+    /// Rehydrates an arena from its parts (e.g. a store file read back
+    /// from disk). `buf` must be exactly `metadata.segments × stride`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a size mismatch.
+    pub fn from_parts(buf: Bytes, stride: usize, metadata: FileMetadata) -> Self {
+        assert_eq!(
+            buf.len() as u64,
+            metadata.segments * stride as u64,
+            "arena buffer does not match segments × stride"
+        );
+        TaggedArena {
+            buf,
+            stride,
+            metadata,
+        }
+    }
+
+    /// The retained file metadata.
+    pub fn metadata(&self) -> &FileMetadata {
+        &self.metadata
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u64 {
+        self.metadata.segments
+    }
+
+    /// Bytes per segment slot.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The whole arena as one shared buffer.
+    pub fn bytes(&self) -> &Bytes {
+        &self.buf
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Segment `index` as a zero-copy view into the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment(&self, index: u64) -> Bytes {
+        assert!(
+            index < self.metadata.segments,
+            "segment {index} out of range ({})",
+            self.metadata.segments
+        );
+        let start = index as usize * self.stride;
+        self.buf.slice(start..start + self.stride)
+    }
+
+    /// All segments as cheap views (ñ refcount bumps, zero payload
+    /// copies).
+    pub fn segments(&self) -> Vec<Bytes> {
+        (0..self.metadata.segments)
+            .map(|i| self.segment(i))
+            .collect()
+    }
+
+    /// Iterates segments as zero-copy views.
+    pub fn iter(&self) -> impl Iterator<Item = Bytes> + '_ {
+        (0..self.metadata.segments).map(|i| self.segment(i))
+    }
+
+    /// Deep-copies into the legacy [`crate::encode::TaggedFile`] shape
+    /// (one owned `Vec` per segment) for callers that mutate segments.
+    pub fn to_tagged_file(&self) -> crate::encode::TaggedFile {
+        crate::encode::TaggedFile {
+            segments: self.iter().map(|s| s.to_vec()).collect(),
+            metadata: self.metadata.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::PorEncoder;
+    use geoproof_crypto::chacha::ChaChaRng;
+
+    fn keys() -> PorKeys {
+        PorKeys::derive(b"stream-master", "sf")
+    }
+
+    fn sample(len: usize) -> Vec<u8> {
+        let mut rng = ChaChaRng::from_u64_seed(77);
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn layout_matches_overhead_example() {
+        for len in [0u64, 1, 16, 17, 4000, 100_000] {
+            let layout = SegmentLayout::for_len(PorParams::test_small(), len);
+            let ex = crate::params::overhead_example(&PorParams::test_small(), len);
+            if len > 0 {
+                assert_eq!(layout.raw_blocks(), ex.raw_blocks, "len {len}");
+            }
+            assert_eq!(layout.stored_bytes() % layout.segment_bytes() as u64, 0);
+            assert_eq!(
+                layout.segments(),
+                layout.encoded_blocks().div_ceil(2),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_output_equals_batch_encode_for_any_chunking() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let k = keys();
+        let data = sample(5000);
+        let batch = enc.encode(&data, &k, "sf");
+        for chunk_size in [1usize, 7, 16, 176, 1000, 5000] {
+            let mut stream = enc.begin_encode(&k, "sf", data.len() as u64, ArenaSink::default());
+            for piece in data.chunks(chunk_size) {
+                stream.push(piece);
+            }
+            let (md, sink) = stream.finish();
+            let arena = sink.into_arena(md);
+            assert_eq!(arena.metadata(), &batch.metadata, "chunk {chunk_size}");
+            assert_eq!(
+                arena.segment_count() as usize,
+                batch.segments.len(),
+                "chunk {chunk_size}"
+            );
+            for (i, seg) in batch.segments.iter().enumerate() {
+                assert_eq!(
+                    arena.segment(i as u64),
+                    *seg,
+                    "segment {i}, chunk {chunk_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_views_alias_one_allocation() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let arena = enc.encode_arena(&sample(2000), &keys(), "sf");
+        let base = arena.bytes().as_ptr();
+        for i in 0..arena.segment_count() {
+            let seg = arena.segment(i);
+            let expect = unsafe { base.add(i as usize * arena.stride()) };
+            assert_eq!(seg.as_ptr(), expect, "segment {i} must be a view");
+            assert_eq!(seg.len(), arena.stride());
+        }
+        let all = arena.segments();
+        assert_eq!(all.len() as u64, arena.segment_count());
+    }
+
+    #[test]
+    fn completion_order_is_pseudorandom_but_complete() {
+        #[derive(Default)]
+        struct Recording {
+            inner: ArenaSink,
+            order: Vec<u64>,
+        }
+        impl SegmentSink for Recording {
+            fn begin(&mut self, layout: &SegmentLayout) {
+                self.inner.begin(layout);
+            }
+            fn segment_mut(&mut self, index: u64) -> &mut [u8] {
+                self.inner.segment_mut(index)
+            }
+            fn complete(&mut self, index: u64) {
+                self.order.push(index);
+            }
+        }
+
+        let enc = PorEncoder::new(PorParams::test_small());
+        let data = sample(4000);
+        let mut stream = enc.begin_encode(&keys(), "sf", data.len() as u64, Recording::default());
+        stream.push(&data);
+        let (md, sink) = stream.finish();
+        let mut seen = sink.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..md.segments).collect::<Vec<_>>());
+        assert_ne!(
+            sink.order,
+            (0..md.segments).collect::<Vec<_>>(),
+            "PRP scatter should not complete segments in index order"
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_one_padded_chunk() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let stream = enc.begin_encode(&keys(), "sf", 0, ArenaSink::default());
+        let (md, sink) = stream.finish();
+        assert_eq!(md.raw_blocks, 1);
+        assert_eq!(md.encoded_blocks, 15);
+        let arena = sink.into_arena(md);
+        assert_eq!(arena.segment_count(), 8);
+        // Must equal the batch path bit for bit.
+        let batch = enc.encode(&[], &keys(), "sf");
+        for (i, seg) in batch.segments.iter().enumerate() {
+            assert_eq!(arena.segment(i as u64), *seg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "push overflows")]
+    fn overfeeding_panics() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let mut stream = enc.begin_encode(&keys(), "sf", 4, ArenaSink::default());
+        stream.push(&[0u8; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called after")]
+    fn underfeeding_panics() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let mut stream = enc.begin_encode(&keys(), "sf", 64, ArenaSink::default());
+        stream.push(&[0u8; 10]);
+        let _ = stream.finish();
+    }
+
+    #[test]
+    fn progress_counters_track_the_stream() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let data = sample(4000);
+        let mut stream = enc.begin_encode(&keys(), "sf", data.len() as u64, ArenaSink::default());
+        assert_eq!(stream.bytes_fed(), 0);
+        stream.push(&data[..1000]);
+        assert_eq!(stream.bytes_fed(), 1000);
+        stream.push(&data[1000..]);
+        assert_eq!(stream.bytes_fed(), 4000);
+        let sealed_before_finish = stream.segments_sealed();
+        let (md, _) = stream.finish();
+        assert!(sealed_before_finish <= md.segments);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let arena = enc.encode_arena(&sample(1000), &keys(), "sf");
+        let again = TaggedArena::from_parts(
+            arena.bytes().clone(),
+            arena.stride(),
+            arena.metadata().clone(),
+        );
+        assert_eq!(again, arena);
+        assert!(again.bytes().aliases(arena.bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_parts_rejects_size_mismatch() {
+        let enc = PorEncoder::new(PorParams::test_small());
+        let arena = enc.encode_arena(&sample(1000), &keys(), "sf");
+        let truncated = arena.bytes().slice(..arena.total_bytes() - 1);
+        TaggedArena::from_parts(truncated, arena.stride(), arena.metadata().clone());
+    }
+}

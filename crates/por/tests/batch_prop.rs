@@ -99,15 +99,15 @@ proptest! {
             .collect();
         let tree = MerkleTree::build(&segs);
         let mut batch = MerkleBatchVerifier::new(tree.root());
-        for i in 0..n_leaves {
+        for (i, seg) in segs.iter().enumerate() {
             let proof = tree.prove(i as u64);
             let tampered = (tamper_mask >> (i % 32)) & 1 == 1;
             let data: Vec<u8> = if tampered {
-                let mut d = segs[i].clone();
+                let mut d = seg.clone();
                 d[0] ^= 1;
                 d
             } else {
-                segs[i].clone()
+                seg.clone()
             };
             prop_assert_eq!(
                 batch.verify_one(&data, &proof),

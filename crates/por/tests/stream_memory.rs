@@ -1,0 +1,146 @@
+//! Peak-memory pins for the streaming encoder.
+//!
+//! The whole point of `geoproof_por::stream` is that encoding no longer
+//! materialises O(file) intermediate state: beyond the destination arena
+//! (which *is* the output), working memory is one Reed–Solomon chunk of
+//! input plus a 2-byte fill counter per segment. A counting global
+//! allocator measures exactly that: peak live bytes during the encode,
+//! minus what was live before, minus the arena itself, must stay under
+//! `chunk + 2·ñ + slack` — for a 1 MiB input in CI, and for a 64 MiB
+//! input in the `--ignored` (release-recommended) variant. The legacy
+//! batch pipeline peaked at ~5× the file size; a regression to that
+//! shape fails these bounds by orders of magnitude.
+
+use geoproof_por::encode::PorEncoder;
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::PorParams;
+use geoproof_por::stream::{ArenaSink, SegmentLayout};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `System` wrapper tracking live and peak allocation in bytes.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = LIVE.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Encodes `total` pseudorandom bytes in 64 KiB pushes (the input is
+/// generated chunkwise — it never exists in memory as a whole) and
+/// returns `(arena_bytes, peak_extra_bytes)`: peak live allocation during
+/// the encode beyond what was live before it started, minus the arena.
+fn measure_streaming_encode(total: u64) -> (usize, usize) {
+    let params = PorParams::test_small();
+    let encoder = PorEncoder::new(params);
+    let keys = PorKeys::derive(b"memory-pin", "mem");
+    let mut chunk = vec![0u8; 64 * 1024];
+
+    let baseline = LIVE.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+
+    let mut stream = encoder.begin_encode(&keys, "mem", total, ArenaSink::default());
+    let mut fed = 0u64;
+    let mut state = 0x1234_5678_9abc_def0u64;
+    while fed < total {
+        let n = chunk.len().min((total - fed) as usize);
+        for b in chunk[..n].iter_mut() {
+            // xorshift64 — cheap deterministic filler, no RNG allocs.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = state as u8;
+        }
+        stream.push(&chunk[..n]);
+        fed += n as u64;
+    }
+    let (md, sink) = stream.finish();
+    let arena = sink.into_arena(md);
+
+    let peak = PEAK.load(Ordering::Relaxed);
+    let arena_bytes = arena.total_bytes();
+    assert_eq!(
+        arena_bytes as u64,
+        SegmentLayout::for_len(params, total).stored_bytes()
+    );
+    let peak_extra = peak - baseline - arena_bytes;
+    (arena_bytes, peak_extra)
+}
+
+/// Extra-memory bound: the RS chunk input buffer and encoded-chunk
+/// scratch, the per-segment u16 fill counters, and slack for small
+/// transients (keys, PRP state, the 64 KiB feed buffer's accounting).
+fn expected_bound(total: u64) -> usize {
+    let layout = SegmentLayout::for_len(PorParams::test_small(), total);
+    let chunk_working = 4 * 11 * 16; // pending + chunk + encoded, with margin
+    let fill_counters = 2 * layout.segments() as usize;
+    chunk_working + fill_counters + 256 * 1024
+}
+
+#[test]
+fn one_mib_streaming_encode_has_bounded_working_memory() {
+    let total = 1 << 20;
+    let (arena, extra) = measure_streaming_encode(total);
+    let bound = expected_bound(total);
+    assert!(
+        extra <= bound,
+        "working memory {extra} B exceeds bound {bound} B (arena {arena} B)"
+    );
+    // Sanity: the bound itself is a small fraction of the file.
+    assert!(bound < (total as usize) / 2);
+}
+
+/// The acceptance-scale run: ≥ 64 MiB through the streaming encoder with
+/// working memory that does not grow with the file (beyond the 2-byte
+/// fill counter per segment). Ignored by default — run with
+/// `cargo test -p geoproof-por --release --test stream_memory -- --ignored`.
+#[test]
+#[ignore = "64 MiB encode: run in release"]
+fn sixty_four_mib_streaming_encode_has_bounded_working_memory() {
+    let total = 64 << 20;
+    let (arena, extra) = measure_streaming_encode(total);
+    let bound = expected_bound(total);
+    assert!(
+        extra <= bound,
+        "working memory {extra} B exceeds bound {bound} B (arena {arena} B)"
+    );
+    // The old pipeline held ≥ 3 extra file-sized *copies*; the streaming
+    // working set is the fill index (2 B per 34 B test segment ≈ 6 %)
+    // plus constants — require it stays under an eighth of the input,
+    // a regression to even one payload-sized buffer blows through this.
+    assert!(
+        extra < (total as usize) / 8,
+        "working memory {extra} B is not o(file-copies)"
+    );
+}

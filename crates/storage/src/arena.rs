@@ -1,0 +1,252 @@
+//! Contiguous per-file segment storage.
+//!
+//! [`crate::server::StorageServer`] used to keep each file as
+//! `Vec<Vec<u8>>` and deep-copy every served segment. A
+//! [`SegmentArena`] instead packs all of a file's segments into one
+//! shared [`Bytes`] buffer with an offset/length index, so a read is a
+//! refcount bump plus a range — the served view aliases the stored
+//! bytes, and stays valid (and cheap) no matter how many audits are in
+//! flight.
+//!
+//! Mutation is deliberately rare-path: honest serving never mutates, and
+//! the adversarial hooks (`corrupt`, `clear_segment`) either rebuild the
+//! buffer copy-on-write or just shrink an index entry. Views handed out
+//! before a corruption keep seeing the old buffer — exactly the
+//! semantics a concurrent reader of an immutable snapshot should get.
+
+use bytes::Bytes;
+
+/// All segments of one file in a single allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentArena {
+    buf: Bytes,
+    /// Per-segment `(offset, len)` into `buf`.
+    index: Vec<(usize, usize)>,
+}
+
+impl SegmentArena {
+    /// Packs owned segments into one contiguous buffer (one copy — the
+    /// ingest path for callers that don't already hold an arena).
+    pub fn from_segments<S: AsRef<[u8]>>(segments: &[S]) -> Self {
+        let total = segments.iter().map(|s| s.as_ref().len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        let mut index = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let seg = seg.as_ref();
+            index.push((buf.len(), seg.len()));
+            buf.extend_from_slice(seg);
+        }
+        SegmentArena {
+            buf: Bytes::from(buf),
+            index,
+        }
+    }
+
+    /// Wraps an already-contiguous fixed-stride buffer (e.g. a
+    /// `geoproof-por` tagged arena) without copying: segment `i` is
+    /// `buf[i·stride .. (i+1)·stride]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `buf.len() == count × stride`.
+    pub fn from_contiguous(buf: Bytes, stride: usize, count: usize) -> Self {
+        assert_eq!(
+            buf.len(),
+            count * stride,
+            "buffer is not count × stride bytes"
+        );
+        SegmentArena {
+            buf,
+            index: (0..count).map(|i| (i * stride, stride)).collect(),
+        }
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the arena holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The backing buffer (for aliasing checks and bulk I/O).
+    pub fn bytes(&self) -> &Bytes {
+        &self.buf
+    }
+
+    /// Total payload bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Segment `idx` as a zero-copy view into the arena, or `None` when
+    /// out of range.
+    pub fn get(&self, idx: usize) -> Option<Bytes> {
+        self.index
+            .get(idx)
+            .map(|&(off, len)| self.buf.slice(off..off + len))
+    }
+
+    /// XORs `mask` into every byte of segment `idx`; returns whether it
+    /// existed. Copy-on-write: the backing buffer is rebuilt, so views
+    /// served before the corruption keep their original bytes. To hit
+    /// many segments, use [`SegmentArena::corrupt_many`] — it pays the
+    /// buffer rebuild once, not per victim.
+    pub fn corrupt(&mut self, idx: usize, mask: u8) -> bool {
+        self.corrupt_many(std::iter::once(idx), mask) == 1
+    }
+
+    /// XORs `mask` into every byte of each listed segment in **one**
+    /// copy-on-write rebuild; returns how many *distinct* indices
+    /// existed. Duplicates are collapsed first (a double XOR would
+    /// silently un-corrupt); out-of-range indices are skipped; if none
+    /// exist, the buffer is untouched.
+    pub fn corrupt_many(&mut self, indices: impl IntoIterator<Item = usize>, mask: u8) -> usize {
+        let mut seen: Vec<usize> = indices
+            .into_iter()
+            .filter(|&idx| idx < self.index.len())
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let victims: Vec<(usize, usize)> = seen.into_iter().map(|idx| self.index[idx]).collect();
+        if victims.is_empty() {
+            return 0;
+        }
+        let mut rebuilt = self.buf.to_vec();
+        for &(off, len) in &victims {
+            for b in &mut rebuilt[off..off + len] {
+                *b ^= mask;
+            }
+        }
+        self.buf = Bytes::from(rebuilt);
+        victims.len()
+    }
+
+    /// Empties segment `idx` (index entry shrinks to zero length; the
+    /// buffer is untouched); returns whether it existed.
+    pub fn clear_segment(&mut self, idx: usize) -> bool {
+        match self.index.get_mut(idx) {
+            Some(entry) => {
+                entry.1 = 0;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<S: AsRef<[u8]>> From<&[S]> for SegmentArena {
+    fn from(segments: &[S]) -> Self {
+        SegmentArena::from_segments(segments)
+    }
+}
+
+impl From<Vec<Vec<u8>>> for SegmentArena {
+    fn from(segments: Vec<Vec<u8>>) -> Self {
+        SegmentArena::from_segments(&segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> SegmentArena {
+        SegmentArena::from_segments(&[b"alpha".as_slice(), b"be".as_slice(), b"gamma".as_slice()])
+    }
+
+    #[test]
+    fn packs_and_indexes_segments() {
+        let a = arena();
+        assert_eq!(a.segment_count(), 3);
+        assert_eq!(a.total_bytes(), 12);
+        assert_eq!(a.get(0).unwrap(), *b"alpha");
+        assert_eq!(a.get(1).unwrap(), *b"be");
+        assert_eq!(a.get(2).unwrap(), *b"gamma");
+        assert!(a.get(3).is_none());
+    }
+
+    #[test]
+    fn reads_alias_the_backing_buffer() {
+        let a = arena();
+        let base = a.bytes().as_ptr();
+        let seg1 = a.get(1).unwrap();
+        assert_eq!(seg1.as_ptr(), unsafe { base.add(5) });
+        // A second read of the same segment is the same window.
+        assert!(a.get(1).unwrap().aliases(&seg1));
+    }
+
+    #[test]
+    fn from_contiguous_is_zero_copy() {
+        let buf = Bytes::from(vec![7u8; 4 * 83]);
+        let base = buf.as_ptr();
+        let a = SegmentArena::from_contiguous(buf, 83, 4);
+        assert_eq!(a.segment_count(), 4);
+        assert_eq!(a.bytes().as_ptr(), base, "wrap must not copy");
+        assert_eq!(a.get(2).unwrap().as_ptr(), unsafe { base.add(2 * 83) });
+    }
+
+    #[test]
+    #[should_panic(expected = "count × stride")]
+    fn from_contiguous_rejects_mismatch() {
+        SegmentArena::from_contiguous(Bytes::from(vec![0u8; 10]), 3, 4);
+    }
+
+    #[test]
+    fn corrupt_is_copy_on_write() {
+        let mut a = arena();
+        let before = a.get(0).unwrap();
+        assert!(a.corrupt(0, 0xff));
+        assert_ne!(a.get(0).unwrap(), before);
+        // The earlier view still sees the pristine bytes.
+        assert_eq!(before, *b"alpha");
+        // Other segments are unaffected by the rebuild.
+        assert_eq!(a.get(2).unwrap(), *b"gamma");
+        assert!(!a.corrupt(9, 0xff));
+    }
+
+    #[test]
+    fn corrupt_many_is_one_rebuild() {
+        let mut a = arena();
+        let before = a.get(2).unwrap();
+        // Hit two segments (one index out of range, skipped) in one call.
+        assert_eq!(a.corrupt_many([0usize, 2, 9], 0x01), 2);
+        assert_ne!(a.get(0).unwrap(), *b"alpha");
+        assert_ne!(a.get(2).unwrap(), *b"gamma");
+        assert_eq!(a.get(1).unwrap(), *b"be");
+        // Earlier views still see the pristine buffer (COW).
+        assert_eq!(before, *b"gamma");
+        // All-out-of-range: buffer untouched.
+        let base = a.bytes().as_ptr();
+        assert_eq!(a.corrupt_many([42usize], 0xff), 0);
+        assert_eq!(a.bytes().as_ptr(), base);
+    }
+
+    #[test]
+    fn corrupt_many_collapses_duplicate_indices() {
+        // Regression: a duplicated victim index must not XOR twice and
+        // silently restore the pristine bytes.
+        let mut a = arena();
+        assert_eq!(a.corrupt_many([0usize, 0, 0], 0x55), 1);
+        assert_ne!(a.get(0).unwrap(), *b"alpha");
+    }
+
+    #[test]
+    fn clear_segment_empties_in_place() {
+        let mut a = arena();
+        assert!(a.clear_segment(1));
+        assert_eq!(a.get(1).unwrap().len(), 0);
+        assert_eq!(a.get(0).unwrap(), *b"alpha");
+        assert!(!a.clear_segment(9));
+    }
+
+    #[test]
+    fn empty_arena() {
+        let a = SegmentArena::from_segments::<&[u8]>(&[]);
+        assert!(a.is_empty());
+        assert_eq!(a.segment_count(), 0);
+        assert!(a.get(0).is_none());
+    }
+}

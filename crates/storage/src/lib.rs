@@ -8,6 +8,8 @@
 //!   stochastic flavours, plus an SSD extension model;
 //! * [`cache`] — an LRU read cache and the cache-assisted-cheating
 //!   analysis (random challenges defeat it);
+//! * [`arena`] — contiguous per-file segment storage ([`SegmentArena`]):
+//!   one shared buffer per file, reads are zero-copy `Bytes` views;
 //! * [`server`] — a simulated cloud storage node whose segment reads cost
 //!   modelled disk time, with corruption/deletion hooks for adversarial
 //!   experiments.
@@ -22,10 +24,12 @@
 //! assert!((IBM_36Z15.avg_lookup(512).as_millis_f64() - 5.406).abs() < 1e-3);
 //! ```
 
+pub mod arena;
 pub mod cache;
 pub mod hdd;
 pub mod server;
 
+pub use arena::SegmentArena;
 pub use cache::{all_hits_probability, CachedDisk};
 pub use hdd::{HddModel, HddSpec, SsdModel, TABLE_I};
 pub use server::{FileId, ReadOutcome, StorageServer};

@@ -5,7 +5,9 @@
 //! returns the segment-with-tag `S_cj ‖ τ_cj`. [`StorageServer`] is that
 //! machine: a segment store whose reads cost simulated disk time.
 
+use crate::arena::SegmentArena;
 use crate::hdd::HddModel;
+use bytes::Bytes;
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::fnv::fnv1a_64;
 use geoproof_sim::time::SimDuration;
@@ -30,8 +32,9 @@ impl From<&str> for FileId {
 /// Result of one segment read: the bytes and the disk time it cost.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReadOutcome {
-    /// The segment bytes (tag embedded), or `None` if missing/deleted.
-    pub data: Option<Vec<u8>>,
+    /// The segment bytes (tag embedded) as a zero-copy view into the
+    /// stored arena, or `None` if missing/deleted.
+    pub data: Option<Bytes>,
     /// Simulated look-up latency charged for the read.
     pub latency: SimDuration,
 }
@@ -48,7 +51,7 @@ pub struct ReadOutcome {
 #[derive(Debug)]
 pub struct StorageServer {
     disk: HddModel,
-    files: HashMap<FileId, Vec<Vec<u8>>>,
+    files: HashMap<FileId, SegmentArena>,
     seed: u64,
     /// Per-slot access counters keyed by `(fnv1a(fid), idx)` — hashed
     /// keys keep the hot read path allocation-free.
@@ -68,9 +71,21 @@ impl StorageServer {
         }
     }
 
-    /// Stores (or replaces) a file as an ordered list of segments.
+    /// Stores (or replaces) a file as an ordered list of segments
+    /// (packed into a fresh arena — one copy at ingest).
     pub fn put_file(&mut self, fid: FileId, segments: Vec<Vec<u8>>) {
-        self.files.insert(fid, segments);
+        self.files.insert(fid, SegmentArena::from(segments));
+    }
+
+    /// Stores (or replaces) a file that is already arena-packed — the
+    /// zero-copy upload path (e.g. from a `geoproof-por` tagged arena).
+    pub fn put_arena(&mut self, fid: FileId, arena: SegmentArena) {
+        self.files.insert(fid, arena);
+    }
+
+    /// The stored arena for `fid`, if present (aliasing checks, bulk I/O).
+    pub fn arena(&self, fid: &FileId) -> Option<&SegmentArena> {
+        self.files.get(fid)
     }
 
     /// Removes a file; returns whether it existed.
@@ -80,7 +95,7 @@ impl StorageServer {
 
     /// Number of segments stored for `fid`.
     pub fn segment_count(&self, fid: &FileId) -> Option<usize> {
-        self.files.get(fid).map(|s| s.len())
+        self.files.get(fid).map(SegmentArena::segment_count)
     }
 
     /// Reads segment `idx` of `fid`, charging one disk look-up.
@@ -96,8 +111,11 @@ impl StorageServer {
             .and_modify(|c| *c += 1)
             .or_insert(0);
         let mut rng = Self::request_rng(self.seed, fid_hash, idx, *access);
-        let data = self.files.get(fid).and_then(|segs| segs.get(idx)).cloned();
-        let bytes = data.as_ref().map_or(512, Vec::len);
+        // A zero-copy view into the arena — serving a segment costs a
+        // refcount bump, never a payload copy (pinned by the aliasing
+        // regression test below).
+        let data = self.files.get(fid).and_then(|arena| arena.get(idx));
+        let bytes = data.as_ref().map_or(512, Bytes::len);
         let latency = self.disk.sample_lookup(bytes, &mut rng);
         ReadOutcome { data, latency }
     }
@@ -123,25 +141,30 @@ impl StorageServer {
     /// Corrupts segment `idx` by XOR-ing `mask` into every byte; returns
     /// whether the segment existed. Used by adversarial experiments.
     pub fn corrupt_segment(&mut self, fid: &FileId, idx: usize, mask: u8) -> bool {
-        if let Some(seg) = self.files.get_mut(fid).and_then(|s| s.get_mut(idx)) {
-            for b in seg.iter_mut() {
-                *b ^= mask;
-            }
-            true
-        } else {
-            false
-        }
+        self.files
+            .get_mut(fid)
+            .is_some_and(|arena| arena.corrupt(idx, mask))
+    }
+
+    /// Corrupts every listed segment of `fid` in one arena rebuild (see
+    /// [`SegmentArena::corrupt_many`]); returns how many existed.
+    pub fn corrupt_segments(
+        &mut self,
+        fid: &FileId,
+        indices: impl IntoIterator<Item = usize>,
+        mask: u8,
+    ) -> usize {
+        self.files
+            .get_mut(fid)
+            .map_or(0, |arena| arena.corrupt_many(indices, mask))
     }
 
     /// Deletes a single segment's contents (sets it empty); returns whether
     /// it existed.
     pub fn drop_segment(&mut self, fid: &FileId, idx: usize) -> bool {
-        if let Some(seg) = self.files.get_mut(fid).and_then(|s| s.get_mut(idx)) {
-            seg.clear();
-            true
-        } else {
-            false
-        }
+        self.files
+            .get_mut(fid)
+            .is_some_and(|arena| arena.clear_segment(idx))
     }
 
     /// Total reads served (audit statistics).
@@ -271,6 +294,45 @@ mod tests {
         again.put_file(FileId::from("f"), vec![vec![0u8; 83]; 1]);
         assert_eq!(again.read_segment(&FileId::from("f"), 0).latency, first);
         assert_eq!(again.read_segment(&FileId::from("f"), 0).latency, second);
+    }
+
+    #[test]
+    fn served_bytes_alias_the_stored_arena() {
+        // Regression for the read-path deep copy: `read_segment` used to
+        // `.cloned()` every served segment. A served view must now point
+        // *into* the file's arena allocation — same backing buffer, at
+        // the segment's exact offset.
+        let mut s = StorageServer::new(HddModel::deterministic(WD_2500JD), 3);
+        let fid = FileId::from("alias");
+        s.put_file(fid.clone(), (0..8).map(|i| vec![i as u8; 83]).collect());
+
+        let arena_base = s.arena(&fid).unwrap().bytes().as_ptr();
+        let arena_len = s.arena(&fid).unwrap().total_bytes();
+        for idx in [0usize, 3, 7] {
+            let served = s.read_segment(&fid, idx).data.expect("present");
+            let expected = unsafe { arena_base.add(idx * 83) };
+            assert_eq!(
+                served.as_ptr(),
+                expected,
+                "segment {idx} was copied instead of aliased"
+            );
+            // And the whole view stays inside the arena's range.
+            let start = served.as_ptr() as usize;
+            assert!(start + served.len() <= arena_base as usize + arena_len);
+            // The canonical alias check: same allocation, same window.
+            assert!(served.aliases(&s.arena(&fid).unwrap().get(idx).unwrap()));
+        }
+    }
+
+    #[test]
+    fn put_arena_stores_without_copying() {
+        let buf = bytes::Bytes::from(vec![9u8; 5 * 83]);
+        let base = buf.as_ptr();
+        let arena = SegmentArena::from_contiguous(buf, 83, 5);
+        let mut s = StorageServer::new(HddModel::deterministic(WD_2500JD), 4);
+        s.put_arena(FileId::from("f"), arena);
+        let served = s.read_segment(&FileId::from("f"), 2).data.unwrap();
+        assert_eq!(served.as_ptr(), unsafe { base.add(2 * 83) });
     }
 
     #[test]

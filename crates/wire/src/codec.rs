@@ -5,7 +5,7 @@
 //! canonical-encoding discipline as the signed transcript, so nothing
 //! depends on parser lenience.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Maximum accepted frame size (1 MiB) — segments are ~83 bytes, so
 /// anything near this is hostile.
@@ -23,8 +23,10 @@ pub enum WireMessage {
     },
     /// Prover → verifier: the segment, or `None` when missing.
     Response {
-        /// Segment bytes with embedded tag.
-        segment: Option<Vec<u8>>,
+        /// Segment bytes with embedded tag — a refcounted view, so a
+        /// response built from a storage arena (and a response decoded
+        /// from a frame buffer) carries no payload copy.
+        segment: Option<Bytes>,
     },
     /// TPA → verifier: start an audit (ñ, k, nonce as in Fig. 5).
     StartAudit {
@@ -73,9 +75,25 @@ const TAG_START_AUDIT: u8 = 3;
 const TAG_BYE: u8 = 4;
 
 impl WireMessage {
-    /// Encodes the message as one frame.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encodes the message as one contiguous frame (for tests and
+    /// callers that want a single buffer). The hot path is
+    /// [`write_frame`], which uses [`WireMessage::encode_parts`] to skip
+    /// copying segment payloads into the frame.
+    pub fn encode(&self) -> Bytes {
+        let (mut head, tail) = self.encode_parts();
+        if let Some(tail) = tail {
+            head.extend_from_slice(&tail);
+        }
+        head.freeze()
+    }
+
+    /// Encodes into `(head, tail)`: `head` is the length prefix plus all
+    /// fixed fields; `tail`, when present, is the segment payload as a
+    /// refcounted view that was **not** copied. Writing `head` then
+    /// `tail` emits exactly the [`WireMessage::encode`] frame.
+    pub fn encode_parts(&self) -> (BytesMut, Option<Bytes>) {
         let mut payload = BytesMut::new();
+        let mut tail: Option<Bytes> = None;
         match self {
             WireMessage::Challenge { file_id, index } => {
                 payload.put_u8(TAG_CHALLENGE);
@@ -88,7 +106,7 @@ impl WireMessage {
                     Some(bytes) => {
                         payload.put_u8(1);
                         payload.put_u32(bytes.len() as u32);
-                        payload.put_slice(bytes);
+                        tail = Some(bytes.clone());
                     }
                     None => payload.put_u8(0),
                 }
@@ -107,19 +125,37 @@ impl WireMessage {
             }
             WireMessage::Bye => payload.put_u8(TAG_BYE),
         }
-        let mut frame = Vec::with_capacity(4 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        let tail_len = tail.as_ref().map_or(0, Bytes::len);
+        // Head capacity deliberately excludes the tail: the tail is
+        // written from its own buffer, so reserving for it here would be
+        // a payload-sized allocation per frame (the bench's allocation
+        // audit pins this).
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32((payload.len() + tail_len) as u32);
         frame.extend_from_slice(&payload);
-        frame
+        (frame, tail)
     }
 
-    /// Decodes one frame's payload (after the length prefix was consumed).
+    /// Decodes one frame's payload (after the length prefix was
+    /// consumed), copying any segment payload into a fresh buffer. The
+    /// zero-copy receive path is [`WireMessage::decode_shared`].
     ///
     /// # Errors
     ///
     /// Any [`CodecError`] on malformed input.
     pub fn decode(payload: &[u8]) -> Result<WireMessage, CodecError> {
-        let mut buf = payload;
+        Self::decode_shared(&Bytes::copy_from_slice(payload))
+    }
+
+    /// Decodes one frame's payload held as a shared buffer; a segment in
+    /// a `Response` is returned as a *slice of that buffer* (refcount
+    /// bump, no payload copy).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    pub fn decode_shared(payload: &Bytes) -> Result<WireMessage, CodecError> {
+        let mut buf: &[u8] = payload;
         if buf.is_empty() {
             return Err(CodecError::Truncated);
         }
@@ -152,9 +188,10 @@ impl WireMessage {
                         if buf.remaining() < len {
                             return Err(CodecError::Truncated);
                         }
-                        let segment = buf[..len].to_vec();
+                        // Slice the frame buffer instead of copying out.
+                        let start = payload.len() - buf.remaining();
                         Ok(WireMessage::Response {
-                            segment: Some(segment),
+                            segment: Some(payload.slice(start..start + len)),
                         })
                     }
                 }
@@ -220,7 +257,7 @@ pub fn read_frame<R: std::io::Read>(reader: &mut R) -> std::io::Result<WireMessa
     }
     let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
-    WireMessage::decode(&payload)
+    WireMessage::decode_shared(&Bytes::from(payload))
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
@@ -230,7 +267,11 @@ pub fn read_frame<R: std::io::Read>(reader: &mut R) -> std::io::Result<WireMessa
 ///
 /// I/O errors pass through.
 pub fn write_frame<W: std::io::Write>(writer: &mut W, msg: &WireMessage) -> std::io::Result<()> {
-    writer.write_all(&msg.encode())?;
+    let (head, tail) = msg.encode_parts();
+    writer.write_all(&head)?;
+    if let Some(tail) = tail {
+        writer.write_all(&tail)?;
+    }
     writer.flush()
 }
 
@@ -251,7 +292,7 @@ mod tests {
             index: 42,
         });
         roundtrip(WireMessage::Response {
-            segment: Some(vec![1, 2, 3]),
+            segment: Some(vec![1, 2, 3].into()),
         });
         roundtrip(WireMessage::Response { segment: None });
         roundtrip(WireMessage::StartAudit {
@@ -313,7 +354,7 @@ mod tests {
                 index: 1,
             },
             WireMessage::Response {
-                segment: Some(vec![9; 83]),
+                segment: Some(vec![9; 83].into()),
             },
             WireMessage::Bye,
         ];

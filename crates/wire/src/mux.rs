@@ -13,7 +13,8 @@
 //!   statistics so operators can see load.
 
 use crate::codec::{write_frame, WireMessage};
-use crate::tcp::{IdleFrameReader, Polled, SegmentStore};
+use crate::tcp::{store_segments, IdleFrameReader, Polled, SegmentStore};
+use bytes::Bytes;
 use geoproof_crypto::fnv::Fnv1a;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -220,6 +221,13 @@ impl MuxProverServer {
 
     /// Replaces a file's segments.
     pub fn put_file(&self, file_id: &str, segments: Vec<Vec<u8>>) {
+        self.store
+            .lock()
+            .insert(file_id.to_owned(), store_segments(segments));
+    }
+
+    /// Replaces a file's segments with already-shared views (zero-copy).
+    pub fn put_shared(&self, file_id: &str, segments: Vec<Bytes>) {
         self.store.lock().insert(file_id.to_owned(), segments);
     }
 
@@ -330,9 +338,10 @@ mod tests {
     fn store_with(files: &[(&str, usize)]) -> SegmentStore {
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
         for &(fid, n) in files {
-            store
-                .lock()
-                .insert(fid.to_owned(), (0..n).map(|i| vec![i as u8; 83]).collect());
+            store.lock().insert(
+                fid.to_owned(),
+                (0..n).map(|i| Bytes::from(vec![i as u8; 83])).collect(),
+            );
         }
         store
     }

@@ -7,6 +7,7 @@
 //! blocking I/O keep it dependency-free.
 
 use crate::codec::{read_frame, write_frame, CodecError, WireMessage, MAX_FRAME};
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Read;
@@ -15,8 +16,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Shared segment store served by a [`ProverServer`].
-pub type SegmentStore = Arc<Mutex<HashMap<String, Vec<Vec<u8>>>>>;
+/// Shared segment store served by a [`ProverServer`]: per file, a list
+/// of refcounted segment views (typically all slices of one storage
+/// arena). Serving a challenge clones a `Bytes` — a refcount bump, not
+/// a payload copy.
+pub type SegmentStore = Arc<Mutex<HashMap<String, Vec<Bytes>>>>;
+
+/// Packs owned segment vectors into store form (each `Vec` is wrapped,
+/// not copied).
+pub fn store_segments(segments: Vec<Vec<u8>>) -> Vec<Bytes> {
+    segments.into_iter().map(Bytes::from).collect()
+}
 
 /// A TCP prover: answers `Challenge` frames with `Response` frames.
 pub struct ProverServer {
@@ -86,6 +96,13 @@ impl ProverServer {
 
     /// Replaces a file's segments.
     pub fn put_file(&self, file_id: &str, segments: Vec<Vec<u8>>) {
+        self.store
+            .lock()
+            .insert(file_id.to_owned(), store_segments(segments));
+    }
+
+    /// Replaces a file's segments with already-shared views (zero-copy).
+    pub fn put_shared(&self, file_id: &str, segments: Vec<Bytes>) {
         self.store.lock().insert(file_id.to_owned(), segments);
     }
 
@@ -127,12 +144,14 @@ pub(crate) enum Polled {
 /// partial frames so an idle timeout is always restartable.
 #[derive(Debug)]
 pub(crate) struct IdleFrameReader {
-    buf: Vec<u8>,
+    buf: BytesMut,
 }
 
 impl IdleFrameReader {
     pub(crate) fn new() -> Self {
-        IdleFrameReader { buf: Vec::new() }
+        IdleFrameReader {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Polls for one frame; `Idle` on timeout, `Closed` on EOF.
@@ -156,9 +175,12 @@ impl IdleFrameReader {
                     ));
                 }
                 if self.buf.len() >= 4 + len {
-                    let msg = WireMessage::decode(&self.buf[4..4 + len])
+                    // Split the frame off and decode against the shared
+                    // buffer: a segment payload in the frame is sliced,
+                    // not copied.
+                    let frame = self.buf.split_to(4 + len).freeze();
+                    let msg = WireMessage::decode_shared(&frame.slice(4..))
                         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-                    self.buf.drain(..4 + len);
                     return Ok(Polled::Frame(msg));
                 }
             }
@@ -250,7 +272,7 @@ impl TcpChallenger {
         &mut self,
         file_id: &str,
         index: u64,
-    ) -> std::io::Result<(Option<Vec<u8>>, Duration)> {
+    ) -> std::io::Result<(Option<Bytes>, Duration)> {
         let start = Instant::now();
         write_frame(
             &mut self.stream,
@@ -282,9 +304,10 @@ mod tests {
 
     fn store_with(file: &str, n: usize) -> SegmentStore {
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
-        store
-            .lock()
-            .insert(file.to_owned(), (0..n).map(|i| vec![i as u8; 83]).collect());
+        store.lock().insert(
+            file.to_owned(),
+            (0..n).map(|i| Bytes::from(vec![i as u8; 83])).collect(),
+        );
         store
     }
 
@@ -370,7 +393,7 @@ mod tests {
         assert_eq!(
             reply,
             WireMessage::Response {
-                segment: Some(vec![2u8; 83])
+                segment: Some(vec![2u8; 83].into())
             }
         );
         // The stream is still in sync: a second, normally-sent challenge
@@ -385,7 +408,7 @@ mod tests {
         assert_eq!(
             reply2,
             WireMessage::Response {
-                segment: Some(vec![0u8; 83])
+                segment: Some(vec![0u8; 83].into())
             }
         );
     }

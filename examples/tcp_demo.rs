@@ -24,19 +24,20 @@ fn main() -> std::io::Result<()> {
     let encoder = PorEncoder::new(PorParams::test_small());
     let keys = PorKeys::derive(b"tcp-demo-master", "demo-file");
     let data: Vec<u8> = (0..20_000u32).map(|i| (i * 31) as u8).collect();
-    let tagged = encoder.encode(&data, &keys, "demo-file");
+    let tagged = encoder.encode_arena(&data, &keys, "demo-file");
     println!(
         "encoded {} bytes → {} segments of {} bytes\n",
         data.len(),
-        tagged.segments.len(),
-        tagged.segments[0].len()
+        tagged.segment_count(),
+        tagged.stride()
     );
 
+    // Both provers serve zero-copy views of the same encoded arena.
     let make_store = || -> SegmentStore {
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
         store
             .lock()
-            .insert("demo-file".to_owned(), tagged.segments.clone());
+            .insert("demo-file".to_owned(), tagged.segments());
         store
     };
 
@@ -55,7 +56,7 @@ fn main() -> std::io::Result<()> {
         let mut verified = 0;
         let k = 10;
         for j in 0..k {
-            let idx = (j * 7) % tagged.segments.len() as u64;
+            let idx = (j * 7) % tagged.segment_count();
             let (segment, rtt) = challenger.challenge("demo-file", idx)?;
             max_rtt = max_rtt.max(rtt);
             let seg = segment.expect("segment present");

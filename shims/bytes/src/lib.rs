@@ -3,17 +3,26 @@
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors a minimal API-compatible subset: [`BytesMut`],
 //! [`Bytes`], and the [`Buf`]/[`BufMut`] traits with big-endian integer
-//! accessors. Only the surface actually used by `geoproof-wire` (plus a
+//! accessors. Only the surface the workspace actually uses (plus a
 //! little headroom) is provided. Swap this for the real crate by editing
 //! the workspace manifests once a registry is reachable.
+//!
+//! Like the real crate, [`Bytes`] is a cheaply cloneable, sliceable view
+//! into a reference-counted buffer: `clone` bumps a refcount,
+//! [`Bytes::slice`] produces a sub-view over the *same* allocation, and
+//! [`BytesMut::freeze`] / `Bytes::from(vec)` take ownership without
+//! copying. This is what the zero-copy segment data path relies on —
+//! a stored segment, its wire frame, and the transcript round it lands
+//! in can all alias one arena allocation.
 
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
 
 /// A growable byte buffer, backed by a `Vec<u8>`.
 ///
-/// Unlike the real `bytes::BytesMut` this does not share allocations;
-/// the semantics visible to this workspace (append, deref to `[u8]`,
-/// freeze) are identical.
+/// Unlike the real `bytes::BytesMut` this does not share allocations
+/// while mutable; the semantics visible to this workspace (append, deref
+/// to `[u8]`, split, zero-copy freeze) are identical.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BytesMut {
     inner: Vec<u8>,
@@ -52,6 +61,11 @@ impl BytesMut {
         self.inner.extend_from_slice(extend);
     }
 
+    /// Grows the buffer to `new_len`, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
     /// Removes the first `at` bytes and returns them as a new buffer.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         let rest = self.inner.split_off(at);
@@ -65,9 +79,9 @@ impl BytesMut {
         self.inner.clear();
     }
 
-    /// Converts the buffer into an immutable [`Bytes`].
+    /// Converts the buffer into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes { inner: self.inner }
+        Bytes::from(self.inner)
     }
 }
 
@@ -104,52 +118,209 @@ impl From<&[u8]> for BytesMut {
     }
 }
 
-/// An immutable byte buffer (the result of [`BytesMut::freeze`]).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+/// An immutable, reference-counted view into a byte buffer.
+///
+/// `clone` is O(1) (refcount bump) and [`Bytes::slice`] returns a
+/// sub-view sharing the same allocation, so passing segments between
+/// storage, wire, and transcript layers never copies payload bytes.
+/// Equality and hashing are by content, as with the real crate.
+#[derive(Clone, Default)]
 pub struct Bytes {
-    inner: Vec<u8>,
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Self { inner: Vec::new() }
+        Self::default()
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self {
-            inner: data.to_vec(),
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a sub-view of `range`, sharing this view's allocation —
+    /// no bytes are copied and both views keep the buffer alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            buf: self.buf.clone(),
+            off: self.off + start,
+            len: end - start,
         }
     }
 
-    /// Number of bytes in the buffer.
-    pub fn len(&self) -> usize {
-        self.inner.len()
+    /// Whether two views share the same allocation *and* window — i.e.
+    /// one is a zero-copy alias of the other. (Content equality is `==`.)
+    pub fn aliases(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf) && self.off == other.off && self.len == other.len
     }
 
-    /// Whether the buffer is empty.
-    pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+    /// Copies the view into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.inner
+        &self.buf[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.inner
+        self
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `inner` without copying.
     fn from(inner: Vec<u8>) -> Self {
-        Self { inner }
+        let len = inner.len();
+        Bytes {
+            buf: Arc::new(inner),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(slice: &[u8]) -> Self {
+        Bytes::copy_from_slice(slice)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(array: [u8; N]) -> Self {
+        Bytes::from(array.to_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+// Content comparisons against common owned/borrowed byte types, so call
+// sites and tests don't need conversion noise.
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_ref()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_ref() == other.as_slice()
     }
 }
 
@@ -294,5 +465,82 @@ mod tests {
         let head = b.split_to(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&b.freeze()[..], &[3, 4]);
+    }
+
+    #[test]
+    fn freeze_does_not_copy() {
+        let v = vec![9u8; 64];
+        let ptr = v.as_ptr();
+        let frozen = BytesMut::from(v).freeze();
+        assert_eq!(frozen.as_ptr(), ptr, "freeze must reuse the allocation");
+        let from_vec = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(from_vec.len(), 3);
+    }
+
+    #[test]
+    fn clone_and_slice_share_the_allocation() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let base = b.as_ptr();
+        let clone = b.clone();
+        assert_eq!(clone.as_ptr(), base);
+        assert!(clone.aliases(&b));
+
+        let mid = b.slice(10..20);
+        assert_eq!(&mid[..], &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(mid.as_ptr(), unsafe { base.add(10) });
+        assert!(!mid.aliases(&b), "different window is not an alias");
+
+        // Slicing a slice stays within the same allocation.
+        let inner = mid.slice(2..5);
+        assert_eq!(&inner[..], &[12, 13, 14]);
+        assert_eq!(inner.as_ptr(), unsafe { base.add(12) });
+
+        // The original can be dropped; views keep the buffer alive.
+        drop(b);
+        drop(mid);
+        assert_eq!(&inner[..], &[12, 13, 14]);
+    }
+
+    #[test]
+    fn slice_full_and_empty_ranges() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.slice(..), b);
+        assert!(b.slice(..).aliases(&b));
+        assert!(b.slice(3..3).is_empty());
+        assert!(b.slice(0..0).is_empty());
+        assert_eq!(b.slice(..=1), vec![1u8, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn equality_is_by_content_not_identity() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.aliases(&b));
+        assert_eq!(a, vec![1u8, 2, 3]);
+        assert_eq!(vec![1u8, 2, 3], a);
+        assert_eq!(a, [1u8, 2, 3]);
+        assert_eq!(a, &[1u8, 2, 3][..]);
+        assert_ne!(a, Bytes::from(vec![1u8, 2]));
+    }
+
+    #[test]
+    fn hash_matches_content() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Bytes::from(vec![1u8, 2]));
+        assert!(set.contains(&Bytes::copy_from_slice(&[1, 2])));
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let b = Bytes::from(vec![b'h', b'i', 0]);
+        assert_eq!(format!("{b:?}"), "b\"hi\\x00\"");
     }
 }

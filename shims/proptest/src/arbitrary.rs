@@ -97,7 +97,7 @@ impl<const N: usize> Arbitrary for [u8; N] {
 }
 
 impl Arbitrary for () {
-    fn arbitrary(_rng: &mut TestRng) -> () {}
+    fn arbitrary(_rng: &mut TestRng) {}
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ proptest! {
 
     #[test]
     fn ranges_and_any(a in any::<u64>(), b in 1u64..1000, c in 0.0f64..50.0) {
-        prop_assert!(b >= 1 && b < 1000);
+        prop_assert!((1..1000).contains(&b));
         prop_assert!((0.0..50.0).contains(&c));
         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
     }
@@ -33,7 +33,7 @@ proptest! {
 
     #[test]
     fn assume_and_patterns(n in any::<u64>(), fid in "[a-z0-9-]{1,30}") {
-        prop_assume!(n % 2 == 0);
+        prop_assume!(n.is_multiple_of(2));
         prop_assert_eq!(n % 2, 0);
         prop_assert!(!fid.is_empty() && fid.len() <= 30);
     }

@@ -17,11 +17,11 @@
 //! | [`crypto`] | `geoproof-crypto` | SHA-256, HMAC, HKDF, AES-128(-CTR), ChaCha20 DRBG, Feistel PRP, Schnorr/edwards25519 |
 //! | [`ecc`] | `geoproof-ecc` | GF(2^8), Reed–Solomon (255, 223, 32) with errors + erasures |
 //! | [`sim`] | `geoproof-sim` | simulated clock, time/distance units, latency distributions |
-//! | [`storage`] | `geoproof-storage` | Table I disk catalogue, storage server |
+//! | [`storage`] | `geoproof-storage` | Table I disk catalogue, arena-backed storage server |
 //! | [`net`] | `geoproof-net` | LAN (Table II) and Internet (Table III) models |
 //! | [`geo`] | `geoproof-geo` | coordinates, GPS + spoofing, triangulation, geolocation baselines |
 //! | [`distbound`] | `geoproof-distbound` | Brands–Chaum, Hancke–Kuhn, Reid et al. + attacks |
-//! | [`por`] | `geoproof-por` | MAC-based and sentinel PORs, detection analysis |
+//! | [`por`] | `geoproof-por` | MAC-based and sentinel PORs, streaming encode, detection analysis |
 //! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine and deterministic fleet simulator |
 //! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server |
 //!
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use geoproof_core::multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
     pub use geoproof_core::policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
     pub use geoproof_core::provider::{
-        DelayedProvider, LocalProvider, RelayProvider, SegmentProvider,
+        shared_store, DelayedProvider, LocalProvider, RelayProvider, SegmentProvider,
     };
     pub use geoproof_core::verifier::VerifierDevice;
     pub use geoproof_crypto::chacha::ChaChaRng;
@@ -76,8 +76,10 @@ pub mod prelude {
     pub use geoproof_por::encode::PorEncoder;
     pub use geoproof_por::keys::PorKeys;
     pub use geoproof_por::params::PorParams;
+    pub use geoproof_por::stream::{ArenaSink, SegmentLayout, SegmentSink, TaggedArena};
     pub use geoproof_sim::simnet::SimNet;
     pub use geoproof_sim::time::{Km, SimDuration};
+    pub use geoproof_storage::arena::SegmentArena;
     pub use geoproof_storage::hdd::{HddSpec, IBM_36Z15, TABLE_I, WD_2500JD};
     pub use geoproof_storage::server::FileId;
 }

@@ -8,15 +8,21 @@
 //! geoproof info    <store-dir>
 //! ```
 //!
-//! `encode` runs the paper's five-step setup and writes a portable store
-//! directory (`segments.bin` + `metadata.txt`); `serve` exposes it over
-//! TCP (`--concurrent` switches to the multi-connection session-
+//! `encode` runs the paper's five-step setup **streaming**: the input is
+//! fed through the encoder in bounded chunks (pass `-` to read stdin),
+//! so peak memory is the encoded output arena plus one Reed–Solomon
+//! chunk — never multiple copies of the file. The store directory
+//! (`segments.bin` + `metadata.txt`) is written sequentially from the
+//! arena. `serve` memory-maps nothing exotic: it reads `segments.bin`
+//! into one shared buffer and serves zero-copy `Bytes` slices of it
+//! (`--concurrent` switches to the multi-connection session-
 //! multiplexing server with per-session statistics); `audit` runs the
 //! wall-clock timed challenge–response against a server and applies the
 //! Δt_max policy. The TPA's MAC key is derived from `--master`, so
 //! auditing needs the owner's secret (as in the paper, where the owner
 //! provisions the TPA).
 
+use bytes::Bytes;
 use geoproof::crypto::chacha::ChaChaRng;
 use geoproof::crypto::schnorr::SigningKey;
 use geoproof::geo::coords::places::BRISBANE;
@@ -24,6 +30,7 @@ use geoproof::geo::gps::GpsReceiver;
 use geoproof::por::encode::{FileMetadata, PorEncoder};
 use geoproof::por::keys::PorKeys;
 use geoproof::por::params::PorParams;
+use geoproof::por::stream::{ArenaSink, TaggedArena};
 use geoproof::tcp_audit::WallClockVerifier;
 use geoproof::wire::mux::MuxProverServer;
 use geoproof::wire::tcp::{ProverServer, SegmentStore};
@@ -89,16 +96,20 @@ fn positional(args: &[String], idx: usize) -> Result<&str, String> {
 // --- store directory format -------------------------------------------------
 // metadata.txt: key=value lines; segments.bin: u32-BE length-prefixed blobs.
 
-fn write_store(dir: &Path, segments: &[Vec<u8>], md: &FileMetadata) -> CliResult {
+/// Streams the encoded arena into `segments.bin` (buffered sequential
+/// writes — the arena is the only full copy in memory).
+fn write_store(dir: &Path, arena: &TaggedArena) -> CliResult {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
-    let mut seg_file = std::fs::File::create(dir.join("segments.bin"))
+    let md = arena.metadata();
+    let seg_file = std::fs::File::create(dir.join("segments.bin"))
         .map_err(|e| format!("segments.bin: {e}"))?;
-    for seg in segments {
-        seg_file
-            .write_all(&(seg.len() as u32).to_be_bytes())
-            .and_then(|()| seg_file.write_all(seg))
+    let mut w = std::io::BufWriter::new(seg_file);
+    for seg in arena.iter() {
+        w.write_all(&(seg.len() as u32).to_be_bytes())
+            .and_then(|()| w.write_all(&seg))
             .map_err(|e| format!("write segment: {e}"))?;
     }
+    w.flush().map_err(|e| format!("flush segments.bin: {e}"))?;
     let meta = format!(
         "file_id={}\noriginal_len={}\nraw_blocks={}\nencoded_blocks={}\nsegments={}\n",
         md.file_id, md.original_len, md.raw_blocks, md.encoded_blocks, md.segments
@@ -106,7 +117,9 @@ fn write_store(dir: &Path, segments: &[Vec<u8>], md: &FileMetadata) -> CliResult
     std::fs::write(dir.join("metadata.txt"), meta).map_err(|e| format!("metadata.txt: {e}"))
 }
 
-fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
+/// Reads a store back as zero-copy views: `segments.bin` is loaded into
+/// one shared buffer and every segment is a slice of it.
+fn read_store(dir: &Path) -> Result<(Vec<Bytes>, FileMetadata), String> {
     let meta_text = std::fs::read_to_string(dir.join("metadata.txt"))
         .map_err(|e| format!("metadata.txt: {e}"))?;
     let mut fields: HashMap<&str, &str> = HashMap::new();
@@ -130,10 +143,11 @@ fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
         encoded_blocks: parse_u64("encoded_blocks")?,
         segments: parse_u64("segments")?,
     };
-    let mut bytes = Vec::new();
+    let mut raw = Vec::new();
     std::fs::File::open(dir.join("segments.bin"))
-        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .and_then(|mut f| f.read_to_end(&mut raw))
         .map_err(|e| format!("segments.bin: {e}"))?;
+    let bytes = Bytes::from(raw);
     let mut segments = Vec::with_capacity(md.segments as usize);
     let mut pos = 0usize;
     while pos + 4 <= bytes.len() {
@@ -142,7 +156,7 @@ fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
         if pos + len > bytes.len() {
             return Err("segments.bin truncated".into());
         }
-        segments.push(bytes[pos..pos + len].to_vec());
+        segments.push(bytes.slice(pos..pos + len));
         pos += len;
     }
     if segments.len() as u64 != md.segments {
@@ -157,23 +171,77 @@ fn read_store(dir: &Path) -> Result<(Vec<Vec<u8>>, FileMetadata), String> {
 
 // --- subcommands ---------------------------------------------------------------
 
+/// Chunk size for streaming encode reads.
+const ENCODE_CHUNK: usize = 256 * 1024;
+
 fn cmd_encode(args: &[String]) -> CliResult {
     let input = positional(args, 0)?;
     let store = positional(args, 1)?.to_owned();
     let fid = flag(args, "--fid").ok_or("--fid required")?;
     let master = flag(args, "--master").ok_or("--master required")?;
-    let data = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
     let encoder = PorEncoder::new(PorParams::paper());
     let keys = PorKeys::derive(master.as_bytes(), &fid);
-    let tagged = encoder.encode(&data, &keys, &fid);
-    write_store(Path::new(&store), &tagged.segments, &tagged.metadata)?;
-    let stored: usize = tagged.segments.iter().map(Vec::len).sum();
+
+    // The block permutation spans the whole encoded file, so the total
+    // length must be known up front: regular files report it from
+    // metadata and stream through in ENCODE_CHUNK pieces; stdin (`-`)
+    // and non-regular inputs (FIFOs, /proc files — their stat length is
+    // 0 or meaningless) are spooled first, then streamed.
+    let is_regular = input != "-"
+        && std::fs::metadata(input)
+            .map_err(|e| format!("stat {input}: {e}"))?
+            .is_file();
+    let arena = if !is_regular {
+        let mut data = Vec::new();
+        if input == "-" {
+            std::io::stdin()
+                .read_to_end(&mut data)
+                .map_err(|e| format!("read stdin: {e}"))?;
+        } else {
+            std::fs::File::open(input)
+                .and_then(|mut f| f.read_to_end(&mut data))
+                .map_err(|e| format!("read {input}: {e}"))?;
+        }
+        let mut stream = encoder.begin_encode(&keys, &fid, data.len() as u64, ArenaSink::default());
+        stream.push(&data);
+        drop(data);
+        let (md, sink) = stream.finish();
+        sink.into_arena(md)
+    } else {
+        let total = std::fs::metadata(input)
+            .map_err(|e| format!("stat {input}: {e}"))?
+            .len();
+        let mut file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        let mut stream = encoder.begin_encode(&keys, &fid, total, ArenaSink::default());
+        let mut buf = vec![0u8; ENCODE_CHUNK];
+        // The layout was sized from the stat above; clamp to it so a file
+        // that grows mid-encode yields exactly the declared prefix, and a
+        // file that shrinks is a clean error rather than a panic.
+        let mut fed = 0u64;
+        while fed < total {
+            let want = buf.len().min((total - fed) as usize);
+            let n = file
+                .read(&mut buf[..want])
+                .map_err(|e| format!("read {input}: {e}"))?;
+            if n == 0 {
+                return Err(format!(
+                    "{input} shrank while encoding: got {fed} of {total} bytes"
+                ));
+            }
+            stream.push(&buf[..n]);
+            fed += n as u64;
+        }
+        let (md, sink) = stream.finish();
+        sink.into_arena(md)
+    };
+    write_store(Path::new(&store), &arena)?;
+    let md = arena.metadata();
     println!(
         "encoded {} bytes -> {} segments ({} bytes, +{:.1}%) in {store}",
-        data.len(),
-        tagged.segments.len(),
-        stored,
-        (stored as f64 / data.len().max(1) as f64 - 1.0) * 100.0
+        md.original_len,
+        md.segments,
+        arena.total_bytes(),
+        (arena.total_bytes() as f64 / md.original_len.max(1) as f64 - 1.0) * 100.0
     );
     Ok(())
 }
@@ -253,7 +321,7 @@ fn cmd_audit(args: &[String]) -> CliResult {
     let params = PorParams::paper();
     let keys = PorKeys::derive(master.as_bytes(), &md.file_id);
 
-    let mut rng = ChaChaRng::from_u64_seed(0x617564_6974);
+    let mut rng = ChaChaRng::from_u64_seed(0x0061_7564_6974);
     let device_key = SigningKey::generate(&mut rng);
     let mut verifier = WallClockVerifier::new(device_key.clone(), GpsReceiver::new(BRISBANE), 7);
     let mut auditor = geoproof::core::auditor::Auditor::new(
@@ -308,7 +376,7 @@ fn cmd_info(args: &[String]) -> CliResult {
     println!("raw blocks     : {}", md.raw_blocks);
     println!("encoded blocks : {}", md.encoded_blocks);
     println!("segments       : {}", md.segments);
-    let stored: usize = segments.iter().map(Vec::len).sum();
+    let stored: usize = segments.iter().map(Bytes::len).sum();
     println!(
         "stored bytes   : {stored} (+{:.1}%)",
         (stored as f64 / md.original_len.max(1) as f64 - 1.0) * 100.0

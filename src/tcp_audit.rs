@@ -112,11 +112,11 @@ mod tests {
         let encoder = PorEncoder::new(params);
         let keys = PorKeys::derive(b"tcp-master", "tf");
         let data: Vec<u8> = (0..8000u32).map(|i| i as u8).collect();
-        let tagged = encoder.encode(&data, &keys, "tf");
-        let n = tagged.metadata.segments;
+        let tagged = encoder.encode_arena(&data, &keys, "tf");
+        let n = tagged.metadata().segments;
 
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
-        store.lock().insert("tf".to_owned(), tagged.segments);
+        store.lock().insert("tf".to_owned(), tagged.segments());
         let server = ProverServer::spawn(store, service_delay).expect("bind");
         let addr = server.addr();
 

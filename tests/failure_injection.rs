@@ -168,7 +168,9 @@ fn extreme_challenge_counts_behave() {
 #[test]
 fn tcp_server_survives_garbage_frames() {
     let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
-    store.lock().insert("f".into(), vec![vec![1u8; 35]; 4]);
+    store
+        .lock()
+        .insert("f".into(), vec![bytes::Bytes::from(vec![1u8; 35]); 4]);
     let server = ProverServer::spawn(store, Duration::ZERO).expect("bind");
 
     // Throw raw garbage at the socket; the connection may drop, the
@@ -203,7 +205,7 @@ fn codec_rejects_every_truncation_of_every_variant() {
             index: 123,
         },
         WireMessage::Response {
-            segment: Some(vec![7; 30]),
+            segment: Some(vec![7; 30].into()),
         },
         WireMessage::StartAudit {
             file_id: "f".into(),

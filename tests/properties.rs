@@ -171,7 +171,7 @@ proptest! {
 
     #[test]
     fn wire_response_roundtrips(segment in prop::option::of(prop::collection::vec(any::<u8>(), 0..200))) {
-        let msg = WireMessage::Response { segment };
+        let msg = WireMessage::Response { segment: segment.map(bytes::Bytes::from) };
         let frame = msg.encode();
         prop_assert_eq!(WireMessage::decode(&frame[4..]).unwrap(), msg);
     }
