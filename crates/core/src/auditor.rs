@@ -193,6 +193,57 @@ impl Auditor {
             )
         })
     }
+
+    /// Like [`Auditor::verify`], but also materialises the durable
+    /// [`crate::evidence::EvidenceBundle`] for this verdict: canonical
+    /// transcript bytes,
+    /// per-round MAC verdicts, and the acceptance parameters the verdict
+    /// was derived under. The report inside the bundle is byte-identical
+    /// (under [`crate::evidence::encode_report`]) to the returned one.
+    pub fn verify_evidence(
+        &self,
+        request: &AuditRequest,
+        transcript: &SignedTranscript,
+        prover: impl Into<String>,
+        epoch: u64,
+    ) -> (AuditReport, crate::evidence::EvidenceBundle) {
+        let mac_ok: Vec<bool> = transcript
+            .rounds
+            .iter()
+            .map(|round| {
+                self.encoder.verify_segment(
+                    self.auditor_key.mac_key(),
+                    &self.file_id,
+                    round.index,
+                    &round.segment,
+                )
+            })
+            .collect();
+        let checks = VerifyChecks {
+            file_id: &self.file_id,
+            n_segments: self.n_segments,
+            device_key: &self.device_key,
+            sla_location: self.sla_location,
+            location_tolerance: self.location_tolerance,
+            policy: &self.policy,
+        };
+        let report = checks.verify_transcript(request, transcript, |i, _round| {
+            mac_ok.get(i).copied().unwrap_or(false)
+        });
+        let bundle = crate::evidence::EvidenceBundle {
+            prover: prover.into(),
+            epoch,
+            device_key: self.device_key.to_bytes(),
+            sla_location: self.sla_location,
+            location_tolerance: self.location_tolerance,
+            policy: self.policy,
+            request: request.clone(),
+            mac_ok,
+            report: report.clone(),
+            transcript: transcript.canonical_bytes(),
+        };
+        (report, bundle)
+    }
 }
 
 /// The transcript checks every audit path applies — signature, nonce,
@@ -453,6 +504,24 @@ mod tests {
                 actual: 4
             }
         )));
+    }
+
+    #[test]
+    fn verify_evidence_matches_verify_and_bundles_canonical_bytes() {
+        let mut r = rig();
+        let req = r.auditor.issue_request(8);
+        let t = r.verifier.run_audit(&req, &mut r.provider);
+        let plain = r.auditor.verify(&req, &t);
+        let (report, bundle) = r.auditor.verify_evidence(&req, &t, "acme-cloud", 3);
+        assert_eq!(report, plain, "evidence path must not change verdicts");
+        assert_eq!(bundle.report, plain);
+        assert_eq!(bundle.prover, "acme-cloud");
+        assert_eq!(bundle.epoch, 3);
+        assert_eq!(bundle.mac_ok.len(), 8);
+        assert!(bundle.mac_ok.iter().all(|&ok| ok));
+        let parsed = crate::messages::SignedTranscript::from_canonical(&bundle.transcript)
+            .expect("canonical bytes parse");
+        assert_eq!(parsed, t);
     }
 
     #[test]

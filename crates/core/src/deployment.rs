@@ -108,6 +108,10 @@ pub struct Deployment {
     pub provider: Box<dyn SegmentProvider>,
     /// Segment count of the audited file.
     pub n_segments: u64,
+    prover_label: String,
+    audits: u64,
+    sink: Option<std::sync::Arc<dyn crate::evidence::EvidenceSink>>,
+    sink_error: Option<String>,
 }
 
 /// Builder for [`Deployment`].
@@ -119,6 +123,9 @@ pub struct DeploymentBuilder {
     location_tolerance: Km,
     policy: TimingPolicy,
     seed: u64,
+    prover_label: String,
+    first_epoch: u64,
+    sink: Option<std::sync::Arc<dyn crate::evidence::EvidenceSink>>,
 }
 
 impl DeploymentBuilder {
@@ -132,6 +139,9 @@ impl DeploymentBuilder {
             location_tolerance: Km(25.0),
             policy: TimingPolicy::paper(),
             seed: DEFAULT_SEED,
+            prover_label: "sla-provider".to_owned(),
+            first_epoch: 0,
+            sink: None,
         }
     }
 
@@ -162,6 +172,35 @@ impl DeploymentBuilder {
     /// Sets the RNG seed for the whole rig.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Names the prover in recorded evidence (default `sla-provider`).
+    pub fn prover_label(mut self, label: impl Into<String>) -> Self {
+        self.prover_label = label.into();
+        self
+    }
+
+    /// Epoch of this deployment's first audit (default 0). When several
+    /// deployments stand in for the *same* prover over time (behaviour
+    /// changes month to month) and share one evidence sink, staggering
+    /// their first epochs keeps `(prover, epoch)` unique in the ledger —
+    /// the `LedgerWriter::next_epoch` of the previous deployment's sink
+    /// is the natural value.
+    pub fn first_epoch(mut self, epoch: u64) -> Self {
+        self.first_epoch = epoch;
+        self
+    }
+
+    /// Installs a durable-evidence sink: every audit run through
+    /// [`Deployment::run_audit`] records its verdict as an
+    /// [`crate::evidence::EvidenceBundle`], with the epoch counting
+    /// audits on this deployment.
+    pub fn evidence_sink(
+        mut self,
+        sink: std::sync::Arc<dyn crate::evidence::EvidenceSink>,
+    ) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -252,6 +291,10 @@ impl DeploymentBuilder {
             verifier,
             provider,
             n_segments,
+            prover_label: self.prover_label,
+            audits: self.first_epoch,
+            sink: self.sink,
+            sink_error: None,
         }
     }
 }
@@ -260,11 +303,38 @@ impl DeploymentBuilder {
 const DEFAULT_SEED: u64 = 0x6765_6f70_726f_6f66;
 
 impl Deployment {
-    /// Runs one audit round trip and returns the TPA's report.
+    /// Runs one audit round trip and returns the TPA's report. With an
+    /// evidence sink installed the verdict is also recorded (epoch =
+    /// number of prior audits on this deployment); recording failures
+    /// never change the report — check
+    /// [`Deployment::evidence_error`] for durability.
     pub fn run_audit(&mut self, k: u32) -> AuditReport {
         let req = self.auditor.issue_request(k);
         let transcript = self.verifier.run_audit(&req, self.provider.as_mut());
-        self.auditor.verify(&req, &transcript)
+        let epoch = self.audits;
+        self.audits += 1;
+        match &self.sink {
+            None => self.auditor.verify(&req, &transcript),
+            Some(sink) => {
+                let (report, bundle) = self.auditor.verify_evidence(
+                    &req,
+                    &transcript,
+                    self.prover_label.clone(),
+                    epoch,
+                );
+                if let Err(e) = sink.record(&bundle) {
+                    if self.sink_error.is_none() {
+                        self.sink_error = Some(e.to_string());
+                    }
+                }
+                report
+            }
+        }
+    }
+
+    /// The first evidence-recording error, if any.
+    pub fn evidence_error(&self) -> Option<String> {
+        self.sink_error.clone()
     }
 
     /// Runs `n` audits of `k` challenges each; returns the fraction that

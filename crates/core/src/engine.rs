@@ -21,6 +21,7 @@
 //! [`crate::fleet`].
 
 use crate::auditor::{AuditReport, VerifyChecks};
+use crate::evidence::{EvidenceBundle, EvidenceSink};
 use crate::messages::{AuditRequest, SignedTranscript};
 use crate::policy::TimingPolicy;
 use crate::pool::{run_jobs, Job, PoolStats};
@@ -254,6 +255,13 @@ pub struct AuditEngine {
     /// history with that prover.
     epochs: Mutex<HashMap<ProverId, u64>>,
     table: SessionTable,
+    /// Optional durable-evidence sink: every *first* verdict for a
+    /// session is recorded. `None` keeps the hot path free of evidence
+    /// work (no canonical-bytes build, no allocation).
+    sink: Mutex<Option<std::sync::Arc<dyn EvidenceSink>>>,
+    /// First evidence-recording failure, surfaced out-of-band — verdicts
+    /// never change because a sink failed.
+    sink_error: Mutex<Option<String>>,
 }
 
 impl std::fmt::Debug for AuditEngine {
@@ -285,6 +293,37 @@ impl AuditEngine {
             provers: Mutex::new(HashMap::new()),
             epochs: Mutex::new(HashMap::new()),
             table: SessionTable::new(shards),
+            sink: Mutex::new(None),
+            sink_error: Mutex::new(None),
+        }
+    }
+
+    /// Installs a durable-evidence sink. Each session's first verdict
+    /// (the transition to [`SessionState::Done`]) is recorded as an
+    /// [`EvidenceBundle`]; re-verifying an already-`Done` session emits
+    /// nothing, so the sequential/batched equivalence passes don't
+    /// duplicate records.
+    pub fn set_evidence_sink(&self, sink: std::sync::Arc<dyn EvidenceSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// The first evidence-recording error, if any. Recording failures
+    /// never alter verdicts; callers that care about durability check
+    /// this (and their sink's own close/flush result) after a run.
+    pub fn evidence_error(&self) -> Option<String> {
+        self.sink_error.lock().clone()
+    }
+
+    /// Seeds per-prover audit epochs — use when this engine appends to a
+    /// ledger that earlier runs already wrote to (e.g. from
+    /// `LedgerWriter::prover_epochs`), so nonces keep rotating and
+    /// `(prover, epoch)` stays unique across process restarts. Seeding
+    /// after sessions have opened would replay nonces; call before any
+    /// [`AuditEngine::open_session`].
+    pub fn seed_epochs(&self, seeds: impl IntoIterator<Item = (ProverId, u64)>) {
+        let mut epochs = self.epochs.lock();
+        for (prover, epoch) in seeds {
+            epochs.insert(prover, epoch);
         }
     }
 
@@ -478,8 +517,63 @@ impl AuditEngine {
                     .verify_transcript(&request, &transcript, |i, _round| {
                         verdicts.get(i).copied().unwrap_or(false)
                     });
-            self.table
-                .with_mut(&id, |s| s.report = Some(report.clone()));
+            // Clone the sink handle out so no engine lock is held across
+            // the sink's I/O. The epoch must be read *before* the report
+            // is published: until then the session is not `Done`, so a
+            // racing `open_session` cannot supersede it and bump the
+            // count out from under us. (`epochs` counts opens, so the
+            // session being judged is epoch `count - 1`.)
+            let sink = self.sink.lock().clone();
+            let epoch = if sink.is_some() {
+                self.epochs
+                    .lock()
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(1)
+                    .saturating_sub(1)
+            } else {
+                0
+            };
+            let fresh_verdict = self
+                .table
+                .with_mut(&id, |s| {
+                    // Publish only onto the session we actually verified:
+                    // a concurrent `open_session` may have superseded a
+                    // `Done` session while this pass held its snapshot,
+                    // and stamping the old report (or recording duplicate
+                    // evidence under the new epoch) onto the fresh
+                    // session would corrupt it. Nonces are unique per
+                    // epoch, so they identify the session.
+                    if s.request.nonce != request.nonce {
+                        return false;
+                    }
+                    let fresh = s.report.is_none();
+                    s.report = Some(report.clone());
+                    fresh
+                })
+                .unwrap_or(false);
+            if fresh_verdict {
+                if let Some(sink) = sink {
+                    let bundle = EvidenceBundle {
+                        prover: id.0.clone(),
+                        epoch,
+                        device_key: spec.device_key.to_bytes(),
+                        sla_location: spec.sla_location,
+                        location_tolerance: self.config.location_tolerance,
+                        policy: self.config.policy,
+                        request,
+                        mac_ok: verdicts,
+                        report: report.clone(),
+                        transcript: transcript.canonical_bytes(),
+                    };
+                    if let Err(e) = sink.record(&bundle) {
+                        let mut err = self.sink_error.lock();
+                        if err.is_none() {
+                            *err = Some(e.to_string());
+                        }
+                    }
+                }
+            }
             out.push((id, report));
         }
         out

@@ -137,6 +137,11 @@ pub struct FleetOutcome {
     pub sim_time: SimDuration,
     /// Most sessions simultaneously in flight.
     pub peak_in_flight: usize,
+    /// First evidence-recording failure, when a sink was installed —
+    /// verdicts are never affected, but a caller persisting evidence
+    /// must check this (and its sink's own `finish`) before trusting
+    /// the ledger to be complete.
+    pub evidence_error: Option<String>,
 }
 
 impl FleetOutcome {
@@ -211,6 +216,30 @@ enum FleetEvent {
 /// Panics if `config.provers` is empty or `k` exceeds the encoded
 /// file's segment count.
 pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
+    run_fleet_inner(config, None)
+}
+
+/// Like [`run_fleet`], but records every prover's verdict into `sink` as
+/// durable evidence. The simulation itself is unchanged — outcomes (and
+/// fingerprints) are identical to [`run_fleet`] with the same config;
+/// records are emitted by the first (sequential) verification pass in
+/// sorted prover order, so the ledger contents are as deterministic as
+/// the fleet itself.
+///
+/// # Panics
+///
+/// Panics as [`run_fleet`] does.
+pub fn run_fleet_with_evidence(
+    config: &FleetConfig,
+    sink: std::sync::Arc<dyn crate::evidence::EvidenceSink>,
+) -> FleetOutcome {
+    run_fleet_inner(config, Some(sink))
+}
+
+fn run_fleet_inner(
+    config: &FleetConfig,
+    sink: Option<std::sync::Arc<dyn crate::evidence::EvidenceSink>>,
+) -> FleetOutcome {
     assert!(
         !config.provers.is_empty(),
         "fleet needs at least one prover"
@@ -235,6 +264,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
             ..EngineConfig::default()
         },
     );
+    if let Some(sink) = sink {
+        engine.set_evidence_sink(sink);
+    }
 
     let mut net: SimNet<FleetEvent> = SimNet::new(config.seed);
     let fid = FileId::from(file_id);
@@ -399,6 +431,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
             .now()
             .duration_since(geoproof_sim::time::SimInstant::EPOCH),
         peak_in_flight: peak,
+        evidence_error: engine.evidence_error(),
     }
 }
 
@@ -421,6 +454,27 @@ mod tests {
                 ("slow", 0, 2)
             ]
         );
+    }
+
+    #[test]
+    fn fleet_surfaces_evidence_recording_failures() {
+        struct FailingSink;
+        impl crate::evidence::EvidenceSink for FailingSink {
+            fn record(&self, _: &crate::evidence::EvidenceBundle) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let outcome = run_fleet_with_evidence(
+            &FleetConfig::mixed(2, 0, 0, 0, 3),
+            std::sync::Arc::new(FailingSink),
+        );
+        assert_eq!(outcome.accepted(), 2, "verdicts are unaffected");
+        let err = outcome.evidence_error.expect("failure must surface");
+        assert!(err.contains("disk full"), "{err}");
+        // And a healthy run reports none.
+        assert!(run_fleet(&FleetConfig::mixed(2, 0, 0, 0, 3))
+            .evidence_error
+            .is_none());
     }
 
     #[test]

@@ -53,8 +53,10 @@ pub mod auditor;
 pub mod cache_attack;
 pub mod campaign;
 pub mod cost;
+pub mod cursor;
 pub mod deployment;
 pub mod engine;
+pub mod evidence;
 pub mod fleet;
 pub mod landmark_audit;
 pub mod messages;
@@ -72,7 +74,8 @@ pub use deployment::{DataOwner, Deployment, DeploymentBuilder, ProviderBehaviour
 pub use engine::{
     AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
 };
-pub use fleet::{run_fleet, AdversaryProfile, FleetConfig, FleetOutcome};
+pub use evidence::{decode_report, encode_report, EvidenceBundle, EvidenceSink};
+pub use fleet::{run_fleet, run_fleet_with_evidence, AdversaryProfile, FleetConfig, FleetOutcome};
 pub use landmark_audit::{harden_report, landmark_position_check, LandmarkPing};
 pub use messages::{AuditRequest, SignedTranscript, TimedRound};
 pub use multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};

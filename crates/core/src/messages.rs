@@ -63,7 +63,7 @@ impl SignedTranscript {
         rounds: &[TimedRound],
     ) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + rounds.len() * 128);
-        out.extend_from_slice(b"geoproof-transcript-v1");
+        out.extend_from_slice(TRANSCRIPT_MAGIC);
         out.extend_from_slice(&(file_id.len() as u32).to_be_bytes());
         out.extend_from_slice(file_id.as_bytes());
         out.extend_from_slice(nonce);
@@ -88,7 +88,118 @@ impl SignedTranscript {
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
+
+    /// The transcript's full canonical encoding: the signed bytes
+    /// ([`SignedTranscript::signing_bytes`]) followed by the 64-byte
+    /// signature. This is the durable form — what the evidence ledger
+    /// stores and what [`SignedTranscript::from_canonical`] parses back —
+    /// so re-encoding a parsed transcript is always byte-identical.
+    pub fn canonical_bytes(&self) -> Bytes {
+        let mut out = SignedTranscript::signing_bytes(
+            &self.file_id,
+            &self.nonce,
+            &self.position,
+            &self.rounds,
+        );
+        out.extend_from_slice(&self.signature.to_bytes());
+        Bytes::from(out)
+    }
+
+    /// Parses a canonical encoding back into a transcript.
+    ///
+    /// Round segments are zero-copy [`Bytes::slice`] views of `bytes` —
+    /// parsing a transcript out of a larger buffer (a ledger record, a
+    /// file read) never copies payload. Every field is bounds-checked;
+    /// malformed input returns an error, never panics. Trailing bytes
+    /// are rejected so `from_canonical ∘ canonical_bytes` is the
+    /// identity and nothing can hide after the signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranscriptDecodeError`] describing the first malformed
+    /// field encountered.
+    pub fn from_canonical(bytes: &Bytes) -> Result<SignedTranscript, TranscriptDecodeError> {
+        use TranscriptDecodeError as E;
+        let mut c = crate::cursor::ByteCursor::new(bytes);
+        let trunc = |_| E::Truncated;
+
+        if c.take(TRANSCRIPT_MAGIC.len()).map_err(trunc)?.as_ref() != TRANSCRIPT_MAGIC {
+            return Err(E::BadMagic);
+        }
+        let fid_len = c.take_u32().map_err(trunc)? as usize;
+        let fid = c.take(fid_len).map_err(trunc)?;
+        let file_id = std::str::from_utf8(&fid)
+            .map_err(|_| E::BadFileId)?
+            .to_owned();
+        let nonce = c.take_array::<32>().map_err(trunc)?;
+        let lat = c.take_f64_bits().map_err(trunc)?;
+        let lon = c.take_f64_bits().map_err(trunc)?;
+        if !lat.is_finite()
+            || !lon.is_finite()
+            || !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
+        {
+            return Err(E::BadPosition);
+        }
+        let position = GeoPoint { lat, lon };
+        let n_rounds = c.take_u32().map_err(trunc)?;
+        let mut rounds = Vec::new();
+        for _ in 0..n_rounds {
+            let index = c.take_u64().map_err(trunc)?;
+            let rtt = SimDuration::from_nanos(c.take_u64().map_err(trunc)?);
+            let seg_len = c.take_u32().map_err(trunc)? as usize;
+            let segment = c.take(seg_len).map_err(trunc)?;
+            rounds.push(TimedRound {
+                index,
+                segment,
+                rtt,
+            });
+        }
+        let signature = Signature::from_bytes(&c.take_array::<64>().map_err(trunc)?);
+        if !c.at_end() {
+            return Err(E::TrailingBytes);
+        }
+        Ok(SignedTranscript {
+            file_id,
+            nonce,
+            position,
+            rounds,
+            signature,
+        })
+    }
 }
+
+/// Domain-separation prefix of the canonical transcript encoding.
+const TRANSCRIPT_MAGIC: &[u8] = b"geoproof-transcript-v1";
+
+/// Why a canonical transcript encoding failed to parse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TranscriptDecodeError {
+    /// Input ended before a field completed.
+    Truncated,
+    /// The `geoproof-transcript-v1` prefix is missing.
+    BadMagic,
+    /// File id is not valid UTF-8.
+    BadFileId,
+    /// GPS position is non-finite or out of range.
+    BadPosition,
+    /// Bytes remain after the signature.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for TranscriptDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscriptDecodeError::Truncated => write!(f, "transcript truncated mid-field"),
+            TranscriptDecodeError::BadMagic => write!(f, "missing transcript version prefix"),
+            TranscriptDecodeError::BadFileId => write!(f, "file id is not UTF-8"),
+            TranscriptDecodeError::BadPosition => write!(f, "GPS position out of range"),
+            TranscriptDecodeError::TrailingBytes => write!(f, "trailing bytes after signature"),
+        }
+    }
+}
+
+impl std::error::Error for TranscriptDecodeError {}
 
 #[cfg(test)]
 mod tests {
@@ -165,6 +276,80 @@ mod tests {
         let a = SignedTranscript::signing_bytes("ab", &[0u8; 32], &pos, &r1);
         let b = SignedTranscript::signing_bytes("a", &[0u8; 32], &pos, &r2);
         assert_ne!(a, b);
+    }
+
+    fn transcript() -> SignedTranscript {
+        SignedTranscript {
+            file_id: "f".into(),
+            nonce: [7u8; 32],
+            position: GeoPoint::new(-27.5, 153.0),
+            rounds: rounds(),
+            signature: Signature::from_bytes(&[0x42u8; 64]),
+        }
+    }
+
+    #[test]
+    fn canonical_roundtrip_is_identity() {
+        let t = transcript();
+        let bytes = t.canonical_bytes();
+        let parsed = SignedTranscript::from_canonical(&bytes).expect("parse");
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.canonical_bytes(), bytes, "re-encode must match");
+    }
+
+    #[test]
+    fn canonical_parse_is_zero_copy_for_segments() {
+        let t = transcript();
+        let bytes = t.canonical_bytes();
+        let parsed = SignedTranscript::from_canonical(&bytes).expect("parse");
+        // A round's segment must be a window into the input buffer, not a
+        // copy: slicing the input at the same offset yields an alias.
+        let seg = &parsed.rounds[0].segment;
+        let hay = bytes.as_ref();
+        let needle = seg.as_ref();
+        let off = hay
+            .windows(needle.len().max(1))
+            .position(|w| w == needle)
+            .expect("segment bytes present");
+        assert!(
+            seg.aliases(&bytes.slice(off..off + needle.len())),
+            "parsed segment must alias the canonical buffer"
+        );
+    }
+
+    #[test]
+    fn canonical_parse_rejects_malformed_input_without_panicking() {
+        let t = transcript();
+        let good = t.canonical_bytes();
+        // Empty, truncated at every boundary, and trailing garbage.
+        assert!(SignedTranscript::from_canonical(&Bytes::new()).is_err());
+        for cut in 0..good.len() {
+            assert!(
+                SignedTranscript::from_canonical(&good.slice(..cut)).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut extra = good.to_vec();
+        extra.push(0);
+        assert_eq!(
+            SignedTranscript::from_canonical(&Bytes::from(extra)),
+            Err(TranscriptDecodeError::TrailingBytes)
+        );
+        // Wrong magic.
+        let mut wrong = good.to_vec();
+        wrong[0] ^= 1;
+        assert_eq!(
+            SignedTranscript::from_canonical(&Bytes::from(wrong)),
+            Err(TranscriptDecodeError::BadMagic)
+        );
+        // Non-finite latitude: flip its bits to an NaN pattern.
+        let lat_off = TRANSCRIPT_MAGIC.len() + 4 + 1 + 32;
+        let mut nan = good.to_vec();
+        nan[lat_off..lat_off + 8].copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        assert_eq!(
+            SignedTranscript::from_canonical(&Bytes::from(nan)),
+            Err(TranscriptDecodeError::BadPosition)
+        );
     }
 
     #[test]

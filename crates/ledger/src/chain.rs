@@ -1,0 +1,76 @@
+//! The hash chain sealing every ledger record to its entire prefix.
+//!
+//! `h_{-1} = SHA256(genesis-domain ‖ header)` and
+//! `h_i = SHA256(seal-domain ‖ h_{i-1} ‖ index ‖ len ‖ body)`; `h_i` is
+//! stored after record `i` as its **seal**. A seal therefore commits to
+//! the header, every earlier record, this record's position, and this
+//! record's bytes — any single flipped bit anywhere before it changes
+//! (or contradicts) every later seal.
+
+use geoproof_crypto::sha256::{Sha256, DIGEST_LEN};
+
+/// A 32-byte chain hash.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Domain tag of the genesis (pre-record) chain value.
+const GENESIS_DOMAIN: &[u8] = b"geoproof-ledger-genesis-v1";
+
+/// Domain tag of record seals.
+const SEAL_DOMAIN: &[u8] = b"geoproof-ledger-seal-v1";
+
+/// The chain value before any record: a digest of the file header, so
+/// the header (version, checkpoint interval, embedded TPA key) is as
+/// tamper-evident as the records.
+pub fn genesis_hash(header: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(GENESIS_DOMAIN);
+    h.update(header);
+    h.finalize()
+}
+
+/// Seals record `index` with body `parts` (concatenated) onto the chain
+/// at `prev`. The body may arrive in pieces so callers can hash a
+/// record prefix and its payload `Bytes` without joining them — this is
+/// what keeps appends zero-copy.
+pub fn seal_hash(prev: &Digest, index: u64, body_len: u32, parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(SEAL_DOMAIN);
+    h.update(prev);
+    h.update(&index.to_be_bytes());
+    h.update(&body_len.to_be_bytes());
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_is_split_invariant() {
+        let prev = genesis_hash(b"header");
+        let whole = seal_hash(&prev, 3, 6, &[b"abcdef"]);
+        let split = seal_hash(&prev, 3, 6, &[b"abc", b"def"]);
+        let thirds = seal_hash(&prev, 3, 6, &[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, split);
+        assert_eq!(whole, thirds);
+    }
+
+    #[test]
+    fn seal_binds_every_input() {
+        let prev = genesis_hash(b"header");
+        let base = seal_hash(&prev, 3, 6, &[b"abcdef"]);
+        assert_ne!(seal_hash(&prev, 4, 6, &[b"abcdef"]), base, "index");
+        assert_ne!(seal_hash(&prev, 3, 7, &[b"abcdef"]), base, "len");
+        assert_ne!(seal_hash(&prev, 3, 6, &[b"abcdeg"]), base, "body");
+        let other_prev = genesis_hash(b"other");
+        assert_ne!(seal_hash(&other_prev, 3, 6, &[b"abcdef"]), base, "prev");
+    }
+
+    #[test]
+    fn genesis_differs_per_header() {
+        assert_ne!(genesis_hash(b"a"), genesis_hash(b"b"));
+    }
+}

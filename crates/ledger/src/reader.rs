@@ -1,0 +1,382 @@
+//! Strict, zero-copy ledger reading.
+//!
+//! [`Ledger::read`] loads the file into **one** shared buffer and
+//! parses records as [`Bytes::slice`] views of it — record bodies,
+//! recorded report bytes and transcript payloads all alias that single
+//! allocation. Reading is *strict*: any chain break, malformed body, or
+//! torn tail is an error. Recovery (truncating a torn tail) is a writer
+//! decision ([`crate::writer::LedgerWriter::open`]), never something a
+//! verifier does silently.
+
+use crate::chain::{genesis_hash, seal_hash, Digest};
+use crate::proof::InclusionProof;
+use crate::record::{EvidenceRecord, TAG_CHECKPOINT, TAG_EVIDENCE};
+use crate::{LedgerError, MAGIC, VERSION};
+use bytes::Bytes;
+use geoproof_por::merkle::MerkleTree;
+use std::path::Path;
+
+/// Fixed header length: magic ‖ version ‖ checkpoint interval ‖ TPA key.
+pub(crate) const HEADER_LEN: usize = 8 + 2 + 4 + 32;
+
+/// The ledger file header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Header {
+    /// On-disk format version.
+    pub version: u16,
+    /// Checkpoint interval the writer was configured with (0 = only
+    /// explicit checkpoints).
+    pub interval: u32,
+    /// The TPA's compressed public key, embedded for convenience. A
+    /// verifier that trusts only an out-of-band key passes it to
+    /// [`crate::verify::replay`], which cross-checks this field.
+    pub tpa_key: [u8; 32],
+}
+
+impl Header {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.version.to_be_bytes());
+        out.extend_from_slice(&self.interval.to_be_bytes());
+        out.extend_from_slice(&self.tpa_key);
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Header, LedgerError> {
+        if bytes.len() < HEADER_LEN {
+            // An empty or short file is not a ledger at all.
+            return Err(if bytes.len() >= 8 && &bytes[..8] != MAGIC {
+                LedgerError::BadMagic
+            } else {
+                LedgerError::TruncatedHeader
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(LedgerError::BadMagic);
+        }
+        let version = u16::from_be_bytes(bytes[8..10].try_into().expect("2"));
+        if version != VERSION {
+            return Err(LedgerError::BadVersion(version));
+        }
+        let interval = u32::from_be_bytes(bytes[10..14].try_into().expect("4"));
+        let mut tpa_key = [0u8; 32];
+        tpa_key.copy_from_slice(&bytes[14..46]);
+        Ok(Header {
+            version,
+            interval,
+            tpa_key,
+        })
+    }
+}
+
+/// A periodic commitment: a TPA-signed Merkle root over the seals of
+/// every evidence record written so far.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Evidence records covered (all of them, from the start).
+    pub covered: u64,
+    /// Merkle root over the covered evidence seals.
+    pub root: Digest,
+    /// TPA signature over `domain ‖ covered ‖ root`.
+    pub signature: [u8; 64],
+}
+
+/// Message the TPA signs for a checkpoint.
+pub(crate) fn checkpoint_message(covered: u64, root: &Digest) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(64);
+    msg.extend_from_slice(b"geoproof-ledger-ckpt-v1");
+    msg.extend_from_slice(&covered.to_be_bytes());
+    msg.extend_from_slice(root);
+    msg
+}
+
+impl Checkpoint {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_CHECKPOINT);
+        out.extend_from_slice(&self.covered.to_be_bytes());
+        out.extend_from_slice(&self.root);
+        out.extend_from_slice(&self.signature);
+    }
+
+    fn decode(body: &Bytes) -> Result<Checkpoint, &'static str> {
+        if body.len() != 1 + 8 + 32 + 64 {
+            return Err("checkpoint body length");
+        }
+        let covered = u64::from_be_bytes(body[1..9].try_into().expect("8"));
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&body[9..41]);
+        let mut signature = [0u8; 64];
+        signature.copy_from_slice(&body[41..105]);
+        Ok(Checkpoint {
+            covered,
+            root,
+            signature,
+        })
+    }
+}
+
+/// A parsed record body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Entry {
+    /// One audit verdict.
+    Evidence(EvidenceRecord),
+    /// A signed Merkle commitment over the evidence so far.
+    Checkpoint(Checkpoint),
+}
+
+/// One sealed record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Position in the chain (0-based over all records).
+    pub index: u64,
+    /// Chain value before this record (`h_{index-1}`).
+    pub prev: Digest,
+    /// This record's seal (`h_index`).
+    pub seal: Digest,
+    /// The raw body bytes (a view of the file buffer).
+    pub body: Bytes,
+    /// The parsed body.
+    pub entry: Entry,
+}
+
+/// A fully read, chain-verified ledger.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    header: Header,
+    head: Digest,
+    records: Vec<Record>,
+    /// Positions (into `records`) of evidence entries, in order.
+    evidence_at: Vec<usize>,
+    /// Positions (into `records`) of checkpoint entries, in order.
+    checkpoints_at: Vec<usize>,
+}
+
+/// Low-level scan outcome shared by the strict reader and the
+/// recovering writer.
+pub(crate) struct Scan {
+    pub header: Header,
+    pub head: Digest,
+    pub records: Vec<Record>,
+    /// Byte offset one past the last complete record; `Some` only when
+    /// the file ends mid-record (torn tail).
+    pub torn_at: Option<u64>,
+}
+
+/// Parses `bytes` record by record, verifying the seal chain. Stops at
+/// a torn tail (reporting the last good boundary) but treats any
+/// complete-but-wrong record as a hard error.
+pub(crate) fn scan(bytes: &Bytes) -> Result<Scan, LedgerError> {
+    let header = Header::decode(bytes.as_ref())?;
+    let mut head = genesis_hash(&bytes.as_ref()[..HEADER_LEN]);
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut index = 0u64;
+    let mut torn_at = None;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 4 {
+            torn_at = Some(pos as u64);
+            break;
+        }
+        let body_len =
+            u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if remaining < 4 + body_len + 32 {
+            torn_at = Some(pos as u64);
+            break;
+        }
+        let body = bytes.slice(pos + 4..pos + 4 + body_len);
+        let mut seal = [0u8; 32];
+        seal.copy_from_slice(&bytes[pos + 4 + body_len..pos + 4 + body_len + 32]);
+        let expect = seal_hash(&head, index, body_len as u32, &[&body]);
+        if expect != seal {
+            return Err(LedgerError::SealMismatch { index });
+        }
+        let entry = match body.first() {
+            Some(&TAG_EVIDENCE) => Entry::Evidence(
+                EvidenceRecord::decode(&body)
+                    .map_err(|what| LedgerError::Malformed { index, what })?,
+            ),
+            Some(&TAG_CHECKPOINT) => Entry::Checkpoint(
+                Checkpoint::decode(&body).map_err(|what| LedgerError::Malformed { index, what })?,
+            ),
+            _ => {
+                return Err(LedgerError::Malformed {
+                    index,
+                    what: "unknown record tag",
+                })
+            }
+        };
+        records.push(Record {
+            index,
+            prev: head,
+            seal,
+            body,
+            entry,
+        });
+        head = seal;
+        pos += 4 + body_len + 32;
+        index += 1;
+    }
+    Ok(Scan {
+        header,
+        head,
+        records,
+        torn_at,
+    })
+}
+
+impl Ledger {
+    /// Reads and chain-verifies a ledger file. The whole file lands in
+    /// one buffer; every record body is a zero-copy view of it.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — bad header, seal mismatch, malformed
+    /// body, torn tail — is an error; nothing is silently skipped or
+    /// repaired.
+    pub fn read(path: impl AsRef<Path>) -> Result<Ledger, LedgerError> {
+        Ledger::from_bytes(Bytes::from(std::fs::read(path)?))
+    }
+
+    /// Like [`Ledger::read`] over an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ledger::read`].
+    pub fn from_bytes(bytes: Bytes) -> Result<Ledger, LedgerError> {
+        let scan = scan(&bytes)?;
+        if let Some(offset) = scan.torn_at {
+            return Err(LedgerError::TornTail { offset });
+        }
+        let mut evidence_at = Vec::new();
+        let mut checkpoints_at = Vec::new();
+        for (i, record) in scan.records.iter().enumerate() {
+            match record.entry {
+                Entry::Evidence(_) => evidence_at.push(i),
+                Entry::Checkpoint(_) => checkpoints_at.push(i),
+            }
+        }
+        Ok(Ledger {
+            header: scan.header,
+            head: scan.head,
+            records: scan.records,
+            evidence_at,
+            checkpoints_at,
+        })
+    }
+
+    /// The file header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The chain head (seal of the last record, or the genesis hash for
+    /// an empty ledger). Comparing this against an out-of-band copy is
+    /// how a verifier rules out whole-suffix truncation at a record
+    /// boundary — the one manipulation a self-contained file cannot
+    /// reveal.
+    pub fn head(&self) -> Digest {
+        self.head
+    }
+
+    /// All records, in chain order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Number of evidence records.
+    pub fn evidence_count(&self) -> u64 {
+        self.evidence_at.len() as u64
+    }
+
+    /// Number of checkpoint records.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.checkpoints_at.len() as u64
+    }
+
+    /// Evidence records with their 0-based evidence ordinals.
+    pub fn evidence(&self) -> impl Iterator<Item = (u64, &EvidenceRecord)> {
+        self.evidence_at
+            .iter()
+            .enumerate()
+            .map(|(ev, &i)| match &self.records[i].entry {
+                Entry::Evidence(record) => (ev as u64, record),
+                Entry::Checkpoint(_) => unreachable!("evidence_at points at evidence"),
+            })
+    }
+
+    /// The full chain record holding evidence ordinal `evidence`.
+    pub fn evidence_record(&self, evidence: u64) -> Option<&Record> {
+        self.evidence_at
+            .get(evidence as usize)
+            .map(|&i| &self.records[i])
+    }
+
+    /// Checkpoints in chain order.
+    pub fn checkpoints(&self) -> impl Iterator<Item = (&Record, &Checkpoint)> {
+        self.checkpoints_at
+            .iter()
+            .map(|&i| match &self.records[i].entry {
+                Entry::Checkpoint(c) => (&self.records[i], c),
+                Entry::Evidence(_) => unreachable!("checkpoints_at points at checkpoints"),
+            })
+    }
+
+    /// Evidence records not yet covered by any checkpoint.
+    pub fn uncovered_evidence(&self) -> u64 {
+        let covered = self
+            .checkpoints()
+            .map(|(_, c)| c.covered)
+            .max()
+            .unwrap_or(0);
+        self.evidence_count().saturating_sub(covered)
+    }
+
+    /// Seals of the first `covered` evidence records, as Merkle leaves.
+    fn evidence_seals(&self, covered: u64) -> Vec<Vec<u8>> {
+        self.evidence_at
+            .iter()
+            .take(covered as usize)
+            .map(|&i| self.records[i].seal.to_vec())
+            .collect()
+    }
+
+    /// Builds the self-contained inclusion proof for evidence ordinal
+    /// `evidence` against the earliest checkpoint covering it.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::NotCovered`] when the record does not exist or no
+    /// checkpoint covers it yet (append a checkpoint first).
+    pub fn prove(&self, evidence: u64) -> Result<InclusionProof, LedgerError> {
+        let record = self
+            .evidence_record(evidence)
+            .ok_or(LedgerError::NotCovered { evidence })?;
+        let (ckpt_record, checkpoint) = self
+            .checkpoints()
+            .find(|(_, c)| c.covered > evidence && c.covered <= self.evidence_count())
+            .ok_or(LedgerError::NotCovered { evidence })?;
+        let tree = MerkleTree::build(&self.evidence_seals(checkpoint.covered));
+        let proof = tree.prove(evidence);
+        // A writer-produced file always satisfies this; a crafted one
+        // (seals are unkeyed) can carry a checkpoint whose root does not
+        // match its own evidence — refuse, don't emit a proof that can
+        // never verify.
+        if tree.root() != checkpoint.root {
+            return Err(LedgerError::CheckpointRoot {
+                index: ckpt_record.index,
+            });
+        }
+        Ok(InclusionProof {
+            record_index: record.index,
+            prev: record.prev,
+            body: record.body.clone(),
+            evidence_index: evidence,
+            siblings: proof.siblings,
+            covered: checkpoint.covered,
+            root: checkpoint.root,
+            signature: checkpoint.signature,
+        })
+    }
+}

@@ -1,0 +1,362 @@
+//! The evidence record: the binary body carrying one audit verdict.
+//!
+//! A record body is `tag ‖ identity ‖ acceptance-parameters ‖ request ‖
+//! MAC bits ‖ canonical report bytes ‖ canonical transcript bytes`, all
+//! length-delimited and order-fixed. The transcript bytes are the exact
+//! [`geoproof_core::messages::SignedTranscript::canonical_bytes`] the
+//! TPA verified — they are carried as a refcounted [`Bytes`] view so
+//! encoding a record for the write path never copies the payload
+//! ([`EvidenceRecord::encode_prefix`] emits everything *before* the
+//! transcript; the writer streams the transcript bytes themselves).
+
+use bytes::Bytes;
+use geoproof_core::auditor::AuditReport;
+use geoproof_core::evidence::{decode_report, encode_report, EvidenceBundle, ReportDecodeError};
+use geoproof_core::messages::{AuditRequest, SignedTranscript, TranscriptDecodeError};
+use geoproof_core::policy::TimingPolicy;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_sim::time::{Km, SimDuration};
+
+/// Body tag of an evidence record.
+pub(crate) const TAG_EVIDENCE: u8 = 1;
+
+/// Body tag of a checkpoint record.
+pub(crate) const TAG_CHECKPOINT: u8 = 2;
+
+/// One audit verdict, durably: who was audited, under which acceptance
+/// parameters, the request, the per-round MAC verdicts, the verdict's
+/// canonical bytes, and the canonical signed transcript.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvidenceRecord {
+    /// The prover (cloud site) this verdict speaks about.
+    pub prover: String,
+    /// 0-based ordinal of this audit of this prover.
+    pub epoch: u64,
+    /// The verifier device's registered public key (compressed).
+    pub device_key: [u8; 32],
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted GPS offset from the SLA location.
+    pub location_tolerance: Km,
+    /// The Δt_max policy the verdict was derived under.
+    pub policy: TimingPolicy,
+    /// The audit request that triggered the transcript.
+    pub request: AuditRequest,
+    /// Per-round segment-MAC verdicts, transcript order. The one input
+    /// an offline replay must take on trust (checking them needs the
+    /// owner's secret MAC key).
+    pub mac_ok: Vec<bool>,
+    /// The recorded verdict, canonically encoded
+    /// ([`geoproof_core::evidence::encode_report`]).
+    pub report_bytes: Bytes,
+    /// The canonical signed-transcript bytes.
+    pub transcript: Bytes,
+}
+
+impl EvidenceRecord {
+    /// Builds a record from the bundle a verification path emitted. The
+    /// transcript `Bytes` is aliased, not copied.
+    pub fn from_bundle(bundle: &EvidenceBundle) -> Self {
+        EvidenceRecord {
+            prover: bundle.prover.clone(),
+            epoch: bundle.epoch,
+            device_key: bundle.device_key,
+            sla_location: bundle.sla_location,
+            location_tolerance: bundle.location_tolerance,
+            policy: bundle.policy,
+            request: bundle.request.clone(),
+            mac_ok: bundle.mac_ok.clone(),
+            report_bytes: Bytes::from(encode_report(&bundle.report)),
+            transcript: bundle.transcript.clone(),
+        }
+    }
+
+    /// Decodes the recorded verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the report decoder's reason.
+    pub fn report(&self) -> Result<AuditReport, ReportDecodeError> {
+        decode_report(&self.report_bytes)
+    }
+
+    /// Parses the canonical transcript bytes. Round segments alias the
+    /// record's buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transcript decoder's reason.
+    pub fn parse_transcript(&self) -> Result<SignedTranscript, TranscriptDecodeError> {
+        SignedTranscript::from_canonical(&self.transcript)
+    }
+
+    /// Total body length on disk (prefix + transcript bytes).
+    pub fn body_len(&self) -> usize {
+        1 + 2
+            + self.prover.len()
+            + 8
+            + 32
+            + 8 * 3 // sla lat/lon + tolerance
+            + 8 * 2 // policy
+            + 2
+            + self.request.file_id.len()
+            + 8
+            + 4
+            + 32
+            + 4
+            + self.mac_ok.len().div_ceil(8)
+            + 4
+            + self.report_bytes.len()
+            + 4
+            + self.transcript.len()
+    }
+
+    /// Appends everything *except* the trailing transcript bytes to
+    /// `out`. The full body is `prefix ‖ transcript`; keeping the
+    /// payload out of the prefix is what lets the writer seal and write
+    /// a record without copying the transcript.
+    pub fn encode_prefix(&self, out: &mut Vec<u8>) {
+        out.push(TAG_EVIDENCE);
+        out.extend_from_slice(&(self.prover.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.prover.as_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.device_key);
+        out.extend_from_slice(&self.sla_location.lat.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.sla_location.lon.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.location_tolerance.0.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.policy.max_network.as_nanos().to_be_bytes());
+        out.extend_from_slice(&self.policy.max_lookup.as_nanos().to_be_bytes());
+        out.extend_from_slice(&(self.request.file_id.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.request.file_id.as_bytes());
+        out.extend_from_slice(&self.request.n_segments.to_be_bytes());
+        out.extend_from_slice(&self.request.k.to_be_bytes());
+        out.extend_from_slice(&self.request.nonce);
+        out.extend_from_slice(&(self.mac_ok.len() as u32).to_be_bytes());
+        let mut packed = vec![0u8; self.mac_ok.len().div_ceil(8)];
+        for (i, &ok) in self.mac_ok.iter().enumerate() {
+            if ok {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&packed);
+        out.extend_from_slice(&(self.report_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.report_bytes);
+        out.extend_from_slice(&(self.transcript.len() as u32).to_be_bytes());
+    }
+
+    /// Decodes a record body (tag included). `report_bytes` and
+    /// `transcript` are zero-copy slices of `body`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed field's name; the reader wraps it
+    /// into [`crate::LedgerError::Malformed`]. Never panics.
+    pub fn decode(body: &Bytes) -> Result<EvidenceRecord, &'static str> {
+        let mut c = geoproof_core::cursor::ByteCursor::new(body);
+        let trunc = |_| "body truncated";
+        let take_f64 = |c: &mut geoproof_core::cursor::ByteCursor<'_>| {
+            let v = c.take_f64_bits().map_err(trunc)?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err("non-finite float")
+            }
+        };
+
+        if c.take_array::<1>().map_err(trunc)? != [TAG_EVIDENCE] {
+            return Err("not an evidence record");
+        }
+        let prover_len = c.take_u16().map_err(trunc)? as usize;
+        let prover = std::str::from_utf8(&c.take(prover_len).map_err(trunc)?)
+            .map_err(|_| "prover id not UTF-8")?
+            .to_owned();
+        let epoch = c.take_u64().map_err(trunc)?;
+        let device_key = c.take_array::<32>().map_err(trunc)?;
+        let lat = take_f64(&mut c)?;
+        let lon = take_f64(&mut c)?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err("SLA location out of range");
+        }
+        let sla_location = GeoPoint { lat, lon };
+        let location_tolerance = Km(take_f64(&mut c)?);
+        let policy = TimingPolicy {
+            max_network: SimDuration::from_nanos(c.take_u64().map_err(trunc)?),
+            max_lookup: SimDuration::from_nanos(c.take_u64().map_err(trunc)?),
+        };
+        let fid_len = c.take_u16().map_err(trunc)? as usize;
+        let file_id = std::str::from_utf8(&c.take(fid_len).map_err(trunc)?)
+            .map_err(|_| "file id not UTF-8")?
+            .to_owned();
+        let n_segments = c.take_u64().map_err(trunc)?;
+        let k = c.take_u32().map_err(trunc)?;
+        let nonce = c.take_array::<32>().map_err(trunc)?;
+        let request = AuditRequest {
+            file_id,
+            n_segments,
+            k,
+            nonce,
+        };
+        let mac_count = c.take_u32().map_err(trunc)? as usize;
+        let packed = c.take(mac_count.div_ceil(8)).map_err(trunc)?;
+        let mut mac_ok = Vec::with_capacity(mac_count);
+        for i in 0..mac_count {
+            mac_ok.push(packed[i / 8] & (1 << (i % 8)) != 0);
+        }
+        // Unused pad bits must be zero so encodings stay canonical.
+        if let Some(last) = packed.last() {
+            let used = mac_count - (mac_count / 8) * 8;
+            if used != 0 && last >> used != 0 {
+                return Err("nonzero MAC padding bits");
+            }
+        }
+        let report_len = c.take_u32().map_err(trunc)? as usize;
+        let report_bytes = c.take(report_len).map_err(trunc)?;
+        let transcript_len = c.take_u32().map_err(trunc)? as usize;
+        let transcript = c.take(transcript_len).map_err(trunc)?;
+        if !c.at_end() {
+            return Err("trailing bytes in body");
+        }
+        Ok(EvidenceRecord {
+            prover,
+            epoch,
+            device_key,
+            sla_location,
+            location_tolerance,
+            policy,
+            request,
+            mac_ok,
+            report_bytes,
+            transcript,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use geoproof_core::auditor::Violation;
+    use geoproof_core::messages::TimedRound;
+    use geoproof_crypto::schnorr::Signature;
+
+    pub(crate) fn sample_record(k: usize) -> EvidenceRecord {
+        let report = AuditReport {
+            violations: vec![Violation::TooSlow {
+                round: 1,
+                rtt: SimDuration::from_millis(20),
+            }],
+            max_rtt: SimDuration::from_millis(20),
+            segments_ok: k,
+        };
+        // A structurally genuine canonical transcript (the signature is
+        // not valid — replay is not exercised on samples, but the writer
+        // insists the bytes at least parse).
+        let rounds: Vec<TimedRound> = (0..k)
+            .map(|i| TimedRound {
+                index: i as u64,
+                segment: Bytes::from(vec![0xabu8; 10]),
+                rtt: SimDuration::from_millis(5 + i as u64),
+            })
+            .collect();
+        let transcript = SignedTranscript {
+            file_id: "payroll".into(),
+            nonce: [9u8; 32],
+            position: GeoPoint::new(-27.47, 153.02),
+            rounds,
+            signature: Signature::from_bytes(&[0x42u8; 64]),
+        }
+        .canonical_bytes();
+        EvidenceRecord {
+            prover: "prover-0001".into(),
+            epoch: 3,
+            device_key: [7u8; 32],
+            sla_location: GeoPoint::new(-27.47, 153.02),
+            location_tolerance: Km(25.0),
+            policy: TimingPolicy::paper(),
+            request: AuditRequest {
+                file_id: "payroll".into(),
+                n_segments: 180,
+                k: k as u32,
+                nonce: [9u8; 32],
+            },
+            mac_ok: (0..k).map(|i| i % 3 != 0).collect(),
+            report_bytes: Bytes::from(encode_report(&report)),
+            transcript,
+        }
+    }
+
+    fn encode_full(r: &EvidenceRecord) -> Bytes {
+        let mut out = Vec::new();
+        r.encode_prefix(&mut out);
+        out.extend_from_slice(&r.transcript);
+        Bytes::from(out)
+    }
+
+    #[test]
+    fn roundtrip_and_body_len_agree() {
+        for k in [0usize, 1, 7, 8, 9, 20] {
+            let r = sample_record(k);
+            let body = encode_full(&r);
+            assert_eq!(body.len(), r.body_len(), "k={k}");
+            let back = EvidenceRecord::decode(&body).expect("decode");
+            assert_eq!(back, r, "k={k}");
+        }
+    }
+
+    #[test]
+    fn decode_aliases_the_body_buffer() {
+        let r = sample_record(5);
+        let body = encode_full(&r);
+        let back = EvidenceRecord::decode(&body).expect("decode");
+        let tail = body.slice(body.len() - r.transcript.len()..);
+        assert!(
+            back.transcript.aliases(&tail),
+            "decoded transcript must be a zero-copy view of the body"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bodies_without_panicking() {
+        let r = sample_record(4);
+        let body = encode_full(&r);
+        for cut in 0..body.len() {
+            assert!(
+                EvidenceRecord::decode(&body.slice(..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut extra = body.to_vec();
+        extra.push(0);
+        assert!(EvidenceRecord::decode(&Bytes::from(extra)).is_err());
+        let mut wrong_tag = body.to_vec();
+        wrong_tag[0] = 9;
+        assert!(EvidenceRecord::decode(&Bytes::from(wrong_tag)).is_err());
+    }
+
+    #[test]
+    fn nonzero_mac_padding_is_rejected() {
+        // 4 MAC bits occupy half a byte; set a pad bit and expect refusal
+        // (two encodings of the same bits must not both parse).
+        let r = sample_record(4);
+        let mut raw = encode_full(&r).to_vec();
+        // Locate the packed MAC byte: it sits 4 + 1 bytes after the fixed
+        // prefix; compute from field layout instead of magic offsets.
+        let mac_byte_at = 1
+            + 2
+            + r.prover.len()
+            + 8
+            + 32
+            + 24
+            + 16
+            + 2
+            + r.request.file_id.len()
+            + 8
+            + 4
+            + 32
+            + 4;
+        raw[mac_byte_at] |= 1 << 6;
+        assert_eq!(
+            EvidenceRecord::decode(&Bytes::from(raw)),
+            Err("nonzero MAC padding bits")
+        );
+    }
+}

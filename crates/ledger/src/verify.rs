@@ -1,0 +1,190 @@
+//! Offline re-verification: replaying a ledger with nothing but the
+//! TPA public key.
+//!
+//! [`replay`] re-checks, for a chain-verified [`Ledger`]:
+//!
+//! 1. the embedded TPA key against the caller's trusted one;
+//! 2. every checkpoint — TPA signature, coverage count, and the Merkle
+//!    root recomputed from the evidence seals it claims to cover;
+//! 3. every evidence record — the transcript signature (under the
+//!    *recorded* device key), nonce binding, GPS offset, round sanity
+//!    and the Δt_max timing policy, all re-derived through
+//!    [`geoproof_core::auditor::VerifyChecks`] exactly as the live TPA
+//!    did, with the recorded per-round MAC bits standing in for the
+//!    keyed MAC checks; the re-derived report must **byte-compare**
+//!    equal to the recorded one.
+//!
+//! What the replay *trusts*: the recorded MAC bits (checking them needs
+//! the owner's secret key — pass a [`SegmentMacCheck`] to close that
+//! gap when the secret is available), the recorded device key (a live
+//! registry can cross-check it), and the ledger being the *latest*
+//! one — a file truncated exactly at a record boundary is
+//! indistinguishable from a crash-recovered log, so the chain head
+//! ([`Ledger::head`]) must be compared out-of-band to rule that out.
+
+use crate::reader::{checkpoint_message, Entry, Ledger};
+use crate::record::EvidenceRecord;
+use crate::{Digest, LedgerError};
+use geoproof_core::auditor::VerifyChecks;
+use geoproof_core::evidence::encode_report;
+use geoproof_crypto::schnorr::{Signature, VerifyingKey};
+use geoproof_por::merkle::MerkleTree;
+
+/// Re-derives keyed segment MACs when the owner's secret is available —
+/// the one check a key-less replay must otherwise take on trust.
+pub trait SegmentMacCheck {
+    /// Whether `payload` (segment ‖ tag) is genuine for `segment_index`
+    /// of `file_id`.
+    fn verify(&self, file_id: &str, segment_index: u64, payload: &[u8]) -> bool;
+}
+
+impl<F: Fn(&str, u64, &[u8]) -> bool> SegmentMacCheck for F {
+    fn verify(&self, file_id: &str, segment_index: u64, payload: &[u8]) -> bool {
+        self(file_id, segment_index, payload)
+    }
+}
+
+/// What a successful replay established.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Total chain records.
+    pub records: u64,
+    /// Evidence records replayed.
+    pub evidence: u64,
+    /// Checkpoints verified.
+    pub checkpoints: u64,
+    /// Evidence verdicts that were ACCEPT.
+    pub accepted: u64,
+    /// Evidence verdicts that were REJECT.
+    pub rejected: u64,
+    /// Evidence records after the last checkpoint (chain-verified but
+    /// not yet Merkle-committed).
+    pub uncovered: u64,
+    /// Segment MACs re-derived (0 without a [`SegmentMacCheck`]).
+    pub macs_checked: u64,
+    /// The chain head — compare out-of-band to rule out suffix
+    /// truncation at a record boundary.
+    pub head: Digest,
+}
+
+/// Replays one evidence record's verification and byte-compares the
+/// re-derived verdict against the recorded one. Returns the parsed
+/// transcript so callers needing the rounds (MAC re-derivation,
+/// display) don't decode it a second time.
+///
+/// # Errors
+///
+/// Structural failures (`BadDeviceKey`, `Transcript`) and
+/// [`LedgerError::VerdictMismatch`] when the re-derived report's
+/// canonical bytes differ.
+pub fn replay_record(
+    record: &EvidenceRecord,
+    evidence: u64,
+) -> Result<geoproof_core::messages::SignedTranscript, LedgerError> {
+    let device_key = VerifyingKey::from_bytes(&record.device_key)
+        .ok_or(LedgerError::BadDeviceKey { evidence })?;
+    let transcript = record
+        .parse_transcript()
+        .map_err(|source| LedgerError::Transcript { evidence, source })?;
+    let checks = VerifyChecks {
+        file_id: &record.request.file_id,
+        n_segments: record.request.n_segments,
+        device_key: &device_key,
+        sla_location: record.sla_location,
+        location_tolerance: record.location_tolerance,
+        policy: &record.policy,
+    };
+    // Same closure shape as the live engine: absent bits read as false.
+    let replayed = checks.verify_transcript(&record.request, &transcript, |i, _round| {
+        record.mac_ok.get(i).copied().unwrap_or(false)
+    });
+    if encode_report(&replayed) != record.report_bytes.as_ref() {
+        return Err(LedgerError::VerdictMismatch { evidence });
+    }
+    Ok(transcript)
+}
+
+/// Replays the whole ledger (see the module docs for what is checked
+/// and what is trusted).
+///
+/// # Errors
+///
+/// The first failed check, most specific first: key mismatch, checkpoint
+/// signature/coverage/root, then per-record structural and verdict
+/// failures, then [`LedgerError::MacMismatch`] if `mac_check` disagrees
+/// with a recorded bit.
+pub fn replay(
+    ledger: &Ledger,
+    tpa: &VerifyingKey,
+    mac_check: Option<&dyn SegmentMacCheck>,
+) -> Result<ReplayOutcome, LedgerError> {
+    if ledger.header().tpa_key != tpa.to_bytes() {
+        return Err(LedgerError::TpaKeyMismatch);
+    }
+    let mut evidence_seals: Vec<Vec<u8>> = Vec::new();
+    let mut evidence = 0u64;
+    let mut checkpoints = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut macs_checked = 0u64;
+    for record in ledger.records() {
+        match &record.entry {
+            Entry::Evidence(e) => {
+                let transcript = replay_record(e, evidence)?;
+                if let Some(mac) = mac_check {
+                    for (i, round) in transcript.rounds.iter().enumerate() {
+                        let derived = mac.verify(&e.request.file_id, round.index, &round.segment);
+                        if derived != e.mac_ok.get(i).copied().unwrap_or(false) {
+                            return Err(LedgerError::MacMismatch { evidence });
+                        }
+                        macs_checked += 1;
+                    }
+                }
+                // Accept/reject straight from the recorded bytes we just
+                // proved re-derivable.
+                let report = e
+                    .report()
+                    .map_err(|source| LedgerError::Report { evidence, source })?;
+                if report.accepted() {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+                evidence_seals.push(record.seal.to_vec());
+                evidence += 1;
+            }
+            Entry::Checkpoint(c) => {
+                let signature = Signature::from_bytes(&c.signature);
+                if !tpa.verify(&checkpoint_message(c.covered, &c.root), &signature) {
+                    return Err(LedgerError::CheckpointSignature {
+                        index: record.index,
+                    });
+                }
+                // A checkpoint always covers *all* evidence so far, and
+                // the writer never commits before the first record (an
+                // empty Merkle tree does not exist).
+                if c.covered != evidence || c.covered == 0 {
+                    return Err(LedgerError::CheckpointCoverage {
+                        index: record.index,
+                    });
+                }
+                if MerkleTree::build(&evidence_seals).root() != c.root {
+                    return Err(LedgerError::CheckpointRoot {
+                        index: record.index,
+                    });
+                }
+                checkpoints += 1;
+            }
+        }
+    }
+    Ok(ReplayOutcome {
+        records: ledger.records().len() as u64,
+        evidence,
+        checkpoints,
+        accepted,
+        rejected,
+        uncovered: ledger.uncovered_evidence(),
+        macs_checked,
+        head: ledger.head(),
+    })
+}

@@ -1,0 +1,152 @@
+//! Zero-copy pins for the ledger append path, in the spirit of the
+//! segment-datapath audit: the transcript payload inside an
+//! [`EvidenceBundle`] must flow bundle → record → file write as one
+//! refcounted buffer (alias pins), and appending a record must allocate
+//! far less than the payload it writes (counting-allocator pin — a
+//! regression that copies the transcript into a staging buffer blows
+//! the bound immediately).
+
+use bytes::Bytes;
+use geoproof_core::auditor::AuditReport;
+use geoproof_core::evidence::{encode_report, EvidenceBundle};
+use geoproof_core::messages::AuditRequest;
+use geoproof_core::policy::TimingPolicy;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::GeoPoint;
+use geoproof_ledger::{EvidenceRecord, Ledger, LedgerWriter};
+use geoproof_sim::time::Km;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `System` wrapper tracking cumulative allocated bytes.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && new_size > layout.size() {
+            ALLOCATED.fetch_add(new_size - layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A bundle whose transcript is a genuine canonical encoding carrying
+/// one segment of `payload_len` bytes (the writer refuses transcript
+/// bytes that don't parse).
+fn bundle(payload_len: usize) -> EvidenceBundle {
+    use geoproof_core::messages::{SignedTranscript, TimedRound};
+    let report = AuditReport {
+        violations: vec![],
+        max_rtt: geoproof_sim::time::SimDuration::from_millis(5),
+        segments_ok: 1,
+    };
+    let transcript = SignedTranscript {
+        file_id: "alloc-file".into(),
+        nonce: [1u8; 32],
+        position: GeoPoint::new(-27.47, 153.02),
+        rounds: vec![TimedRound {
+            index: 0,
+            segment: Bytes::from(vec![0x5au8; payload_len]),
+            rtt: geoproof_sim::time::SimDuration::from_millis(5),
+        }],
+        signature: geoproof_crypto::schnorr::Signature::from_bytes(&[0x42u8; 64]),
+    }
+    .canonical_bytes();
+    EvidenceBundle {
+        prover: "prover-alloc".into(),
+        epoch: 0,
+        device_key: [3u8; 32],
+        sla_location: GeoPoint::new(-27.47, 153.02),
+        location_tolerance: Km(25.0),
+        policy: TimingPolicy::paper(),
+        request: AuditRequest {
+            file_id: "alloc-file".into(),
+            n_segments: 64,
+            k: 1,
+            nonce: [1u8; 32],
+        },
+        mac_ok: vec![true],
+        report,
+        transcript,
+    }
+}
+
+#[test]
+fn record_and_decode_alias_the_transcript_payload() {
+    let b = bundle(4096);
+    let record = EvidenceRecord::from_bundle(&b);
+    assert!(
+        record.transcript.aliases(&b.transcript),
+        "bundle → record must not copy the transcript"
+    );
+    assert_eq!(record.report_bytes.as_ref(), encode_report(&b.report));
+
+    // Through the file and back: the read-side transcript is a view of
+    // the single file buffer.
+    let dir = std::env::temp_dir().join(format!("gp-ledger-alias-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("alias.log");
+    std::fs::remove_file(&path).ok();
+    let tpa = SigningKey::generate(&mut ChaChaRng::from_u64_seed(1));
+    let mut w = LedgerWriter::create(&path, &tpa, 0, 1).expect("create");
+    w.append(&record).expect("append");
+    w.finish().expect("finish");
+    let ledger = Ledger::read(&path).expect("read");
+    let (_, stored) = ledger.evidence().next().expect("one record");
+    assert_eq!(stored.transcript, b.transcript, "content survives");
+    let chain_record = ledger.evidence_record(0).expect("record");
+    let tail_of_body = chain_record
+        .body
+        .slice(chain_record.body.len() - b.transcript.len()..);
+    assert!(
+        stored.transcript.aliases(&tail_of_body),
+        "read-side transcript must be a zero-copy view of the file buffer"
+    );
+}
+
+#[test]
+fn append_allocates_far_less_than_the_payload() {
+    const PAYLOAD: usize = 1 << 20; // 1 MiB transcript payload
+    let dir = std::env::temp_dir().join(format!("gp-ledger-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("alloc.log");
+    std::fs::remove_file(&path).ok();
+    let tpa = SigningKey::generate(&mut ChaChaRng::from_u64_seed(2));
+    let mut w = LedgerWriter::create(&path, &tpa, 0, 1).expect("create");
+
+    // Warm up: the writer's scratch buffer grows once, records are
+    // structurally identical afterwards.
+    let warm = EvidenceRecord::from_bundle(&bundle(PAYLOAD));
+    w.append(&warm).expect("warm-up append");
+
+    let b = bundle(PAYLOAD);
+    let record = EvidenceRecord::from_bundle(&b);
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    w.append(&record).expect("measured append");
+    let allocated = ALLOCATED.load(Ordering::Relaxed) - before;
+    assert!(
+        allocated < PAYLOAD / 8,
+        "append allocated {allocated} B for a {PAYLOAD} B payload — \
+         the transcript is being copied somewhere"
+    );
+    w.finish().expect("finish");
+}

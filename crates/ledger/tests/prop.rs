@@ -1,0 +1,181 @@
+//! Crash and tamper properties of the ledger file format:
+//!
+//! * truncating the file at **every** byte boundary inside the tail
+//!   record is recovered cleanly on writer open (truncation back to the
+//!   last complete record, appending resumes, replay stays green);
+//! * flipping **any single byte** of a sealed ledger makes strict
+//!   reading or replay fail with an error — never a panic, never a
+//!   silent pass.
+
+use geoproof_core::deployment::{DeploymentBuilder, ProviderBehaviour};
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_ledger::{replay, Ledger, LedgerError, LedgerSink, LedgerWriter, Recovery};
+use geoproof_sim::time::SimDuration;
+use geoproof_storage::hdd::WD_2500JD;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gp-ledger-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir.join(format!(
+        "{tag}-{}.log",
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn tpa(seed: u64) -> SigningKey {
+    SigningKey::generate(&mut ChaChaRng::from_u64_seed(seed))
+}
+
+/// Builds a small sealed ledger via real audits: `months` honest audits
+/// plus one slow (rejected) audit, finished with a checkpoint. Returns
+/// the file path and its bytes.
+fn build_ledger(tag: &str, months: usize, interval: u32, seed: u64) -> (PathBuf, Vec<u8>) {
+    let path = tmp(tag);
+    let tpa = tpa(seed);
+    let sink = Arc::new(LedgerSink::create(&path, &tpa, interval, seed).expect("create"));
+    let mut honest = DeploymentBuilder::new(BRISBANE)
+        .seed(seed)
+        .evidence_sink(sink.clone())
+        .build();
+    for _ in 0..months {
+        honest.run_audit(4);
+    }
+    let mut slow = DeploymentBuilder::new(BRISBANE)
+        .behaviour(ProviderBehaviour::Slow {
+            disk: WD_2500JD,
+            extra: SimDuration::from_millis(10),
+        })
+        .seed(seed + 1)
+        .prover_label("slow-provider")
+        .evidence_sink(sink.clone())
+        .build();
+    slow.run_audit(4);
+    sink.finish().expect("finish");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crash simulation: for every byte boundary inside the tail record
+    /// (from "only the first length byte landed" to "all but the last
+    /// seal byte landed"), opening the writer truncates back to the last
+    /// complete boundary, reports the dropped bytes, and the ledger both
+    /// replays and accepts further appends.
+    #[test]
+    fn torn_tail_recovers_at_every_byte_boundary(
+        months in 1usize..4,
+        interval in 0u32..3,
+        seed in 1u64..1000,
+    ) {
+        let tpa_key = tpa(seed);
+        let (path, full) = build_ledger("torn", months, interval, seed);
+
+        // Locate the last record's start: strip the final record by
+        // scanning forward over `len ‖ body ‖ seal` frames.
+        let header_len = 46;
+        let mut boundaries = vec![header_len];
+        let mut pos = header_len;
+        while pos < full.len() {
+            let len = u32::from_be_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4 + len + 32;
+            boundaries.push(pos);
+        }
+        prop_assert_eq!(pos, full.len(), "sealed file ends on a boundary");
+        let last_start = boundaries[boundaries.len() - 2];
+
+        for cut in last_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("tear");
+            // Strict readers refuse the torn file with TornTail.
+            match Ledger::read(&path) {
+                Err(LedgerError::TornTail { offset }) => {
+                    prop_assert_eq!(offset, last_start as u64, "cut {}", cut)
+                }
+                other => prop_assert!(false, "cut {}: expected TornTail, got {:?}",
+                    cut, other.map(|_| "Ok")),
+            }
+            // The writer truncates exactly the partial record.
+            let (mut w, recovery) =
+                LedgerWriter::open(&path, &tpa_key, seed).expect("recover");
+            prop_assert_eq!(
+                recovery,
+                Recovery::TruncatedTail { dropped: (cut - last_start) as u64 },
+                "cut {}", cut
+            );
+            prop_assert_eq!(
+                std::fs::metadata(&path).expect("stat").len(),
+                last_start as u64
+            );
+            // The recovered prefix is sealable and replayable.
+            w.finish().expect("finish after recovery");
+            let ledger = Ledger::read(&path).expect("read recovered");
+            replay(&ledger, &tpa_key.verifying_key(), None).expect("replay recovered");
+        }
+
+        // Cutting exactly at a boundary is not a torn tail at all.
+        std::fs::write(&path, &full[..last_start]).expect("boundary cut");
+        let (_, recovery) = LedgerWriter::open(&path, &tpa_key, seed).expect("open");
+        prop_assert_eq!(recovery, Recovery::Clean);
+    }
+
+    /// Tamper detection: flipping any single byte anywhere in a sealed
+    /// ledger (header included) makes strict read or replay fail — with
+    /// an error, not a panic.
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        months in 1usize..3,
+        seed in 1u64..1000,
+        bit in 0u8..8,
+    ) {
+        let tpa_key = tpa(seed);
+        let (path, full) = build_ledger("tamper", months, 2, seed);
+        // The pristine file is green.
+        let ledger = Ledger::read(&path).expect("read");
+        replay(&ledger, &tpa_key.verifying_key(), None).expect("replay pristine");
+
+        for pos in 0..full.len() {
+            let mut bad = full.clone();
+            bad[pos] ^= 1 << bit;
+            std::fs::write(&path, &bad).expect("tamper");
+            let outcome = Ledger::read(&path)
+                .and_then(|l| replay(&l, &tpa_key.verifying_key(), None));
+            prop_assert!(
+                outcome.is_err(),
+                "flipping bit {} of byte {} went undetected",
+                bit,
+                pos
+            );
+        }
+    }
+}
+
+/// The writer refuses to "recover" a complete record whose seal is
+/// wrong — that is tamper/corruption, not a crash, and auto-truncating
+/// it would destroy evidence.
+#[test]
+fn writer_never_truncates_a_seal_mismatch() {
+    let tpa_key = tpa(7);
+    let (path, full) = build_ledger("no-autofix", 2, 0, 7);
+    let mut bad = full.clone();
+    let mid = 46 + (full.len() - 46) / 2;
+    bad[mid] ^= 0x80;
+    std::fs::write(&path, &bad).expect("corrupt");
+    match LedgerWriter::open(&path, &tpa_key, 7) {
+        Err(LedgerError::SealMismatch { .. }) | Err(LedgerError::Malformed { .. }) => {}
+        other => panic!("expected corruption refusal, got {other:?}"),
+    }
+    assert_eq!(
+        std::fs::read(&path).expect("read").len(),
+        bad.len(),
+        "the file must be left untouched"
+    );
+}

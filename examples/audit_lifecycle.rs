@@ -1,13 +1,19 @@
 //! A year in the life of a GeoProof deployment: monthly audits against a
 //! provider whose behaviour degrades — honest, then silently corrupting
-//! segments, then relocating the data — and finally the owner's
-//! extraction, which repairs the damage the audits caught.
+//! segments, then relocating the data — with every verdict persisted to
+//! a durable evidence ledger, then replayed **cold** with nothing but
+//! the TPA public key (the full TPA story: audit → ledger → offline
+//! re-verify → inclusion proof), and finally the owner's extraction,
+//! which repairs the damage the audits caught.
 //!
 //! ```sh
 //! cargo run --example audit_lifecycle
 //! ```
 
+use geoproof::crypto::schnorr::SigningKey;
+use geoproof::ledger::{replay, InclusionProof, Ledger, LedgerSink};
 use geoproof::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // --- Month 0: onboarding -------------------------------------------
@@ -17,12 +23,27 @@ fn main() {
     rng.fill_bytes(&mut payroll);
     let (tagged, keys) = owner.prepare(&payroll, "payroll-2024");
     println!(
-        "onboarded payroll-2024: {} segments, SLA location Brisbane\n",
+        "onboarded payroll-2024: {} segments, SLA location Brisbane",
         tagged.segments.len()
     );
 
+    // The TPA opens its evidence ledger for the year. Only the *public*
+    // half of this key is needed to re-verify the file later.
+    let ledger_path = std::env::temp_dir().join(format!(
+        "geoproof-audit-lifecycle-{}.evidence",
+        std::process::id()
+    ));
+    std::fs::remove_file(&ledger_path).ok();
+    let tpa_key = SigningKey::generate(&mut rng);
+    let sink = Arc::new(LedgerSink::create(&ledger_path, &tpa_key, 4, 2024).expect("ledger"));
+    println!("evidence ledger opened: {}\n", ledger_path.display());
+
     // --- Months 1-3: honest provider -----------------------------------
-    let mut honest = DeploymentBuilder::new(BRISBANE).seed(1).build();
+    let mut honest = DeploymentBuilder::new(BRISBANE)
+        .seed(1)
+        .prover_label("acme-cloud")
+        .evidence_sink(sink.clone())
+        .build();
     for month in 1..=3 {
         let r = honest.run_audit(12);
         println!("month {month:>2}: honest provider        → {}", verdict(&r));
@@ -35,6 +56,9 @@ fn main() {
             fraction: 0.08,
         })
         .seed(2)
+        .prover_label("acme-cloud")
+        .first_epoch(3) // same provider, months 4-6 — epochs keep counting
+        .evidence_sink(sink.clone())
         .build();
     for month in 4..=6 {
         let r = corrupting.run_audit(12);
@@ -50,11 +74,49 @@ fn main() {
             access: AccessKind::DataCentre,
         })
         .seed(3)
+        .prover_label("acme-cloud")
+        .first_epoch(6) // months 7-9
+        .evidence_sink(sink.clone())
         .build();
     for month in 7..=9 {
         let r = relayed.run_audit(12);
         println!("month {month:>2}: data moved 1400 km     → {}", verdict(&r));
     }
+
+    // --- The evidence outlives the audits --------------------------------
+    // Seal the ledger (checkpoint + fsync), drop every live object, and
+    // replay the file cold: chain hashes, checkpoint signatures,
+    // transcript signatures, and every timing verdict re-derived — from
+    // the TPA public key alone.
+    sink.finish().expect("seal ledger");
+    let tpa_public = tpa_key.verifying_key();
+    drop((honest, corrupting, relayed, sink, tpa_key));
+
+    println!("\ncold replay of {}:", ledger_path.display());
+    let ledger = Ledger::read(&ledger_path).expect("read ledger");
+    let outcome = replay(&ledger, &tpa_public, None).expect("offline re-verification");
+    println!(
+        "  {} records, {} checkpoints — {} verdicts re-derived byte-identically: \
+         {} ACCEPT, {} REJECT",
+        outcome.records, outcome.checkpoints, outcome.evidence, outcome.accepted, outcome.rejected
+    );
+
+    // For the SLA dispute, extract one month's evidence as a
+    // self-contained O(log n) inclusion proof: month 9's relay verdict.
+    let proof = ledger.prove(8).expect("prove month 9");
+    let encoded = proof.encode();
+    let verified = InclusionProof::decode(&encoded.clone().into())
+        .expect("decode proof")
+        .verify(&tpa_public)
+        .expect("proof verifies");
+    let report = verified.evidence.report().expect("verdict");
+    println!(
+        "  inclusion proof for month 9 ({} bytes, {} siblings): prover {:?}, {}",
+        encoded.len(),
+        proof.siblings.len(),
+        verified.evidence.prover,
+        verdict(&report)
+    );
 
     // --- Recovery: extraction repairs bounded damage --------------------
     println!("\nowner pulls the file back, with two segments corrupted in transit:");
@@ -68,6 +130,7 @@ fn main() {
         }
         Err(e) => println!("  extraction failed: {e}"),
     }
+    std::fs::remove_file(&ledger_path).ok();
 }
 
 fn verdict(r: &AuditReport) -> String {

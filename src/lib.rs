@@ -24,6 +24,7 @@
 //! | [`por`] | `geoproof-por` | MAC-based and sentinel PORs, streaming encode, detection analysis |
 //! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine and deterministic fleet simulator |
 //! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server |
+//! | [`ledger`] | `geoproof-ledger` | durable evidence: append-only hash-chained audit log, Merkle checkpoints, crash recovery, offline re-verification |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use geoproof_crypto as crypto;
 pub use geoproof_distbound as distbound;
 pub use geoproof_ecc as ecc;
 pub use geoproof_geo as geo;
+pub use geoproof_ledger as ledger;
 pub use geoproof_net as net;
 pub use geoproof_por as por;
 pub use geoproof_sim as sim;
@@ -61,7 +63,10 @@ pub mod prelude {
     pub use geoproof_core::engine::{
         AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
     };
-    pub use geoproof_core::fleet::{run_fleet, AdversaryProfile, FleetConfig, FleetOutcome};
+    pub use geoproof_core::evidence::{decode_report, encode_report, EvidenceBundle, EvidenceSink};
+    pub use geoproof_core::fleet::{
+        run_fleet, run_fleet_with_evidence, AdversaryProfile, FleetConfig, FleetOutcome,
+    };
     pub use geoproof_core::messages::{AuditRequest, SignedTranscript, TimedRound};
     pub use geoproof_core::multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
     pub use geoproof_core::policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
@@ -72,6 +77,9 @@ pub mod prelude {
     pub use geoproof_crypto::chacha::ChaChaRng;
     pub use geoproof_geo::coords::places::*;
     pub use geoproof_geo::coords::GeoPoint;
+    pub use geoproof_ledger::{
+        replay, EvidenceRecord, InclusionProof, Ledger, LedgerSink, LedgerWriter, ReplayOutcome,
+    };
     pub use geoproof_net::wan::{AccessKind, WanModel};
     pub use geoproof_por::encode::PorEncoder;
     pub use geoproof_por::keys::PorKeys;

@@ -59,7 +59,11 @@ const USAGE: &str = "usage:
   geoproof extract <store-dir> <output-file> --master <secret>
   geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
   geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
-  geoproof info    <store-dir>";
+                   [--ledger <path>] [--prover <id>] [--transcript <path>]
+  geoproof info    <store-dir>
+  geoproof ledger  verify  <path> [--tpa-pub <hex32>] [--master <secret>]
+  geoproof ledger  inspect <path>
+  geoproof ledger  prove   <path> --round <n> [--out <file>]";
 
 type CliResult = Result<(), String>;
 
@@ -74,6 +78,7 @@ fn run(args: &[String]) -> CliResult {
         "serve" => cmd_serve(rest),
         "audit" => cmd_audit(rest),
         "info" => cmd_info(rest),
+        "ledger" => cmd_ledger(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -321,9 +326,17 @@ fn cmd_audit(args: &[String]) -> CliResult {
     let params = PorParams::paper();
     let keys = PorKeys::derive(master.as_bytes(), &md.file_id);
 
-    let mut rng = ChaChaRng::from_u64_seed(0x0061_7564_6974);
+    // Per-invocation entropy: a fixed seed here would reissue the same
+    // nonce and the same challenge subset every run — a dishonest
+    // server could keep just those segments, and any old transcript
+    // would satisfy any later audit's nonce check.
+    let mut rng = ChaChaRng::from_seed(fresh_seed("device-key"));
     let device_key = SigningKey::generate(&mut rng);
-    let mut verifier = WallClockVerifier::new(device_key.clone(), GpsReceiver::new(BRISBANE), 7);
+    let mut verifier = WallClockVerifier::new(
+        device_key.clone(),
+        GpsReceiver::new(BRISBANE),
+        fresh_seed_u64("challenges"),
+    );
     let mut auditor = geoproof::core::auditor::Auditor::new(
         md.file_id.clone(),
         md.segments,
@@ -336,13 +349,57 @@ fn cmd_audit(args: &[String]) -> CliResult {
             max_network: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
             max_lookup: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
         },
-        8,
+        fresh_seed_u64("nonce"),
     );
     let request = auditor.issue_request(k);
     let transcript = verifier
         .run_audit(&request, addr)
         .map_err(|e| format!("audit I/O: {e}"))?;
-    let report = auditor.verify(&request, &transcript);
+
+    // Durable outputs before the verdict decides the exit code: the
+    // canonical transcript bytes, and the evidence ledger (a REJECT is
+    // evidence too — the whole point is that it outlives this process).
+    if let Some(t_path) = flag(args, "--transcript") {
+        std::fs::write(&t_path, transcript.canonical_bytes())
+            .map_err(|e| format!("write {t_path}: {e}"))?;
+        println!("transcript: canonical bytes written to {t_path}");
+    }
+    let report = match flag(args, "--ledger") {
+        None => auditor.verify(&request, &transcript),
+        Some(ledger_path) => {
+            let tpa = tpa_ledger_key(&master);
+            let seed = u64::from_be_bytes(request.nonce[..8].try_into().expect("8 bytes"));
+            let (mut writer, recovery) = geoproof::ledger::LedgerWriter::open_or_create(
+                &ledger_path,
+                &tpa,
+                geoproof::ledger::DEFAULT_CHECKPOINT_INTERVAL,
+                seed,
+            )
+            .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+            if let geoproof::ledger::Recovery::TruncatedTail { dropped } = recovery {
+                eprintln!("ledger: recovered torn tail write ({dropped} bytes truncated)");
+            }
+            let prover = flag(args, "--prover").unwrap_or_else(|| addr.to_string());
+            let epoch = writer.next_epoch(&prover);
+            let (report, bundle) = auditor.verify_evidence(&request, &transcript, prover, epoch);
+            writer
+                .append_bundle(&bundle)
+                .and_then(|()| writer.finish())
+                .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+            println!(
+                "evidence: record {} appended to {ledger_path} (prover {:?}, epoch {epoch}), \
+                 sealed; chain head {}",
+                writer.evidence_count() - 1,
+                bundle.prover,
+                hex(&writer.head()[..8]),
+            );
+            println!(
+                "          TPA public key {}",
+                hex(&tpa.verifying_key().to_bytes())
+            );
+            report
+        }
+    };
     println!(
         "audit of {} @ {addr}: {} challenges, max Δt' = {:.3} ms (budget {budget_ms} ms)",
         md.file_id,
@@ -366,6 +423,230 @@ fn cmd_audit(args: &[String]) -> CliResult {
     } else {
         Err("audit rejected".into())
     }
+}
+
+// --- evidence ledger ---------------------------------------------------------
+
+/// The TPA's ledger signing key, derived deterministically from the
+/// master secret (the owner provisions the TPA, as with the MAC key).
+/// Only the *public* half is needed to re-verify a ledger.
+fn tpa_ledger_key(master: &str) -> geoproof::crypto::schnorr::SigningKey {
+    let mut h = geoproof::crypto::sha256::Sha256::new();
+    h.update(b"geoproof-tpa-ledger-key-v1");
+    h.update(master.as_bytes());
+    let mut rng = ChaChaRng::from_seed(h.finalize());
+    geoproof::crypto::schnorr::SigningKey::generate(&mut rng)
+}
+
+/// Per-invocation entropy for the audit's nonce, challenge draws and
+/// ephemeral device key: `/dev/urandom` when available, always mixed
+/// with wall-clock time and pid, domain-separated by `label`. (The
+/// deterministic fixed-seed style the simulations use is exactly wrong
+/// here — a real audit's unpredictability is its security.)
+fn fresh_seed(label: &str) -> [u8; 32] {
+    let mut h = geoproof::crypto::sha256::Sha256::new();
+    h.update(b"geoproof-cli-entropy-v1");
+    h.update(label.as_bytes());
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        let mut buf = [0u8; 32];
+        if f.read_exact(&mut buf).is_ok() {
+            h.update(&buf);
+        }
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    h.update(&now.as_nanos().to_be_bytes());
+    h.update(&std::process::id().to_be_bytes());
+    h.finalize()
+}
+
+fn fresh_seed_u64(label: &str) -> u64 {
+    u64::from_be_bytes(fresh_seed(label)[..8].try_into().expect("8 bytes"))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex32(s: &str) -> Result<[u8; 32], String> {
+    let s = s.trim();
+    if s.len() != 64 || !s.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err("expected 64 hex characters (32 bytes)".into());
+    }
+    let mut out = [0u8; 32];
+    for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+        out[i] = u8::from_str_radix(std::str::from_utf8(chunk).expect("hex ascii"), 16)
+            .map_err(|e| format!("bad hex: {e}"))?;
+    }
+    Ok(out)
+}
+
+fn cmd_ledger(args: &[String]) -> CliResult {
+    let Some(sub) = args.first() else {
+        return Err("ledger: missing subcommand (verify|inspect|prove)".into());
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "verify" => cmd_ledger_verify(rest),
+        "inspect" => cmd_ledger_inspect(rest),
+        "prove" => cmd_ledger_prove(rest),
+        other => Err(format!("unknown ledger subcommand {other:?}")),
+    }
+}
+
+fn cmd_ledger_verify(args: &[String]) -> CliResult {
+    use geoproof::ledger::{replay, Ledger, SegmentMacCheck};
+    let path = positional(args, 0)?;
+    let ledger = Ledger::read(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+
+    // Trust root for the replay: an out-of-band key beats one derived
+    // from --master, which beats trusting the file's embedded key.
+    let (tpa_bytes, key_source) = if let Some(hexkey) = flag(args, "--tpa-pub") {
+        (unhex32(&hexkey)?, "--tpa-pub")
+    } else if let Some(master) = flag(args, "--master") {
+        (
+            tpa_ledger_key(&master).verifying_key().to_bytes(),
+            "derived from --master",
+        )
+    } else {
+        (
+            ledger.header().tpa_key,
+            "embedded in file — pass --tpa-pub to pin an out-of-band key",
+        )
+    };
+    let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&tpa_bytes)
+        .ok_or("TPA key is not a valid curve point")?;
+
+    // With the owner's secret the recorded MAC bits are re-derived too.
+    // Keys are memoised per file id — one KDF per file, not per segment.
+    let mac_check = flag(args, "--master").map(|master| {
+        let encoder = PorEncoder::new(PorParams::paper());
+        let keys_by_fid: std::cell::RefCell<HashMap<String, PorKeys>> =
+            std::cell::RefCell::new(HashMap::new());
+        move |fid: &str, index: u64, payload: &[u8]| {
+            let mut cache = keys_by_fid.borrow_mut();
+            let keys = cache
+                .entry(fid.to_owned())
+                .or_insert_with(|| PorKeys::derive(master.as_bytes(), fid));
+            encoder.verify_segment(keys.auditor_view().mac_key(), fid, index, payload)
+        }
+    });
+    let outcome = replay(
+        &ledger,
+        &tpa,
+        mac_check.as_ref().map(|f| f as &dyn SegmentMacCheck),
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+
+    println!(
+        "{path}: {} records ({} evidence, {} checkpoints), chain OK",
+        outcome.records, outcome.evidence, outcome.checkpoints
+    );
+    println!("tpa key : {} ({key_source})", hex(&tpa_bytes));
+    println!(
+        "head    : {} (compare out-of-band to rule out truncation)",
+        hex(&outcome.head)
+    );
+    println!(
+        "replay  : {} verdicts re-derived byte-identically — {} ACCEPT, {} REJECT{}",
+        outcome.evidence,
+        outcome.accepted,
+        outcome.rejected,
+        if outcome.uncovered > 0 {
+            format!(" ({} not yet checkpointed)", outcome.uncovered)
+        } else {
+            String::new()
+        }
+    );
+    if outcome.macs_checked > 0 {
+        println!(
+            "macs    : {} segment MACs re-derived from --master",
+            outcome.macs_checked
+        );
+    } else {
+        println!("macs    : recorded bits trusted (pass --master to re-derive)");
+    }
+    Ok(())
+}
+
+fn cmd_ledger_inspect(args: &[String]) -> CliResult {
+    use geoproof::ledger::{Entry, Ledger};
+    let path = positional(args, 0)?;
+    let ledger = Ledger::read(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: v{}, checkpoint interval {}, tpa key {}",
+        ledger.header().version,
+        ledger.header().interval,
+        hex(&ledger.header().tpa_key)
+    );
+    let mut evidence = 0u64;
+    for record in ledger.records() {
+        match &record.entry {
+            Entry::Evidence(e) => {
+                let report = e
+                    .report()
+                    .map_err(|err| format!("record {}: {err}", record.index))?;
+                println!(
+                    "  [{:>4}] evidence #{evidence}: prover {:?} epoch {} file {:?} k={} \
+                     max Δt' {:.3} ms → {}",
+                    record.index,
+                    e.prover,
+                    e.epoch,
+                    e.request.file_id,
+                    e.request.k,
+                    report.max_rtt.as_millis_f64(),
+                    if report.accepted() {
+                        "ACCEPT".to_owned()
+                    } else {
+                        format!("REJECT ({} violations)", report.violations.len())
+                    }
+                );
+                evidence += 1;
+            }
+            Entry::Checkpoint(c) => println!(
+                "  [{:>4}] checkpoint: covers {} evidence records, root {}…",
+                record.index,
+                c.covered,
+                hex(&c.root[..8])
+            ),
+        }
+    }
+    println!("head: {}", hex(&ledger.head()));
+    Ok(())
+}
+
+fn cmd_ledger_prove(args: &[String]) -> CliResult {
+    use geoproof::ledger::Ledger;
+    let path = positional(args, 0)?;
+    let round: u64 = flag(args, "--round")
+        .ok_or("--round required")?
+        .parse()
+        .map_err(|e| format!("bad --round: {e}"))?;
+    let ledger = Ledger::read(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let proof = ledger.prove(round).map_err(|e| format!("{path}: {e}"))?;
+
+    // Self-check against the embedded key before handing the proof out.
+    let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&ledger.header().tpa_key)
+        .ok_or("ledger's embedded TPA key is not a valid curve point")?;
+    let verified = proof
+        .verify(&tpa)
+        .map_err(|e| format!("freshly built proof failed self-check: {e}"))?;
+
+    let out = flag(args, "--out").unwrap_or_else(|| format!("{path}.round-{round}.proof"));
+    let encoded = proof.encode();
+    std::fs::write(&out, &encoded).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "proof of evidence #{round} (prover {:?}, epoch {}): {} bytes, {} Merkle siblings, \
+         checkpoint covers {} → {out}",
+        verified.evidence.prover,
+        verified.evidence.epoch,
+        encoded.len(),
+        proof.siblings.len(),
+        proof.covered
+    );
+    println!("verifies against TPA key {}", hex(&ledger.header().tpa_key));
+    Ok(())
 }
 
 fn cmd_info(args: &[String]) -> CliResult {

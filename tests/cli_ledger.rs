@@ -1,0 +1,254 @@
+//! CLI end-to-end over real TCP: encode → serve → audit (with evidence
+//! ledger + transcript dump) → ledger verify/inspect/prove, plus the
+//! failure modes (tampered ledger, wrong TPA key) — all through the
+//! actual `geoproof` binary.
+
+use bytes::Bytes;
+use geoproof::core::messages::SignedTranscript;
+use geoproof::ledger::{InclusionProof, Ledger};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_geoproof");
+const MASTER: &str = "cli-test-master";
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gp-cli-ledger-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    dir
+}
+
+/// Runs the binary, asserting the expected exit status; returns stdout.
+fn run(args: &[&str], expect_success: bool) -> String {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn geoproof");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.success(),
+        expect_success,
+        "geoproof {args:?}\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    stdout
+}
+
+/// A `geoproof serve` child killed on drop; parses the bound address
+/// from its first stdout line.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(store: &Path) -> Server {
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .arg(store)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("serve banner")
+            .expect("read serve banner");
+        // "serving <fid> (<n> segments) on <addr> (service delay ...)"
+        let addr = first
+            .split(" on ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no address in banner: {first}"))
+            .to_owned();
+        Server { child, addr }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+#[test]
+fn cli_audit_ledger_verify_inspect_prove_end_to_end() {
+    let dir = tmpdir();
+    let input = dir.join("input.bin");
+    let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+    std::fs::write(&input, &data).expect("write input");
+    let store = dir.join("store");
+    let ledger_path = dir.join("evidence.log");
+    let transcript_path = dir.join("transcript.bin");
+
+    run(
+        &[
+            "encode",
+            input.to_str().unwrap(),
+            store.to_str().unwrap(),
+            "--fid",
+            "cli-demo",
+            "--master",
+            MASTER,
+        ],
+        true,
+    );
+
+    let server = Server::spawn(&store);
+
+    // Two audits against the live server: epochs must count up, and the
+    // generous budget keeps slow CI machines from flaking the verdict.
+    for epoch in 0..2u32 {
+        let stdout = run(
+            &[
+                "audit",
+                &server.addr,
+                store.to_str().unwrap(),
+                "--master",
+                MASTER,
+                "--k",
+                "6",
+                "--budget-ms",
+                "5000",
+                "--ledger",
+                ledger_path.to_str().unwrap(),
+                "--transcript",
+                transcript_path.to_str().unwrap(),
+                "--prover",
+                "cli-prover",
+            ],
+            true,
+        );
+        assert!(stdout.contains("verdict: ACCEPT"), "{stdout}");
+        assert!(stdout.contains(&format!("epoch {epoch}")), "{stdout}");
+    }
+
+    // Transcript round-trip: the dumped canonical bytes parse back and
+    // re-encode identically, and carry the audited file.
+    let raw = Bytes::from(std::fs::read(&transcript_path).expect("read transcript"));
+    let transcript = SignedTranscript::from_canonical(&raw).expect("parse dumped transcript");
+    assert_eq!(transcript.file_id, "cli-demo");
+    assert_eq!(transcript.rounds.len(), 6);
+    assert_eq!(
+        transcript.canonical_bytes(),
+        raw,
+        "canonical dump must round-trip byte-identically"
+    );
+
+    // Two invocations must not reuse audit material: the recorded
+    // requests carry distinct nonces and distinct challenge sets (a
+    // fixed CLI seed would let a server keep only the probed subset).
+    {
+        let ledger = Ledger::read(&ledger_path).expect("read ledger");
+        let records: Vec<_> = ledger.evidence().map(|(_, e)| e.clone()).collect();
+        assert_eq!(records.len(), 2);
+        assert_ne!(
+            records[0].request.nonce, records[1].request.nonce,
+            "per-invocation nonces must rotate"
+        );
+        let challenges: Vec<Vec<u64>> = records
+            .iter()
+            .map(|r| {
+                let t = r.parse_transcript().expect("transcript");
+                t.rounds.iter().map(|round| round.index).collect()
+            })
+            .collect();
+        assert_ne!(
+            challenges[0], challenges[1],
+            "per-invocation challenge draws must differ"
+        );
+    }
+
+    // ledger verify: with the master (full MAC re-derivation)…
+    let stdout = run(
+        &[
+            "ledger",
+            "verify",
+            ledger_path.to_str().unwrap(),
+            "--master",
+            MASTER,
+        ],
+        true,
+    );
+    assert!(stdout.contains("2 ACCEPT, 0 REJECT"), "{stdout}");
+    assert!(stdout.contains("12 segment MACs re-derived"), "{stdout}");
+
+    // …and key-only, pinning the TPA key the audit printed is the
+    // embedded one.
+    let stdout = run(&["ledger", "verify", ledger_path.to_str().unwrap()], true);
+    assert!(stdout.contains("chain OK"), "{stdout}");
+    assert!(stdout.contains("recorded bits trusted"), "{stdout}");
+
+    // inspect lists both evidence records with the prover id.
+    let stdout = run(&["ledger", "inspect", ledger_path.to_str().unwrap()], true);
+    assert_eq!(stdout.matches("\"cli-prover\"").count(), 2, "{stdout}");
+    assert!(stdout.contains("checkpoint"), "{stdout}");
+
+    // prove: the proof file verifies standalone against the embedded key.
+    let proof_path = dir.join("round0.proof");
+    let stdout = run(
+        &[
+            "ledger",
+            "prove",
+            ledger_path.to_str().unwrap(),
+            "--round",
+            "0",
+            "--out",
+            proof_path.to_str().unwrap(),
+        ],
+        true,
+    );
+    assert!(stdout.contains("verifies against TPA key"), "{stdout}");
+    let proof_bytes = Bytes::from(std::fs::read(&proof_path).expect("read proof"));
+    let proof = InclusionProof::decode(&proof_bytes).expect("decode proof");
+    let ledger = Ledger::read(&ledger_path).expect("read ledger");
+    let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&ledger.header().tpa_key)
+        .expect("embedded key");
+    let verified = proof.verify(&tpa).expect("proof verifies");
+    assert_eq!(verified.evidence.prover, "cli-prover");
+    assert_eq!(verified.evidence.epoch, 0);
+
+    // Out-of-range round is a clean error.
+    run(
+        &[
+            "ledger",
+            "prove",
+            ledger_path.to_str().unwrap(),
+            "--round",
+            "99",
+        ],
+        false,
+    );
+
+    // Tampering with one byte of evidence makes verify fail (exit != 0).
+    let mut tampered = std::fs::read(&ledger_path).expect("read ledger bytes");
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    let tampered_path = dir.join("tampered.log");
+    std::fs::write(&tampered_path, &tampered).expect("write tampered");
+    run(
+        &["ledger", "verify", tampered_path.to_str().unwrap()],
+        false,
+    );
+
+    // The wrong out-of-band TPA key is rejected even on a pristine file.
+    let wrong_key = "ff".repeat(32);
+    run(
+        &[
+            "ledger",
+            "verify",
+            ledger_path.to_str().unwrap(),
+            "--tpa-pub",
+            &wrong_key,
+        ],
+        false,
+    );
+
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
