@@ -57,6 +57,18 @@ pub enum Violation {
         /// Round index within the transcript.
         round: usize,
     },
+    /// A dynamic round's Merkle membership proof failed against the
+    /// audited digest (stale pre-update segment, grafted proof, or a
+    /// provider whose tree diverged).
+    BadProof {
+        /// Round index within the transcript.
+        round: usize,
+        /// Challenged segment index.
+        segment: u64,
+    },
+    /// A dynamic transcript echoes a digest other than the one the audit
+    /// was issued against (replay across updates).
+    StaleDigest,
 }
 
 impl std::fmt::Display for Violation {
@@ -79,6 +91,10 @@ impl std::fmt::Display for Violation {
             Violation::MalformedChallenge { round } => {
                 write!(f, "round {round}: malformed challenge index")
             }
+            Violation::BadProof { round, segment } => {
+                write!(f, "round {round}: segment {segment} failed Merkle proof")
+            }
+            Violation::StaleDigest => write!(f, "digest mismatch (stale state replay?)"),
         }
     }
 }
@@ -267,6 +283,36 @@ pub struct VerifyChecks<'a> {
     pub policy: &'a TimingPolicy,
 }
 
+/// The outcome of judging one returned segment — the pluggable step of
+/// the shared check sequence. The static scheme only distinguishes
+/// tag success/failure; the dynamic scheme also has a Merkle membership
+/// proof that can fail independently of (and is checked before) the tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentVerdict {
+    /// Segment authentic (proof, where applicable, and tag both hold).
+    Ok,
+    /// The keyed MAC tag failed.
+    BadTag,
+    /// The Merkle membership proof failed (dynamic audits only).
+    BadProof,
+}
+
+/// Inputs to the shared check core that differ between the static and
+/// dynamic transcript shapes; everything downstream (GPS, round sanity,
+/// per-segment judgement, Δt_max policy, verdict assembly) is identical.
+struct TranscriptView<'b> {
+    /// Signature over the canonical bytes verified under the device key.
+    sig_ok: bool,
+    /// Nonce and file id match the triggering request.
+    fresh: bool,
+    /// Dynamic only: the echoed digest differs from the audited one.
+    stale_digest: bool,
+    /// The verifier's GPS fix.
+    position: &'b GeoPoint,
+    /// `(challenged index, measured Δt)` per round, transcript order.
+    rounds: Vec<(u64, SimDuration)>,
+}
+
 impl VerifyChecks<'_> {
     /// Runs the full §V-B(b) check sequence; `segment_ok(round_index,
     /// round)` judges each returned segment's MAC.
@@ -276,65 +322,124 @@ impl VerifyChecks<'_> {
         transcript: &SignedTranscript,
         mut segment_ok: impl FnMut(usize, &crate::messages::TimedRound) -> bool,
     ) -> AuditReport {
-        let mut violations = Vec::new();
-
-        // 1. Signature over the canonical transcript bytes.
         let bytes = SignedTranscript::signing_bytes(
             &transcript.file_id,
             &transcript.nonce,
             &transcript.position,
             &transcript.rounds,
         );
-        if !self.device_key.verify(&bytes, &transcript.signature) {
+        let view = TranscriptView {
+            sig_ok: self.device_key.verify(&bytes, &transcript.signature),
+            fresh: transcript.nonce == request.nonce && transcript.file_id == request.file_id,
+            stale_digest: false,
+            position: &transcript.position,
+            rounds: transcript.rounds.iter().map(|r| (r.index, r.rtt)).collect(),
+        };
+        self.verify_core(view, request.k, |i| {
+            if segment_ok(i, &transcript.rounds[i]) {
+                SegmentVerdict::Ok
+            } else {
+                SegmentVerdict::BadTag
+            }
+        })
+    }
+
+    /// The dynamic-flow twin of [`VerifyChecks::verify_transcript`]:
+    /// same signature/nonce/GPS/round-sanity/timing discipline over a
+    /// [`crate::dynamic_audit::DynSignedTranscript`], with the
+    /// per-segment judgement pluggable so the live TPA (recomputing
+    /// proofs and keyed tags) and the offline replay (recomputing proofs,
+    /// trusting recorded tag bits) run *exactly the same* logic.
+    ///
+    /// Construct `self` with `n_segments = request.digest.segments` —
+    /// the dynamic file's length lives in the digest.
+    pub fn verify_dyn_transcript(
+        &self,
+        request: &crate::dynamic_audit::DynAuditRequest,
+        transcript: &crate::dynamic_audit::DynSignedTranscript,
+        mut judge: impl FnMut(usize, &crate::dynamic_audit::DynTimedRound) -> SegmentVerdict,
+    ) -> AuditReport {
+        let bytes = transcript.signing_bytes_of();
+        let view = TranscriptView {
+            sig_ok: self.device_key.verify(&bytes, &transcript.signature),
+            fresh: transcript.nonce == request.nonce && transcript.file_id == request.file_id,
+            stale_digest: transcript.digest != request.digest,
+            position: &transcript.position,
+            rounds: transcript.rounds.iter().map(|r| (r.index, r.rtt)).collect(),
+        };
+        self.verify_core(view, request.k, |i| judge(i, &transcript.rounds[i]))
+    }
+
+    /// The shared §V-B(b) sequence over an abstracted transcript view.
+    fn verify_core(
+        &self,
+        view: TranscriptView<'_>,
+        expected_k: u32,
+        mut judge: impl FnMut(usize) -> SegmentVerdict,
+    ) -> AuditReport {
+        let mut violations = Vec::new();
+
+        // 1. Signature over the canonical transcript bytes.
+        if !view.sig_ok {
             violations.push(Violation::BadSignature);
         }
 
-        // Nonce freshness (binds transcript to this request).
-        if transcript.nonce != request.nonce || transcript.file_id != request.file_id {
+        // Nonce freshness (binds transcript to this request), and — for
+        // dynamic audits — digest freshness (binds it to this state).
+        if !view.fresh {
             violations.push(Violation::StaleNonce);
+        }
+        if view.stale_digest {
+            violations.push(Violation::StaleDigest);
         }
 
         // 2. GPS position against the SLA location.
-        let offset = transcript.position.distance(&self.sla_location);
+        let offset = view.position.distance(&self.sla_location);
         if offset.0 > self.location_tolerance.0 {
             violations.push(Violation::WrongLocation { offset });
         }
 
         // Round count and challenge sanity.
-        if transcript.rounds.len() != request.k as usize {
+        if view.rounds.len() != expected_k as usize {
             violations.push(Violation::WrongRoundCount {
-                expected: request.k,
-                actual: transcript.rounds.len(),
+                expected: expected_k,
+                actual: view.rounds.len(),
             });
         }
         let mut seen = std::collections::HashSet::new();
-        for (i, round) in transcript.rounds.iter().enumerate() {
-            if round.index >= self.n_segments || !seen.insert(round.index) {
+        for (i, &(index, _)) in view.rounds.iter().enumerate() {
+            if index >= self.n_segments || !seen.insert(index) {
                 violations.push(Violation::MalformedChallenge { round: i });
             }
         }
 
-        // 3. MAC verification of every returned segment.
+        // 3. Authenticity of every returned segment (membership proof
+        // first where there is one, then the keyed tag).
         let mut segments_ok = 0;
-        for (i, round) in transcript.rounds.iter().enumerate() {
-            if segment_ok(i, round) {
-                segments_ok += 1;
-            } else {
-                violations.push(Violation::BadSegment {
+        for (i, &(index, _)) in view.rounds.iter().enumerate() {
+            match judge(i) {
+                SegmentVerdict::Ok => segments_ok += 1,
+                SegmentVerdict::BadTag => violations.push(Violation::BadSegment {
                     round: i,
-                    segment: round.index,
-                });
+                    segment: index,
+                }),
+                SegmentVerdict::BadProof => violations.push(Violation::BadProof {
+                    round: i,
+                    segment: index,
+                }),
             }
         }
 
         // 4. Timing: max Δt_j ≤ Δt_max.
-        let max_rtt = transcript.max_rtt();
-        for (i, round) in transcript.rounds.iter().enumerate() {
-            if round.rtt > self.policy.max_rtt() {
-                violations.push(Violation::TooSlow {
-                    round: i,
-                    rtt: round.rtt,
-                });
+        let max_rtt = view
+            .rounds
+            .iter()
+            .map(|&(_, rtt)| rtt)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        for (i, &(_, rtt)) in view.rounds.iter().enumerate() {
+            if rtt > self.policy.max_rtt() {
+                violations.push(Violation::TooSlow { round: i, rtt });
             }
         }
 

@@ -1,0 +1,636 @@
+//! The timed dynamic audit session: GeoProof's Δt_max discipline over a
+//! file that *changes* between audit epochs (the paper's §IV DPOR
+//! extension taken online).
+//!
+//! A dynamic audit is issued against a [`DynamicDigest`] — the Merkle
+//! root plus segment count the owner derived after its last
+//! update/append. Each round challenges one segment and must come back
+//! with a membership proof; the TPA verifies, **inside the same timing
+//! loop as static audits**, that
+//!
+//! 1. the proof ties the returned bytes to the audited digest (unkeyed —
+//!    offline replay recomputes this from the ledger alone), and
+//! 2. the embedded MAC tag is genuine for `(file_id, index)` (keyed —
+//!    replay trusts the recorded bit unless given the owner's secret),
+//!
+//! with the identical signature/nonce/GPS/round-sanity/Δt_max checks of
+//! [`crate::auditor::VerifyChecks`] — dynamic verdicts are produced by
+//! the same `verify_core` as static ones, so they are replayable from
+//! the evidence ledger byte-for-byte.
+//!
+//! A provider that keeps serving the pre-update segment (with its
+//! then-valid proof) fails the Merkle check against the fresh digest:
+//! that is the stale-copy cheat the digest chain in the ledger makes
+//! provable.
+
+use crate::auditor::{AuditReport, SegmentVerdict, VerifyChecks};
+use crate::messages::TranscriptDecodeError;
+use crate::policy::TimingPolicy;
+use bytes::Bytes;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::{Signature, VerifyingKey};
+use geoproof_geo::coords::GeoPoint;
+use geoproof_por::dynamic::{verify_tagged, DynamicDigest, ProvenSegment};
+use geoproof_por::keys::AuditorKey;
+use geoproof_por::merkle::{verify_proof, MerkleProof};
+use geoproof_sim::time::{Km, SimDuration};
+
+/// The TPA's dynamic audit trigger: digest under audit, challenge count,
+/// fresh nonce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynAuditRequest {
+    /// File under audit.
+    pub file_id: String,
+    /// The digest (root + segment count) this audit verifies against.
+    pub digest: DynamicDigest,
+    /// Number of segments to challenge, k.
+    pub k: u32,
+    /// Fresh nonce N binding the transcript to this audit.
+    pub nonce: [u8; 32],
+}
+
+/// One timed dynamic round: challenged index, returned tagged segment,
+/// its membership proof, and the measured Δt_j.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DynTimedRound {
+    /// Challenged segment index c_j.
+    pub index: u64,
+    /// Returned tagged segment bytes (empty when the prover had nothing —
+    /// still signed, still damning). A refcounted view of the received
+    /// frame buffer on the TCP path.
+    pub segment: Bytes,
+    /// Merkle membership proof for the segment (an empty-sibling proof
+    /// when the prover had nothing; it can never verify).
+    pub proof: MerkleProof,
+    /// Measured round-trip time Δt_j.
+    pub rtt: SimDuration,
+}
+
+/// The signed dynamic audit transcript. The digest is echoed and signed,
+/// so a transcript cannot be replayed against a later (or earlier) state
+/// without tripping [`crate::auditor::Violation::StaleDigest`] or the
+/// signature check.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynSignedTranscript {
+    /// File under audit.
+    pub file_id: String,
+    /// Echo of the TPA's nonce.
+    pub nonce: [u8; 32],
+    /// Echo of the digest the verifier audited against.
+    pub digest: DynamicDigest,
+    /// The verifier's GPS fix Pos_v.
+    pub position: GeoPoint,
+    /// The k timed rounds.
+    pub rounds: Vec<DynTimedRound>,
+    /// Schnorr signature over the canonical encoding of all of the above.
+    pub signature: Signature,
+}
+
+/// Domain-separation prefix of the canonical dynamic-transcript encoding.
+const DYN_TRANSCRIPT_MAGIC: &[u8] = b"geoproof-dyn-transcript-v1";
+
+impl DynSignedTranscript {
+    /// The canonical byte string that is signed and verified.
+    pub fn signing_bytes(
+        file_id: &str,
+        nonce: &[u8; 32],
+        digest: &DynamicDigest,
+        position: &GeoPoint,
+        rounds: &[DynTimedRound],
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + rounds.len() * 192);
+        out.extend_from_slice(DYN_TRANSCRIPT_MAGIC);
+        out.extend_from_slice(&(file_id.len() as u32).to_be_bytes());
+        out.extend_from_slice(file_id.as_bytes());
+        out.extend_from_slice(nonce);
+        out.extend_from_slice(&digest.root);
+        out.extend_from_slice(&digest.segments.to_be_bytes());
+        out.extend_from_slice(&position.lat.to_bits().to_be_bytes());
+        out.extend_from_slice(&position.lon.to_bits().to_be_bytes());
+        out.extend_from_slice(&(rounds.len() as u32).to_be_bytes());
+        for r in rounds {
+            out.extend_from_slice(&r.index.to_be_bytes());
+            out.extend_from_slice(&r.rtt.as_nanos().to_be_bytes());
+            let proof = r.proof.to_bytes();
+            out.extend_from_slice(&(proof.len() as u32).to_be_bytes());
+            out.extend_from_slice(&proof);
+            out.extend_from_slice(&(r.segment.len() as u32).to_be_bytes());
+            out.extend_from_slice(&r.segment);
+        }
+        out
+    }
+
+    /// [`DynSignedTranscript::signing_bytes`] of this transcript's own
+    /// fields.
+    pub fn signing_bytes_of(&self) -> Vec<u8> {
+        DynSignedTranscript::signing_bytes(
+            &self.file_id,
+            &self.nonce,
+            &self.digest,
+            &self.position,
+            &self.rounds,
+        )
+    }
+
+    /// Largest per-round RTT (`Δt′ = max(Δt_1 … Δt_k)`).
+    pub fn max_rtt(&self) -> SimDuration {
+        self.rounds
+            .iter()
+            .map(|r| r.rtt)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The transcript's full canonical encoding: the signed bytes
+    /// followed by the 64-byte signature — the durable form the evidence
+    /// ledger stores; re-encoding a parsed transcript is byte-identical.
+    pub fn canonical_bytes(&self) -> Bytes {
+        let mut out = self.signing_bytes_of();
+        out.extend_from_slice(&self.signature.to_bytes());
+        Bytes::from(out)
+    }
+
+    /// Parses a canonical encoding back into a transcript. Round
+    /// segments are zero-copy slices of `bytes`; every field is
+    /// bounds-checked; trailing bytes are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranscriptDecodeError`] describing the first malformed
+    /// field.
+    pub fn from_canonical(bytes: &Bytes) -> Result<DynSignedTranscript, TranscriptDecodeError> {
+        use TranscriptDecodeError as E;
+        let mut c = crate::cursor::ByteCursor::new(bytes);
+        let trunc = |_| E::Truncated;
+
+        if c.take(DYN_TRANSCRIPT_MAGIC.len()).map_err(trunc)?.as_ref() != DYN_TRANSCRIPT_MAGIC {
+            return Err(E::BadMagic);
+        }
+        let fid_len = c.take_u32().map_err(trunc)? as usize;
+        let fid = c.take(fid_len).map_err(trunc)?;
+        let file_id = std::str::from_utf8(&fid)
+            .map_err(|_| E::BadFileId)?
+            .to_owned();
+        let nonce = c.take_array::<32>().map_err(trunc)?;
+        let digest = DynamicDigest {
+            root: c.take_array::<32>().map_err(trunc)?,
+            segments: c.take_u64().map_err(trunc)?,
+        };
+        let lat = c.take_f64_bits().map_err(trunc)?;
+        let lon = c.take_f64_bits().map_err(trunc)?;
+        if !lat.is_finite()
+            || !lon.is_finite()
+            || !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
+        {
+            return Err(E::BadPosition);
+        }
+        let position = GeoPoint { lat, lon };
+        let n_rounds = c.take_u32().map_err(trunc)?;
+        let mut rounds = Vec::new();
+        for _ in 0..n_rounds {
+            let index = c.take_u64().map_err(trunc)?;
+            let rtt = SimDuration::from_nanos(c.take_u64().map_err(trunc)?);
+            let proof_len = c.take_u32().map_err(trunc)? as usize;
+            let proof_bytes = c.take(proof_len).map_err(trunc)?;
+            let proof = MerkleProof::from_bytes(&proof_bytes).ok_or(E::BadProof)?;
+            let seg_len = c.take_u32().map_err(trunc)? as usize;
+            let segment = c.take(seg_len).map_err(trunc)?;
+            rounds.push(DynTimedRound {
+                index,
+                segment,
+                proof,
+                rtt,
+            });
+        }
+        let signature = Signature::from_bytes(&c.take_array::<64>().map_err(trunc)?);
+        if !c.at_end() {
+            return Err(E::TrailingBytes);
+        }
+        Ok(DynSignedTranscript {
+            file_id,
+            nonce,
+            digest,
+            position,
+            rounds,
+            signature,
+        })
+    }
+}
+
+/// Whether a round's membership proof ties its bytes to `root` at the
+/// claimed index. Unkeyed and deterministic — the offline replay runs
+/// exactly this function against the recorded digest.
+pub fn round_proof_ok(root: &geoproof_por::merkle::Digest, round: &DynTimedRound) -> bool {
+    round.proof.index == round.index && verify_proof(root, &round.segment, &round.proof)
+}
+
+/// Serves timed dynamic challenges — the provider side of the dynamic
+/// Fig. 5 loop (simulated time; the TCP path lives in the facade's
+/// `tcp_audit`).
+pub trait DynSegmentProvider {
+    /// Returns the proven segment (or `None` when missing) and the
+    /// service time to charge to the verifier's clock.
+    fn serve_dyn(&mut self, file_id: &str, index: u64) -> (Option<ProvenSegment>, SimDuration);
+}
+
+/// A [`DynSegmentProvider`] over an in-process
+/// [`geoproof_por::dynamic::DynamicStore`] with a fixed service latency —
+/// the simulation/test rig.
+#[derive(Debug)]
+pub struct LocalDynProvider {
+    /// The provider-side store (tests mutate it to play adversary).
+    pub store: geoproof_por::dynamic::DynamicStore,
+    /// The file id the store answers for.
+    pub file_id: String,
+    /// Fixed per-round service time.
+    pub latency: SimDuration,
+}
+
+impl DynSegmentProvider for LocalDynProvider {
+    fn serve_dyn(&mut self, file_id: &str, index: u64) -> (Option<ProvenSegment>, SimDuration) {
+        let served = if file_id == self.file_id {
+            self.store.challenge(index).ok()
+        } else {
+            None
+        };
+        (served, self.latency)
+    }
+}
+
+/// The third-party auditor for dynamic files. Unlike the static
+/// [`crate::auditor::Auditor`], it is not pinned to one segment count —
+/// the audited length travels in each request's digest.
+pub struct DynAuditor {
+    file_id: String,
+    auditor_key: AuditorKey,
+    device_key: VerifyingKey,
+    sla_location: GeoPoint,
+    location_tolerance: Km,
+    policy: TimingPolicy,
+    rng: ChaChaRng,
+}
+
+impl std::fmt::Debug for DynAuditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynAuditor")
+            .field("file_id", &self.file_id)
+            .field("sla_location", &self.sla_location)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DynAuditor {
+    /// Creates a dynamic auditor (same provisioning as the static one:
+    /// the owner's MAC key view, the registered device key, the SLA
+    /// location and the Δt_max policy).
+    pub fn new(
+        file_id: String,
+        auditor_key: AuditorKey,
+        device_key: VerifyingKey,
+        sla_location: GeoPoint,
+        location_tolerance: Km,
+        policy: TimingPolicy,
+        seed: u64,
+    ) -> Self {
+        DynAuditor {
+            file_id,
+            auditor_key,
+            device_key,
+            sla_location,
+            location_tolerance,
+            policy,
+            rng: ChaChaRng::from_u64_seed(seed),
+        }
+    }
+
+    /// The active timing policy.
+    pub fn policy(&self) -> &TimingPolicy {
+        &self.policy
+    }
+
+    /// Issues a fresh audit of `k` challenges against `digest` (the
+    /// owner's current one — the digest evolves with every update).
+    pub fn issue_request(&mut self, digest: DynamicDigest, k: u32) -> DynAuditRequest {
+        let mut nonce = [0u8; 32];
+        self.rng.fill_bytes(&mut nonce);
+        DynAuditRequest {
+            file_id: self.file_id.clone(),
+            digest,
+            k,
+            nonce,
+        }
+    }
+
+    fn checks<'a>(&'a self, request: &DynAuditRequest) -> VerifyChecks<'a> {
+        VerifyChecks {
+            file_id: &self.file_id,
+            n_segments: request.digest.segments,
+            device_key: &self.device_key,
+            sla_location: self.sla_location,
+            location_tolerance: self.location_tolerance,
+            policy: &self.policy,
+        }
+    }
+
+    /// Pre-computes the keyed tag verdict for every round (evaluated for
+    /// all rounds, not short-circuited, so live verification and replay
+    /// record/consume identical bits).
+    fn tag_bits(&self, transcript: &DynSignedTranscript) -> Vec<bool> {
+        transcript
+            .rounds
+            .iter()
+            .map(|round| {
+                verify_tagged(
+                    self.auditor_key.mac_key(),
+                    &self.file_id,
+                    round.index,
+                    &round.segment,
+                )
+            })
+            .collect()
+    }
+
+    /// Verifies a dynamic transcript against the request that triggered
+    /// it: Merkle membership *and* keyed tag per round, inside the same
+    /// check sequence as static audits.
+    pub fn verify(
+        &self,
+        request: &DynAuditRequest,
+        transcript: &DynSignedTranscript,
+    ) -> AuditReport {
+        let tag_ok = self.tag_bits(transcript);
+        self.checks(request)
+            .verify_dyn_transcript(request, transcript, |i, round| {
+                judge_round(&request.digest.root, round, tag_ok.get(i).copied())
+            })
+    }
+
+    /// Like [`DynAuditor::verify`], but also materialises the durable
+    /// [`crate::evidence::DynEvidenceBundle`]. The report inside the
+    /// bundle is byte-identical (under
+    /// [`crate::evidence::encode_report`]) to the returned one.
+    pub fn verify_evidence(
+        &self,
+        request: &DynAuditRequest,
+        transcript: &DynSignedTranscript,
+        prover: impl Into<String>,
+        epoch: u64,
+    ) -> (AuditReport, crate::evidence::DynEvidenceBundle) {
+        let tag_ok = self.tag_bits(transcript);
+        let report = self
+            .checks(request)
+            .verify_dyn_transcript(request, transcript, |i, round| {
+                judge_round(&request.digest.root, round, tag_ok.get(i).copied())
+            });
+        let bundle = crate::evidence::DynEvidenceBundle {
+            prover: prover.into(),
+            epoch,
+            device_key: self.device_key.to_bytes(),
+            sla_location: self.sla_location,
+            location_tolerance: self.location_tolerance,
+            policy: self.policy,
+            request: request.clone(),
+            tag_ok,
+            report: report.clone(),
+            transcript: transcript.canonical_bytes(),
+        };
+        (report, bundle)
+    }
+}
+
+/// The one judgement both live TPA and offline replay apply per round:
+/// membership proof first (unkeyed, always recomputable), then the keyed
+/// tag bit. A missing bit reads as failed, as in the static replay path.
+pub fn judge_round(
+    root: &geoproof_por::merkle::Digest,
+    round: &DynTimedRound,
+    tag_ok: Option<bool>,
+) -> SegmentVerdict {
+    if !round_proof_ok(root, round) {
+        SegmentVerdict::BadProof
+    } else if !tag_ok.unwrap_or(false) {
+        SegmentVerdict::BadTag
+    } else {
+        SegmentVerdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auditor::Violation;
+    use crate::verifier::VerifierDevice;
+    use geoproof_crypto::schnorr::SigningKey;
+    use geoproof_geo::coords::places::{BRISBANE, PERTH};
+    use geoproof_geo::gps::GpsReceiver;
+    use geoproof_por::dynamic::{DynamicOwner, DynamicStore};
+    use geoproof_por::keys::PorKeys;
+    use geoproof_sim::clock::SimClock;
+
+    struct Rig {
+        auditor: DynAuditor,
+        verifier: VerifierDevice,
+        provider: LocalDynProvider,
+        owner: DynamicOwner,
+        keys: PorKeys,
+    }
+
+    fn rig(latency: SimDuration) -> Rig {
+        let keys = PorKeys::derive(b"dyn-core", "df");
+        let bodies: Vec<Vec<u8>> = (0..24).map(|i| vec![i as u8; 40]).collect();
+        let (store, _d0) = DynamicStore::initialise("df", &bodies, &keys);
+        let tagged: Vec<Bytes> = (0..24u64).map(|i| store.segment(i).unwrap()).collect();
+        let owner = DynamicOwner::from_tagged("df", &tagged);
+
+        let mut rng = ChaChaRng::from_u64_seed(5);
+        let sk = SigningKey::generate(&mut rng);
+        let verifier =
+            VerifierDevice::new(sk.clone(), GpsReceiver::new(BRISBANE), SimClock::new(), 7);
+        let auditor = DynAuditor::new(
+            "df".into(),
+            keys.auditor_view(),
+            sk.verifying_key(),
+            BRISBANE,
+            Km(10.0),
+            TimingPolicy::paper(),
+            11,
+        );
+        Rig {
+            auditor,
+            verifier,
+            provider: LocalDynProvider {
+                store,
+                file_id: "df".into(),
+                latency,
+            },
+            owner,
+            keys,
+        }
+    }
+
+    #[test]
+    fn honest_dynamic_audit_accepts() {
+        let mut r = rig(SimDuration::from_millis(5));
+        let req = r.auditor.issue_request(r.owner.digest(), 8);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report.accepted(), "violations: {:?}", report.violations);
+        assert_eq!(report.segments_ok, 8);
+    }
+
+    #[test]
+    fn audit_follows_updates_and_appends() {
+        let mut r = rig(SimDuration::from_millis(5));
+        // Update and append, advancing both sides.
+        let (tagged, d1) = r.owner.tag_update(3, b"v2", &r.keys).unwrap();
+        r.provider
+            .store
+            .apply_update(3, Bytes::from(tagged))
+            .unwrap();
+        let (tagged, d2) = r.owner.tag_append(b"25th", &r.keys);
+        r.provider.store.apply_append(Bytes::from(tagged));
+        assert_eq!(d2.segments, 25);
+        assert_ne!(d1.root, d2.root);
+        let req = r.auditor.issue_request(d2, 10);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report.accepted(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn stale_provider_fails_merkle_proofs() {
+        let mut r = rig(SimDuration::from_millis(5));
+        // Owner updates; provider silently drops the update (stale copy).
+        let (_tagged, fresh) = r.owner.tag_update(3, b"v2", &r.keys).unwrap();
+        let req = r.auditor.issue_request(fresh, 24); // all segments
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(!report.accepted());
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| matches!(v, Violation::BadProof { .. })),
+            "stale tree must fail proofs: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn silently_corrupted_segment_is_caught() {
+        let mut r = rig(SimDuration::from_millis(5));
+        for i in 0..24 {
+            assert!(r.provider.store.corrupt_silently(i, 0x11));
+        }
+        let req = r.auditor.issue_request(r.owner.digest(), 6);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(!report.accepted());
+        assert_eq!(report.violations.len(), 6);
+    }
+
+    #[test]
+    fn slow_provider_fails_timing() {
+        let mut r = rig(SimDuration::from_millis(40));
+        let req = r.auditor.issue_request(r.owner.digest(), 5);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(!report.accepted());
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::TooSlow { .. })));
+    }
+
+    #[test]
+    fn replayed_transcript_is_stale_on_nonce_and_digest() {
+        let mut r = rig(SimDuration::from_millis(5));
+        let req1 = r.auditor.issue_request(r.owner.digest(), 5);
+        let t1 = r.verifier.run_dyn_audit(&req1, &mut r.provider);
+        // Fresh request (new nonce, same digest): old transcript is stale.
+        let req2 = r.auditor.issue_request(r.owner.digest(), 5);
+        let report = r.auditor.verify(&req2, &t1);
+        assert!(report.violations.contains(&Violation::StaleNonce));
+        // Request against an evolved digest additionally trips
+        // StaleDigest.
+        let (tagged, fresh) = r.owner.tag_update(0, b"v2", &r.keys).unwrap();
+        r.provider
+            .store
+            .apply_update(0, Bytes::from(tagged))
+            .unwrap();
+        let req3 = r.auditor.issue_request(fresh, 5);
+        let report = r.auditor.verify(&req3, &t1);
+        assert!(report.violations.contains(&Violation::StaleDigest));
+    }
+
+    #[test]
+    fn spoofed_gps_is_flagged() {
+        let mut r = rig(SimDuration::from_millis(5));
+        r.verifier.gps_mut().spoof(PERTH);
+        let req = r.auditor.issue_request(r.owner.digest(), 4);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WrongLocation { .. })));
+    }
+
+    #[test]
+    fn tampered_transcript_breaks_signature() {
+        let mut r = rig(SimDuration::from_millis(5));
+        let req = r.auditor.issue_request(r.owner.digest(), 4);
+        let mut t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        t.rounds[0].rtt = SimDuration::from_nanos(1);
+        let report = r.auditor.verify(&req, &t);
+        assert!(report.violations.contains(&Violation::BadSignature));
+    }
+
+    #[test]
+    fn canonical_roundtrip_is_identity_and_rejects_malformed() {
+        let mut r = rig(SimDuration::from_millis(5));
+        let req = r.auditor.issue_request(r.owner.digest(), 3);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let bytes = t.canonical_bytes();
+        let parsed = DynSignedTranscript::from_canonical(&bytes).expect("parse");
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.canonical_bytes(), bytes, "re-encode must match");
+        // Zero-copy: a parsed round segment aliases the canonical buffer.
+        let seg = &parsed.rounds[0].segment;
+        let hay = bytes.as_ref();
+        let off = hay
+            .windows(seg.len().max(1))
+            .position(|w| w == seg.as_ref())
+            .expect("present");
+        assert!(seg.aliases(&bytes.slice(off..off + seg.len())));
+        // Every truncation fails; trailing bytes fail.
+        for cut in 0..bytes.len() {
+            assert!(
+                DynSignedTranscript::from_canonical(&bytes.slice(..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut extra = bytes.to_vec();
+        extra.push(0);
+        assert_eq!(
+            DynSignedTranscript::from_canonical(&Bytes::from(extra)),
+            Err(TranscriptDecodeError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn verify_evidence_matches_verify() {
+        let mut r = rig(SimDuration::from_millis(5));
+        let req = r.auditor.issue_request(r.owner.digest(), 6);
+        let t = r.verifier.run_dyn_audit(&req, &mut r.provider);
+        let plain = r.auditor.verify(&req, &t);
+        let (report, bundle) = r.auditor.verify_evidence(&req, &t, "dyn-prover", 2);
+        assert_eq!(report, plain, "evidence path must not change verdicts");
+        assert_eq!(bundle.report, plain);
+        assert_eq!(bundle.tag_ok.len(), 6);
+        assert!(bundle.tag_ok.iter().all(|&ok| ok));
+        let parsed = DynSignedTranscript::from_canonical(&bundle.transcript).expect("parse");
+        assert_eq!(parsed, t);
+    }
+}

@@ -53,6 +53,36 @@ pub struct EvidenceBundle {
     pub transcript: Bytes,
 }
 
+/// The dynamic-audit twin of [`EvidenceBundle`]: everything needed to
+/// re-verify one dynamic verdict offline. The Merkle membership proofs
+/// travel inside the canonical transcript and are recomputed by the
+/// replay (unkeyed); only the per-round *tag* bits are taken on trust
+/// without the owner's secret.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynEvidenceBundle {
+    /// The prover (cloud site) this verdict speaks about.
+    pub prover: String,
+    /// 0-based ordinal of this audit of this prover (re-audits count up).
+    pub epoch: u64,
+    /// The verifier device's registered public key (compressed).
+    pub device_key: [u8; 32],
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted GPS offset from the SLA location.
+    pub location_tolerance: Km,
+    /// The Δt_max policy the verdict was derived under.
+    pub policy: TimingPolicy,
+    /// The dynamic audit request (carries the audited digest).
+    pub request: crate::dynamic_audit::DynAuditRequest,
+    /// Per-round keyed-tag verdicts, transcript order.
+    pub tag_ok: Vec<bool>,
+    /// The TPA's verdict.
+    pub report: AuditReport,
+    /// The canonical signed dynamic-transcript bytes
+    /// ([`crate::dynamic_audit::DynSignedTranscript::canonical_bytes`]).
+    pub transcript: Bytes,
+}
+
 /// Receives evidence bundles as verdicts are reached.
 ///
 /// Implementations must be cheap to call from verification loops and
@@ -66,6 +96,21 @@ pub trait EvidenceSink: Send + Sync {
     ///
     /// Propagates the sink's storage failure.
     fn record(&self, bundle: &EvidenceBundle) -> std::io::Result<()>;
+
+    /// Records one *dynamic* verdict's evidence. Default: refused — a
+    /// sink predating the dynamic flow fails loudly rather than dropping
+    /// evidence on the floor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's storage failure.
+    fn record_dynamic(&self, bundle: &DynEvidenceBundle) -> std::io::Result<()> {
+        let _ = bundle;
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "this evidence sink does not record dynamic audits",
+        ))
+    }
 }
 
 /// Domain-separation prefix of the canonical report encoding.
@@ -105,6 +150,12 @@ pub fn encode_report(report: &AuditReport) -> Vec<u8> {
                 out.push(6);
                 out.extend_from_slice(&(*round as u64).to_be_bytes());
             }
+            Violation::BadProof { round, segment } => {
+                out.push(7);
+                out.extend_from_slice(&(*round as u64).to_be_bytes());
+                out.extend_from_slice(&segment.to_be_bytes());
+            }
+            Violation::StaleDigest => out.push(8),
         }
     }
     out.extend_from_slice(&report.max_rtt.as_nanos().to_be_bytes());
@@ -177,6 +228,11 @@ pub fn decode_report(bytes: &Bytes) -> Result<AuditReport, ReportDecodeError> {
             6 => Violation::MalformedChallenge {
                 round: c.take_u64().map_err(trunc)? as usize,
             },
+            7 => Violation::BadProof {
+                round: c.take_u64().map_err(trunc)? as usize,
+                segment: c.take_u64().map_err(trunc)?,
+            },
+            8 => Violation::StaleDigest,
             t => return Err(E::BadViolationTag(t)),
         });
     }
@@ -215,6 +271,11 @@ mod tests {
                     actual: 9,
                 },
                 Violation::MalformedChallenge { round: 7 },
+                Violation::BadProof {
+                    round: 8,
+                    segment: 41,
+                },
+                Violation::StaleDigest,
             ],
             max_rtt: SimDuration::from_millis(21),
             segments_ok: 6,

@@ -55,6 +55,7 @@ pub mod campaign;
 pub mod cost;
 pub mod cursor;
 pub mod deployment;
+pub mod dynamic_audit;
 pub mod engine;
 pub mod evidence;
 pub mod fleet;
@@ -66,15 +67,19 @@ pub mod pool;
 pub mod provider;
 pub mod verifier;
 
-pub use auditor::{AuditReport, Auditor, VerifyChecks, Violation};
+pub use auditor::{AuditReport, Auditor, SegmentVerdict, VerifyChecks, Violation};
 pub use cache_attack::CachingRelayProvider;
 pub use campaign::{run_campaign, CampaignResult, MisbehaviourOnset};
 pub use cost::{audit_cost, naive_download_bytes, AuditCost};
 pub use deployment::{DataOwner, Deployment, DeploymentBuilder, ProviderBehaviour};
+pub use dynamic_audit::{
+    DynAuditRequest, DynAuditor, DynSegmentProvider, DynSignedTranscript, DynTimedRound,
+    LocalDynProvider,
+};
 pub use engine::{
     AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
 };
-pub use evidence::{decode_report, encode_report, EvidenceBundle, EvidenceSink};
+pub use evidence::{decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, EvidenceSink};
 pub use fleet::{run_fleet, run_fleet_with_evidence, AdversaryProfile, FleetConfig, FleetOutcome};
 pub use landmark_audit::{harden_report, landmark_position_check, LandmarkPing};
 pub use messages::{AuditRequest, SignedTranscript, TimedRound};

@@ -183,6 +183,9 @@ pub enum TranscriptDecodeError {
     BadFileId,
     /// GPS position is non-finite or out of range.
     BadPosition,
+    /// A Merkle proof field failed its strict canonical parse (dynamic
+    /// transcripts only).
+    BadProof,
     /// Bytes remain after the signature.
     TrailingBytes,
 }
@@ -194,6 +197,7 @@ impl std::fmt::Display for TranscriptDecodeError {
             TranscriptDecodeError::BadMagic => write!(f, "missing transcript version prefix"),
             TranscriptDecodeError::BadFileId => write!(f, "file id is not UTF-8"),
             TranscriptDecodeError::BadPosition => write!(f, "GPS position out of range"),
+            TranscriptDecodeError::BadProof => write!(f, "malformed Merkle proof field"),
             TranscriptDecodeError::TrailingBytes => write!(f, "trailing bytes after signature"),
         }
     }

@@ -6,12 +6,16 @@
 //! challenge–response loop against the prover, reads its GPS fix, and
 //! signs the whole transcript.
 
+use crate::dynamic_audit::{
+    DynAuditRequest, DynSegmentProvider, DynSignedTranscript, DynTimedRound,
+};
 use crate::messages::{AuditRequest, SignedTranscript, TimedRound};
 use crate::provider::SegmentProvider;
 use bytes::Bytes;
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::schnorr::{SigningKey, VerifyingKey};
 use geoproof_geo::gps::GpsReceiver;
+use geoproof_por::dynamic::ProvenSegment;
 use geoproof_sim::clock::SimClock;
 use geoproof_sim::time::SimDuration;
 use geoproof_storage::server::FileId;
@@ -137,6 +141,145 @@ impl VerifierDevice {
             run.record_round(data, timer.elapsed());
         }
         self.finish_audit(run)
+    }
+}
+
+impl VerifierDevice {
+    /// Starts the dynamic Fig. 5 protocol: draws k distinct challenge
+    /// indices out of the digest's segment count up front; the caller
+    /// feeds proven responses round by round and calls
+    /// [`VerifierDevice::finish_dyn_audit`] for the signed transcript.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request asks for more distinct challenges than the
+    /// digest has segments.
+    pub fn begin_dyn_audit(&mut self, request: &DynAuditRequest) -> DynAuditRun {
+        let indices = self
+            .rng
+            .sample_distinct(request.digest.segments, request.k as usize);
+        let capacity = indices.len();
+        DynAuditRun {
+            request: request.clone(),
+            indices,
+            rounds: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Signs a completed dynamic run. The audited digest is echoed into
+    /// the transcript and covered by the signature, binding the verdict
+    /// to the exact file state it judged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds are still outstanding.
+    pub fn finish_dyn_audit(&mut self, run: DynAuditRun) -> DynSignedTranscript {
+        assert!(
+            run.is_complete(),
+            "cannot sign a transcript with {} rounds outstanding",
+            run.remaining()
+        );
+        let position = self.gps.read_fix().position;
+        let bytes = DynSignedTranscript::signing_bytes(
+            &run.request.file_id,
+            &run.request.nonce,
+            &run.request.digest,
+            &position,
+            &run.rounds,
+        );
+        let signature = self.signing.sign(&bytes, &mut self.rng);
+        DynSignedTranscript {
+            file_id: run.request.file_id,
+            nonce: run.request.nonce,
+            digest: run.request.digest,
+            position,
+            rounds: run.rounds,
+            signature,
+        }
+    }
+
+    /// Runs the dynamic protocol against `provider` in a blocking loop:
+    /// per round, the clock starts, the proven segment is fetched, the
+    /// clock stops — the *same* Δt discipline as static audits, with the
+    /// membership proof fetched inside the timed window (a provider
+    /// cannot buy time by deferring proof construction).
+    ///
+    /// # Panics
+    ///
+    /// As [`VerifierDevice::begin_dyn_audit`].
+    pub fn run_dyn_audit(
+        &mut self,
+        request: &DynAuditRequest,
+        provider: &mut dyn DynSegmentProvider,
+    ) -> DynSignedTranscript {
+        let mut run = self.begin_dyn_audit(request);
+        while let Some(index) = run.next_index() {
+            let timer = self.clock.start_timer();
+            let (served, service_time) = provider.serve_dyn(&request.file_id, index);
+            self.clock.advance(service_time);
+            run.record_round(served, timer.elapsed());
+        }
+        self.finish_dyn_audit(run)
+    }
+}
+
+/// One dynamic audit in progress: the dynamic twin of [`AuditRun`],
+/// carrying proven segments instead of bare ones.
+#[derive(Debug)]
+pub struct DynAuditRun {
+    request: DynAuditRequest,
+    indices: Vec<u64>,
+    rounds: Vec<DynTimedRound>,
+}
+
+impl DynAuditRun {
+    /// The request that started this run.
+    pub fn request(&self) -> &DynAuditRequest {
+        &self.request
+    }
+
+    /// The next index to challenge, or `None` when all rounds are done.
+    pub fn next_index(&self) -> Option<u64> {
+        self.indices.get(self.rounds.len()).copied()
+    }
+
+    /// Records the response to the current round with its measured RTT.
+    /// `None` (prover had nothing) becomes an empty segment with an
+    /// empty-sibling proof — signed as-is, and unable to verify.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already complete.
+    pub fn record_round(&mut self, served: Option<ProvenSegment>, rtt: SimDuration) {
+        let index = self
+            .next_index()
+            .expect("record_round called on a completed run");
+        let (segment, proof) = match served {
+            Some(p) => (p.segment, p.proof),
+            None => (
+                Bytes::new(),
+                geoproof_por::merkle::MerkleProof {
+                    index,
+                    siblings: Vec::new(),
+                },
+            ),
+        };
+        self.rounds.push(DynTimedRound {
+            index,
+            segment,
+            proof,
+            rtt,
+        });
+    }
+
+    /// Rounds still outstanding.
+    pub fn remaining(&self) -> usize {
+        self.indices.len() - self.rounds.len()
+    }
+
+    /// True when every challenge has been answered.
+    pub fn is_complete(&self) -> bool {
+        self.rounds.len() == self.indices.len()
     }
 }
 

@@ -79,9 +79,9 @@ pub mod writer;
 pub use chain::{genesis_hash, seal_hash, Digest};
 pub use proof::{InclusionProof, VerifiedEvidence};
 pub use reader::{Checkpoint, Entry, Header, Ledger, Record};
-pub use record::EvidenceRecord;
+pub use record::{DigestOp, DigestRecord, DynEvidenceRecord, EvidenceRecord, NO_DIGEST};
 pub use sink::LedgerSink;
-pub use verify::{replay, ReplayOutcome, SegmentMacCheck};
+pub use verify::{replay, replay_dyn_record, replay_record, ReplayOutcome, SegmentMacCheck};
 pub use writer::{LedgerWriter, Recovery, DEFAULT_CHECKPOINT_INTERVAL};
 
 use geoproof_core::evidence::ReportDecodeError;
@@ -177,6 +177,15 @@ pub enum LedgerError {
     /// The ledger's embedded TPA key differs from the trusted one the
     /// caller supplied.
     TpaKeyMismatch,
+    /// A dynamic file's digest chain broke: a transition that does not
+    /// leave from the current digest, a transition before any init, or a
+    /// dynamic audit issued against a digest that was not current.
+    DigestChain {
+        /// Chain index of the failing record.
+        index: u64,
+        /// What broke.
+        what: &'static str,
+    },
     /// No checkpoint covers the requested evidence record yet.
     NotCovered {
         /// Evidence ordinal of the uncovered record.
@@ -243,6 +252,9 @@ impl std::fmt::Display for LedgerError {
             }
             LedgerError::TpaKeyMismatch => {
                 write!(f, "ledger TPA key differs from the trusted key supplied")
+            }
+            LedgerError::DigestChain { index, what } => {
+                write!(f, "record {index}: digest chain broken ({what})")
             }
             LedgerError::NotCovered { evidence } => {
                 write!(f, "evidence {evidence}: not covered by any checkpoint yet")

@@ -12,9 +12,11 @@
 //! length plus the one record.
 
 use crate::chain::{seal_hash, Digest};
-use crate::reader::checkpoint_message;
-use crate::record::EvidenceRecord;
-use crate::verify::replay_record;
+use crate::reader::{checkpoint_message, Entry};
+use crate::record::{
+    DigestRecord, DynEvidenceRecord, EvidenceRecord, TAG_DIGEST, TAG_DYN_EVIDENCE, TAG_EVIDENCE,
+};
+use crate::verify::{replay_dyn_record, replay_record};
 use crate::LedgerError;
 use bytes::Bytes;
 use geoproof_crypto::schnorr::{Signature, VerifyingKey};
@@ -48,10 +50,38 @@ pub struct InclusionProof {
 /// What [`InclusionProof::verify`] hands back on success.
 #[derive(Clone, Debug)]
 pub struct VerifiedEvidence {
-    /// The proven evidence record, parsed.
-    pub evidence: EvidenceRecord,
+    /// The proven record, parsed — static evidence, dynamic evidence, or
+    /// a digest transition (never a checkpoint; checkpoints are the
+    /// commitment, not a leaf).
+    pub entry: Entry,
     /// The record's seal (its Merkle leaf).
     pub seal: Digest,
+}
+
+impl VerifiedEvidence {
+    /// The proven static evidence record, if that is what was proven.
+    pub fn evidence(&self) -> Option<&EvidenceRecord> {
+        match &self.entry {
+            Entry::Evidence(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The proven dynamic evidence record, if that is what was proven.
+    pub fn dyn_evidence(&self) -> Option<&DynEvidenceRecord> {
+        match &self.entry {
+            Entry::DynEvidence(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The proven digest transition, if that is what was proven.
+    pub fn digest(&self) -> Option<&DigestRecord> {
+        match &self.entry {
+            Entry::Digest(d) => Some(d),
+            _ => None,
+        }
+    }
 }
 
 impl InclusionProof {
@@ -148,10 +178,29 @@ impl InclusionProof {
         if !verify_proof(&self.root, &seal, &merkle) {
             return Err(LedgerError::BadProof("Merkle path"));
         }
-        let evidence = EvidenceRecord::decode(&self.body)
-            .map_err(|_| LedgerError::BadProof("evidence body"))?;
-        replay_record(&evidence, self.evidence_index)?;
-        Ok(VerifiedEvidence { evidence, seal })
+        let entry = match self.body.first() {
+            Some(&TAG_EVIDENCE) => {
+                let evidence = EvidenceRecord::decode(&self.body)
+                    .map_err(|_| LedgerError::BadProof("evidence body"))?;
+                replay_record(&evidence, self.evidence_index)?;
+                Entry::Evidence(evidence)
+            }
+            Some(&TAG_DYN_EVIDENCE) => {
+                let evidence = DynEvidenceRecord::decode(&self.body)
+                    .map_err(|_| LedgerError::BadProof("dynamic evidence body"))?;
+                replay_dyn_record(&evidence, self.evidence_index)?;
+                Entry::DynEvidence(evidence)
+            }
+            // A digest transition proves the owner recorded this exact
+            // state change; chain continuity against its neighbours needs
+            // the whole ledger ([`crate::replay`]), not one leaf.
+            Some(&TAG_DIGEST) => Entry::Digest(
+                DigestRecord::decode(&self.body)
+                    .map_err(|_| LedgerError::BadProof("digest body"))?,
+            ),
+            _ => return Err(LedgerError::BadProof("provable record tag")),
+        };
+        Ok(VerifiedEvidence { entry, seal })
     }
 }
 

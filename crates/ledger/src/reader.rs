@@ -10,7 +10,10 @@
 
 use crate::chain::{genesis_hash, seal_hash, Digest};
 use crate::proof::InclusionProof;
-use crate::record::{EvidenceRecord, TAG_CHECKPOINT, TAG_EVIDENCE};
+use crate::record::{
+    DigestRecord, DynEvidenceRecord, EvidenceRecord, TAG_CHECKPOINT, TAG_DIGEST, TAG_DYN_EVIDENCE,
+    TAG_EVIDENCE,
+};
 use crate::{LedgerError, MAGIC, VERSION};
 use bytes::Bytes;
 use geoproof_por::merkle::MerkleTree;
@@ -121,8 +124,20 @@ impl Checkpoint {
 pub enum Entry {
     /// One audit verdict.
     Evidence(EvidenceRecord),
-    /// A signed Merkle commitment over the evidence so far.
+    /// One dynamic-audit verdict.
+    DynEvidence(DynEvidenceRecord),
+    /// One owner digest transition of a dynamic file.
+    Digest(DigestRecord),
+    /// A signed Merkle commitment over the sealed records so far.
     Checkpoint(Checkpoint),
+}
+
+impl Entry {
+    /// True for the record kinds checkpoints commit to (everything but
+    /// checkpoints themselves).
+    pub fn is_sealed_leaf(&self) -> bool {
+        !matches!(self, Entry::Checkpoint(_))
+    }
 }
 
 /// One sealed record.
@@ -146,10 +161,17 @@ pub struct Ledger {
     header: Header,
     head: Digest,
     records: Vec<Record>,
-    /// Positions (into `records`) of evidence entries, in order.
-    evidence_at: Vec<usize>,
+    /// Positions (into `records`) of sealed leaves — every non-checkpoint
+    /// entry (static evidence, dynamic evidence, digest transitions), in
+    /// order. Checkpoint coverage counts and Merkle leaf indices live in
+    /// this ordinal space.
+    sealed_at: Vec<usize>,
     /// Positions (into `records`) of checkpoint entries, in order.
     checkpoints_at: Vec<usize>,
+    /// Cached count of static evidence entries (O(1) accessors).
+    n_evidence: u64,
+    /// Cached count of dynamic evidence entries.
+    n_dyn_evidence: u64,
 }
 
 /// Low-level scan outcome shared by the strict reader and the
@@ -195,6 +217,14 @@ pub(crate) fn scan(bytes: &Bytes) -> Result<Scan, LedgerError> {
         let entry = match body.first() {
             Some(&TAG_EVIDENCE) => Entry::Evidence(
                 EvidenceRecord::decode(&body)
+                    .map_err(|what| LedgerError::Malformed { index, what })?,
+            ),
+            Some(&TAG_DYN_EVIDENCE) => Entry::DynEvidence(
+                DynEvidenceRecord::decode(&body)
+                    .map_err(|what| LedgerError::Malformed { index, what })?,
+            ),
+            Some(&TAG_DIGEST) => Entry::Digest(
+                DigestRecord::decode(&body)
                     .map_err(|what| LedgerError::Malformed { index, what })?,
             ),
             Some(&TAG_CHECKPOINT) => Entry::Checkpoint(
@@ -249,20 +279,30 @@ impl Ledger {
         if let Some(offset) = scan.torn_at {
             return Err(LedgerError::TornTail { offset });
         }
-        let mut evidence_at = Vec::new();
+        let mut sealed_at = Vec::new();
         let mut checkpoints_at = Vec::new();
+        let mut n_evidence = 0u64;
+        let mut n_dyn_evidence = 0u64;
         for (i, record) in scan.records.iter().enumerate() {
             match record.entry {
-                Entry::Evidence(_) => evidence_at.push(i),
-                Entry::Checkpoint(_) => checkpoints_at.push(i),
+                Entry::Evidence(_) => n_evidence += 1,
+                Entry::DynEvidence(_) => n_dyn_evidence += 1,
+                _ => {}
+            }
+            if record.entry.is_sealed_leaf() {
+                sealed_at.push(i);
+            } else {
+                checkpoints_at.push(i);
             }
         }
         Ok(Ledger {
             header: scan.header,
             head: scan.head,
             records: scan.records,
-            evidence_at,
+            sealed_at,
             checkpoints_at,
+            n_evidence,
+            n_dyn_evidence,
         })
     }
 
@@ -285,9 +325,21 @@ impl Ledger {
         &self.records
     }
 
-    /// Number of evidence records.
+    /// Number of sealed leaves — every non-checkpoint record (static
+    /// evidence, dynamic evidence, digest transitions). This is the
+    /// ordinal space checkpoints cover and [`Ledger::prove`] indexes.
+    pub fn sealed_count(&self) -> u64 {
+        self.sealed_at.len() as u64
+    }
+
+    /// Number of *static* evidence records.
     pub fn evidence_count(&self) -> u64 {
-        self.evidence_at.len() as u64
+        self.n_evidence
+    }
+
+    /// Number of dynamic evidence records.
+    pub fn dyn_evidence_count(&self) -> u64 {
+        self.n_dyn_evidence
     }
 
     /// Number of checkpoint records.
@@ -295,21 +347,33 @@ impl Ledger {
         self.checkpoints_at.len() as u64
     }
 
-    /// Evidence records with their 0-based evidence ordinals.
+    /// Static evidence records with their 0-based **sealed** ordinals
+    /// (the Merkle leaf index a checkpoint commits them at).
     pub fn evidence(&self) -> impl Iterator<Item = (u64, &EvidenceRecord)> {
-        self.evidence_at
+        self.sealed_at
             .iter()
             .enumerate()
-            .map(|(ev, &i)| match &self.records[i].entry {
-                Entry::Evidence(record) => (ev as u64, record),
-                Entry::Checkpoint(_) => unreachable!("evidence_at points at evidence"),
+            .filter_map(|(ordinal, &i)| match &self.records[i].entry {
+                Entry::Evidence(record) => Some((ordinal as u64, record)),
+                _ => None,
             })
     }
 
-    /// The full chain record holding evidence ordinal `evidence`.
-    pub fn evidence_record(&self, evidence: u64) -> Option<&Record> {
-        self.evidence_at
-            .get(evidence as usize)
+    /// Dynamic evidence records with their 0-based sealed ordinals.
+    pub fn dyn_evidence(&self) -> impl Iterator<Item = (u64, &DynEvidenceRecord)> {
+        self.sealed_at
+            .iter()
+            .enumerate()
+            .filter_map(|(ordinal, &i)| match &self.records[i].entry {
+                Entry::DynEvidence(record) => Some((ordinal as u64, record)),
+                _ => None,
+            })
+    }
+
+    /// The full chain record holding sealed ordinal `ordinal`.
+    pub fn sealed_record(&self, ordinal: u64) -> Option<&Record> {
+        self.sealed_at
+            .get(ordinal as usize)
             .map(|&i| &self.records[i])
     }
 
@@ -319,30 +383,30 @@ impl Ledger {
             .iter()
             .map(|&i| match &self.records[i].entry {
                 Entry::Checkpoint(c) => (&self.records[i], c),
-                Entry::Evidence(_) => unreachable!("checkpoints_at points at checkpoints"),
+                _ => unreachable!("checkpoints_at points at checkpoints"),
             })
     }
 
-    /// Evidence records not yet covered by any checkpoint.
+    /// Sealed records not yet covered by any checkpoint.
     pub fn uncovered_evidence(&self) -> u64 {
         let covered = self
             .checkpoints()
             .map(|(_, c)| c.covered)
             .max()
             .unwrap_or(0);
-        self.evidence_count().saturating_sub(covered)
+        self.sealed_count().saturating_sub(covered)
     }
 
-    /// Seals of the first `covered` evidence records, as Merkle leaves.
+    /// Seals of the first `covered` sealed records, as Merkle leaves.
     fn evidence_seals(&self, covered: u64) -> Vec<Vec<u8>> {
-        self.evidence_at
+        self.sealed_at
             .iter()
             .take(covered as usize)
             .map(|&i| self.records[i].seal.to_vec())
             .collect()
     }
 
-    /// Builds the self-contained inclusion proof for evidence ordinal
+    /// Builds the self-contained inclusion proof for sealed ordinal
     /// `evidence` against the earliest checkpoint covering it.
     ///
     /// # Errors
@@ -351,11 +415,11 @@ impl Ledger {
     /// checkpoint covers it yet (append a checkpoint first).
     pub fn prove(&self, evidence: u64) -> Result<InclusionProof, LedgerError> {
         let record = self
-            .evidence_record(evidence)
+            .sealed_record(evidence)
             .ok_or(LedgerError::NotCovered { evidence })?;
         let (ckpt_record, checkpoint) = self
             .checkpoints()
-            .find(|(_, c)| c.covered > evidence && c.covered <= self.evidence_count())
+            .find(|(_, c)| c.covered > evidence && c.covered <= self.sealed_count())
             .ok_or(LedgerError::NotCovered { evidence })?;
         let tree = MerkleTree::build(&self.evidence_seals(checkpoint.covered));
         let proof = tree.prove(evidence);

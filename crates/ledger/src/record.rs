@@ -11,10 +11,14 @@
 
 use bytes::Bytes;
 use geoproof_core::auditor::AuditReport;
-use geoproof_core::evidence::{decode_report, encode_report, EvidenceBundle, ReportDecodeError};
+use geoproof_core::dynamic_audit::{DynAuditRequest, DynSignedTranscript};
+use geoproof_core::evidence::{
+    decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, ReportDecodeError,
+};
 use geoproof_core::messages::{AuditRequest, SignedTranscript, TranscriptDecodeError};
 use geoproof_core::policy::TimingPolicy;
 use geoproof_geo::coords::GeoPoint;
+use geoproof_por::dynamic::DynamicDigest;
 use geoproof_sim::time::{Km, SimDuration};
 
 /// Body tag of an evidence record.
@@ -22,6 +26,14 @@ pub(crate) const TAG_EVIDENCE: u8 = 1;
 
 /// Body tag of a checkpoint record.
 pub(crate) const TAG_CHECKPOINT: u8 = 2;
+
+/// Body tag of a dynamic-audit evidence record.
+pub(crate) const TAG_DYN_EVIDENCE: u8 = 3;
+
+/// Body tag of a digest-transition record (the owner's
+/// init/update/append of a dynamic file, chained so replays can check
+/// every dynamic audit against the digest that was current).
+pub(crate) const TAG_DIGEST: u8 = 4;
 
 /// One audit verdict, durably: who was audited, under which acceptance
 /// parameters, the request, the per-round MAC verdicts, the verdict's
@@ -231,6 +243,359 @@ impl EvidenceRecord {
     }
 }
 
+/// One *dynamic* audit verdict, durably: the static record's fields with
+/// the request carrying the audited [`DynamicDigest`] and the keyed-tag
+/// bits in place of the MAC bits. The Merkle membership proofs travel
+/// inside the canonical transcript and are *recomputed* on replay — the
+/// tag bits are the only trusted input without the owner's secret.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynEvidenceRecord {
+    /// The prover (cloud site) this verdict speaks about.
+    pub prover: String,
+    /// 0-based ordinal of this audit of this prover.
+    pub epoch: u64,
+    /// The verifier device's registered public key (compressed).
+    pub device_key: [u8; 32],
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted GPS offset from the SLA location.
+    pub location_tolerance: Km,
+    /// The Δt_max policy the verdict was derived under.
+    pub policy: TimingPolicy,
+    /// The dynamic audit request (carries the audited digest).
+    pub request: DynAuditRequest,
+    /// Per-round keyed-tag verdicts, transcript order.
+    pub tag_ok: Vec<bool>,
+    /// The recorded verdict, canonically encoded.
+    pub report_bytes: Bytes,
+    /// The canonical signed dynamic-transcript bytes.
+    pub transcript: Bytes,
+}
+
+impl DynEvidenceRecord {
+    /// Builds a record from a [`DynEvidenceBundle`]. The transcript
+    /// `Bytes` is aliased, not copied.
+    pub fn from_bundle(bundle: &DynEvidenceBundle) -> Self {
+        DynEvidenceRecord {
+            prover: bundle.prover.clone(),
+            epoch: bundle.epoch,
+            device_key: bundle.device_key,
+            sla_location: bundle.sla_location,
+            location_tolerance: bundle.location_tolerance,
+            policy: bundle.policy,
+            request: bundle.request.clone(),
+            tag_ok: bundle.tag_ok.clone(),
+            report_bytes: Bytes::from(encode_report(&bundle.report)),
+            transcript: bundle.transcript.clone(),
+        }
+    }
+
+    /// Decodes the recorded verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the report decoder's reason.
+    pub fn report(&self) -> Result<AuditReport, ReportDecodeError> {
+        decode_report(&self.report_bytes)
+    }
+
+    /// Parses the canonical dynamic transcript. Round segments alias the
+    /// record's buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transcript decoder's reason.
+    pub fn parse_transcript(&self) -> Result<DynSignedTranscript, TranscriptDecodeError> {
+        DynSignedTranscript::from_canonical(&self.transcript)
+    }
+
+    /// Total body length on disk (prefix + transcript bytes).
+    pub fn body_len(&self) -> usize {
+        1 + 2
+            + self.prover.len()
+            + 8
+            + 32
+            + 8 * 3 // sla lat/lon + tolerance
+            + 8 * 2 // policy
+            + 2
+            + self.request.file_id.len()
+            + 32 // digest root
+            + 8 // digest segments
+            + 4
+            + 32
+            + 4
+            + self.tag_ok.len().div_ceil(8)
+            + 4
+            + self.report_bytes.len()
+            + 4
+            + self.transcript.len()
+    }
+
+    /// Appends everything *except* the trailing transcript bytes to
+    /// `out` (the writer streams the transcript payload zero-copy).
+    pub fn encode_prefix(&self, out: &mut Vec<u8>) {
+        out.push(TAG_DYN_EVIDENCE);
+        out.extend_from_slice(&(self.prover.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.prover.as_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        out.extend_from_slice(&self.device_key);
+        out.extend_from_slice(&self.sla_location.lat.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.sla_location.lon.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.location_tolerance.0.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.policy.max_network.as_nanos().to_be_bytes());
+        out.extend_from_slice(&self.policy.max_lookup.as_nanos().to_be_bytes());
+        out.extend_from_slice(&(self.request.file_id.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.request.file_id.as_bytes());
+        out.extend_from_slice(&self.request.digest.root);
+        out.extend_from_slice(&self.request.digest.segments.to_be_bytes());
+        out.extend_from_slice(&self.request.k.to_be_bytes());
+        out.extend_from_slice(&self.request.nonce);
+        out.extend_from_slice(&(self.tag_ok.len() as u32).to_be_bytes());
+        let mut packed = vec![0u8; self.tag_ok.len().div_ceil(8)];
+        for (i, &ok) in self.tag_ok.iter().enumerate() {
+            if ok {
+                packed[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&packed);
+        out.extend_from_slice(&(self.report_bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.report_bytes);
+        out.extend_from_slice(&(self.transcript.len() as u32).to_be_bytes());
+    }
+
+    /// Decodes a record body (tag included). `report_bytes` and
+    /// `transcript` are zero-copy slices of `body`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed field's name. Never panics.
+    pub fn decode(body: &Bytes) -> Result<DynEvidenceRecord, &'static str> {
+        let mut c = geoproof_core::cursor::ByteCursor::new(body);
+        let trunc = |_| "body truncated";
+        let take_f64 = |c: &mut geoproof_core::cursor::ByteCursor<'_>| {
+            let v = c.take_f64_bits().map_err(trunc)?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err("non-finite float")
+            }
+        };
+
+        if c.take_array::<1>().map_err(trunc)? != [TAG_DYN_EVIDENCE] {
+            return Err("not a dynamic evidence record");
+        }
+        let prover_len = c.take_u16().map_err(trunc)? as usize;
+        let prover = std::str::from_utf8(&c.take(prover_len).map_err(trunc)?)
+            .map_err(|_| "prover id not UTF-8")?
+            .to_owned();
+        let epoch = c.take_u64().map_err(trunc)?;
+        let device_key = c.take_array::<32>().map_err(trunc)?;
+        let lat = take_f64(&mut c)?;
+        let lon = take_f64(&mut c)?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err("SLA location out of range");
+        }
+        let sla_location = GeoPoint { lat, lon };
+        let location_tolerance = Km(take_f64(&mut c)?);
+        let policy = TimingPolicy {
+            max_network: SimDuration::from_nanos(c.take_u64().map_err(trunc)?),
+            max_lookup: SimDuration::from_nanos(c.take_u64().map_err(trunc)?),
+        };
+        let fid_len = c.take_u16().map_err(trunc)? as usize;
+        let file_id = std::str::from_utf8(&c.take(fid_len).map_err(trunc)?)
+            .map_err(|_| "file id not UTF-8")?
+            .to_owned();
+        let digest = DynamicDigest {
+            root: c.take_array::<32>().map_err(trunc)?,
+            segments: c.take_u64().map_err(trunc)?,
+        };
+        let k = c.take_u32().map_err(trunc)?;
+        let nonce = c.take_array::<32>().map_err(trunc)?;
+        let request = DynAuditRequest {
+            file_id,
+            digest,
+            k,
+            nonce,
+        };
+        let tag_count = c.take_u32().map_err(trunc)? as usize;
+        let packed = c.take(tag_count.div_ceil(8)).map_err(trunc)?;
+        let mut tag_ok = Vec::with_capacity(tag_count);
+        for i in 0..tag_count {
+            tag_ok.push(packed[i / 8] & (1 << (i % 8)) != 0);
+        }
+        if let Some(last) = packed.last() {
+            let used = tag_count - (tag_count / 8) * 8;
+            if used != 0 && last >> used != 0 {
+                return Err("nonzero tag padding bits");
+            }
+        }
+        let report_len = c.take_u32().map_err(trunc)? as usize;
+        let report_bytes = c.take(report_len).map_err(trunc)?;
+        let transcript_len = c.take_u32().map_err(trunc)? as usize;
+        let transcript = c.take(transcript_len).map_err(trunc)?;
+        if !c.at_end() {
+            return Err("trailing bytes in body");
+        }
+        Ok(DynEvidenceRecord {
+            prover,
+            epoch,
+            device_key,
+            sla_location,
+            location_tolerance,
+            policy,
+            request,
+            tag_ok,
+            report_bytes,
+            transcript,
+        })
+    }
+}
+
+/// Which owner operation a [`DigestRecord`] chains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DigestOp {
+    /// First upload of the file (prev digest is the zero sentinel).
+    Init,
+    /// In-place replacement of one segment.
+    Update,
+    /// Append of one segment.
+    Append,
+}
+
+/// The zero sentinel standing in for "no previous digest" on
+/// [`DigestOp::Init`] records.
+pub const NO_DIGEST: DynamicDigest = DynamicDigest {
+    root: [0u8; 32],
+    segments: 0,
+};
+
+/// One owner-side digest transition of a dynamic file, chained into the
+/// ledger. The sequence of these records per file is the **digest
+/// chain**: replay walks it (init → update/append → …) and checks every
+/// dynamic audit against the digest that was current at that point — so
+/// a provider caught serving pre-update state is provably cheating
+/// against a *recorded* obligation, not a he-said-she-said digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigestRecord {
+    /// The dynamic file.
+    pub file_id: String,
+    /// Which operation this transition is.
+    pub op: DigestOp,
+    /// Segment index touched: the updated index for [`DigestOp::Update`],
+    /// the appended index (= previous length) for [`DigestOp::Append`],
+    /// 0 for [`DigestOp::Init`].
+    pub index: u64,
+    /// Digest before the operation ([`NO_DIGEST`] for init).
+    pub prev: DynamicDigest,
+    /// Digest after the operation.
+    pub new: DynamicDigest,
+}
+
+impl DigestRecord {
+    /// Structural invariants every digest record must satisfy (the
+    /// writer refuses records that fail; the decoder re-checks so no
+    /// crafted file smuggles one in).
+    pub(crate) fn validate(&self) -> Result<(), &'static str> {
+        match self.op {
+            DigestOp::Init => {
+                if self.prev != NO_DIGEST {
+                    return Err("init with non-zero previous digest");
+                }
+                if self.index != 0 {
+                    return Err("init with non-zero index");
+                }
+                if self.new.segments == 0 {
+                    return Err("init to an empty file");
+                }
+            }
+            DigestOp::Update => {
+                if self.index >= self.prev.segments {
+                    return Err("update index out of range");
+                }
+                if self.new.segments != self.prev.segments {
+                    return Err("update changed the segment count");
+                }
+            }
+            DigestOp::Append => {
+                if self.index != self.prev.segments {
+                    return Err("append index is not the previous length");
+                }
+                if self.new.segments != self.prev.segments + 1 {
+                    return Err("append did not grow by one");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Body length on disk.
+    pub fn body_len(&self) -> usize {
+        1 + 2 + self.file_id.len() + 1 + 8 + (32 + 8) * 2
+    }
+
+    /// Encodes the full body (digest records have no streamed payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_DIGEST);
+        out.extend_from_slice(&(self.file_id.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.file_id.as_bytes());
+        out.push(match self.op {
+            DigestOp::Init => 0,
+            DigestOp::Update => 1,
+            DigestOp::Append => 2,
+        });
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&self.prev.root);
+        out.extend_from_slice(&self.prev.segments.to_be_bytes());
+        out.extend_from_slice(&self.new.root);
+        out.extend_from_slice(&self.new.segments.to_be_bytes());
+    }
+
+    /// Decodes a record body (tag included), re-checking the structural
+    /// invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed field's name. Never panics.
+    pub fn decode(body: &Bytes) -> Result<DigestRecord, &'static str> {
+        let mut c = geoproof_core::cursor::ByteCursor::new(body);
+        let trunc = |_| "body truncated";
+        if c.take_array::<1>().map_err(trunc)? != [TAG_DIGEST] {
+            return Err("not a digest record");
+        }
+        let fid_len = c.take_u16().map_err(trunc)? as usize;
+        let file_id = std::str::from_utf8(&c.take(fid_len).map_err(trunc)?)
+            .map_err(|_| "file id not UTF-8")?
+            .to_owned();
+        let op = match c.take_array::<1>().map_err(trunc)?[0] {
+            0 => DigestOp::Init,
+            1 => DigestOp::Update,
+            2 => DigestOp::Append,
+            _ => return Err("unknown digest op"),
+        };
+        let index = c.take_u64().map_err(trunc)?;
+        let prev = DynamicDigest {
+            root: c.take_array::<32>().map_err(trunc)?,
+            segments: c.take_u64().map_err(trunc)?,
+        };
+        let new = DynamicDigest {
+            root: c.take_array::<32>().map_err(trunc)?,
+            segments: c.take_u64().map_err(trunc)?,
+        };
+        if !c.at_end() {
+            return Err("trailing bytes in body");
+        }
+        let record = DigestRecord {
+            file_id,
+            op,
+            index,
+            prev,
+            new,
+        };
+        record.validate()?;
+        Ok(record)
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -330,6 +695,165 @@ pub(crate) mod tests {
         let mut wrong_tag = body.to_vec();
         wrong_tag[0] = 9;
         assert!(EvidenceRecord::decode(&Bytes::from(wrong_tag)).is_err());
+    }
+
+    pub(crate) fn sample_dyn_record(k: usize) -> DynEvidenceRecord {
+        use geoproof_core::dynamic_audit::DynTimedRound;
+        use geoproof_por::merkle::MerkleProof;
+        let report = AuditReport {
+            violations: vec![Violation::BadProof {
+                round: 0,
+                segment: 0,
+            }],
+            max_rtt: SimDuration::from_millis(9),
+            segments_ok: k.saturating_sub(1),
+        };
+        let rounds: Vec<DynTimedRound> = (0..k)
+            .map(|i| DynTimedRound {
+                index: i as u64,
+                segment: Bytes::from(vec![0xcdu8; 12]),
+                proof: MerkleProof {
+                    index: i as u64,
+                    siblings: vec![([i as u8; 32], i % 2 == 0)],
+                },
+                rtt: SimDuration::from_millis(4 + i as u64),
+            })
+            .collect();
+        let digest = DynamicDigest {
+            root: [0x77u8; 32],
+            segments: 64,
+        };
+        let transcript = DynSignedTranscript {
+            file_id: "ledger-dyn".into(),
+            nonce: [3u8; 32],
+            digest,
+            position: GeoPoint::new(-27.47, 153.02),
+            rounds,
+            signature: Signature::from_bytes(&[0x21u8; 64]),
+        }
+        .canonical_bytes();
+        DynEvidenceRecord {
+            prover: "prover-dyn".into(),
+            epoch: 1,
+            device_key: [8u8; 32],
+            sla_location: GeoPoint::new(-27.47, 153.02),
+            location_tolerance: Km(25.0),
+            policy: TimingPolicy::paper(),
+            request: DynAuditRequest {
+                file_id: "ledger-dyn".into(),
+                digest,
+                k: k as u32,
+                nonce: [3u8; 32],
+            },
+            tag_ok: (0..k).map(|i| i % 2 == 0).collect(),
+            report_bytes: Bytes::from(encode_report(&report)),
+            transcript,
+        }
+    }
+
+    pub(crate) fn sample_digest_record() -> DigestRecord {
+        DigestRecord {
+            file_id: "ledger-dyn".into(),
+            op: DigestOp::Update,
+            index: 3,
+            prev: DynamicDigest {
+                root: [0x55u8; 32],
+                segments: 64,
+            },
+            new: DynamicDigest {
+                root: [0x77u8; 32],
+                segments: 64,
+            },
+        }
+    }
+
+    fn encode_full_dyn(r: &DynEvidenceRecord) -> Bytes {
+        let mut out = Vec::new();
+        r.encode_prefix(&mut out);
+        out.extend_from_slice(&r.transcript);
+        Bytes::from(out)
+    }
+
+    #[test]
+    fn dyn_record_roundtrip_and_body_len_agree() {
+        for k in [0usize, 1, 7, 8, 9, 20] {
+            let r = sample_dyn_record(k);
+            let body = encode_full_dyn(&r);
+            assert_eq!(body.len(), r.body_len(), "k={k}");
+            let back = DynEvidenceRecord::decode(&body).expect("decode");
+            assert_eq!(back, r, "k={k}");
+            // The decoded transcript aliases the body buffer.
+            let tail = body.slice(body.len() - r.transcript.len()..);
+            assert!(back.transcript.aliases(&tail));
+        }
+    }
+
+    #[test]
+    fn dyn_record_decode_rejects_malformed_without_panicking() {
+        let r = sample_dyn_record(4);
+        let body = encode_full_dyn(&r);
+        for cut in 0..body.len() {
+            assert!(
+                DynEvidenceRecord::decode(&body.slice(..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut extra = body.to_vec();
+        extra.push(0);
+        assert!(DynEvidenceRecord::decode(&Bytes::from(extra)).is_err());
+        let mut wrong_tag = body.to_vec();
+        wrong_tag[0] = TAG_EVIDENCE;
+        assert!(DynEvidenceRecord::decode(&Bytes::from(wrong_tag)).is_err());
+    }
+
+    #[test]
+    fn digest_record_roundtrip_and_validation() {
+        for record in [
+            DigestRecord {
+                file_id: "f".into(),
+                op: DigestOp::Init,
+                index: 0,
+                prev: NO_DIGEST,
+                new: DynamicDigest {
+                    root: [1u8; 32],
+                    segments: 5,
+                },
+            },
+            sample_digest_record(),
+            DigestRecord {
+                file_id: "f".into(),
+                op: DigestOp::Append,
+                index: 64,
+                prev: DynamicDigest {
+                    root: [2u8; 32],
+                    segments: 64,
+                },
+                new: DynamicDigest {
+                    root: [3u8; 32],
+                    segments: 65,
+                },
+            },
+        ] {
+            let mut out = Vec::new();
+            record.encode(&mut out);
+            assert_eq!(out.len(), record.body_len());
+            let back = DigestRecord::decode(&Bytes::from(out)).expect("decode");
+            assert_eq!(back, record);
+        }
+        // Structural violations are refused by the decoder.
+        let mut bad = sample_digest_record();
+        bad.new.segments = 65; // update must not change length
+        let mut out = Vec::new();
+        bad.encode(&mut out);
+        assert_eq!(
+            DigestRecord::decode(&Bytes::from(out)),
+            Err("update changed the segment count")
+        );
+        let mut bad_init = sample_digest_record();
+        bad_init.op = DigestOp::Init;
+        let mut out = Vec::new();
+        bad_init.encode(&mut out);
+        assert!(DigestRecord::decode(&Bytes::from(out)).is_err());
     }
 
     #[test]

@@ -92,4 +92,11 @@ impl EvidenceSink for LedgerSink {
     fn record(&self, bundle: &EvidenceBundle) -> std::io::Result<()> {
         self.writer.lock().append_bundle(bundle)
     }
+
+    fn record_dynamic(
+        &self,
+        bundle: &geoproof_core::evidence::DynEvidenceBundle,
+    ) -> std::io::Result<()> {
+        self.writer.lock().append_dyn_bundle(bundle)
+    }
 }

@@ -23,19 +23,31 @@
 //! ([`Ledger::head`]) must be compared out-of-band to rule that out.
 
 use crate::reader::{checkpoint_message, Entry, Ledger};
-use crate::record::EvidenceRecord;
+use crate::record::{DigestOp, DynEvidenceRecord, EvidenceRecord};
 use crate::{Digest, LedgerError};
 use geoproof_core::auditor::VerifyChecks;
+use geoproof_core::dynamic_audit::judge_round;
 use geoproof_core::evidence::encode_report;
 use geoproof_crypto::schnorr::{Signature, VerifyingKey};
+use geoproof_por::dynamic::DynamicDigest;
 use geoproof_por::merkle::MerkleTree;
+use std::collections::HashMap;
 
 /// Re-derives keyed segment MACs when the owner's secret is available —
 /// the one check a key-less replay must otherwise take on trust.
 pub trait SegmentMacCheck {
     /// Whether `payload` (segment ‖ tag) is genuine for `segment_index`
-    /// of `file_id`.
+    /// of `file_id` under the *static* scheme.
     fn verify(&self, file_id: &str, segment_index: u64, payload: &[u8]) -> bool;
+
+    /// The same question under the *dynamic* tag scheme
+    /// ([`geoproof_por::dynamic::verify_tagged`] — different MAC input
+    /// encoding). Defaults to the static check so existing checkers keep
+    /// compiling; a checker for a ledger holding dynamic records should
+    /// override it.
+    fn verify_dynamic(&self, file_id: &str, segment_index: u64, payload: &[u8]) -> bool {
+        self.verify(file_id, segment_index, payload)
+    }
 }
 
 impl<F: Fn(&str, u64, &[u8]) -> bool> SegmentMacCheck for F {
@@ -49,15 +61,20 @@ impl<F: Fn(&str, u64, &[u8]) -> bool> SegmentMacCheck for F {
 pub struct ReplayOutcome {
     /// Total chain records.
     pub records: u64,
-    /// Evidence records replayed.
+    /// Static evidence records replayed.
     pub evidence: u64,
+    /// Dynamic evidence records replayed (membership proofs recomputed
+    /// against the recorded digests).
+    pub dynamic: u64,
+    /// Digest-transition records chained (per-file continuity checked).
+    pub digests: u64,
     /// Checkpoints verified.
     pub checkpoints: u64,
-    /// Evidence verdicts that were ACCEPT.
+    /// Evidence verdicts (static + dynamic) that were ACCEPT.
     pub accepted: u64,
-    /// Evidence verdicts that were REJECT.
+    /// Evidence verdicts (static + dynamic) that were REJECT.
     pub rejected: u64,
-    /// Evidence records after the last checkpoint (chain-verified but
+    /// Sealed records after the last checkpoint (chain-verified but
     /// not yet Merkle-committed).
     pub uncovered: u64,
     /// Segment MACs re-derived (0 without a [`SegmentMacCheck`]).
@@ -104,6 +121,46 @@ pub fn replay_record(
     Ok(transcript)
 }
 
+/// Replays one *dynamic* evidence record: parses the canonical dynamic
+/// transcript, **recomputes every Merkle membership proof** against the
+/// recorded digest (unkeyed — no trust involved), takes the recorded tag
+/// bits for the keyed half, re-derives the verdict through the same
+/// [`VerifyChecks`] the live TPA used, and byte-compares it.
+///
+/// # Errors
+///
+/// Structural failures and [`LedgerError::VerdictMismatch`] when the
+/// re-derived report's canonical bytes differ.
+pub fn replay_dyn_record(
+    record: &DynEvidenceRecord,
+    evidence: u64,
+) -> Result<geoproof_core::dynamic_audit::DynSignedTranscript, LedgerError> {
+    let device_key = VerifyingKey::from_bytes(&record.device_key)
+        .ok_or(LedgerError::BadDeviceKey { evidence })?;
+    let transcript = record
+        .parse_transcript()
+        .map_err(|source| LedgerError::Transcript { evidence, source })?;
+    let checks = VerifyChecks {
+        file_id: &record.request.file_id,
+        n_segments: record.request.digest.segments,
+        device_key: &device_key,
+        sla_location: record.sla_location,
+        location_tolerance: record.location_tolerance,
+        policy: &record.policy,
+    };
+    let replayed = checks.verify_dyn_transcript(&record.request, &transcript, |i, round| {
+        judge_round(
+            &record.request.digest.root,
+            round,
+            record.tag_ok.get(i).copied(),
+        )
+    });
+    if encode_report(&replayed) != record.report_bytes.as_ref() {
+        return Err(LedgerError::VerdictMismatch { evidence });
+    }
+    Ok(transcript)
+}
+
 /// Replays the whole ledger (see the module docs for what is checked
 /// and what is trusted).
 ///
@@ -122,36 +179,111 @@ pub fn replay(
         return Err(LedgerError::TpaKeyMismatch);
     }
     let mut evidence_seals: Vec<Vec<u8>> = Vec::new();
+    let mut sealed = 0u64;
     let mut evidence = 0u64;
+    let mut dynamic = 0u64;
+    let mut digests = 0u64;
     let mut checkpoints = 0u64;
     let mut accepted = 0u64;
     let mut rejected = 0u64;
     let mut macs_checked = 0u64;
+    // The digest chain: the current digest per dynamic file, advanced by
+    // digest-transition records in chain order. Every dynamic audit must
+    // have been issued against the digest current at its chain position —
+    // that is what turns "the server served pre-update data" from a
+    // claim into a provable fact.
+    let mut current_digest: HashMap<&str, DynamicDigest> = HashMap::new();
     for record in ledger.records() {
         match &record.entry {
             Entry::Evidence(e) => {
-                let transcript = replay_record(e, evidence)?;
+                let transcript = replay_record(e, sealed)?;
                 if let Some(mac) = mac_check {
                     for (i, round) in transcript.rounds.iter().enumerate() {
                         let derived = mac.verify(&e.request.file_id, round.index, &round.segment);
                         if derived != e.mac_ok.get(i).copied().unwrap_or(false) {
-                            return Err(LedgerError::MacMismatch { evidence });
+                            return Err(LedgerError::MacMismatch { evidence: sealed });
                         }
                         macs_checked += 1;
                     }
                 }
                 // Accept/reject straight from the recorded bytes we just
                 // proved re-derivable.
-                let report = e
-                    .report()
-                    .map_err(|source| LedgerError::Report { evidence, source })?;
+                let report = e.report().map_err(|source| LedgerError::Report {
+                    evidence: sealed,
+                    source,
+                })?;
                 if report.accepted() {
                     accepted += 1;
                 } else {
                     rejected += 1;
                 }
                 evidence_seals.push(record.seal.to_vec());
+                sealed += 1;
                 evidence += 1;
+            }
+            Entry::DynEvidence(e) => {
+                let transcript = replay_dyn_record(e, sealed)?;
+                // The audited digest must be the chain's current one for
+                // this file. A ledger with no digest records for the file
+                // has no chain to hold the audit against (a bare-audit
+                // ledger); the digest is then trusted as recorded.
+                if let Some(current) = current_digest.get(e.request.file_id.as_str()) {
+                    if *current != e.request.digest {
+                        return Err(LedgerError::DigestChain {
+                            index: record.index,
+                            what: "dynamic audit against a digest that was not current",
+                        });
+                    }
+                }
+                if let Some(mac) = mac_check {
+                    for (i, round) in transcript.rounds.iter().enumerate() {
+                        let derived =
+                            mac.verify_dynamic(&e.request.file_id, round.index, &round.segment);
+                        if derived != e.tag_ok.get(i).copied().unwrap_or(false) {
+                            return Err(LedgerError::MacMismatch { evidence: sealed });
+                        }
+                        macs_checked += 1;
+                    }
+                }
+                let report = e.report().map_err(|source| LedgerError::Report {
+                    evidence: sealed,
+                    source,
+                })?;
+                if report.accepted() {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+                evidence_seals.push(record.seal.to_vec());
+                sealed += 1;
+                dynamic += 1;
+            }
+            Entry::Digest(d) => {
+                // Structural invariants were re-checked at decode; here
+                // the *chain* is: init starts (or restarts) a file,
+                // every later transition must leave from the current
+                // digest.
+                match d.op {
+                    DigestOp::Init => {}
+                    DigestOp::Update | DigestOp::Append => {
+                        let Some(current) = current_digest.get(d.file_id.as_str()) else {
+                            return Err(LedgerError::DigestChain {
+                                index: record.index,
+                                what: "digest transition before any init",
+                            });
+                        };
+                        if *current != d.prev {
+                            return Err(LedgerError::DigestChain {
+                                index: record.index,
+                                what: "digest transition does not leave from the current digest",
+                            });
+                        }
+                    }
+                }
+                current_digest.insert(d.file_id.as_str(), d.new);
+                evidence_seals.push(record.seal.to_vec());
+                sealed += 1;
+                digests += 1;
             }
             Entry::Checkpoint(c) => {
                 let signature = Signature::from_bytes(&c.signature);
@@ -160,10 +292,10 @@ pub fn replay(
                         index: record.index,
                     });
                 }
-                // A checkpoint always covers *all* evidence so far, and
-                // the writer never commits before the first record (an
-                // empty Merkle tree does not exist).
-                if c.covered != evidence || c.covered == 0 {
+                // A checkpoint always covers *all* sealed records so
+                // far, and the writer never commits before the first
+                // record (an empty Merkle tree does not exist).
+                if c.covered != sealed || c.covered == 0 {
                     return Err(LedgerError::CheckpointCoverage {
                         index: record.index,
                     });
@@ -180,6 +312,8 @@ pub fn replay(
     Ok(ReplayOutcome {
         records: ledger.records().len() as u64,
         evidence,
+        dynamic,
+        digests,
         checkpoints,
         accepted,
         rejected,

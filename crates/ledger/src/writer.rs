@@ -26,7 +26,7 @@
 
 use crate::chain::{genesis_hash, seal_hash, Digest};
 use crate::reader::{checkpoint_message, scan, Checkpoint, Entry, Header};
-use crate::record::EvidenceRecord;
+use crate::record::{DigestRecord, DynEvidenceRecord, EvidenceRecord};
 use crate::{LedgerError, VERSION};
 use bytes::Bytes;
 use geoproof_core::evidence::EvidenceBundle;
@@ -262,6 +262,11 @@ impl LedgerWriter {
                     evidence_seals.push(record.seal);
                     *per_prover.entry(e.prover.clone()).or_insert(0) += 1;
                 }
+                Entry::DynEvidence(e) => {
+                    evidence_seals.push(record.seal);
+                    *per_prover.entry(e.prover.clone()).or_insert(0) += 1;
+                }
+                Entry::Digest(_) => evidence_seals.push(record.seal),
                 Entry::Checkpoint(c) => {
                     // Seals are unkeyed, so a crafted file can chain a
                     // checkpoint with any `covered` claim; taking it at
@@ -342,12 +347,13 @@ impl LedgerWriter {
         }
     }
 
-    /// Records written (evidence + checkpoints).
+    /// Records written (sealed leaves + checkpoints).
     pub fn record_count(&self) -> u64 {
         self.records
     }
 
-    /// Evidence records written.
+    /// Sealed leaves written (static evidence, dynamic evidence, digest
+    /// transitions) — the ordinal space checkpoints cover.
     pub fn evidence_count(&self) -> u64 {
         self.evidence_seals.len() as u64
     }
@@ -518,11 +524,16 @@ impl LedgerWriter {
         let seal = self.write_record(&payload)?;
         self.evidence_seals.push(seal);
         *self.per_prover.entry(record.prover.clone()).or_insert(0) += 1;
+        self.auto_checkpoint()
+    }
+
+    /// Fires the interval checkpoint after a successful append. The
+    /// record itself is written and chained at this point; a checkpoint
+    /// failure must not read as "recording failed" (a retry would
+    /// duplicate the evidence), so the error says exactly what state the
+    /// file is in.
+    fn auto_checkpoint(&mut self) -> std::io::Result<()> {
         if self.interval > 0 && self.uncovered() >= u64::from(self.interval) {
-            // The record itself is written and chained at this point; a
-            // checkpoint failure must not read as "recording failed" (a
-            // retry would duplicate the evidence), so say exactly what
-            // state the file is in.
             if let Err(e) = self.checkpoint() {
                 return Err(std::io::Error::new(
                     e.kind(),
@@ -545,6 +556,101 @@ impl LedgerWriter {
     /// As [`LedgerWriter::append`].
     pub fn append_bundle(&mut self, bundle: &EvidenceBundle) -> std::io::Result<()> {
         self.append(&EvidenceRecord::from_bundle(bundle))
+    }
+
+    /// Appends one dynamic-audit evidence record — same contract as
+    /// [`LedgerWriter::append`]: zero-copy transcript payload, validated
+    /// to replay (canonical dynamic transcript and report must parse,
+    /// field widths must fit their prefixes) before it is sealed.
+    ///
+    /// # Errors
+    ///
+    /// As [`LedgerWriter::append`].
+    pub fn append_dynamic(&mut self, record: &DynEvidenceRecord) -> std::io::Result<()> {
+        self.check_poisoned()?;
+        let invalid = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        if record.prover.len() > usize::from(u16::MAX) {
+            return Err(invalid(format!(
+                "prover id is {} bytes; the record format caps it at {}",
+                record.prover.len(),
+                u16::MAX
+            )));
+        }
+        if record.request.file_id.len() > usize::from(u16::MAX) {
+            return Err(invalid(format!(
+                "file id is {} bytes; the record format caps it at {}",
+                record.request.file_id.len(),
+                u16::MAX
+            )));
+        }
+        if record.tag_ok.len() as u64 > u64::from(u32::MAX)
+            || record.report_bytes.len() as u64 > u64::from(u32::MAX)
+            || record.transcript.len() as u64 > u64::from(u32::MAX)
+        {
+            return Err(invalid("record field exceeds the u32 length prefix".into()));
+        }
+        if let Err(e) = record.parse_transcript() {
+            return Err(invalid(format!(
+                "refusing unreplayable record: dynamic transcript bytes: {e}"
+            )));
+        }
+        if let Err(e) = record.report() {
+            return Err(invalid(format!(
+                "refusing unreplayable record: report bytes: {e}"
+            )));
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]); // length placeholder
+        record.encode_prefix(&mut self.scratch);
+        let payload = record.transcript.clone();
+        let seal = self.write_record(&payload)?;
+        self.evidence_seals.push(seal);
+        *self.per_prover.entry(record.prover.clone()).or_insert(0) += 1;
+        self.auto_checkpoint()
+    }
+
+    /// Converts and appends a
+    /// [`geoproof_core::evidence::DynEvidenceBundle`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LedgerWriter::append_dynamic`].
+    pub fn append_dyn_bundle(
+        &mut self,
+        bundle: &geoproof_core::evidence::DynEvidenceBundle,
+    ) -> std::io::Result<()> {
+        self.append_dynamic(&DynEvidenceRecord::from_bundle(bundle))
+    }
+
+    /// Appends one owner digest transition. The record's structural
+    /// invariants (init from the zero sentinel, update preserves length,
+    /// append grows by one) are enforced here so the file always
+    /// replays; *chain* continuity against the previous record for the
+    /// same file is [`crate::replay`]'s business.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for a structurally invalid record; otherwise as
+    /// [`LedgerWriter::append`].
+    pub fn append_digest(&mut self, record: &DigestRecord) -> std::io::Result<()> {
+        self.check_poisoned()?;
+        let invalid = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        if record.file_id.len() > usize::from(u16::MAX) {
+            return Err(invalid(format!(
+                "file id is {} bytes; the record format caps it at {}",
+                record.file_id.len(),
+                u16::MAX
+            )));
+        }
+        if let Err(what) = record.validate() {
+            return Err(invalid(format!("refusing invalid digest record: {what}")));
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        record.encode(&mut self.scratch);
+        let seal = self.write_record(&[])?;
+        self.evidence_seals.push(seal);
+        self.auto_checkpoint()
     }
 
     /// Writes a checkpoint (TPA-signed Merkle root over all evidence

@@ -113,7 +113,7 @@ fn record_and_decode_alias_the_transcript_payload() {
     let ledger = Ledger::read(&path).expect("read");
     let (_, stored) = ledger.evidence().next().expect("one record");
     assert_eq!(stored.transcript, b.transcript, "content survives");
-    let chain_record = ledger.evidence_record(0).expect("record");
+    let chain_record = ledger.sealed_record(0).expect("record");
     let tail_of_body = chain_record
         .body
         .slice(chain_record.body.len() - b.transcript.len()..);

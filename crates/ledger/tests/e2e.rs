@@ -307,10 +307,13 @@ fn inclusion_proofs_verify_and_reject_tampering() {
         // Round-trip through the wire form, then verify standalone.
         let decoded = InclusionProof::decode(&Bytes::from(proof.encode())).expect("decode");
         let verified = decoded.verify(&tpa.verifying_key()).expect("verify");
-        assert_eq!(verified.evidence.prover, format!("prover-{ev:03}"));
+        assert_eq!(
+            verified.evidence().expect("static evidence").prover,
+            format!("prover-{ev:03}")
+        );
         assert_eq!(
             verified.seal,
-            ledger.evidence_record(ev).expect("record").seal
+            ledger.sealed_record(ev).expect("record").seal
         );
 
         // Any flipped byte anywhere in the proof must break it.

@@ -51,7 +51,10 @@ pub use batch::{
     plan_batch, plan_session, session_nonce, ChallengePlan, MerkleBatchVerifier,
     SegmentBatchVerifier, SentinelBatch,
 };
-pub use dynamic::{DynamicDigest, DynamicStore};
+pub use dynamic::{
+    tag_segment, verify_challenge, verify_tagged, DynamicDigest, DynamicError, DynamicOwner,
+    DynamicStore, ProvenSegment,
+};
 pub use encode::{ExtractError, FileMetadata, PorEncoder, TaggedFile};
 pub use keys::{AuditorKey, PorKeys};
 pub use merkle::{MerkleProof, MerkleTree};

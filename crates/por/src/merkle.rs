@@ -12,7 +12,11 @@ use geoproof_crypto::sha256::{Sha256, DIGEST_LEN};
 /// A node hash.
 pub type Digest = [u8; DIGEST_LEN];
 
-pub(crate) fn leaf_hash(index: u64, data: &[u8]) -> Digest {
+/// Hashes one leaf (`leaf-v1 ‖ index ‖ data`). Public so a light owner
+/// can mirror a provider-side tree as leaf digests alone
+/// ([`crate::dynamic::DynamicOwner`]) and recompute roots without ever
+/// holding the segments.
+pub fn leaf_hash(index: u64, data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(b"leaf-v1");
     h.update(&index.to_be_bytes());
@@ -50,30 +54,19 @@ pub struct MerkleProof {
 }
 
 impl MerkleTree {
-    /// Builds a tree over `segments`.
+    /// Builds a tree over `segments` (anything byte-viewable — `Vec<u8>`,
+    /// `Bytes`, slices — without copying the data first).
     ///
     /// # Panics
     ///
     /// Panics on an empty segment list.
-    pub fn build(segments: &[Vec<u8>]) -> Self {
-        assert!(!segments.is_empty(), "cannot build a tree over nothing");
-        let mut levels = Vec::new();
+    pub fn build<S: AsRef<[u8]>>(segments: &[S]) -> Self {
         let leaves: Vec<Digest> = segments
             .iter()
             .enumerate()
-            .map(|(i, s)| leaf_hash(i as u64, s))
+            .map(|(i, s)| leaf_hash(i as u64, s.as_ref()))
             .collect();
-        levels.push(leaves);
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                let right = pair.get(1).unwrap_or(&pair[0]);
-                next.push(node_hash(&pair[0], right));
-            }
-            levels.push(next);
-        }
-        MerkleTree { levels }
+        Self::from_leaves(leaves)
     }
 
     /// The root digest.
@@ -116,9 +109,20 @@ impl MerkleTree {
     ///
     /// Panics if `index` is out of range.
     pub fn update(&mut self, index: u64, data: &[u8]) {
+        self.set_leaf(index, leaf_hash(index, data));
+    }
+
+    /// Replaces leaf `index` with an already-computed leaf digest,
+    /// updating the path to the root in O(log n) — the owner-mirror
+    /// path, where only digests exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_leaf(&mut self, index: u64, leaf: Digest) {
         let mut idx = index as usize;
         assert!(idx < self.len(), "leaf {index} out of range");
-        self.levels[0][idx] = leaf_hash(index, data);
+        self.levels[0][idx] = leaf;
         for lvl in 0..self.levels.len() - 1 {
             let parent = idx / 2;
             let left = self.levels[lvl][2 * parent];
@@ -132,12 +136,30 @@ impl MerkleTree {
     /// for audit-scale segment counts).
     pub fn append(&mut self, data: &[u8]) {
         let index = self.len() as u64;
+        self.push_leaf(leaf_hash(index, data));
+    }
+
+    /// Appends an already-computed leaf digest (see
+    /// [`MerkleTree::append`] for the cost).
+    pub fn push_leaf(&mut self, leaf: Digest) {
         let mut leaves = std::mem::take(&mut self.levels)[0].clone();
-        leaves.push(leaf_hash(index, data));
+        leaves.push(leaf);
         *self = MerkleTree::from_leaves(leaves);
     }
 
-    fn from_leaves(leaves: Vec<Digest>) -> Self {
+    /// The leaf digests, in order.
+    pub fn leaves(&self) -> &[Digest] {
+        &self.levels[0]
+    }
+
+    /// Builds a tree directly from leaf digests (see [`leaf_hash`]) — the
+    /// owner-side mirror path, where only digests are retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty leaf list.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "cannot build a tree over nothing");
         let mut levels = vec![leaves];
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
@@ -149,6 +171,55 @@ impl MerkleTree {
             levels.push(next);
         }
         MerkleTree { levels }
+    }
+}
+
+impl MerkleProof {
+    /// Hard cap on proof depth accepted by [`MerkleProof::from_bytes`]:
+    /// 64 levels commit to far more leaves than any file has segments,
+    /// so anything deeper is hostile input, not a real tree.
+    pub const MAX_SIBLINGS: usize = 64;
+
+    /// Canonical byte encoding: `u64 index ‖ u16 n ‖ n × (digest ‖ dir)`.
+    /// Used verbatim inside wire frames and the signed dynamic-audit
+    /// transcript, so the same bytes are signed, shipped, and stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 2 + self.siblings.len() * 33);
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&(self.siblings.len() as u16).to_be_bytes());
+        for (digest, on_right) in &self.siblings {
+            out.extend_from_slice(digest);
+            out.push(u8::from(*on_right));
+        }
+        out
+    }
+
+    /// Parses a canonical encoding. Strict: the input must be exactly one
+    /// proof (no trailing bytes), direction flags must be 0/1, and depth
+    /// is capped at [`MerkleProof::MAX_SIBLINGS`] — so
+    /// `from_bytes ∘ to_bytes` is the identity and no two byte strings
+    /// decode to the same proof.
+    pub fn from_bytes(bytes: &[u8]) -> Option<MerkleProof> {
+        if bytes.len() < 10 {
+            return None;
+        }
+        let index = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let n = u16::from_be_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
+        if n > Self::MAX_SIBLINGS || bytes.len() != 10 + n * 33 {
+            return None;
+        }
+        let mut siblings = Vec::with_capacity(n);
+        for chunk in bytes[10..].chunks_exact(33) {
+            let mut digest = [0u8; DIGEST_LEN];
+            digest.copy_from_slice(&chunk[..32]);
+            let on_right = match chunk[32] {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            siblings.push((digest, on_right));
+        }
+        Some(MerkleProof { index, siblings })
     }
 }
 
@@ -257,5 +328,48 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn prove_out_of_range_panics() {
         MerkleTree::build(&segments(4)).prove(4);
+    }
+
+    #[test]
+    fn from_leaves_matches_build() {
+        let segs = segments(13);
+        let leaves: Vec<Digest> = segs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| leaf_hash(i as u64, s))
+            .collect();
+        assert_eq!(
+            MerkleTree::from_leaves(leaves).root(),
+            MerkleTree::build(&segs).root()
+        );
+    }
+
+    #[test]
+    fn proof_bytes_roundtrip_strictly() {
+        let tree = MerkleTree::build(&segments(13));
+        for i in [0u64, 5, 12] {
+            let proof = tree.prove(i);
+            let bytes = proof.to_bytes();
+            assert_eq!(MerkleProof::from_bytes(&bytes), Some(proof));
+            // Truncations, extensions, and bad direction flags all fail.
+            for cut in 0..bytes.len() {
+                assert_eq!(MerkleProof::from_bytes(&bytes[..cut]), None, "cut {cut}");
+            }
+            let mut extra = bytes.clone();
+            extra.push(0);
+            assert_eq!(MerkleProof::from_bytes(&extra), None);
+            let mut bad_dir = bytes.clone();
+            *bad_dir.last_mut().expect("non-empty") = 2;
+            assert_eq!(MerkleProof::from_bytes(&bad_dir), None);
+        }
+    }
+
+    #[test]
+    fn proof_decode_caps_depth() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        bytes.extend_from_slice(&(MerkleProof::MAX_SIBLINGS as u16 + 1).to_be_bytes());
+        bytes.extend_from_slice(&vec![0u8; (MerkleProof::MAX_SIBLINGS + 1) * 33]);
+        assert_eq!(MerkleProof::from_bytes(&bytes), None);
     }
 }

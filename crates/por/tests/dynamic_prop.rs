@@ -1,0 +1,155 @@
+//! Property suite for the dynamic POR store: update/append/challenge
+//! round-trips at random sizes, the owner mirror's independent digest
+//! derivation, stale-digest replays, silent corruption, and proof-index
+//! tampering — all must behave for every (size, index, seed) drawn.
+
+use bytes::Bytes;
+use geoproof_por::dynamic::{
+    tag_segment, verify_challenge, DynamicOwner, DynamicStore, ProvenSegment,
+};
+use geoproof_por::keys::PorKeys;
+use proptest::prelude::*;
+
+fn body_of(len: usize, seed: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            (seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64)
+                >> 13) as u8
+        })
+        .collect()
+}
+
+/// A store, its owner mirror, and the keys, over `n` random-size bodies.
+fn rig(n: usize, seed: u64) -> (DynamicStore, DynamicOwner, PorKeys) {
+    let keys = PorKeys::derive(&seed.to_le_bytes(), "dyn");
+    let bodies: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            body_of(
+                1 + ((seed as usize).wrapping_add(i * 37) % 200),
+                seed ^ i as u64,
+            )
+        })
+        .collect();
+    let (store, _digest) = DynamicStore::initialise("dyn", &bodies, &keys);
+    let tagged: Vec<Bytes> = (0..n as u64).map(|i| store.segment(i).unwrap()).collect();
+    let owner = DynamicOwner::from_tagged("dyn", &tagged);
+    (store, owner, keys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every segment of a fresh store verifies; every out-of-range index
+    /// errors cleanly.
+    #[test]
+    fn fresh_store_round_trips_every_index(n in 1usize..48, seed in any::<u64>()) {
+        let (store, owner, keys) = rig(n, seed);
+        let digest = owner.digest();
+        prop_assert_eq!(store.digest(), digest, "store and mirror agree at rest");
+        for i in 0..n as u64 {
+            let resp = store.challenge(i).unwrap();
+            prop_assert!(verify_challenge(&digest, "dyn", i, &resp, &keys), "segment {}", i);
+        }
+        prop_assert!(store.challenge(n as u64).is_err());
+    }
+
+    /// Interleaved updates and appends: the owner's independently derived
+    /// digest always matches the store's, old digests always reject the
+    /// new state, and the new digest rejects pre-update responses.
+    #[test]
+    fn update_append_cycle_keeps_mirror_and_store_in_lockstep(
+        n in 2usize..32,
+        ops in proptest::collection::vec((any::<bool>(), any::<u64>(), 1usize..120), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let (mut store, mut owner, keys) = rig(n, seed);
+        for (round, (is_update, pick, len)) in ops.into_iter().enumerate() {
+            let old_digest = owner.digest();
+            let body = body_of(len, seed ^ round as u64);
+            let (victim, expected) = if is_update {
+                let victim = pick % owner.len();
+                let (tagged, expected) = owner.tag_update(victim, &body, &keys).unwrap();
+                let applied = store.apply_update(victim, Bytes::from(tagged)).unwrap();
+                prop_assert_eq!(applied, expected, "round {}", round);
+                (victim, expected)
+            } else {
+                let victim = owner.len();
+                let (tagged, expected) = owner.tag_append(&body, &keys);
+                let applied = store.apply_append(Bytes::from(tagged));
+                prop_assert_eq!(applied, expected, "round {}", round);
+                (victim, expected)
+            };
+            prop_assert_ne!(expected.root, old_digest.root, "digest must evolve");
+            let resp = store.challenge(victim).unwrap();
+            prop_assert!(verify_challenge(&expected, "dyn", victim, &resp, &keys));
+            // Stale digest (pre-op) must reject the new segment.
+            prop_assert!(!verify_challenge(&old_digest, "dyn", victim, &resp, &keys));
+        }
+    }
+
+    /// A stale-digest replay — serving the pre-update segment with its
+    /// then-valid proof — is rejected under the fresh digest.
+    #[test]
+    fn stale_replay_is_rejected(n in 1usize..32, pick in any::<u64>(), seed in any::<u64>()) {
+        let (mut store, mut owner, keys) = rig(n, seed);
+        let victim = pick % owner.len();
+        let stale = store.challenge(victim).unwrap();
+        let (tagged, fresh) = owner.tag_update(victim, b"v2", &keys).unwrap();
+        store.apply_update(victim, Bytes::from(tagged)).unwrap();
+        prop_assert!(!verify_challenge(&fresh, "dyn", victim, &stale, &keys));
+    }
+
+    /// Silent corruption of any stored segment under any XOR mask is
+    /// always caught (the tree was not updated, so the proof breaks; and
+    /// if the corruption somehow preserved the leaf, the tag would break).
+    #[test]
+    fn corrupt_silently_is_always_caught(
+        n in 1usize..32,
+        pick in any::<u64>(),
+        mask in 1u8..=255,
+        seed in any::<u64>(),
+    ) {
+        let (mut store, owner, keys) = rig(n, seed);
+        let digest = owner.digest();
+        let victim = pick % owner.len();
+        prop_assert!(store.corrupt_silently(victim, mask));
+        let resp = store.challenge(victim).unwrap();
+        prop_assert!(!verify_challenge(&digest, "dyn", victim, &resp, &keys));
+    }
+
+    /// A response whose proof speaks for a different index — or whose
+    /// segment was swapped for another valid one — is rejected.
+    #[test]
+    fn proof_index_mismatch_is_rejected(n in 2usize..32, pick in any::<u64>(), seed in any::<u64>()) {
+        let (store, owner, keys) = rig(n, seed);
+        let digest = owner.digest();
+        let a = pick % owner.len();
+        let b = (a + 1) % owner.len();
+        let resp_a = store.challenge(a).unwrap();
+        let resp_b = store.challenge(b).unwrap();
+        // Claim index b with a's response.
+        prop_assert!(!verify_challenge(&digest, "dyn", b, &resp_a, &keys));
+        // Graft a's proof onto b's segment.
+        let grafted = ProvenSegment { segment: resp_b.segment.clone(), proof: resp_a.proof.clone() };
+        prop_assert!(!verify_challenge(&digest, "dyn", a, &grafted, &keys));
+        // Tamper the proof's claimed index alone.
+        let mut renumbered = resp_a.clone();
+        renumbered.proof.index = b;
+        prop_assert!(!verify_challenge(&digest, "dyn", a, &renumbered, &keys));
+        prop_assert!(!verify_challenge(&digest, "dyn", b, &renumbered, &keys));
+    }
+
+    /// Tags do not transfer across file ids even when the MAC key is
+    /// shared (the length-prefixed encoding binds the file id).
+    #[test]
+    fn tags_bind_the_file_id(len in 1usize..100, index in any::<u64>(), seed in any::<u64>()) {
+        let keys = PorKeys::derive(&seed.to_le_bytes(), "shared");
+        let body = body_of(len, seed);
+        let tagged = tag_segment(&keys, "file-a", index, &body);
+        prop_assert!(geoproof_por::dynamic::verify_tagged(keys.mac_key(), "file-a", index, &tagged));
+        prop_assert!(!geoproof_por::dynamic::verify_tagged(keys.mac_key(), "file-b", index, &tagged));
+        prop_assert!(!geoproof_por::dynamic::verify_tagged(keys.mac_key(), "file-a", index ^ 1, &tagged));
+    }
+}

@@ -94,7 +94,8 @@ proptest! {
         let r0 = store.challenge(victim).unwrap();
         prop_assert!(verify_challenge(&d0, "d", victim, &r0, &keys));
         // Post-update: verifies under d1, not under d0.
-        let d1 = store.update(victim, b"fresh", &keys).unwrap();
+        let tagged = geoproof_por::dynamic::tag_segment(&keys, "d", victim, b"fresh");
+        let d1 = store.apply_update(victim, tagged.into()).unwrap();
         let r1 = store.challenge(victim).unwrap();
         prop_assert!(verify_challenge(&d1, "d", victim, &r1, &keys));
         prop_assert!(!verify_challenge(&d0, "d", victim, &r1, &keys));

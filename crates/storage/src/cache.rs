@@ -96,12 +96,30 @@ impl CachedDisk {
 /// Probability that *all* `k` uniformly random distinct challenges out of
 /// `n_segments` land in a cache of `cached` segments — the only event that
 /// lets a cache-reliant cheat pass a full audit (hypergeometric).
+///
+/// Degenerate inputs are defined rather than left to float arithmetic
+/// (the naive product divides by zero once `i` reaches `n_segments`,
+/// yielding NaN or values above 1):
+///
+/// * `k == 0` → 1.0 (an empty audit is vacuously all-hits);
+/// * `k > n_segments` → 0.0 (k *distinct* challenges cannot be drawn,
+///   so no full audit can be served at all — from cache or otherwise);
+/// * `cached > n_segments` → clamped to `n_segments` (a cache cannot
+///   hold more distinct segments than the file has).
 pub fn all_hits_probability(n_segments: u64, cached: u64, k: u32) -> f64 {
-    if u64::from(k) > cached {
+    let k = u64::from(k);
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n_segments {
+        return 0.0;
+    }
+    let cached = cached.min(n_segments);
+    if k > cached {
         return 0.0;
     }
     let mut p = 1.0f64;
-    for i in 0..u64::from(k) {
+    for i in 0..k {
         p *= (cached - i) as f64 / (n_segments - i) as f64;
     }
     p
@@ -186,6 +204,29 @@ mod tests {
         // Degenerate cases.
         assert_eq!(all_hits_probability(100, 5, 10), 0.0);
         assert!((all_hits_probability(100, 100, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_hits_probability_degenerate_inputs_are_pinned() {
+        // k > n_segments: k distinct draws cannot exist. The old code
+        // divided by (n - i) down to zero here — NaN, not 0.
+        let p = all_hits_probability(5, 5, 10);
+        assert_eq!(p, 0.0, "k > n must be 0, got {p}");
+        assert!(!all_hits_probability(5, 5, 10).is_nan());
+        // cached > n_segments: clamped, never a probability above 1. The
+        // old code multiplied cached/n > 1 factors here.
+        let p = all_hits_probability(100, 1_000, 10);
+        assert!((p - 1.0).abs() < 1e-12, "cached > n clamps to 1, got {p}");
+        assert!((0.0..=1.0).contains(&all_hits_probability(10, 20, 3)));
+        // n_segments = 0: nothing to challenge, nothing to serve.
+        assert_eq!(all_hits_probability(0, 0, 1), 0.0);
+        assert_eq!(all_hits_probability(0, 5, 3), 0.0);
+        // k = 0 is vacuous regardless of the rest.
+        assert_eq!(all_hits_probability(0, 0, 0), 1.0);
+        assert_eq!(all_hits_probability(100, 0, 0), 1.0);
+        // Exact boundary k == n == cached: certainty, not NaN.
+        let p = all_hits_probability(7, 7, 7);
+        assert!((p - 1.0).abs() < 1e-12, "k == n == cached, got {p}");
     }
 
     #[test]

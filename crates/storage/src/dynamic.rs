@@ -1,0 +1,328 @@
+//! Provider-side registry of dynamic files: what `geoproof serve` holds
+//! behind the dynamic wire protocol.
+//!
+//! One [`DynamicRegistry`] maps file ids to
+//! [`geoproof_por::dynamic::DynamicStore`]s (tagged segments plus the
+//! Merkle tree, no MAC keys). Like [`crate::arena::SegmentArena`], reads
+//! are **aliasing**: serving a challenge clones a refcounted [`Bytes`]
+//! view of the stored segment — a refcount bump, never a payload copy —
+//! and the registry is cheaply cloneable (an `Arc` handle), so every
+//! connection thread of a multiplexing server shares one store.
+//!
+//! ## Mutation authorisation
+//!
+//! The provider cannot check MAC tags (it holds no keys), so without a
+//! gate *any* peer reaching the socket could rewrite segments — and
+//! frame an honest provider as a cheat at the next audit. A file
+//! registered with [`DynamicRegistry::insert_with_owner`] therefore
+//! refuses every update/append whose Schnorr signature (over
+//! [`geoproof_por::dynamic::owner_authorization`]) does not verify
+//! under the owner's registered public key. Keyless
+//! [`DynamicRegistry::insert`] keeps the open behaviour for in-process
+//! tests and adversarial rigs.
+
+use bytes::Bytes;
+use geoproof_crypto::schnorr::{Signature, VerifyingKey};
+use geoproof_por::dynamic::{
+    owner_authorization, DynamicDigest, DynamicError, DynamicStore, ProvenSegment,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hard cap on segments per dynamic file. Appends are the one remote
+/// operation that *grows* provider state (and each one costs an O(n)
+/// tree rebuild), so even an authorised-but-runaway owner is bounded.
+pub const MAX_DYN_SEGMENTS: u64 = 1 << 20;
+
+struct FileEntry {
+    store: DynamicStore,
+    /// The owner's update-authorisation key; `None` = unauthenticated
+    /// (test rigs only).
+    owner: Option<VerifyingKey>,
+}
+
+/// Shared, thread-safe map of dynamic files.
+#[derive(Clone, Default)]
+pub struct DynamicRegistry {
+    inner: Arc<Mutex<HashMap<String, FileEntry>>>,
+}
+
+impl std::fmt::Debug for DynamicRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicRegistry")
+            .field("files", &self.file_count())
+            .finish()
+    }
+}
+
+impl DynamicRegistry {
+    /// An empty registry.
+    pub fn new() -> DynamicRegistry {
+        DynamicRegistry::default()
+    }
+
+    /// Registers (or replaces) a file from already-tagged segments,
+    /// **without** an owner key: every peer may mutate it. For
+    /// in-process tests and adversarial rigs; servers facing a real
+    /// socket should use [`DynamicRegistry::insert_with_owner`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list (a dynamic file always has at
+    /// least one segment).
+    pub fn insert(&self, file_id: &str, tagged: Vec<Bytes>) -> DynamicDigest {
+        self.insert_entry(file_id, tagged, None)
+    }
+
+    /// Registers (or replaces) a file whose updates/appends must be
+    /// signed by `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    pub fn insert_with_owner(
+        &self,
+        file_id: &str,
+        tagged: Vec<Bytes>,
+        owner: VerifyingKey,
+    ) -> DynamicDigest {
+        self.insert_entry(file_id, tagged, Some(owner))
+    }
+
+    fn insert_entry(
+        &self,
+        file_id: &str,
+        tagged: Vec<Bytes>,
+        owner: Option<VerifyingKey>,
+    ) -> DynamicDigest {
+        let store = DynamicStore::from_tagged(tagged);
+        let digest = store.digest();
+        self.inner
+            .lock()
+            .insert(file_id.to_owned(), FileEntry { store, owner });
+        digest
+    }
+
+    /// Whether a file is registered.
+    pub fn contains(&self, file_id: &str) -> bool {
+        self.inner.lock().contains_key(file_id)
+    }
+
+    /// Registered file count.
+    pub fn file_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// The current digest of one file.
+    pub fn digest(&self, file_id: &str) -> Option<DynamicDigest> {
+        self.inner
+            .lock()
+            .get(file_id)
+            .map(|entry| entry.store.digest())
+    }
+
+    /// Serves a dynamic challenge: segment plus membership proof, or
+    /// `None` for an unknown file or out-of-range index. The segment is
+    /// an aliasing view of the stored bytes.
+    pub fn challenge(&self, file_id: &str, index: u64) -> Option<ProvenSegment> {
+        self.inner
+            .lock()
+            .get(file_id)
+            .and_then(|entry| entry.store.challenge(index).ok())
+    }
+
+    /// Whether `sig` authorises the mutation for this entry.
+    fn authorised(
+        entry: &FileEntry,
+        file_id: &str,
+        is_append: bool,
+        index: u64,
+        tagged: &[u8],
+        sig: &[u8; 64],
+    ) -> bool {
+        match &entry.owner {
+            None => true,
+            Some(owner) => owner.verify(
+                &owner_authorization(file_id, is_append, index, tagged),
+                &Signature::from_bytes(sig),
+            ),
+        }
+    }
+
+    /// Applies an owner-signed update; `None` for an unknown file **or a
+    /// signature the registered owner key rejects** (an unauthorised
+    /// peer learns nothing beyond "refused").
+    ///
+    /// # Errors
+    ///
+    /// Wrapped [`DynamicError::OutOfRange`] for a bad index.
+    #[allow(clippy::type_complexity)]
+    pub fn update(
+        &self,
+        file_id: &str,
+        index: u64,
+        tagged: Bytes,
+        sig: &[u8; 64],
+    ) -> Option<Result<DynamicDigest, DynamicError>> {
+        let mut guard = self.inner.lock();
+        let entry = guard.get_mut(file_id)?;
+        if !Self::authorised(entry, file_id, false, index, &tagged, sig) {
+            return None;
+        }
+        Some(entry.store.apply_update(index, tagged))
+    }
+
+    /// Applies an owner-signed append; `None` for an unknown file, a
+    /// rejected signature, or a file already at [`MAX_DYN_SEGMENTS`].
+    pub fn append(&self, file_id: &str, tagged: Bytes, sig: &[u8; 64]) -> Option<DynamicDigest> {
+        let mut guard = self.inner.lock();
+        let entry = guard.get_mut(file_id)?;
+        let index = entry.store.len();
+        if index >= MAX_DYN_SEGMENTS {
+            return None;
+        }
+        if !Self::authorised(entry, file_id, true, index, &tagged, sig) {
+            return None;
+        }
+        Some(entry.store.apply_append(tagged))
+    }
+
+    /// Adversarial hook: silently corrupt one stored segment without
+    /// touching the tree (what a cheating provider's bit-rot looks like).
+    pub fn corrupt_silently(&self, file_id: &str, index: u64, mask: u8) -> bool {
+        self.inner
+            .lock()
+            .get_mut(file_id)
+            .is_some_and(|entry| entry.store.corrupt_silently(index, mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoproof_crypto::chacha::ChaChaRng;
+    use geoproof_crypto::schnorr::SigningKey;
+    use geoproof_por::dynamic::{tag_segment, verify_challenge};
+    use geoproof_por::keys::PorKeys;
+
+    const NO_SIG: [u8; 64] = [0u8; 64];
+
+    fn tagged(keys: &PorKeys, fid: &str, n: usize) -> Vec<Bytes> {
+        (0..n)
+            .map(|i| Bytes::from(tag_segment(keys, fid, i as u64, &[i as u8; 40])))
+            .collect()
+    }
+
+    fn sign(owner: &SigningKey, fid: &str, is_append: bool, index: u64, tagged: &[u8]) -> [u8; 64] {
+        let mut rng = ChaChaRng::from_u64_seed(9);
+        owner
+            .sign(
+                &owner_authorization(fid, is_append, index, tagged),
+                &mut rng,
+            )
+            .to_bytes()
+    }
+
+    #[test]
+    fn registry_serves_aliasing_proven_segments() {
+        let keys = PorKeys::derive(b"m", "a");
+        let reg = DynamicRegistry::new();
+        let digest = reg.insert("a", tagged(&keys, "a", 8));
+        assert!(reg.contains("a"));
+        assert_eq!(reg.digest("a"), Some(digest));
+        let resp = reg.challenge("a", 3).expect("in range");
+        assert!(verify_challenge(&digest, "a", 3, &resp, &keys));
+        // Aliasing: a second challenge of the same index shares storage.
+        let again = reg.challenge("a", 3).expect("in range");
+        assert!(
+            resp.segment.aliases(&again.segment),
+            "served segments must alias the stored bytes"
+        );
+        assert!(reg.challenge("a", 8).is_none());
+        assert!(reg.challenge("ghost", 0).is_none());
+    }
+
+    #[test]
+    fn update_and_append_evolve_the_digest() {
+        let keys = PorKeys::derive(b"m", "f");
+        let reg = DynamicRegistry::new();
+        let d0 = reg.insert("f", tagged(&keys, "f", 4));
+        let new_tagged = Bytes::from(tag_segment(&keys, "f", 2, b"v2"));
+        let d1 = reg
+            .update("f", 2, new_tagged, &NO_SIG)
+            .expect("known")
+            .expect("in range");
+        assert_ne!(d0.root, d1.root);
+        assert_eq!(d1.segments, 4);
+        let appended = Bytes::from(tag_segment(&keys, "f", 4, b"fifth"));
+        let d2 = reg.append("f", appended, &NO_SIG).expect("known");
+        assert_eq!(d2.segments, 5);
+        let resp = reg.challenge("f", 4).expect("in range");
+        assert!(verify_challenge(&d2, "f", 4, &resp, &keys));
+        // Unknown files and bad indices are distinguishable.
+        assert!(reg.update("ghost", 0, Bytes::new(), &NO_SIG).is_none());
+        assert!(reg
+            .update("f", 9, Bytes::new(), &NO_SIG)
+            .expect("known")
+            .is_err());
+        assert!(reg.append("ghost", Bytes::new(), &NO_SIG).is_none());
+    }
+
+    #[test]
+    fn owner_keyed_files_refuse_unsigned_and_forged_mutations() {
+        let keys = PorKeys::derive(b"m", "f");
+        let owner = SigningKey::generate(&mut ChaChaRng::from_u64_seed(4));
+        let reg = DynamicRegistry::new();
+        let d0 = reg.insert_with_owner("f", tagged(&keys, "f", 4), owner.verifying_key());
+
+        let new_tagged = Bytes::from(tag_segment(&keys, "f", 1, b"v2"));
+        // Unsigned: refused, state untouched.
+        assert!(reg.update("f", 1, new_tagged.clone(), &NO_SIG).is_none());
+        assert_eq!(reg.digest("f"), Some(d0));
+        // Signed by the wrong key: refused.
+        let mallory = SigningKey::generate(&mut ChaChaRng::from_u64_seed(5));
+        let forged = sign(&mallory, "f", false, 1, &new_tagged);
+        assert!(reg.update("f", 1, new_tagged.clone(), &forged).is_none());
+        // A genuine signature for a *different* mutation does not
+        // transfer (the authorisation binds file, op, index and bytes).
+        let other = sign(&owner, "f", false, 2, &new_tagged);
+        assert!(reg.update("f", 1, new_tagged.clone(), &other).is_none());
+        let as_append = sign(&owner, "f", true, 1, &new_tagged);
+        assert!(reg.update("f", 1, new_tagged.clone(), &as_append).is_none());
+        // The owner's genuine signature goes through.
+        let good = sign(&owner, "f", false, 1, &new_tagged);
+        let d1 = reg
+            .update("f", 1, new_tagged, &good)
+            .expect("authorised")
+            .expect("in range");
+        assert_ne!(d0.root, d1.root);
+        // Appends likewise.
+        let appended = Bytes::from(tag_segment(&keys, "f", 4, b"fifth"));
+        assert!(reg.append("f", appended.clone(), &NO_SIG).is_none());
+        let good = sign(&owner, "f", true, 4, &appended);
+        let d2 = reg.append("f", appended, &good).expect("authorised");
+        assert_eq!(d2.segments, 5);
+    }
+
+    #[test]
+    fn corruption_hook_breaks_verification() {
+        let keys = PorKeys::derive(b"m", "f");
+        let reg = DynamicRegistry::new();
+        let digest = reg.insert("f", tagged(&keys, "f", 4));
+        assert!(reg.corrupt_silently("f", 1, 0x40));
+        assert!(!reg.corrupt_silently("ghost", 0, 0x40));
+        let resp = reg.challenge("f", 1).expect("in range");
+        assert!(!verify_challenge(&digest, "f", 1, &resp, &keys));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let keys = PorKeys::derive(b"m", "f");
+        let reg = DynamicRegistry::new();
+        let handle = reg.clone();
+        reg.insert("f", tagged(&keys, "f", 2));
+        assert!(handle.contains("f"));
+        assert_eq!(handle.file_count(), 1);
+    }
+}

@@ -10,6 +10,9 @@
 //!   analysis (random challenges defeat it);
 //! * [`arena`] — contiguous per-file segment storage ([`SegmentArena`]):
 //!   one shared buffer per file, reads are zero-copy `Bytes` views;
+//! * [`dynamic`] — the provider-side registry of dynamic files
+//!   ([`DynamicRegistry`]): Merkle-authenticated segments with aliasing
+//!   reads, updates, and appends, shared across connection threads;
 //! * [`server`] — a simulated cloud storage node whose segment reads cost
 //!   modelled disk time, with corruption/deletion hooks for adversarial
 //!   experiments.
@@ -26,10 +29,12 @@
 
 pub mod arena;
 pub mod cache;
+pub mod dynamic;
 pub mod hdd;
 pub mod server;
 
 pub use arena::SegmentArena;
 pub use cache::{all_hits_probability, CachedDisk};
+pub use dynamic::DynamicRegistry;
 pub use hdd::{HddModel, HddSpec, SsdModel, TABLE_I};
 pub use server::{FileId, ReadOutcome, StorageServer};

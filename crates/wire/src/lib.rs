@@ -27,5 +27,5 @@ pub mod mux;
 pub mod tcp;
 
 pub use codec::{read_frame, write_frame, CodecError, WireMessage, MAX_FRAME};
-pub use mux::{MuxProverServer, MuxStats, SessionKey, SessionStats};
+pub use mux::{MuxProverServer, MuxStats, SessionKey, SessionStats, MAX_SESSIONS_PER_CONNECTION};
 pub use tcp::{ProverServer, SegmentStore, TcpChallenger};

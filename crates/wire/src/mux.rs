@@ -16,6 +16,8 @@ use crate::codec::{write_frame, WireMessage};
 use crate::tcp::{store_segments, IdleFrameReader, Polled, SegmentStore};
 use bytes::Bytes;
 use geoproof_crypto::fnv::Fnv1a;
+use geoproof_por::dynamic::DynamicDigest;
+use geoproof_storage::dynamic::DynamicRegistry;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,6 +28,13 @@ use std::time::Duration;
 /// Number of shards in the session table. A power of two; sized so a
 /// few hundred concurrent sessions rarely share a shard lock.
 const SESSION_SHARDS: usize = 16;
+
+/// Hard cap on live sessions a single connection can open. A session
+/// entry costs heap per `(connection, file)` pair, so without a cap one
+/// hostile connection spamming `StartAudit`/`Challenge` frames with
+/// unique file ids grows the table without bound. Honest audits touch a
+/// handful of files per connection; 64 is far above any legitimate use.
+pub const MAX_SESSIONS_PER_CONNECTION: u64 = 64;
 
 /// Identifies one audit session on the server: a connection and the file
 /// it is challenging.
@@ -74,16 +83,39 @@ fn shard_of(key: &SessionKey) -> usize {
 struct SessionTable {
     shards: [Mutex<HashMap<SessionKey, SessionStats>>; SESSION_SHARDS],
     opened: AtomicU64,
+    /// Live sessions per connection, for the per-connection cap.
+    per_conn: Mutex<HashMap<u64, u64>>,
 }
 
 impl SessionTable {
-    fn with_session<R>(&self, key: &SessionKey, f: impl FnOnce(&mut SessionStats) -> R) -> R {
+    /// Updates an existing session's stats, or opens a new session when
+    /// allowed: the file must actually exist (`known_file`) and the
+    /// connection must be under [`MAX_SESSIONS_PER_CONNECTION`]. A
+    /// refused session simply records nothing — the challenge itself is
+    /// still answered (protocol behaviour is unchanged; only the
+    /// unbounded bookkeeping is). Both refusals close resource
+    /// exhaustion: a hostile connection spamming frames with unique
+    /// file ids used to allocate a table entry per frame.
+    fn with_session(&self, key: &SessionKey, known_file: bool, f: impl FnOnce(&mut SessionStats)) {
         let mut shard = self.shards[shard_of(key)].lock();
-        let entry = shard.entry(key.clone());
-        if matches!(entry, std::collections::hash_map::Entry::Vacant(_)) {
-            self.opened.fetch_add(1, Ordering::Relaxed);
+        match shard.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => f(e.get_mut()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if !known_file {
+                    return;
+                }
+                {
+                    let mut counts = self.per_conn.lock();
+                    let count = counts.entry(key.connection).or_insert(0);
+                    if *count >= MAX_SESSIONS_PER_CONNECTION {
+                        return;
+                    }
+                    *count += 1;
+                }
+                self.opened.fetch_add(1, Ordering::Relaxed);
+                f(v.insert(SessionStats::default()));
+            }
         }
-        f(entry.or_default())
     }
 
     fn snapshot(&self) -> Vec<(SessionKey, SessionStats)> {
@@ -109,6 +141,7 @@ impl SessionTable {
         for shard in &self.shards {
             shard.lock().retain(|k, _| k.connection != conn_id);
         }
+        self.per_conn.lock().remove(&conn_id);
     }
 }
 
@@ -122,6 +155,7 @@ pub struct MuxProverServer {
     connections: Arc<AtomicU64>,
     challenges: Arc<AtomicU64>,
     store: SegmentStore,
+    dynamic: DynamicRegistry,
 }
 
 impl std::fmt::Debug for MuxProverServer {
@@ -142,6 +176,20 @@ impl MuxProverServer {
     ///
     /// Propagates socket errors.
     pub fn spawn(store: SegmentStore, service_delay: Duration) -> std::io::Result<MuxProverServer> {
+        Self::spawn_with_dynamic(store, DynamicRegistry::new(), service_delay)
+    }
+
+    /// Like [`MuxProverServer::spawn`], also serving the dynamic flow
+    /// (`DynChallenge`/`Update`/`Append`) from `dynamic`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn_with_dynamic(
+        store: SegmentStore,
+        dynamic: DynamicRegistry,
+        service_delay: Duration,
+    ) -> std::io::Result<MuxProverServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -158,12 +206,14 @@ impl MuxProverServer {
         let accept_challenges = challenges.clone();
         let accept_conns = conn_handles.clone();
         let accept_store = store.clone();
+        let accept_dynamic = dynamic.clone();
         let accept_handle = std::thread::spawn(move || {
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let conn_id = accept_connections.fetch_add(1, Ordering::Relaxed);
                         let store = accept_store.clone();
+                        let dynamic = accept_dynamic.clone();
                         let stop = accept_stop.clone();
                         let sessions = accept_sessions.clone();
                         let challenges = accept_challenges.clone();
@@ -172,6 +222,7 @@ impl MuxProverServer {
                                 stream,
                                 conn_id,
                                 store,
+                                dynamic,
                                 service_delay,
                                 stop,
                                 sessions.clone(),
@@ -211,6 +262,7 @@ impl MuxProverServer {
             connections,
             challenges,
             store,
+            dynamic,
         })
     }
 
@@ -229,6 +281,39 @@ impl MuxProverServer {
     /// Replaces a file's segments with already-shared views (zero-copy).
     pub fn put_shared(&self, file_id: &str, segments: Vec<Bytes>) {
         self.store.lock().insert(file_id.to_owned(), segments);
+    }
+
+    /// Registers (or replaces) a dynamic file from already-tagged
+    /// segments, returning its starting digest. **Unauthenticated**:
+    /// any peer may then update/append it — use
+    /// [`MuxProverServer::put_dynamic_with_owner`] on a real socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    pub fn put_dynamic(&self, file_id: &str, tagged: Vec<Bytes>) -> DynamicDigest {
+        self.dynamic.insert(file_id, tagged)
+    }
+
+    /// Registers (or replaces) a dynamic file whose updates/appends must
+    /// carry the owner's authorisation signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty segment list.
+    pub fn put_dynamic_with_owner(
+        &self,
+        file_id: &str,
+        tagged: Vec<Bytes>,
+        owner: geoproof_crypto::schnorr::VerifyingKey,
+    ) -> DynamicDigest {
+        self.dynamic.insert_with_owner(file_id, tagged, owner)
+    }
+
+    /// A handle on the dynamic-file registry this server serves
+    /// (adversarial tests corrupt through it; the CLI preloads it).
+    pub fn dynamic(&self) -> DynamicRegistry {
+        self.dynamic.clone()
     }
 
     /// Aggregate statistics.
@@ -269,10 +354,12 @@ impl Drop for MuxProverServer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_mux_connection(
     stream: TcpStream,
     conn_id: u64,
     store: SegmentStore,
+    dynamic: DynamicRegistry,
     service_delay: Duration,
     stop: Arc<AtomicBool>,
     sessions: Arc<SessionTable>,
@@ -294,27 +381,31 @@ fn serve_mux_connection(
         };
         match msg {
             WireMessage::StartAudit { file_id, k, .. } => {
+                let known = store.lock().contains_key(&file_id) || dynamic.contains(&file_id);
                 let key = SessionKey {
                     connection: conn_id,
                     file_id,
                 };
-                sessions.with_session(&key, |s| s.announced_k = Some(k));
+                sessions.with_session(&key, known, |s| s.announced_k = Some(k));
             }
             WireMessage::Challenge { file_id, index } => {
                 if !service_delay.is_zero() {
                     std::thread::sleep(service_delay);
                 }
-                let segment = store
-                    .lock()
-                    .get(&file_id)
-                    .and_then(|segs| segs.get(index as usize))
-                    .cloned();
+                let (known, segment) = {
+                    let guard = store.lock();
+                    let file = guard.get(&file_id);
+                    (
+                        file.is_some(),
+                        file.and_then(|segs| segs.get(index as usize)).cloned(),
+                    )
+                };
                 let key = SessionKey {
                     connection: conn_id,
                     file_id,
                 };
                 let hit = segment.is_some();
-                sessions.with_session(&key, |s| {
+                sessions.with_session(&key, known, |s| {
                     s.challenges += 1;
                     if hit {
                         s.hits += 1;
@@ -323,8 +414,55 @@ fn serve_mux_connection(
                 challenges.fetch_add(1, Ordering::Relaxed);
                 write_frame(&mut writer, &WireMessage::Response { segment })?;
             }
+            WireMessage::DynChallenge { file_id, index } => {
+                if !service_delay.is_zero() {
+                    std::thread::sleep(service_delay);
+                }
+                let known = dynamic.contains(&file_id);
+                let served = dynamic.challenge(&file_id, index);
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                let hit = served.is_some();
+                sessions.with_session(&key, known, |s| {
+                    s.challenges += 1;
+                    if hit {
+                        s.hits += 1;
+                    }
+                });
+                challenges.fetch_add(1, Ordering::Relaxed);
+                write_frame(
+                    &mut writer,
+                    &WireMessage::DynResponse {
+                        segment: served.map(|p| (p.segment, p.proof)),
+                    },
+                )?;
+            }
+            WireMessage::Update {
+                file_id,
+                index,
+                tagged,
+                sig,
+            } => {
+                let new_digest = dynamic
+                    .update(&file_id, index, tagged, &sig)
+                    .and_then(Result::ok);
+                write_frame(&mut writer, &WireMessage::UpdateAck { new_digest })?;
+            }
+            WireMessage::Append {
+                file_id,
+                tagged,
+                sig,
+            } => {
+                let new_digest = dynamic.append(&file_id, tagged, &sig);
+                write_frame(&mut writer, &WireMessage::UpdateAck { new_digest })?;
+            }
             WireMessage::Bye => return Ok(()),
-            WireMessage::Response { .. } => {}
+            // Replies never originate from a client; ignore them.
+            WireMessage::Response { .. }
+            | WireMessage::DynResponse { .. }
+            | WireMessage::UpdateAck { .. } => {}
         }
     }
 }
@@ -485,7 +623,11 @@ mod tests {
     }
 
     #[test]
-    fn missing_files_are_counted_as_misses() {
+    fn missing_files_are_answered_but_never_open_sessions() {
+        // Regression: an unknown file id used to allocate a session-table
+        // entry per challenge — one hostile connection could grow the
+        // table without bound. The challenge is still answered (None);
+        // only the bookkeeping is refused.
         let server = MuxProverServer::spawn(store_with(&[("f", 2)]), Duration::ZERO).unwrap();
         let mut c = TcpChallenger::connect(server.addr()).unwrap();
         let (seg, _) = c.challenge("ghost", 0).unwrap();
@@ -499,11 +641,188 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         // Inspect while the connection is still open (sessions are live
-        // per-connection state).
+        // per-connection state): only the real file has a session.
         let sessions = server.sessions();
-        let ghost = sessions.iter().find(|(k, _)| k.file_id == "ghost").unwrap();
-        assert_eq!(ghost.1.challenges, 1);
-        assert_eq!(ghost.1.hits, 0);
+        assert!(sessions.iter().all(|(k, _)| k.file_id != "ghost"));
+        let real = sessions.iter().find(|(k, _)| k.file_id == "f").unwrap();
+        assert_eq!(real.1.challenges, 1);
+        assert_eq!(real.1.hits, 1);
+        assert_eq!(server.stats().sessions, 1);
+        assert_eq!(server.stats().challenges, 2, "misses still count globally");
+        c.bye().unwrap();
+    }
+
+    #[test]
+    fn hostile_unique_file_id_spam_allocates_no_sessions() {
+        // One connection, thousands of StartAudit + Challenge frames for
+        // files that do not exist: the session table must stay empty.
+        let server = MuxProverServer::spawn(store_with(&[("f", 2)]), Duration::ZERO).unwrap();
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        for i in 0..500u32 {
+            write_frame(
+                &mut raw,
+                &WireMessage::StartAudit {
+                    file_id: format!("ghost-{i}"),
+                    n_segments: 1,
+                    k: 1,
+                    nonce: [0u8; 32],
+                },
+            )
+            .unwrap();
+        }
+        for i in 0..100u64 {
+            write_frame(
+                &mut raw,
+                &WireMessage::Challenge {
+                    file_id: format!("phantom-{i}"),
+                    index: 0,
+                },
+            )
+            .unwrap();
+            let reply = crate::codec::read_frame(&mut raw).unwrap();
+            assert_eq!(reply, WireMessage::Response { segment: None });
+        }
+        // The challenges round-tripped, so all prior frames are processed.
+        assert_eq!(server.stats().sessions, 0, "hostile spam opened sessions");
+        assert!(server.sessions().is_empty());
+        write_frame(&mut raw, &WireMessage::Bye).unwrap();
+    }
+
+    #[test]
+    fn per_connection_session_count_is_capped() {
+        // Even over *real* files, one connection cannot hold more than
+        // MAX_SESSIONS_PER_CONNECTION live sessions; the overflow is
+        // still served, just not tracked.
+        let files: Vec<String> = (0..MAX_SESSIONS_PER_CONNECTION + 16)
+            .map(|i| format!("file-{i:03}"))
+            .collect();
+        let named: Vec<(&str, usize)> = files.iter().map(|f| (f.as_str(), 1)).collect();
+        let server = MuxProverServer::spawn(store_with(&named), Duration::ZERO).unwrap();
+        let mut c = TcpChallenger::connect(server.addr()).unwrap();
+        for f in &files {
+            let (seg, _) = c.challenge(f, 0).unwrap();
+            assert!(seg.is_some(), "{f} must still be served past the cap");
+        }
+        assert_eq!(server.stats().sessions, MAX_SESSIONS_PER_CONNECTION);
+        assert_eq!(
+            server.sessions().len() as u64,
+            MAX_SESSIONS_PER_CONNECTION,
+            "live sessions must be capped per connection"
+        );
+        // A second connection gets its own budget.
+        let mut c2 = TcpChallenger::connect(server.addr()).unwrap();
+        let (seg, _) = c2.challenge(&files[0], 0).unwrap();
+        assert!(seg.is_some());
+        for _ in 0..100 {
+            if server.stats().sessions == MAX_SESSIONS_PER_CONNECTION + 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().sessions, MAX_SESSIONS_PER_CONNECTION + 1);
+        c.bye().unwrap();
+        c2.bye().unwrap();
+    }
+
+    #[test]
+    fn dynamic_flow_over_tcp_challenge_update_append() {
+        use geoproof_por::dynamic::{tag_segment, verify_challenge, DynamicOwner, ProvenSegment};
+        use geoproof_por::keys::PorKeys;
+
+        let keys = PorKeys::derive(b"mux-dyn", "d");
+        let tagged: Vec<Bytes> = (0..6u64)
+            .map(|i| Bytes::from(tag_segment(&keys, "d", i, &[i as u8; 30])))
+            .collect();
+        let server = MuxProverServer::spawn(store_with(&[]), Duration::ZERO).unwrap();
+        let d0 = server.put_dynamic("d", tagged.clone());
+        let mut owner = DynamicOwner::from_tagged("d", &tagged);
+        assert_eq!(owner.digest(), d0);
+
+        let mut c = TcpChallenger::connect(server.addr()).unwrap();
+        // Challenge with proof.
+        let (served, _) = c.dyn_challenge("d", 2).unwrap();
+        let (segment, proof) = served.expect("segment present");
+        let proven = ProvenSegment { segment, proof };
+        assert!(verify_challenge(&d0, "d", 2, &proven, &keys));
+        // Unknown file/index come back clean.
+        assert!(c.dyn_challenge("ghost", 0).unwrap().0.is_none());
+        assert!(c.dyn_challenge("d", 6).unwrap().0.is_none());
+
+        // Update over the wire: the server lands exactly on the owner's
+        // independently derived digest.
+        let (new_tagged, expected) = owner.tag_update(2, b"fresh", &keys).unwrap();
+        let ack = c
+            .update("d", 2, Bytes::from(new_tagged), [0u8; 64])
+            .unwrap();
+        assert_eq!(ack, Some(expected));
+        // Append likewise.
+        let (appended, expected) = owner.tag_append(b"seventh", &keys);
+        let ack = c.append("d", Bytes::from(appended), [0u8; 64]).unwrap();
+        assert_eq!(ack, Some(expected));
+        assert_eq!(expected.segments, 7);
+        // The new segment serves and verifies under the new digest.
+        let (served, _) = c.dyn_challenge("d", 6).unwrap();
+        let (segment, proof) = served.expect("appended segment");
+        let proven = ProvenSegment { segment, proof };
+        assert!(verify_challenge(&expected, "d", 6, &proven, &keys));
+        // Updates against unknown files ack None.
+        assert!(c
+            .update("ghost", 0, Bytes::new(), [0u8; 64])
+            .unwrap()
+            .is_none());
+        assert!(c
+            .append("ghost", Bytes::new(), [0u8; 64])
+            .unwrap()
+            .is_none());
+        c.bye().unwrap();
+    }
+
+    #[test]
+    fn owner_keyed_dynamic_files_refuse_forged_mutations_over_tcp() {
+        use geoproof_crypto::chacha::ChaChaRng;
+        use geoproof_crypto::schnorr::SigningKey;
+        use geoproof_por::dynamic::{owner_authorization, tag_segment, DynamicOwner};
+        use geoproof_por::keys::PorKeys;
+
+        let keys = PorKeys::derive(b"mux-auth", "d");
+        let tagged: Vec<Bytes> = (0..4u64)
+            .map(|i| Bytes::from(tag_segment(&keys, "d", i, &[i as u8; 30])))
+            .collect();
+        let owner_key = SigningKey::generate(&mut ChaChaRng::from_u64_seed(77));
+        let server = MuxProverServer::spawn(store_with(&[]), Duration::ZERO).unwrap();
+        let d0 = server.put_dynamic_with_owner("d", tagged.clone(), owner_key.verifying_key());
+        let mut owner = DynamicOwner::from_tagged("d", &tagged);
+
+        let mut c = TcpChallenger::connect(server.addr()).unwrap();
+        let (new_tagged, expected) = owner.tag_update(1, b"v2", &keys).unwrap();
+        let new_tagged = Bytes::from(new_tagged);
+        // Unsigned and mallory-signed mutations are refused; the store
+        // is untouched.
+        assert!(c
+            .update("d", 1, new_tagged.clone(), [0u8; 64])
+            .unwrap()
+            .is_none());
+        let mallory = SigningKey::generate(&mut ChaChaRng::from_u64_seed(78));
+        let forged = mallory
+            .sign(
+                &owner_authorization("d", false, 1, &new_tagged),
+                &mut ChaChaRng::from_u64_seed(79),
+            )
+            .to_bytes();
+        assert!(c
+            .update("d", 1, new_tagged.clone(), forged)
+            .unwrap()
+            .is_none());
+        assert_eq!(server.dynamic().digest("d"), Some(d0));
+        // The owner's genuine signature lands on the expected digest.
+        let good = owner_key
+            .sign(
+                &owner_authorization("d", false, 1, &new_tagged),
+                &mut ChaChaRng::from_u64_seed(80),
+            )
+            .to_bytes();
+        let ack = c.update("d", 1, new_tagged, good).unwrap();
+        assert_eq!(ack, Some(expected));
         c.bye().unwrap();
     }
 }

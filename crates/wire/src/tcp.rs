@@ -292,6 +292,101 @@ impl TcpChallenger {
         }
     }
 
+    /// Sends one dynamic challenge and returns `(proven segment,
+    /// wall-clock RTT)` — the segment plus its Merkle membership proof,
+    /// or `None` when the file/index is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a non-`DynResponse` reply is
+    /// `InvalidData`.
+    pub fn dyn_challenge(
+        &mut self,
+        file_id: &str,
+        index: u64,
+    ) -> std::io::Result<(Option<(Bytes, geoproof_por::merkle::MerkleProof)>, Duration)> {
+        let start = Instant::now();
+        write_frame(
+            &mut self.stream,
+            &WireMessage::DynChallenge {
+                file_id: file_id.to_owned(),
+                index,
+            },
+        )?;
+        let reply = read_frame(&mut self.stream)?;
+        let rtt = start.elapsed();
+        match reply {
+            WireMessage::DynResponse { segment } => Ok((segment, rtt)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Ships an owner-tagged replacement for segment `index`, with the
+    /// owner's authorisation signature; returns the provider's
+    /// post-update digest (`None`: unknown file, bad index, or a
+    /// signature the server's registered owner key rejects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a non-`UpdateAck` reply is
+    /// `InvalidData`.
+    pub fn update(
+        &mut self,
+        file_id: &str,
+        index: u64,
+        tagged: Bytes,
+        sig: [u8; 64],
+    ) -> std::io::Result<Option<geoproof_por::dynamic::DynamicDigest>> {
+        write_frame(
+            &mut self.stream,
+            &WireMessage::Update {
+                file_id: file_id.to_owned(),
+                index,
+                tagged,
+                sig,
+            },
+        )?;
+        self.read_ack()
+    }
+
+    /// Ships an owner-tagged appended segment with its authorisation
+    /// signature; returns the provider's post-append digest (`None`:
+    /// unknown file or rejected signature).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; a non-`UpdateAck` reply is
+    /// `InvalidData`.
+    pub fn append(
+        &mut self,
+        file_id: &str,
+        tagged: Bytes,
+        sig: [u8; 64],
+    ) -> std::io::Result<Option<geoproof_por::dynamic::DynamicDigest>> {
+        write_frame(
+            &mut self.stream,
+            &WireMessage::Append {
+                file_id: file_id.to_owned(),
+                tagged,
+                sig,
+            },
+        )?;
+        self.read_ack()
+    }
+
+    fn read_ack(&mut self) -> std::io::Result<Option<geoproof_por::dynamic::DynamicDigest>> {
+        match read_frame(&mut self.stream)? {
+            WireMessage::UpdateAck { new_digest } => Ok(new_digest),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
     /// Ends the session politely.
     pub fn bye(&mut self) -> std::io::Result<()> {
         write_frame(&mut self.stream, &WireMessage::Bye)

@@ -109,12 +109,13 @@ fn main() {
         .expect("decode proof")
         .verify(&tpa_public)
         .expect("proof verifies");
-    let report = verified.evidence.report().expect("verdict");
+    let month9 = verified.evidence().expect("static evidence");
+    let report = month9.report().expect("verdict");
     println!(
         "  inclusion proof for month 9 ({} bytes, {} siblings): prover {:?}, {}",
         encoded.len(),
         proof.siblings.len(),
-        verified.evidence.prover,
+        month9.prover,
         verdict(&report)
     );
 

@@ -3,8 +3,11 @@
 //! ```text
 //! geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
 //! geoproof extract <store-dir> <output-file> --master <secret>
+//! geoproof encode-dynamic <input-file> <store-dir> --fid <id> --master <secret>
+//! geoproof update  <host:port> <store-dir> --index N --data <file> --master <secret>
+//! geoproof append  <host:port> <store-dir> --data <file> --master <secret>
 //! geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
-//! geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
+//! geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
 //! geoproof info    <store-dir>
 //! ```
 //!
@@ -21,6 +24,13 @@
 //! Δt_max policy. The TPA's MAC key is derived from `--master`, so
 //! auditing needs the owner's secret (as in the paper, where the owner
 //! provisions the TPA).
+//!
+//! The dynamic flow (`encode-dynamic` / `update` / `append` /
+//! `audit --dynamic`) runs the §IV DPOR extension over the same wire:
+//! Merkle-authenticated segments, owner-derived digests, and — with
+//! `--ledger` — a chained record of every digest transition so offline
+//! replay can hold each audit against the digest that was current. See
+//! `crates/por/docs/dynamic.md`.
 
 use bytes::Bytes;
 use geoproof::crypto::chacha::ChaChaRng;
@@ -57,9 +67,16 @@ fn main() {
 const USAGE: &str = "usage:
   geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
   geoproof extract <store-dir> <output-file> --master <secret>
+  geoproof encode-dynamic <input-file> <store-dir> --fid <id> --master <secret>
+                   [--segment-bytes N] [--ledger <path>]
+  geoproof update  <host:port> <store-dir> --index N --data <file> --master <secret>
+                   [--ledger <path>]
+  geoproof append  <host:port> <store-dir> --data <file> --master <secret>
+                   [--ledger <path>]
   geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
-  geoproof audit   <host:port> <store-dir> --master <secret> [--k N] [--budget-ms N]
-                   [--ledger <path>] [--prover <id>] [--transcript <path>]
+  geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
+                   [--budget-ms N] [--ledger <path>] [--prover <id>]
+                   [--transcript <path>]
   geoproof info    <store-dir>
   geoproof ledger  verify  <path> [--tpa-pub <hex32>] [--master <secret>]
   geoproof ledger  inspect <path>
@@ -75,6 +92,9 @@ fn run(args: &[String]) -> CliResult {
     match cmd.as_str() {
         "encode" => cmd_encode(rest),
         "extract" => cmd_extract(rest),
+        "encode-dynamic" => cmd_encode_dynamic(rest),
+        "update" => cmd_update_or_append(rest, true),
+        "append" => cmd_update_or_append(rest, false),
         "serve" => cmd_serve(rest),
         "audit" => cmd_audit(rest),
         "info" => cmd_info(rest),
@@ -174,6 +194,158 @@ fn read_store(dir: &Path) -> Result<(Vec<Bytes>, FileMetadata), String> {
     Ok((segments, md))
 }
 
+// --- dynamic store directory format ------------------------------------------
+// dyn-meta.txt: key=value lines; dyn-segments.bin: u32-BE length-prefixed
+// *tagged* segments. The directory is the owner's mirror: `update`/`append`
+// rewrite it as they ship tagged segments to the server, so the digest the
+// next audit verifies against is always derivable locally — never taken
+// from the provider.
+
+/// Metadata of a dynamic store directory.
+struct DynMeta {
+    file_id: String,
+    segments: u64,
+    segment_bytes: u64,
+    root: [u8; 32],
+    /// The owner's update-authorisation public key; the server refuses
+    /// unsigned mutations of this file.
+    owner_pub: [u8; 32],
+}
+
+/// Default dynamic segment size (bodies; the 4-byte tag rides on top).
+const DYN_SEGMENT_BYTES: usize = 4096;
+
+fn write_dyn_store(
+    dir: &Path,
+    file_id: &str,
+    tagged: &[Bytes],
+    segment_bytes: u64,
+    owner_pub: &[u8; 32],
+) -> CliResult {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+    let seg_file = std::fs::File::create(dir.join("dyn-segments.bin"))
+        .map_err(|e| format!("dyn-segments.bin: {e}"))?;
+    let mut w = std::io::BufWriter::new(seg_file);
+    for seg in tagged {
+        w.write_all(&(seg.len() as u32).to_be_bytes())
+            .and_then(|()| w.write_all(seg))
+            .map_err(|e| format!("write segment: {e}"))?;
+    }
+    w.flush()
+        .map_err(|e| format!("flush dyn-segments.bin: {e}"))?;
+    let owner = geoproof::por::dynamic::DynamicOwner::from_tagged(file_id, tagged);
+    let digest = owner.digest();
+    let meta = format!(
+        "file_id={file_id}\nsegments={}\nsegment_bytes={segment_bytes}\nroot={}\nowner_pub={}\n",
+        tagged.len(),
+        hex(&digest.root),
+        hex(owner_pub),
+    );
+    std::fs::write(dir.join("dyn-meta.txt"), meta).map_err(|e| format!("dyn-meta.txt: {e}"))
+}
+
+/// Reads a dynamic store back; segments are slices of one shared buffer.
+fn read_dyn_store(dir: &Path) -> Result<(Vec<Bytes>, DynMeta), String> {
+    let meta_text = std::fs::read_to_string(dir.join("dyn-meta.txt"))
+        .map_err(|e| format!("dyn-meta.txt: {e}"))?;
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    for line in meta_text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            fields.insert(k.trim(), v.trim());
+        }
+    }
+    let get = |k: &str| -> Result<&str, String> {
+        fields
+            .get(k)
+            .copied()
+            .ok_or(format!("dyn-meta missing {k}"))
+    };
+    let meta = DynMeta {
+        file_id: get("file_id")?.to_owned(),
+        segments: get("segments")?
+            .parse()
+            .map_err(|e| format!("bad segments: {e}"))?,
+        segment_bytes: get("segment_bytes")?
+            .parse()
+            .map_err(|e| format!("bad segment_bytes: {e}"))?,
+        root: unhex32(get("root")?)?,
+        owner_pub: unhex32(get("owner_pub")?)?,
+    };
+    let mut raw = Vec::new();
+    std::fs::File::open(dir.join("dyn-segments.bin"))
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| format!("dyn-segments.bin: {e}"))?;
+    let bytes = Bytes::from(raw);
+    let mut tagged = Vec::with_capacity(meta.segments as usize);
+    let mut pos = 0usize;
+    while pos + 4 <= bytes.len() {
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        if pos + len > bytes.len() {
+            return Err("dyn-segments.bin truncated".into());
+        }
+        tagged.push(bytes.slice(pos..pos + len));
+        pos += len;
+    }
+    if tagged.len() as u64 != meta.segments {
+        return Err(format!(
+            "dyn-meta says {} segments, file holds {}",
+            meta.segments,
+            tagged.len()
+        ));
+    }
+    Ok((tagged, meta))
+}
+
+/// The owner mirror over the store's tagged segments, cross-checked
+/// against the recorded root (catches a corrupted mirror before it is
+/// used to derive audit digests).
+fn dyn_owner(
+    tagged: &[Bytes],
+    meta: &DynMeta,
+) -> Result<geoproof::por::dynamic::DynamicOwner, String> {
+    let owner = geoproof::por::dynamic::DynamicOwner::from_tagged(&meta.file_id, tagged);
+    let digest = owner.digest();
+    if digest.root != meta.root {
+        return Err(
+            "owner mirror is corrupt: recomputed digest root does not match dyn-meta.txt".into(),
+        );
+    }
+    Ok(owner)
+}
+
+/// Chains one digest transition into the evidence ledger.
+fn append_digest_record(
+    ledger_path: &str,
+    master: &str,
+    record: &geoproof::ledger::DigestRecord,
+) -> CliResult {
+    let tpa = tpa_ledger_key(master);
+    let seed = fresh_seed_u64("digest-record");
+    let (mut writer, recovery) = geoproof::ledger::LedgerWriter::open_or_create(
+        ledger_path,
+        &tpa,
+        geoproof::ledger::DEFAULT_CHECKPOINT_INTERVAL,
+        seed,
+    )
+    .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+    if let geoproof::ledger::Recovery::TruncatedTail { dropped } = recovery {
+        eprintln!("ledger: recovered torn tail write ({dropped} bytes truncated)");
+    }
+    writer
+        .append_digest(record)
+        .and_then(|()| writer.finish())
+        .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+    println!(
+        "evidence: digest transition chained to {ledger_path} ({:?} {:?} → {} segments, root {})",
+        record.op,
+        record.file_id,
+        record.new.segments,
+        hex(&record.new.root[..8]),
+    );
+    Ok(())
+}
+
 // --- subcommands ---------------------------------------------------------------
 
 /// Chunk size for streaming encode reads.
@@ -266,6 +438,206 @@ fn cmd_extract(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Reads the `--data` payload (a file path, or `-` for stdin).
+fn read_data_flag(args: &[String]) -> Result<Vec<u8>, String> {
+    let source = flag(args, "--data").ok_or("--data required")?;
+    let mut body = Vec::new();
+    if source == "-" {
+        std::io::stdin()
+            .read_to_end(&mut body)
+            .map_err(|e| format!("read stdin: {e}"))?;
+    } else {
+        std::fs::File::open(&source)
+            .and_then(|mut f| f.read_to_end(&mut body))
+            .map_err(|e| format!("read {source}: {e}"))?;
+    }
+    Ok(body)
+}
+
+fn cmd_encode_dynamic(args: &[String]) -> CliResult {
+    use geoproof::por::dynamic::tag_segment;
+    let input = positional(args, 0)?;
+    let store = positional(args, 1)?.to_owned();
+    let fid = flag(args, "--fid").ok_or("--fid required")?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let segment_bytes: usize = flag(args, "--segment-bytes")
+        .map(|v| v.parse().map_err(|e| format!("bad --segment-bytes: {e}")))
+        .transpose()?
+        .unwrap_or(DYN_SEGMENT_BYTES);
+    if segment_bytes == 0 {
+        return Err("--segment-bytes must be positive".into());
+    }
+    let mut data = Vec::new();
+    if input == "-" {
+        std::io::stdin()
+            .read_to_end(&mut data)
+            .map_err(|e| format!("read stdin: {e}"))?;
+    } else {
+        std::fs::File::open(input)
+            .and_then(|mut f| f.read_to_end(&mut data))
+            .map_err(|e| format!("read {input}: {e}"))?;
+    }
+    let keys = PorKeys::derive(master.as_bytes(), &fid);
+    // An empty input still yields one (empty-bodied) segment: a dynamic
+    // file always has at least one leaf to commit to.
+    let bodies: Vec<&[u8]> = if data.is_empty() {
+        vec![&[]]
+    } else {
+        data.chunks(segment_bytes).collect()
+    };
+    let tagged: Vec<Bytes> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, b)| Bytes::from(tag_segment(&keys, &fid, i as u64, b)))
+        .collect();
+    let owner_pub = owner_update_key(&master, &fid).verifying_key().to_bytes();
+    write_dyn_store(
+        Path::new(&store),
+        &fid,
+        &tagged,
+        segment_bytes as u64,
+        &owner_pub,
+    )?;
+    let owner = geoproof::por::dynamic::DynamicOwner::from_tagged(&fid, &tagged);
+    let digest = owner.digest();
+    println!(
+        "encoded {} bytes -> {} dynamic segments ({} bytes each) in {store}; digest root {}",
+        data.len(),
+        tagged.len(),
+        segment_bytes,
+        hex(&digest.root[..8]),
+    );
+    if let Some(ledger_path) = flag(args, "--ledger") {
+        append_digest_record(
+            &ledger_path,
+            &master,
+            &geoproof::ledger::DigestRecord {
+                file_id: fid.clone(),
+                op: geoproof::ledger::DigestOp::Init,
+                index: 0,
+                prev: geoproof::ledger::NO_DIGEST,
+                new: digest,
+            },
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_update_or_append(args: &[String], is_update: bool) -> CliResult {
+    let addr: std::net::SocketAddr = positional(args, 0)?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let store = positional(args, 1)?.to_owned();
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let body = read_data_flag(args)?;
+    let (mut tagged, meta) = read_dyn_store(Path::new(&store))?;
+    let mut owner = dyn_owner(&tagged, &meta)?;
+    let keys = PorKeys::derive(master.as_bytes(), &meta.file_id);
+    let prev = owner.digest();
+
+    // The owner tags and derives the expected digest first — the
+    // provider's ack is *checked against* it, never adopted.
+    let (new_tagged, expected, index, op) = if is_update {
+        let index: u64 = flag(args, "--index")
+            .ok_or("--index required")?
+            .parse()
+            .map_err(|e| format!("bad --index: {e}"))?;
+        let (t, d) = owner
+            .tag_update(index, &body, &keys)
+            .map_err(|e| format!("update: {e}"))?;
+        (t, d, index, geoproof::ledger::DigestOp::Update)
+    } else {
+        let index = prev.segments;
+        let (t, d) = owner.tag_append(&body, &keys);
+        (t, d, index, geoproof::ledger::DigestOp::Append)
+    };
+    let new_tagged = Bytes::from(new_tagged);
+
+    // Authorise the mutation: the server holds the owner's public key
+    // and refuses anything else (a third party reaching the socket must
+    // not be able to rewrite segments and frame the provider).
+    let signing = owner_update_key(&master, &meta.file_id);
+    if signing.verifying_key().to_bytes() != meta.owner_pub {
+        return Err("--master does not derive the owner key this store was encoded with".into());
+    }
+    let mut sig_rng = ChaChaRng::from_seed(fresh_seed("owner-auth"));
+    let sig = signing
+        .sign(
+            &geoproof::por::dynamic::owner_authorization(
+                &meta.file_id,
+                !is_update,
+                index,
+                &new_tagged,
+            ),
+            &mut sig_rng,
+        )
+        .to_bytes();
+    let mut client = geoproof::wire::tcp::TcpChallenger::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let ack = if is_update {
+        client.update(&meta.file_id, index, new_tagged.clone(), sig)
+    } else {
+        client.append(&meta.file_id, new_tagged.clone(), sig)
+    }
+    .map_err(|e| format!("wire: {e}"))?;
+    let _ = client.bye();
+    match ack {
+        None => {
+            return Err(format!(
+                "server refused the {}: unknown file or index out of range",
+                if is_update { "update" } else { "append" }
+            ))
+        }
+        Some(theirs) if theirs != expected => {
+            return Err(format!(
+                "server state diverged: its digest root {} ({} segments) != expected {} ({} \
+                 segments) — its store is stale or corrupt",
+                hex(&theirs.root[..8]),
+                theirs.segments,
+                hex(&expected.root[..8]),
+                expected.segments,
+            ))
+        }
+        Some(_) => {}
+    }
+
+    // Server landed on the owner's digest: persist the mirror.
+    if is_update {
+        tagged[index as usize] = new_tagged;
+    } else {
+        tagged.push(new_tagged);
+    }
+    write_dyn_store(
+        Path::new(&store),
+        &meta.file_id,
+        &tagged,
+        meta.segment_bytes,
+        &meta.owner_pub,
+    )?;
+    println!(
+        "{} segment {index} of {} @ {addr}: digest root {} → {} ({} segments)",
+        if is_update { "updated" } else { "appended" },
+        meta.file_id,
+        hex(&prev.root[..8]),
+        hex(&expected.root[..8]),
+        expected.segments,
+    );
+    if let Some(ledger_path) = flag(args, "--ledger") {
+        append_digest_record(
+            &ledger_path,
+            &master,
+            &geoproof::ledger::DigestRecord {
+                file_id: meta.file_id.clone(),
+                op,
+                index,
+                prev,
+                new: expected,
+            },
+        )?;
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let store_dir = positional(args, 0)?;
     let delay_ms: u64 = flag(args, "--delay-ms")
@@ -273,10 +645,41 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .transpose()?
         .unwrap_or(0);
     let concurrent = args.iter().any(|a| a == "--concurrent");
+    let delay = std::time::Duration::from_millis(delay_ms);
+
+    // A dynamic store dir (dyn-meta.txt present) is served by the
+    // session-multiplexing server with the dynamic registry attached —
+    // updates and appends arrive over the same socket audits use.
+    if Path::new(store_dir).join("dyn-meta.txt").exists() {
+        let (tagged, meta) = read_dyn_store(Path::new(store_dir))?;
+        let owner_key = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&meta.owner_pub)
+            .ok_or("owner_pub in dyn-meta.txt is not a valid curve point")?;
+        let registry = geoproof::storage::DynamicRegistry::new();
+        let digest = registry.insert_with_owner(&meta.file_id, tagged, owner_key);
+        let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
+        let server = MuxProverServer::spawn_with_dynamic(store, registry, delay)
+            .map_err(|e| format!("bind: {e}"))?;
+        println!(
+            "serving {} ({} dynamic segments, digest root {}) on {} (dynamic mode, service \
+             delay {delay_ms} ms); Ctrl-C to stop",
+            meta.file_id,
+            digest.segments,
+            hex(&digest.root[..8]),
+            server.addr()
+        );
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+            let stats = server.stats();
+            println!(
+                "[stats] connections {} | sessions {} | challenges {}",
+                stats.connections, stats.sessions, stats.challenges
+            );
+        }
+    }
+
     let (segments, md) = read_store(Path::new(store_dir))?;
     let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
     store.lock().insert(md.file_id.clone(), segments);
-    let delay = std::time::Duration::from_millis(delay_ms);
     // Both servers bind an ephemeral port and report it.
     if concurrent {
         let server = MuxProverServer::spawn(store, delay).map_err(|e| format!("bind: {e}"))?;
@@ -309,6 +712,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
 }
 
 fn cmd_audit(args: &[String]) -> CliResult {
+    if args.iter().any(|a| a == "--dynamic") {
+        return cmd_audit_dynamic(args);
+    }
     let addr: std::net::SocketAddr = positional(args, 0)?
         .parse()
         .map_err(|e| format!("bad address: {e}"))?;
@@ -425,6 +831,119 @@ fn cmd_audit(args: &[String]) -> CliResult {
     }
 }
 
+fn cmd_audit_dynamic(args: &[String]) -> CliResult {
+    let addr: std::net::SocketAddr = positional(args, 0)?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let store = positional(args, 1)?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let k: u32 = flag(args, "--k")
+        .map(|v| v.parse().map_err(|e| format!("bad --k: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let budget_ms: f64 = flag(args, "--budget-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --budget-ms: {e}")))
+        .transpose()?
+        .unwrap_or(16.0);
+    let (tagged, meta) = read_dyn_store(Path::new(store))?;
+    let owner = dyn_owner(&tagged, &meta)?;
+    let digest = owner.digest();
+    let keys = PorKeys::derive(master.as_bytes(), &meta.file_id);
+    let k = k.min(digest.segments.min(u64::from(u32::MAX)) as u32);
+
+    let mut rng = ChaChaRng::from_seed(fresh_seed("device-key"));
+    let device_key = SigningKey::generate(&mut rng);
+    let mut verifier = WallClockVerifier::new(
+        device_key.clone(),
+        GpsReceiver::new(BRISBANE),
+        fresh_seed_u64("challenges"),
+    );
+    let mut auditor = geoproof::core::dynamic_audit::DynAuditor::new(
+        meta.file_id.clone(),
+        keys.auditor_view(),
+        device_key.verifying_key(),
+        BRISBANE,
+        geoproof::sim::time::Km(25.0),
+        geoproof::core::policy::TimingPolicy {
+            max_network: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
+            max_lookup: geoproof::sim::time::SimDuration::from_millis_f64(budget_ms / 2.0),
+        },
+        fresh_seed_u64("nonce"),
+    );
+    let request = auditor.issue_request(digest, k);
+    let transcript = verifier
+        .run_dyn_audit(&request, addr)
+        .map_err(|e| format!("audit I/O: {e}"))?;
+
+    if let Some(t_path) = flag(args, "--transcript") {
+        std::fs::write(&t_path, transcript.canonical_bytes())
+            .map_err(|e| format!("write {t_path}: {e}"))?;
+        println!("transcript: canonical dynamic bytes written to {t_path}");
+    }
+    let report = match flag(args, "--ledger") {
+        None => auditor.verify(&request, &transcript),
+        Some(ledger_path) => {
+            let tpa = tpa_ledger_key(&master);
+            let seed = u64::from_be_bytes(request.nonce[..8].try_into().expect("8 bytes"));
+            let (mut writer, recovery) = geoproof::ledger::LedgerWriter::open_or_create(
+                &ledger_path,
+                &tpa,
+                geoproof::ledger::DEFAULT_CHECKPOINT_INTERVAL,
+                seed,
+            )
+            .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+            if let geoproof::ledger::Recovery::TruncatedTail { dropped } = recovery {
+                eprintln!("ledger: recovered torn tail write ({dropped} bytes truncated)");
+            }
+            let prover = flag(args, "--prover").unwrap_or_else(|| addr.to_string());
+            let epoch = writer.next_epoch(&prover);
+            let (report, bundle) = auditor.verify_evidence(&request, &transcript, prover, epoch);
+            writer
+                .append_dyn_bundle(&bundle)
+                .and_then(|()| writer.finish())
+                .map_err(|e| format!("ledger {ledger_path}: {e}"))?;
+            println!(
+                "evidence: dynamic record {} appended to {ledger_path} (prover {:?}, epoch \
+                 {epoch}), sealed; chain head {}",
+                writer.evidence_count() - 1,
+                bundle.prover,
+                hex(&writer.head()[..8]),
+            );
+            println!(
+                "          TPA public key {}",
+                hex(&tpa.verifying_key().to_bytes())
+            );
+            report
+        }
+    };
+    println!(
+        "dynamic audit of {} @ {addr}: {} challenges against digest root {} ({} segments), \
+         max Δt' = {:.3} ms (budget {budget_ms} ms)",
+        meta.file_id,
+        k,
+        hex(&digest.root[..8]),
+        digest.segments,
+        report.max_rtt.as_millis_f64()
+    );
+    println!("segments verified: {}/{k}", report.segments_ok);
+    for v in &report.violations {
+        println!("violation: {v}");
+    }
+    println!(
+        "verdict: {}",
+        if report.accepted() {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        }
+    );
+    if report.accepted() {
+        Ok(())
+    } else {
+        Err("audit rejected".into())
+    }
+}
+
 // --- evidence ledger ---------------------------------------------------------
 
 /// The TPA's ledger signing key, derived deterministically from the
@@ -434,6 +953,20 @@ fn tpa_ledger_key(master: &str) -> geoproof::crypto::schnorr::SigningKey {
     let mut h = geoproof::crypto::sha256::Sha256::new();
     h.update(b"geoproof-tpa-ledger-key-v1");
     h.update(master.as_bytes());
+    let mut rng = ChaChaRng::from_seed(h.finalize());
+    geoproof::crypto::schnorr::SigningKey::generate(&mut rng)
+}
+
+/// The owner's update-authorisation signing key, derived from the
+/// master secret per file — the *public* half is registered with the
+/// server (via the store dir's metadata) so it can refuse mutations a
+/// third party forges.
+fn owner_update_key(master: &str, file_id: &str) -> geoproof::crypto::schnorr::SigningKey {
+    let mut h = geoproof::crypto::sha256::Sha256::new();
+    h.update(b"geoproof-dyn-owner-key-v1");
+    h.update(&(master.len() as u64).to_be_bytes());
+    h.update(master.as_bytes());
+    h.update(file_id.as_bytes());
     let mut rng = ChaChaRng::from_seed(h.finalize());
     geoproof::crypto::schnorr::SigningKey::generate(&mut rng)
 }
@@ -495,6 +1028,40 @@ fn cmd_ledger(args: &[String]) -> CliResult {
     }
 }
 
+/// `--master`-derived MAC checker for `ledger verify`: static records
+/// re-derive through the POR encoder's segment MAC; dynamic records
+/// through the dynamic tag scheme. One KDF per file id, memoised.
+struct CliMacCheck {
+    master: String,
+    encoder: PorEncoder,
+    keys_by_fid: std::cell::RefCell<HashMap<String, PorKeys>>,
+}
+
+impl CliMacCheck {
+    fn with_keys<R>(&self, fid: &str, f: impl FnOnce(&PorKeys) -> R) -> R {
+        let mut cache = self.keys_by_fid.borrow_mut();
+        let keys = cache
+            .entry(fid.to_owned())
+            .or_insert_with(|| PorKeys::derive(self.master.as_bytes(), fid));
+        f(keys)
+    }
+}
+
+impl geoproof::ledger::SegmentMacCheck for CliMacCheck {
+    fn verify(&self, fid: &str, index: u64, payload: &[u8]) -> bool {
+        self.with_keys(fid, |keys| {
+            self.encoder
+                .verify_segment(keys.auditor_view().mac_key(), fid, index, payload)
+        })
+    }
+
+    fn verify_dynamic(&self, fid: &str, index: u64, payload: &[u8]) -> bool {
+        self.with_keys(fid, |keys| {
+            geoproof::por::dynamic::verify_tagged(keys.mac_key(), fid, index, payload)
+        })
+    }
+}
+
 fn cmd_ledger_verify(args: &[String]) -> CliResult {
     use geoproof::ledger::{replay, Ledger, SegmentMacCheck};
     let path = positional(args, 0)?;
@@ -518,19 +1085,13 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
     let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&tpa_bytes)
         .ok_or("TPA key is not a valid curve point")?;
 
-    // With the owner's secret the recorded MAC bits are re-derived too.
-    // Keys are memoised per file id — one KDF per file, not per segment.
-    let mac_check = flag(args, "--master").map(|master| {
-        let encoder = PorEncoder::new(PorParams::paper());
-        let keys_by_fid: std::cell::RefCell<HashMap<String, PorKeys>> =
-            std::cell::RefCell::new(HashMap::new());
-        move |fid: &str, index: u64, payload: &[u8]| {
-            let mut cache = keys_by_fid.borrow_mut();
-            let keys = cache
-                .entry(fid.to_owned())
-                .or_insert_with(|| PorKeys::derive(master.as_bytes(), fid));
-            encoder.verify_segment(keys.auditor_view().mac_key(), fid, index, payload)
-        }
+    // With the owner's secret the recorded MAC bits are re-derived too —
+    // under the static scheme for static records and the dynamic tag
+    // scheme for dynamic ones. Keys are memoised per file id.
+    let mac_check = flag(args, "--master").map(|master| CliMacCheck {
+        master,
+        encoder: PorEncoder::new(PorParams::paper()),
+        keys_by_fid: std::cell::RefCell::new(HashMap::new()),
     });
     let outcome = replay(
         &ledger,
@@ -540,8 +1101,9 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
     .map_err(|e| format!("{path}: {e}"))?;
 
     println!(
-        "{path}: {} records ({} evidence, {} checkpoints), chain OK",
-        outcome.records, outcome.evidence, outcome.checkpoints
+        "{path}: {} records ({} evidence, {} dynamic, {} digest transitions, {} checkpoints), \
+         chain OK",
+        outcome.records, outcome.evidence, outcome.dynamic, outcome.digests, outcome.checkpoints
     );
     println!("tpa key : {} ({key_source})", hex(&tpa_bytes));
     println!(
@@ -550,7 +1112,7 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
     );
     println!(
         "replay  : {} verdicts re-derived byte-identically — {} ACCEPT, {} REJECT{}",
-        outcome.evidence,
+        outcome.evidence + outcome.dynamic,
         outcome.accepted,
         outcome.rejected,
         if outcome.uncovered > 0 {
@@ -559,6 +1121,13 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
             String::new()
         }
     );
+    if outcome.digests > 0 {
+        println!(
+            "digests : {} transitions chained; every dynamic audit verified against the digest \
+             current at its chain position",
+            outcome.digests
+        );
+    }
     if outcome.macs_checked > 0 {
         println!(
             "macs    : {} segment MACs re-derived from --master",
@@ -580,7 +1149,7 @@ fn cmd_ledger_inspect(args: &[String]) -> CliResult {
         ledger.header().interval,
         hex(&ledger.header().tpa_key)
     );
-    let mut evidence = 0u64;
+    let mut sealed = 0u64;
     for record in ledger.records() {
         match &record.entry {
             Entry::Evidence(e) => {
@@ -588,7 +1157,7 @@ fn cmd_ledger_inspect(args: &[String]) -> CliResult {
                     .report()
                     .map_err(|err| format!("record {}: {err}", record.index))?;
                 println!(
-                    "  [{:>4}] evidence #{evidence}: prover {:?} epoch {} file {:?} k={} \
+                    "  [{:>4}] evidence #{sealed}: prover {:?} epoch {} file {:?} k={} \
                      max Δt' {:.3} ms → {}",
                     record.index,
                     e.prover,
@@ -602,10 +1171,47 @@ fn cmd_ledger_inspect(args: &[String]) -> CliResult {
                         format!("REJECT ({} violations)", report.violations.len())
                     }
                 );
-                evidence += 1;
+                sealed += 1;
+            }
+            Entry::DynEvidence(e) => {
+                let report = e
+                    .report()
+                    .map_err(|err| format!("record {}: {err}", record.index))?;
+                println!(
+                    "  [{:>4}] dynamic evidence #{sealed}: prover {:?} epoch {} file {:?} k={} \
+                     digest {}…/{} max Δt' {:.3} ms → {}",
+                    record.index,
+                    e.prover,
+                    e.epoch,
+                    e.request.file_id,
+                    e.request.k,
+                    hex(&e.request.digest.root[..4]),
+                    e.request.digest.segments,
+                    report.max_rtt.as_millis_f64(),
+                    if report.accepted() {
+                        "ACCEPT".to_owned()
+                    } else {
+                        format!("REJECT ({} violations)", report.violations.len())
+                    }
+                );
+                sealed += 1;
+            }
+            Entry::Digest(d) => {
+                println!(
+                    "  [{:>4}] digest #{sealed}: {:?} {:?} index {} — {}…/{} → {}…/{}",
+                    record.index,
+                    d.op,
+                    d.file_id,
+                    d.index,
+                    hex(&d.prev.root[..4]),
+                    d.prev.segments,
+                    hex(&d.new.root[..4]),
+                    d.new.segments,
+                );
+                sealed += 1;
             }
             Entry::Checkpoint(c) => println!(
-                "  [{:>4}] checkpoint: covers {} evidence records, root {}…",
+                "  [{:>4}] checkpoint: covers {} sealed records, root {}…",
                 record.index,
                 c.covered,
                 hex(&c.root[..8])
@@ -636,11 +1242,23 @@ fn cmd_ledger_prove(args: &[String]) -> CliResult {
     let out = flag(args, "--out").unwrap_or_else(|| format!("{path}.round-{round}.proof"));
     let encoded = proof.encode();
     std::fs::write(&out, &encoded).map_err(|e| format!("write {out}: {e}"))?;
+    let what = match &verified.entry {
+        geoproof::ledger::Entry::Evidence(e) => {
+            format!("audit evidence (prover {:?}, epoch {})", e.prover, e.epoch)
+        }
+        geoproof::ledger::Entry::DynEvidence(e) => format!(
+            "dynamic audit evidence (prover {:?}, epoch {})",
+            e.prover, e.epoch
+        ),
+        geoproof::ledger::Entry::Digest(d) => format!(
+            "digest transition ({:?} of {:?} → {} segments)",
+            d.op, d.file_id, d.new.segments
+        ),
+        geoproof::ledger::Entry::Checkpoint(_) => unreachable!("checkpoints are not leaves"),
+    };
     println!(
-        "proof of evidence #{round} (prover {:?}, epoch {}): {} bytes, {} Merkle siblings, \
+        "proof of record #{round} — {what}: {} bytes, {} Merkle siblings, \
          checkpoint covers {} → {out}",
-        verified.evidence.prover,
-        verified.evidence.epoch,
         encoded.len(),
         proof.siblings.len(),
         proof.covered

@@ -7,10 +7,12 @@
 //! [`SignedTranscript`] the simulated verifier produces — so the
 //! *identical* TPA verification path judges real-network runs.
 
+use geoproof_core::dynamic_audit::{DynAuditRequest, DynSignedTranscript, DynTimedRound};
 use geoproof_core::messages::{AuditRequest, SignedTranscript, TimedRound};
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::schnorr::{SigningKey, VerifyingKey};
 use geoproof_geo::gps::GpsReceiver;
+use geoproof_por::merkle::MerkleProof;
 use geoproof_sim::time::SimDuration;
 use geoproof_wire::tcp::TcpChallenger;
 use std::net::SocketAddr;
@@ -77,6 +79,64 @@ impl WallClockVerifier {
         Ok(SignedTranscript {
             file_id: request.file_id.clone(),
             nonce: request.nonce,
+            position,
+            rounds,
+            signature,
+        })
+    }
+
+    /// Runs a *dynamic* audit against a TCP prover: k distinct random
+    /// challenges out of the digest's segment count, each answered with
+    /// a Merkle membership proof fetched **inside** the timed window,
+    /// wall-clock Δt_j per round, signed transcript echoing the audited
+    /// digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn run_dyn_audit(
+        &mut self,
+        request: &DynAuditRequest,
+        prover: SocketAddr,
+    ) -> std::io::Result<DynSignedTranscript> {
+        let mut challenger = TcpChallenger::connect(prover)?;
+        let indices = self
+            .rng
+            .sample_distinct(request.digest.segments, request.k as usize);
+        let mut rounds = Vec::with_capacity(indices.len());
+        for &index in &indices {
+            let (served, rtt) = challenger.dyn_challenge(&request.file_id, index)?;
+            let (segment, proof) = match served {
+                Some((segment, proof)) => (segment, proof),
+                None => (
+                    bytes::Bytes::new(),
+                    MerkleProof {
+                        index,
+                        siblings: Vec::new(),
+                    },
+                ),
+            };
+            rounds.push(DynTimedRound {
+                index,
+                segment,
+                proof,
+                rtt: SimDuration::from_nanos(rtt.as_nanos().min(u128::from(u64::MAX)) as u64),
+            });
+        }
+        let _ = challenger.bye();
+        let position = self.gps.read_fix().position;
+        let bytes = DynSignedTranscript::signing_bytes(
+            &request.file_id,
+            &request.nonce,
+            &request.digest,
+            &position,
+            &rounds,
+        );
+        let signature = self.signing.sign(&bytes, &mut self.rng);
+        Ok(DynSignedTranscript {
+            file_id: request.file_id.clone(),
+            nonce: request.nonce,
+            digest: request.digest,
             position,
             rounds,
             signature,

@@ -210,8 +210,9 @@ fn cli_audit_ledger_verify_inspect_prove_end_to_end() {
     let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&ledger.header().tpa_key)
         .expect("embedded key");
     let verified = proof.verify(&tpa).expect("proof verifies");
-    assert_eq!(verified.evidence.prover, "cli-prover");
-    assert_eq!(verified.evidence.epoch, 0);
+    let proven = verified.evidence().expect("static evidence");
+    assert_eq!(proven.prover, "cli-prover");
+    assert_eq!(proven.epoch, 0);
 
     // Out-of-range round is a clean error.
     run(

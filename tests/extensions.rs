@@ -8,7 +8,7 @@ use geoproof::core::landmark_audit::{
     harden_report, landmark_position_check, simulate_landmark_pings,
 };
 use geoproof::core::multisite::{ReplicaSite, ReplicationAudit};
-use geoproof::por::dynamic::{verify_challenge, DynamicStore};
+use geoproof::por::dynamic::{verify_challenge, DynamicOwner, DynamicStore};
 use geoproof::por::keys::PorKeys;
 use geoproof::prelude::*;
 
@@ -17,6 +17,8 @@ fn dynamic_file_lifecycle_with_audits_between_updates() {
     let keys = PorKeys::derive(b"owner", "ledger");
     let bodies: Vec<Vec<u8>> = (0..32).map(|i| vec![i as u8; 50]).collect();
     let (mut store, mut digest) = DynamicStore::initialise("ledger", &bodies, &keys);
+    let tagged: Vec<bytes::Bytes> = (0..32u64).map(|i| store.segment(i).unwrap()).collect();
+    let mut owner = DynamicOwner::from_tagged("ledger", &tagged);
 
     let mut rng = ChaChaRng::from_u64_seed(1);
     // Interleave audits and updates for ten epochs.
@@ -29,11 +31,16 @@ fn dynamic_file_lifecycle_with_audits_between_updates() {
                 "epoch {epoch}, segment {idx}"
             );
         }
-        // Update one segment and append another.
+        // Update one segment and append another — the owner tags, the
+        // store applies, and the store must land on the owner's digest.
         let victim = rng.gen_range(store.len());
-        let after_update = store
-            .update(victim, format!("epoch-{epoch}").as_bytes(), &keys)
+        let (new_tagged, after_update) = owner
+            .tag_update(victim, format!("epoch-{epoch}").as_bytes(), &keys)
             .expect("in range");
+        let applied = store
+            .apply_update(victim, bytes::Bytes::from(new_tagged))
+            .expect("in range");
+        assert_eq!(applied, after_update);
         // The updated segment verifies under the intermediate digest…
         let resp = store.challenge(victim).expect("in range");
         assert!(verify_challenge(
@@ -44,9 +51,13 @@ fn dynamic_file_lifecycle_with_audits_between_updates() {
             &keys
         ));
         // …and the append supersedes it.
-        digest = store.append(format!("appended-{epoch}").as_bytes(), &keys);
+        let (appended, next) = owner.tag_append(format!("appended-{epoch}").as_bytes(), &keys);
+        let applied = store.apply_append(bytes::Bytes::from(appended));
+        assert_eq!(applied, next);
+        digest = next;
     }
     assert_eq!(store.len(), 42);
+    assert_eq!(owner.len(), 42);
     // Silent corruption after all that history is still caught.
     assert!(store.corrupt_silently(40, 0x01));
     let resp = store.challenge(40).unwrap();
