@@ -63,7 +63,6 @@ pub mod landmark_audit;
 pub mod messages;
 pub mod multisite;
 pub mod policy;
-pub mod pool;
 pub mod provider;
 pub mod verifier;
 
@@ -81,6 +80,10 @@ pub use engine::{
 };
 pub use evidence::{decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, EvidenceSink};
 pub use fleet::{run_fleet, run_fleet_with_evidence, AdversaryProfile, FleetConfig, FleetOutcome};
+/// The shared work-stealing pool, lifted to its own crate so the POR
+/// encoder (below `core` in the dependency DAG) can use it too;
+/// re-exported here to keep the historical `geoproof_core::pool` path.
+pub use geoproof_pool as pool;
 pub use landmark_audit::{harden_report, landmark_position_check, LandmarkPing};
 pub use messages::{AuditRequest, SignedTranscript, TimedRound};
 pub use multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};

@@ -134,6 +134,15 @@ impl Aes128 {
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+        #[cfg(target_arch = "x86_64")]
+        if aesni::available() {
+            // SAFETY: `available` confirmed the aes/sse2 features at runtime.
+            return unsafe { aesni::encrypt_block(&self.round_keys, block) };
+        }
+        self.encrypt_block_soft(block)
+    }
+
+    fn encrypt_block_soft(&self, block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
         let sb = sbox();
         let mut s = *block;
         add_round_key(&mut s, &self.round_keys[0]);
@@ -255,13 +264,148 @@ impl Aes128Ctr {
     /// decrypted without touching the rest, which is what the POR extractor
     /// needs after un-permuting blocks.
     pub fn apply_keystream_at(&self, data: &mut [u8], start_block: u64) {
+        #[cfg(target_arch = "x86_64")]
+        if aesni::available() {
+            // SAFETY: `available` confirmed the aes/sse2 features at runtime.
+            unsafe { aesni::ctr_xor(&self.cipher.round_keys, &self.nonce, start_block, data) };
+            return;
+        }
+        self.apply_keystream_soft(data, start_block);
+    }
+
+    fn apply_keystream_soft(&self, data: &mut [u8], start_block: u64) {
         let mut counter = start_block;
         for chunk in data.chunks_mut(BLOCK_LEN) {
             let mut ctr_block = [0u8; BLOCK_LEN];
             ctr_block[..8].copy_from_slice(&self.nonce);
             ctr_block[8..].copy_from_slice(&counter.to_be_bytes());
-            let ks = self.cipher.encrypt_block(&ctr_block);
+            let ks = self.cipher.encrypt_block_soft(&ctr_block);
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+/// Hardware AES-128 via the x86-64 AES-NI instructions.
+///
+/// The expanded round keys produced by [`Aes128::new`] are already in the
+/// byte order `aesenc` expects, so the hardware path reuses the software key
+/// schedule unchanged and the two paths are interchangeable bit for bit.
+/// Only encryption is accelerated: CTR mode never runs the inverse cipher,
+/// and block decryption sits on cold paths.
+#[cfg(target_arch = "x86_64")]
+mod aesni {
+    use super::{BLOCK_LEN, NR};
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Runtime feature probe, cached so the hot path is one relaxed load.
+    pub(super) fn available() -> bool {
+        const UNKNOWN: u8 = 0;
+        const NO: u8 = 1;
+        const YES: u8 = 2;
+        static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+        match STATE.load(Ordering::Relaxed) {
+            UNKNOWN => {
+                let avail = std::arch::is_x86_feature_detected!("aes");
+                STATE.store(if avail { YES } else { NO }, Ordering::Relaxed);
+                avail
+            }
+            found => found == YES,
+        }
+    }
+
+    #[inline]
+    unsafe fn load_keys(rk: &[[u8; 16]; NR + 1]) -> [__m128i; NR + 1] {
+        let mut keys = [_mm_setzero_si128(); NR + 1];
+        for (k, bytes) in keys.iter_mut().zip(rk.iter()) {
+            *k = _mm_loadu_si128(bytes.as_ptr() as *const __m128i);
+        }
+        keys
+    }
+
+    #[inline]
+    unsafe fn encrypt_one(keys: &[__m128i; NR + 1], mut s: __m128i) -> __m128i {
+        s = _mm_xor_si128(s, keys[0]);
+        for key in &keys[1..NR] {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        _mm_aesenclast_si128(s, keys[NR])
+    }
+
+    /// Encrypts one block with the AES round instructions.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AES-NI support (see [`available`]).
+    #[target_feature(enable = "aes,sse2")]
+    pub(super) unsafe fn encrypt_block(
+        rk: &[[u8; 16]; NR + 1],
+        block: &[u8; BLOCK_LEN],
+    ) -> [u8; BLOCK_LEN] {
+        let keys = load_keys(rk);
+        let s = encrypt_one(&keys, _mm_loadu_si128(block.as_ptr() as *const __m128i));
+        let mut out = [0u8; BLOCK_LEN];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, s);
+        out
+    }
+
+    /// XORs the CTR keystream starting at `start_block` into `data`.
+    ///
+    /// Four counter blocks are kept in flight per round so the `aesenc`
+    /// dependency chains overlap instead of serialising on latency.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AES-NI support (see [`available`]).
+    #[target_feature(enable = "aes,sse2")]
+    pub(super) unsafe fn ctr_xor(
+        rk: &[[u8; 16]; NR + 1],
+        nonce: &[u8; 8],
+        start_block: u64,
+        data: &mut [u8],
+    ) {
+        let keys = load_keys(rk);
+        let ctr_block = |counter: u64| {
+            let mut b = [0u8; BLOCK_LEN];
+            b[..8].copy_from_slice(nonce);
+            b[8..].copy_from_slice(&counter.to_be_bytes());
+            _mm_loadu_si128(b.as_ptr() as *const __m128i)
+        };
+        let mut counter = start_block;
+        let mut quads = data.chunks_exact_mut(4 * BLOCK_LEN);
+        for quad in &mut quads {
+            let mut s = [
+                ctr_block(counter),
+                ctr_block(counter.wrapping_add(1)),
+                ctr_block(counter.wrapping_add(2)),
+                ctr_block(counter.wrapping_add(3)),
+            ];
+            for b in s.iter_mut() {
+                *b = _mm_xor_si128(*b, keys[0]);
+            }
+            for key in &keys[1..NR] {
+                for b in s.iter_mut() {
+                    *b = _mm_aesenc_si128(*b, *key);
+                }
+            }
+            for b in s.iter_mut() {
+                *b = _mm_aesenclast_si128(*b, keys[NR]);
+            }
+            let p = quad.as_mut_ptr() as *mut __m128i;
+            for (i, b) in s.iter().enumerate() {
+                let d = _mm_loadu_si128(p.add(i) as *const __m128i);
+                _mm_storeu_si128(p.add(i), _mm_xor_si128(d, *b));
+            }
+            counter = counter.wrapping_add(4);
+        }
+        for chunk in quads.into_remainder().chunks_mut(BLOCK_LEN) {
+            let ks = encrypt_one(&keys, ctr_block(counter));
+            let mut bytes = [0u8; BLOCK_LEN];
+            _mm_storeu_si128(bytes.as_mut_ptr() as *mut __m128i, ks);
+            for (b, k) in chunk.iter_mut().zip(bytes.iter()) {
                 *b ^= k;
             }
             counter = counter.wrapping_add(1);
@@ -351,6 +495,47 @@ mod tests {
         // Full decrypt.
         ctr.apply_keystream(&mut data);
         assert_eq!(data, orig);
+    }
+
+    /// The AES-NI paths must agree with the portable tables on arbitrary
+    /// keys, blocks, lengths and counter origins (including counter
+    /// wraparound mid-buffer).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hardware_paths_match_software() {
+        if !super::aesni::available() {
+            eprintln!("skipping: CPU lacks AES-NI");
+            return;
+        }
+        let mut lcg = 0xfeed_face_cafe_beefu64;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg
+        };
+        for trial in 0..200 {
+            let mut key = [0u8; 16];
+            let mut block = [0u8; 16];
+            for b in key.iter_mut().chain(block.iter_mut()) {
+                *b = (next() >> 33) as u8;
+            }
+            let cipher = Aes128::new(&key);
+            let soft = cipher.encrypt_block_soft(&block);
+            let hw = unsafe { super::aesni::encrypt_block(&cipher.round_keys, &block) };
+            assert_eq!(soft, hw, "block trial {trial}");
+        }
+        let key = [0x5au8; 16];
+        let ctr = Aes128Ctr::new(&key, *b"diff-ctr");
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 100, 257, 1024] {
+            for start in [0u64, 1, 7, u64::MAX - 2] {
+                let mut hw: Vec<u8> = (0..len).map(|_| (next() >> 33) as u8).collect();
+                let mut soft = hw.clone();
+                ctr.apply_keystream_at(&mut hw, start);
+                ctr.apply_keystream_soft(&mut soft, start);
+                assert_eq!(hw, soft, "len {len} start {start}");
+            }
+        }
     }
 
     #[test]

@@ -28,23 +28,7 @@ pub struct HmacSha256 {
 impl HmacSha256 {
     /// Creates an HMAC instance keyed with `key` (any length).
     pub fn new(key: &[u8]) -> Self {
-        let mut k_block = [0u8; BLOCK_LEN];
-        if key.len() > BLOCK_LEN {
-            let digest = Sha256::digest(key);
-            k_block[..DIGEST_LEN].copy_from_slice(&digest);
-        } else {
-            k_block[..key.len()].copy_from_slice(key);
-        }
-        let mut ipad = [0x36u8; BLOCK_LEN];
-        let mut opad = [0x5cu8; BLOCK_LEN];
-        for i in 0..BLOCK_LEN {
-            ipad[i] ^= k_block[i];
-            opad[i] ^= k_block[i];
-        }
-        let mut inner = Sha256::new();
-        inner.update(&ipad);
-        let mut outer = Sha256::new();
-        outer.update(&opad);
+        let (inner, outer) = padded_key_states(key);
         HmacSha256 { inner, outer }
     }
 
@@ -71,6 +55,75 @@ impl HmacSha256 {
     pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
         let expected = Self::mac(key, message);
         ct_eq(&expected, tag)
+    }
+}
+
+/// The SHA-256 states after absorbing the XOR-padded key blocks — the
+/// first compression of the inner and outer hashes, shared by every MAC
+/// under the same key.
+fn padded_key_states(key: &[u8]) -> (Sha256, Sha256) {
+    let mut k_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = Sha256::digest(key);
+        k_block[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        k_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k_block[i];
+        opad[i] ^= k_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    (inner, outer)
+}
+
+/// A precomputed HMAC key schedule: the inner and outer SHA-256 states
+/// with their padded key blocks already compressed.
+///
+/// [`HmacSha256::new`] spends two SHA-256 compressions absorbing the key
+/// pads before it sees a byte of message — for a short message that is
+/// half the total work. Callers that MAC many messages under one key
+/// (the POR segment tagger, the Feistel PRP round function) build the
+/// schedule once and [`HmacKeySchedule::start`] clones the midstates
+/// instead, making a short-message HMAC cost two compressions, not four.
+/// Output is identical to [`HmacSha256`] by construction.
+#[derive(Clone)]
+pub struct HmacKeySchedule {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacKeySchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacKeySchedule").finish_non_exhaustive()
+    }
+}
+
+impl HmacKeySchedule {
+    /// Precomputes the pad midstates for `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let (inner, outer) = padded_key_states(key);
+        HmacKeySchedule { inner, outer }
+    }
+
+    /// Starts a MAC computation from the precomputed midstates.
+    pub fn start(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+
+    /// One-shot MAC of `message` from the precomputed midstates.
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = self.start();
+        h.update(message);
+        h.finalize()
     }
 }
 
@@ -247,5 +300,38 @@ mod tests {
     #[should_panic(expected = "tag width")]
     fn zero_width_panics() {
         TruncatedMac::new(0);
+    }
+
+    #[test]
+    fn key_schedule_matches_direct_hmac() {
+        // Every key-length regime: short, exactly one block, hashed-down.
+        for key in [&b"k"[..], &[0xabu8; BLOCK_LEN][..], &[0xcdu8; 131][..]] {
+            let sched = HmacKeySchedule::new(key);
+            for msg in [&b""[..], &b"hello"[..], &[0x55u8; 200][..]] {
+                assert_eq!(sched.mac(msg), HmacSha256::mac(key, msg));
+            }
+        }
+    }
+
+    #[test]
+    fn key_schedule_incremental_matches_oneshot() {
+        let sched = HmacKeySchedule::new(b"segment-key");
+        let mut h = sched.start();
+        h.update(b"body ");
+        h.update(b"index fid");
+        assert_eq!(
+            h.finalize(),
+            HmacSha256::mac(b"segment-key", b"body index fid")
+        );
+    }
+
+    #[test]
+    fn key_schedule_is_reusable() {
+        let sched = HmacKeySchedule::new(b"k");
+        let a = sched.mac(b"one");
+        let b = sched.mac(b"two");
+        assert_eq!(a, HmacSha256::mac(b"k", b"one"));
+        assert_eq!(b, HmacSha256::mac(b"k", b"two"));
+        assert_ne!(a, b);
     }
 }

@@ -24,9 +24,15 @@
 //! assert_eq!(prp.inverse(prp.permute(123)), 123);
 //! ```
 
-use crate::hmac::HmacSha256;
+use crate::hmac::{HmacKeySchedule, HmacSha256};
 
 const ROUNDS: usize = 8;
+
+/// Largest `half_bits` for which [`FeistelSchedule`] tabulates the round
+/// functions: 8 rounds × 2^16 entries × 8 bytes = 4 MiB. That covers
+/// domains up to 2^32 blocks (a 64 TiB file at 16-byte blocks); larger
+/// domains fall back to midstate HMACs.
+const TABLE_HALF_BITS_MAX: u32 = 16;
 
 /// Balanced Feistel permutation over `[0, 2^(2*half_bits))`.
 ///
@@ -78,12 +84,13 @@ impl FeistelPrp {
         v & self.half_mask()
     }
 
+    /// Precomputes the per-key round schedule (see [`FeistelSchedule`]).
+    pub fn precompute(&self) -> FeistelSchedule {
+        FeistelSchedule::new(&self.key, self.half_bits)
+    }
+
     fn half_mask(&self) -> u64 {
-        if self.half_bits == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.half_bits) - 1
-        }
+        half_mask(self.half_bits)
     }
 
     /// Applies the forward permutation.
@@ -113,6 +120,126 @@ impl FeistelPrp {
         }
         (left << self.half_bits) | right
     }
+}
+
+/// A per-key precomputed [`FeistelPrp`]: identical permutation, hoisted
+/// round-function work.
+///
+/// [`FeistelPrp::permute`] pays 8 HMAC invocations (≈ 32 SHA-256
+/// compressions) per call, every call. But the round function
+/// `F_i(x) = HMAC_k(i ‖ x)` only ever sees `x < 2^half_bits` — for any
+/// realistic file the whole round-function domain is a few thousand
+/// points. The schedule evaluates each `(round, x)` pair **once** into a
+/// flat table, so one HMAC invocation covers every block whose Feistel
+/// walk passes through that point and `permute` itself is eight table
+/// loads and XORs. Domains too large to tabulate (`half_bits >` 16) keep
+/// per-call HMACs but reuse precomputed key-pad midstates
+/// ([`HmacKeySchedule`]), halving the compressions.
+///
+/// Outputs are bit-identical to the plain [`FeistelPrp`] — the schedule
+/// is a cache, not a different construction; `crate::prp` tests pin the
+/// equivalence over full small domains and sampled paper-sized ones.
+#[derive(Clone)]
+pub struct FeistelSchedule {
+    half_bits: u32,
+    hmac: HmacKeySchedule,
+    /// Flat round table, entry `(r << half_bits) | x`; `None` when the
+    /// domain is too large to tabulate.
+    table: Option<Vec<u64>>,
+}
+
+impl std::fmt::Debug for FeistelSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeistelSchedule")
+            .field("half_bits", &self.half_bits)
+            .field("tabulated", &self.table.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FeistelSchedule {
+    /// Precomputes the schedule for `key` over a `2^(2*half_bits)` domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= half_bits <= 32`.
+    pub fn new(key: &[u8; 32], half_bits: u32) -> Self {
+        Self::with_table_limit(key, half_bits, TABLE_HALF_BITS_MAX)
+    }
+
+    fn with_table_limit(key: &[u8; 32], half_bits: u32, table_max: u32) -> Self {
+        assert!((1..=32).contains(&half_bits), "half_bits must be in 1..=32");
+        let hmac = HmacKeySchedule::new(key);
+        let mask = half_mask(half_bits);
+        let table = (half_bits <= table_max).then(|| {
+            let size = 1usize << half_bits;
+            let mut t = vec![0u64; ROUNDS * size];
+            for (r, round) in t.chunks_exact_mut(size).enumerate() {
+                for (x, slot) in round.iter_mut().enumerate() {
+                    *slot = hmac_round(&hmac, r as u32, x as u64, mask);
+                }
+            }
+            t
+        });
+        FeistelSchedule {
+            half_bits,
+            hmac,
+            table,
+        }
+    }
+
+    fn round(&self, round_idx: u32, half: u64) -> u64 {
+        match &self.table {
+            Some(t) => t[((round_idx as usize) << self.half_bits) | half as usize],
+            None => hmac_round(&self.hmac, round_idx, half, half_mask(self.half_bits)),
+        }
+    }
+
+    /// Applies the forward permutation (identical to [`FeistelPrp::permute`]).
+    pub fn permute(&self, x: u64) -> u64 {
+        let mask = half_mask(self.half_bits);
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for r in 0..ROUNDS as u32 {
+            let new_left = right;
+            let new_right = left ^ self.round(r, right);
+            left = new_left;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Applies the inverse permutation (identical to [`FeistelPrp::inverse`]).
+    pub fn inverse(&self, y: u64) -> u64 {
+        let mask = half_mask(self.half_bits);
+        let mut left = (y >> self.half_bits) & mask;
+        let mut right = y & mask;
+        for r in (0..ROUNDS as u32).rev() {
+            let prev_right = left;
+            let prev_left = right ^ self.round(r, prev_right);
+            left = prev_left;
+            right = prev_right;
+        }
+        (left << self.half_bits) | right
+    }
+}
+
+fn half_mask(half_bits: u32) -> u64 {
+    if half_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << half_bits) - 1
+    }
+}
+
+/// One round-function evaluation from precomputed key midstates — the
+/// same bytes [`FeistelPrp::round`] hashes.
+fn hmac_round(hmac: &HmacKeySchedule, round_idx: u32, half: u64, mask: u64) -> u64 {
+    let mut h = hmac.start();
+    h.update(&round_idx.to_be_bytes());
+    h.update(&half.to_be_bytes());
+    let tag = h.finalize();
+    u64::from_be_bytes(tag[..8].try_into().expect("8 bytes")) & mask
 }
 
 /// Pseudorandom permutation of an arbitrary domain `[0, n)` by cycle-walking
@@ -165,6 +292,73 @@ impl DomainPrp {
     }
 
     /// Inverse permutation of `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= n`.
+    pub fn inverse(&self, y: u64) -> u64 {
+        assert!(y < self.n, "input {y} outside domain [0, {})", self.n);
+        let mut x = self.feistel.inverse(y);
+        while x >= self.n {
+            x = self.feistel.inverse(x);
+        }
+        x
+    }
+
+    /// Precomputes the per-key round schedule (see [`PrpSchedule`]).
+    pub fn precompute(&self) -> PrpSchedule {
+        PrpSchedule {
+            feistel: self.feistel.precompute(),
+            n: self.n,
+        }
+    }
+}
+
+/// A precomputed [`DomainPrp`]: the same cycle-walked permutation of
+/// `[0, n)`, with the Feistel round functions tabulated per key (see
+/// [`FeistelSchedule`]). Cycle-walking visits points of the enclosing
+/// power-of-four domain, all of which the table covers, so every walk —
+/// however long — is table lookups only.
+///
+/// `Send + Sync` and cheap to share: the POR encoder builds one per file
+/// and hands references to every worker.
+#[derive(Clone, Debug)]
+pub struct PrpSchedule {
+    feistel: FeistelSchedule,
+    n: u64,
+}
+
+impl PrpSchedule {
+    /// Precomputes a PRP schedule over `[0, n)` — equivalent to
+    /// `DomainPrp::new(key, n).precompute()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(key: &[u8; 32], n: u64) -> Self {
+        DomainPrp::new(key, n).precompute()
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Forward permutation of `x` (identical to [`DomainPrp::permute`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn permute(&self, x: u64) -> u64 {
+        assert!(x < self.n, "input {x} outside domain [0, {})", self.n);
+        let mut y = self.feistel.permute(x);
+        while y >= self.n {
+            y = self.feistel.permute(y);
+        }
+        y
+    }
+
+    /// Inverse permutation of `y` (identical to [`DomainPrp::inverse`]).
     ///
     /// # Panics
     ///
@@ -256,6 +450,78 @@ mod tests {
             let y = prp.permute(x);
             assert!(y < 153_008_209);
             assert_eq!(prp.inverse(y), x);
+        }
+    }
+
+    // --- precomputed schedule ≡ per-call construction ----------------------
+
+    #[test]
+    fn feistel_schedule_agrees_on_full_domain_small_half_bits() {
+        for half_bits in 1..=6u32 {
+            let key = [half_bits as u8; 32];
+            let prp = FeistelPrp::new(&key, half_bits);
+            let sched = prp.precompute();
+            for x in 0..(1u64 << (2 * half_bits)) {
+                assert_eq!(sched.permute(x), prp.permute(x), "hb {half_bits} x {x}");
+                assert_eq!(sched.inverse(x), prp.inverse(x), "hb {half_bits} y {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn untabulated_schedule_agrees_on_full_domain() {
+        // Force the midstate-HMAC fallback (table_max = 0) and pin it to
+        // the same permutation — big-domain behaviour tested small.
+        let key = [0x42u8; 32];
+        let prp = FeistelPrp::new(&key, 4);
+        let sched = FeistelSchedule::with_table_limit(&key, 4, 0);
+        for x in 0..256u64 {
+            assert_eq!(sched.permute(x), prp.permute(x), "x {x}");
+            assert_eq!(sched.inverse(x), prp.inverse(x), "y {x}");
+        }
+    }
+
+    #[test]
+    fn domain_schedule_agrees_through_cycle_walking() {
+        // Non-power-of-four domains force cycle walks; every walked point
+        // must resolve identically. 5 and 1000 walk hard; 4096 not at all.
+        for n in [1u64, 2, 3, 5, 17, 1000, 4096, 4097] {
+            let key = [0x17u8; 32];
+            let prp = DomainPrp::new(&key, n);
+            let sched = prp.precompute();
+            for x in 0..n {
+                let y = sched.permute(x);
+                assert_eq!(y, prp.permute(x), "n {n} x {x}");
+                assert_eq!(sched.inverse(y), x, "n {n} y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn domain_schedule_agrees_on_paper_sized_domain() {
+        // b′ ≈ 1.5e8 blocks: tabulated at half_bits 14. Sample points
+        // across the domain rather than enumerate it.
+        let key = [0x29u8; 32];
+        let n = 153_008_209u64;
+        let prp = DomainPrp::new(&key, n);
+        let sched = prp.precompute();
+        let mut x = 0u64;
+        for i in 0..64u64 {
+            x = (x.wrapping_mul(6364136223846793005).wrapping_add(i)) % n;
+            let y = sched.permute(x);
+            assert_eq!(y, prp.permute(x), "x {x}");
+            assert_eq!(sched.inverse(y), x, "y {y}");
+        }
+        assert_eq!(sched.domain(), n);
+    }
+
+    #[test]
+    fn prp_schedule_new_matches_domain_prp_precompute() {
+        let key = [9u8; 32];
+        let a = PrpSchedule::new(&key, 777);
+        let b = DomainPrp::new(&key, 777).precompute();
+        for x in 0..777u64 {
+            assert_eq!(a.permute(x), b.permute(x));
         }
     }
 }

@@ -1,8 +1,10 @@
 //! SHA-256 implemented from scratch per FIPS 180-4.
 //!
 //! This is the hash underlying every MAC, KDF and signature in the GeoProof
-//! stack. It is written for clarity and portability rather than raw speed;
-//! the protocol only hashes small segments and transcripts.
+//! stack. The portable compression function is written for clarity; on
+//! x86-64 hosts with the SHA extensions a hardware path is selected at
+//! runtime (the digest is bit-identical either way, so protocol transcripts
+//! and tags never depend on which path ran).
 //!
 //! # Examples
 //!
@@ -140,6 +142,17 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY: `available` confirmed the sha/ssse3/sse4.1 features at
+            // runtime, which is exactly what `compress` is gated on.
+            unsafe { shani::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -186,6 +199,138 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hardware SHA-256 compression via the x86-64 SHA extensions.
+///
+/// This follows the canonical SHA-NI round structure: the eight state words
+/// are repacked into the ABEF/CDGH register layout the `sha256rnds2`
+/// instruction expects, the message schedule is advanced four words at a
+/// time with `sha256msg1`/`sha256msg2`, and the state is repacked on exit.
+/// The result is the same FIPS 180-4 function as [`Sha256::compress_soft`],
+/// just computed by dedicated silicon.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::{BLOCK_LEN, K};
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Runtime feature probe, cached so the hot path is one relaxed load.
+    pub(super) fn available() -> bool {
+        const UNKNOWN: u8 = 0;
+        const NO: u8 = 1;
+        const YES: u8 = 2;
+        static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+        match STATE.load(Ordering::Relaxed) {
+            UNKNOWN => {
+                let avail = std::arch::is_x86_feature_detected!("sha")
+                    && std::arch::is_x86_feature_detected!("ssse3")
+                    && std::arch::is_x86_feature_detected!("sse4.1");
+                STATE.store(if avail { YES } else { NO }, Ordering::Relaxed);
+                avail
+            }
+            found => found == YES,
+        }
+    }
+
+    /// One compression round over `block`, updating `state` in place.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified that the CPU supports the `sha`,
+    /// `ssse3` and `sse4.1` features (see [`available`]).
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub(super) unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Round-constant quad i as a vector (lane 0 = K[4i]).
+        macro_rules! kv {
+            ($i:expr) => {
+                _mm_set_epi32(
+                    K[4 * $i + 3] as i32,
+                    K[4 * $i + 2] as i32,
+                    K[4 * $i + 1] as i32,
+                    K[4 * $i] as i32,
+                )
+            };
+        }
+        // Four rounds fed by the message quad `$m` and constant quad `$i`.
+        macro_rules! rounds4 {
+            ($abef:ident, $cdgh:ident, $m:expr, $i:expr) => {{
+                let msg = _mm_add_epi32($m, kv!($i));
+                $cdgh = _mm_sha256rnds2_epu32($cdgh, $abef, msg);
+                let msg = _mm_shuffle_epi32(msg, 0x0E);
+                $abef = _mm_sha256rnds2_epu32($abef, $cdgh, msg);
+            }};
+        }
+        // Next message quad w[t..t+4] from the previous four quads
+        // (`$w0` oldest): msg1 adds the σ0 terms, the alignr supplies
+        // w[t-7..t-3], and msg2 folds in the cascading σ1 terms.
+        macro_rules! schedule {
+            ($w0:expr, $w1:expr, $w2:expr, $w3:expr) => {
+                _mm_sha256msg2_epu32(
+                    _mm_add_epi32(_mm_sha256msg1_epu32($w0, $w1), _mm_alignr_epi8($w3, $w2, 4)),
+                    $w3,
+                )
+            };
+        }
+
+        // Repack little-endian [a,b,c,d][e,f,g,h] into ABEF / CDGH.
+        let dcba = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let hgfe = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        let cdab = _mm_shuffle_epi32(dcba, 0xB1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        // Byte-swap mask: the message words are big-endian in the block.
+        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+        let p = block.as_ptr() as *const __m128i;
+        let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+        let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+        let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+        let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+
+        rounds4!(abef, cdgh, w0, 0);
+        rounds4!(abef, cdgh, w1, 1);
+        rounds4!(abef, cdgh, w2, 2);
+        rounds4!(abef, cdgh, w3, 3);
+        let mut w4 = schedule!(w0, w1, w2, w3);
+        rounds4!(abef, cdgh, w4, 4);
+        w0 = schedule!(w1, w2, w3, w4);
+        rounds4!(abef, cdgh, w0, 5);
+        w1 = schedule!(w2, w3, w4, w0);
+        rounds4!(abef, cdgh, w1, 6);
+        w2 = schedule!(w3, w4, w0, w1);
+        rounds4!(abef, cdgh, w2, 7);
+        w3 = schedule!(w4, w0, w1, w2);
+        rounds4!(abef, cdgh, w3, 8);
+        w4 = schedule!(w0, w1, w2, w3);
+        rounds4!(abef, cdgh, w4, 9);
+        w0 = schedule!(w1, w2, w3, w4);
+        rounds4!(abef, cdgh, w0, 10);
+        w1 = schedule!(w2, w3, w4, w0);
+        rounds4!(abef, cdgh, w1, 11);
+        w2 = schedule!(w3, w4, w0, w1);
+        rounds4!(abef, cdgh, w2, 12);
+        w3 = schedule!(w4, w0, w1, w2);
+        rounds4!(abef, cdgh, w3, 13);
+        w4 = schedule!(w0, w1, w2, w3);
+        rounds4!(abef, cdgh, w4, 14);
+        w0 = schedule!(w1, w2, w3, w4);
+        rounds4!(abef, cdgh, w0, 15);
+
+        let abef = _mm_add_epi32(abef, abef_save);
+        let cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+        // Repack ABEF / CDGH back into [a,b,c,d][e,f,g,h].
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, hgfe);
     }
 }
 
@@ -244,6 +389,40 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
+        }
+    }
+
+    /// The SHA-NI path must agree with the portable rounds on arbitrary
+    /// chaining states, not just the fixed IV the NIST vectors exercise.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hardware_compress_matches_software() {
+        if !super::shani::available() {
+            eprintln!("skipping: CPU lacks the SHA extensions");
+            return;
+        }
+        let mut lcg = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg
+        };
+        for trial in 0..500 {
+            let mut block = [0u8; BLOCK_LEN];
+            for b in block.iter_mut() {
+                *b = (next() >> 33) as u8;
+            }
+            let mut state = H0;
+            for w in state.iter_mut() {
+                *w = (next() >> 16) as u32;
+            }
+            let mut soft = Sha256::new();
+            soft.state = state;
+            soft.compress_soft(&block);
+            let mut hw = state;
+            unsafe { super::shani::compress(&mut hw, &block) };
+            assert_eq!(soft.state, hw, "trial {trial}");
         }
     }
 

@@ -83,17 +83,19 @@ impl BlockCode {
             self.rs.k(),
             "chunk must contain exactly k blocks"
         );
-        let n = self.rs.n();
+        let (n, k) = (self.rs.n(), self.rs.k());
+        // Systematic prefix, then the 16 byte lanes' parity computed in
+        // one interleaved LFSR pass (each block is one row of 16 lanes).
         let mut out = vec![[0u8; BLOCK_BYTES]; n];
-        let mut lane = vec![0u8; self.rs.k()];
-        for byte_idx in 0..BLOCK_BYTES {
-            for (j, block) in chunk.iter().enumerate() {
-                lane[j] = block[byte_idx];
-            }
-            let coded = self.rs.encode(&lane);
-            for (j, &symbol) in coded.iter().enumerate() {
-                out[j][byte_idx] = symbol;
-            }
+        out[..k].copy_from_slice(chunk);
+        let mut data = vec![0u8; k * BLOCK_BYTES];
+        for (row, block) in chunk.iter().enumerate() {
+            data[row * BLOCK_BYTES..(row + 1) * BLOCK_BYTES].copy_from_slice(block);
+        }
+        let mut parity = vec![0u8; (n - k) * BLOCK_BYTES];
+        self.rs.encode_parity_rows(&data, BLOCK_BYTES, &mut parity);
+        for (row, block) in out[k..].iter_mut().enumerate() {
+            block.copy_from_slice(&parity[row * BLOCK_BYTES..(row + 1) * BLOCK_BYTES]);
         }
         out
     }
@@ -213,5 +215,29 @@ mod tests {
     #[should_panic(expected = "exactly k blocks")]
     fn wrong_chunk_size_panics() {
         BlockCode::new(15, 11).encode_chunk(&chunk_of(10, 0));
+    }
+
+    /// The interleaved-LFSR chunk encoder must agree byte for byte with
+    /// the reference per-lane polynomial division, across code shapes.
+    #[test]
+    fn blockwise_parity_matches_per_lane_reference() {
+        for (n, k) in [(255usize, 223usize), (15, 11), (5, 2), (10, 7), (255, 1)] {
+            let code = BlockCode::new(n, k);
+            let chunk = chunk_of(k, (n + k) as u8);
+            let fast = code.encode_chunk(&chunk);
+            let mut lane = vec![0u8; k];
+            for byte_idx in 0..BLOCK_BYTES {
+                for (j, block) in chunk.iter().enumerate() {
+                    lane[j] = block[byte_idx];
+                }
+                let reference = code.rs.encode(&lane);
+                for (j, &symbol) in reference.iter().enumerate() {
+                    assert_eq!(
+                        fast[j][byte_idx], symbol,
+                        "RS({n},{k}) block {j} byte {byte_idx}"
+                    );
+                }
+            }
+        }
     }
 }

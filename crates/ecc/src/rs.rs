@@ -36,6 +36,17 @@ pub struct RsCode {
     n: usize,
     k: usize,
     generator: Vec<Gf>, // ascending coefficients, monic, degree n-k
+    // One 256-entry multiply-by-g[i] table per non-monic generator
+    // coefficient (≤ 8 KiB total), built once at construction. The hot
+    // encode loop then runs branch-free table-lookup-and-XOR instead of
+    // log/exp arithmetic per symbol.
+    gen_tables: Vec<[u8; 256]>,
+    // Split-nibble companions to `gen_tables` for the SIMD parity path:
+    // bytes 0..16 hold g·x for x in 0..16, bytes 16..32 hold g·(x<<4).
+    // Multiplication by a constant is GF(2)-linear, so g·b is the XOR of
+    // the two nibble lookups — the form PSHUFB can evaluate 16 lanes at
+    // a time.
+    gen_nibbles: Vec<[u8; 32]>,
 }
 
 /// Errors returned by [`RsCode::decode`].
@@ -83,7 +94,34 @@ impl RsCode {
         for j in 0..nsym {
             generator = crate::gf256::poly_mul(&generator, &[Gf::alpha_pow(j), Gf::ONE]);
         }
-        RsCode { n, k, generator }
+        let gen_tables = generator[..nsym]
+            .iter()
+            .map(|&g| {
+                let mut table = [0u8; 256];
+                for (x, slot) in table.iter_mut().enumerate() {
+                    *slot = Gf(x as u8).mul(g).0;
+                }
+                table
+            })
+            .collect();
+        let gen_nibbles = generator[..nsym]
+            .iter()
+            .map(|&g| {
+                let mut table = [0u8; 32];
+                for x in 0..16usize {
+                    table[x] = Gf(x as u8).mul(g).0;
+                    table[16 + x] = Gf((x << 4) as u8).mul(g).0;
+                }
+                table
+            })
+            .collect();
+        RsCode {
+            n,
+            k,
+            generator,
+            gen_tables,
+            gen_nibbles,
+        }
     }
 
     /// The paper's (255, 223, 32) configuration: t = 16.
@@ -158,6 +196,65 @@ impl RsCode {
         out.extend_from_slice(data);
         out.extend(dividend[..nsym].iter().map(|g| g.0));
         out
+    }
+
+    /// Computes the `nsym × width` parity bytes for `k` data rows of
+    /// `width` bytes each, laid out row-major in `data` — the LFSR form
+    /// of [`RsCode::encode`] run over all `width` interleaved byte lanes
+    /// at once, through the precomputed multiply tables. `parity` must be
+    /// `nsym × width` bytes and is fully overwritten.
+    ///
+    /// Byte `b` of parity row `i` equals parity symbol `i` of the
+    /// codeword for lane `b` (the `b`-th byte of every data row); tests
+    /// pin this equivalence against [`RsCode::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn encode_parity_rows(&self, data: &[u8], width: usize, parity: &mut [u8]) {
+        let nsym = self.nsym();
+        assert_eq!(data.len(), self.k * width, "data must be k rows");
+        assert_eq!(parity.len(), nsym * width, "parity must be nsym rows");
+        parity.fill(0);
+        if nsym == 0 {
+            return;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if width == 16 && simd::available() {
+            // SAFETY: `available` confirmed SSSE3 at runtime; the length
+            // asserts above establish the k×16 / nsym×16 layout.
+            unsafe { simd::encode_parity_rows_x16(&self.gen_nibbles, data, parity) };
+            return;
+        }
+        self.encode_parity_rows_scalar(data, width, parity);
+    }
+
+    fn encode_parity_rows_scalar(&self, data: &[u8], width: usize, parity: &mut [u8]) {
+        let nsym = self.nsym();
+        // Feedback scratch: f = data row ⊕ top parity row.
+        let mut f = vec![0u8; width];
+        // The polynomial division in `encode` consumes coefficients top
+        // degree first, i.e. data rows in reverse; each step shifts the
+        // remainder registers up one row and folds f·g[i] into row i.
+        for row in (0..self.k).rev() {
+            let d = &data[row * width..(row + 1) * width];
+            let top = &parity[(nsym - 1) * width..];
+            for b in 0..width {
+                f[b] = d[b] ^ top[b];
+            }
+            for i in (1..nsym).rev() {
+                let table = &self.gen_tables[i];
+                let (lo, hi) = parity.split_at_mut(i * width);
+                let prev = &lo[(i - 1) * width..];
+                for b in 0..width {
+                    hi[b] = prev[b] ^ table[f[b] as usize];
+                }
+            }
+            let table = &self.gen_tables[0];
+            for b in 0..width {
+                parity[b] = table[f[b] as usize];
+            }
+        }
     }
 
     fn syndromes(&self, poly: &[Gf]) -> Vec<Gf> {
@@ -351,6 +448,76 @@ fn poly_sub_scaled_shift(a: &[Gf], b: &[Gf], c: Gf, shift: usize) -> Vec<Gf> {
     out
 }
 
+/// PSHUFB-vectorised LFSR parity for 16-byte rows.
+///
+/// One RS chunk stripes 16 byte lanes and a row is exactly one XMM
+/// register, so the whole interleaved remainder update — `hi = prev ⊕
+/// g[i]·f` across all 16 lanes — collapses to two nibble shuffles and two
+/// XORs per generator coefficient. Same arithmetic as the scalar tables,
+/// just 16 lanes per instruction; the block-code tests pin byte equality
+/// against the per-lane reference encoder.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Runtime feature probe, cached so the hot path is one relaxed load.
+    pub(super) fn available() -> bool {
+        const UNKNOWN: u8 = 0;
+        const NO: u8 = 1;
+        const YES: u8 = 2;
+        static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+        match STATE.load(Ordering::Relaxed) {
+            UNKNOWN => {
+                let avail = std::arch::is_x86_feature_detected!("ssse3");
+                STATE.store(if avail { YES } else { NO }, Ordering::Relaxed);
+                avail
+            }
+            found => found == YES,
+        }
+    }
+
+    /// LFSR parity over 16-byte rows; mirrors `encode_parity_rows_scalar`
+    /// with `width == 16` exactly.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified SSSE3 support (see [`available`]) and
+    /// that `data.len() == k·16`, `parity.len() == nsym·16` with
+    /// `nsym == gen_nibbles.len() >= 1`, `parity` zeroed on entry.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn encode_parity_rows_x16(
+        gen_nibbles: &[[u8; 32]],
+        data: &[u8],
+        parity: &mut [u8],
+    ) {
+        const W: usize = 16;
+        let nsym = gen_nibbles.len();
+        let k = data.len() / W;
+        let low_mask = _mm_set1_epi8(0x0f);
+        // g[i]·f for all 16 lanes: split f into nibbles, look each half up
+        // with PSHUFB, XOR the halves (constant multiply is GF(2)-linear).
+        let mul = |i: usize, flo: __m128i, fhi: __m128i| {
+            let t = gen_nibbles[i].as_ptr() as *const __m128i;
+            let lo = _mm_shuffle_epi8(_mm_loadu_si128(t), flo);
+            let hi = _mm_shuffle_epi8(_mm_loadu_si128(t.add(1)), fhi);
+            _mm_xor_si128(lo, hi)
+        };
+        let p = parity.as_mut_ptr() as *mut __m128i;
+        for row in (0..k).rev() {
+            let d = _mm_loadu_si128(data.as_ptr().add(row * W) as *const __m128i);
+            let f = _mm_xor_si128(d, _mm_loadu_si128(p.add(nsym - 1) as *const __m128i));
+            let flo = _mm_and_si128(f, low_mask);
+            let fhi = _mm_and_si128(_mm_srli_epi16::<4>(f), low_mask);
+            for i in (1..nsym).rev() {
+                let prev = _mm_loadu_si128(p.add(i - 1) as *const __m128i);
+                _mm_storeu_si128(p.add(i), _mm_xor_si128(prev, mul(i, flo, fhi)));
+            }
+            _mm_storeu_si128(p, mul(0, flo, fhi));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +526,37 @@ mod tests {
         (0..k)
             .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
             .collect()
+    }
+
+    /// The PSHUFB parity kernel must agree byte for byte with the scalar
+    /// table LFSR across code shapes, including nsym == 1 (no shift loop).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_parity_matches_scalar() {
+        if !super::simd::available() {
+            eprintln!("skipping: CPU lacks SSSE3");
+            return;
+        }
+        for (n, k) in [
+            (255usize, 223usize),
+            (15, 11),
+            (5, 2),
+            (10, 7),
+            (255, 1),
+            (3, 2),
+        ] {
+            let code = RsCode::new(n, k);
+            let nsym = code.nsym();
+            let data: Vec<u8> = (0..k * 16)
+                .map(|i| (i as u8).wrapping_mul(113).wrapping_add((n + k) as u8))
+                .collect();
+            let mut fast = vec![0u8; nsym * 16];
+            code.encode_parity_rows(&data, 16, &mut fast);
+            let mut scalar = vec![0xAAu8; nsym * 16];
+            scalar.fill(0);
+            code.encode_parity_rows_scalar(&data, 16, &mut scalar);
+            assert_eq!(fast, scalar, "RS({n},{k})");
+        }
     }
 
     #[test]

@@ -1,15 +1,21 @@
-//! A small work-stealing thread pool for driving audit sessions.
+//! A small work-stealing thread pool shared across the GeoProof stack.
 //!
-//! The audit engine's unit of work is one whole session (k sequential
-//! challenge rounds — the protocol's timing only means something if the
-//! rounds of a session stay ordered), so the pool schedules *sessions*
-//! across workers. Each worker owns a deque seeded round-robin; when its
-//! own deque runs dry it steals from the back of a sibling's, so a worker
-//! stuck behind slow provers sheds its backlog to idle ones.
+//! Two very different workloads schedule through it: the audit engine
+//! runs whole sessions as jobs (k sequential challenge rounds — the
+//! protocol's timing only means something if the rounds of a session
+//! stay ordered), and the POR streaming encoder fans chunk-groups of
+//! CPU-bound encode work across workers. Both want the same shape: each
+//! worker owns a deque seeded round-robin; when its own deque runs dry
+//! it steals from the back of a sibling's, so a worker stuck behind slow
+//! jobs sheds its backlog to idle ones.
+//!
+//! This crate sits below `geoproof-core` so that `geoproof-por` (which
+//! `core` depends on) can use the same pool; `core` re-exports it as
+//! `geoproof_core::pool` for its existing callers.
 //!
 //! Dependency-free by necessity (no crossbeam in the build environment):
-//! per-worker `parking_lot` mutex deques, which at session granularity
-//! (milliseconds per job) cost nothing measurable.
+//! per-worker `parking_lot` mutex deques, which at session/chunk-group
+//! granularity cost nothing measurable.
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -33,10 +39,14 @@ pub struct PoolStats {
 /// Runs `jobs` to completion on `workers` threads with work stealing.
 ///
 /// Jobs may borrow from the caller's stack (the pool is scoped); the call
-/// returns when every job has finished. Zero workers is clamped to one.
+/// returns when every job has finished. Zero workers is clamped to one,
+/// and a worker count beyond the job count is clamped down to it — a
+/// surplus worker can never run anything, but on an oversubscribed
+/// machine its idle scan-and-sleep loop actively starves the workers
+/// that do have jobs.
 pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
-    let workers = workers.clamp(1, 256);
     let total = jobs.len();
+    let workers = workers.clamp(1, 256).min(total.max(1));
     let queues: Vec<Mutex<VecDeque<Job<'env>>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, job) in jobs.into_iter().enumerate() {
@@ -95,7 +105,7 @@ pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
                                 std::thread::yield_now();
                             } else {
                                 std::thread::sleep(std::time::Duration::from_micros(
-                                    100u64 << (idle_rounds - 16).min(4),
+                                    100u64 << (idle_rounds - 16).min(6),
                                 ));
                             }
                         }

@@ -114,7 +114,27 @@ impl PorEncoder {
     /// a zero-copy [`bytes::Bytes`] view at stride `i`. This is the
     /// upload format the storage and wire layers serve without copying.
     pub fn encode_arena(&self, data: &[u8], keys: &PorKeys, file_id: &str) -> TaggedArena {
-        let mut stream = self.begin_encode(keys, file_id, data.len() as u64, ArenaSink::default());
+        self.encode_arena_threads(data, keys, file_id, 1)
+    }
+
+    /// [`PorEncoder::encode_arena`] with the encode work fanned out over
+    /// `threads` pool workers (see [`crate::stream`]). The output arena is
+    /// bit-identical at every thread count; pass
+    /// [`crate::stream::default_encode_threads`] to follow the machine.
+    pub fn encode_arena_threads(
+        &self,
+        data: &[u8],
+        keys: &PorKeys,
+        file_id: &str,
+        threads: usize,
+    ) -> TaggedArena {
+        let mut stream = self.begin_encode_threads(
+            keys,
+            file_id,
+            data.len() as u64,
+            ArenaSink::default(),
+            threads,
+        );
         stream.push(data);
         let (metadata, sink) = stream.finish();
         sink.into_arena(metadata)
@@ -132,6 +152,24 @@ impl PorEncoder {
         total_len: u64,
         sink: S,
     ) -> StreamingEncoder<S> {
+        self.begin_encode_threads(keys, file_id, total_len, sink, 1)
+    }
+
+    /// [`PorEncoder::begin_encode`] with parallel wave dispatch: input is
+    /// buffered one *wave* at a time and each wave's Reed–Solomon chunks
+    /// are encoded, encrypted and PRP-scattered by `threads` pool workers
+    /// (when the sink offers a [`crate::stream::SinkView`]; otherwise the
+    /// path stays sequential). Output is bit-identical to `threads = 1`;
+    /// peak working memory grows to one wave (≈ 223 KiB × threads at
+    /// paper parameters).
+    pub fn begin_encode_threads<S: SegmentSink>(
+        &self,
+        keys: &PorKeys,
+        file_id: &str,
+        total_len: u64,
+        sink: S,
+        threads: usize,
+    ) -> StreamingEncoder<S> {
         StreamingEncoder::new(
             self.code.clone(),
             self.params,
@@ -139,6 +177,7 @@ impl PorEncoder {
             file_id,
             total_len,
             sink,
+            threads,
         )
     }
 
@@ -200,8 +239,9 @@ impl PorEncoder {
                 block_ok[idx] = ok;
             }
         }
-        // Un-permute and decrypt in one pass.
-        let prp = DomainPrp::new(keys.prp_key(), metadata.encoded_blocks);
+        // Un-permute and decrypt in one pass. The tabulated PRP schedule
+        // pays for itself after a few hundred blocks.
+        let prp = DomainPrp::new(keys.prp_key(), metadata.encoded_blocks).precompute();
         let ctr = Aes128Ctr::new(keys.enc_key(), *b"geoproof");
         let mut encoded: Vec<Block> = vec![[0u8; BLOCK_BYTES]; encoded_blocks];
         let mut erased = vec![false; encoded_blocks];

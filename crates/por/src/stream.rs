@@ -1,5 +1,5 @@
 //! Streaming five-step setup: bounded-memory encoding into a
-//! [`SegmentSink`].
+//! [`SegmentSink`], sequentially or fanned out across a worker pool.
 //!
 //! [`crate::encode::PorEncoder::encode`] used to materialise five full
 //! copies of the file (raw blocks, RS-expanded blocks, the flat
@@ -7,32 +7,72 @@
 //! module restructures the same pipeline around a push API:
 //!
 //! * input is fed in arbitrary-sized chunks and buffered only up to one
-//!   Reed–Solomon chunk (`rs_k` blocks);
+//!   *wave* of Reed–Solomon chunks (one chunk when single-threaded,
+//!   [`WAVE_CHUNKS_PER_WORKER`] chunks per worker when parallel);
 //! * each chunk is RS-encoded, encrypted block-by-block (CTR counter =
 //!   global block index), and every ciphertext block is written straight
 //!   into its *final* permuted position inside the destination
 //!   [`SegmentSink`] — no intermediate file-sized buffer exists;
-//! * a segment is MAC-tagged and announced the moment its last block
-//!   lands (the PRP scatters blocks, so completion order is pseudorandom,
-//!   not index order).
+//! * a segment is MAC-tagged the moment its last block lands (the PRP
+//!   scatters blocks, so completion order is pseudorandom, not index
+//!   order).
 //!
-//! Working memory beyond the destination is **O(chunk)** data plus a
+//! With `threads > 1` (see [`crate::encode::PorEncoder::begin_encode_threads`])
+//! each buffered wave is split into chunk groups and dispatched over the
+//! shared work-stealing pool (`geoproof_pool`). The RS chunk is the
+//! natural work unit: its `rs_n` output blocks depend only on its own
+//! `rs_k` input blocks, the CTR keystream is positioned by global block
+//! index, and the PRP is a bijection — so every worker writes a disjoint
+//! set of block slots and the interleaving cannot change a single output
+//! byte. Per-file key schedules (the PRP round table, the HMAC pad
+//! midstates) are hoisted out of the per-block loop and shared read-only
+//! across workers. Output is **bit-identical** at every thread count;
+//! `tests/golden` pins in the facade crate, `tests/stream_prop.rs`, and
+//! the differential battery in `tests/parallel_encode_prop.rs` enforce
+//! that.
+//!
+//! Working memory beyond the destination is **O(wave)** data plus a
 //! 2-byte fill counter per segment (≈ 2.4 % of the stored bytes at paper
-//! parameters) — not O(file). The emitted bytes are **bit-identical** to
-//! the historical `encode` output; `tests/golden` pins in the facade
-//! crate and property tests in `tests/stream_prop.rs` enforce that.
+//! parameters) plus the per-file PRP round table (≤ 4 MiB, usually far
+//! less) — not O(file).
 //!
 //! See `docs/datapath.md` for the end-to-end zero-copy story
-//! (encode → upload → disk → challenge → transcript).
+//! (encode → upload → disk → challenge → transcript) and the parallel
+//! lifecycle.
 
 use crate::encode::FileMetadata;
 use crate::keys::PorKeys;
 use crate::params::PorParams;
 use bytes::Bytes;
 use geoproof_crypto::aes::Aes128Ctr;
-use geoproof_crypto::hmac::{HmacSha256, TruncatedMac};
-use geoproof_crypto::prp::DomainPrp;
+use geoproof_crypto::hmac::{HmacKeySchedule, TruncatedMac};
+use geoproof_crypto::prp::PrpSchedule;
 use geoproof_ecc::block_code::{Block, BlockCode, BLOCK_BYTES};
+use geoproof_pool::{run_jobs, Job};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Mutex;
+
+/// Reed–Solomon chunks buffered per worker before a parallel wave is
+/// dispatched: large enough to amortise pool startup, small enough that
+/// the wave buffer (`threads × WAVE_CHUNKS_PER_WORKER × rs_k × 16` bytes
+/// — ≈ 223 KiB per worker at paper parameters) stays a small constant.
+pub const WAVE_CHUNKS_PER_WORKER: usize = 64;
+
+/// The encode worker count used when none is given explicitly: the
+/// `GEOPROOF_ENCODE_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn default_encode_threads() -> usize {
+    std::env::var("GEOPROOF_ENCODE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, 256)
+}
 
 /// The derived geometry of one encoded file: how `total_len` input bytes
 /// map onto blocks, Reed–Solomon chunks, and tagged segments. Pure
@@ -160,6 +200,84 @@ pub trait SegmentSink {
     fn finish(&mut self, layout: &SegmentLayout) {
         let _ = layout;
     }
+
+    /// A raw view over the sink's backing storage for the parallel
+    /// encoder's workers, or `None` (the default) if the sink cannot
+    /// offer one — in which case encoding stays sequential regardless of
+    /// the requested thread count.
+    ///
+    /// Implementors must return a view over one contiguous buffer of
+    /// `segments × segment_bytes` bytes at stride `segment_bytes`, valid
+    /// until the next `&mut` method call on the sink. In parallel mode
+    /// [`SegmentSink::complete`] fires after the wave that sealed the
+    /// segment, in ascending index order within the wave.
+    fn contiguous_view(&mut self) -> Option<SinkView> {
+        None
+    }
+}
+
+/// A raw, shareable window over a [`SegmentSink`]'s contiguous backing
+/// store, through which parallel encode workers write ciphertext blocks
+/// and tags.
+///
+/// Soundness rests on the disjoint-slot invariant: the PRP is a
+/// bijection, so each of a wave's workers writes a distinct set of
+/// block-sized slots, and each segment's tag area is written by exactly
+/// one worker — the one whose block completed the segment's fill count
+/// (an `AcqRel` counter chain makes all body writes visible to it). No
+/// byte is written twice and no byte is read before its writer's
+/// increment, so the view's unsafe accessors are race-free by
+/// construction.
+#[derive(Debug)]
+pub struct SinkView {
+    base: *mut u8,
+    len: usize,
+    stride: usize,
+}
+
+// SAFETY: the view is only used under the wave protocol above — writes
+// from distinct threads never overlap and reads are ordered by the fill
+// counters.
+unsafe impl Send for SinkView {}
+unsafe impl Sync for SinkView {}
+
+impl SinkView {
+    /// Wraps a contiguous segment buffer of stride `stride`.
+    pub fn new(buf: &mut [u8], stride: usize) -> Self {
+        SinkView {
+            base: buf.as_mut_ptr(),
+            len: buf.len(),
+            stride,
+        }
+    }
+
+    /// Writes `bytes` at `offset` inside segment `seg`.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent access to the same byte range; the view's buffer
+    /// must still be live.
+    unsafe fn write(&self, seg: u64, offset: usize, bytes: &[u8]) {
+        let start = seg as usize * self.stride + offset;
+        assert!(start + bytes.len() <= self.len, "write past sink view");
+        assert!(offset + bytes.len() <= self.stride, "write past segment");
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(start), bytes.len());
+    }
+
+    /// The first `len` bytes of segment `seg` (its body, when sealing).
+    ///
+    /// # Safety
+    ///
+    /// All writes to the range must happen-before this call and no
+    /// concurrent writes to it may exist; the buffer must still be live.
+    unsafe fn slice(&self, seg: u64, len: usize) -> &[u8] {
+        let start = seg as usize * self.stride;
+        assert!(
+            start + len <= self.len && len <= self.stride,
+            "read past sink view"
+        );
+        std::slice::from_raw_parts(self.base.add(start), len)
+    }
 }
 
 /// The streaming five-step encoder: feed input with
@@ -172,20 +290,30 @@ pub trait SegmentSink {
 pub struct StreamingEncoder<S: SegmentSink> {
     layout: SegmentLayout,
     code: BlockCode,
-    prp: DomainPrp,
+    /// Per-file PRP key schedule: round functions tabulated once, shared
+    /// read-only by every worker.
+    prp: PrpSchedule,
     ctr: Aes128Ctr,
     mac: TruncatedMac,
-    mac_key: [u8; 32],
+    /// Per-file MAC key schedule: HMAC pad midstates hoisted out of the
+    /// per-segment seal.
+    mac_sched: HmacKeySchedule,
     file_id: String,
-    /// Raw input bytes buffered toward the current RS chunk (< rs_k·16).
+    /// Raw input bytes buffered toward the current wave (one RS chunk
+    /// sequentially, `threads × WAVE_CHUNKS_PER_WORKER` chunks parallel).
     pending: Vec<u8>,
+    /// Bytes buffered before a wave flushes.
+    wave_bytes: usize,
+    /// Worker threads for wave dispatch (1 = strictly sequential).
+    threads: usize,
     fed: u64,
     next_chunk: u64,
     /// Blocks landed per segment; a segment seals when it hits
     /// [`SegmentLayout::blocks_in_segment`]. Two bytes per segment — the
     /// only per-file index the encoder keeps (≈ 2.4 % of stored bytes at
-    /// paper parameters).
-    fill: Vec<u16>,
+    /// paper parameters). Atomic so parallel waves can race on the
+    /// increments; the AcqRel chain orders body writes before the seal.
+    fill: Vec<AtomicU16>,
     sealed: u64,
     sink: S,
 }
@@ -208,6 +336,7 @@ impl<S: SegmentSink> StreamingEncoder<S> {
         file_id: &str,
         total_len: u64,
         mut sink: S,
+        threads: usize,
     ) -> Self {
         let layout = SegmentLayout::for_len(params, total_len);
         assert!(
@@ -215,17 +344,34 @@ impl<S: SegmentSink> StreamingEncoder<S> {
             "segment_blocks exceeds the fill-counter range"
         );
         sink.begin(&layout);
+        let threads = threads.clamp(1, 256);
+        let chunk_bytes = params.rs_k * BLOCK_BYTES;
+        // A single-threaded encoder keeps the historical one-chunk buffer
+        // (and the strict O(chunk) memory bound); parallel waves buffer
+        // enough chunks to keep every worker busy, capped at the whole
+        // (chunk-padded) input so small files don't over-allocate.
+        let wave_bytes = if threads > 1 {
+            (threads * WAVE_CHUNKS_PER_WORKER * chunk_bytes)
+                .min((layout.chunks() as usize).saturating_mul(chunk_bytes))
+                .max(chunk_bytes)
+        } else {
+            chunk_bytes
+        };
         StreamingEncoder {
             code,
-            prp: DomainPrp::new(keys.prp_key(), layout.encoded_blocks()),
+            prp: PrpSchedule::new(keys.prp_key(), layout.encoded_blocks()),
             ctr: Aes128Ctr::new(keys.enc_key(), *b"geoproof"),
             mac: TruncatedMac::new(params.tag_bits),
-            mac_key: *keys.mac_key(),
+            mac_sched: HmacKeySchedule::new(keys.mac_key()),
             file_id: file_id.to_owned(),
-            pending: Vec::with_capacity(params.rs_k * BLOCK_BYTES),
+            pending: Vec::with_capacity(wave_bytes),
+            wave_bytes,
+            threads,
             fed: 0,
             next_chunk: 0,
-            fill: vec![0u16; layout.segments() as usize],
+            fill: std::iter::repeat_with(|| AtomicU16::new(0))
+                .take(layout.segments() as usize)
+                .collect(),
             sealed: 0,
             sink,
             layout,
@@ -248,7 +394,7 @@ impl<S: SegmentSink> StreamingEncoder<S> {
     }
 
     /// Feeds the next `data` bytes of the input. Chunking is free-form;
-    /// the encoder buffers at most one RS chunk internally.
+    /// the encoder buffers at most one wave internally.
     ///
     /// # Panics
     ///
@@ -263,17 +409,17 @@ impl<S: SegmentSink> StreamingEncoder<S> {
         );
         let chunk_bytes = self.layout.params().rs_k * BLOCK_BYTES;
         while !data.is_empty() {
-            let take = (chunk_bytes - self.pending.len()).min(data.len());
+            let take = (self.wave_bytes - self.pending.len()).min(data.len());
             self.pending.extend_from_slice(&data[..take]);
             self.fed += take as u64;
             data = &data[take..];
-            if self.pending.len() == chunk_bytes {
-                self.flush_chunk();
+            if self.pending.len() == self.wave_bytes {
+                self.flush_wave((self.wave_bytes / chunk_bytes) as u64);
             }
         }
     }
 
-    /// Flushes the final (possibly padded) chunk, seals any remaining
+    /// Flushes the final (possibly padded) wave, seals any remaining
     /// segments and returns the metadata plus the filled sink.
     ///
     /// # Panics
@@ -287,55 +433,145 @@ impl<S: SegmentSink> StreamingEncoder<S> {
             self.fed,
             self.layout.original_len()
         );
-        // At most one ragged chunk remains; an empty input still owes its
+        // A ragged tail may remain, and an empty input still owes its
         // single all-zero chunk.
-        while self.next_chunk < self.layout.chunks() {
-            self.flush_chunk();
+        let remaining = self.layout.chunks() - self.next_chunk;
+        if remaining > 0 {
+            self.flush_wave(remaining);
         }
         debug_assert_eq!(self.sealed, self.layout.segments());
         self.sink.finish(&self.layout);
         (self.layout.metadata(&self.file_id), self.sink)
     }
 
-    /// RS-encodes the buffered chunk (zero-padded to `rs_k` blocks),
-    /// encrypts each output block at its global CTR position, and scatters
-    /// the ciphertext through the PRP into the sink.
-    fn flush_chunk(&mut self) {
-        let p = *self.layout.params();
-        let mut chunk: Vec<Block> = Vec::with_capacity(p.rs_k);
-        for j in 0..p.rs_k {
-            let mut b: Block = [0u8; BLOCK_BYTES];
-            let start = j * BLOCK_BYTES;
-            if start < self.pending.len() {
-                let end = (start + BLOCK_BYTES).min(self.pending.len());
-                b[..end - start].copy_from_slice(&self.pending[start..end]);
+    /// Processes the next `count` chunks of the file from the wave
+    /// buffer (absent bytes — the ragged tail or fully owed chunks — are
+    /// zero). Dispatches to the pool when parallel encoding is on and
+    /// the sink can take disjoint raw writes; the byte output is
+    /// identical either way.
+    fn flush_wave(&mut self, count: u64) {
+        if self.threads > 1 && count > 1 {
+            if let Some(view) = self.sink.contiguous_view() {
+                let sealed = self.run_wave_parallel(count, view);
+                self.next_chunk += count;
+                self.pending.clear();
+                self.sealed += sealed.len() as u64;
+                for seg in sealed {
+                    self.sink.complete(seg);
+                }
+                return;
             }
-            chunk.push(b);
         }
-        let encoded = self.code.encode_chunk(&chunk);
-        let base = self.next_chunk * p.rs_n as u64;
-        for (j, block) in encoded.into_iter().enumerate() {
-            let mut block = block;
+        for i in 0..count {
+            self.process_chunk_sequential(i);
+        }
+        self.next_chunk += count;
+        self.pending.clear();
+    }
+
+    /// RS-encodes wave chunk `wave_index` (zero-padded to `rs_k`
+    /// blocks), encrypts each output block at its global CTR position,
+    /// and scatters the ciphertext through the PRP into the sink.
+    fn process_chunk_sequential(&mut self, wave_index: u64) {
+        let p = *self.layout.params();
+        let chunk_bytes = p.rs_k * BLOCK_BYTES;
+        let encoded = {
+            let raw = wave_chunk_bytes(&self.pending, wave_index as usize, chunk_bytes);
+            self.code.encode_chunk(&build_blocks(p.rs_k, raw))
+        };
+        let base = (self.next_chunk + wave_index) * p.rs_n as u64;
+        for (j, mut block) in encoded.into_iter().enumerate() {
             let index = base + j as u64;
             self.ctr.apply_keystream_at(&mut block, index);
             let dst = self.prp.permute(index);
             let seg = dst / p.segment_blocks as u64;
             let offset = (dst % p.segment_blocks as u64) as usize * BLOCK_BYTES;
             self.sink.segment_mut(seg)[offset..offset + BLOCK_BYTES].copy_from_slice(&block);
-            self.fill[seg as usize] += 1;
-            if self.fill[seg as usize] == self.layout.blocks_in_segment(seg) {
+            let landed = self.fill[seg as usize].fetch_add(1, Ordering::Relaxed) + 1;
+            if landed == self.layout.blocks_in_segment(seg) {
                 self.seal_segment(seg);
             }
         }
-        self.next_chunk += 1;
-        self.pending.clear();
+    }
+
+    /// Fans `count` chunks out over the pool: each job RS-encodes,
+    /// encrypts and PRP-scatters a group of chunks through `view`,
+    /// sealing any segment whose last block it lands. Returns the
+    /// segments sealed this wave, ascending.
+    fn run_wave_parallel(&self, count: u64, view: SinkView) -> Vec<u64> {
+        let p = *self.layout.params();
+        let chunk_bytes = p.rs_k * BLOCK_BYTES;
+        let body_bytes = self.layout.body_bytes();
+        let first = self.next_chunk;
+        let layout = &self.layout;
+        let code = &self.code;
+        let ctr = &self.ctr;
+        let prp = &self.prp;
+        let mac = &self.mac;
+        let mac_sched = &self.mac_sched;
+        let fill = &self.fill;
+        let pending = &self.pending;
+        let file_id = &self.file_id;
+        let view = &view;
+        let sealed_log: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        // ~4 groups per worker so stealing can even out RS/MAC skew.
+        let group = (count as usize).div_ceil(self.threads * 4).max(1);
+        let jobs: Vec<Job> = (0..count as usize)
+            .step_by(group)
+            .map(|lo| {
+                let hi = (lo + group).min(count as usize);
+                let sealed_log = &sealed_log;
+                Box::new(move || {
+                    let mut local: Vec<u64> = Vec::new();
+                    for i in lo..hi {
+                        let raw = wave_chunk_bytes(pending, i, chunk_bytes);
+                        let encoded = code.encode_chunk(&build_blocks(p.rs_k, raw));
+                        let base = (first + i as u64) * p.rs_n as u64;
+                        for (j, mut block) in encoded.into_iter().enumerate() {
+                            let index = base + j as u64;
+                            ctr.apply_keystream_at(&mut block, index);
+                            let dst = prp.permute(index);
+                            let seg = dst / p.segment_blocks as u64;
+                            let offset = (dst % p.segment_blocks as u64) as usize * BLOCK_BYTES;
+                            // SAFETY: the PRP is a bijection — this wave
+                            // writes each block slot exactly once, from
+                            // exactly one worker.
+                            unsafe { view.write(seg, offset, &block) };
+                            let landed = fill[seg as usize].fetch_add(1, Ordering::AcqRel) + 1;
+                            if landed == layout.blocks_in_segment(seg) {
+                                // SAFETY: every writer incremented the fill
+                                // counter (AcqRel) after its write, and this
+                                // thread's RMW observed the full count — all
+                                // body writes happened-before this read. The
+                                // tag slot is written only here, once.
+                                let tag = {
+                                    let body = unsafe { view.slice(seg, body_bytes) };
+                                    let mut h = mac_sched.start();
+                                    h.update(body);
+                                    h.update(&seg.to_be_bytes());
+                                    h.update(file_id.as_bytes());
+                                    mac.truncate(&h.finalize())
+                                };
+                                unsafe { view.write(seg, body_bytes, &tag) };
+                                local.push(seg);
+                            }
+                        }
+                    }
+                    sealed_log.lock().expect("sealed log").extend(local);
+                }) as Job
+            })
+            .collect();
+        run_jobs(self.threads, jobs);
+        let mut sealed = sealed_log.into_inner().expect("sealed log");
+        sealed.sort_unstable();
+        sealed
     }
 
     /// MACs the completed body in place and writes the tag after it.
     fn seal_segment(&mut self, seg: u64) {
         let body_bytes = self.layout.body_bytes();
         let buf = self.sink.segment_mut(seg);
-        let mut h = HmacSha256::new(&self.mac_key);
+        let mut h = self.mac_sched.start();
         h.update(&buf[..body_bytes]);
         h.update(&seg.to_be_bytes());
         h.update(self.file_id.as_bytes());
@@ -344,6 +580,26 @@ impl<S: SegmentSink> StreamingEncoder<S> {
         self.sink.complete(seg);
         self.sealed += 1;
     }
+}
+
+/// The raw input bytes of wave chunk `index` — possibly short (ragged
+/// tail) or empty (an owed all-zero chunk past the buffered input).
+fn wave_chunk_bytes(pending: &[u8], index: usize, chunk_bytes: usize) -> &[u8] {
+    let start = index * chunk_bytes;
+    if start >= pending.len() {
+        &[]
+    } else {
+        &pending[start..(start + chunk_bytes).min(pending.len())]
+    }
+}
+
+/// Zero-pads `raw` into exactly `k` blocks.
+fn build_blocks(k: usize, raw: &[u8]) -> Vec<Block> {
+    let mut chunk = vec![[0u8; BLOCK_BYTES]; k];
+    for (slot, piece) in chunk.iter_mut().zip(raw.chunks(BLOCK_BYTES)) {
+        slot[..piece.len()].copy_from_slice(piece);
+    }
+    chunk
 }
 
 // --- the contiguous-arena sink ---------------------------------------------
@@ -366,6 +622,10 @@ impl SegmentSink for ArenaSink {
     fn segment_mut(&mut self, index: u64) -> &mut [u8] {
         let start = index as usize * self.stride;
         &mut self.buf[start..start + self.stride]
+    }
+
+    fn contiguous_view(&mut self) -> Option<SinkView> {
+        Some(SinkView::new(&mut self.buf, self.stride))
     }
 }
 

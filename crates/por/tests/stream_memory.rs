@@ -14,7 +14,7 @@
 use geoproof_por::encode::PorEncoder;
 use geoproof_por::keys::PorKeys;
 use geoproof_por::params::PorParams;
-use geoproof_por::stream::{ArenaSink, SegmentLayout};
+use geoproof_por::stream::{ArenaSink, SegmentLayout, WAVE_CHUNKS_PER_WORKER};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -62,6 +62,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// returns `(arena_bytes, peak_extra_bytes)`: peak live allocation during
 /// the encode beyond what was live before it started, minus the arena.
 fn measure_streaming_encode(total: u64) -> (usize, usize) {
+    measure_streaming_encode_threads(total, 1)
+}
+
+/// [`measure_streaming_encode`] on `threads` pool workers.
+fn measure_streaming_encode_threads(total: u64, threads: usize) -> (usize, usize) {
     let params = PorParams::test_small();
     let encoder = PorEncoder::new(params);
     let keys = PorKeys::derive(b"memory-pin", "mem");
@@ -70,7 +75,8 @@ fn measure_streaming_encode(total: u64) -> (usize, usize) {
     let baseline = LIVE.load(Ordering::Relaxed);
     PEAK.store(baseline, Ordering::Relaxed);
 
-    let mut stream = encoder.begin_encode(&keys, "mem", total, ArenaSink::default());
+    let mut stream =
+        encoder.begin_encode_threads(&keys, "mem", total, ArenaSink::default(), threads);
     let mut fed = 0u64;
     let mut state = 0x1234_5678_9abc_def0u64;
     while fed < total {
@@ -100,12 +106,34 @@ fn measure_streaming_encode(total: u64) -> (usize, usize) {
 
 /// Extra-memory bound: the RS chunk input buffer and encoded-chunk
 /// scratch, the per-segment u16 fill counters, and slack for small
-/// transients (keys, PRP state, the 64 KiB feed buffer's accounting).
+/// transients (keys, the tabulated PRP schedule — 32 KiB at this file
+/// size, ≤ 4 MiB ever — the RS multiply and nibble tables at 288 B per
+/// parity symbol, and the 64 KiB feed buffer's accounting).
 fn expected_bound(total: u64) -> usize {
-    let layout = SegmentLayout::for_len(PorParams::test_small(), total);
-    let chunk_working = 4 * 11 * 16; // pending + chunk + encoded, with margin
+    expected_bound_threads(total, 1)
+}
+
+/// The documented parallel working-set bound: the sequential bound plus
+/// one *wave* of buffered input (`threads × WAVE_CHUNKS_PER_WORKER`
+/// RS chunks, capped at the chunk-padded input) plus per-worker
+/// encode scratch (an encoded chunk and a raw chunk in flight, with
+/// margin for the pool's queues).
+fn expected_bound_threads(total: u64, threads: usize) -> usize {
+    let params = PorParams::test_small();
+    let layout = SegmentLayout::for_len(params, total);
+    let chunk_bytes = params.rs_k * 16;
+    let chunk_working = 4 * chunk_bytes; // pending + chunk + encoded, with margin
     let fill_counters = 2 * layout.segments() as usize;
-    chunk_working + fill_counters + 256 * 1024
+    let wave = if threads > 1 {
+        (threads * WAVE_CHUNKS_PER_WORKER * chunk_bytes).min(layout.chunks() as usize * chunk_bytes)
+    } else {
+        0
+    };
+    let worker_scratch = if threads > 1 { threads * 8 * 1024 } else { 0 };
+    // 256 B multiply table + 32 B nibble table per parity symbol, plus
+    // allocator bookkeeping for the two table vectors.
+    let codec_tables = (params.rs_n - params.rs_k) * (256 + 32) + 512;
+    chunk_working + fill_counters + wave + worker_scratch + codec_tables + 256 * 1024
 }
 
 #[test]
@@ -142,5 +170,53 @@ fn sixty_four_mib_streaming_encode_has_bounded_working_memory() {
     assert!(
         extra < (total as usize) / 8,
         "working memory {extra} B is not o(file-copies)"
+    );
+}
+
+#[test]
+fn one_mib_parallel_encode_stays_within_per_worker_bound() {
+    let total = 1 << 20;
+    for threads in [2usize, 4] {
+        let (arena, extra) = measure_streaming_encode_threads(total, threads);
+        let bound = expected_bound_threads(total, threads);
+        assert!(
+            extra <= bound,
+            "{threads}-worker working memory {extra} B exceeds bound {bound} B (arena {arena} B)"
+        );
+        // The parallel working set is still a small fraction of the file:
+        // the wave buffer dominates and is capped at the input size.
+        assert!(bound < 2 * total as usize);
+    }
+}
+
+/// The acceptance-scale throughput pin: a 64 MiB encode at 4 workers
+/// must run ≥ 4× faster than at 1 worker. Only meaningful on a machine
+/// that *has* 4 cores — skipped (loudly) otherwise, since on a
+/// single-core host the parallel path can only tie at best. Ignored by
+/// default — run with
+/// `cargo test -p geoproof-por --release --test stream_memory -- --ignored`.
+#[test]
+#[ignore = "64 MiB timed encode: run in release on a ≥4-core machine"]
+fn sixty_four_mib_encode_speeds_up_4x_at_4_workers() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping 4× scaling pin: only {cores} core(s) available");
+        return;
+    }
+    let total: u64 = 64 << 20;
+    let time = |threads: usize| {
+        let start = std::time::Instant::now();
+        let (arena, _) = measure_streaming_encode_threads(total, threads);
+        assert!(arena > 0);
+        start.elapsed()
+    };
+    // Warm once so page-cache/allocator effects hit both runs equally.
+    let _ = time(1);
+    let sequential = time(1);
+    let parallel = time(4);
+    let speedup = sequential.as_secs_f64() / parallel.as_secs_f64();
+    assert!(
+        speedup >= 4.0,
+        "4-worker speedup {speedup:.2}× < 4× (sequential {sequential:?}, parallel {parallel:?})"
     );
 }

@@ -40,7 +40,7 @@ use geoproof::geo::gps::GpsReceiver;
 use geoproof::por::encode::{FileMetadata, PorEncoder};
 use geoproof::por::keys::PorKeys;
 use geoproof::por::params::PorParams;
-use geoproof::por::stream::{ArenaSink, TaggedArena};
+use geoproof::por::stream::{default_encode_threads, ArenaSink, TaggedArena};
 use geoproof::tcp_audit::WallClockVerifier;
 use geoproof::wire::mux::MuxProverServer;
 use geoproof::wire::tcp::{ProverServer, SegmentStore};
@@ -66,6 +66,8 @@ fn main() {
 
 const USAGE: &str = "usage:
   geoproof encode  <input-file> <store-dir> --fid <id> --master <secret>
+                   [--threads N]  (default: all cores; output is identical
+                   at any thread count)
   geoproof extract <store-dir> <output-file> --master <secret>
   geoproof encode-dynamic <input-file> <store-dir> --fid <id> --master <secret>
                    [--segment-bytes N] [--ledger <path>]
@@ -356,6 +358,17 @@ fn cmd_encode(args: &[String]) -> CliResult {
     let store = positional(args, 1)?.to_owned();
     let fid = flag(args, "--fid").ok_or("--fid required")?;
     let master = flag(args, "--master").ok_or("--master required")?;
+    // Worker threads for the encode waves: --threads, else the
+    // GEOPROOF_ENCODE_THREADS env var, else the machine's parallelism.
+    // Output bytes are identical at every count.
+    let threads = match flag(args, "--threads") {
+        Some(t) => t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--threads must be a positive integer, got {t:?}"))?,
+        None => default_encode_threads(),
+    };
     let encoder = PorEncoder::new(PorParams::paper());
     let keys = PorKeys::derive(master.as_bytes(), &fid);
 
@@ -379,7 +392,13 @@ fn cmd_encode(args: &[String]) -> CliResult {
                 .and_then(|mut f| f.read_to_end(&mut data))
                 .map_err(|e| format!("read {input}: {e}"))?;
         }
-        let mut stream = encoder.begin_encode(&keys, &fid, data.len() as u64, ArenaSink::default());
+        let mut stream = encoder.begin_encode_threads(
+            &keys,
+            &fid,
+            data.len() as u64,
+            ArenaSink::default(),
+            threads,
+        );
         stream.push(&data);
         drop(data);
         let (md, sink) = stream.finish();
@@ -389,7 +408,8 @@ fn cmd_encode(args: &[String]) -> CliResult {
             .map_err(|e| format!("stat {input}: {e}"))?
             .len();
         let mut file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
-        let mut stream = encoder.begin_encode(&keys, &fid, total, ArenaSink::default());
+        let mut stream =
+            encoder.begin_encode_threads(&keys, &fid, total, ArenaSink::default(), threads);
         let mut buf = vec![0u8; ENCODE_CHUNK];
         // The layout was sized from the stat above; clamp to it so a file
         // that grows mid-encode yields exactly the declared prefix, and a

@@ -37,11 +37,13 @@ fn sample_data(len: usize) -> Vec<u8> {
 }
 
 /// Hash of every encoded segment (length-prefixed, in order) for one
-/// deterministic (params, keys, file) triple.
-fn encoded_digest(params: PorParams, len: usize) -> String {
+/// deterministic (params, keys, file) triple, encoded on `threads`
+/// workers.
+fn encoded_digest_threads(params: PorParams, len: usize, threads: usize) -> String {
     let encoder = PorEncoder::new(params);
     let keys = PorKeys::derive(b"golden-master", "golden-file");
-    let tagged = encoder.encode(&sample_data(len), &keys, "golden-file");
+    let arena = encoder.encode_arena_threads(&sample_data(len), &keys, "golden-file", threads);
+    let tagged = arena.to_tagged_file();
     let mut h = Sha256::new();
     for seg in &tagged.segments {
         h.update(&(seg.len() as u64).to_be_bytes());
@@ -51,6 +53,12 @@ fn encoded_digest(params: PorParams, len: usize) -> String {
     h.update(&tagged.metadata.encoded_blocks.to_be_bytes());
     h.update(&tagged.metadata.raw_blocks.to_be_bytes());
     hex(&h.finalize())
+}
+
+/// Hash of every encoded segment (length-prefixed, in order) for one
+/// deterministic (params, keys, file) triple.
+fn encoded_digest(params: PorParams, len: usize) -> String {
+    encoded_digest_threads(params, len, 1)
 }
 
 #[test]
@@ -78,6 +86,43 @@ fn encoded_segments_are_byte_identical_to_pre_refactor() {
         encoded_digest(PorParams::test_small(), 17),
         "a6c6a14389d45e595b5af0ffa4d3dbc53cdcfaaa5e19bb7d7c8b5a5bf494c130"
     );
+}
+
+/// The parallel encoder must reproduce the *same* golden hashes — the
+/// pre-refactor pins above, not merely self-consistent output — at more
+/// than one worker count.
+#[test]
+fn parallel_encoding_matches_the_golden_pins() {
+    for threads in [2usize, 4] {
+        assert_eq!(
+            encoded_digest_threads(PorParams::test_small(), 4000, threads),
+            "2c97620b3f8e7c72b4f2f1a4637a5368aa8690b540787a0e83ca049cf5c9162f",
+            "test_small encoding drifted at {threads} threads"
+        );
+        assert_eq!(
+            encoded_digest_threads(PorParams::paper(), 100_000, threads),
+            "08e33eb7ff635cc98e74dd58474a3ecd80607f041c7108c3bf547f9266ca9ebd",
+            "paper-params encoding drifted at {threads} threads"
+        );
+        assert_eq!(
+            encoded_digest_threads(PorParams::test_small(), 0, threads),
+            "d5be87f1d71ffaf4d372e6c4668024f3d5cb252a732b9b201e65b6cbc22a6539",
+            "empty-file encoding drifted at {threads} threads"
+        );
+    }
+}
+
+/// Determinism pin: two encodes of the same input at *different* worker
+/// counts hash identically — thread scheduling can never leak into the
+/// stored bytes.
+#[test]
+fn encode_digest_is_independent_of_worker_count() {
+    let lens = [4000usize, 17, 100_000];
+    for len in lens {
+        let a = encoded_digest_threads(PorParams::test_small(), len, 3);
+        let b = encoded_digest_threads(PorParams::test_small(), len, 7);
+        assert_eq!(a, b, "len {len}: worker count changed the stored bytes");
+    }
 }
 
 /// One deterministic simulated audit; hash of the canonical signing bytes.
