@@ -18,8 +18,10 @@
 use crate::auditor::{AuditReport, Violation};
 use crate::messages::AuditRequest;
 use crate::policy::TimingPolicy;
+use crate::vantage::MultiVantageEstimate;
 use bytes::Bytes;
 use geoproof_geo::coords::GeoPoint;
+use geoproof_geo::triangulation::RangeMeasurement;
 use geoproof_sim::time::{Km, SimDuration};
 
 /// Everything needed to re-verify one audit verdict offline: the
@@ -111,6 +113,48 @@ pub trait EvidenceSink: Send + Sync {
             "this evidence sink does not record dynamic audits",
         ))
     }
+
+    /// Records one multi-vantage position estimate. Default: refused — a
+    /// sink predating the multi-vantage flow fails loudly rather than
+    /// dropping evidence on the floor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's storage failure.
+    fn record_position(&self, bundle: &PositionBundle) -> std::io::Result<()> {
+        let _ = bundle;
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "this evidence sink does not record position estimates",
+        ))
+    }
+}
+
+/// Everything needed to re-derive one multi-vantage position verdict
+/// offline: the SLA claim, the acceptance thresholds, and every vantage's
+/// coordinates and reported range. The aggregate `estimate` is recorded
+/// too, but it is *derived* state — replay recomputes it from the inputs
+/// (seeded at the SLA coordinates, so the fit is deterministic) and
+/// byte-compares, exactly as audit reports are byte-compared.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PositionBundle {
+    /// The prover (cloud site) this estimate speaks about.
+    pub prover: String,
+    /// Epoch of the first constituent vantage audit; the vantage audits
+    /// occupy `first_epoch .. first_epoch + vantages.len()` evidence
+    /// records for this batch's vantage identities.
+    pub first_epoch: u64,
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted distance between the estimate and the SLA coordinates.
+    pub position_tolerance: Km,
+    /// Accepted RMS range residual over the inlier vantages.
+    pub residual_budget: Km,
+    /// Every vantage's coordinates and RTT-derived range, fleet order.
+    pub vantages: Vec<RangeMeasurement>,
+    /// The aggregate verdict — `None` when the geometry was degenerate
+    /// or under-determined (fewer than three usable vantages).
+    pub estimate: Option<MultiVantageEstimate>,
 }
 
 /// Domain-separation prefix of the canonical report encoding.

@@ -64,6 +64,7 @@ pub mod messages;
 pub mod multisite;
 pub mod policy;
 pub mod provider;
+pub mod vantage;
 pub mod verifier;
 
 pub use auditor::{AuditReport, Auditor, SegmentVerdict, VerifyChecks, Violation};
@@ -78,16 +79,24 @@ pub use dynamic_audit::{
 pub use engine::{
     AuditEngine, AuditSession, EngineConfig, ProverId, ProverSpec, SessionState, SessionTable,
 };
-pub use evidence::{decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, EvidenceSink};
+pub use evidence::{
+    decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, EvidenceSink, PositionBundle,
+};
 pub use fleet::{run_fleet, run_fleet_with_evidence, AdversaryProfile, FleetConfig, FleetOutcome};
 /// The shared work-stealing pool, lifted to its own crate so the POR
 /// encoder (below `core` in the dependency DAG) can use it too;
 /// re-exported here to keep the historical `geoproof_core::pool` path.
 pub use geoproof_pool as pool;
-pub use landmark_audit::{harden_report, landmark_position_check, LandmarkPing};
+pub use landmark_audit::{
+    harden_report, landmark_position_check, robust_landmark_position_check, LandmarkPing,
+};
 pub use messages::{AuditRequest, SignedTranscript, TimedRound};
 pub use multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
 pub use policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
 pub use pool::{run_jobs, PoolStats};
 pub use provider::{DelayedProvider, LocalProvider, RelayProvider, SegmentProvider};
+pub use vantage::{
+    aggregate_vantages, observation_range, run_vantage_sessions, MultiVantageEstimate,
+    MultiVantageOutcome, VantageObservation, VantagePolicy, VantageSession,
+};
 pub use verifier::VerifierDevice;

@@ -79,9 +79,14 @@ pub mod writer;
 pub use chain::{genesis_hash, seal_hash, Digest};
 pub use proof::{InclusionProof, VerifiedEvidence};
 pub use reader::{Checkpoint, Entry, Header, Ledger, Record};
-pub use record::{DigestOp, DigestRecord, DynEvidenceRecord, EvidenceRecord, NO_DIGEST};
+pub use record::{
+    DigestOp, DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, NO_DIGEST,
+};
 pub use sink::LedgerSink;
-pub use verify::{replay, replay_dyn_record, replay_record, ReplayOutcome, SegmentMacCheck};
+pub use verify::{
+    replay, replay_dyn_record, replay_position_record, replay_record, ReplayOutcome,
+    SegmentMacCheck,
+};
 pub use writer::{LedgerWriter, Recovery, DEFAULT_CHECKPOINT_INTERVAL};
 
 use geoproof_core::evidence::ReportDecodeError;
@@ -174,6 +179,13 @@ pub enum LedgerError {
         /// Evidence ordinal of the failing record.
         evidence: u64,
     },
+    /// Replaying a position record — recomputing the aggregate estimate
+    /// from the recorded vantages — produced bytes that differ from the
+    /// recorded ones.
+    PositionMismatch {
+        /// Chain index of the failing record.
+        index: u64,
+    },
     /// The ledger's embedded TPA key differs from the trusted one the
     /// caller supplied.
     TpaKeyMismatch,
@@ -248,6 +260,12 @@ impl std::fmt::Display for LedgerError {
                 write!(
                     f,
                     "evidence {evidence}: recorded MAC verdict contradicts re-derived MAC"
+                )
+            }
+            LedgerError::PositionMismatch { index } => {
+                write!(
+                    f,
+                    "record {index}: replayed position estimate differs from recorded estimate"
                 )
             }
             LedgerError::TpaKeyMismatch => {

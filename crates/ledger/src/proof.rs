@@ -14,9 +14,10 @@
 use crate::chain::{seal_hash, Digest};
 use crate::reader::{checkpoint_message, Entry};
 use crate::record::{
-    DigestRecord, DynEvidenceRecord, EvidenceRecord, TAG_DIGEST, TAG_DYN_EVIDENCE, TAG_EVIDENCE,
+    DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, TAG_DIGEST, TAG_DYN_EVIDENCE,
+    TAG_EVIDENCE, TAG_POSITION,
 };
-use crate::verify::{replay_dyn_record, replay_record};
+use crate::verify::{replay_dyn_record, replay_position_record, replay_record};
 use crate::LedgerError;
 use bytes::Bytes;
 use geoproof_crypto::schnorr::{Signature, VerifyingKey};
@@ -79,6 +80,14 @@ impl VerifiedEvidence {
     pub fn digest(&self) -> Option<&DigestRecord> {
         match &self.entry {
             Entry::Digest(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The proven position estimate, if that is what was proven.
+    pub fn position(&self) -> Option<&PositionRecord> {
+        match &self.entry {
+            Entry::Position(p) => Some(p),
             _ => None,
         }
     }
@@ -198,6 +207,12 @@ impl InclusionProof {
                 DigestRecord::decode(&self.body)
                     .map_err(|_| LedgerError::BadProof("digest body"))?,
             ),
+            Some(&TAG_POSITION) => {
+                let position = PositionRecord::decode(&self.body)
+                    .map_err(|_| LedgerError::BadProof("position body"))?;
+                replay_position_record(&position, &self.body, self.record_index)?;
+                Entry::Position(position)
+            }
             _ => return Err(LedgerError::BadProof("provable record tag")),
         };
         Ok(VerifiedEvidence { entry, seal })

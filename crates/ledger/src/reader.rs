@@ -11,8 +11,8 @@
 use crate::chain::{genesis_hash, seal_hash, Digest};
 use crate::proof::InclusionProof;
 use crate::record::{
-    DigestRecord, DynEvidenceRecord, EvidenceRecord, TAG_CHECKPOINT, TAG_DIGEST, TAG_DYN_EVIDENCE,
-    TAG_EVIDENCE,
+    DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, TAG_CHECKPOINT, TAG_DIGEST,
+    TAG_DYN_EVIDENCE, TAG_EVIDENCE, TAG_POSITION,
 };
 use crate::{LedgerError, MAGIC, VERSION};
 use bytes::Bytes;
@@ -128,6 +128,8 @@ pub enum Entry {
     DynEvidence(DynEvidenceRecord),
     /// One owner digest transition of a dynamic file.
     Digest(DigestRecord),
+    /// One multi-vantage position estimate.
+    Position(PositionRecord),
     /// A signed Merkle commitment over the sealed records so far.
     Checkpoint(Checkpoint),
 }
@@ -172,6 +174,8 @@ pub struct Ledger {
     n_evidence: u64,
     /// Cached count of dynamic evidence entries.
     n_dyn_evidence: u64,
+    /// Cached count of position-estimate entries.
+    n_position: u64,
 }
 
 /// Low-level scan outcome shared by the strict reader and the
@@ -225,6 +229,10 @@ pub(crate) fn scan(bytes: &Bytes) -> Result<Scan, LedgerError> {
             ),
             Some(&TAG_DIGEST) => Entry::Digest(
                 DigestRecord::decode(&body)
+                    .map_err(|what| LedgerError::Malformed { index, what })?,
+            ),
+            Some(&TAG_POSITION) => Entry::Position(
+                PositionRecord::decode(&body)
                     .map_err(|what| LedgerError::Malformed { index, what })?,
             ),
             Some(&TAG_CHECKPOINT) => Entry::Checkpoint(
@@ -283,10 +291,12 @@ impl Ledger {
         let mut checkpoints_at = Vec::new();
         let mut n_evidence = 0u64;
         let mut n_dyn_evidence = 0u64;
+        let mut n_position = 0u64;
         for (i, record) in scan.records.iter().enumerate() {
             match record.entry {
                 Entry::Evidence(_) => n_evidence += 1,
                 Entry::DynEvidence(_) => n_dyn_evidence += 1,
+                Entry::Position(_) => n_position += 1,
                 _ => {}
             }
             if record.entry.is_sealed_leaf() {
@@ -303,6 +313,7 @@ impl Ledger {
             checkpoints_at,
             n_evidence,
             n_dyn_evidence,
+            n_position,
         })
     }
 
@@ -342,6 +353,11 @@ impl Ledger {
         self.n_dyn_evidence
     }
 
+    /// Number of position-estimate records.
+    pub fn position_count(&self) -> u64 {
+        self.n_position
+    }
+
     /// Number of checkpoint records.
     pub fn checkpoint_count(&self) -> u64 {
         self.checkpoints_at.len() as u64
@@ -366,6 +382,17 @@ impl Ledger {
             .enumerate()
             .filter_map(|(ordinal, &i)| match &self.records[i].entry {
                 Entry::DynEvidence(record) => Some((ordinal as u64, record)),
+                _ => None,
+            })
+    }
+
+    /// Position-estimate records with their 0-based sealed ordinals.
+    pub fn positions(&self) -> impl Iterator<Item = (u64, &PositionRecord)> {
+        self.sealed_at
+            .iter()
+            .enumerate()
+            .filter_map(|(ordinal, &i)| match &self.records[i].entry {
+                Entry::Position(record) => Some((ordinal as u64, record)),
                 _ => None,
             })
     }

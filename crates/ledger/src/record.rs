@@ -13,11 +13,14 @@ use bytes::Bytes;
 use geoproof_core::auditor::AuditReport;
 use geoproof_core::dynamic_audit::{DynAuditRequest, DynSignedTranscript};
 use geoproof_core::evidence::{
-    decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, ReportDecodeError,
+    decode_report, encode_report, DynEvidenceBundle, EvidenceBundle, PositionBundle,
+    ReportDecodeError,
 };
 use geoproof_core::messages::{AuditRequest, SignedTranscript, TranscriptDecodeError};
 use geoproof_core::policy::TimingPolicy;
+use geoproof_core::vantage::{aggregate_vantages, MultiVantageEstimate};
 use geoproof_geo::coords::GeoPoint;
+use geoproof_geo::triangulation::RangeMeasurement;
 use geoproof_por::dynamic::DynamicDigest;
 use geoproof_sim::time::{Km, SimDuration};
 
@@ -34,6 +37,9 @@ pub(crate) const TAG_DYN_EVIDENCE: u8 = 3;
 /// init/update/append of a dynamic file, chained so replays can check
 /// every dynamic audit against the digest that was current).
 pub(crate) const TAG_DIGEST: u8 = 4;
+
+/// Body tag of a multi-vantage position-estimate record.
+pub(crate) const TAG_POSITION: u8 = 5;
 
 /// One audit verdict, durably: who was audited, under which acceptance
 /// parameters, the request, the per-round MAC verdicts, the verdict's
@@ -596,6 +602,253 @@ impl DigestRecord {
     }
 }
 
+/// One multi-vantage position verdict, durably: the SLA claim, the two
+/// acceptance thresholds, every vantage's coordinates and RTT-derived
+/// range, and the aggregate estimate. The estimate is *derived* state:
+/// offline replay recomputes it from the recorded inputs (the robust fit
+/// is seeded at the SLA coordinates, so it is deterministic) and the
+/// re-encoded body must byte-compare equal — a tampered estimate, or one
+/// computed under different thresholds, fails the replay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PositionRecord {
+    /// The prover (cloud site) this estimate speaks about.
+    pub prover: String,
+    /// Epoch of the first constituent vantage audit (the vantage audits
+    /// sit in their own evidence records; this ties the batch together).
+    pub first_epoch: u64,
+    /// Where the SLA says the data lives.
+    pub sla_location: GeoPoint,
+    /// Accepted distance between the estimate and the SLA coordinates.
+    pub position_tolerance: Km,
+    /// Accepted RMS range residual over the inlier vantages.
+    pub residual_budget: Km,
+    /// Every vantage's coordinates and range, fleet order.
+    pub vantages: Vec<RangeMeasurement>,
+    /// The aggregate verdict (`None` when the geometry was degenerate or
+    /// under-determined).
+    pub estimate: Option<MultiVantageEstimate>,
+}
+
+impl PositionRecord {
+    /// Builds a record from the bundle a multi-vantage run emitted.
+    pub fn from_bundle(bundle: &PositionBundle) -> Self {
+        PositionRecord {
+            prover: bundle.prover.clone(),
+            first_epoch: bundle.first_epoch,
+            sla_location: bundle.sla_location,
+            position_tolerance: bundle.position_tolerance,
+            residual_budget: bundle.residual_budget,
+            vantages: bundle.vantages.clone(),
+            estimate: bundle.estimate.clone(),
+        }
+    }
+
+    /// Recomputes the aggregate estimate from the recorded inputs —
+    /// exactly the seeded robust fit the live TPA ran. Replay compares
+    /// the re-derived record's bytes against the recorded body.
+    pub fn derive_estimate(&self) -> Option<MultiVantageEstimate> {
+        aggregate_vantages(
+            self.sla_location,
+            &self.vantages,
+            self.position_tolerance,
+            self.residual_budget,
+        )
+    }
+
+    /// Structural invariants every position record must satisfy (the
+    /// writer refuses records that fail; the decoder re-checks so no
+    /// crafted file smuggles one in).
+    pub(crate) fn validate(&self) -> Result<(), &'static str> {
+        let valid_point = |p: &GeoPoint| {
+            p.lat.is_finite()
+                && (-90.0..=90.0).contains(&p.lat)
+                && p.lon.is_finite()
+                && (-180.0..=180.0).contains(&p.lon)
+        };
+        if !valid_point(&self.sla_location) {
+            return Err("SLA location out of range");
+        }
+        if !(self.position_tolerance.0.is_finite() && self.position_tolerance.0 >= 0.0) {
+            return Err("position tolerance not finite and non-negative");
+        }
+        if !(self.residual_budget.0.is_finite() && self.residual_budget.0 >= 0.0) {
+            return Err("residual budget not finite and non-negative");
+        }
+        for v in &self.vantages {
+            if !valid_point(&v.landmark) {
+                return Err("vantage coordinates out of range");
+            }
+            if !(v.distance.0.is_finite() && v.distance.0 >= 0.0) {
+                return Err("vantage range not finite and non-negative");
+            }
+        }
+        if let Some(est) = &self.estimate {
+            if !valid_point(&est.position) {
+                return Err("estimate position out of range");
+            }
+            if !(est.discrepancy.0.is_finite() && est.discrepancy.0 >= 0.0) {
+                return Err("estimate discrepancy not finite and non-negative");
+            }
+            if !(est.rms_inlier_residual.0.is_finite() && est.rms_inlier_residual.0 >= 0.0) {
+                return Err("estimate residual not finite and non-negative");
+            }
+            if est.inliers.len() != self.vantages.len() {
+                return Err("inlier flags do not align with the vantages");
+            }
+            let derivable = est.discrepancy.0 <= self.position_tolerance.0
+                && est.rms_inlier_residual.0 <= self.residual_budget.0;
+            if est.consistent != derivable {
+                return Err("consistency flag contradicts its thresholds");
+            }
+        }
+        Ok(())
+    }
+
+    /// Body length on disk.
+    pub fn body_len(&self) -> usize {
+        1 + 2
+            + self.prover.len()
+            + 8
+            + 8 * 2 // sla lat/lon
+            + 8 * 2 // tolerance + budget
+            + 4
+            + 24 * self.vantages.len()
+            + 1
+            + self.estimate.as_ref().map_or(0, |est| {
+                8 * 2 + 8 * 2 + est.inliers.len().div_ceil(8) + 1
+            })
+    }
+
+    /// Encodes the full body (position records have no streamed payload).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_POSITION);
+        out.extend_from_slice(&(self.prover.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.prover.as_bytes());
+        out.extend_from_slice(&self.first_epoch.to_be_bytes());
+        out.extend_from_slice(&self.sla_location.lat.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.sla_location.lon.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.position_tolerance.0.to_bits().to_be_bytes());
+        out.extend_from_slice(&self.residual_budget.0.to_bits().to_be_bytes());
+        out.extend_from_slice(&(self.vantages.len() as u32).to_be_bytes());
+        for v in &self.vantages {
+            out.extend_from_slice(&v.landmark.lat.to_bits().to_be_bytes());
+            out.extend_from_slice(&v.landmark.lon.to_bits().to_be_bytes());
+            out.extend_from_slice(&v.distance.0.to_bits().to_be_bytes());
+        }
+        match &self.estimate {
+            None => out.push(0),
+            Some(est) => {
+                out.push(1);
+                out.extend_from_slice(&est.position.lat.to_bits().to_be_bytes());
+                out.extend_from_slice(&est.position.lon.to_bits().to_be_bytes());
+                out.extend_from_slice(&est.discrepancy.0.to_bits().to_be_bytes());
+                out.extend_from_slice(&est.rms_inlier_residual.0.to_bits().to_be_bytes());
+                let mut packed = vec![0u8; est.inliers.len().div_ceil(8)];
+                for (i, &inlier) in est.inliers.iter().enumerate() {
+                    if inlier {
+                        packed[i / 8] |= 1 << (i % 8);
+                    }
+                }
+                out.extend_from_slice(&packed);
+                out.push(u8::from(est.consistent));
+            }
+        }
+    }
+
+    /// Decodes a record body (tag included), re-checking the structural
+    /// invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed field's name. Never panics.
+    pub fn decode(body: &Bytes) -> Result<PositionRecord, &'static str> {
+        let mut c = geoproof_core::cursor::ByteCursor::new(body);
+        let trunc = |_| "body truncated";
+        let take_f64 = |c: &mut geoproof_core::cursor::ByteCursor<'_>| {
+            let v = c.take_f64_bits().map_err(trunc)?;
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err("non-finite float")
+            }
+        };
+        if c.take_array::<1>().map_err(trunc)? != [TAG_POSITION] {
+            return Err("not a position record");
+        }
+        let prover_len = c.take_u16().map_err(trunc)? as usize;
+        let prover = std::str::from_utf8(&c.take(prover_len).map_err(trunc)?)
+            .map_err(|_| "prover id not UTF-8")?
+            .to_owned();
+        let first_epoch = c.take_u64().map_err(trunc)?;
+        let sla_location = GeoPoint {
+            lat: take_f64(&mut c)?,
+            lon: take_f64(&mut c)?,
+        };
+        let position_tolerance = Km(take_f64(&mut c)?);
+        let residual_budget = Km(take_f64(&mut c)?);
+        let n_vantages = c.take_u32().map_err(trunc)? as usize;
+        let mut vantages = Vec::with_capacity(n_vantages.min(1024));
+        for _ in 0..n_vantages {
+            let landmark = GeoPoint {
+                lat: take_f64(&mut c)?,
+                lon: take_f64(&mut c)?,
+            };
+            let distance = Km(take_f64(&mut c)?);
+            vantages.push(RangeMeasurement { landmark, distance });
+        }
+        let estimate = match c.take_array::<1>().map_err(trunc)?[0] {
+            0 => None,
+            1 => {
+                let position = GeoPoint {
+                    lat: take_f64(&mut c)?,
+                    lon: take_f64(&mut c)?,
+                };
+                let discrepancy = Km(take_f64(&mut c)?);
+                let rms_inlier_residual = Km(take_f64(&mut c)?);
+                let packed = c.take(n_vantages.div_ceil(8)).map_err(trunc)?;
+                let mut inliers = Vec::with_capacity(n_vantages);
+                for i in 0..n_vantages {
+                    inliers.push(packed[i / 8] & (1 << (i % 8)) != 0);
+                }
+                // Unused pad bits must be zero so encodings stay canonical.
+                if let Some(last) = packed.last() {
+                    let used = n_vantages - (n_vantages / 8) * 8;
+                    if used != 0 && last >> used != 0 {
+                        return Err("nonzero inlier padding bits");
+                    }
+                }
+                let consistent = match c.take_array::<1>().map_err(trunc)?[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err("consistency flag is not a boolean"),
+                };
+                Some(MultiVantageEstimate {
+                    position,
+                    discrepancy,
+                    rms_inlier_residual,
+                    inliers,
+                    consistent,
+                })
+            }
+            _ => return Err("estimate presence flag is not a boolean"),
+        };
+        if !c.at_end() {
+            return Err("trailing bytes in body");
+        }
+        let record = PositionRecord {
+            prover,
+            first_epoch,
+            sla_location,
+            position_tolerance,
+            residual_budget,
+            vantages,
+            estimate,
+        };
+        record.validate()?;
+        Ok(record)
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -854,6 +1107,100 @@ pub(crate) mod tests {
         let mut out = Vec::new();
         bad_init.encode(&mut out);
         assert!(DigestRecord::decode(&Bytes::from(out)).is_err());
+    }
+
+    pub(crate) fn sample_position_record() -> PositionRecord {
+        let sla = GeoPoint::new(-27.47, 153.02);
+        let posts = [
+            GeoPoint::new(-33.87, 151.21),
+            GeoPoint::new(-37.81, 144.96),
+            GeoPoint::new(-31.95, 115.86),
+            GeoPoint::new(-19.26, 146.82),
+            GeoPoint::new(-34.93, 138.60),
+        ];
+        let vantages: Vec<RangeMeasurement> = posts
+            .iter()
+            .map(|p| RangeMeasurement {
+                landmark: *p,
+                distance: p.distance(&sla),
+            })
+            .collect();
+        let mut record = PositionRecord {
+            prover: "prover-0001".into(),
+            first_epoch: 2,
+            sla_location: sla,
+            position_tolerance: Km(50.0),
+            residual_budget: Km(50.0),
+            vantages,
+            estimate: None,
+        };
+        record.estimate = record.derive_estimate();
+        assert!(record.estimate.is_some(), "sample geometry must aggregate");
+        record
+    }
+
+    #[test]
+    fn position_record_roundtrip_and_body_len_agree() {
+        let with_estimate = sample_position_record();
+        let mut without = sample_position_record();
+        without.vantages.truncate(2); // under-determined: no estimate
+        without.estimate = None;
+        for record in [with_estimate, without] {
+            let mut out = Vec::new();
+            record.encode(&mut out);
+            assert_eq!(out.len(), record.body_len());
+            let back = PositionRecord::decode(&Bytes::from(out)).expect("decode");
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn position_record_estimate_rederives_byte_identically() {
+        let record = sample_position_record();
+        let rederived = PositionRecord {
+            estimate: record.derive_estimate(),
+            ..record.clone()
+        };
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        record.encode(&mut a);
+        rederived.encode(&mut b);
+        assert_eq!(a, b, "the seeded robust fit must replay bit-exactly");
+    }
+
+    #[test]
+    fn position_record_decode_rejects_malformed_without_panicking() {
+        let record = sample_position_record();
+        let mut out = Vec::new();
+        record.encode(&mut out);
+        let body = Bytes::from(out);
+        for cut in 0..body.len() {
+            assert!(
+                PositionRecord::decode(&body.slice(..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut extra = body.to_vec();
+        extra.push(0);
+        assert!(PositionRecord::decode(&Bytes::from(extra)).is_err());
+        let mut wrong_tag = body.to_vec();
+        wrong_tag[0] = TAG_EVIDENCE;
+        assert!(PositionRecord::decode(&Bytes::from(wrong_tag)).is_err());
+        // A flipped consistency flag contradicts the recorded thresholds.
+        let mut flipped = body.to_vec();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert_eq!(
+            PositionRecord::decode(&Bytes::from(flipped)),
+            Err("consistency flag contradicts its thresholds")
+        );
+        // Nonzero padding in the inlier bits is non-canonical.
+        let mut padded = body.to_vec();
+        let pad_at = padded.len() - 2; // the packed inlier byte (5 bits used)
+        padded[pad_at] |= 1 << 6;
+        assert_eq!(
+            PositionRecord::decode(&Bytes::from(padded)),
+            Err("nonzero inlier padding bits")
+        );
     }
 
     #[test]

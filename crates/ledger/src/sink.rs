@@ -99,4 +99,11 @@ impl EvidenceSink for LedgerSink {
     ) -> std::io::Result<()> {
         self.writer.lock().append_dyn_bundle(bundle)
     }
+
+    fn record_position(
+        &self,
+        bundle: &geoproof_core::evidence::PositionBundle,
+    ) -> std::io::Result<()> {
+        self.writer.lock().append_position_bundle(bundle)
+    }
 }

@@ -23,7 +23,7 @@
 //! ([`Ledger::head`]) must be compared out-of-band to rule that out.
 
 use crate::reader::{checkpoint_message, Entry, Ledger};
-use crate::record::{DigestOp, DynEvidenceRecord, EvidenceRecord};
+use crate::record::{DigestOp, DynEvidenceRecord, EvidenceRecord, PositionRecord};
 use crate::{Digest, LedgerError};
 use geoproof_core::auditor::VerifyChecks;
 use geoproof_core::dynamic_audit::judge_round;
@@ -68,6 +68,9 @@ pub struct ReplayOutcome {
     pub dynamic: u64,
     /// Digest-transition records chained (per-file continuity checked).
     pub digests: u64,
+    /// Position-estimate records replayed (the aggregate estimate
+    /// recomputed from the recorded vantages and byte-compared).
+    pub positions: u64,
     /// Checkpoints verified.
     pub checkpoints: u64,
     /// Evidence verdicts (static + dynamic) that were ACCEPT.
@@ -161,6 +164,31 @@ pub fn replay_dyn_record(
     Ok(transcript)
 }
 
+/// Replays one position record: recomputes the aggregate estimate from
+/// the recorded vantages — the same SLA-seeded robust fit the live TPA
+/// ran, pure geometry, no keys involved — re-encodes the record with the
+/// re-derived estimate, and byte-compares against the recorded body.
+///
+/// # Errors
+///
+/// [`LedgerError::PositionMismatch`] when the re-derived bytes differ.
+pub fn replay_position_record(
+    record: &PositionRecord,
+    body: &[u8],
+    index: u64,
+) -> Result<(), LedgerError> {
+    let rederived = PositionRecord {
+        estimate: record.derive_estimate(),
+        ..record.clone()
+    };
+    let mut bytes = Vec::with_capacity(rederived.body_len());
+    rederived.encode(&mut bytes);
+    if bytes != body {
+        return Err(LedgerError::PositionMismatch { index });
+    }
+    Ok(())
+}
+
 /// Replays the whole ledger (see the module docs for what is checked
 /// and what is trusted).
 ///
@@ -183,6 +211,7 @@ pub fn replay(
     let mut evidence = 0u64;
     let mut dynamic = 0u64;
     let mut digests = 0u64;
+    let mut positions = 0u64;
     let mut checkpoints = 0u64;
     let mut accepted = 0u64;
     let mut rejected = 0u64;
@@ -285,6 +314,12 @@ pub fn replay(
                 sealed += 1;
                 digests += 1;
             }
+            Entry::Position(p) => {
+                replay_position_record(p, &record.body, record.index)?;
+                evidence_seals.push(record.seal.to_vec());
+                sealed += 1;
+                positions += 1;
+            }
             Entry::Checkpoint(c) => {
                 let signature = Signature::from_bytes(&c.signature);
                 if !tpa.verify(&checkpoint_message(c.covered, &c.root), &signature) {
@@ -314,6 +349,7 @@ pub fn replay(
         evidence,
         dynamic,
         digests,
+        positions,
         checkpoints,
         accepted,
         rejected,

@@ -26,7 +26,7 @@
 
 use crate::chain::{genesis_hash, seal_hash, Digest};
 use crate::reader::{checkpoint_message, scan, Checkpoint, Entry, Header};
-use crate::record::{DigestRecord, DynEvidenceRecord, EvidenceRecord};
+use crate::record::{DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord};
 use crate::{LedgerError, VERSION};
 use bytes::Bytes;
 use geoproof_core::evidence::EvidenceBundle;
@@ -267,6 +267,7 @@ impl LedgerWriter {
                     *per_prover.entry(e.prover.clone()).or_insert(0) += 1;
                 }
                 Entry::Digest(_) => evidence_seals.push(record.seal),
+                Entry::Position(_) => evidence_seals.push(record.seal),
                 Entry::Checkpoint(c) => {
                     // Seals are unkeyed, so a crafted file can chain a
                     // checkpoint with any `covered` claim; taking it at
@@ -653,6 +654,70 @@ impl LedgerWriter {
         self.auto_checkpoint()
     }
 
+    /// Appends one multi-vantage position record. Like
+    /// [`LedgerWriter::append`], the record is validated to *replay*
+    /// before it is sealed: structural invariants must hold, and the
+    /// recorded estimate must re-derive byte-identically from the
+    /// recorded inputs (the offline verifier recomputes the seeded
+    /// robust fit and byte-compares — an estimate that does not
+    /// re-derive would poison the file for [`crate::replay`]).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for a record that would not replay; otherwise as
+    /// [`LedgerWriter::append`].
+    pub fn append_position(&mut self, record: &PositionRecord) -> std::io::Result<()> {
+        self.check_poisoned()?;
+        let invalid = |what: String| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        if record.prover.len() > usize::from(u16::MAX) {
+            return Err(invalid(format!(
+                "prover id is {} bytes; the record format caps it at {}",
+                record.prover.len(),
+                u16::MAX
+            )));
+        }
+        if record.vantages.len() as u64 > u64::from(u32::MAX) {
+            return Err(invalid("record field exceeds the u32 length prefix".into()));
+        }
+        if let Err(what) = record.validate() {
+            return Err(invalid(format!("refusing invalid position record: {what}")));
+        }
+        let rederived = PositionRecord {
+            estimate: record.derive_estimate(),
+            ..record.clone()
+        };
+        let mut a = Vec::with_capacity(record.body_len());
+        record.encode(&mut a);
+        let mut b = Vec::with_capacity(rederived.body_len());
+        rederived.encode(&mut b);
+        if a != b {
+            return Err(invalid(
+                "refusing unreplayable record: the recorded estimate does not re-derive \
+                 from the recorded vantages"
+                    .into(),
+            ));
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&[0u8; 4]);
+        self.scratch.extend_from_slice(&a);
+        let seal = self.write_record(&[])?;
+        self.evidence_seals.push(seal);
+        self.auto_checkpoint()
+    }
+
+    /// Converts and appends a
+    /// [`geoproof_core::evidence::PositionBundle`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LedgerWriter::append_position`].
+    pub fn append_position_bundle(
+        &mut self,
+        bundle: &geoproof_core::evidence::PositionBundle,
+    ) -> std::io::Result<()> {
+        self.append_position(&PositionRecord::from_bundle(bundle))
+    }
+
     /// Writes a checkpoint (TPA-signed Merkle root over all evidence
     /// seals) and **syncs** — a returned `Ok(true)` means everything up
     /// to here is on disk. Returns `Ok(false)` (and writes nothing) when
@@ -918,6 +983,85 @@ mod tests {
         w.append(&sample(2, 0)).expect("normal append still works");
         w.finish().expect("finish");
         assert_eq!(Ledger::read(&path).expect("read").evidence_count(), 1);
+    }
+
+    #[test]
+    fn position_records_roundtrip_and_replay_from_the_tpa_key_alone() {
+        let path = tmp("position.log");
+        std::fs::remove_file(&path).ok();
+        let tpa = tpa();
+        let position = crate::record::tests::sample_position_record();
+        {
+            let mut w = LedgerWriter::create(&path, &tpa, 0, 1).expect("create");
+            w.append_position(&position).expect("append position");
+            w.append_position(&position).expect("append another");
+            w.finish().expect("finish");
+        }
+        let ledger = Ledger::read(&path).expect("read");
+        assert_eq!(ledger.position_count(), 2);
+        let stored: Vec<_> = ledger.positions().collect();
+        assert_eq!(stored.len(), 2);
+        assert_eq!(stored[0].1, &position);
+        // Offline replay recomputes the estimates and byte-compares.
+        let outcome = crate::verify::replay(&ledger, &tpa.verifying_key(), None).expect("replay");
+        assert_eq!(outcome.positions, 2);
+        assert_eq!(outcome.evidence, 0);
+        // The position record is also provable and replays via the proof.
+        let proof = ledger.prove(1).expect("prove the position leaf");
+        let verified = proof.verify(&tpa.verifying_key()).expect("verify");
+        assert_eq!(verified.position(), Some(&position));
+    }
+
+    #[test]
+    fn append_position_refuses_estimates_that_do_not_rederive() {
+        let path = tmp("position-forged.log");
+        std::fs::remove_file(&path).ok();
+        let mut w = LedgerWriter::create(&path, &tpa(), 0, 1).expect("create");
+        let mut forged = crate::record::tests::sample_position_record();
+        // Nudge the recorded estimate away from the true fit: replay
+        // would flag the file, so the writer must refuse it up front.
+        if let Some(est) = forged.estimate.as_mut() {
+            est.discrepancy = geoproof_sim::time::Km(est.discrepancy.0 + 1.0);
+        }
+        let err = w.append_position(&forged).expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(w.record_count(), 0);
+    }
+
+    #[test]
+    fn tampered_position_estimate_fails_replay() {
+        let path = tmp("position-tamper.log");
+        std::fs::remove_file(&path).ok();
+        let tpa = tpa();
+        let position = crate::record::tests::sample_position_record();
+        {
+            let mut w = LedgerWriter::create(&path, &tpa, 0, 1).expect("create");
+            w.append_position(&position).expect("append position");
+            w.sync().expect("sync");
+        }
+        // Flip one bit inside the recorded estimate's latitude. The seal
+        // chain catches any in-place flip; re-sealing the record hides it
+        // from the chain, but replay still recomputes the estimate.
+        let mut raw = std::fs::read(&path).expect("read");
+        let header_len = crate::reader::HEADER_LEN;
+        let body_len = u32::from_be_bytes(raw[header_len..header_len + 4].try_into().unwrap());
+        let body_at = header_len + 4;
+        // estimate latitude = last (8+8+1+1) + 8+8 bytes from body end… locate
+        // it structurally: body ends with [lat lon disc rms pack consistent].
+        let est_lat_at = body_at + body_len as usize - (8 * 4 + 1 + 1);
+        raw[est_lat_at + 7] ^= 0x01; // low mantissa bit of est.position.lat
+        let body = &raw[body_at..body_at + body_len as usize];
+        let genesis = crate::chain::genesis_hash(&raw[..header_len]);
+        let seal = seal_hash(&genesis, 0, body_len, &[body]);
+        let seal_at = body_at + body_len as usize;
+        raw[seal_at..seal_at + 32].copy_from_slice(&seal);
+        std::fs::write(&path, &raw).expect("write tampered");
+
+        let ledger = Ledger::read(&path).expect("chain is internally consistent");
+        match crate::verify::replay(&ledger, &tpa.verifying_key(), None) {
+            Err(LedgerError::PositionMismatch { index }) => assert_eq!(index, 0),
+            other => panic!("expected PositionMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -79,6 +79,8 @@ const USAGE: &str = "usage:
   geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
                    [--budget-ms N] [--ledger <path>] [--prover <id>]
                    [--transcript <path>]
+                   [--vantages N [--vantage-ring-km R] [--byzantine-vantage I]
+                    [--position-tolerance-km T] [--residual-budget-km B]]
   geoproof info    <store-dir>
   geoproof ledger  verify  <path> [--tpa-pub <hex32>] [--master <secret>]
   geoproof ledger  inspect <path>
@@ -732,8 +734,15 @@ fn cmd_serve(args: &[String]) -> CliResult {
 }
 
 fn cmd_audit(args: &[String]) -> CliResult {
+    let multi = args.iter().any(|a| a == "--vantages");
     if args.iter().any(|a| a == "--dynamic") {
+        if multi {
+            return Err("--vantages does not combine with --dynamic".into());
+        }
         return cmd_audit_dynamic(args);
+    }
+    if multi {
+        return cmd_audit_multi_vantage(args);
     }
     let addr: std::net::SocketAddr = positional(args, 0)?
         .parse()
@@ -848,6 +857,310 @@ fn cmd_audit(args: &[String]) -> CliResult {
         Ok(())
     } else {
         Err("audit rejected".into())
+    }
+}
+
+/// Positions vantage `i` of `n` on a ring of `radius_km` around
+/// `center` (equal bearings; small-offset tangent-plane placement).
+fn ring_vantage(
+    center: geoproof::geo::coords::GeoPoint,
+    radius_km: f64,
+    i: usize,
+    n: usize,
+) -> geoproof::geo::coords::GeoPoint {
+    const KM_PER_DEG_LAT: f64 = 111.32;
+    let theta = std::f64::consts::TAU * (i as f64) / (n as f64);
+    let lat = (center.lat + radius_km * theta.cos() / KM_PER_DEG_LAT).clamp(-90.0, 90.0);
+    let lon_scale = KM_PER_DEG_LAT * center.lat.to_radians().cos().abs().max(0.1);
+    let lon = (center.lon + radius_km * theta.sin() / lon_scale + 180.0).rem_euclid(360.0) - 180.0;
+    geoproof::geo::coords::GeoPoint::new(lat, lon)
+}
+
+/// The §V-C(b) countermeasure taken multi-vantage: N verifier devices
+/// at known ring coordinates run concurrent timed sessions against the
+/// one prover, each vantage's fastest Δt becomes a range, and the
+/// outlier-robust aggregate is held against the SLA coordinates. A
+/// minority of lying or laggy vantages (f < N/2) is trimmed rather
+/// than trusted; `--byzantine-vantage I` forces vantage I to report a
+/// wildly inflated Δt so the trim can be demonstrated end-to-end.
+fn cmd_audit_multi_vantage(args: &[String]) -> CliResult {
+    use geoproof::core::vantage::{
+        aggregate_vantages, observation_range, VantageObservation, VantagePolicy,
+    };
+    use geoproof::net::wan::{AccessKind, WanModel};
+    use geoproof::sim::time::{Km, SimDuration};
+
+    let addr: std::net::SocketAddr = positional(args, 0)?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let store = positional(args, 1)?;
+    let master = flag(args, "--master").ok_or("--master required")?;
+    let n: usize = flag(args, "--vantages")
+        .ok_or("--vantages required")?
+        .parse()
+        .map_err(|e| format!("bad --vantages: {e}"))?;
+    if !(1..=64).contains(&n) {
+        return Err("--vantages must be between 1 and 64".into());
+    }
+    let k: u32 = flag(args, "--k")
+        .map(|v| v.parse().map_err(|e| format!("bad --k: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let budget_ms: f64 = flag(args, "--budget-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --budget-ms: {e}")))
+        .transpose()?
+        .unwrap_or(16.0);
+    let ring_km: f64 = flag(args, "--vantage-ring-km")
+        .map(|v| v.parse().map_err(|e| format!("bad --vantage-ring-km: {e}")))
+        .transpose()?
+        .unwrap_or(100.0);
+    if !ring_km.is_finite() || ring_km <= 0.0 || ring_km > 5000.0 {
+        return Err("--vantage-ring-km must be in (0, 5000]".into());
+    }
+    let byzantine: Option<usize> = flag(args, "--byzantine-vantage")
+        .map(|v| {
+            v.parse()
+                .map_err(|e| format!("bad --byzantine-vantage: {e}"))
+        })
+        .transpose()?;
+    if let Some(b) = byzantine {
+        if b >= n {
+            return Err(format!(
+                "--byzantine-vantage {b} out of range (vantages: {n})"
+            ));
+        }
+    }
+    let (_segments, md) = read_store(Path::new(store))?;
+    let params = PorParams::paper();
+    let keys = PorKeys::derive(master.as_bytes(), &md.file_id);
+    let sla = BRISBANE;
+
+    // Range calibration under the paper's WAN model; localhost Δt sits
+    // below the fixed overhead, so honest ranges floor at zero and the
+    // aggregate's residual is ≈ the ring radius — budget accordingly.
+    let (speed, overhead) = WanModel::calibrated(AccessKind::Fibre).ranging_calibration();
+    let policy = VantagePolicy {
+        ranging_speed: speed,
+        ranging_overhead: overhead,
+        position_tolerance: Km(flag(args, "--position-tolerance-km")
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("bad --position-tolerance-km: {e}"))
+            })
+            .transpose()?
+            .unwrap_or(60.0)),
+        residual_budget: Km(flag(args, "--residual-budget-km")
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("bad --residual-budget-km: {e}"))
+            })
+            .transpose()?
+            .unwrap_or(ring_km + 60.0)),
+    };
+
+    // Each vantage is its own verifier device: own key, own GPS fix at
+    // its ring coordinates, own challenge subset, own timed TCP session.
+    // Sessions run concurrently (serve with --concurrent so the prover
+    // multiplexes them) — the whole point is N simultaneous Δt views.
+    let timing = geoproof::core::policy::TimingPolicy {
+        max_network: SimDuration::from_millis_f64(budget_ms / 2.0),
+        max_lookup: SimDuration::from_millis_f64(budget_ms / 2.0),
+    };
+    let mut handles = Vec::with_capacity(n);
+    for v in 0..n {
+        let position = ring_vantage(sla, ring_km, v, n);
+        let file_id = md.file_id.clone();
+        let segments = md.segments;
+        let auditor_keys = keys.auditor_view();
+        handles.push((
+            position,
+            std::thread::spawn(move || -> Result<_, String> {
+                let mut rng = ChaChaRng::from_seed(fresh_seed(&format!("vantage-{v}-key")));
+                let device_key = SigningKey::generate(&mut rng);
+                let mut verifier = WallClockVerifier::new(
+                    device_key.clone(),
+                    GpsReceiver::new(position),
+                    fresh_seed_u64(&format!("vantage-{v}-challenges")),
+                );
+                let mut auditor = geoproof::core::auditor::Auditor::new(
+                    file_id,
+                    segments,
+                    PorEncoder::new(params),
+                    auditor_keys,
+                    device_key.verifying_key(),
+                    position,
+                    geoproof::sim::time::Km(25.0),
+                    timing,
+                    fresh_seed_u64(&format!("vantage-{v}-nonce")),
+                );
+                let request = auditor.issue_request(k);
+                let transcript = verifier
+                    .run_audit(&request, addr)
+                    .map_err(|e| format!("vantage {v} audit I/O: {e}"))?;
+                Ok((auditor, request, transcript))
+            }),
+        ));
+    }
+
+    // Collect in vantage order; a dead session is a hard error — the
+    // fleet geometry is meaningless with holes in it.
+    let mut sessions = Vec::with_capacity(n);
+    for (position, handle) in handles {
+        let (auditor, request, transcript) = handle
+            .join()
+            .map_err(|_| "vantage thread panicked".to_owned())??;
+        sessions.push((position, auditor, request, transcript));
+    }
+
+    // Convert each vantage's fastest round into a range measurement; a
+    // forced-Byzantine vantage reports its Δt inflated by 30 ms (≈ a
+    // few thousand km), exactly the lie the trim must survive.
+    let mut ranges = Vec::with_capacity(n);
+    let mut observations = Vec::with_capacity(n);
+    for (v, (position, _, _, transcript)) in sessions.iter().enumerate() {
+        let mut min_rtt = transcript
+            .rounds
+            .iter()
+            .map(|r| r.rtt)
+            .min()
+            .ok_or(format!("vantage {v}: empty transcript"))?;
+        if byzantine == Some(v) {
+            min_rtt += SimDuration::from_millis(30);
+            println!("vantage {v}: FORCED BYZANTINE — reported Δt inflated by 30 ms");
+        }
+        let obs = VantageObservation {
+            vantage: *position,
+            min_rtt,
+        };
+        ranges.push(observation_range(&obs, &policy));
+        observations.push(obs);
+    }
+
+    // Timed verdicts (majority vote) and, with --ledger, one evidence
+    // record per vantage plus the aggregate position record — all of it
+    // replayable offline from the TPA public key alone.
+    let mut accepted_timing = 0usize;
+    let ledger_path = flag(args, "--ledger");
+    let prover = flag(args, "--prover").unwrap_or_else(|| addr.to_string());
+    let mut writer_and_first_epoch: Option<(geoproof::ledger::LedgerWriter, u64)> = None;
+    if let Some(path) = &ledger_path {
+        let tpa = tpa_ledger_key(&master);
+        let (writer, recovery) = geoproof::ledger::LedgerWriter::open_or_create(
+            path,
+            &tpa,
+            geoproof::ledger::DEFAULT_CHECKPOINT_INTERVAL,
+            fresh_seed_u64("multi-vantage-ledger"),
+        )
+        .map_err(|e| format!("ledger {path}: {e}"))?;
+        if let geoproof::ledger::Recovery::TruncatedTail { dropped } = recovery {
+            eprintln!("ledger: recovered torn tail write ({dropped} bytes truncated)");
+        }
+        writer_and_first_epoch = Some((writer, 0));
+    }
+    for (v, (position, auditor, request, transcript)) in sessions.iter_mut().enumerate() {
+        let report = match &mut writer_and_first_epoch {
+            None => auditor.verify(request, transcript),
+            Some((writer, first_epoch)) => {
+                let epoch = writer.next_epoch(&prover);
+                if v == 0 {
+                    *first_epoch = epoch;
+                }
+                let (report, bundle) =
+                    auditor.verify_evidence(request, transcript, prover.clone(), epoch);
+                writer
+                    .append_bundle(&bundle)
+                    .map_err(|e| format!("ledger: {e}"))?;
+                report
+            }
+        };
+        if report.accepted() {
+            accepted_timing += 1;
+        }
+        println!(
+            "vantage {v} @ ({:+.3}, {:+.3}): min Δt' {:.3} ms, max Δt' {:.3} ms, range {:.1} km → {}",
+            position.lat,
+            position.lon,
+            observations[v].min_rtt.as_millis_f64(),
+            report.max_rtt.as_millis_f64(),
+            ranges[v].distance.0,
+            if report.accepted() { "ACCEPT" } else { "REJECT" }
+        );
+    }
+
+    let estimate = aggregate_vantages(
+        sla,
+        &ranges,
+        policy.position_tolerance,
+        policy.residual_budget,
+    );
+    let timing_ok = accepted_timing * 2 > n;
+    let geometry_ok = estimate.as_ref().map_or(ranges.len() < 3, |e| e.consistent);
+    let accepted = timing_ok && geometry_ok;
+
+    if let Some((mut writer, first_epoch)) = writer_and_first_epoch {
+        let bundle = geoproof::core::evidence::PositionBundle {
+            prover: prover.clone(),
+            first_epoch,
+            sla_location: sla,
+            position_tolerance: policy.position_tolerance,
+            residual_budget: policy.residual_budget,
+            vantages: ranges.clone(),
+            estimate: estimate.clone(),
+        };
+        writer
+            .append_position_bundle(&bundle)
+            .and_then(|()| writer.finish())
+            .map_err(|e| format!("ledger: {e}"))?;
+        let path = ledger_path.as_deref().unwrap_or("?");
+        println!(
+            "evidence: {n} audit records + 1 position record appended to {path}; chain head {}",
+            hex(&writer.head()[..8]),
+        );
+        println!(
+            "          TPA public key {}",
+            hex(&tpa_ledger_key(&master).verifying_key().to_bytes())
+        );
+    }
+
+    println!(
+        "multi-vantage audit of {} @ {addr}: {n} vantages on a {ring_km} km ring, k={k} each",
+        md.file_id
+    );
+    println!(
+        "timing  : {accepted_timing}/{n} vantage audits accepted (majority {})",
+        if timing_ok { "OK" } else { "FAILED" }
+    );
+    match &estimate {
+        Some(e) => {
+            let inliers = e.inliers.iter().filter(|&&i| i).count();
+            println!(
+                "geometry: estimate ({:+.3}, {:+.3}), {:.1} km from SLA claim (tolerance {:.1}), \
+                 rms residual {:.1} km (budget {:.1}), {inliers}/{n} inliers → {}",
+                e.position.lat,
+                e.position.lon,
+                e.discrepancy.0,
+                policy.position_tolerance.0,
+                e.rms_inlier_residual.0,
+                policy.residual_budget.0,
+                if e.consistent {
+                    "CONSISTENT"
+                } else {
+                    "INCONSISTENT"
+                }
+            );
+        }
+        None if ranges.len() < 3 => {
+            println!("geometry: fewer than 3 vantages — timing verdict only");
+        }
+        None => {
+            println!("geometry: DEGENERATE (no usable estimate from {n} vantages) → fail closed");
+        }
+    }
+    println!("verdict : {}", if accepted { "ACCEPT" } else { "REJECT" });
+    if accepted {
+        Ok(())
+    } else {
+        Err("multi-vantage audit rejected".into())
     }
 }
 
@@ -1121,9 +1434,14 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
     .map_err(|e| format!("{path}: {e}"))?;
 
     println!(
-        "{path}: {} records ({} evidence, {} dynamic, {} digest transitions, {} checkpoints), \
-         chain OK",
-        outcome.records, outcome.evidence, outcome.dynamic, outcome.digests, outcome.checkpoints
+        "{path}: {} records ({} evidence, {} dynamic, {} digest transitions, {} position \
+         estimates, {} checkpoints), chain OK",
+        outcome.records,
+        outcome.evidence,
+        outcome.dynamic,
+        outcome.digests,
+        outcome.positions,
+        outcome.checkpoints
     );
     println!("tpa key : {} ({key_source})", hex(&tpa_bytes));
     println!(
@@ -1146,6 +1464,13 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
             "digests : {} transitions chained; every dynamic audit verified against the digest \
              current at its chain position",
             outcome.digests
+        );
+    }
+    if outcome.positions > 0 {
+        println!(
+            "position: {} aggregate estimates re-derived byte-identically from their recorded \
+             vantage ranges",
+            outcome.positions
         );
     }
     if outcome.macs_checked > 0 {
@@ -1230,6 +1555,34 @@ fn cmd_ledger_inspect(args: &[String]) -> CliResult {
                 );
                 sealed += 1;
             }
+            Entry::Position(p) => {
+                let what = match &p.estimate {
+                    Some(e) => format!(
+                        "estimate ({:+.3}, {:+.3}), {:.1} km from SLA, rms {:.1} km, {}/{} \
+                         inliers → {}",
+                        e.position.lat,
+                        e.position.lon,
+                        e.discrepancy.0,
+                        e.rms_inlier_residual.0,
+                        e.inliers.iter().filter(|&&i| i).count(),
+                        p.vantages.len(),
+                        if e.consistent {
+                            "CONSISTENT"
+                        } else {
+                            "INCONSISTENT"
+                        }
+                    ),
+                    None => "no estimate (degenerate geometry)".to_owned(),
+                };
+                println!(
+                    "  [{:>4}] position #{sealed}: prover {:?} first epoch {} — {} vantages, {what}",
+                    record.index,
+                    p.prover,
+                    p.first_epoch,
+                    p.vantages.len(),
+                );
+                sealed += 1;
+            }
             Entry::Checkpoint(c) => println!(
                 "  [{:>4}] checkpoint: covers {} sealed records, root {}…",
                 record.index,
@@ -1273,6 +1626,11 @@ fn cmd_ledger_prove(args: &[String]) -> CliResult {
         geoproof::ledger::Entry::Digest(d) => format!(
             "digest transition ({:?} of {:?} → {} segments)",
             d.op, d.file_id, d.new.segments
+        ),
+        geoproof::ledger::Entry::Position(p) => format!(
+            "position estimate (prover {:?}, {} vantages)",
+            p.prover,
+            p.vantages.len()
         ),
         geoproof::ledger::Entry::Checkpoint(_) => unreachable!("checkpoints are not leaves"),
     };
