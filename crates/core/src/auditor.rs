@@ -320,7 +320,7 @@ impl VerifyChecks<'_> {
         &self,
         request: &AuditRequest,
         transcript: &SignedTranscript,
-        mut segment_ok: impl FnMut(usize, &crate::messages::TimedRound) -> bool,
+        segment_ok: impl FnMut(usize, &crate::messages::TimedRound) -> bool,
     ) -> AuditReport {
         let bytes = SignedTranscript::signing_bytes(
             &transcript.file_id,
@@ -328,8 +328,26 @@ impl VerifyChecks<'_> {
             &transcript.position,
             &transcript.rounds,
         );
+        let sig_ok = self.device_key.verify(&bytes, &transcript.signature);
+        self.verify_transcript_presigned(request, transcript, sig_ok, segment_ok)
+    }
+
+    /// [`VerifyChecks::verify_transcript`] with the signature verdict
+    /// supplied by the caller — the hook batched replay uses to check
+    /// hundreds of transcript signatures in one multi-scalar equation
+    /// and then re-derive each verdict with the precomputed bit. The
+    /// verdict is identical to the sequential path whenever `sig_ok`
+    /// equals what `device_key.verify` returns over the transcript's
+    /// canonical signing bytes.
+    pub fn verify_transcript_presigned(
+        &self,
+        request: &AuditRequest,
+        transcript: &SignedTranscript,
+        sig_ok: bool,
+        mut segment_ok: impl FnMut(usize, &crate::messages::TimedRound) -> bool,
+    ) -> AuditReport {
         let view = TranscriptView {
-            sig_ok: self.device_key.verify(&bytes, &transcript.signature),
+            sig_ok,
             fresh: transcript.nonce == request.nonce && transcript.file_id == request.file_id,
             stale_digest: false,
             position: &transcript.position,
@@ -357,11 +375,25 @@ impl VerifyChecks<'_> {
         &self,
         request: &crate::dynamic_audit::DynAuditRequest,
         transcript: &crate::dynamic_audit::DynSignedTranscript,
-        mut judge: impl FnMut(usize, &crate::dynamic_audit::DynTimedRound) -> SegmentVerdict,
+        judge: impl FnMut(usize, &crate::dynamic_audit::DynTimedRound) -> SegmentVerdict,
     ) -> AuditReport {
         let bytes = transcript.signing_bytes_of();
+        let sig_ok = self.device_key.verify(&bytes, &transcript.signature);
+        self.verify_dyn_transcript_presigned(request, transcript, sig_ok, judge)
+    }
+
+    /// [`VerifyChecks::verify_dyn_transcript`] with the signature verdict
+    /// supplied by the caller (see
+    /// [`VerifyChecks::verify_transcript_presigned`]).
+    pub fn verify_dyn_transcript_presigned(
+        &self,
+        request: &crate::dynamic_audit::DynAuditRequest,
+        transcript: &crate::dynamic_audit::DynSignedTranscript,
+        sig_ok: bool,
+        mut judge: impl FnMut(usize, &crate::dynamic_audit::DynTimedRound) -> SegmentVerdict,
+    ) -> AuditReport {
         let view = TranscriptView {
-            sig_ok: self.device_key.verify(&bytes, &transcript.signature),
+            sig_ok,
             fresh: transcript.nonce == request.nonce && transcript.file_id == request.file_id,
             stale_digest: transcript.digest != request.digest,
             position: &transcript.position,

@@ -57,33 +57,74 @@ fn sub_in_place(a: &mut [u64; 4], b: &[u64; 4]) {
     debug_assert_eq!(borrow, 0, "subtraction underflow");
 }
 
+/// `c = ℓ - 2^252`, the low 126 bits of the group order. Folding with
+/// `2^252 ≡ -c (mod ℓ)` is what makes wide reduction a handful of word
+/// multiplies instead of a 512-step bit ladder.
+const C_WORDS: [u64; 2] = [0x5812631a5cf5d3ed, 0x14def9dea2f79cd6];
+
+/// Reduces a 512-bit little-endian value modulo ℓ.
+///
+/// Splits `v = a + b·2^252` and recurses on `b·c` (`≤ 2^386`, so depth
+/// is bounded at four); the split parts are below ℓ by construction, so
+/// the subtraction stays in [`Scalar::sub`]'s reduced domain.
+fn reduce_wide(v: [u64; 8]) -> Scalar {
+    let a = Scalar([v[0], v[1], v[2], v[3] & 0x0fff_ffff_ffff_ffff]);
+    let mut b = [0u64; 5];
+    for (i, word) in b.iter_mut().enumerate() {
+        let lo = v[i + 3] >> 60;
+        let hi = if i + 4 < 8 { v[i + 4] << 4 } else { 0 };
+        *word = lo | hi;
+    }
+    if b == [0; 5] {
+        return a; // v < 2^252 < ℓ: nothing to fold.
+    }
+    // b·c: column sums stay under u128 because c's words are < 2^63.
+    let mut cols = [0u128; 7];
+    for (i, &bw) in b.iter().enumerate() {
+        for (j, &cw) in C_WORDS.iter().enumerate() {
+            cols[i + j] += (bw as u128) * (cw as u128);
+        }
+    }
+    let mut m = [0u64; 8];
+    let mut carry = 0u128;
+    for (k, &col) in cols.iter().enumerate() {
+        let t = col + carry;
+        m[k] = t as u64;
+        carry = t >> 64;
+    }
+    m[7] = carry as u64;
+    a.sub(&reduce_wide(m))
+}
+
+/// `2^256 mod ℓ`, the chunk stride of [`Scalar::from_bytes_mod_order`].
+fn two_256_mod_l() -> Scalar {
+    use std::sync::OnceLock;
+    static R: OnceLock<Scalar> = OnceLock::new();
+    *R.get_or_init(|| reduce_wide([0, 0, 0, 0, 1, 0, 0, 0]))
+}
+
 impl Scalar {
     /// The zero scalar.
     pub const ZERO: Scalar = Scalar([0; 4]);
     /// The scalar one.
     pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
 
-    /// Reduces an arbitrary big-endian-bit stream of little-endian bytes
-    /// modulo ℓ (Horner over bits, MSB first).
+    /// Reduces an arbitrary-length little-endian byte string modulo ℓ
+    /// (Horner over 256-bit chunks, each folded with `reduce_wide`).
     pub fn from_bytes_mod_order(bytes: &[u8]) -> Scalar {
-        let mut rem = [0u64; 4];
-        for &byte in bytes.iter().rev() {
-            for bit_idx in (0..8).rev() {
-                let bit = (byte >> bit_idx) & 1;
-                // rem = rem*2 + bit
-                let mut carry = bit as u64;
-                for word in rem.iter_mut() {
-                    let new_carry = *word >> 63;
-                    *word = (*word << 1) | carry;
-                    carry = new_carry;
-                }
-                debug_assert_eq!(carry, 0, "remainder overflow");
-                if ge(&rem, &L_WORDS) {
-                    sub_in_place(&mut rem, &L_WORDS);
-                }
+        let mut rem = Scalar::ZERO;
+        for ci in (0..bytes.len().div_ceil(32)).rev() {
+            let start = ci * 32;
+            let end = (start + 32).min(bytes.len());
+            let mut chunk = [0u8; 32];
+            chunk[..end - start].copy_from_slice(&bytes[start..end]);
+            let mut words = [0u64; 8];
+            for (w, word) in words.iter_mut().take(4).enumerate() {
+                *word = u64::from_le_bytes(chunk[8 * w..8 * w + 8].try_into().expect("8"));
             }
+            rem = rem.mul(&two_256_mod_l()).add(&reduce_wide(words));
         }
-        Scalar(rem)
+        rem
     }
 
     /// Builds a scalar from a small integer.
@@ -140,7 +181,7 @@ impl Scalar {
         }
     }
 
-    /// Multiplication mod ℓ (schoolbook product, bitwise reduction).
+    /// Multiplication mod ℓ (schoolbook product, folded reduction).
     pub fn mul(&self, other: &Scalar) -> Scalar {
         // 4x4 -> 8-word product.
         let mut prod = [0u64; 8];
@@ -153,23 +194,7 @@ impl Scalar {
             }
             prod[i + 4] = carry as u64;
         }
-        // Reduce 512-bit product mod ℓ, MSB-first Horner.
-        let mut rem = [0u64; 4];
-        for word_idx in (0..8).rev() {
-            for bit_idx in (0..64).rev() {
-                let bit = (prod[word_idx] >> bit_idx) & 1;
-                let mut carry = bit;
-                for word in rem.iter_mut() {
-                    let new_carry = *word >> 63;
-                    *word = (*word << 1) | carry;
-                    carry = new_carry;
-                }
-                if ge(&rem, &L_WORDS) {
-                    sub_in_place(&mut rem, &L_WORDS);
-                }
-            }
-        }
-        Scalar(rem)
+        reduce_wide(prod)
     }
 
     /// True if the scalar is zero.
@@ -249,12 +274,11 @@ impl Point {
     ///
     /// Returns `None` if `y` is not the y-coordinate of any curve point.
     pub fn from_y_with_sign(y: &Fe, x_is_negative: bool) -> Option<Point> {
-        // x² = (y² - 1) / (d·y² + 1)
+        // x² = (y² - 1) / (d·y² + 1), rooted in one exponentiation.
         let yy = y.square();
         let num = yy.sub(&Fe::ONE);
         let den = const_d().mul(&yy).add(&Fe::ONE);
-        let xx = num.mul(&den.invert());
-        let mut x = xx.sqrt()?;
+        let mut x = Fe::sqrt_ratio(&num, &den)?;
         if x.is_negative() != x_is_negative {
             x = x.neg();
         }
@@ -378,6 +402,129 @@ impl Point {
     }
 }
 
+/// A precomputed table for scalar multiplication by one **fixed** point:
+/// 64 radix-16 windows of 15 odd-and-even multiples each, so a 253-bit
+/// multiply costs at most 64 additions and **zero** doublings (against
+/// the 253 doublings + ~126 additions of the generic ladder).
+///
+/// Build one per long-lived point — the basepoint table is cached
+/// process-wide behind [`base_table`]; verifiers with a hot public key
+/// (the TPA's) build their own via [`FixedBaseTable::new`].
+#[derive(Clone)]
+pub struct FixedBaseTable {
+    /// `windows[i][j] = (j+1) · 16^i · P`.
+    windows: Vec<[Point; 15]>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for `point` (~960 point additions, done
+    /// once).
+    pub fn new(point: &Point) -> FixedBaseTable {
+        let mut windows = Vec::with_capacity(64);
+        let mut base = *point;
+        for _ in 0..64 {
+            let mut row = [base; 15];
+            for j in 1..15 {
+                row[j] = row[j - 1].add(&base);
+            }
+            windows.push(row);
+            base = row[14].add(&base); // 16·base
+        }
+        FixedBaseTable { windows }
+    }
+
+    /// `n · P` by table lookup: one addition per non-zero nibble of `n`.
+    pub fn mul(&self, n: &Scalar) -> Point {
+        let bytes = n.to_bytes_le();
+        let mut acc = Point::identity();
+        for (i, row) in self.windows.iter().enumerate() {
+            let byte = bytes[i / 2];
+            let digit = if i % 2 == 0 { byte & 0xf } else { byte >> 4 };
+            if digit != 0 {
+                acc = acc.add(&row[digit as usize - 1]);
+            }
+        }
+        acc
+    }
+}
+
+/// The process-wide precomputed table for the standard basepoint.
+pub fn base_table() -> &'static FixedBaseTable {
+    use std::sync::OnceLock;
+    static T: OnceLock<FixedBaseTable> = OnceLock::new();
+    T.get_or_init(|| FixedBaseTable::new(&Point::base()))
+}
+
+/// `Σ scalars[i] · points[i]` via Pippenger's bucket method, the shared
+/// multi-scalar multiplication under batched signature verification.
+/// Cost per point falls with batch size (window width grows with `n`);
+/// empty input yields the identity.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn multiscalar_mul(scalars: &[Scalar], points: &[Point]) -> Point {
+    assert_eq!(scalars.len(), points.len(), "scalar/point length mismatch");
+    let n = scalars.len();
+    if n == 0 {
+        return Point::identity();
+    }
+    let w: usize = match n {
+        1..=7 => 4,
+        8..=31 => 5,
+        32..=127 => 6,
+        128..=511 => 7,
+        _ => 8,
+    };
+    let n_windows = 253usize.div_ceil(w);
+    let mask = (1u64 << w) - 1;
+    let digit = |s: &Scalar, win: usize| -> usize {
+        let bit = win * w;
+        let (word, shift) = (bit / 64, bit % 64);
+        let mut d = s.0[word] >> shift;
+        if shift + w > 64 && word + 1 < 4 {
+            d |= s.0[word + 1] << (64 - shift);
+        }
+        (d & mask) as usize
+    };
+    let mut acc = Point::identity();
+    let mut buckets = vec![Point::identity(); (1 << w) - 1];
+    for win in (0..n_windows).rev() {
+        if !acc.is_identity() {
+            for _ in 0..w {
+                acc = acc.double();
+            }
+        }
+        // Scatter into buckets; track the highest live bucket so the
+        // running-sum sweep doesn't pay for empty high multiples (the
+        // common case once 128-bit batching coefficients run out of
+        // windows).
+        let mut top = 0usize;
+        for b in buckets.iter_mut() {
+            *b = Point::identity();
+        }
+        for (s, p) in scalars.iter().zip(points) {
+            let d = digit(s, win);
+            if d != 0 {
+                buckets[d - 1] = buckets[d - 1].add(p);
+                top = top.max(d);
+            }
+        }
+        if top == 0 {
+            continue;
+        }
+        // Σ d·bucket[d] by the running-sum trick: two adds per bucket.
+        let mut running = Point::identity();
+        let mut sum = Point::identity();
+        for b in buckets[..top].iter().rev() {
+            running = running.add(b);
+            sum = sum.add(&running);
+        }
+        acc = acc.add(&sum);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +641,112 @@ mod tests {
         assert!(!d.is_zero());
         assert_eq!(d.add(&b), a);
         assert_eq!(d.add(&Scalar::from_u64(2)), Scalar::ZERO);
+    }
+
+    /// The original bit-at-a-time Horner reduction, kept as the oracle
+    /// for the folded fast path.
+    fn reduce_bits_reference(bytes: &[u8]) -> Scalar {
+        let mut rem = [0u64; 4];
+        for &byte in bytes.iter().rev() {
+            for bit_idx in (0..8).rev() {
+                let bit = (byte >> bit_idx) & 1;
+                let mut carry = bit as u64;
+                for word in rem.iter_mut() {
+                    let new_carry = *word >> 63;
+                    *word = (*word << 1) | carry;
+                    carry = new_carry;
+                }
+                if ge(&rem, &L_WORDS) {
+                    sub_in_place(&mut rem, &L_WORDS);
+                }
+            }
+        }
+        Scalar(rem)
+    }
+
+    #[test]
+    fn folded_reduction_matches_bitwise_reference() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for len in [0usize, 1, 5, 16, 31, 32, 33, 48, 64, 96] {
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            assert_eq!(
+                Scalar::from_bytes_mod_order(&bytes),
+                reduce_bits_reference(&bytes),
+                "len {len}"
+            );
+        }
+        // Boundary values: ℓ-1, ℓ, ℓ+1, all-ones.
+        for delta in [-1i64, 0, 1] {
+            let mut s = Scalar(L_WORDS).to_bytes_le();
+            let mut carry = delta;
+            for b in s.iter_mut() {
+                let v = *b as i64 + carry;
+                *b = (v & 0xff) as u8;
+                carry = v >> 8;
+            }
+            assert_eq!(
+                Scalar::from_bytes_mod_order(&s),
+                reduce_bits_reference(&s),
+                "ℓ{delta:+}"
+            );
+        }
+        assert_eq!(
+            Scalar::from_bytes_mod_order(&[0xff; 64]),
+            reduce_bits_reference(&[0xff; 64])
+        );
+    }
+
+    #[test]
+    fn fixed_base_table_matches_generic_mul() {
+        let table = base_table();
+        let mut s = Scalar::from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(table.mul(&s), Point::base().mul(&s));
+            s = s.mul(&Scalar::from_u64(0xdead_beef)).add(&Scalar::ONE);
+        }
+        assert!(table.mul(&Scalar::ZERO).is_identity());
+        // ℓ-1 exercises every window.
+        let top = Scalar(L_WORDS).sub(&Scalar::ONE);
+        assert_eq!(table.mul(&top), Point::base().mul(&top));
+        // A non-basepoint table.
+        let p = Point::base().mul(&Scalar::from_u64(97));
+        let t2 = FixedBaseTable::new(&p);
+        assert_eq!(
+            t2.mul(&Scalar::from_u64(12345)),
+            p.mul(&Scalar::from_u64(12345))
+        );
+    }
+
+    #[test]
+    fn multiscalar_matches_sum_of_muls() {
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            state
+        };
+        for n in [0usize, 1, 2, 3, 9, 40] {
+            let scalars: Vec<Scalar> = (0..n)
+                .map(|_| {
+                    let mut b = [0u8; 32];
+                    for x in b.iter_mut() {
+                        *x = next() as u8;
+                    }
+                    Scalar::from_bytes_mod_order(&b)
+                })
+                .collect();
+            let points: Vec<Point> = (0..n)
+                .map(|_| Point::base().mul(&Scalar::from_u64(next() % 1000 + 1)))
+                .collect();
+            let expect = scalars
+                .iter()
+                .zip(&points)
+                .fold(Point::identity(), |acc, (s, p)| acc.add(&p.mul(s)));
+            assert_eq!(multiscalar_mul(&scalars, &points), expect, "n = {n}");
+        }
     }
 
     #[test]

@@ -206,9 +206,69 @@ impl Fe {
         Fe(l)
     }
 
-    /// Field squaring.
+    /// Field squaring (dedicated formula: 15 limb products against the
+    /// 25 of a general multiply).
     pub fn square(&self) -> Fe {
-        self.mul(self)
+        let a = &self.0;
+        let a0 = a[0] as u128;
+        let a1 = a[1] as u128;
+        let a2 = a[2] as u128;
+        let a3 = a[3] as u128;
+        let a4 = a[4] as u128;
+        let a3_19 = a3 * 19;
+        let a4_19 = a4 * 19;
+
+        let t0 = a0 * a0 + 2 * (a1 * a4_19 + a2 * a3_19);
+        let mut t1 = a3 * a3_19 + 2 * (a0 * a1 + a2 * a4_19);
+        let mut t2 = a1 * a1 + 2 * (a0 * a2 + a4 * a3_19);
+        let mut t3 = a4 * a4_19 + 2 * (a0 * a3 + a1 * a2);
+        let mut t4 = a2 * a2 + 2 * (a0 * a4 + a1 * a3);
+
+        let mut l = [0u64; 5];
+        t1 += t0 >> 51;
+        l[0] = (t0 as u64) & MASK51;
+        t2 += t1 >> 51;
+        l[1] = (t1 as u64) & MASK51;
+        t3 += t2 >> 51;
+        l[2] = (t2 as u64) & MASK51;
+        t4 += t3 >> 51;
+        l[3] = (t3 as u64) & MASK51;
+        let carry = (t4 >> 51) as u64;
+        l[4] = (t4 as u64) & MASK51;
+        l[0] += 19 * carry;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        Fe(l)
+    }
+
+    /// `self^(2^k)`: `k` successive squarings.
+    fn pow2k(&self, k: u32) -> Fe {
+        let mut r = *self;
+        for _ in 0..k {
+            r = r.square();
+        }
+        r
+    }
+
+    /// Shared prefix of the inversion and square-root exponents:
+    /// `(self^(2^250 - 1), self^11)` via the standard curve25519
+    /// addition chain (11 multiplies instead of one per exponent bit).
+    fn pow22501(&self) -> (Fe, Fe) {
+        let t0 = self.square(); // 2
+        let t1 = t0.square().square(); // 8
+        let t2 = self.mul(&t1); // 9
+        let t3 = t0.mul(&t2); // 11
+        let t4 = t3.square(); // 22
+        let t5 = t2.mul(&t4); // 2^5 - 1
+        let t6 = t5.pow2k(5).mul(&t5); // 2^10 - 1
+        let t7 = t6.pow2k(10).mul(&t6); // 2^20 - 1
+        let t8 = t7.pow2k(20).mul(&t7); // 2^40 - 1
+        let t9 = t8.pow2k(10).mul(&t6); // 2^50 - 1
+        let t10 = t9.pow2k(50).mul(&t9); // 2^100 - 1
+        let t11 = t10.pow2k(100).mul(&t10); // 2^200 - 1
+        let t12 = t11.pow2k(50).mul(&t9); // 2^250 - 1
+        (t12, t3)
     }
 
     /// Multiplicative inverse via Fermat: `self^(p-2)`.
@@ -216,13 +276,40 @@ impl Fe {
     /// Returns `Fe::ZERO` for input zero (zero has no inverse; callers that
     /// care must check separately).
     pub fn invert(&self) -> Fe {
-        // p - 2 = 2^255 - 21. Square-and-multiply over its fixed bit pattern:
-        // all bits set except bits 0..=4 pattern: p-2 = ...11101011.
-        // Simpler: exponent bytes of p-2, little-endian.
-        let mut exp = [0xffu8; 32];
-        exp[0] = 0xeb; // 2^255 - 19 - 2 = ...ffeb
-        exp[31] = 0x7f;
-        self.pow_bytes_le(&exp)
+        // p - 2 = 2^255 - 21 = (2^250 - 1)·2^5 + 11.
+        let (t, x11) = self.pow22501();
+        t.pow2k(5).mul(&x11)
+    }
+
+    /// `self^((p-5)/8)`, the core exponentiation of [`Fe::sqrt_ratio`].
+    fn pow_p58(&self) -> Fe {
+        // (p-5)/8 = 2^252 - 3 = (2^250 - 1)·2^2 + 1.
+        let (t, _) = self.pow22501();
+        t.pow2k(2).mul(self)
+    }
+
+    /// Computes `sqrt(num/den)` with a **single** exponentiation — the
+    /// RFC 8032 point-decoding trick: candidate
+    /// `r = num·den³·(num·den⁷)^((p-5)/8)`, fixed up by `sqrt(-1)` when
+    /// `den·r²  == -num`. Replaces the separate `invert` + `sqrt` pair
+    /// (two full exponentiations) on the decompression hot path.
+    ///
+    /// Returns `None` when `num/den` is a non-residue. `sqrt_ratio(0, 0)`
+    /// yields `Some(ZERO)`, matching `Fe::ZERO.invert() == ZERO` followed
+    /// by `sqrt(0)` in the code it replaces.
+    pub fn sqrt_ratio(num: &Fe, den: &Fe) -> Option<Fe> {
+        let den2 = den.square();
+        let den3 = den2.mul(den);
+        let den7 = den3.square().mul(den);
+        let r = num.mul(&den3).mul(&num.mul(&den7).pow_p58());
+        let check = den.mul(&r.square());
+        if check == *num {
+            return Some(r);
+        }
+        if check == num.neg() {
+            return Some(r.mul(&sqrt_m1()));
+        }
+        None
     }
 
     /// Raises to a little-endian byte exponent (square-and-multiply).
@@ -371,6 +458,56 @@ mod tests {
     fn two_is_not_a_square() {
         // 2 is a quadratic non-residue mod p (p ≡ 5 mod 8).
         assert!(Fe::from_u64(2).sqrt().is_none());
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut x = Fe::from_u64(0x1234_5678_9abc_def0);
+        for _ in 0..50 {
+            assert_eq!(x.square(), x.mul(&x));
+            x = x.mul(&Fe::from_u64(0x9e37_79b9)).add(&Fe::ONE);
+        }
+    }
+
+    #[test]
+    fn invert_chain_matches_pow_bytes() {
+        // The addition chain must agree with the generic Fermat ladder.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        let mut x = Fe::from_u64(7);
+        for _ in 0..20 {
+            assert_eq!(x.invert(), x.pow_bytes_le(&exp));
+            x = x.square().add(&Fe::ONE);
+        }
+    }
+
+    #[test]
+    fn sqrt_ratio_matches_invert_then_sqrt() {
+        let mut num = Fe::from_u64(3);
+        let den = Fe::from_u64(5);
+        let mut residues = 0;
+        for _ in 0..40 {
+            let via_pair = num.mul(&den.invert()).sqrt();
+            let via_ratio = Fe::sqrt_ratio(&num, &den);
+            match (via_pair, via_ratio) {
+                (Some(a), Some(b)) => {
+                    assert!(a == b || a == b.neg());
+                    assert_eq!(b.square().mul(&den), num);
+                    residues += 1;
+                }
+                (None, None) => {}
+                (a, b) => panic!("sqrt disagreement: {a:?} vs {b:?}"),
+            }
+            num = num.square().add(&Fe::from_u64(11));
+        }
+        assert!(residues > 0, "some ratios must be squares");
+    }
+
+    #[test]
+    fn sqrt_ratio_degenerate_inputs() {
+        assert_eq!(Fe::sqrt_ratio(&Fe::ZERO, &Fe::from_u64(9)), Some(Fe::ZERO));
+        assert_eq!(Fe::sqrt_ratio(&Fe::ZERO, &Fe::ZERO), Some(Fe::ZERO));
     }
 
     #[test]

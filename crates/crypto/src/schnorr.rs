@@ -28,8 +28,9 @@
 
 use crate::chacha::ChaChaRng;
 use crate::ct::ct_eq;
-use crate::ed25519::{Point, Scalar};
+use crate::ed25519::{base_table, multiscalar_mul, FixedBaseTable, Point, Scalar};
 use crate::sha256::Sha256;
+use std::collections::HashMap;
 
 /// A Schnorr signature: compressed nonce point `R` and response scalar `s`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,10 @@ impl VerifyingKey {
         })
     }
 
-    /// Verifies `signature` over `message`.
+    /// Verifies `signature` over `message`. The fixed-base half (`s·B`)
+    /// goes through the process-wide precomputed basepoint table; the
+    /// accept/reject decision is pinned identical to
+    /// [`VerifyingKey::verify_reference`] by a property test.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
         let s = Scalar::from_bytes_mod_order(&signature.s_bytes);
         // Reject non-canonical s (must round-trip).
@@ -117,9 +121,205 @@ impl VerifyingKey {
         }
         let e = challenge_scalar(&signature.r_bytes, &self.encoded, message);
         // R' = s·B - e·A must equal R.
+        let r_prime = base_table().mul(&s).add(&self.point.mul(&e).neg());
+        ct_eq(&r_prime.compress(), &signature.r_bytes)
+    }
+
+    /// The pre-table verification path: both scalar multiplications via
+    /// the generic double-and-add ladder. Kept as the oracle the
+    /// table-accelerated [`VerifyingKey::verify`] is pinned against.
+    pub fn verify_reference(&self, message: &[u8], signature: &Signature) -> bool {
+        let s = Scalar::from_bytes_mod_order(&signature.s_bytes);
+        if s.to_bytes_le() != signature.s_bytes {
+            return false;
+        }
+        let e = challenge_scalar(&signature.r_bytes, &self.encoded, message);
         let r_prime = Point::base().mul(&s).add(&self.point.mul(&e).neg());
         ct_eq(&r_prime.compress(), &signature.r_bytes)
     }
+}
+
+/// A verifying key with its own [`FixedBaseTable`], for keys that verify
+/// many signatures — the TPA checkpoint key during ledger replay. Both
+/// scalar multiplications of a verify become table lookups (~128
+/// additions against ~506 doublings + ~252 additions).
+#[derive(Clone)]
+pub struct PrecomputedKey {
+    key: VerifyingKey,
+    table: FixedBaseTable,
+}
+
+impl PrecomputedKey {
+    /// Builds the table for `key` (~960 point additions, once).
+    pub fn new(key: &VerifyingKey) -> PrecomputedKey {
+        PrecomputedKey {
+            key: *key,
+            table: FixedBaseTable::new(&key.point),
+        }
+    }
+
+    /// The underlying key.
+    pub fn key(&self) -> &VerifyingKey {
+        &self.key
+    }
+
+    /// Verifies `signature` over `message`; decision identical to
+    /// [`VerifyingKey::verify`].
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let s = Scalar::from_bytes_mod_order(&signature.s_bytes);
+        if s.to_bytes_le() != signature.s_bytes {
+            return false;
+        }
+        let e = challenge_scalar(&signature.r_bytes, &self.key.encoded, message);
+        let r_prime = base_table().mul(&s).add(&self.table.mul(&e).neg());
+        ct_eq(&r_prime.compress(), &signature.r_bytes)
+    }
+}
+
+/// One `(key, message, signature)` triple of a verification batch.
+#[derive(Clone, Copy)]
+pub struct BatchEntry<'a> {
+    /// The claimed signer.
+    pub key: VerifyingKey,
+    /// The signed message bytes.
+    pub message: &'a [u8],
+    /// The signature to check.
+    pub signature: Signature,
+}
+
+/// A pre-screened batch candidate: everything scalar-shaped hoisted out
+/// of the (possibly repeated) batch equation checks.
+struct Candidate {
+    /// Index into the caller's entry slice.
+    idx: usize,
+    /// Response scalar (canonical by pre-screening).
+    s: Scalar,
+    /// Challenge `e = H(R ‖ A ‖ m)`.
+    e: Scalar,
+    /// 128-bit random-linear-combination coefficient.
+    z: Scalar,
+    /// Decompressed commitment point.
+    r_point: Point,
+}
+
+/// One random-linear-combination check over a candidate subset:
+/// `(Σ zᵢsᵢ)·B == Σ zᵢ·Rᵢ + Σ_keys (Σ_{i∈key} zᵢeᵢ)·A_key`, the
+/// right-hand side as one shared Pippenger multi-scalar multiplication
+/// and the left through the precomputed basepoint table.
+fn batch_equation_holds(entries: &[BatchEntry<'_>], cands: &[&Candidate]) -> bool {
+    let mut s_sum = Scalar::ZERO;
+    let mut scalars = Vec::with_capacity(cands.len() + 4);
+    let mut points = Vec::with_capacity(cands.len() + 4);
+    let mut per_key: HashMap<[u8; 32], (Scalar, Point)> = HashMap::new();
+    for c in cands {
+        s_sum = s_sum.add(&c.z.mul(&c.s));
+        scalars.push(c.z);
+        points.push(c.r_point);
+        let key = &entries[c.idx].key;
+        let slot = per_key
+            .entry(key.encoded)
+            .or_insert((Scalar::ZERO, key.point));
+        slot.0 = slot.0.add(&c.z.mul(&c.e));
+    }
+    for (e_sum, key_point) in per_key.into_values() {
+        scalars.push(e_sum);
+        points.push(key_point);
+    }
+    base_table().mul(&s_sum) == multiscalar_mul(&scalars, &points)
+}
+
+/// Settles every candidate in `cands`: one batch equation when the whole
+/// subset passes, bisection to isolate offenders otherwise. Size-1
+/// subsets delegate to the sequential [`VerifyingKey::verify`], so the
+/// per-entry verdict (and any diagnostic built on it) is byte-identical
+/// to the sequential path.
+fn settle(entries: &[BatchEntry<'_>], cands: &[&Candidate], results: &mut [bool]) {
+    match cands {
+        [] => {}
+        [only] => {
+            let entry = &entries[only.idx];
+            results[only.idx] = entry.key.verify(entry.message, &entry.signature);
+        }
+        _ if batch_equation_holds(entries, cands) => {
+            for c in cands {
+                results[c.idx] = true;
+            }
+        }
+        _ => {
+            let (left, right) = cands.split_at(cands.len() / 2);
+            settle(entries, left, results);
+            settle(entries, right, results);
+        }
+    }
+}
+
+/// Verifies a batch of signatures, returning one verdict per entry —
+/// each **identical** to what `entry.key.verify(entry.message,
+/// &entry.signature)` returns, at a fraction of the cost: shared-base
+/// multi-scalar accumulation amortises the group operations, and a
+/// random 128-bit linear combination (coefficients derived
+/// Fiat–Shamir-style from the batch contents, so runs are reproducible)
+/// makes a passing batch equation a 2⁻¹²⁸-sound proof that every
+/// member verifies. A failing batch is bisected until each offender is
+/// pinpointed by the sequential path itself.
+pub fn batch_verify_each(entries: &[BatchEntry<'_>]) -> Vec<bool> {
+    let mut results = vec![false; entries.len()];
+    // Pre-screen: non-canonical s or an undecodable R can never equal a
+    // compressed point from the verify equation — sequential verify
+    // rejects them, so the batch does too, before any group arithmetic.
+    let mut screened: Vec<(usize, Scalar, Point)> = Vec::with_capacity(entries.len());
+    let mut transcript = Sha256::new();
+    transcript.update(b"geoproof-schnorr-batch-v1");
+    transcript.update(&(entries.len() as u64).to_be_bytes());
+    for entry in entries {
+        transcript.update(&entry.key.encoded);
+        transcript.update(&entry.signature.r_bytes);
+        transcript.update(&entry.signature.s_bytes);
+        transcript.update(&(entry.message.len() as u64).to_be_bytes());
+        transcript.update(entry.message);
+    }
+    let seed = transcript.finalize();
+    for (idx, entry) in entries.iter().enumerate() {
+        let s = Scalar::from_bytes_mod_order(&entry.signature.s_bytes);
+        if s.to_bytes_le() != entry.signature.s_bytes {
+            continue;
+        }
+        let Some(r_point) = Point::decompress(&entry.signature.r_bytes) else {
+            continue;
+        };
+        screened.push((idx, s, r_point));
+    }
+    let candidates: Vec<Candidate> = screened
+        .into_iter()
+        .map(|(idx, s, r_point)| {
+            let entry = &entries[idx];
+            let e = challenge_scalar(&entry.signature.r_bytes, &entry.key.encoded, entry.message);
+            let mut zh = Sha256::new();
+            zh.update(b"geoproof-schnorr-batch-z-v1");
+            zh.update(&seed);
+            zh.update(&(idx as u64).to_be_bytes());
+            let mut z = Scalar::from_bytes_mod_order(&zh.finalize()[..16]);
+            if z.is_zero() {
+                z = Scalar::ONE; // keep the coefficient invertible
+            }
+            Candidate {
+                idx,
+                s,
+                e,
+                z,
+                r_point,
+            }
+        })
+        .collect();
+    let refs: Vec<&Candidate> = candidates.iter().collect();
+    settle(entries, &refs, &mut results);
+    results
+}
+
+/// True when **every** entry verifies ([`batch_verify_each`] with the
+/// verdicts folded).
+pub fn batch_verify(entries: &[BatchEntry<'_>]) -> bool {
+    entries.is_empty() || batch_verify_each(entries).into_iter().all(|ok| ok)
 }
 
 /// A signing (private) key.
@@ -299,6 +499,115 @@ mod tests {
         let a = SigningKey::from_seed(&[42u8; 32]);
         let b = SigningKey::from_seed(&[42u8; 32]);
         assert_eq!(a.verifying_key(), b.verifying_key());
+    }
+
+    #[test]
+    fn batch_empty_and_single() {
+        assert!(batch_verify(&[]));
+        assert_eq!(batch_verify_each(&[]), Vec::<bool>::new());
+        let mut r = rng(9);
+        let sk = SigningKey::generate(&mut r);
+        let sig = sk.sign(b"solo", &mut r);
+        let good = BatchEntry {
+            key: sk.verifying_key(),
+            message: b"solo",
+            signature: sig,
+        };
+        assert_eq!(batch_verify_each(&[good]), vec![true]);
+        let mut bad = good;
+        bad.signature.r_bytes[0] ^= 1;
+        assert_eq!(batch_verify_each(&[bad]), vec![false]);
+    }
+
+    #[test]
+    fn batch_all_valid_many_keys() {
+        let mut r = rng(10);
+        let keys: Vec<SigningKey> = (0..5).map(|_| SigningKey::generate(&mut r)).collect();
+        let messages: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; 9]).collect();
+        let sigs: Vec<Signature> = messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| keys[i % 5].sign(m, &mut r))
+            .collect();
+        let entries: Vec<BatchEntry> = (0..40)
+            .map(|i| BatchEntry {
+                key: keys[i % 5].verifying_key(),
+                message: &messages[i],
+                signature: sigs[i],
+            })
+            .collect();
+        assert!(batch_verify(&entries));
+        assert!(batch_verify_each(&entries).into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn batch_bisection_pinpoints_the_one_forgery() {
+        let mut r = rng(11);
+        let sk = SigningKey::generate(&mut r);
+        let messages: Vec<Vec<u8>> = (0..17).map(|i| vec![i as u8, 0xaa]).collect();
+        for forged_at in [0usize, 7, 16] {
+            let entries: Vec<BatchEntry> = messages
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let mut sig = sk.sign(m, &mut r);
+                    if i == forged_at {
+                        sig.s_bytes[1] ^= 0x10;
+                    }
+                    BatchEntry {
+                        key: sk.verifying_key(),
+                        message: m,
+                        signature: sig,
+                    }
+                })
+                .collect();
+            let verdicts = batch_verify_each(&entries);
+            for (i, &ok) in verdicts.iter().enumerate() {
+                assert_eq!(ok, i != forged_at, "forged_at {forged_at}, entry {i}");
+            }
+            assert!(!batch_verify(&entries));
+        }
+    }
+
+    #[test]
+    fn batch_rejects_structurally_bad_entries() {
+        let mut r = rng(12);
+        let sk = SigningKey::generate(&mut r);
+        let ok_sig = sk.sign(b"fine", &mut r);
+        // Non-canonical s (s + ℓ).
+        let mut noncanon = sk.sign(b"nc", &mut r);
+        use crate::ed25519::L_BYTES_LE;
+        let mut carry = 0u16;
+        for (byte, l) in noncanon.s_bytes.iter_mut().zip(L_BYTES_LE) {
+            let v = *byte as u16 + l as u16 + carry;
+            *byte = v as u8;
+            carry = v >> 8;
+        }
+        // R that decodes to no curve point.
+        let mut bad_r = sk.sign(b"badr", &mut r);
+        bad_r.r_bytes = [0xff; 32];
+        let entries = [
+            BatchEntry {
+                key: sk.verifying_key(),
+                message: b"fine",
+                signature: ok_sig,
+            },
+            BatchEntry {
+                key: sk.verifying_key(),
+                message: b"nc",
+                signature: noncanon,
+            },
+            BatchEntry {
+                key: sk.verifying_key(),
+                message: b"badr",
+                signature: bad_r,
+            },
+        ];
+        let verdicts = batch_verify_each(&entries);
+        assert_eq!(verdicts, vec![true, false, false]);
+        for (v, entry) in verdicts.iter().zip(&entries) {
+            assert_eq!(*v, entry.key.verify(entry.message, &entry.signature));
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@ use geoproof_crypto::fe25519::Fe;
 use geoproof_crypto::hmac::HmacSha256;
 use geoproof_crypto::kdf::Hkdf;
 use geoproof_crypto::prp::DomainPrp;
-use geoproof_crypto::schnorr::{Signature, SigningKey};
+use geoproof_crypto::schnorr::{
+    batch_verify, batch_verify_each, BatchEntry, PrecomputedKey, Signature, SigningKey,
+};
 use geoproof_crypto::sha256::Sha256;
 use proptest::prelude::*;
 
@@ -184,5 +186,66 @@ proptest! {
         for _ in 0..50 {
             prop_assert!(rng.gen_range(bound) < bound);
         }
+    }
+
+    // --- Table-accelerated verify pinned to the reference path ---------------
+
+    #[test]
+    fn table_verify_identical_to_reference(
+        seed in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 0..80),
+        tamper_byte in 0usize..65, // 64 = leave the signature intact
+        tamper_bit in 0u8..8,
+    ) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let sk = SigningKey::generate(&mut rng);
+        let mut sig = sk.sign(&msg, &mut rng);
+        if tamper_byte < 64 {
+            let mut bytes = sig.to_bytes();
+            bytes[tamper_byte] ^= 1 << tamper_bit;
+            sig = Signature::from_bytes(&bytes);
+        }
+        let vk = sk.verifying_key();
+        // Valid, forged, or structurally mangled — the fixed-base-table
+        // fast path must agree with the double-and-add reference bit for
+        // bit, and the per-key precomputed variant with both.
+        let reference = vk.verify_reference(&msg, &sig);
+        prop_assert_eq!(vk.verify(&msg, &sig), reference);
+        prop_assert_eq!(PrecomputedKey::new(&vk).verify(&msg, &sig), reference);
+    }
+
+    // --- Batch verification ≡ sequential --------------------------------------
+
+    #[test]
+    fn batch_verdicts_identical_to_sequential(
+        seed in any::<u64>(),
+        n in 0usize..12,
+        forged in prop::collection::vec(any::<bool>(), 12),
+        cross in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        // A couple of shared keys so per-key aggregation sees reuse.
+        let keys = [SigningKey::generate(&mut rng), SigningKey::generate(&mut rng)];
+        let messages: Vec<Vec<u8>> = (0..n).map(|i| format!("audit-{i}").into_bytes()).collect();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            let sk = &keys[i % 2];
+            let mut sig = sk.sign(&messages[i], &mut rng);
+            if forged[i] {
+                sig.s_bytes[3] ^= 0x40;
+            }
+            // Attribute some signatures to the wrong key.
+            let key = if cross[i] { keys[(i + 1) % 2].verifying_key() } else { sk.verifying_key() };
+            entries.push(BatchEntry { key, message: &messages[i], signature: sig });
+        }
+        let batch = batch_verify_each(&entries);
+        for (i, entry) in entries.iter().enumerate() {
+            prop_assert_eq!(
+                batch[i],
+                entry.key.verify(entry.message, &entry.signature),
+                "entry {}", i
+            );
+        }
+        prop_assert_eq!(batch_verify(&entries), batch.iter().all(|&ok| ok));
     }
 }

@@ -18,6 +18,27 @@ const GENESIS_DOMAIN: &[u8] = b"geoproof-ledger-genesis-v1";
 /// Domain tag of record seals.
 const SEAL_DOMAIN: &[u8] = b"geoproof-ledger-seal-v1";
 
+/// Domain tag of the Merkle-forest roll-up over sealed segments.
+const FOREST_DOMAIN: &[u8] = b"geoproof-ledger-forest-v1";
+
+/// The forest value before any segment has been sealed.
+pub const FOREST_EMPTY: Digest = [0u8; DIGEST_LEN];
+
+/// Rolls one sealed segment's final checkpoint root into the forest
+/// digest: `F_{k+1} = SHA256(domain ‖ F_k ‖ k ‖ root_k)`. The running
+/// value is embedded in the next segment's header (and therefore in its
+/// genesis hash, every seal, and every v2 checkpoint message the TPA
+/// signs), so the whole history of sealed segments is committed by any
+/// one later checkpoint signature.
+pub fn forest_push(prev: &Digest, segment: u32, final_root: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(FOREST_DOMAIN);
+    h.update(prev);
+    h.update(&segment.to_be_bytes());
+    h.update(final_root);
+    h.finalize()
+}
+
 /// The chain value before any record: a digest of the file header, so
 /// the header (version, checkpoint interval, embedded TPA key) is as
 /// tamper-evident as the records.
@@ -72,5 +93,19 @@ mod tests {
     #[test]
     fn genesis_differs_per_header() {
         assert_ne!(genesis_hash(b"a"), genesis_hash(b"b"));
+    }
+
+    #[test]
+    fn forest_binds_every_input_and_orders() {
+        let r0 = [7u8; 32];
+        let r1 = [9u8; 32];
+        let f1 = forest_push(&FOREST_EMPTY, 0, &r0);
+        let f2 = forest_push(&f1, 1, &r1);
+        assert_ne!(f1, f2);
+        assert_ne!(forest_push(&FOREST_EMPTY, 1, &r0), f1, "segment index");
+        assert_ne!(forest_push(&FOREST_EMPTY, 0, &r1), f1, "root");
+        // Swapping the segment order changes the roll-up.
+        let swapped = forest_push(&forest_push(&FOREST_EMPTY, 0, &r1), 1, &r0);
+        assert_ne!(swapped, f2);
     }
 }

@@ -72,20 +72,25 @@ pub mod chain;
 pub mod proof;
 pub mod reader;
 pub mod record;
+pub mod segment;
 pub mod sink;
 pub mod verify;
 pub mod writer;
 
-pub use chain::{genesis_hash, seal_hash, Digest};
-pub use proof::{InclusionProof, VerifiedEvidence};
-pub use reader::{Checkpoint, Entry, Header, Ledger, Record};
+pub use chain::{forest_push, genesis_hash, seal_hash, Digest, FOREST_EMPTY};
+pub use proof::{CheckpointBinding, InclusionProof, VerifiedEvidence};
+pub use reader::{Checkpoint, Continuation, Entry, Header, Ledger, Record};
 pub use record::{
     DigestOp, DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, NO_DIGEST,
 };
+pub use segment::{
+    compact, discover, prove_global, rotate, verify_chain, ChainOutcome, CompactionOutcome,
+    RotationOutcome, SegmentSource, SegmentSummary,
+};
 pub use sink::LedgerSink;
 pub use verify::{
-    replay, replay_dyn_record, replay_position_record, replay_record, ReplayOutcome,
-    SegmentMacCheck,
+    replay, replay_dyn_record, replay_position_record, replay_record, replay_sequential,
+    ReplayOutcome, SegmentMacCheck,
 };
 pub use writer::{LedgerWriter, Recovery, DEFAULT_CHECKPOINT_INTERVAL};
 
@@ -95,8 +100,12 @@ use geoproof_core::messages::TranscriptDecodeError;
 /// Ledger file magic (8 bytes).
 pub const MAGIC: &[u8; 8] = b"GPEVLOG1";
 
-/// Current on-disk format version.
+/// On-disk format version of a fresh (unrotated) ledger file.
 pub const VERSION: u16 = 1;
+
+/// On-disk format version of a rotated segment file, whose header
+/// carries a [`Continuation`] block chaining it to its predecessors.
+pub const VERSION_SEGMENTED: u16 = 2;
 
 /// Everything that can go wrong reading, writing, or re-verifying a
 /// ledger. Strict readers treat *any* of these as "do not trust this
@@ -205,6 +214,18 @@ pub enum LedgerError {
     },
     /// An inclusion proof failed verification.
     BadProof(&'static str),
+    /// A segment operation (rotation, compaction, summary parsing)
+    /// could not proceed.
+    Segment(&'static str),
+    /// The segment chain broke: a segment's continuation block, final
+    /// head, or forest digest disagrees with what its predecessors
+    /// establish.
+    SegmentChain {
+        /// The offending segment number.
+        segment: u32,
+        /// What broke.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for LedgerError {
@@ -278,6 +299,10 @@ impl std::fmt::Display for LedgerError {
                 write!(f, "evidence {evidence}: not covered by any checkpoint yet")
             }
             LedgerError::BadProof(what) => write!(f, "inclusion proof invalid: {what}"),
+            LedgerError::Segment(what) => write!(f, "segment operation failed: {what}"),
+            LedgerError::SegmentChain { segment, what } => {
+                write!(f, "segment {segment}: chain broken ({what})")
+            }
         }
     }
 }

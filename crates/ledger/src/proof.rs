@@ -12,7 +12,7 @@
 //! length plus the one record.
 
 use crate::chain::{seal_hash, Digest};
-use crate::reader::{checkpoint_message, Entry};
+use crate::reader::{checkpoint_message, checkpoint_message_v2, Entry};
 use crate::record::{
     DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, TAG_DIGEST, TAG_DYN_EVIDENCE,
     TAG_EVIDENCE, TAG_POSITION,
@@ -23,29 +23,70 @@ use bytes::Bytes;
 use geoproof_crypto::schnorr::{Signature, VerifyingKey};
 use geoproof_por::merkle::{verify_proof, MerkleProof};
 
-/// Proof-file magic.
-const PROOF_MAGIC: &[u8; 8] = b"GPEVPRF1";
+/// Proof-file magic. `GPEVPRF2` added the checkpoint-binding kind byte
+/// (v1 whole-ledger checkpoints vs v2 segment checkpoints); `GPEVPRF1`
+/// files are no longer decoded — re-emit them from the ledger.
+const PROOF_MAGIC: &[u8; 8] = b"GPEVPRF2";
+
+/// Which checkpoint message the TPA signed over `covered ‖ root`: the
+/// original whole-ledger v1 message, or the v2 segment message that also
+/// commits the segment's number, global base ordinal and the
+/// Merkle-forest digest over every earlier sealed segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointBinding {
+    /// A v1 (single-file ledger, or segment 0) checkpoint.
+    V1,
+    /// A checkpoint inside rotated segment `segment`.
+    V2 {
+        /// The segment's 0-based number.
+        segment: u32,
+        /// Sealed leaves in all earlier segments; the proof's Merkle
+        /// leaf index is `evidence_index - base_sealed`.
+        base_sealed: u64,
+        /// Forest digest over earlier segments' final checkpoint roots.
+        forest_prev: Digest,
+    },
+}
+
+impl CheckpointBinding {
+    /// The binding every checkpoint inside a file with this header
+    /// carries: v1 for an unrotated ledger (or segment 0), v2 with the
+    /// header's continuation fields otherwise.
+    pub fn from_header(header: &crate::reader::Header) -> CheckpointBinding {
+        match &header.continuation {
+            None => CheckpointBinding::V1,
+            Some(c) => CheckpointBinding::V2 {
+                segment: c.segment,
+                base_sealed: c.base_sealed,
+                forest_prev: c.forest_prev,
+            },
+        }
+    }
+}
 
 /// A self-contained proof that one evidence record is committed by a
 /// TPA-signed checkpoint.
 #[derive(Clone, Debug, PartialEq)]
 pub struct InclusionProof {
-    /// The record's chain index.
+    /// The record's chain index (local to its segment file).
     pub record_index: u64,
     /// Chain value before the record (`h_{record_index - 1}`).
     pub prev: Digest,
     /// The record's raw body bytes.
     pub body: Bytes,
-    /// The record's evidence ordinal (its Merkle leaf index).
+    /// The record's **global** evidence ordinal across all segments
+    /// (its Merkle leaf index is this minus the segment's base).
     pub evidence_index: u64,
     /// Sibling digests, leaf level upward (`true` = sibling on right).
     pub siblings: Vec<(Digest, bool)>,
-    /// Evidence records the checkpoint covers.
+    /// Evidence records the checkpoint covers (local to its segment).
     pub covered: u64,
     /// The checkpoint's Merkle root.
     pub root: Digest,
     /// TPA signature over the checkpoint.
     pub signature: [u8; 64],
+    /// Which checkpoint message the signature covers.
+    pub ckpt: CheckpointBinding,
 }
 
 /// What [`InclusionProof::verify`] hands back on success.
@@ -98,6 +139,19 @@ impl InclusionProof {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256 + self.body.len());
         out.extend_from_slice(PROOF_MAGIC);
+        match &self.ckpt {
+            CheckpointBinding::V1 => out.push(1),
+            CheckpointBinding::V2 {
+                segment,
+                base_sealed,
+                forest_prev,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&segment.to_be_bytes());
+                out.extend_from_slice(&base_sealed.to_be_bytes());
+                out.extend_from_slice(forest_prev);
+            }
+        }
         out.extend_from_slice(&self.record_index.to_be_bytes());
         out.extend_from_slice(&self.prev);
         out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
@@ -129,6 +183,20 @@ impl InclusionProof {
         if c.take(8).map_err(trunc)?.as_ref() != PROOF_MAGIC {
             return Err(bad("magic"));
         }
+        let ckpt = match c.take_array::<1>().map_err(trunc)?[0] {
+            1 => CheckpointBinding::V1,
+            2 => {
+                let segment = c.take_u32().map_err(trunc)?;
+                let base_sealed = c.take_u64().map_err(trunc)?;
+                let forest_prev: Digest = c.take_array().map_err(trunc)?;
+                CheckpointBinding::V2 {
+                    segment,
+                    base_sealed,
+                    forest_prev,
+                }
+            }
+            _ => return Err(bad("checkpoint binding kind")),
+        };
         let record_index = c.take_u64().map_err(trunc)?;
         let prev: Digest = c.take_array().map_err(trunc)?;
         let body_len = c.take_u32().map_err(trunc)? as usize;
@@ -156,6 +224,7 @@ impl InclusionProof {
             covered,
             root,
             signature,
+            ckpt,
         })
     }
 
@@ -168,10 +237,32 @@ impl InclusionProof {
     /// replay errors of [`replay_record`].
     pub fn verify(&self, tpa: &VerifyingKey) -> Result<VerifiedEvidence, LedgerError> {
         let signature = Signature::from_bytes(&self.signature);
-        if !tpa.verify(&checkpoint_message(self.covered, &self.root), &signature) {
+        let message = match &self.ckpt {
+            CheckpointBinding::V1 => checkpoint_message(self.covered, &self.root),
+            CheckpointBinding::V2 {
+                segment,
+                base_sealed,
+                forest_prev,
+            } => checkpoint_message_v2(
+                *segment,
+                *base_sealed,
+                forest_prev,
+                self.covered,
+                &self.root,
+            ),
+        };
+        if !tpa.verify(&message, &signature) {
             return Err(LedgerError::BadProof("TPA checkpoint signature"));
         }
-        if self.evidence_index >= self.covered {
+        let base = match &self.ckpt {
+            CheckpointBinding::V1 => 0,
+            CheckpointBinding::V2 { base_sealed, .. } => *base_sealed,
+        };
+        let leaf = self
+            .evidence_index
+            .checked_sub(base)
+            .ok_or(LedgerError::BadProof("leaf below the segment base"))?;
+        if leaf >= self.covered {
             return Err(LedgerError::BadProof("leaf outside checkpoint coverage"));
         }
         let seal = seal_hash(
@@ -181,7 +272,7 @@ impl InclusionProof {
             &[&self.body],
         );
         let merkle = MerkleProof {
-            index: self.evidence_index,
+            index: leaf,
             siblings: self.siblings.clone(),
         };
         if !verify_proof(&self.root, &seal, &merkle) {
@@ -240,6 +331,7 @@ mod tests {
             covered: 5,
             root: [5u8; 32],
             signature: [6u8; 64],
+            ckpt: CheckpointBinding::V1,
         };
         let enc = Bytes::from(proof.encode());
         assert_eq!(InclusionProof::decode(&enc).expect("decode"), proof);
@@ -249,6 +341,23 @@ mod tests {
         let mut extra = enc.to_vec();
         extra.push(0);
         assert!(InclusionProof::decode(&Bytes::from(extra)).is_err());
+
+        // The v2 binding round-trips too, and an unknown kind byte is
+        // refused rather than misparsed.
+        let v2 = InclusionProof {
+            ckpt: CheckpointBinding::V2 {
+                segment: 3,
+                base_sealed: 700,
+                forest_prev: [9u8; 32],
+            },
+            evidence_index: 702,
+            ..proof
+        };
+        let enc = Bytes::from(v2.encode());
+        assert_eq!(InclusionProof::decode(&enc).expect("decode v2"), v2);
+        let mut junk = enc.to_vec();
+        junk[8] = 7;
+        assert!(InclusionProof::decode(&Bytes::from(junk)).is_err());
     }
 
     #[test]

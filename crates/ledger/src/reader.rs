@@ -9,23 +9,46 @@
 //! verifier does silently.
 
 use crate::chain::{genesis_hash, seal_hash, Digest};
-use crate::proof::InclusionProof;
+use crate::proof::{CheckpointBinding, InclusionProof};
 use crate::record::{
     DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord, TAG_CHECKPOINT, TAG_DIGEST,
     TAG_DYN_EVIDENCE, TAG_EVIDENCE, TAG_POSITION,
 };
-use crate::{LedgerError, MAGIC, VERSION};
+use crate::{LedgerError, MAGIC, VERSION, VERSION_SEGMENTED};
 use bytes::Bytes;
 use geoproof_por::merkle::MerkleTree;
 use std::path::Path;
 
-/// Fixed header length: magic ‖ version ‖ checkpoint interval ‖ TPA key.
+/// Version-1 header length: magic ‖ version ‖ checkpoint interval ‖ TPA key.
 pub(crate) const HEADER_LEN: usize = 8 + 2 + 4 + 32;
+
+/// Version-2 header length: the v1 fields plus the segment-continuation
+/// block (segment ‖ base_sealed ‖ prev_head ‖ forest_prev).
+pub(crate) const HEADER_LEN_V2: usize = HEADER_LEN + 4 + 8 + 32 + 32;
+
+/// The continuation block a rotated segment's header carries: where this
+/// file sits in the segment chain. All four fields feed the genesis hash
+/// (the header bytes are hashed whole), so every seal and checkpoint in
+/// the segment commits to its predecessors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Continuation {
+    /// This file's 0-based segment number (segment 0 is the original v1
+    /// file and carries no continuation block).
+    pub segment: u32,
+    /// Sealed leaves in all earlier segments — this segment's leaf
+    /// ordinals are globally `base_sealed + local`.
+    pub base_sealed: u64,
+    /// The previous segment's final chain head.
+    pub prev_head: Digest,
+    /// Merkle-forest digest over the final checkpoint roots of every
+    /// earlier segment ([`crate::chain::forest_push`]).
+    pub forest_prev: Digest,
+}
 
 /// The ledger file header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Header {
-    /// On-disk format version.
+    /// On-disk format version (1, or 2 for a rotated segment).
     pub version: u16,
     /// Checkpoint interval the writer was configured with (0 = only
     /// explicit checkpoints).
@@ -34,15 +57,41 @@ pub struct Header {
     /// verifier that trusts only an out-of-band key passes it to
     /// [`crate::verify::replay`], which cross-checks this field.
     pub tpa_key: [u8; 32],
+    /// Segment-chain continuation — `Some` exactly when `version == 2`.
+    pub continuation: Option<Continuation>,
 }
 
 impl Header {
+    /// This header's encoded length (version dependent).
+    pub(crate) fn len(&self) -> usize {
+        match self.continuation {
+            None => HEADER_LEN,
+            Some(_) => HEADER_LEN_V2,
+        }
+    }
+
+    /// The first sealed ordinal of this file's segment (0 for v1).
+    pub fn base_sealed(&self) -> u64 {
+        self.continuation.map_or(0, |c| c.base_sealed)
+    }
+
+    /// This file's segment number (0 for v1).
+    pub fn segment(&self) -> u32 {
+        self.continuation.map_or(0, |c| c.segment)
+    }
+
     pub(crate) fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN);
+        let mut out = Vec::with_capacity(self.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&self.version.to_be_bytes());
         out.extend_from_slice(&self.interval.to_be_bytes());
         out.extend_from_slice(&self.tpa_key);
+        if let Some(c) = &self.continuation {
+            out.extend_from_slice(&c.segment.to_be_bytes());
+            out.extend_from_slice(&c.base_sealed.to_be_bytes());
+            out.extend_from_slice(&c.prev_head);
+            out.extend_from_slice(&c.forest_prev);
+        }
         out
     }
 
@@ -59,16 +108,36 @@ impl Header {
             return Err(LedgerError::BadMagic);
         }
         let version = u16::from_be_bytes(bytes[8..10].try_into().expect("2"));
-        if version != VERSION {
+        if version != VERSION && version != VERSION_SEGMENTED {
             return Err(LedgerError::BadVersion(version));
         }
         let interval = u32::from_be_bytes(bytes[10..14].try_into().expect("4"));
         let mut tpa_key = [0u8; 32];
         tpa_key.copy_from_slice(&bytes[14..46]);
+        let continuation = if version == VERSION_SEGMENTED {
+            if bytes.len() < HEADER_LEN_V2 {
+                return Err(LedgerError::TruncatedHeader);
+            }
+            let segment = u32::from_be_bytes(bytes[46..50].try_into().expect("4"));
+            let base_sealed = u64::from_be_bytes(bytes[50..58].try_into().expect("8"));
+            let mut prev_head = [0u8; 32];
+            prev_head.copy_from_slice(&bytes[58..90]);
+            let mut forest_prev = [0u8; 32];
+            forest_prev.copy_from_slice(&bytes[90..122]);
+            Some(Continuation {
+                segment,
+                base_sealed,
+                prev_head,
+                forest_prev,
+            })
+        } else {
+            None
+        };
         Ok(Header {
             version,
             interval,
             tpa_key,
+            continuation,
         })
     }
 }
@@ -85,13 +154,43 @@ pub struct Checkpoint {
     pub signature: [u8; 64],
 }
 
-/// Message the TPA signs for a checkpoint.
+/// Message the TPA signs for a v1 checkpoint.
 pub(crate) fn checkpoint_message(covered: u64, root: &Digest) -> Vec<u8> {
     let mut msg = Vec::with_capacity(64);
     msg.extend_from_slice(b"geoproof-ledger-ckpt-v1");
     msg.extend_from_slice(&covered.to_be_bytes());
     msg.extend_from_slice(root);
     msg
+}
+
+/// Message the TPA signs for a checkpoint in a rotated (v2) segment. The
+/// segment number, global base ordinal and forest digest are all under
+/// the signature, so one checkpoint signature commits to this segment's
+/// place in the whole chain — not just its local leaves.
+pub(crate) fn checkpoint_message_v2(
+    segment: u32,
+    base_sealed: u64,
+    forest_prev: &Digest,
+    covered: u64,
+    root: &Digest,
+) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(108);
+    msg.extend_from_slice(b"geoproof-ledger-ckpt-v2");
+    msg.extend_from_slice(&segment.to_be_bytes());
+    msg.extend_from_slice(&base_sealed.to_be_bytes());
+    msg.extend_from_slice(forest_prev);
+    msg.extend_from_slice(&covered.to_be_bytes());
+    msg.extend_from_slice(root);
+    msg
+}
+
+/// The checkpoint message for a ledger with `header` — v1 or v2 as the
+/// header dictates. `covered` and `root` are always *local* to the file.
+pub(crate) fn checkpoint_message_for(header: &Header, covered: u64, root: &Digest) -> Vec<u8> {
+    match &header.continuation {
+        None => checkpoint_message(covered, root),
+        Some(c) => checkpoint_message_v2(c.segment, c.base_sealed, &c.forest_prev, covered, root),
+    }
 }
 
 impl Checkpoint {
@@ -194,9 +293,10 @@ pub(crate) struct Scan {
 /// complete-but-wrong record as a hard error.
 pub(crate) fn scan(bytes: &Bytes) -> Result<Scan, LedgerError> {
     let header = Header::decode(bytes.as_ref())?;
-    let mut head = genesis_hash(&bytes.as_ref()[..HEADER_LEN]);
+    let header_len = header.len();
+    let mut head = genesis_hash(&bytes.as_ref()[..header_len]);
     let mut records = Vec::new();
-    let mut pos = HEADER_LEN;
+    let mut pos = header_len;
     let mut index = 0u64;
     let mut torn_at = None;
     while pos < bytes.len() {
@@ -433,8 +533,11 @@ impl Ledger {
             .collect()
     }
 
-    /// Builds the self-contained inclusion proof for sealed ordinal
-    /// `evidence` against the earliest checkpoint covering it.
+    /// Builds the self-contained inclusion proof for **local** sealed
+    /// ordinal `evidence` against the earliest checkpoint covering it.
+    /// The emitted proof carries the *global* ordinal
+    /// (`header.base_sealed() + evidence`) and, for a rotated segment,
+    /// the v2 checkpoint binding (segment number, base, forest digest).
     ///
     /// # Errors
     ///
@@ -459,15 +562,17 @@ impl Ledger {
                 index: ckpt_record.index,
             });
         }
+        let ckpt = CheckpointBinding::from_header(&self.header);
         Ok(InclusionProof {
             record_index: record.index,
             prev: record.prev,
             body: record.body.clone(),
-            evidence_index: evidence,
+            evidence_index: self.header.base_sealed() + evidence,
             siblings: proof.siblings,
             covered: checkpoint.covered,
             root: checkpoint.root,
             signature: checkpoint.signature,
+            ckpt,
         })
     }
 }

@@ -22,16 +22,24 @@
 //! indistinguishable from a crash-recovered log, so the chain head
 //! ([`Ledger::head`]) must be compared out-of-band to rule that out.
 
-use crate::reader::{checkpoint_message, Entry, Ledger};
+use crate::reader::{checkpoint_message_for, Entry, Header, Ledger, Record};
 use crate::record::{DigestOp, DynEvidenceRecord, EvidenceRecord, PositionRecord};
 use crate::{Digest, LedgerError};
 use geoproof_core::auditor::VerifyChecks;
-use geoproof_core::dynamic_audit::judge_round;
+use geoproof_core::dynamic_audit::{judge_round, DynSignedTranscript};
 use geoproof_core::evidence::encode_report;
-use geoproof_crypto::schnorr::{Signature, VerifyingKey};
+use geoproof_core::messages::SignedTranscript;
+use geoproof_crypto::schnorr::{batch_verify_each, BatchEntry, Signature, VerifyingKey};
 use geoproof_por::dynamic::DynamicDigest;
-use geoproof_por::merkle::MerkleTree;
+use geoproof_por::merkle::MerkleAccumulator;
 use std::collections::HashMap;
+
+/// Records per signature batch. Large enough that the shared-base
+/// multi-scalar equation amortises well (the per-signature cost keeps
+/// falling up to a few hundred entries), small enough to bound peak
+/// memory: each in-flight record holds a parsed transcript plus its
+/// canonical signing bytes until the batch settles.
+const BATCH_CHUNK: usize = 1024;
 
 /// Re-derives keyed segment MACs when the owner's secret is available —
 /// the one check a key-less replay must otherwise take on trust.
@@ -106,22 +114,46 @@ pub fn replay_record(
     let transcript = record
         .parse_transcript()
         .map_err(|source| LedgerError::Transcript { evidence, source })?;
+    let bytes = SignedTranscript::signing_bytes(
+        &transcript.file_id,
+        &transcript.nonce,
+        &transcript.position,
+        &transcript.rounds,
+    );
+    let sig_ok = device_key.verify(&bytes, &transcript.signature);
+    check_evidence_verdict(record, evidence, &device_key, &transcript, sig_ok)?;
+    Ok(transcript)
+}
+
+/// The verdict re-derivation half of [`replay_record`], with the
+/// signature verdict supplied by the caller. Byte-identical to the
+/// sequential path whenever `sig_ok` equals what `device_key.verify`
+/// returns over the transcript's canonical signing bytes — which is
+/// exactly the contract [`batch_verify_each`] keeps.
+fn check_evidence_verdict(
+    record: &EvidenceRecord,
+    evidence: u64,
+    device_key: &VerifyingKey,
+    transcript: &SignedTranscript,
+    sig_ok: bool,
+) -> Result<(), LedgerError> {
     let checks = VerifyChecks {
         file_id: &record.request.file_id,
         n_segments: record.request.n_segments,
-        device_key: &device_key,
+        device_key,
         sla_location: record.sla_location,
         location_tolerance: record.location_tolerance,
         policy: &record.policy,
     };
     // Same closure shape as the live engine: absent bits read as false.
-    let replayed = checks.verify_transcript(&record.request, &transcript, |i, _round| {
-        record.mac_ok.get(i).copied().unwrap_or(false)
-    });
+    let replayed =
+        checks.verify_transcript_presigned(&record.request, transcript, sig_ok, |i, _round| {
+            record.mac_ok.get(i).copied().unwrap_or(false)
+        });
     if encode_report(&replayed) != record.report_bytes.as_ref() {
         return Err(LedgerError::VerdictMismatch { evidence });
     }
-    Ok(transcript)
+    Ok(())
 }
 
 /// Replays one *dynamic* evidence record: parses the canonical dynamic
@@ -143,25 +175,40 @@ pub fn replay_dyn_record(
     let transcript = record
         .parse_transcript()
         .map_err(|source| LedgerError::Transcript { evidence, source })?;
+    let sig_ok = device_key.verify(&transcript.signing_bytes_of(), &transcript.signature);
+    check_dyn_verdict(record, evidence, &device_key, &transcript, sig_ok)?;
+    Ok(transcript)
+}
+
+/// The verdict re-derivation half of [`replay_dyn_record`] (see
+/// [`check_evidence_verdict`] for the `sig_ok` contract).
+fn check_dyn_verdict(
+    record: &DynEvidenceRecord,
+    evidence: u64,
+    device_key: &VerifyingKey,
+    transcript: &DynSignedTranscript,
+    sig_ok: bool,
+) -> Result<(), LedgerError> {
     let checks = VerifyChecks {
         file_id: &record.request.file_id,
         n_segments: record.request.digest.segments,
-        device_key: &device_key,
+        device_key,
         sla_location: record.sla_location,
         location_tolerance: record.location_tolerance,
         policy: &record.policy,
     };
-    let replayed = checks.verify_dyn_transcript(&record.request, &transcript, |i, round| {
-        judge_round(
-            &record.request.digest.root,
-            round,
-            record.tag_ok.get(i).copied(),
-        )
-    });
+    let replayed =
+        checks.verify_dyn_transcript_presigned(&record.request, transcript, sig_ok, |i, round| {
+            judge_round(
+                &record.request.digest.root,
+                round,
+                record.tag_ok.get(i).copied(),
+            )
+        });
     if encode_report(&replayed) != record.report_bytes.as_ref() {
         return Err(LedgerError::VerdictMismatch { evidence });
     }
-    Ok(transcript)
+    Ok(())
 }
 
 /// Replays one position record: recomputes the aggregate estimate from
@@ -189,8 +236,162 @@ pub fn replay_position_record(
     Ok(())
 }
 
+/// Per-record work pre-parsed in the first pass over a chunk, carrying
+/// everything the verdict pass needs so nothing is decoded twice.
+enum Prep {
+    /// Static evidence: decoded device key, parsed transcript, index of
+    /// its signature task in the chunk's batch.
+    Evidence {
+        key: VerifyingKey,
+        transcript: SignedTranscript,
+        task: usize,
+    },
+    /// Dynamic evidence, same shape.
+    Dyn {
+        key: VerifyingKey,
+        transcript: DynSignedTranscript,
+        task: usize,
+    },
+    /// Checkpoint: only its TPA-signature task index.
+    Checkpoint { task: usize },
+    /// Digest transition or position estimate — no signature involved;
+    /// the verdict pass reads the record itself.
+    Plain,
+}
+
+/// One signature to settle, with owned canonical message bytes so the
+/// batch entries can borrow them.
+struct SigTask {
+    key: VerifyingKey,
+    message: Vec<u8>,
+    signature: Signature,
+}
+
+/// First pass over a chunk: parse every record and collect its
+/// signature work. Stops at the first *structural* failure (undecodable
+/// device key, malformed transcript) and hands the error back unraised —
+/// the verdict pass must finish the records before it first, so the
+/// error surfaced is the same one the sequential walk would hit.
+///
+/// `keys` memoises device-key decompression across the whole replay —
+/// a fleet reuses a handful of keys over thousands of records, and
+/// point decompression is a field exponentiation. `from_bytes` is pure,
+/// so the cache cannot change any outcome.
+fn prepare_chunk(
+    chunk: &[Record],
+    header: &Header,
+    tpa: &VerifyingKey,
+    mut sealed: u64,
+    keys: &mut HashMap<[u8; 32], Option<VerifyingKey>>,
+) -> (Vec<Prep>, Vec<SigTask>, Option<LedgerError>) {
+    let mut preps = Vec::with_capacity(chunk.len());
+    let mut tasks = Vec::new();
+    for record in chunk {
+        match &record.entry {
+            Entry::Evidence(e) => {
+                let Some(key) = *keys
+                    .entry(e.device_key)
+                    .or_insert_with(|| VerifyingKey::from_bytes(&e.device_key))
+                else {
+                    return (
+                        preps,
+                        tasks,
+                        Some(LedgerError::BadDeviceKey { evidence: sealed }),
+                    );
+                };
+                let transcript = match e.parse_transcript() {
+                    Ok(t) => t,
+                    Err(source) => {
+                        return (
+                            preps,
+                            tasks,
+                            Some(LedgerError::Transcript {
+                                evidence: sealed,
+                                source,
+                            }),
+                        )
+                    }
+                };
+                let message = SignedTranscript::signing_bytes(
+                    &transcript.file_id,
+                    &transcript.nonce,
+                    &transcript.position,
+                    &transcript.rounds,
+                );
+                let task = tasks.len();
+                tasks.push(SigTask {
+                    key,
+                    message,
+                    signature: transcript.signature,
+                });
+                preps.push(Prep::Evidence {
+                    key,
+                    transcript,
+                    task,
+                });
+                sealed += 1;
+            }
+            Entry::DynEvidence(e) => {
+                let Some(key) = *keys
+                    .entry(e.device_key)
+                    .or_insert_with(|| VerifyingKey::from_bytes(&e.device_key))
+                else {
+                    return (
+                        preps,
+                        tasks,
+                        Some(LedgerError::BadDeviceKey { evidence: sealed }),
+                    );
+                };
+                let transcript = match e.parse_transcript() {
+                    Ok(t) => t,
+                    Err(source) => {
+                        return (
+                            preps,
+                            tasks,
+                            Some(LedgerError::Transcript {
+                                evidence: sealed,
+                                source,
+                            }),
+                        )
+                    }
+                };
+                let task = tasks.len();
+                tasks.push(SigTask {
+                    key,
+                    message: transcript.signing_bytes_of(),
+                    signature: transcript.signature,
+                });
+                preps.push(Prep::Dyn {
+                    key,
+                    transcript,
+                    task,
+                });
+                sealed += 1;
+            }
+            Entry::Digest(_) | Entry::Position(_) => {
+                preps.push(Prep::Plain);
+                sealed += 1;
+            }
+            Entry::Checkpoint(c) => {
+                let task = tasks.len();
+                tasks.push(SigTask {
+                    key: *tpa,
+                    message: checkpoint_message_for(header, c.covered, &c.root),
+                    signature: Signature::from_bytes(&c.signature),
+                });
+                preps.push(Prep::Checkpoint { task });
+            }
+        }
+    }
+    (preps, tasks, None)
+}
+
 /// Replays the whole ledger (see the module docs for what is checked
-/// and what is trusted).
+/// and what is trusted), settling signatures in batches of
+/// `BATCH_CHUNK` (1024) through one random-linear-combination equation per
+/// chunk. Verdicts, counters, and the first error raised are identical
+/// to [`replay_sequential`] — the batch layer only changes *how* each
+/// signature bit is computed, never what is done with it.
 ///
 /// # Errors
 ///
@@ -203,10 +404,39 @@ pub fn replay(
     tpa: &VerifyingKey,
     mac_check: Option<&dyn SegmentMacCheck>,
 ) -> Result<ReplayOutcome, LedgerError> {
+    replay_impl(ledger, tpa, mac_check, true)
+}
+
+/// [`replay`] with every signature checked one at a time — the
+/// reference path batched replay is pinned against (same verdicts, same
+/// counters, same first error). Kept public so differential tests and
+/// benchmarks can hold the two implementations together.
+///
+/// # Errors
+///
+/// Exactly as [`replay`].
+pub fn replay_sequential(
+    ledger: &Ledger,
+    tpa: &VerifyingKey,
+    mac_check: Option<&dyn SegmentMacCheck>,
+) -> Result<ReplayOutcome, LedgerError> {
+    replay_impl(ledger, tpa, mac_check, false)
+}
+
+fn replay_impl(
+    ledger: &Ledger,
+    tpa: &VerifyingKey,
+    mac_check: Option<&dyn SegmentMacCheck>,
+    batched: bool,
+) -> Result<ReplayOutcome, LedgerError> {
     if ledger.header().tpa_key != tpa.to_bytes() {
         return Err(LedgerError::TpaKeyMismatch);
     }
-    let mut evidence_seals: Vec<Vec<u8>> = Vec::new();
+    // Binary-counter accumulator over the evidence seals: every
+    // checkpoint needs the Merkle root over *all* seals so far, and
+    // rebuilding the tree per checkpoint is quadratic in ledger length.
+    // The accumulator's root is pinned equal to `MerkleTree::build`.
+    let mut seals = MerkleAccumulator::new();
     let mut sealed = 0u64;
     let mut evidence = 0u64;
     let mut dynamic = 0u64;
@@ -222,126 +452,177 @@ pub fn replay(
     // that is what turns "the server served pre-update data" from a
     // claim into a provable fact.
     let mut current_digest: HashMap<&str, DynamicDigest> = HashMap::new();
-    for record in ledger.records() {
-        match &record.entry {
-            Entry::Evidence(e) => {
-                let transcript = replay_record(e, sealed)?;
-                if let Some(mac) = mac_check {
-                    for (i, round) in transcript.rounds.iter().enumerate() {
-                        let derived = mac.verify(&e.request.file_id, round.index, &round.segment);
-                        if derived != e.mac_ok.get(i).copied().unwrap_or(false) {
-                            return Err(LedgerError::MacMismatch { evidence: sealed });
+    let mut device_keys: HashMap<[u8; 32], Option<VerifyingKey>> = HashMap::new();
+    for chunk in ledger.records().chunks(BATCH_CHUNK) {
+        // Pass 1: parse, collect signature tasks, stash the first
+        // structural error (the prep list is truncated right before it).
+        let (preps, tasks, stashed) =
+            prepare_chunk(chunk, ledger.header(), tpa, sealed, &mut device_keys);
+        // Settle every signature in the chunk — transcript, dynamic, and
+        // checkpoint alike — in one batch, or one at a time on the
+        // reference path.
+        let sig_ok: Vec<bool> = if batched {
+            let entries: Vec<BatchEntry<'_>> = tasks
+                .iter()
+                .map(|t| BatchEntry {
+                    key: t.key,
+                    message: &t.message,
+                    signature: t.signature,
+                })
+                .collect();
+            batch_verify_each(&entries)
+        } else {
+            tasks
+                .iter()
+                .map(|t| t.key.verify(&t.message, &t.signature))
+                .collect()
+        };
+        // Pass 2: re-derive verdicts and walk the chain state in record
+        // order, injecting the precomputed signature bits.
+        for (record, prep) in chunk.iter().zip(&preps) {
+            match (&record.entry, prep) {
+                (
+                    Entry::Evidence(e),
+                    Prep::Evidence {
+                        key,
+                        transcript,
+                        task,
+                    },
+                ) => {
+                    check_evidence_verdict(e, sealed, key, transcript, sig_ok[*task])?;
+                    if let Some(mac) = mac_check {
+                        for (i, round) in transcript.rounds.iter().enumerate() {
+                            let derived =
+                                mac.verify(&e.request.file_id, round.index, &round.segment);
+                            if derived != e.mac_ok.get(i).copied().unwrap_or(false) {
+                                return Err(LedgerError::MacMismatch { evidence: sealed });
+                            }
+                            macs_checked += 1;
                         }
-                        macs_checked += 1;
                     }
+                    // Accept/reject straight from the recorded bytes we
+                    // just proved re-derivable.
+                    let report = e.report().map_err(|source| LedgerError::Report {
+                        evidence: sealed,
+                        source,
+                    })?;
+                    if report.accepted() {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                    seals.push(&record.seal);
+                    sealed += 1;
+                    evidence += 1;
                 }
-                // Accept/reject straight from the recorded bytes we just
-                // proved re-derivable.
-                let report = e.report().map_err(|source| LedgerError::Report {
-                    evidence: sealed,
-                    source,
-                })?;
-                if report.accepted() {
-                    accepted += 1;
-                } else {
-                    rejected += 1;
+                (
+                    Entry::DynEvidence(e),
+                    Prep::Dyn {
+                        key,
+                        transcript,
+                        task,
+                    },
+                ) => {
+                    check_dyn_verdict(e, sealed, key, transcript, sig_ok[*task])?;
+                    // The audited digest must be the chain's current one
+                    // for this file. A ledger with no digest records for
+                    // the file has no chain to hold the audit against (a
+                    // bare-audit ledger); the digest is then trusted as
+                    // recorded.
+                    if let Some(current) = current_digest.get(e.request.file_id.as_str()) {
+                        if *current != e.request.digest {
+                            return Err(LedgerError::DigestChain {
+                                index: record.index,
+                                what: "dynamic audit against a digest that was not current",
+                            });
+                        }
+                    }
+                    if let Some(mac) = mac_check {
+                        for (i, round) in transcript.rounds.iter().enumerate() {
+                            let derived =
+                                mac.verify_dynamic(&e.request.file_id, round.index, &round.segment);
+                            if derived != e.tag_ok.get(i).copied().unwrap_or(false) {
+                                return Err(LedgerError::MacMismatch { evidence: sealed });
+                            }
+                            macs_checked += 1;
+                        }
+                    }
+                    let report = e.report().map_err(|source| LedgerError::Report {
+                        evidence: sealed,
+                        source,
+                    })?;
+                    if report.accepted() {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                    seals.push(&record.seal);
+                    sealed += 1;
+                    dynamic += 1;
                 }
-                evidence_seals.push(record.seal.to_vec());
-                sealed += 1;
-                evidence += 1;
-            }
-            Entry::DynEvidence(e) => {
-                let transcript = replay_dyn_record(e, sealed)?;
-                // The audited digest must be the chain's current one for
-                // this file. A ledger with no digest records for the file
-                // has no chain to hold the audit against (a bare-audit
-                // ledger); the digest is then trusted as recorded.
-                if let Some(current) = current_digest.get(e.request.file_id.as_str()) {
-                    if *current != e.request.digest {
-                        return Err(LedgerError::DigestChain {
+                (Entry::Digest(d), Prep::Plain) => {
+                    // Structural invariants were re-checked at decode;
+                    // here the *chain* is: init starts (or restarts) a
+                    // file, every later transition must leave from the
+                    // current digest.
+                    match d.op {
+                        DigestOp::Init => {}
+                        DigestOp::Update | DigestOp::Append => {
+                            let Some(current) = current_digest.get(d.file_id.as_str()) else {
+                                return Err(LedgerError::DigestChain {
+                                    index: record.index,
+                                    what: "digest transition before any init",
+                                });
+                            };
+                            if *current != d.prev {
+                                return Err(LedgerError::DigestChain {
+                                    index: record.index,
+                                    what:
+                                        "digest transition does not leave from the current digest",
+                                });
+                            }
+                        }
+                    }
+                    current_digest.insert(d.file_id.as_str(), d.new);
+                    seals.push(&record.seal);
+                    sealed += 1;
+                    digests += 1;
+                }
+                (Entry::Position(p), Prep::Plain) => {
+                    replay_position_record(p, &record.body, record.index)?;
+                    seals.push(&record.seal);
+                    sealed += 1;
+                    positions += 1;
+                }
+                (Entry::Checkpoint(c), Prep::Checkpoint { task }) => {
+                    if !sig_ok[*task] {
+                        return Err(LedgerError::CheckpointSignature {
                             index: record.index,
-                            what: "dynamic audit against a digest that was not current",
                         });
                     }
-                }
-                if let Some(mac) = mac_check {
-                    for (i, round) in transcript.rounds.iter().enumerate() {
-                        let derived =
-                            mac.verify_dynamic(&e.request.file_id, round.index, &round.segment);
-                        if derived != e.tag_ok.get(i).copied().unwrap_or(false) {
-                            return Err(LedgerError::MacMismatch { evidence: sealed });
-                        }
-                        macs_checked += 1;
+                    // A checkpoint always covers *all* sealed records so
+                    // far, and the writer never commits before the first
+                    // record (an empty Merkle tree does not exist).
+                    if c.covered != sealed || c.covered == 0 {
+                        return Err(LedgerError::CheckpointCoverage {
+                            index: record.index,
+                        });
                     }
-                }
-                let report = e.report().map_err(|source| LedgerError::Report {
-                    evidence: sealed,
-                    source,
-                })?;
-                if report.accepted() {
-                    accepted += 1;
-                } else {
-                    rejected += 1;
-                }
-                evidence_seals.push(record.seal.to_vec());
-                sealed += 1;
-                dynamic += 1;
-            }
-            Entry::Digest(d) => {
-                // Structural invariants were re-checked at decode; here
-                // the *chain* is: init starts (or restarts) a file,
-                // every later transition must leave from the current
-                // digest.
-                match d.op {
-                    DigestOp::Init => {}
-                    DigestOp::Update | DigestOp::Append => {
-                        let Some(current) = current_digest.get(d.file_id.as_str()) else {
-                            return Err(LedgerError::DigestChain {
-                                index: record.index,
-                                what: "digest transition before any init",
-                            });
-                        };
-                        if *current != d.prev {
-                            return Err(LedgerError::DigestChain {
-                                index: record.index,
-                                what: "digest transition does not leave from the current digest",
-                            });
-                        }
+                    if seals.root() != Some(c.root) {
+                        return Err(LedgerError::CheckpointRoot {
+                            index: record.index,
+                        });
                     }
+                    checkpoints += 1;
                 }
-                current_digest.insert(d.file_id.as_str(), d.new);
-                evidence_seals.push(record.seal.to_vec());
-                sealed += 1;
-                digests += 1;
+                _ => unreachable!("prep shape always matches its entry"),
             }
-            Entry::Position(p) => {
-                replay_position_record(p, &record.body, record.index)?;
-                evidence_seals.push(record.seal.to_vec());
-                sealed += 1;
-                positions += 1;
-            }
-            Entry::Checkpoint(c) => {
-                let signature = Signature::from_bytes(&c.signature);
-                if !tpa.verify(&checkpoint_message(c.covered, &c.root), &signature) {
-                    return Err(LedgerError::CheckpointSignature {
-                        index: record.index,
-                    });
-                }
-                // A checkpoint always covers *all* sealed records so
-                // far, and the writer never commits before the first
-                // record (an empty Merkle tree does not exist).
-                if c.covered != sealed || c.covered == 0 {
-                    return Err(LedgerError::CheckpointCoverage {
-                        index: record.index,
-                    });
-                }
-                if MerkleTree::build(&evidence_seals).root() != c.root {
-                    return Err(LedgerError::CheckpointRoot {
-                        index: record.index,
-                    });
-                }
-                checkpoints += 1;
-            }
+        }
+        // Only once every record before it has replayed clean may the
+        // stashed structural error surface — first-error ordering is
+        // then identical to the sequential walk.
+        if let Some(err) = stashed {
+            return Err(err);
         }
     }
     Ok(ReplayOutcome {

@@ -25,14 +25,14 @@
 //! another userspace buffer.
 
 use crate::chain::{genesis_hash, seal_hash, Digest};
-use crate::reader::{checkpoint_message, scan, Checkpoint, Entry, Header};
+use crate::reader::{checkpoint_message_for, scan, Checkpoint, Continuation, Entry, Header};
 use crate::record::{DigestRecord, DynEvidenceRecord, EvidenceRecord, PositionRecord};
-use crate::{LedgerError, VERSION};
+use crate::{LedgerError, VERSION, VERSION_SEGMENTED};
 use bytes::Bytes;
 use geoproof_core::evidence::EvidenceBundle;
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_crypto::schnorr::SigningKey;
-use geoproof_por::merkle::MerkleTree;
+use geoproof_por::merkle::MerkleAccumulator;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -57,9 +57,14 @@ pub enum Recovery {
 /// The appending side of the evidence ledger.
 pub struct LedgerWriter {
     file: File,
+    header: Header,
     head: Digest,
     records: u64,
-    evidence_seals: Vec<Digest>,
+    /// Incremental Merkle accumulator over the evidence seals — the
+    /// checkpoint root in O(log n) amortised per append instead of a
+    /// full tree rebuild per checkpoint (quadratic over a ledger's
+    /// life). Its root is pinned equal to `MerkleTree::build`.
+    seals: MerkleAccumulator,
     /// Evidence records covered by the latest checkpoint.
     covered: u64,
     interval: u32,
@@ -143,7 +148,7 @@ impl std::fmt::Debug for LedgerWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LedgerWriter")
             .field("records", &self.records)
-            .field("evidence", &self.evidence_seals.len())
+            .field("evidence", &self.seals.len())
             .field("covered", &self.covered)
             .finish_non_exhaustive()
     }
@@ -165,9 +170,23 @@ impl LedgerWriter {
         interval: u32,
         seed: u64,
     ) -> Result<LedgerWriter, LedgerError> {
+        Self::create_segment(path, tpa, interval, seed, None)
+    }
+
+    /// [`LedgerWriter::create`] with an explicit segment-continuation
+    /// block — how [`crate::segment::rotate`] starts the next segment of
+    /// a rotated chain.
+    pub(crate) fn create_segment(
+        path: impl AsRef<Path>,
+        tpa: &SigningKey,
+        interval: u32,
+        seed: u64,
+        continuation: Option<Continuation>,
+    ) -> Result<LedgerWriter, LedgerError> {
         let path = path.as_ref();
         let lock_path = acquire_lock(path)?;
-        let result = Self::create_locked(path, tpa, interval, seed, lock_path.clone());
+        let result =
+            Self::create_locked(path, tpa, interval, seed, continuation, lock_path.clone());
         if result.is_err() {
             std::fs::remove_file(&lock_path).ok();
         }
@@ -179,12 +198,18 @@ impl LedgerWriter {
         tpa: &SigningKey,
         interval: u32,
         seed: u64,
+        continuation: Option<Continuation>,
         lock_path: std::path::PathBuf,
     ) -> Result<LedgerWriter, LedgerError> {
         let header = Header {
-            version: VERSION,
+            version: if continuation.is_some() {
+                VERSION_SEGMENTED
+            } else {
+                VERSION
+            },
             interval,
             tpa_key: tpa.verifying_key().to_bytes(),
+            continuation,
         };
         let header_bytes = header.encode();
         let mut file = OpenOptions::new().write(true).create_new(true).open(path)?;
@@ -192,9 +217,10 @@ impl LedgerWriter {
         file.sync_data()?;
         Ok(LedgerWriter {
             file,
+            header,
             head: genesis_hash(&header_bytes),
             records: 0,
-            evidence_seals: Vec::new(),
+            seals: MerkleAccumulator::new(),
             covered: 0,
             interval,
             tpa: tpa.clone(),
@@ -253,28 +279,28 @@ impl LedgerWriter {
         };
         let good_len = parsed.torn_at.unwrap_or(bytes.len() as u64);
 
-        let mut evidence_seals = Vec::new();
+        let mut seals = MerkleAccumulator::new();
         let mut covered = 0u64;
         let mut per_prover: HashMap<String, u64> = HashMap::new();
         for record in &parsed.records {
             match &record.entry {
                 Entry::Evidence(e) => {
-                    evidence_seals.push(record.seal);
+                    seals.push(&record.seal);
                     *per_prover.entry(e.prover.clone()).or_insert(0) += 1;
                 }
                 Entry::DynEvidence(e) => {
-                    evidence_seals.push(record.seal);
+                    seals.push(&record.seal);
                     *per_prover.entry(e.prover.clone()).or_insert(0) += 1;
                 }
-                Entry::Digest(_) => evidence_seals.push(record.seal),
-                Entry::Position(_) => evidence_seals.push(record.seal),
+                Entry::Digest(_) => seals.push(&record.seal),
+                Entry::Position(_) => seals.push(&record.seal),
                 Entry::Checkpoint(c) => {
                     // Seals are unkeyed, so a crafted file can chain a
                     // checkpoint with any `covered` claim; taking it at
                     // face value would corrupt the writer's arithmetic.
                     // (The root and TPA signature are [`crate::replay`]'s
                     // business — appending never depends on them.)
-                    if c.covered != evidence_seals.len() as u64 || c.covered == 0 {
+                    if c.covered != seals.len() || c.covered == 0 {
                         return Err(LedgerError::CheckpointCoverage {
                             index: record.index,
                         });
@@ -307,9 +333,10 @@ impl LedgerWriter {
         Ok((
             LedgerWriter {
                 file,
+                header: parsed.header,
                 head: parsed.head,
                 records: parsed.records.len() as u64,
-                evidence_seals,
+                seals,
                 covered,
                 interval: parsed.header.interval,
                 tpa: tpa.clone(),
@@ -356,7 +383,7 @@ impl LedgerWriter {
     /// Sealed leaves written (static evidence, dynamic evidence, digest
     /// transitions) — the ordinal space checkpoints cover.
     pub fn evidence_count(&self) -> u64 {
-        self.evidence_seals.len() as u64
+        self.seals.len()
     }
 
     /// Evidence records not yet covered by a checkpoint. (Saturating:
@@ -370,6 +397,18 @@ impl LedgerWriter {
     /// The chain head.
     pub fn head(&self) -> Digest {
         self.head
+    }
+
+    /// The file header (with its continuation block, for a rotated
+    /// segment).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Current Merkle root over all evidence seals (`None` while empty) —
+    /// what the next checkpoint would commit.
+    pub(crate) fn current_root(&self) -> Option<Digest> {
+        self.seals.root()
     }
 
     /// The next epoch ordinal for `prover` (its evidence count so far) —
@@ -523,7 +562,7 @@ impl LedgerWriter {
         record.encode_prefix(&mut self.scratch);
         let payload = record.transcript.clone();
         let seal = self.write_record(&payload)?;
-        self.evidence_seals.push(seal);
+        self.seals.push(&seal);
         *self.per_prover.entry(record.prover.clone()).or_insert(0) += 1;
         self.auto_checkpoint()
     }
@@ -605,7 +644,7 @@ impl LedgerWriter {
         record.encode_prefix(&mut self.scratch);
         let payload = record.transcript.clone();
         let seal = self.write_record(&payload)?;
-        self.evidence_seals.push(seal);
+        self.seals.push(&seal);
         *self.per_prover.entry(record.prover.clone()).or_insert(0) += 1;
         self.auto_checkpoint()
     }
@@ -650,7 +689,7 @@ impl LedgerWriter {
         self.scratch.extend_from_slice(&[0u8; 4]);
         record.encode(&mut self.scratch);
         let seal = self.write_record(&[])?;
-        self.evidence_seals.push(seal);
+        self.seals.push(&seal);
         self.auto_checkpoint()
     }
 
@@ -701,7 +740,7 @@ impl LedgerWriter {
         self.scratch.extend_from_slice(&[0u8; 4]);
         self.scratch.extend_from_slice(&a);
         let seal = self.write_record(&[])?;
-        self.evidence_seals.push(seal);
+        self.seals.push(&seal);
         self.auto_checkpoint()
     }
 
@@ -728,19 +767,20 @@ impl LedgerWriter {
     /// Propagates write/sync failures.
     pub fn checkpoint(&mut self) -> std::io::Result<bool> {
         self.check_poisoned()?;
-        if self.evidence_seals.is_empty() || self.uncovered() == 0 {
+        if self.uncovered() == 0 {
             return Ok(false);
         }
-        // Full rebuild per checkpoint: O(n) hashing each time, quadratic
-        // over a ledger's whole life. Fine at audit scale (the bench
-        // pins the baseline); a ledger grown to millions of records
-        // wants an incremental Merkle accumulator here.
-        let leaves: Vec<Vec<u8>> = self.evidence_seals.iter().map(|d| d.to_vec()).collect();
-        let root = MerkleTree::build(&leaves).root();
-        let covered = self.evidence_seals.len() as u64;
+        let root = self
+            .seals
+            .root()
+            .expect("uncovered() > 0 implies at least one seal");
+        let covered = self.seals.len();
         let signature = self
             .tpa
-            .sign(&checkpoint_message(covered, &root), &mut self.rng)
+            .sign(
+                &checkpoint_message_for(&self.header, covered, &root),
+                &mut self.rng,
+            )
             .to_bytes();
         let checkpoint = Checkpoint {
             covered,

@@ -1,0 +1,241 @@
+//! Segment rotation + compaction end to end: a chain of rotated
+//! segments keeps verifying from the TPA public key alone, inclusion
+//! proofs stay byte-identical across compaction and cross segment
+//! boundaries, and a single flipped bit — live, rotated, archived, or
+//! in a summary — is detected.
+
+use geoproof_core::deployment::DeploymentBuilder;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_ledger::{
+    compact, discover, prove_global, rotate, verify_chain, Ledger, LedgerError, LedgerSink,
+    SegmentSource, VERSION, VERSION_SEGMENTED,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gp-ledger-seg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join(name);
+    // A fresh chain: clear the live file and any segment artifacts a
+    // previous in-process run left behind.
+    for entry in std::fs::read_dir(&dir).expect("readdir") {
+        let p = entry.expect("entry").path();
+        if p.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with(name))
+        {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+    path
+}
+
+fn tpa_key(seed: u64) -> SigningKey {
+    SigningKey::generate(&mut ChaChaRng::from_u64_seed(seed))
+}
+
+/// Appends `rounds` audit verdicts to the live file at `path` through
+/// the real deployment pipeline, then finalizes under a checkpoint.
+fn run_audits(path: &Path, tpa: &SigningKey, rounds: usize, seed: u64) {
+    let (sink, _recovery) = LedgerSink::open_or_create(path, tpa, 2, seed).expect("open sink");
+    let sink = Arc::new(sink);
+    let mut d = DeploymentBuilder::new(BRISBANE)
+        .seed(seed)
+        .evidence_sink(sink.clone())
+        .build();
+    for _ in 0..rounds {
+        assert!(d.run_audit(6).accepted());
+    }
+    sink.finish().expect("finish");
+}
+
+/// Builds a three-part chain: segments 0 and 1 (3 and 4 verdicts),
+/// plus 2 verdicts in the live file. Returns the TPA key.
+fn build_chain(path: &Path) -> SigningKey {
+    let tpa = tpa_key(4242);
+    run_audits(path, &tpa, 3, 10);
+    rotate(path, &tpa, 11).expect("rotate 0");
+    run_audits(path, &tpa, 4, 12);
+    rotate(path, &tpa, 13).expect("rotate 1");
+    run_audits(path, &tpa, 2, 14);
+    tpa
+}
+
+#[test]
+fn rotation_chains_segments_and_verify_chain_replays_everything() {
+    let path = tmp("rotate.log");
+    let tpa = build_chain(&path);
+
+    // The live file is version 2 and knows its global base.
+    let live = Ledger::read(&path).expect("read live");
+    assert_eq!(live.header().version, VERSION_SEGMENTED);
+    assert_eq!(live.header().segment(), 2);
+    assert_eq!(live.header().base_sealed(), 7);
+
+    // Segment 0 is version 1 — rotation does not rewrite history.
+    let seg0 = Ledger::read(path.with_extension("log.seg-0")).expect("read seg0");
+    assert_eq!(seg0.header().version, VERSION);
+
+    let outcome = verify_chain(&path, &tpa.verifying_key(), None).expect("verify chain");
+    assert_eq!(outcome.segments, 2);
+    assert_eq!(outcome.compacted, 0);
+    assert_eq!(outcome.replayed, 3);
+    assert_eq!(outcome.total_sealed, 9);
+    assert_eq!(outcome.accepted, 9);
+    assert_eq!(outcome.rejected, 0);
+    assert_eq!(outcome.live.evidence, 2);
+}
+
+#[test]
+fn rotation_refuses_an_empty_segment() {
+    let path = tmp("empty.log");
+    let tpa = tpa_key(7);
+    run_audits(&path, &tpa, 1, 3);
+    rotate(&path, &tpa, 4).expect("rotate");
+    // The fresh live file has no sealed records yet.
+    match rotate(&path, &tpa, 5) {
+        Err(LedgerError::Segment(_)) => {}
+        other => panic!("empty rotation must be refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn proofs_cross_segment_boundaries_and_survive_compaction_byte_identically() {
+    let path = tmp("prove.log");
+    let tpa = build_chain(&path);
+    let key = tpa.verifying_key();
+
+    // Global ordinals 0..9 span segment 0 (0..3), segment 1 (3..7) and
+    // the live file (7..9). Every one proves and verifies.
+    let before: Vec<_> = (0..9u64)
+        .map(|g| prove_global(&path, g).expect("prove"))
+        .collect();
+    for (g, proof) in before.iter().enumerate() {
+        assert_eq!(proof.evidence_index, g as u64);
+        proof.verify(&key).expect("verify proof");
+    }
+    match prove_global(&path, 9) {
+        Err(LedgerError::NotCovered { evidence: 9 }) => {}
+        other => panic!("ordinal past the chain must be NotCovered, got {other:?}"),
+    }
+
+    // Compact both sealed segments; proofs must come out byte-identical.
+    let c0 = compact(path.with_extension("log.seg-0")).expect("compact 0");
+    assert_eq!(c0.leaves, 3);
+    compact(path.with_extension("log.seg-1")).expect("compact 1");
+    let sources = discover(&path).expect("discover");
+    assert_eq!(sources.len(), 2);
+    assert!(matches!(
+        &sources[0],
+        SegmentSource::Compacted {
+            archive: Some(_),
+            ..
+        }
+    ));
+
+    for (g, old) in before.iter().enumerate() {
+        let new = prove_global(&path, g as u64).expect("prove after compaction");
+        assert_eq!(new.encode(), old.encode(), "ordinal {g} proof changed");
+        new.verify(&key).expect("verify after compaction");
+    }
+
+    // The compacted chain still fully verifies (archives get replayed).
+    let outcome = verify_chain(&path, &key, None).expect("verify compacted chain");
+    assert_eq!(outcome.compacted, 2);
+    assert_eq!(outcome.replayed, 3);
+    assert_eq!(outcome.accepted, 9);
+}
+
+#[test]
+fn summary_alone_still_verifies_but_cannot_serve_bodies() {
+    let path = tmp("droparc.log");
+    let tpa = build_chain(&path);
+    compact(path.with_extension("log.seg-0")).expect("compact 0");
+
+    // Drop segment 0's archive: bodies gone, seals retained.
+    std::fs::remove_file(path.with_extension("log.seg-0.arc")).expect("drop archive");
+
+    // The chain still verifies from the key alone — segment 0 now at
+    // summary strength (signature + Merkle root), the rest replayed.
+    let outcome = verify_chain(&path, &tpa.verifying_key(), None).expect("verify");
+    assert_eq!(outcome.segments, 2);
+    assert_eq!(outcome.compacted, 1);
+    assert_eq!(outcome.replayed, 2);
+    assert_eq!(
+        outcome.accepted, 6,
+        "seg0's 3 verdicts can no longer be replayed"
+    );
+    assert_eq!(outcome.total_sealed, 9);
+
+    // Proofs inside segment 0 need the archived bodies.
+    match prove_global(&path, 1) {
+        Err(LedgerError::Segment(_)) => {}
+        other => panic!("proof without archive must fail, got {other:?}"),
+    }
+    // Later segments are untouched.
+    prove_global(&path, 5)
+        .expect("prove seg1")
+        .verify(&tpa.verifying_key())
+        .expect("verify seg1 proof");
+}
+
+#[test]
+fn one_flipped_bit_anywhere_breaks_the_chain() {
+    let path = tmp("tamper.log");
+    let tpa = build_chain(&path);
+    let key = tpa.verifying_key();
+    compact(path.with_extension("log.seg-0")).expect("compact 0");
+    verify_chain(&path, &key, None).expect("clean chain verifies");
+
+    let flip = |p: &Path, offset_from_end: usize| {
+        let mut bytes = std::fs::read(p).expect("read");
+        let i = bytes.len() - offset_from_end;
+        bytes[i] ^= 0x01;
+        std::fs::write(p, bytes).expect("write");
+    };
+
+    for target in [
+        path.with_extension("log.seg-0.arc"),  // archived bodies
+        path.with_extension("log.seg-0.cseg"), // summary seals
+        path.with_extension("log.seg-1"),      // rotated, uncompacted
+        path.clone(),                          // live file
+    ] {
+        let original = std::fs::read(&target).expect("snapshot");
+        flip(&target, 40);
+        assert!(
+            verify_chain(&path, &key, None).is_err(),
+            "flip in {} must break verification",
+            target.display()
+        );
+        std::fs::write(&target, original).expect("restore");
+        verify_chain(&path, &key, None).expect("restored chain verifies");
+    }
+}
+
+#[test]
+fn continuation_is_bound_under_the_signatures() {
+    // Grafting a foreign (but individually valid) segment 1 onto
+    // another chain must fail continuity, not just replay.
+    let path_a = tmp("graft-a.log");
+    let path_b = tmp("graft-b.log");
+    let tpa = tpa_key(99);
+    // Two chains under the SAME key with different segment-0 content.
+    run_audits(&path_a, &tpa, 2, 21);
+    rotate(&path_a, &tpa, 22).expect("rotate a");
+    run_audits(&path_a, &tpa, 2, 23);
+    run_audits(&path_b, &tpa, 3, 31);
+    rotate(&path_b, &tpa, 32).expect("rotate b");
+    run_audits(&path_b, &tpa, 2, 33);
+    verify_chain(&path_a, &tpa.verifying_key(), None).expect("chain a");
+    verify_chain(&path_b, &tpa.verifying_key(), None).expect("chain b");
+
+    // Swap B's live file in behind A's segment 0.
+    std::fs::copy(&path_b, &path_a).expect("graft");
+    match verify_chain(&path_a, &tpa.verifying_key(), None) {
+        Err(LedgerError::SegmentChain { segment: 1, .. }) => {}
+        other => panic!("grafted live file must break continuity, got {other:?}"),
+    }
+}

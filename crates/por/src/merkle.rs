@@ -32,6 +32,83 @@ pub(crate) fn node_hash(left: &Digest, right: &Digest) -> Digest {
     h.finalize()
 }
 
+/// An append-only Merkle **root accumulator**: O(1) amortised per pushed
+/// leaf and O(log n) per root query, producing bit-identical roots to
+/// [`MerkleTree::build`] over the same data (the duplicate-last odd-tail
+/// convention included — pinned by tests).
+///
+/// This is what lets a ledger replay check every checkpoint root in one
+/// forward pass instead of rebuilding an O(n) tree per checkpoint, and a
+/// long-lived writer checkpoint at millions of records without the
+/// quadratic rebuild cost.
+#[derive(Clone, Debug, Default)]
+pub struct MerkleAccumulator {
+    /// Roots of the maximal perfect subtrees, **largest (earliest)
+    /// first**; heights strictly decrease, mirroring the binary
+    /// representation of `count`.
+    stack: Vec<(u32, Digest)>,
+    count: u64,
+}
+
+impl MerkleAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> MerkleAccumulator {
+        MerkleAccumulator::default()
+    }
+
+    /// Number of leaves pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends the next leaf's **data**; its index is the push ordinal
+    /// (matching [`MerkleTree::build`]'s enumeration).
+    pub fn push(&mut self, data: &[u8]) {
+        self.push_leaf_digest(leaf_hash(self.count, data));
+    }
+
+    /// Appends an already-hashed leaf digest.
+    pub fn push_leaf_digest(&mut self, leaf: Digest) {
+        self.stack.push((0, leaf));
+        self.count += 1;
+        // Binary-counter carry: merge equal-height neighbours (the
+        // earlier subtree is always the left child).
+        while self.stack.len() >= 2 {
+            let (hb, b) = self.stack[self.stack.len() - 1];
+            let (ha, a) = self.stack[self.stack.len() - 2];
+            if ha != hb {
+                break;
+            }
+            self.stack.truncate(self.stack.len() - 2);
+            self.stack.push((ha + 1, node_hash(&a, &b)));
+        }
+    }
+
+    /// The root over everything pushed, or `None` when empty.
+    ///
+    /// The trailing (imperfect) subtrees are folded smallest-first,
+    /// self-pairing a lone node at each level — exactly the
+    /// duplicate-last promotion [`MerkleTree`] applies level by level.
+    pub fn root(&self) -> Option<Digest> {
+        let mut it = self.stack.iter().rev();
+        let &(mut height, mut root) = it.next()?;
+        for &(h, sub) in it {
+            while height < h {
+                root = node_hash(&root, &root);
+                height += 1;
+            }
+            root = node_hash(&sub, &root);
+            height = h + 1;
+        }
+        Some(root)
+    }
+}
+
 /// A mutable Merkle tree over an ordered list of segments.
 ///
 /// Stored as a flat vector of levels; level 0 is the leaves. Odd tails are
@@ -361,6 +438,25 @@ mod tests {
             let mut bad_dir = bytes.clone();
             *bad_dir.last_mut().expect("non-empty") = 2;
             assert_eq!(MerkleProof::from_bytes(&bad_dir), None);
+        }
+    }
+
+    #[test]
+    fn accumulator_root_matches_eager_build() {
+        // Every size from 1 to 130 crosses multiple power-of-two
+        // boundaries and every odd-tail duplication shape.
+        let segments: Vec<Vec<u8>> = (0..130u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let mut acc = MerkleAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.root(), None);
+        for n in 1..=segments.len() {
+            acc.push(&segments[n - 1]);
+            assert_eq!(acc.len(), n as u64);
+            assert_eq!(
+                acc.root(),
+                Some(MerkleTree::build(&segments[..n]).root()),
+                "n = {n}"
+            );
         }
     }
 

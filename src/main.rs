@@ -84,6 +84,8 @@ const USAGE: &str = "usage:
   geoproof info    <store-dir>
   geoproof ledger  verify  <path> [--tpa-pub <hex32>] [--master <secret>]
   geoproof ledger  inspect <path>
+  geoproof ledger  rotate  <path> --master <secret>
+  geoproof ledger  compact <path>
   geoproof ledger  prove   <path> --round <n> [--out <file>]";
 
 type CliResult = Result<(), String>;
@@ -1350,12 +1352,14 @@ fn unhex32(s: &str) -> Result<[u8; 32], String> {
 
 fn cmd_ledger(args: &[String]) -> CliResult {
     let Some(sub) = args.first() else {
-        return Err("ledger: missing subcommand (verify|inspect|prove)".into());
+        return Err("ledger: missing subcommand (verify|inspect|rotate|compact|prove)".into());
     };
     let rest = &args[1..];
     match sub.as_str() {
         "verify" => cmd_ledger_verify(rest),
         "inspect" => cmd_ledger_inspect(rest),
+        "rotate" => cmd_ledger_rotate(rest),
+        "compact" => cmd_ledger_compact(rest),
         "prove" => cmd_ledger_prove(rest),
         other => Err(format!("unknown ledger subcommand {other:?}")),
     }
@@ -1426,6 +1430,37 @@ fn cmd_ledger_verify(args: &[String]) -> CliResult {
         encoder: PorEncoder::new(PorParams::paper()),
         keys_by_fid: std::cell::RefCell::new(HashMap::new()),
     });
+
+    // A rotated chain (any `<path>.seg-*` next to the live file) is
+    // verified whole: every present file fully replayed, compacted
+    // summaries checked from the TPA key, continuity and the forest
+    // digest enforced across every segment boundary.
+    let segments =
+        geoproof::ledger::discover(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if !segments.is_empty() {
+        let chain = geoproof::ledger::verify_chain(
+            Path::new(path),
+            &tpa,
+            mac_check.as_ref().map(|f| f as &dyn SegmentMacCheck),
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: chain of {} sealed segments + live file — {} sealed records total, chain OK",
+            chain.segments, chain.total_sealed
+        );
+        println!("tpa key : {} ({key_source})", hex(&tpa_bytes));
+        println!(
+            "forest  : {} (roll-up of every sealed segment's final checkpoint root)",
+            hex(&chain.forest)
+        );
+        println!(
+            "replay  : {} files fully replayed — {} ACCEPT, {} REJECT; {} compacted segments \
+             verified at summary strength where the archive is gone",
+            chain.replayed, chain.accepted, chain.rejected, chain.compacted
+        );
+        return Ok(());
+    }
+
     let outcome = replay(
         &ledger,
         &tpa,
@@ -1595,6 +1630,50 @@ fn cmd_ledger_inspect(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_ledger_rotate(args: &[String]) -> CliResult {
+    let path = positional(args, 0)?;
+    let master = flag(args, "--master")
+        .ok_or("--master required (rotation seals the segment under a TPA-signed checkpoint)")?;
+    let tpa = tpa_ledger_key(&master);
+    let outcome = geoproof::ledger::rotate(Path::new(path), &tpa, fresh_seed_u64("ledger-rotate"))
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: segment {} sealed ({} records) → {}; live file continues as segment {}",
+        outcome.segment,
+        outcome.sealed_leaves,
+        outcome.sealed_segment.display(),
+        outcome.next_segment
+    );
+    Ok(())
+}
+
+fn cmd_ledger_compact(args: &[String]) -> CliResult {
+    use geoproof::ledger::SegmentSource;
+    let path = positional(args, 0)?;
+    let sources =
+        geoproof::ledger::discover(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let mut done = 0usize;
+    for source in sources {
+        let SegmentSource::Full(seg) = source else {
+            continue;
+        };
+        let outcome =
+            geoproof::ledger::compact(&seg).map_err(|e| format!("{}: {e}", seg.display()))?;
+        println!(
+            "{}: {} sealed leaves → summary {} (bodies archived as {})",
+            seg.display(),
+            outcome.leaves,
+            outcome.summary.display(),
+            outcome.archive.display()
+        );
+        done += 1;
+    }
+    if done == 0 {
+        println!("{path}: no uncompacted sealed segments (run `ledger rotate` first)");
+    }
+    Ok(())
+}
+
 fn cmd_ledger_prove(args: &[String]) -> CliResult {
     use geoproof::ledger::Ledger;
     let path = positional(args, 0)?;
@@ -1603,7 +1682,11 @@ fn cmd_ledger_prove(args: &[String]) -> CliResult {
         .parse()
         .map_err(|e| format!("bad --round: {e}"))?;
     let ledger = Ledger::read(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-    let proof = ledger.prove(round).map_err(|e| format!("{path}: {e}"))?;
+    // `--round` is the global sealed ordinal: rotated and compacted
+    // segments are searched too (a compacted segment needs its archive
+    // for the record body).
+    let proof = geoproof::ledger::prove_global(Path::new(path), round)
+        .map_err(|e| format!("{path}: {e}"))?;
 
     // Self-check against the embedded key before handing the proof out.
     let tpa = geoproof::crypto::schnorr::VerifyingKey::from_bytes(&ledger.header().tpa_key)
