@@ -5,6 +5,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geoproof_bench::{BenchSnapshot, Json};
 use geoproof_core::auditor::VerifyChecks;
 use geoproof_core::evidence::encode_report;
 use geoproof_core::messages::{AuditRequest, SignedTranscript, TimedRound};
@@ -154,31 +155,44 @@ fn replay_snapshot_json(_c: &mut Criterion) {
 
     let batched_rate = n as f64 / batched_secs;
     let sequential_rate = n as f64 / sequential_secs;
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let json = format!(
-        "{{\n  \"bench\": \"ledger_replay\",\n  \"records\": {n},\n  \
-         \"transcript\": \"k={K} rounds, 64 B segments, 16 device keys\",\n  \
-         \"checkpoint_interval\": 512,\n  \"host_cores\": {cores},\n  \
-         \"run_order\": [\"batched\", \"sequential\"],\n  \
-         \"baseline_verdicts_per_s\": {BASELINE_VERDICTS_S},\n  \
-         \"baseline_note\": \"PR-5 replay pin: per-record Schnorr verify, \
-         per-checkpoint Merkle rebuild\",\n  \
-         \"sequential_verdicts_per_s\": {sequential_rate:.0},\n  \
-         \"batched_verdicts_per_s\": {batched_rate:.0},\n  \
-         \"speedup_batched_vs_sequential\": {:.1},\n  \
-         \"speedup_vs_baseline\": {:.1},\n  \
-         \"outcomes_identical\": true\n}}\n",
-        batched_rate / sequential_rate,
-        batched_rate / BASELINE_VERDICTS_S,
-    );
-    let out = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_ledger_replay.json"
-    );
-    std::fs::write(out, &json).expect("write BENCH_ledger_replay.json");
+    let out = BenchSnapshot::new(
+        "ledger_replay",
+        "ledger_replay",
+        &format!("k={K} rounds, 64 B segments, 16 device keys"),
+    )
+    .context("records", Json::U64(n))
+    .context("checkpoint_interval", Json::U64(512))
+    .baseline(
+        "baseline_verdicts_per_s",
+        Json::F64(BASELINE_VERDICTS_S, 0),
+        "PR-5 replay pin: per-record Schnorr verify, per-checkpoint Merkle rebuild",
+    )
+    .run(vec![
+        ("mode".to_owned(), Json::Str("batched".to_owned())),
+        ("verdicts_per_s".to_owned(), Json::F64(batched_rate, 0)),
+        (
+            "speedup_vs_baseline".to_owned(),
+            Json::F64(batched_rate / BASELINE_VERDICTS_S, 1),
+        ),
+    ])
+    .run(vec![
+        ("mode".to_owned(), Json::Str("sequential".to_owned())),
+        ("verdicts_per_s".to_owned(), Json::F64(sequential_rate, 0)),
+        (
+            "speedup_vs_baseline".to_owned(),
+            Json::F64(sequential_rate / BASELINE_VERDICTS_S, 1),
+        ),
+    ])
+    .result(
+        "speedup_batched_vs_sequential",
+        Json::F64(batched_rate / sequential_rate, 1),
+    )
+    .result("outcomes_identical", Json::Bool(true))
+    .write();
     println!(
         "replay snapshot ({n} verdicts): batched {batched_rate:.0}/s, \
-         sequential {sequential_rate:.0}/s → {out}"
+         sequential {sequential_rate:.0}/s → {}",
+        out.display()
     );
     std::fs::remove_file(&path).ok();
     assert!(

@@ -1,0 +1,166 @@
+//! Observability overhead guard: audits/s through the concurrent audit
+//! engine with the metrics registry enabled vs disabled, committed to
+//! `BENCH_obs_overhead.json`. The snapshot records whether the obs hot
+//! path was compiled out (`--features obs-noop`) so CI can compare the
+//! two builds, and the guard fails the bench outright if enabling
+//! metrics costs more than 5% of engine throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geoproof_bench::{BenchSnapshot, Json};
+use geoproof_core::engine::{AuditEngine, EngineConfig, ProverId, ProverSpec};
+use geoproof_core::provider::{LocalProvider, SegmentProvider};
+use geoproof_core::verifier::VerifierDevice;
+use geoproof_crypto::chacha::ChaChaRng;
+use geoproof_crypto::schnorr::SigningKey;
+use geoproof_geo::coords::places::BRISBANE;
+use geoproof_geo::gps::GpsReceiver;
+use geoproof_net::lan::LanPath;
+use geoproof_por::encode::{PorEncoder, TaggedFile};
+use geoproof_por::keys::PorKeys;
+use geoproof_por::params::PorParams;
+use geoproof_sim::clock::SimClock;
+use geoproof_storage::hdd::{HddModel, WD_2500JD};
+use geoproof_storage::server::{FileId, StorageServer};
+use std::hint::black_box;
+
+const K: u32 = 8;
+const SESSIONS: usize = 64;
+const WORKERS: usize = 4;
+
+struct Rig {
+    tagged: TaggedFile,
+    keys: PorKeys,
+    device_keys: Vec<SigningKey>,
+}
+
+impl Rig {
+    fn new(max_provers: usize) -> Self {
+        let encoder = PorEncoder::new(PorParams::test_small());
+        let keys = PorKeys::derive(b"bench-master", "obs");
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        let tagged = encoder.encode(&data, &keys, "obs");
+        let mut rng = ChaChaRng::from_u64_seed(7);
+        let device_keys = (0..max_provers)
+            .map(|_| SigningKey::generate(&mut rng))
+            .collect();
+        Rig {
+            tagged,
+            keys,
+            device_keys,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn fleet(
+        &self,
+        n: usize,
+    ) -> (
+        AuditEngine,
+        Vec<(ProverId, VerifierDevice, Box<dyn SegmentProvider + Send>)>,
+    ) {
+        let engine = AuditEngine::new(
+            "obs",
+            self.tagged.metadata.segments,
+            PorEncoder::new(PorParams::test_small()),
+            self.keys.auditor_view(),
+            EngineConfig {
+                k: K,
+                workers: WORKERS,
+                ..EngineConfig::default()
+            },
+        );
+        let fleet = (0..n)
+            .map(|i| {
+                let id = ProverId(format!("prover-{i:04}"));
+                let sk = self.device_keys[i].clone();
+                engine.register_prover(
+                    id.clone(),
+                    ProverSpec {
+                        device_key: sk.verifying_key(),
+                        sla_location: BRISBANE,
+                    },
+                );
+                let device =
+                    VerifierDevice::new(sk, GpsReceiver::new(BRISBANE), SimClock::new(), i as u64);
+                let mut storage = StorageServer::new(HddModel::deterministic(WD_2500JD), i as u64);
+                storage.put_file(FileId::from("obs"), self.tagged.segments.clone());
+                let provider: Box<dyn SegmentProvider + Send> = Box::new(LocalProvider::new(
+                    storage,
+                    LanPath::adjacent(),
+                    i as u64 + 9,
+                ));
+                (id, device, provider)
+            })
+            .collect();
+        (engine, fleet)
+    }
+}
+
+/// Best-of-`passes` engine throughput (sessions/s); fleet construction
+/// happens outside the timed window, `run_sessions` is what's metered.
+fn sessions_per_s(rig: &Rig, passes: usize) -> f64 {
+    let mut best = 0f64;
+    // One untimed warm-up pass (thread pool spin-up, page faults).
+    let (engine, fleet) = rig.fleet(SESSIONS);
+    black_box(engine.run_sessions(fleet));
+    for _ in 0..passes {
+        let (engine, fleet) = rig.fleet(SESSIONS);
+        let start = std::time::Instant::now();
+        let (reports, _) = engine.run_sessions(fleet);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(reports.len(), SESSIONS);
+        best = best.max(SESSIONS as f64 / secs);
+    }
+    best
+}
+
+fn obs_overhead_snapshot(_c: &mut Criterion) {
+    let rig = Rig::new(SESSIONS);
+    let compiled_out = cfg!(feature = "obs-noop");
+
+    geoproof_obs::set_enabled(false);
+    let disabled = sessions_per_s(&rig, 3);
+    geoproof_obs::set_enabled(true);
+    let enabled = sessions_per_s(&rig, 3);
+    let registry = geoproof_obs::global().snapshot();
+    geoproof_obs::set_enabled(false);
+
+    let ratio = enabled / disabled;
+    let path = BenchSnapshot::new(
+        "obs_overhead",
+        "obs_overhead",
+        &format!("audit engine, {SESSIONS} sessions x k={K}, {WORKERS} workers"),
+    )
+    .context("sessions", Json::U64(SESSIONS as u64))
+    .context("workers", Json::U64(WORKERS as u64))
+    .baseline(
+        "min_allowed_enabled_over_disabled",
+        Json::F64(0.95, 2),
+        "metrics-enabled engine throughput must stay within 5% of disabled",
+    )
+    .run(vec![
+        ("mode".to_owned(), Json::Str("metrics_disabled".to_owned())),
+        ("sessions_per_s".to_owned(), Json::F64(disabled, 1)),
+    ])
+    .run(vec![
+        ("mode".to_owned(), Json::Str("metrics_enabled".to_owned())),
+        ("sessions_per_s".to_owned(), Json::F64(enabled, 1)),
+    ])
+    .result("enabled_over_disabled", Json::F64(ratio, 3))
+    .result("compiled_out", Json::Bool(compiled_out))
+    .metrics(&registry)
+    .write();
+    println!(
+        "obs overhead snapshot: disabled {disabled:.1}/s, enabled {enabled:.1}/s \
+         (ratio {ratio:.3}, compiled_out {compiled_out}) → {}",
+        path.display()
+    );
+    assert!(
+        ratio >= 0.95,
+        "metrics-enabled engine ran at {ratio:.3}x the disabled throughput \
+         ({enabled:.1} vs {disabled:.1} sessions/s) — the observability hot path regressed"
+    );
+}
+
+criterion_group!(benches, obs_overhead_snapshot);
+criterion_main!(benches);

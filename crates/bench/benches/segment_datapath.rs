@@ -9,6 +9,7 @@
 //! between the storage arena and the socket write.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geoproof_bench::{BenchSnapshot, Json};
 use geoproof_crypto::chacha::ChaChaRng;
 use geoproof_por::encode::PorEncoder;
 use geoproof_por::keys::PorKeys;
@@ -147,40 +148,42 @@ fn encode_snapshot_json(_c: &mut Criterion) {
             .fold(f64::INFINITY, f64::min)
     };
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut runs = String::new();
+    let mut snapshot = BenchSnapshot::new(
+        "encode",
+        "parallel_encode",
+        "paper RS(255,223), v=5, 20-bit tags",
+    )
+    .context("input_mib", Json::F64(mib, 0))
+    .baseline(
+        "baseline_mib_per_s",
+        Json::F64(BASELINE_MIB_S, 2),
+        "PR-3 datapath_encode pin: per-block HMAC-Feistel PRP, no precompute",
+    );
     let mut best = 0f64;
-    for (run_order, threads) in encode_thread_counts().into_iter().enumerate() {
+    for threads in encode_thread_counts() {
         let secs = time_threads(threads);
         let rate = mib / secs;
         best = best.max(rate);
-        if !runs.is_empty() {
-            runs.push_str(",\n");
-        }
-        runs.push_str(&format!(
-            "    {{ \"run_order\": {run_order}, \"threads\": {threads}, \
-             \"mib_per_s\": {rate:.2}, \"speedup_vs_baseline\": {:.1} }}",
-            rate / BASELINE_MIB_S
-        ));
+        snapshot = snapshot.run(vec![
+            ("threads".to_owned(), Json::U64(threads as u64)),
+            ("mib_per_s".to_owned(), Json::F64(rate, 2)),
+            (
+                "speedup_vs_baseline".to_owned(),
+                Json::F64(rate / BASELINE_MIB_S, 1),
+            ),
+        ]);
     }
-    let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"parallel_encode\",\n");
-    json.push_str("  \"params\": \"paper RS(255,223), v=5, 20-bit tags\",\n");
-    json.push_str(&format!("  \"input_mib\": {mib:.0},\n"));
-    json.push_str(&format!("  \"host_cores\": {cores},\n"));
-    json.push_str(&format!("  \"baseline_mib_per_s\": {BASELINE_MIB_S},\n"));
-    json.push_str(
-        "  \"baseline_note\": \"PR-3 datapath_encode pin: per-block HMAC-Feistel PRP, no precompute\",\n",
+    let path = snapshot
+        .result("best_mib_per_s", Json::F64(best, 2))
+        .result(
+            "best_speedup_vs_baseline",
+            Json::F64(best / BASELINE_MIB_S, 1),
+        )
+        .write();
+    println!(
+        "encode snapshot ({size} B input): best {best:.2} MiB/s → {}",
+        path.display()
     );
-    json.push_str(&format!("  \"runs\": [\n{runs}\n  ],\n"));
-    json.push_str(&format!("  \"best_mib_per_s\": {best:.2},\n"));
-    json.push_str(&format!(
-        "  \"best_speedup_vs_baseline\": {:.1}\n}}\n",
-        best / BASELINE_MIB_S
-    ));
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
-    std::fs::write(path, &json).expect("write BENCH_encode.json");
-    println!("encode snapshot ({size} B input): best {best:.2} MiB/s → {path}");
     assert!(
         best / BASELINE_MIB_S >= 50.0,
         "encode throughput {best:.2} MiB/s is below 50× the {BASELINE_MIB_S} MiB/s baseline"

@@ -36,6 +36,26 @@ use geoproof_sim::time::Km;
 use geoproof_storage::server::FileId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Cached telemetry handles (see `geoproof_obs`): verdict counters move
+/// only on a session's *first* verdict, so they count audits — never
+/// re-verification passes; the latency histogram covers the full
+/// challenge/response/sign session as run on the pool.
+struct EngineMetrics {
+    accept: std::sync::Arc<geoproof_obs::Counter>,
+    reject: std::sync::Arc<geoproof_obs::Counter>,
+    latency: std::sync::Arc<geoproof_obs::Histogram>,
+}
+
+fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        accept: geoproof_obs::counter("audit_verdicts_total{outcome=\"accept\"}"),
+        reject: geoproof_obs::counter("audit_verdicts_total{outcome=\"reject\"}"),
+        latency: geoproof_obs::histogram("audit_session_latency_us"),
+    })
+}
 
 /// Identifies a prover (a cloud site under audit).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -553,6 +573,12 @@ impl AuditEngine {
                 })
                 .unwrap_or(false);
             if fresh_verdict {
+                let m = metrics();
+                if report.accepted() {
+                    m.accept.inc();
+                } else {
+                    m.reject.inc();
+                }
                 if let Some(sink) = sink {
                     let bundle = EvidenceBundle {
                         prover: id.0.clone(),
@@ -602,6 +628,8 @@ impl AuditEngine {
                     let Some(request) = self.open_session(&id) else {
                         return;
                     };
+                    let _span = geoproof_obs::span("audit_session");
+                    let started = std::time::Instant::now();
                     opened.lock().insert(id.clone());
                     let fid = FileId(request.file_id.clone());
                     let mut run = device.begin_audit(&request);
@@ -613,6 +641,7 @@ impl AuditEngine {
                     }
                     let transcript = device.finish_audit(run);
                     self.submit_transcript(&id, transcript);
+                    metrics().latency.record_duration_us(started.elapsed());
                 }) as Job<'_>
             })
             .collect();

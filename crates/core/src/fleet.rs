@@ -178,6 +178,15 @@ impl FleetOutcome {
             .collect()
     }
 
+    /// A snapshot of the global telemetry registry, taken now — the
+    /// hook benches and the fleet dashboard use to fold run counters
+    /// (`fleet_*`, `audit_*`, pool and encode totals) into their JSON
+    /// artifacts. Only meaningful when recording was enabled
+    /// ([`geoproof_obs::set_enabled`]) before the run.
+    pub fn registry_snapshot(&self) -> geoproof_obs::Snapshot {
+        geoproof_obs::global().snapshot()
+    }
+
     /// A digest of the entire outcome (verdicts, violations, timings,
     /// event count) — two runs are behaviourally identical iff their
     /// fingerprints match.
@@ -200,6 +209,7 @@ struct Driver {
     run: Option<AuditRun>,
     timer: Option<Stopwatch>,
     pending: Option<Option<bytes::Bytes>>,
+    started: Option<geoproof_sim::time::SimInstant>,
 }
 
 /// Scheduler events: a session starting, or a round's response arriving.
@@ -344,6 +354,7 @@ fn run_fleet_inner(
             run: None,
             timer: None,
             pending: None,
+            started: None,
         });
     }
 
@@ -359,6 +370,9 @@ fn run_fleet_inner(
 
     let mut active: usize = 0;
     let mut peak: usize = 0;
+    // Simulated-time session durations (µs), folded into the registry
+    // after the run so handle lookups stay out of the event loop.
+    let mut session_latencies_us: Vec<u64> = Vec::new();
     let contention = config.contention.clone();
 
     // Issues the next challenge of driver `i`'s session.
@@ -386,6 +400,7 @@ fn run_fleet_inner(
                 .open_session(&driver.id)
                 .expect("registered prover, fresh session");
             driver.run = Some(driver.device.begin_audit(&request));
+            driver.started = Some(net.now());
             active += 1;
             peak = peak.max(active);
             issue(net, driver, i, active, &contention, &fid);
@@ -400,6 +415,8 @@ fn run_fleet_inner(
                 let run = driver.run.take().expect("session running");
                 let transcript = driver.device.finish_audit(run);
                 engine.submit_transcript(&driver.id, transcript);
+                let started = driver.started.take().expect("session started");
+                session_latencies_us.push(net.now().duration_since(started).as_nanos() / 1_000);
                 active -= 1;
             } else {
                 issue(net, driver, i, active, &contention, &fid);
@@ -421,6 +438,34 @@ fn run_fleet_inner(
         p.sort_by(|a, b| a.0.cmp(&b.0));
         p
     };
+
+    // Fold the run into the global registry: one run, one audit verdict
+    // per prover. (Per-session accept/reject counters moved inside the
+    // engine's verification pass; these are the fleet-level rollups.)
+    {
+        struct FleetMetrics {
+            runs: std::sync::Arc<geoproof_obs::Counter>,
+            accept: std::sync::Arc<geoproof_obs::Counter>,
+            reject: std::sync::Arc<geoproof_obs::Counter>,
+            session_latency: std::sync::Arc<geoproof_obs::Histogram>,
+        }
+        static METRICS: std::sync::OnceLock<FleetMetrics> = std::sync::OnceLock::new();
+        let m = METRICS.get_or_init(|| FleetMetrics {
+            runs: geoproof_obs::counter("fleet_runs_total"),
+            accept: geoproof_obs::counter("fleet_audits_total{outcome=\"accept\"}"),
+            reject: geoproof_obs::counter("fleet_audits_total{outcome=\"reject\"}"),
+            // Simulated time, unlike `audit_session_latency_us` (wall
+            // clock on the live engine) — separate series on purpose.
+            session_latency: geoproof_obs::histogram("fleet_session_latency_us"),
+        });
+        m.runs.inc();
+        let accepted = reports.iter().filter(|(_, r)| r.accepted()).count() as u64;
+        m.accept.add(accepted);
+        m.reject.add(reports.len() as u64 - accepted);
+        for us in &session_latencies_us {
+            m.session_latency.record(*us);
+        }
+    }
 
     FleetOutcome {
         reports,

@@ -429,6 +429,8 @@ fn replay_impl(
     mac_check: Option<&dyn SegmentMacCheck>,
     batched: bool,
 ) -> Result<ReplayOutcome, LedgerError> {
+    let _span = geoproof_obs::span("ledger_replay");
+    let replay_started = std::time::Instant::now();
     if ledger.header().tpa_key != tpa.to_bytes() {
         return Err(LedgerError::TpaKeyMismatch);
     }
@@ -625,6 +627,7 @@ fn replay_impl(
             return Err(err);
         }
     }
+    record_replay_metrics(accepted, rejected, replay_started.elapsed());
     Ok(ReplayOutcome {
         records: ledger.records().len() as u64,
         evidence,
@@ -638,4 +641,25 @@ fn replay_impl(
         macs_checked,
         head: ledger.head(),
     })
+}
+
+/// Folds a clean replay into the global registry: verdicts re-derived
+/// by outcome, plus the latest pass's throughput.
+fn record_replay_metrics(accepted: u64, rejected: u64, elapsed: std::time::Duration) {
+    struct ReplayMetrics {
+        accepted: std::sync::Arc<geoproof_obs::Counter>,
+        rejected: std::sync::Arc<geoproof_obs::Counter>,
+        rate: std::sync::Arc<geoproof_obs::Gauge>,
+    }
+    static METRICS: std::sync::OnceLock<ReplayMetrics> = std::sync::OnceLock::new();
+    let m = METRICS.get_or_init(|| ReplayMetrics {
+        accepted: geoproof_obs::counter("ledger_replay_verdicts_total{outcome=\"accept\"}"),
+        rejected: geoproof_obs::counter("ledger_replay_verdicts_total{outcome=\"reject\"}"),
+        rate: geoproof_obs::gauge("ledger_replay_verdicts_per_s"),
+    });
+    m.accepted.add(accepted);
+    m.rejected.add(rejected);
+    let elapsed_ns = elapsed.as_nanos().max(1) as u64;
+    let per_s = (accepted + rejected).saturating_mul(1_000_000_000) / elapsed_ns;
+    m.rate.set(per_s as i64);
 }

@@ -38,6 +38,25 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 
+/// Cached telemetry handles (see `geoproof_obs`): appends/bytes count
+/// every sealed record (evidence, dynamic, digest, position and
+/// checkpoint frames alike — all pass through `write_record`), and the
+/// fsync histogram covers the explicit durability boundaries.
+struct WriterMetrics {
+    appends: std::sync::Arc<geoproof_obs::Counter>,
+    append_bytes: std::sync::Arc<geoproof_obs::Counter>,
+    fsync: std::sync::Arc<geoproof_obs::Histogram>,
+}
+
+fn writer_metrics() -> &'static WriterMetrics {
+    static METRICS: std::sync::OnceLock<WriterMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| WriterMetrics {
+        appends: geoproof_obs::counter("ledger_appends_total"),
+        append_bytes: geoproof_obs::counter("ledger_append_bytes_total"),
+        fsync: geoproof_obs::histogram("ledger_fsync_us"),
+    })
+}
+
 /// Default evidence records per automatic checkpoint.
 pub const DEFAULT_CHECKPOINT_INTERVAL: u32 = 64;
 
@@ -496,6 +515,9 @@ impl LedgerWriter {
         self.head = seal;
         self.records += 1;
         self.good_len += 4 + body_len as u64 + 32;
+        let m = writer_metrics();
+        m.appends.inc();
+        m.append_bytes.add(4 + body_len as u64 + 32);
         Ok(seal)
     }
 
@@ -803,7 +825,10 @@ impl LedgerWriter {
     ///
     /// Propagates `fsync` failure.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        let started = std::time::Instant::now();
+        let result = self.file.sync_data();
+        writer_metrics().fsync.record_duration_us(started.elapsed());
+        result
     }
 
     /// Seals the ledger for handoff: checkpoints any uncovered evidence

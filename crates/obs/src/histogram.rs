@@ -1,0 +1,210 @@
+//! Log-linear (HDR-style) histograms over `u64` values.
+//!
+//! Bucketing: values below [`LINEAR_MAX`] get an exact bucket each;
+//! above, each power-of-two octave splits into [`SUB_BUCKETS`] equal
+//! sub-buckets, so a bucket's width never exceeds 1/16 of its lower
+//! edge. The full `u64` range fits in [`BUCKETS`] buckets (~7.6 KiB of
+//! atomics per histogram), recording is three relaxed `fetch_add`s, and
+//! any quantile estimate is bounded by its bucket's edges — a ≤ 6.25 %
+//! relative error, pinned by `tests/histogram_prop.rs`.
+
+use crate::metrics::MetricName;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave above the linear range.
+pub(crate) const SUB_BUCKETS: usize = 16;
+
+/// Values below this get one exact bucket each.
+pub(crate) const LINEAR_MAX: u64 = SUB_BUCKETS as u64;
+
+/// Total bucket count covering all of `u64`: 16 exact buckets, then 60
+/// octaves (exponents 4..=63) × 16 sub-buckets.
+pub const BUCKETS: usize = SUB_BUCKETS + 60 * SUB_BUCKETS;
+
+/// The bucket index `value` lands in.
+#[inline]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // 4..=63
+    let group = exp - 4;
+    let sub = ((value >> (exp - 4)) & 0xF) as usize;
+    SUB_BUCKETS + group * SUB_BUCKETS + sub
+}
+
+/// The inclusive `[lo, hi]` range of values mapping to bucket `index`.
+pub(crate) fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index < SUB_BUCKETS {
+        return (index as u64, index as u64);
+    }
+    let group = (index - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let lo = (LINEAR_MAX + sub) << group;
+    let hi = lo + ((1u64 << group) - 1);
+    (lo, hi)
+}
+
+/// A lock-free log-linear histogram: per-bucket counts plus a running
+/// count and sum, all relaxed atomics behind the [`crate::enabled`]
+/// gate.
+pub struct Histogram {
+    pub(crate) name: MetricName,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("name", &self.name.full())
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new(name: MetricName) -> Histogram {
+        Histogram {
+            name,
+            buckets: std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(BUCKETS)
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The full registered name (family plus rendered labels).
+    pub fn name(&self) -> &str {
+        self.name.full()
+    }
+
+    /// Records one observation. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in whole microseconds — the
+    /// convention for every `*_us` histogram.
+    #[inline]
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy. Concurrent recording keeps running; the
+    /// copy is internally consistent up to in-flight observations
+    /// (bucket totals may momentarily lead or trail `count` by the
+    /// number of racing recorders — never by more).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut nonempty = Vec::new();
+        let mut bucket_total = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                bucket_total += n;
+                nonempty.push((bucket_bounds(i).1, n));
+            }
+        }
+        HistogramSnapshot {
+            buckets: nonempty,
+            // Derive the headline count from the buckets themselves so a
+            // snapshot is self-consistent even mid-record.
+            count: bucket_total,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: `(inclusive upper edge, count)` for each
+/// non-empty bucket in ascending order, plus totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(inclusive upper bound, observations)`.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`): the upper edge of
+    /// the first bucket whose cumulative count reaches `ceil(q·count)`.
+    /// Bounded by the true quantile's bucket edges; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return upper;
+            }
+        }
+        self.buckets.last().map_or(0, |&(upper, _)| upper)
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_u64() {
+        // Consecutive buckets tile the line with no gap or overlap.
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts off-tile");
+            assert!(hi >= lo);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn index_agrees_with_bounds_at_edges() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[16u64, 100, 1_000, 123_456, u64::MAX / 3, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+            // Width ≤ lo/16 above the linear range.
+            assert!(hi - lo <= lo / 16, "bucket [{lo}, {hi}] too wide for {v}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Counters and gauges: one atomic cell behind the global enable gate.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// The parsed shape of a registered metric name: the Prometheus family
+/// (text before `{`) plus the rendered label pairs inside the braces,
+/// if any. `audit_verdicts_total{outcome="accept"}` has family
+/// `audit_verdicts_total` and labels `outcome="accept"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct MetricName {
+    full: String,
+    family_len: usize,
+}
+
+impl MetricName {
+    pub(crate) fn parse(name: &str) -> MetricName {
+        assert!(!name.is_empty(), "metric name must not be empty");
+        let family_len = name.find('{').unwrap_or(name.len());
+        let family = &name[..family_len];
+        assert!(
+            !family.is_empty()
+                && family
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            "metric family {family:?} must be [a-zA-Z0-9_:]+"
+        );
+        if family_len < name.len() {
+            assert!(
+                name.ends_with('}') && name.len() > family_len + 2,
+                "labels in {name:?} must be non-empty and brace-closed"
+            );
+        }
+        MetricName {
+            full: name.to_owned(),
+            family_len,
+        }
+    }
+
+    pub(crate) fn full(&self) -> &str {
+        &self.full
+    }
+
+    #[cfg(test)]
+    pub(crate) fn family(&self) -> &str {
+        &self.full[..self.family_len]
+    }
+
+    /// The rendered label pairs (no braces), or `""`.
+    #[cfg(test)]
+    pub(crate) fn labels(&self) -> &str {
+        if self.family_len == self.full.len() {
+            ""
+        } else {
+            &self.full[self.family_len + 1..self.full.len() - 1]
+        }
+    }
+}
+
+/// A monotone event counter. Recording is a relaxed `fetch_add` behind
+/// the [`crate::enabled`] gate — lock- and allocation-free either way.
+#[derive(Debug)]
+pub struct Counter {
+    pub(crate) name: MetricName,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new(name: MetricName) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The full registered name (family plus rendered labels).
+    pub fn name(&self) -> &str {
+        self.name.full()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, live connections). Signed so
+/// transient dips below a racing zero don't wrap.
+#[derive(Debug)]
+pub struct Gauge {
+    pub(crate) name: MetricName,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new(name: MetricName) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The full registered name (family plus rendered labels).
+    pub fn name(&self) -> &str {
+        self.name.full()
+    }
+
+    /// Adds `n` (negative to decrease).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrites the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_parses_family_and_labels() {
+        let plain = MetricName::parse("ledger_appends_total");
+        assert_eq!(plain.family(), "ledger_appends_total");
+        assert_eq!(plain.labels(), "");
+        let labelled = MetricName::parse("audit_verdicts_total{outcome=\"accept\"}");
+        assert_eq!(labelled.family(), "audit_verdicts_total");
+        assert_eq!(labelled.labels(), "outcome=\"accept\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be [a-zA-Z0-9_:]+")]
+    fn metric_name_rejects_bad_family() {
+        MetricName::parse("bad name{x=\"y\"}");
+    }
+
+    #[test]
+    #[should_panic(expected = "brace-closed")]
+    fn metric_name_rejects_unclosed_labels() {
+        MetricName::parse("name{x=\"y\"");
+    }
+}

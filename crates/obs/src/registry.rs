@@ -1,0 +1,313 @@
+//! The sharded name → metric registry and the process-global instance.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, MetricName};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Shards in the registry. Registration is rare (cold, cached by call
+/// sites) but snapshots walk every shard; 16 keeps both cheap.
+const SHARDS: usize = 16;
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A get-or-register table of named metrics, sharded by FNV-1a of the
+/// full name so concurrent registration from many threads rarely
+/// contends. Lookups take a shard read lock; recording through the
+/// returned [`Arc`] handles takes no lock at all.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [RwLock<HashMap<String, Metric>>; SHARDS],
+    /// Bumped on every registration, so `serial()` cheaply tells a
+    /// renderer whether the metric set changed.
+    registrations: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, Metric>> {
+        &self.shards[(crate::fnv1a(name.as_bytes()) as usize) % SHARDS]
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce(MetricName) -> Metric) -> Metric {
+        let shard = self.shard(name);
+        if let Some(m) = shard.read().expect("registry shard").get(name) {
+            return m.clone();
+        }
+        let mut w = shard.write().expect("registry shard");
+        w.entry(name.to_owned())
+            .or_insert_with(|| {
+                self.registrations.fetch_add(1, Ordering::Relaxed);
+                make(MetricName::parse(name))
+            })
+            .clone()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// type, or is not a valid metric name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, |n| Metric::Counter(Arc::new(Counter::new(n)))) {
+            Metric::Counter(c) => c,
+            other => panic!(
+                "{name:?} is registered as a {}, not a counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, |n| Metric::Gauge(Arc::new(Gauge::new(n)))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name:?} is registered as a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, |n| Metric::Histogram(Arc::new(Histogram::new(n)))) {
+            Metric::Histogram(h) => h,
+            other => panic!(
+                "{name:?} is registered as a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Metrics registered so far (monotone; cheap).
+    pub fn serial(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by full
+    /// name. Recording continues concurrently; each value is itself
+    /// consistent (see [`Histogram::snapshot`]).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.read().expect("registry shard").iter() {
+                match metric {
+                    Metric::Counter(c) => counters.push((name.clone(), c.get())),
+                    Metric::Gauge(g) => gauges.push((name.clone(), g.get())),
+                    Metric::Histogram(h) => histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-global registry every instrumented crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// [`Registry::gauge`] on the [`global`] registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// A frozen view of a registry: every metric, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(full name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(full name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(full name, frozen buckets)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The frozen histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Sum of all counters in `family` across label sets (e.g. every
+    /// `audit_verdicts_total{outcome=…}` variant).
+    pub fn counter_family(&self, family: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| {
+                n == family || n.starts_with(family) && n[family.len()..].starts_with('{')
+            })
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// see [`crate::expose`].
+    pub fn render_prometheus(&self) -> String {
+        crate::expose::render_prometheus(self)
+    }
+
+    /// Renders the snapshot as one flat JSON object — the shape
+    /// `geoproof-bench` embeds under a `"metrics"` key in
+    /// `BENCH_*.json`. Counters and gauges map to integers; histograms
+    /// to `{count, sum, p50, p99}` objects.
+    pub fn to_json(&self) -> String {
+        let mut fields = Vec::new();
+        for (name, v) in &self.counters {
+            fields.push(format!("{}: {v}", json_escape(name)));
+        }
+        for (name, v) in &self.gauges {
+            fields.push(format!("{}: {v}", json_escape(name)));
+        }
+        for (name, h) in &self.histograms {
+            fields.push(format!(
+                "{}: {{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p99\": {}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.quantile(0.50),
+                h.quantile(0.99),
+            ));
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(r.serial(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter, not a gauge")]
+    fn type_conflicts_panic() {
+        let r = Registry::new();
+        let _ = r.counter("x_total");
+        let _ = r.gauge("x_total");
+    }
+
+    #[test]
+    fn snapshot_sorts_and_looks_up() {
+        let r = Registry::new();
+        let _ = r.counter("b_total");
+        let _ = r.counter("a_total");
+        let _ = r.gauge("depth");
+        let _ = r.histogram("lat_us");
+        let s = r.snapshot();
+        assert_eq!(
+            s.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            ["a_total", "b_total"]
+        );
+        assert_eq!(s.counter("a_total"), Some(0));
+        assert_eq!(s.gauge("depth"), Some(0));
+        assert!(s.histogram("lat_us").is_some());
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn counter_family_sums_label_variants() {
+        let r = Registry::new();
+        // Values stay 0 while disabled — family membership is what's
+        // under test here.
+        let _ = r.counter("v_total{outcome=\"accept\"}");
+        let _ = r.counter("v_total{outcome=\"reject\"}");
+        let _ = r.counter("v_total_other");
+        let s = r.snapshot();
+        assert_eq!(s.counter_family("v_total"), 0);
+        assert_eq!(s.counters.len(), 3, "label variants register independently");
+    }
+}

@@ -1,0 +1,270 @@
+//! Lightweight span tracing: enter/exit events with monotonic
+//! timestamps and parent ids, written into a fixed-size lock-free ring
+//! journal that observers drain without stopping the writers.
+//!
+//! Each ring slot is guarded by a per-slot sequence word (a seqlock
+//! keyed to the writer's global ticket): a writer claims slot
+//! `idx % capacity` by CAS-ing the sequence from the previous lap's
+//! even value to `2·idx + 1`, stores the event words, then publishes
+//! `2·idx + 2`. A reader accepts a slot only when it observes the same
+//! even sequence before and after copying the words — torn or in-flight
+//! slots are skipped, never returned. A writer that loses the claim CAS
+//! (it was lapped while parked) drops its event rather than tearing a
+//! newer one; under any realistic rate that requires the ring to wrap
+//! a full lap between a writer's ticket draw and its store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Default ring capacity (events, power of two) of [`journal`].
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Words per event slot: packed kind+name, span id, parent id,
+/// timestamp.
+const WORDS: usize = 4;
+
+/// What an event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Span opened.
+    Enter,
+    /// Span closed.
+    Exit,
+}
+
+/// One drained journal entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Global event ordinal (journal ticket) — ascending, gap-free per
+    /// writer but with drops possible under extreme lapping.
+    pub ordinal: u64,
+    /// Enter or exit.
+    pub kind: SpanKind,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Enclosing span's id at enter time, or 0 for a root span.
+    pub parent: u64,
+    /// Interned span name.
+    pub name: &'static str,
+    /// Monotonic nanoseconds since process telemetry start
+    /// ([`crate::now_ns`]).
+    pub t_ns: u64,
+}
+
+/// The fixed-size lock-free event ring.
+pub struct SpanJournal {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl std::fmt::Debug for SpanJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanJournal")
+            .field("capacity", &self.slots.len())
+            .field("written", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpanJournal {
+    /// A journal holding the latest `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> SpanJournal {
+        let capacity = capacity.next_power_of_two().max(8);
+        SpanJournal {
+            slots: std::iter::repeat_with(|| Slot {
+                seq: AtomicU64::new(0),
+                words: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .take(capacity)
+            .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Events ever written (including any since overwritten).
+    pub fn written(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn write(&self, kind: SpanKind, name_id: u32, id: u64, parent: u64, t_ns: u64) {
+        let cap = self.slots.len() as u64;
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(idx % cap) as usize];
+        let expected = if idx >= cap { 2 * (idx - cap) + 2 } else { 0 };
+        // Claim the slot for this ticket; losing means we were lapped a
+        // whole ring while parked — drop instead of tearing fresh data.
+        if slot
+            .seq
+            .compare_exchange(expected, 2 * idx + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let kind_word = (u64::from(name_id) << 1)
+            | match kind {
+                SpanKind::Enter => 0,
+                SpanKind::Exit => 1,
+            };
+        slot.words[0].store(kind_word, Ordering::Relaxed);
+        slot.words[1].store(id, Ordering::Relaxed);
+        slot.words[2].store(parent, Ordering::Relaxed);
+        slot.words[3].store(t_ns, Ordering::Relaxed);
+        slot.seq.store(2 * idx + 2, Ordering::Release);
+    }
+
+    /// Copies out the currently retained events, oldest first, without
+    /// pausing writers. Slots mid-write (or overwritten during the
+    /// copy) are skipped.
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let cap = self.slots.len() as u64;
+        let head = self.head.load(Ordering::Acquire);
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::new();
+        for idx in start..head {
+            let slot = &self.slots[(idx % cap) as usize];
+            let want = 2 * idx + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let words: [u64; WORDS] =
+                std::array::from_fn(|w| slot.words[w].load(Ordering::Relaxed));
+            // Re-check: unchanged sequence ⇒ the words above are the
+            // ones published under it.
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let name_id = (words[0] >> 1) as u32;
+            out.push(SpanEvent {
+                ordinal: idx,
+                kind: if words[0] & 1 == 0 {
+                    SpanKind::Enter
+                } else {
+                    SpanKind::Exit
+                },
+                id: words[1],
+                parent: words[2],
+                name: intern_lookup(name_id),
+                t_ns: words[3],
+            });
+        }
+        out
+    }
+}
+
+/// The process-global journal (capacity 4096 events).
+pub fn journal() -> &'static SpanJournal {
+    static JOURNAL: OnceLock<SpanJournal> = OnceLock::new();
+    JOURNAL.get_or_init(|| SpanJournal::with_capacity(DEFAULT_CAPACITY))
+}
+
+// --- name interning ---------------------------------------------------------
+//
+// Span names are `&'static str`, interned once into a u32 id; the hot
+// path then stores one word per event. The intern table locks only on
+// a name's *first* use.
+
+type InternTables = (Mutex<HashMap<&'static str, u32>>, Mutex<Vec<&'static str>>);
+
+fn intern_tables() -> &'static InternTables {
+    static TABLES: OnceLock<InternTables> = OnceLock::new();
+    TABLES.get_or_init(|| (Mutex::new(HashMap::new()), Mutex::new(Vec::new())))
+}
+
+fn intern(name: &'static str) -> u32 {
+    let (map, list) = intern_tables();
+    let mut map = map.lock().expect("intern map");
+    if let Some(&id) = map.get(name) {
+        return id;
+    }
+    let mut list = list.lock().expect("intern list");
+    let id = list.len() as u32;
+    list.push(name);
+    map.insert(name, id);
+    id
+}
+
+fn intern_lookup(id: u32) -> &'static str {
+    let (_, list) = intern_tables();
+    list.lock()
+        .expect("intern list")
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
+}
+
+// --- the span guard ---------------------------------------------------------
+
+thread_local! {
+    /// The innermost live span on this thread — the parent of the next
+    /// [`span`] call.
+    static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Opens a span: writes an enter event now and an exit event when the
+/// returned guard drops. Nested calls on one thread chain parent ids.
+/// When recording is disabled this is a single load — no id is drawn,
+/// no clock read, nothing written.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            id: 0,
+            prev: 0,
+            name_id: 0,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    let name_id = intern(name);
+    journal().write(SpanKind::Enter, name_id, id, parent, crate::now_ns());
+    SpanGuard {
+        id,
+        prev: parent,
+        name_id,
+    }
+}
+
+/// Closes its span on drop. See [`span`].
+#[derive(Debug)]
+#[must_use = "a span guard closes its span when dropped"]
+pub struct SpanGuard {
+    id: u64,
+    prev: u64,
+    name_id: u32,
+}
+
+impl SpanGuard {
+    /// The span's id (0 when recording was disabled at entry).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        CURRENT.with(|c| c.set(self.prev));
+        journal().write(
+            SpanKind::Exit,
+            self.name_id,
+            self.id,
+            self.prev,
+            crate::now_ns(),
+        );
+    }
+}

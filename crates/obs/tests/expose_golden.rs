@@ -1,0 +1,108 @@
+//! Golden pin of the text exposition format, plus a real-TCP scrape
+//! and push round-trip against [`geoproof_obs::expose::ScrapeServer`].
+//!
+//! The golden string is the contract external scrapers parse — any
+//! change to ordering, `# TYPE` lines, `le` edges, or number rendering
+//! must show up here as a deliberate diff.
+
+use geoproof_obs::expose::{self, TextMetrics};
+use geoproof_obs::Registry;
+
+#[test]
+fn text_exposition_golden() {
+    geoproof_obs::set_enabled(true);
+    let r = Registry::new();
+    r.counter("audit_verdicts_total{outcome=\"accept\"}").add(7);
+    r.counter("audit_verdicts_total{outcome=\"reject\"}").add(2);
+    r.counter("ledger_appends_total").add(9);
+    r.gauge("pool_queue_depth").set(3);
+    let h = r.histogram("audit_session_latency_us");
+    for v in [3u64, 3, 17, 800, 100_000] {
+        h.record(v);
+    }
+
+    let rendered = r.snapshot().render_prometheus();
+    let expected = "\
+# TYPE audit_verdicts_total counter
+audit_verdicts_total{outcome=\"accept\"} 7
+audit_verdicts_total{outcome=\"reject\"} 2
+# TYPE ledger_appends_total counter
+ledger_appends_total 9
+# TYPE pool_queue_depth gauge
+pool_queue_depth 3
+# TYPE audit_session_latency_us histogram
+audit_session_latency_us_bucket{le=\"3\"} 2
+audit_session_latency_us_bucket{le=\"17\"} 3
+audit_session_latency_us_bucket{le=\"831\"} 4
+audit_session_latency_us_bucket{le=\"102399\"} 5
+audit_session_latency_us_bucket{le=\"+Inf\"} 5
+audit_session_latency_us_sum 100823
+audit_session_latency_us_count 5
+";
+    assert_eq!(rendered, expected, "text exposition drifted:\n{rendered}");
+}
+
+#[test]
+fn labelled_histogram_merges_le_into_label_set() {
+    geoproof_obs::set_enabled(true);
+    let r = Registry::new();
+    let h = r.histogram("rtt_us{vantage=\"syd\"}");
+    h.record(10);
+    let rendered = r.snapshot().render_prometheus();
+    assert!(
+        rendered.contains("rtt_us_bucket{vantage=\"syd\",le=\"10\"} 1"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("rtt_us_sum{vantage=\"syd\"} 10"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("rtt_us_count{vantage=\"syd\"} 1"),
+        "{rendered}"
+    );
+    // And the parser reassembles it under the labelled key.
+    let parsed = TextMetrics::parse(&rendered);
+    let h = parsed
+        .histogram("rtt_us{vantage=\"syd\"}")
+        .expect("labelled histogram");
+    assert_eq!(h.count, 1);
+    assert_eq!(h.quantile(0.99), 10.0);
+}
+
+#[test]
+fn scrape_and_push_over_real_tcp() {
+    // Bind flips recording on for the process.
+    let server = expose::ScrapeServer::bind("127.0.0.1:0").expect("bind scrape");
+    let addr = server.addr();
+
+    // Record through the global registry, then scrape it back.
+    geoproof_obs::counter("e2e_events_total").add(5);
+    let hist = geoproof_obs::histogram("e2e_lat_us");
+    hist.record(40);
+    hist.record(4_000);
+
+    let body = expose::scrape(addr).expect("scrape");
+    let parsed = TextMetrics::parse(&body);
+    assert_eq!(parsed.value("e2e_events_total"), Some(5.0));
+    let h = parsed.histogram("e2e_lat_us").expect("histogram scraped");
+    assert_eq!(h.count, 2);
+
+    // Push the one-shot-job way: counters and observations land in the
+    // same registry the next scrape renders.
+    expose::push(
+        addr,
+        "counter e2e_events_total 3\nobserve e2e_lat_us 123\ngauge e2e_depth 4\nbogus line here\n",
+    )
+    .expect("push");
+    let parsed = TextMetrics::parse(&expose::scrape(addr).expect("rescrape"));
+    assert_eq!(parsed.value("e2e_events_total"), Some(8.0));
+    assert_eq!(parsed.value("e2e_depth"), Some(4.0));
+    assert_eq!(parsed.histogram("e2e_lat_us").expect("histogram").count, 3);
+
+    // Unknown paths 404 without killing the listener.
+    let (status, _) = expose::http_get(addr, "/nope").expect("roundtrip");
+    assert!(status.contains("404"), "{status}");
+    let body = expose::scrape(addr).expect("scrape after 404");
+    assert!(body.contains("e2e_events_total 8"));
+}

@@ -1,0 +1,59 @@
+//! Span semantics in a quiet process (its own integration binary, so
+//! no concurrent hammer can lap the global ring): parent chaining,
+//! interned names on both enter and exit, monotonic timestamps, and
+//! the disabled path drawing no ids and writing nothing.
+
+use geoproof_obs::{journal, span, SpanKind};
+
+#[test]
+fn span_nesting_chains_parents_and_disabled_path_is_silent() {
+    // Disabled: no ids drawn, nothing written.
+    geoproof_obs::set_enabled(false);
+    {
+        let ghost = span("ghost");
+        assert_eq!(ghost.id(), 0);
+    }
+    assert_eq!(journal().written(), 0, "disabled span reached the journal");
+
+    geoproof_obs::set_enabled(true);
+    let (outer_id, inner_id, sibling_id) = {
+        let outer = span("nest_outer");
+        let inner_id = {
+            let inner = span("nest_inner");
+            inner.id()
+        };
+        let sibling = span("nest_sibling");
+        (outer.id(), inner_id, sibling.id())
+    };
+
+    let events = journal().drain();
+    let find = |id: u64, kind: SpanKind| {
+        events
+            .iter()
+            .find(|e| e.id == id && e.kind == kind)
+            .unwrap_or_else(|| panic!("missing event id={id} kind={kind:?}"))
+    };
+
+    let enter_outer = find(outer_id, SpanKind::Enter);
+    assert_eq!(enter_outer.parent, 0, "outer span must be a root");
+    assert_eq!(enter_outer.name, "nest_outer");
+
+    let enter_inner = find(inner_id, SpanKind::Enter);
+    assert_eq!(enter_inner.parent, outer_id);
+    let exit_inner = find(inner_id, SpanKind::Exit);
+    assert_eq!(exit_inner.name, "nest_inner", "exit keeps the span name");
+
+    // The sibling opened after inner closed: same parent, not nested.
+    let enter_sibling = find(sibling_id, SpanKind::Enter);
+    assert_eq!(enter_sibling.parent, outer_id);
+    assert!(enter_sibling.t_ns >= exit_inner.t_ns);
+
+    // Exits close innermost-first and the clock never runs backwards.
+    let exit_outer = find(outer_id, SpanKind::Exit);
+    assert!(exit_inner.t_ns <= exit_outer.t_ns);
+    let mut last = 0u64;
+    for e in &events {
+        assert!(e.t_ns >= last, "journal timestamps must be monotone");
+        last = e.t_ns;
+    }
+}

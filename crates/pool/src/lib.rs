@@ -20,6 +20,24 @@
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cached handles into the global telemetry registry — resolved once so
+/// the per-job path is a gated atomic op, never a registry lookup.
+struct PoolMetrics {
+    jobs: Arc<geoproof_obs::Counter>,
+    steals: Arc<geoproof_obs::Counter>,
+    depth: Arc<geoproof_obs::Gauge>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        jobs: geoproof_obs::counter("pool_jobs_total"),
+        steals: geoproof_obs::counter("pool_steals_total"),
+        depth: geoproof_obs::gauge("pool_queue_depth"),
+    })
+}
 
 /// One unit of work.
 pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
@@ -54,15 +72,19 @@ pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
     }
     let remaining = AtomicUsize::new(total);
     let steals = AtomicU64::new(0);
+    let m = metrics();
+    m.jobs.add(total as u64);
+    m.depth.add(total as i64);
 
     // Counts a job as done even if it panics: without this, a panicking
     // job would leave `remaining` nonzero forever, the surviving workers
     // would spin, and `thread::scope` would never join (deadlock instead
     // of a propagated panic).
-    struct DoneGuard<'a>(&'a AtomicUsize);
+    struct DoneGuard<'a>(&'a AtomicUsize, &'static PoolMetrics);
     impl Drop for DoneGuard<'_> {
         fn drop(&mut self) {
             self.0.fetch_sub(1, Ordering::AcqRel);
+            self.1.depth.dec();
         }
     }
 
@@ -77,22 +99,28 @@ pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
                     if remaining.load(Ordering::Acquire) == 0 {
                         return;
                     }
-                    // Own deque first (front: FIFO for cache-friendly order)…
-                    let job = queues[me].lock().pop_front().or_else(|| {
-                        // …then steal from a sibling's back.
+                    // Own deque first (front: FIFO for cache-friendly order).
+                    // The guard must drop before the steal scan below: a
+                    // `lock().pop_front().or_else(steal)` chain keeps the
+                    // own-queue guard alive for the whole statement, so two
+                    // workers going empty together would each hold their own
+                    // lock while trying the other's — an ABBA deadlock.
+                    let mut job = queues[me].lock().pop_front();
+                    if job.is_none() {
+                        // Steal from a sibling's back, one lock at a time.
                         for delta in 1..queues.len() {
                             let victim = (me + delta) % queues.len();
                             if let Some(stolen) = queues[victim].lock().pop_back() {
                                 steals.fetch_add(1, Ordering::Relaxed);
-                                return Some(stolen);
+                                job = Some(stolen);
+                                break;
                             }
                         }
-                        None
-                    });
+                    }
                     match job {
                         Some(job) => {
                             idle_rounds = 0;
-                            let guard = DoneGuard(remaining);
+                            let guard = DoneGuard(remaining, m);
                             job();
                             drop(guard);
                         }
@@ -115,10 +143,12 @@ pub fn run_jobs<'env>(workers: usize, jobs: Vec<Job<'env>>) -> PoolStats {
         }
     });
 
+    let stolen = steals.load(Ordering::Relaxed);
+    m.steals.add(stolen);
     PoolStats {
         workers,
         jobs: total as u64,
-        steals: steals.load(Ordering::Relaxed),
+        steals: stolen,
     }
 }
 
@@ -201,6 +231,30 @@ mod tests {
         }));
         assert!(result.is_err(), "panic must propagate");
         assert_eq!(ran.load(Ordering::Relaxed), 7, "other jobs still ran");
+    }
+
+    #[test]
+    fn concurrent_steal_scans_do_not_deadlock() {
+        // Regression: the worker loop used to hold its own queue lock
+        // across the steal scan (guard temporary lived to the end of the
+        // `lock().pop_front().or_else(steal)` statement), so two workers
+        // going empty together could each block on the other's queue —
+        // an ABBA deadlock hit ~1–4% of encoder property-test runs on a
+        // single-core host. Hammer the empty-queue/steal path and fail
+        // via watchdog timeout instead of hanging the suite.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..300 {
+                let jobs: Vec<Job> = (0..6).map(|_| Box::new(|| {}) as Job).collect();
+                run_jobs(4, jobs);
+                if round % 100 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("pool deadlocked: steal scan held the worker's own queue lock");
     }
 
     #[test]

@@ -50,7 +50,31 @@ use geoproof_crypto::prp::PrpSchedule;
 use geoproof_ecc::block_code::{Block, BlockCode, BLOCK_BYTES};
 use geoproof_pool::{run_jobs, Job};
 use std::sync::atomic::{AtomicU16, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Cached telemetry handles for the wave data path (see
+/// `geoproof_obs`): bytes counts raw input consumed, waves/chunks give
+/// dispatch occupancy, `encode_wave_mib_per_s` tracks the latest wave's
+/// encode rate over the padded chunk payload, and sealed counts
+/// tag-complete segments.
+struct StreamMetrics {
+    bytes: std::sync::Arc<geoproof_obs::Counter>,
+    waves: std::sync::Arc<geoproof_obs::Counter>,
+    sealed: std::sync::Arc<geoproof_obs::Counter>,
+    chunks: std::sync::Arc<geoproof_obs::Histogram>,
+    mib_per_s: std::sync::Arc<geoproof_obs::Gauge>,
+}
+
+fn stream_metrics() -> &'static StreamMetrics {
+    static METRICS: OnceLock<StreamMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StreamMetrics {
+        bytes: geoproof_obs::counter("encode_bytes_total"),
+        waves: geoproof_obs::counter("encode_waves_total"),
+        sealed: geoproof_obs::counter("encode_segments_sealed_total"),
+        chunks: geoproof_obs::histogram("encode_wave_chunks"),
+        mib_per_s: geoproof_obs::gauge("encode_wave_mib_per_s"),
+    })
+}
 
 /// Reed–Solomon chunks buffered per worker before a parallel wave is
 /// dispatched: large enough to amortise pool startup, small enough that
@@ -450,6 +474,24 @@ impl<S: SegmentSink> StreamingEncoder<S> {
     /// the sink can take disjoint raw writes; the byte output is
     /// identical either way.
     fn flush_wave(&mut self, count: u64) {
+        let _span = geoproof_obs::span("encode_wave");
+        let started = std::time::Instant::now();
+        let raw_bytes = self.pending.len() as u64;
+        let sealed_before = self.sealed;
+        self.run_wave(count);
+        let m = stream_metrics();
+        m.bytes.add(raw_bytes);
+        m.waves.inc();
+        m.chunks.record(count);
+        m.sealed.add(self.sealed - sealed_before);
+        let chunk_bytes = (self.layout.params().rs_k * BLOCK_BYTES) as u64;
+        let elapsed_ns = started.elapsed().as_nanos().max(1) as u64;
+        let mib_per_s =
+            (count * chunk_bytes).saturating_mul(1_000_000_000) / elapsed_ns / (1 << 20);
+        m.mib_per_s.set(mib_per_s as i64);
+    }
+
+    fn run_wave(&mut self, count: u64) {
         if self.threads > 1 && count > 1 {
             if let Some(view) = self.sink.contiguous_view() {
                 let sealed = self.run_wave_parallel(count, view);

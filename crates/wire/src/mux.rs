@@ -23,7 +23,38 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cached telemetry handles (see `geoproof_obs`). The counters shadow
+/// the server's own cumulative [`MuxStats`] so a scrape endpoint sees
+/// the same monotone totals; the latency histogram covers each
+/// session's open-to-eviction lifetime.
+struct MuxMetrics {
+    connections: std::sync::Arc<geoproof_obs::Counter>,
+    sessions: std::sync::Arc<geoproof_obs::Counter>,
+    challenges: std::sync::Arc<geoproof_obs::Counter>,
+    hits: std::sync::Arc<geoproof_obs::Counter>,
+    frames: std::sync::Arc<geoproof_obs::Counter>,
+    closed_complete: std::sync::Arc<geoproof_obs::Counter>,
+    closed_incomplete: std::sync::Arc<geoproof_obs::Counter>,
+    latency: std::sync::Arc<geoproof_obs::Histogram>,
+}
+
+fn mux_metrics() -> &'static MuxMetrics {
+    static METRICS: std::sync::OnceLock<MuxMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| MuxMetrics {
+        connections: geoproof_obs::counter("mux_connections_total"),
+        sessions: geoproof_obs::counter("mux_sessions_opened_total"),
+        challenges: geoproof_obs::counter("mux_challenges_total"),
+        hits: geoproof_obs::counter("mux_hits_total"),
+        frames: geoproof_obs::counter("mux_frames_total"),
+        closed_complete: geoproof_obs::counter("mux_sessions_closed_total{outcome=\"complete\"}"),
+        closed_incomplete: geoproof_obs::counter(
+            "mux_sessions_closed_total{outcome=\"incomplete\"}",
+        ),
+        latency: geoproof_obs::histogram("mux_session_latency_us"),
+    })
+}
 
 /// Number of shards in the session table. A power of two; sized so a
 /// few hundred concurrent sessions rarely share a shard lock.
@@ -55,9 +86,17 @@ pub struct SessionStats {
     pub hits: u64,
     /// Announced challenge count k, when the client sent `StartAudit`.
     pub announced_k: Option<u32>,
+    /// When the session opened (server clock) — drives the
+    /// session-lifetime histogram at eviction.
+    pub started: Option<Instant>,
 }
 
-/// Aggregate server statistics.
+/// Aggregate server statistics. Every field is **monotone** over the
+/// server's lifetime: closing a connection folds its sessions' counts
+/// into retirement totals instead of discarding them, so two
+/// [`MuxProverServer::stats`] snapshots always satisfy `earlier ≤ later`
+/// field-wise — reconnecting clients can never make a total go
+/// backwards.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MuxStats {
     /// Connections accepted over the server's lifetime.
@@ -66,6 +105,14 @@ pub struct MuxStats {
     pub sessions: u64,
     /// Total challenges served.
     pub challenges: u64,
+    /// Challenges that found their segment, across live **and** closed
+    /// sessions.
+    pub hits: u64,
+    /// Closed sessions that had answered at least their announced `k`
+    /// challenges with hits.
+    pub sessions_complete: u64,
+    /// Closed sessions that ended early, or never announced a `k`.
+    pub sessions_incomplete: u64,
 }
 
 /// FNV-1a over the session key — deterministic shard choice (std's
@@ -85,6 +132,13 @@ struct SessionTable {
     opened: AtomicU64,
     /// Live sessions per connection, for the per-connection cap.
     per_conn: Mutex<HashMap<u64, u64>>,
+    /// Hits folded out of sessions evicted at connection close — added
+    /// to the live sums so [`MuxStats::hits`] is monotone.
+    retired_hits: AtomicU64,
+    /// Evicted sessions that served their announced `k` in hits.
+    retired_complete: AtomicU64,
+    /// Evicted sessions that ended short (or unannounced).
+    retired_incomplete: AtomicU64,
 }
 
 impl SessionTable {
@@ -113,7 +167,11 @@ impl SessionTable {
                     *count += 1;
                 }
                 self.opened.fetch_add(1, Ordering::Relaxed);
-                f(v.insert(SessionStats::default()));
+                mux_metrics().sessions.inc();
+                f(v.insert(SessionStats {
+                    started: Some(Instant::now()),
+                    ..SessionStats::default()
+                }));
             }
         }
     }
@@ -133,15 +191,47 @@ impl SessionTable {
         all
     }
 
-    /// Drops every session belonging to a closed connection. Aggregate
-    /// counters (`opened`, challenge totals) are unaffected — without
-    /// this, a long-running server would grow per-session state without
-    /// bound as short-lived audit connections come and go.
+    /// Drops every session belonging to a closed connection, folding
+    /// each evicted session's counters into the retirement totals first
+    /// — aggregate statistics stay monotone while per-session state
+    /// stays bounded by current concurrency, not server lifetime. Each
+    /// close is also classified (did the session serve its announced
+    /// `k`?) and its lifetime recorded.
     fn evict_connection(&self, conn_id: u64) {
+        let now = Instant::now();
+        let m = mux_metrics();
         for shard in &self.shards {
-            shard.lock().retain(|k, _| k.connection != conn_id);
+            shard.lock().retain(|k, s| {
+                if k.connection != conn_id {
+                    return true;
+                }
+                self.retired_hits.fetch_add(s.hits, Ordering::Relaxed);
+                let complete = s.announced_k.is_some_and(|k| s.hits >= u64::from(k));
+                if complete {
+                    self.retired_complete.fetch_add(1, Ordering::Relaxed);
+                    m.closed_complete.inc();
+                } else {
+                    self.retired_incomplete.fetch_add(1, Ordering::Relaxed);
+                    m.closed_incomplete.inc();
+                }
+                if let Some(started) = s.started {
+                    m.latency
+                        .record_duration_us(now.saturating_duration_since(started));
+                }
+                false
+            });
         }
         self.per_conn.lock().remove(&conn_id);
+    }
+
+    /// Hits across live sessions plus everything already retired.
+    fn total_hits(&self) -> u64 {
+        let live: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.lock().values().map(|v| v.hits).sum::<u64>())
+            .sum();
+        self.retired_hits.load(Ordering::Relaxed) + live
     }
 }
 
@@ -212,6 +302,7 @@ impl MuxProverServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let conn_id = accept_connections.fetch_add(1, Ordering::Relaxed);
+                        mux_metrics().connections.inc();
                         let store = accept_store.clone();
                         let dynamic = accept_dynamic.clone();
                         let stop = accept_stop.clone();
@@ -316,12 +407,15 @@ impl MuxProverServer {
         self.dynamic.clone()
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics (monotone — see [`MuxStats`]).
     pub fn stats(&self) -> MuxStats {
         MuxStats {
             connections: self.connections.load(Ordering::Relaxed),
             sessions: self.sessions.opened.load(Ordering::Relaxed),
             challenges: self.challenges.load(Ordering::Relaxed),
+            hits: self.sessions.total_hits(),
+            sessions_complete: self.sessions.retired_complete.load(Ordering::Relaxed),
+            sessions_incomplete: self.sessions.retired_incomplete.load(Ordering::Relaxed),
         }
     }
 
@@ -379,6 +473,7 @@ fn serve_mux_connection(
             Ok(Polled::Idle) => continue,
             Ok(Polled::Closed) | Err(_) => return Ok(()),
         };
+        mux_metrics().frames.inc();
         match msg {
             WireMessage::StartAudit { file_id, k, .. } => {
                 let known = store.lock().contains_key(&file_id) || dynamic.contains(&file_id);
@@ -412,6 +507,11 @@ fn serve_mux_connection(
                     }
                 });
                 challenges.fetch_add(1, Ordering::Relaxed);
+                let m = mux_metrics();
+                m.challenges.inc();
+                if hit {
+                    m.hits.inc();
+                }
                 write_frame(&mut writer, &WireMessage::Response { segment })?;
             }
             WireMessage::DynChallenge { file_id, index } => {
@@ -432,6 +532,11 @@ fn serve_mux_connection(
                     }
                 });
                 challenges.fetch_add(1, Ordering::Relaxed);
+                let m = mux_metrics();
+                m.challenges.inc();
+                if hit {
+                    m.hits.inc();
+                }
                 write_frame(
                     &mut writer,
                     &WireMessage::DynResponse {
@@ -522,6 +627,101 @@ mod tests {
         assert!(server.sessions().is_empty());
         assert_eq!(server.stats().challenges, 32);
         assert_eq!(server.stats().sessions, 8);
+    }
+
+    #[test]
+    fn stats_stay_monotone_across_reconnects() {
+        // Regression: evicting a closed connection's sessions used to
+        // discard their SessionStats outright, so a fleet of short-lived
+        // audit connections left `hits` (and any session classification)
+        // permanently undercounted. Closes now fold into retirement
+        // totals first.
+        let server = MuxProverServer::spawn(store_with(&[("f", 4)]), Duration::ZERO).unwrap();
+        let addr = server.addr();
+        let mut last = MuxStats::default();
+        for round in 0..3u64 {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut raw,
+                &WireMessage::StartAudit {
+                    file_id: "f".to_owned(),
+                    n_segments: 4,
+                    k: 3,
+                    nonce: [0u8; 32],
+                },
+            )
+            .unwrap();
+            for i in 0..3u64 {
+                write_frame(
+                    &mut raw,
+                    &WireMessage::Challenge {
+                        file_id: "f".to_owned(),
+                        index: i,
+                    },
+                )
+                .unwrap();
+                let reply = crate::codec::read_frame(&mut raw).unwrap();
+                assert!(matches!(reply, WireMessage::Response { segment: Some(_) }));
+            }
+            write_frame(&mut raw, &WireMessage::Bye).unwrap();
+            drop(raw);
+            // Wait for the closed connection's session to retire.
+            for _ in 0..200 {
+                if server.stats().sessions_complete == round + 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let stats = server.stats();
+            assert_eq!(stats.hits, (round + 1) * 3, "hits lost at connection close");
+            assert_eq!(stats.sessions_complete, round + 1);
+            assert_eq!(stats.sessions_incomplete, 0);
+            assert!(
+                stats.connections >= last.connections
+                    && stats.sessions >= last.sessions
+                    && stats.challenges >= last.challenges
+                    && stats.hits >= last.hits
+                    && stats.sessions_complete >= last.sessions_complete
+                    && stats.sessions_incomplete >= last.sessions_incomplete,
+                "stats went backwards across a reconnect: {last:?} -> {stats:?}"
+            );
+            last = stats;
+        }
+        // A session that ends short of its announced k retires as
+        // incomplete — its hits still fold in.
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        write_frame(
+            &mut raw,
+            &WireMessage::StartAudit {
+                file_id: "f".to_owned(),
+                n_segments: 4,
+                k: 4,
+                nonce: [0u8; 32],
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut raw,
+            &WireMessage::Challenge {
+                file_id: "f".to_owned(),
+                index: 0,
+            },
+        )
+        .unwrap();
+        let reply = crate::codec::read_frame(&mut raw).unwrap();
+        assert!(matches!(reply, WireMessage::Response { segment: Some(_) }));
+        write_frame(&mut raw, &WireMessage::Bye).unwrap();
+        drop(raw);
+        for _ in 0..200 {
+            if server.stats().sessions_incomplete == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.sessions_incomplete, 1);
+        assert_eq!(stats.sessions_complete, 3);
+        assert_eq!(stats.hits, 10, "incomplete session's hits still fold in");
     }
 
     #[test]

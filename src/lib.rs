@@ -25,6 +25,7 @@
 //! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine and deterministic fleet simulator |
 //! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server |
 //! | [`ledger`] | `geoproof-ledger` | durable evidence: append-only hash-chained audit log, Merkle checkpoints, crash recovery, offline re-verification |
+//! | [`obs`] | `geoproof-obs` | observability: lock-free counters/gauges/histograms, span journal, Prometheus text exposition |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use geoproof_ecc as ecc;
 pub use geoproof_geo as geo;
 pub use geoproof_ledger as ledger;
 pub use geoproof_net as net;
+pub use geoproof_obs as obs;
 pub use geoproof_por as por;
 pub use geoproof_sim as sim;
 pub use geoproof_storage as storage;

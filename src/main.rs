@@ -6,8 +6,9 @@
 //! geoproof encode-dynamic <input-file> <store-dir> --fid <id> --master <secret>
 //! geoproof update  <host:port> <store-dir> --index N --data <file> --master <secret>
 //! geoproof append  <host:port> <store-dir> --data <file> --master <secret>
-//! geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
+//! geoproof serve   <store-dir> [--delay-ms N] [--concurrent] [--metrics-addr <ip:port>]
 //! geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
+//! geoproof stats   <ip:port> [--watch]
 //! geoproof info    <store-dir>
 //! ```
 //!
@@ -31,6 +32,12 @@
 //! `--ledger` — a chained record of every digest transition so offline
 //! replay can hold each audit against the digest that was current. See
 //! `crates/por/docs/dynamic.md`.
+//!
+//! Telemetry: `serve --metrics-addr` binds a Prometheus text-format
+//! scrape listener next to the prover socket; one-shot `audit`
+//! invocations push their verdict and session latency into it
+//! (`POST /ingest`), and `stats` renders a scrape as a one-screen
+//! summary. See `crates/obs/docs/observability.md`.
 
 use bytes::Bytes;
 use geoproof::crypto::chacha::ChaChaRng;
@@ -76,11 +83,13 @@ const USAGE: &str = "usage:
   geoproof append  <host:port> <store-dir> --data <file> --master <secret>
                    [--ledger <path>]
   geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
+                   [--metrics-addr <ip:port>]
   geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
                    [--budget-ms N] [--ledger <path>] [--prover <id>]
-                   [--transcript <path>]
+                   [--transcript <path>] [--metrics-addr <ip:port>]
                    [--vantages N [--vantage-ring-km R] [--byzantine-vantage I]
                     [--position-tolerance-km T] [--residual-budget-km B]]
+  geoproof stats   <ip:port> [--watch] [--raw] [--interval-ms N]
   geoproof info    <store-dir>
   geoproof ledger  verify  <path> [--tpa-pub <hex32>] [--master <secret>]
   geoproof ledger  inspect <path>
@@ -103,6 +112,7 @@ fn run(args: &[String]) -> CliResult {
         "append" => cmd_update_or_append(rest, false),
         "serve" => cmd_serve(rest),
         "audit" => cmd_audit(rest),
+        "stats" => cmd_stats(rest),
         "info" => cmd_info(rest),
         "ledger" => cmd_ledger(rest),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -671,6 +681,21 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let concurrent = args.iter().any(|a| a == "--concurrent");
     let delay = std::time::Duration::from_millis(delay_ms);
 
+    // The scrape listener binds before the prover socket so the banner
+    // order is fixed (metrics line first, serving line second — both
+    // parseable by `split(" on ")`). Binding also enables the global
+    // registry, so every serving branch below records its hot-path
+    // metrics. The handle must outlive the serve loops.
+    let _metrics = match flag(args, "--metrics-addr") {
+        Some(addr) => {
+            let server = geoproof::obs::expose::ScrapeServer::bind(&addr)
+                .map_err(|e| format!("metrics bind {addr}: {e}"))?;
+            println!("metrics on {} (GET /metrics, POST /ingest)", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+
     // A dynamic store dir (dyn-meta.txt present) is served by the
     // session-multiplexing server with the dynamic registry attached —
     // updates and appends arrive over the same socket audits use.
@@ -789,9 +814,11 @@ fn cmd_audit(args: &[String]) -> CliResult {
         fresh_seed_u64("nonce"),
     );
     let request = auditor.issue_request(k);
+    let session_started = std::time::Instant::now();
     let transcript = verifier
         .run_audit(&request, addr)
         .map_err(|e| format!("audit I/O: {e}"))?;
+    let session_elapsed = session_started.elapsed();
 
     // Durable outputs before the verdict decides the exit code: the
     // canonical transcript bytes, and the evidence ledger (a REJECT is
@@ -855,10 +882,32 @@ fn cmd_audit(args: &[String]) -> CliResult {
             "REJECT"
         }
     );
+    if let Some(maddr) = flag(args, "--metrics-addr") {
+        push_verdict_metrics(&maddr, report.accepted(), Some(session_elapsed));
+    }
     if report.accepted() {
         Ok(())
     } else {
         Err("audit rejected".into())
+    }
+}
+
+/// Reports a one-shot audit's verdict into a long-lived server's
+/// registry over the `POST /ingest` push path: this process exits
+/// before any scraper could reach it, so it pushes instead of hosting
+/// its own scrape target. Telemetry must never change an audit's
+/// outcome — failures only warn.
+fn push_verdict_metrics(metrics_addr: &str, accepted: bool, session: Option<std::time::Duration>) {
+    let outcome = if accepted { "accept" } else { "reject" };
+    let mut body = format!("counter audit_verdicts_total{{outcome=\"{outcome}\"}} 1\n");
+    if let Some(session) = session {
+        body.push_str(&format!(
+            "observe audit_session_latency_us {}\n",
+            session.as_micros()
+        ));
+    }
+    if let Err(e) = geoproof::obs::expose::push(metrics_addr, &body) {
+        eprintln!("warning: metrics push to {metrics_addr} failed: {e}");
     }
 }
 
@@ -1159,6 +1208,10 @@ fn cmd_audit_multi_vantage(args: &[String]) -> CliResult {
         }
     }
     println!("verdict : {}", if accepted { "ACCEPT" } else { "REJECT" });
+    if let Some(maddr) = flag(args, "--metrics-addr") {
+        // One aggregate verdict; no single session latency to report.
+        push_verdict_metrics(&maddr, accepted, None);
+    }
     if accepted {
         Ok(())
     } else {
@@ -1206,9 +1259,11 @@ fn cmd_audit_dynamic(args: &[String]) -> CliResult {
         fresh_seed_u64("nonce"),
     );
     let request = auditor.issue_request(digest, k);
+    let session_started = std::time::Instant::now();
     let transcript = verifier
         .run_dyn_audit(&request, addr)
         .map_err(|e| format!("audit I/O: {e}"))?;
+    let session_elapsed = session_started.elapsed();
 
     if let Some(t_path) = flag(args, "--transcript") {
         std::fs::write(&t_path, transcript.canonical_bytes())
@@ -1272,11 +1327,70 @@ fn cmd_audit_dynamic(args: &[String]) -> CliResult {
             "REJECT"
         }
     );
+    if let Some(maddr) = flag(args, "--metrics-addr") {
+        push_verdict_metrics(&maddr, report.accepted(), Some(session_elapsed));
+    }
     if report.accepted() {
         Ok(())
     } else {
         Err("audit rejected".into())
     }
+}
+
+// --- observability -----------------------------------------------------------
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    use geoproof::obs::expose::{scrape, TextMetrics};
+    let addr = positional(args, 0)?.to_owned();
+    let watch = args.iter().any(|a| a == "--watch");
+    let raw = args.iter().any(|a| a == "--raw");
+    let interval_ms: u64 = flag(args, "--interval-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --interval-ms: {e}")))
+        .transpose()?
+        .unwrap_or(2000);
+    loop {
+        let body = scrape(addr.as_str()).map_err(|e| format!("scrape {addr}: {e}"))?;
+        if raw {
+            print!("{body}");
+        } else {
+            print!("{}", render_stats(&TextMetrics::parse(&body), &addr));
+        }
+        if !watch {
+            return Ok(());
+        }
+        std::io::stdout()
+            .flush()
+            .map_err(|e| format!("stdout: {e}"))?;
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+        println!("---");
+    }
+}
+
+/// One-screen rendering of a parsed exposition: scalar series first,
+/// then each histogram reduced to count / mean / p50 / p99.
+fn render_stats(m: &geoproof::obs::expose::TextMetrics, addr: &str) -> String {
+    let mut out = format!("metrics @ {addr}\n");
+    if m.samples.is_empty() && m.histograms.is_empty() {
+        out.push_str("  (no series recorded yet)\n");
+        return out;
+    }
+    for (name, value) in &m.samples {
+        out.push_str(&format!("  {name:<52} {value}\n"));
+    }
+    for (name, h) in &m.histograms {
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum / h.count as f64
+        };
+        out.push_str(&format!(
+            "  {name:<52} count {} mean {mean:.1} p50 {} p99 {}\n",
+            h.count,
+            h.quantile(0.5),
+            h.quantile(0.99),
+        ));
+    }
+    out
 }
 
 // --- evidence ledger ---------------------------------------------------------
