@@ -8,10 +8,16 @@
 //!   text exposition format (version 0.0.4);
 //! * `POST /ingest` → applies newline-separated deltas to the global
 //!   registry — `counter <name> <delta>`, `gauge <name> <value>`,
-//!   `observe <name> <value>` — and answers `ok`. This is the
-//!   pushgateway idiom for one-shot jobs: the `audit` CLI lives for a
-//!   single verdict, so it reports that verdict into the long-lived
-//!   server's registry instead of hosting its own scrape target;
+//!   `observe <name> <value>` — and answers `ok <applied>`. This is
+//!   the pushgateway idiom for one-shot jobs: the `audit` CLI lives
+//!   for a single verdict, so it reports that verdict into the
+//!   long-lived server's registry instead of hosting its own scrape
+//!   target. Ingest input is untrusted: malformed lines, invalid
+//!   names, and type conflicts are skipped (never panicking the
+//!   listener), pushes may only create new series while the registry
+//!   is under [`INGEST_MAX_SERIES`] total, and bodies over
+//!   [`MAX_INGEST_BODY`] bytes are rejected whole with `413` rather
+//!   than truncated;
 //! * anything else → `404`.
 //!
 //! Histograms render cumulatively with inclusive-upper-edge `le`
@@ -19,12 +25,22 @@
 //! `_sum`/`_count` series — standard enough for Prometheus, Grafana
 //! agent, or `curl` to consume.
 
-use crate::registry::{global, Snapshot};
+use crate::registry::{global, Registry, Snapshot};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Largest `POST /ingest` body accepted; bigger pushes get a `413`
+/// instead of a silently truncated apply.
+pub const MAX_INGEST_BODY: usize = 1 << 20;
+
+/// Once the global registry holds this many series, ingest lines may
+/// only touch names that already exist — an unauthenticated remote
+/// peer must not be able to grow the process's memory without bound,
+/// one permanent registry entry per invented name.
+pub const INGEST_MAX_SERIES: u64 = 4096;
 
 /// Renders a registry snapshot in the Prometheus text format. Families
 /// get one `# TYPE` line; label variants of a family group under it.
@@ -204,7 +220,20 @@ fn handle_request(stream: TcpStream) -> std::io::Result<()> {
             )
         }
         ("POST", "/ingest") => {
-            let mut body = vec![0u8; content_length.min(1 << 20)];
+            if content_length > MAX_INGEST_BODY {
+                // Drain (bounded; the read timeout caps a trickling
+                // client) so the peer can read the rejection instead
+                // of dying on a connection reset mid-write.
+                let drain = content_length.min(8 * MAX_INGEST_BODY) as u64;
+                let _ = std::io::copy(&mut (&mut reader).take(drain), &mut std::io::sink());
+                return respond(
+                    &mut stream,
+                    "413 Payload Too Large",
+                    "text/plain; charset=utf-8",
+                    &format!("ingest body of {content_length} bytes exceeds {MAX_INGEST_BODY}\n"),
+                );
+            }
+            let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body)?;
             let applied = apply_ingest(&String::from_utf8_lossy(&body));
             respond(
@@ -239,9 +268,17 @@ fn respond(
 }
 
 /// Applies a pushed ingest body to the global registry; returns the
-/// number of lines applied. Unknown verbs and malformed lines are
-/// skipped — a telemetry push must never take the server down.
+/// number of lines applied. The body is untrusted remote input, and a
+/// telemetry push must never take the server down: unknown verbs,
+/// malformed lines, invalid metric names, and type conflicts are all
+/// skipped via the fallible `try_*` registry API (no panics), and new
+/// series stop being created once the registry reaches
+/// [`INGEST_MAX_SERIES`].
 fn apply_ingest(body: &str) -> usize {
+    apply_ingest_to(global(), body)
+}
+
+fn apply_ingest_to(registry: &Registry, body: &str) -> usize {
     let mut applied = 0usize;
     for line in body.lines() {
         let mut parts = line.split_whitespace();
@@ -249,19 +286,31 @@ fn apply_ingest(body: &str) -> usize {
         else {
             continue;
         };
+        if registry.serial() >= INGEST_MAX_SERIES && !registry.contains(name) {
+            continue;
+        }
         let ok = match verb {
-            "counter" => value
-                .parse::<u64>()
-                .map(|v| global().counter(name).add(v))
-                .is_ok(),
-            "gauge" => value
-                .parse::<i64>()
-                .map(|v| global().gauge(name).set(v))
-                .is_ok(),
-            "observe" => value
-                .parse::<u64>()
-                .map(|v| global().histogram(name).record(v))
-                .is_ok(),
+            "counter" => match (value.parse::<u64>(), registry.try_counter(name)) {
+                (Ok(v), Ok(c)) => {
+                    c.add(v);
+                    true
+                }
+                _ => false,
+            },
+            "gauge" => match (value.parse::<i64>(), registry.try_gauge(name)) {
+                (Ok(v), Ok(g)) => {
+                    g.set(v);
+                    true
+                }
+                _ => false,
+            },
+            "observe" => match (value.parse::<u64>(), registry.try_histogram(name)) {
+                (Ok(v), Ok(h)) => {
+                    h.record(v);
+                    true
+                }
+                _ => false,
+            },
             _ => false,
         };
         if ok {
@@ -387,16 +436,26 @@ impl TextMetrics {
                 &mut histograms.last_mut().expect("just pushed").1
             }
         }
-        for line in text.lines() {
-            if line.starts_with('#') || line.trim().is_empty() {
-                continue;
-            }
-            let Some((series, value)) = line.rsplit_once(' ') else {
-                continue;
-            };
-            let Ok(value) = value.parse::<f64>() else {
-                continue;
-            };
+        fn find_hist<'a>(
+            histograms: &'a mut [(String, TextHistogram)],
+            key: &str,
+        ) -> Option<&'a mut TextHistogram> {
+            histograms
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .map(|(_, h)| h)
+        }
+        let series_values: Vec<(&str, f64)> = text
+            .lines()
+            .filter(|line| !line.starts_with('#') && !line.trim().is_empty())
+            .filter_map(|line| {
+                let (series, value) = line.rsplit_once(' ')?;
+                Some((series, value.parse::<f64>().ok()?))
+            })
+            .collect();
+        // Pass 1: `_bucket` series decide which families are
+        // histograms — nothing else creates one.
+        for &(series, value) in &series_values {
             if let Some((key, le)) = split_bucket(series) {
                 let h = hist_entry(&mut histograms, key);
                 if le == "+Inf" {
@@ -404,10 +463,23 @@ impl TextMetrics {
                 } else if let Ok(le) = le.parse::<f64>() {
                     h.buckets.push((le, value as u64));
                 }
-            } else if let Some(key) = strip_histogram_suffix(series, "_sum") {
-                hist_entry(&mut histograms, key).sum = value;
-            } else if let Some(key) = strip_histogram_suffix(series, "_count") {
-                hist_entry(&mut histograms, key).count = value as u64;
+            }
+        }
+        // Pass 2: `_sum`/`_count` fold into histograms seen above;
+        // anything else — including a counter or gauge that merely
+        // ends in `_count` — stays a plain sample.
+        for &(series, value) in &series_values {
+            if split_bucket(series).is_some() {
+                continue;
+            }
+            if let Some(h) = strip_histogram_suffix(series, "_sum")
+                .and_then(|key| find_hist(&mut histograms, &key))
+            {
+                h.sum = value;
+            } else if let Some(h) = strip_histogram_suffix(series, "_count")
+                .and_then(|key| find_hist(&mut histograms, &key))
+            {
+                h.count = value as u64;
             } else {
                 samples.push((series.to_owned(), value));
             }
@@ -519,6 +591,48 @@ mod tests {
         assert_eq!(key, "lat_us{file=\"a,b\"}");
         assert_eq!(le, "+Inf");
         assert!(split_bucket("plain_counter_total").is_none());
+    }
+
+    #[test]
+    fn sum_count_suffixes_without_buckets_stay_samples() {
+        let text = "# TYPE foo_count counter\nfoo_count 3\nfoo_sum 1.5\n";
+        let parsed = TextMetrics::parse(text);
+        assert_eq!(parsed.value("foo_count"), Some(3.0));
+        assert_eq!(parsed.value("foo_sum"), Some(1.5));
+        assert!(
+            parsed.histograms.is_empty(),
+            "no bucket series, no histogram"
+        );
+    }
+
+    #[test]
+    fn hostile_ingest_lines_are_skipped_not_fatal() {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        let body = "counter ok_total 2\n\
+                    counter bad-name! 1\n\
+                    counter ok{unclosed 1\n\
+                    gauge ok_total 5\n\
+                    bogus ok_total 1\n\
+                    counter ok_total nope\n";
+        assert_eq!(apply_ingest_to(&r, body), 1);
+        assert_eq!(r.snapshot().counter("ok_total"), Some(2));
+        assert_eq!(r.serial(), 1, "rejected lines register nothing");
+    }
+
+    #[test]
+    fn ingest_stops_creating_series_at_the_cap() {
+        crate::set_enabled(true);
+        let r = Registry::new();
+        for i in 0..INGEST_MAX_SERIES {
+            let _ = r.counter(&format!("flood_{i}_total"));
+        }
+        // New names are refused once the registry is at the cap…
+        assert_eq!(apply_ingest_to(&r, "counter invented_total 1"), 0);
+        assert!(!r.contains("invented_total"));
+        // …but existing series still take updates.
+        assert_eq!(apply_ingest_to(&r, "counter flood_7_total 3"), 1);
+        assert_eq!(r.snapshot().counter("flood_7_total"), Some(3));
     }
 
     #[test]

@@ -13,27 +13,32 @@ pub(crate) struct MetricName {
 }
 
 impl MetricName {
-    pub(crate) fn parse(name: &str) -> MetricName {
-        assert!(!name.is_empty(), "metric name must not be empty");
+    /// Validates and splits a metric name. Fallible rather than
+    /// panicking — the ingest path feeds this untrusted input; the
+    /// registry's infallible `counter`/`gauge`/`histogram` entry
+    /// points turn the error into a panic themselves.
+    pub(crate) fn try_parse(name: &str) -> Result<MetricName, String> {
+        if name.is_empty() {
+            return Err("metric name must not be empty".to_owned());
+        }
         let family_len = name.find('{').unwrap_or(name.len());
         let family = &name[..family_len];
-        assert!(
-            !family.is_empty()
-                && family
-                    .bytes()
-                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
-            "metric family {family:?} must be [a-zA-Z0-9_:]+"
-        );
-        if family_len < name.len() {
-            assert!(
-                name.ends_with('}') && name.len() > family_len + 2,
-                "labels in {name:?} must be non-empty and brace-closed"
-            );
+        if family.is_empty()
+            || !family
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':')
+        {
+            return Err(format!("metric family {family:?} must be [a-zA-Z0-9_:]+"));
         }
-        MetricName {
+        if family_len < name.len() && !(name.ends_with('}') && name.len() > family_len + 2) {
+            return Err(format!(
+                "labels in {name:?} must be non-empty and brace-closed"
+            ));
+        }
+        Ok(MetricName {
             full: name.to_owned(),
             family_len,
-        }
+        })
     }
 
     pub(crate) fn full(&self) -> &str {
@@ -158,23 +163,32 @@ mod tests {
 
     #[test]
     fn metric_name_parses_family_and_labels() {
-        let plain = MetricName::parse("ledger_appends_total");
+        let plain = MetricName::try_parse("ledger_appends_total").unwrap();
         assert_eq!(plain.family(), "ledger_appends_total");
         assert_eq!(plain.labels(), "");
-        let labelled = MetricName::parse("audit_verdicts_total{outcome=\"accept\"}");
+        let labelled = MetricName::try_parse("audit_verdicts_total{outcome=\"accept\"}").unwrap();
         assert_eq!(labelled.family(), "audit_verdicts_total");
         assert_eq!(labelled.labels(), "outcome=\"accept\"");
     }
 
     #[test]
-    #[should_panic(expected = "must be [a-zA-Z0-9_:]+")]
-    fn metric_name_rejects_bad_family() {
-        MetricName::parse("bad name{x=\"y\"}");
+    fn try_parse_reports_errors_without_panicking() {
+        assert!(MetricName::try_parse("ok_total").is_ok());
+        assert!(MetricName::try_parse("").is_err());
+        assert!(MetricName::try_parse("bad name").is_err());
+        assert!(MetricName::try_parse("name{x=\"y\"").is_err());
+        assert!(MetricName::try_parse("name{}").is_err());
     }
 
     #[test]
-    #[should_panic(expected = "brace-closed")]
+    fn metric_name_rejects_bad_family() {
+        let e = MetricName::try_parse("bad name{x=\"y\"}").unwrap_err();
+        assert!(e.contains("must be [a-zA-Z0-9_:]+"), "{e}");
+    }
+
+    #[test]
     fn metric_name_rejects_unclosed_labels() {
-        MetricName::parse("name{x=\"y\"");
+        let e = MetricName::try_parse("name{x=\"y\"").unwrap_err();
+        assert!(e.contains("brace-closed"), "{e}");
     }
 }

@@ -49,18 +49,26 @@ impl Registry {
         &self.shards[(crate::fnv1a(name.as_bytes()) as usize) % SHARDS]
     }
 
-    fn get_or_insert(&self, name: &str, make: impl FnOnce(MetricName) -> Metric) -> Metric {
+    /// Validation happens **before** the shard write lock is taken: a
+    /// malformed name must return an error without poisoning the shard
+    /// for every later registration and snapshot hashing to it.
+    fn try_get_or_insert(
+        &self,
+        name: &str,
+        make: impl FnOnce(MetricName) -> Metric,
+    ) -> Result<Metric, String> {
         let shard = self.shard(name);
         if let Some(m) = shard.read().expect("registry shard").get(name) {
-            return m.clone();
+            return Ok(m.clone());
         }
+        let parsed = MetricName::try_parse(name)?;
         let mut w = shard.write().expect("registry shard");
-        w.entry(name.to_owned())
+        Ok(w.entry(name.to_owned())
             .or_insert_with(|| {
                 self.registrations.fetch_add(1, Ordering::Relaxed);
-                make(MetricName::parse(name))
+                make(parsed)
             })
-            .clone()
+            .clone())
     }
 
     /// The counter registered under `name`, creating it on first use.
@@ -68,14 +76,28 @@ impl Registry {
     /// # Panics
     ///
     /// Panics if `name` is already registered as a different metric
-    /// type, or is not a valid metric name.
+    /// type, or is not a valid metric name. Untrusted names go through
+    /// [`Registry::try_counter`] instead.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        match self.get_or_insert(name, |n| Metric::Counter(Arc::new(Counter::new(n)))) {
-            Metric::Counter(c) => c,
-            other => panic!(
+        match self.try_counter(name) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Registry::counter`], but invalid names and type conflicts
+    /// come back as errors — the ingest path feeds this client input.
+    ///
+    /// # Errors
+    ///
+    /// `name` is malformed or already registered as another type.
+    pub fn try_counter(&self, name: &str) -> Result<Arc<Counter>, String> {
+        match self.try_get_or_insert(name, |n| Metric::Counter(Arc::new(Counter::new(n))))? {
+            Metric::Counter(c) => Ok(c),
+            other => Err(format!(
                 "{name:?} is registered as a {}, not a counter",
                 other.kind()
-            ),
+            )),
         }
     }
 
@@ -85,9 +107,24 @@ impl Registry {
     ///
     /// As [`Registry::counter`].
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        match self.get_or_insert(name, |n| Metric::Gauge(Arc::new(Gauge::new(n)))) {
-            Metric::Gauge(g) => g,
-            other => panic!("{name:?} is registered as a {}, not a gauge", other.kind()),
+        match self.try_gauge(name) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Registry::gauge`], but fallible; see [`Registry::try_counter`].
+    ///
+    /// # Errors
+    ///
+    /// `name` is malformed or already registered as another type.
+    pub fn try_gauge(&self, name: &str) -> Result<Arc<Gauge>, String> {
+        match self.try_get_or_insert(name, |n| Metric::Gauge(Arc::new(Gauge::new(n))))? {
+            Metric::Gauge(g) => Ok(g),
+            other => Err(format!(
+                "{name:?} is registered as a {}, not a gauge",
+                other.kind()
+            )),
         }
     }
 
@@ -97,13 +134,34 @@ impl Registry {
     ///
     /// As [`Registry::counter`].
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        match self.get_or_insert(name, |n| Metric::Histogram(Arc::new(Histogram::new(n)))) {
-            Metric::Histogram(h) => h,
-            other => panic!(
+        match self.try_histogram(name) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// As [`Registry::histogram`], but fallible; see
+    /// [`Registry::try_counter`].
+    ///
+    /// # Errors
+    ///
+    /// `name` is malformed or already registered as another type.
+    pub fn try_histogram(&self, name: &str) -> Result<Arc<Histogram>, String> {
+        match self.try_get_or_insert(name, |n| Metric::Histogram(Arc::new(Histogram::new(n))))? {
+            Metric::Histogram(h) => Ok(h),
+            other => Err(format!(
                 "{name:?} is registered as a {}, not a histogram",
                 other.kind()
-            ),
+            )),
         }
+    }
+
+    /// Whether `name` is already registered (as any metric type).
+    pub fn contains(&self, name: &str) -> bool {
+        self.shard(name)
+            .read()
+            .expect("registry shard")
+            .contains_key(name)
     }
 
     /// Metrics registered so far (monotone; cheap).
@@ -275,6 +333,22 @@ mod tests {
         let r = Registry::new();
         let _ = r.counter("x_total");
         let _ = r.gauge("x_total");
+    }
+
+    #[test]
+    fn fallible_registration_reports_conflicts_and_bad_names() {
+        let r = Registry::new();
+        let _ = r.counter("x_total");
+        assert!(r.try_gauge("x_total").is_err(), "type conflict is an Err");
+        assert!(r.try_counter("x_total").is_ok());
+        assert!(r.try_counter("bad name").is_err());
+        assert!(r.contains("x_total"));
+        assert!(!r.contains("bad name"));
+        // A rejected name must not poison its shard: later
+        // registration and snapshotting still work everywhere.
+        assert!(r.try_counter("fine_total").is_ok());
+        assert_eq!(r.snapshot().counters.len(), 2);
+        assert_eq!(r.serial(), 2, "rejected names never register");
     }
 
     #[test]

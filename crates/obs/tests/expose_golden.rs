@@ -106,3 +106,29 @@ fn scrape_and_push_over_real_tcp() {
     let body = expose::scrape(addr).expect("scrape after 404");
     assert!(body.contains("e2e_events_total 8"));
 }
+
+#[test]
+fn hostile_pushes_do_not_kill_the_listener() {
+    let server = expose::ScrapeServer::bind("127.0.0.1:0").expect("bind scrape");
+    let addr = server.addr();
+
+    // Invalid names and type conflicts are skipped lines, not panics:
+    // the listener keeps answering and the valid line still lands.
+    expose::push(addr, "counter bad/name 1\ncounter hostile_ok_total 1\n").expect("push");
+    expose::push(addr, "gauge hostile_ok_total 9\n").expect("conflicting push answers ok");
+    let parsed = TextMetrics::parse(&expose::scrape(addr).expect("scrape"));
+    assert_eq!(parsed.value("hostile_ok_total"), Some(1.0));
+    assert_eq!(parsed.value("bad/name"), None);
+
+    // A body over the 1 MiB cap is rejected whole with a 413…
+    let line = "counter oversized_total 1\n";
+    let big = line.repeat(expose::MAX_INGEST_BODY / line.len() + 2);
+    assert!(big.len() > expose::MAX_INGEST_BODY);
+    let err = expose::push(addr, &big).expect_err("oversized push must fail");
+    assert!(err.to_string().contains("413"), "{err}");
+
+    // …leaving no partial apply behind and the listener alive.
+    let parsed = TextMetrics::parse(&expose::scrape(addr).expect("scrape after 413"));
+    assert_eq!(parsed.value("oversized_total"), None);
+    assert_eq!(parsed.value("hostile_ok_total"), Some(1.0));
+}
