@@ -64,6 +64,7 @@ pub mod messages;
 pub mod multisite;
 pub mod policy;
 pub mod provider;
+pub mod scheduler;
 pub mod vantage;
 pub mod verifier;
 
@@ -95,6 +96,7 @@ pub use multisite::{ReplicaSite, ReplicationAudit, ReplicationReport};
 pub use policy::{paper_relay_bound, relay_distance_bound, TimingPolicy};
 pub use pool::{run_jobs, PoolStats};
 pub use provider::{DelayedProvider, LocalProvider, RelayProvider, SegmentProvider};
+pub use scheduler::{AuditScheduler, SchedulePolicy};
 pub use vantage::{
     aggregate_vantages, observation_range, run_vantage_sessions, MultiVantageEstimate,
     MultiVantageOutcome, VantageObservation, VantagePolicy, VantageSession,

@@ -1,0 +1,246 @@
+//! Hashed timer wheel.
+//!
+//! The reactor needs many cheap coarse timers (per-connection service
+//! delays, idle deadlines, scheduler wakeups), not few precise ones, so
+//! this is a classic single-level hashed wheel: 1024 slots of 1 ms
+//! each, with a per-entry `rounds` counter for deadlines further out
+//! than one revolution. Insert and cancel are O(1); expiry scans only
+//! the slots the clock actually crossed.
+//!
+//! The wheel never reads a clock itself — callers pass `now_ns` into
+//! [`TimerWheel::expire`] and [`TimerWheel::next_wakeup_ms`] — so the
+//! same code is driven by `Instant` in production and by SimNet virtual
+//! time in tests, and expiry order is fully deterministic: due entries
+//! come back sorted by `(deadline, id)`.
+
+/// Nanoseconds per wheel tick (1 ms — epoll timeout granularity).
+const TICK_NS: u64 = 1_000_000;
+/// Slots per revolution. Power of two so the slot index is a mask.
+const SLOTS: usize = 1024;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    id: u64,
+    deadline_ns: u64,
+    /// Whole revolutions left before this entry is due.
+    rounds: u32,
+}
+
+/// A fixed-rate hashed timer wheel keyed by caller-chosen `u64` ids.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// Last tick fully processed by `expire`.
+    cursor_tick: u64,
+    /// Live (non-cancelled, non-fired) entries.
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel whose cursor starts at `now_ns`.
+    pub fn new(now_ns: u64) -> Self {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            cursor_tick: now_ns / TICK_NS,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms (or re-arms) timer `id` to fire at `deadline_ns`. A deadline
+    /// at or before the cursor fires on the next `expire` call.
+    pub fn insert(&mut self, id: u64, deadline_ns: u64) {
+        self.cancel(id);
+        let tick = (deadline_ns / TICK_NS).max(self.cursor_tick + 1);
+        let ahead = tick - self.cursor_tick;
+        let slot = (tick as usize) & (SLOTS - 1);
+        self.slots[slot].push(Entry {
+            id,
+            deadline_ns,
+            rounds: ((ahead - 1) / SLOTS as u64) as u32,
+        });
+        self.len += 1;
+    }
+
+    /// Disarms timer `id`; returns whether it was pending.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|e| e.id == id) {
+                slot.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the wheel to `now_ns` and returns every timer that came
+    /// due, sorted by `(deadline, id)` so expiry order is deterministic
+    /// regardless of insertion order.
+    pub fn expire(&mut self, now_ns: u64) -> Vec<u64> {
+        let target_tick = now_ns / TICK_NS;
+        if target_tick <= self.cursor_tick || self.len == 0 {
+            self.cursor_tick = self.cursor_tick.max(target_tick);
+            return Vec::new();
+        }
+        let mut due: Vec<(u64, u64)> = Vec::new();
+        // Scan at most one full revolution — beyond that every slot has
+        // been visited once and `rounds` has been decremented.
+        let steps = (target_tick - self.cursor_tick).min(SLOTS as u64);
+        for step in 1..=steps {
+            let tick = self.cursor_tick + step;
+            let slot = &mut self.slots[(tick as usize) & (SLOTS - 1)];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].rounds == 0 {
+                    let e = slot.swap_remove(i);
+                    due.push((e.deadline_ns, e.id));
+                    self.len -= 1;
+                } else {
+                    slot[i].rounds -= 1;
+                    i += 1;
+                }
+            }
+        }
+        // A jump of more than one revolution lands every remaining entry
+        // whose absolute deadline has passed, whatever its slot.
+        if target_tick - self.cursor_tick > SLOTS as u64 {
+            for slot in &mut self.slots {
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].deadline_ns / TICK_NS <= target_tick {
+                        let e = slot.swap_remove(i);
+                        due.push((e.deadline_ns, e.id));
+                        self.len -= 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        self.cursor_tick = target_tick;
+        due.sort_unstable();
+        due.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Milliseconds until the next timer could fire, measured from
+    /// `now_ns` — the epoll timeout. `None` when the wheel is empty
+    /// (block indefinitely). Conservative: far-round entries in a near
+    /// slot may produce an early (spurious) wakeup, which the caller
+    /// absorbs by simply polling again; a timer is never reported late.
+    pub fn next_wakeup_ms(&self, now_ns: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let now_tick = now_ns / TICK_NS;
+        let mut nearest: Option<u64> = None;
+        for slot in &self.slots {
+            for e in slot {
+                let tick = (e.deadline_ns / TICK_NS).max(self.cursor_tick + 1);
+                nearest = Some(nearest.map_or(tick, |n| n.min(tick)));
+            }
+        }
+        let tick = nearest?;
+        Some(tick.saturating_sub(now_tick).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new(0);
+        w.insert(3, 30 * TICK_NS);
+        w.insert(1, 10 * TICK_NS);
+        w.insert(2, 20 * TICK_NS);
+        assert_eq!(w.expire(5 * TICK_NS), Vec::<u64>::new());
+        assert_eq!(w.expire(25 * TICK_NS), vec![1, 2]);
+        assert_eq!(w.expire(100 * TICK_NS), vec![3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_breaks_ties_by_id() {
+        let mut w = TimerWheel::new(0);
+        w.insert(9, 7 * TICK_NS);
+        w.insert(2, 7 * TICK_NS);
+        w.insert(5, 7 * TICK_NS);
+        assert_eq!(w.expire(8 * TICK_NS), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut w = TimerWheel::new(0);
+        w.insert(1, 5 * TICK_NS);
+        w.insert(2, 5 * TICK_NS);
+        assert!(w.cancel(1));
+        assert!(!w.cancel(1));
+        assert_eq!(w.expire(10 * TICK_NS), vec![2]);
+    }
+
+    #[test]
+    fn rearm_moves_the_deadline() {
+        let mut w = TimerWheel::new(0);
+        w.insert(1, 5 * TICK_NS);
+        w.insert(1, 50 * TICK_NS);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.expire(10 * TICK_NS), Vec::<u64>::new());
+        assert_eq!(w.expire(60 * TICK_NS), vec![1]);
+    }
+
+    #[test]
+    fn survives_multiple_revolutions() {
+        let mut w = TimerWheel::new(0);
+        let far = (3 * SLOTS as u64 + 17) * TICK_NS;
+        w.insert(1, far);
+        // Walk up in sub-revolution steps: never fires early.
+        let mut now = 0;
+        while now + (SLOTS as u64 / 2) * TICK_NS < far {
+            now += (SLOTS as u64 / 2) * TICK_NS;
+            assert_eq!(w.expire(now), Vec::<u64>::new(), "early fire at {now}");
+        }
+        assert_eq!(w.expire(far + TICK_NS), vec![1]);
+    }
+
+    #[test]
+    fn giant_jump_fires_everything_due() {
+        let mut w = TimerWheel::new(0);
+        for id in 0..100u64 {
+            w.insert(id, (id + 1) * 37 * TICK_NS);
+        }
+        // Leap ten revolutions at once: every deadline has passed.
+        let fired = w.expire(10 * SLOTS as u64 * TICK_NS);
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_wakeup_is_never_late() {
+        let mut w = TimerWheel::new(0);
+        assert_eq!(w.next_wakeup_ms(0), None);
+        w.insert(1, 40 * TICK_NS);
+        let ms = w.next_wakeup_ms(0).unwrap();
+        assert!((1..=40).contains(&ms), "wakeup {ms}ms must not overshoot");
+        // Past-due entries report an immediate (1 ms) wakeup.
+        w.insert(2, 1);
+        assert_eq!(w.next_wakeup_ms(50 * TICK_NS).unwrap(), 1);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_expire() {
+        let mut w = TimerWheel::new(100 * TICK_NS);
+        w.insert(7, 3 * TICK_NS); // long past
+        assert_eq!(w.expire(101 * TICK_NS), vec![7]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Integration tests for the epoll reactor: readiness, timers,
+//! cross-thread wakeup, edge-triggering, and fan-in scale.
+
+use geoproof_reactor::{Events, Interest, Reactor, Token};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Skip (pass vacuously) on targets without the syscall backend.
+fn reactor_or_skip() -> Option<Reactor> {
+    match Reactor::new() {
+        Ok(r) => Some(r),
+        Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+            eprintln!("SKIP: reactor unsupported on this target");
+            None
+        }
+        Err(e) => panic!("Reactor::new failed: {e}"),
+    }
+}
+
+#[test]
+fn listener_readiness_drives_accept() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let addr = listener.local_addr().unwrap();
+    reactor
+        .register(&listener, Token(0), Interest::READABLE)
+        .unwrap();
+
+    let mut events = Events::with_capacity(8);
+    // Nothing pending: a short poll returns empty rather than spinning.
+    reactor.poll(&mut events, Some(10)).unwrap();
+    assert!(events.is_empty());
+
+    let _client = TcpStream::connect(addr).unwrap();
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    let ev = events.io().iter().find(|e| e.token == Token(0));
+    assert!(
+        ev.is_some_and(|e| e.readable),
+        "listener should be accept-ready"
+    );
+    let (peer, _) = listener.accept().unwrap();
+    drop(peer);
+}
+
+#[test]
+fn data_readiness_and_peer_hangup_are_reported() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    server.set_nonblocking(true).unwrap();
+    reactor
+        .register(&server, Token(7), Interest::READABLE)
+        .unwrap();
+
+    client.write_all(b"ping").unwrap();
+    let mut events = Events::with_capacity(8);
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events
+        .io()
+        .iter()
+        .any(|e| e.token == Token(7) && e.readable));
+
+    let mut buf = [0u8; 16];
+    let mut server2 = &server;
+    assert_eq!(server2.read(&mut buf).unwrap(), 4);
+
+    drop(client);
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    let ev = events
+        .io()
+        .iter()
+        .find(|e| e.token == Token(7))
+        .expect("hangup must surface as an event");
+    assert!(ev.readable, "hangup must be readable so the owner sees EOF");
+    assert_eq!(server2.read(&mut buf).unwrap(), 0, "read observes EOF");
+}
+
+#[test]
+fn waker_interrupts_a_blocked_poll_from_another_thread() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let waker = reactor.waker();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        waker.wake().unwrap();
+    });
+    let mut events = Events::with_capacity(8);
+    let start = Instant::now();
+    // Block "indefinitely": only the waker can end this poll.
+    reactor.poll(&mut events, Some(10_000)).unwrap();
+    assert!(reactor.woken(), "poll must report the wakeup");
+    assert!(events.is_empty(), "waker is internal, not a caller event");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "wakeup must interrupt, not wait out the timeout"
+    );
+    handle.join().unwrap();
+}
+
+#[test]
+fn wakes_coalesce_and_drain() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let waker = reactor.waker();
+    for _ in 0..100 {
+        waker.wake().unwrap();
+    }
+    let mut events = Events::with_capacity(8);
+    reactor.poll(&mut events, Some(1_000)).unwrap();
+    assert!(reactor.woken());
+    // Drained: the next poll times out instead of re-reporting.
+    reactor.poll(&mut events, Some(10)).unwrap();
+    assert!(!reactor.woken());
+}
+
+#[test]
+fn timers_fire_at_their_deadline_without_io() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let start = Instant::now();
+    reactor.set_timer(Token(1), reactor.now_ns() + 30_000_000); // 30 ms
+    reactor.set_timer(Token(2), reactor.now_ns() + 5_000_000); // 5 ms
+
+    let mut fired = Vec::new();
+    let mut events = Events::with_capacity(8);
+    while fired.len() < 2 && start.elapsed() < Duration::from_secs(5) {
+        reactor.poll(&mut events, Some(1_000)).unwrap();
+        fired.extend(events.timers().iter().copied());
+    }
+    assert_eq!(fired, vec![Token(2), Token(1)], "deadline order");
+    assert!(
+        start.elapsed() >= Duration::from_millis(29),
+        "no early firing"
+    );
+    assert_eq!(reactor.pending_timers(), 0);
+}
+
+#[test]
+fn cancelled_timers_never_fire() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    reactor.set_timer(Token(1), reactor.now_ns() + 20_000_000);
+    reactor.set_timer(Token(2), reactor.now_ns() + 20_000_000);
+    assert!(reactor.cancel_timer(Token(1)));
+    let mut events = Events::with_capacity(8);
+    let start = Instant::now();
+    let mut fired = Vec::new();
+    while fired.is_empty() && start.elapsed() < Duration::from_secs(5) {
+        reactor.poll(&mut events, Some(1_000)).unwrap();
+        fired.extend(events.timers().iter().copied());
+    }
+    assert_eq!(fired, vec![Token(2)]);
+}
+
+#[test]
+fn edge_triggered_reports_transitions_not_levels() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    server.set_nonblocking(true).unwrap();
+    reactor
+        .register(&server, Token(3), Interest::READABLE.edge_triggered())
+        .unwrap();
+
+    client.write_all(b"one").unwrap();
+    let mut events = Events::with_capacity(8);
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events
+        .io()
+        .iter()
+        .any(|e| e.token == Token(3) && e.readable));
+
+    // Deliberately do NOT read the data. Edge-triggered: the level is
+    // still high but no new transition occurred, so no event.
+    reactor.poll(&mut events, Some(50)).unwrap();
+    assert!(
+        !events.io().iter().any(|e| e.token == Token(3)),
+        "edge mode must not re-report an unchanged level"
+    );
+
+    // New bytes = new transition = new event.
+    client.write_all(b"two").unwrap();
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events
+        .io()
+        .iter()
+        .any(|e| e.token == Token(3) && e.readable));
+}
+
+#[test]
+fn level_triggered_re_reports_until_drained() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    server.set_nonblocking(true).unwrap();
+    reactor
+        .register(&server, Token(4), Interest::READABLE)
+        .unwrap();
+
+    client.write_all(b"data").unwrap();
+    let mut events = Events::with_capacity(8);
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events.io().iter().any(|e| e.token == Token(4)));
+    // Unread data: level mode re-reports.
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events.io().iter().any(|e| e.token == Token(4)));
+
+    let mut buf = [0u8; 16];
+    assert_eq!((&server).read(&mut buf).unwrap(), 4);
+    reactor.poll(&mut events, Some(50)).unwrap();
+    assert!(!events.io().iter().any(|e| e.token == Token(4)));
+}
+
+#[test]
+fn writability_tracks_reregistration() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    server.set_nonblocking(true).unwrap();
+
+    // Read-only first: an idle connected socket produces nothing.
+    reactor
+        .register(&server, Token(5), Interest::READABLE)
+        .unwrap();
+    let mut events = Events::with_capacity(8);
+    reactor.poll(&mut events, Some(50)).unwrap();
+    assert!(!events.io().iter().any(|e| e.token == Token(5)));
+
+    // Ask for writable: a fresh socket's send buffer is empty, so the
+    // event arrives immediately.
+    reactor
+        .reregister(&server, Token(5), Interest::BOTH)
+        .unwrap();
+    reactor.poll(&mut events, Some(2_000)).unwrap();
+    assert!(events
+        .io()
+        .iter()
+        .any(|e| e.token == Token(5) && e.writable));
+
+    // Back to read-only: writability stops being reported.
+    reactor
+        .reregister(&server, Token(5), Interest::READABLE)
+        .unwrap();
+    reactor.poll(&mut events, Some(50)).unwrap();
+    assert!(!events.io().iter().any(|e| e.token == Token(5)));
+    drop(client);
+}
+
+#[test]
+fn hundreds_of_sources_route_to_the_right_tokens() {
+    let Some(mut reactor) = reactor_or_skip() else {
+        return;
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    const N: usize = 200;
+    let mut clients = Vec::with_capacity(N);
+    let mut servers = Vec::with_capacity(N);
+    for i in 0..N {
+        let c = TcpStream::connect(addr).unwrap();
+        let (s, _) = listener.accept().unwrap();
+        s.set_nonblocking(true).unwrap();
+        reactor
+            .register(&s, Token(100 + i as u64), Interest::READABLE)
+            .unwrap();
+        clients.push(c);
+        servers.push(s);
+    }
+
+    // Poke a deterministic subset; only those tokens may surface.
+    let poked: Vec<usize> = (0..N).filter(|i| i % 7 == 0).collect();
+    for &i in &poked {
+        clients[i].write_all(b"x").unwrap();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut events = Events::with_capacity(64);
+    let start = Instant::now();
+    while seen.len() < poked.len() && start.elapsed() < Duration::from_secs(10) {
+        reactor.poll(&mut events, Some(1_000)).unwrap();
+        for ev in events.io() {
+            assert!(ev.readable);
+            let idx = (ev.token.0 - 100) as usize;
+            assert_eq!(idx % 7, 0, "unpoked socket {idx} reported ready");
+            let mut b = [0u8; 4];
+            assert_eq!((&servers[idx]).read(&mut b).unwrap(), 1);
+            seen.insert(idx);
+        }
+    }
+    assert_eq!(seen.into_iter().collect::<Vec<_>>(), poked);
+}

@@ -235,6 +235,125 @@ impl SessionTable {
     }
 }
 
+/// The session-multiplexing protocol semantics, shared verbatim
+/// between the threaded path ([`serve_mux_connection`]) and the
+/// reactor path ([`MuxProverServer::spawn_reactor`]). Every lookup,
+/// every session-table touch, every metric and every reply choice
+/// happens here — which is what pins the two execution models to
+/// byte-identical behaviour (the differential suite checks it).
+pub(crate) struct MuxService {
+    store: SegmentStore,
+    dynamic: DynamicRegistry,
+    sessions: Arc<SessionTable>,
+    challenges: Arc<AtomicU64>,
+}
+
+impl crate::reactor_serve::FrameService for MuxService {
+    fn on_open(&self, _conn_id: u64) {
+        mux_metrics().connections.inc();
+    }
+
+    fn handle(&self, conn_id: u64, msg: WireMessage) -> crate::reactor_serve::FrameOutcome {
+        use crate::reactor_serve::FrameOutcome;
+        mux_metrics().frames.inc();
+        match msg {
+            WireMessage::StartAudit { file_id, k, .. } => {
+                let known =
+                    self.store.lock().contains_key(&file_id) || self.dynamic.contains(&file_id);
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                self.sessions
+                    .with_session(&key, known, |s| s.announced_k = Some(k));
+                FrameOutcome::Silent
+            }
+            WireMessage::Challenge { file_id, index } => {
+                let (known, segment) = {
+                    let guard = self.store.lock();
+                    let file = guard.get(&file_id);
+                    (
+                        file.is_some(),
+                        file.and_then(|segs| segs.get(index as usize)).cloned(),
+                    )
+                };
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                let hit = segment.is_some();
+                self.sessions.with_session(&key, known, |s| {
+                    s.challenges += 1;
+                    if hit {
+                        s.hits += 1;
+                    }
+                });
+                self.challenges.fetch_add(1, Ordering::Relaxed);
+                let m = mux_metrics();
+                m.challenges.inc();
+                if hit {
+                    m.hits.inc();
+                }
+                FrameOutcome::Reply(WireMessage::Response { segment })
+            }
+            WireMessage::DynChallenge { file_id, index } => {
+                let known = self.dynamic.contains(&file_id);
+                let served = self.dynamic.challenge(&file_id, index);
+                let key = SessionKey {
+                    connection: conn_id,
+                    file_id,
+                };
+                let hit = served.is_some();
+                self.sessions.with_session(&key, known, |s| {
+                    s.challenges += 1;
+                    if hit {
+                        s.hits += 1;
+                    }
+                });
+                self.challenges.fetch_add(1, Ordering::Relaxed);
+                let m = mux_metrics();
+                m.challenges.inc();
+                if hit {
+                    m.hits.inc();
+                }
+                FrameOutcome::Reply(WireMessage::DynResponse {
+                    segment: served.map(|p| (p.segment, p.proof)),
+                })
+            }
+            WireMessage::Update {
+                file_id,
+                index,
+                tagged,
+                sig,
+            } => {
+                let new_digest = self
+                    .dynamic
+                    .update(&file_id, index, tagged, &sig)
+                    .and_then(Result::ok);
+                FrameOutcome::Reply(WireMessage::UpdateAck { new_digest })
+            }
+            WireMessage::Append {
+                file_id,
+                tagged,
+                sig,
+            } => {
+                let new_digest = self.dynamic.append(&file_id, tagged, &sig);
+                FrameOutcome::Reply(WireMessage::UpdateAck { new_digest })
+            }
+            WireMessage::Bye => FrameOutcome::Close,
+            // Replies never originate from a client; ignore them.
+            WireMessage::Response { .. }
+            | WireMessage::DynResponse { .. }
+            | WireMessage::UpdateAck { .. } => FrameOutcome::Silent,
+        }
+    }
+
+    fn on_close(&self, conn_id: u64) {
+        // Connection over: release its session state.
+        self.sessions.evict_connection(conn_id);
+    }
+}
+
 /// The multi-connection, session-multiplexing prover server.
 pub struct MuxProverServer {
     addr: SocketAddr,
@@ -246,6 +365,10 @@ pub struct MuxProverServer {
     challenges: Arc<AtomicU64>,
     store: SegmentStore,
     dynamic: DynamicRegistry,
+    /// Legacy path: wakes the parked accept loop at shutdown.
+    park: Option<Arc<crate::tcp::AcceptPark>>,
+    /// Reactor path: interrupts the event loop's poll at shutdown.
+    waker: Option<geoproof_reactor::Waker>,
 }
 
 impl std::fmt::Debug for MuxProverServer {
@@ -280,64 +403,56 @@ impl MuxProverServer {
         dynamic: DynamicRegistry,
         service_delay: Duration,
     ) -> std::io::Result<MuxProverServer> {
+        use crate::reactor_serve::FrameService;
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
+        let park = crate::tcp::AcceptPark::new();
         let sessions = Arc::new(SessionTable::default());
         let connections = Arc::new(AtomicU64::new(0));
         let challenges = Arc::new(AtomicU64::new(0));
         let conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
+        let service = Arc::new(MuxService {
+            store: store.clone(),
+            dynamic: dynamic.clone(),
+            sessions: sessions.clone(),
+            challenges: challenges.clone(),
+        });
 
         let accept_stop = stop.clone();
-        let accept_sessions = sessions.clone();
+        let accept_park = park.clone();
         let accept_connections = connections.clone();
-        let accept_challenges = challenges.clone();
         let accept_conns = conn_handles.clone();
-        let accept_store = store.clone();
-        let accept_dynamic = dynamic.clone();
+        let accept_service = service.clone();
         let accept_handle = std::thread::spawn(move || {
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let conn_id = accept_connections.fetch_add(1, Ordering::Relaxed);
-                        mux_metrics().connections.inc();
-                        let store = accept_store.clone();
-                        let dynamic = accept_dynamic.clone();
+                        accept_service.on_open(conn_id);
                         let stop = accept_stop.clone();
-                        let sessions = accept_sessions.clone();
-                        let challenges = accept_challenges.clone();
+                        let service = accept_service.clone();
                         let handle = std::thread::spawn(move || {
                             let _ = serve_mux_connection(
                                 stream,
                                 conn_id,
-                                store,
-                                dynamic,
+                                &service,
                                 service_delay,
                                 stop,
-                                sessions.clone(),
-                                challenges,
                             );
-                            // Connection over: release its session state.
-                            sessions.evict_connection(conn_id);
+                            service.on_close(conn_id);
                         });
-                        // Reap handles of connections that already
-                        // finished, so a long-lived server doesn't hoard
-                        // one JoinHandle per connection it ever served.
-                        let mut handles = accept_conns.lock();
-                        let mut i = 0;
-                        while i < handles.len() {
-                            if handles[i].is_finished() {
-                                let _ = handles.swap_remove(i).join();
-                            } else {
-                                i += 1;
-                            }
-                        }
-                        handles.push(handle);
+                        // Opportunistically reap finished handles (the
+                        // stat-read path reaps too, so a burst followed
+                        // by silence doesn't hoard handles until the
+                        // next accept).
+                        reap_finished(&accept_conns);
+                        accept_conns.lock().push(handle);
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
+                        accept_park.park_unless(&accept_stop);
                     }
                     Err(_) => break,
                 }
@@ -354,6 +469,73 @@ impl MuxProverServer {
             challenges,
             store,
             dynamic,
+            park: Some(park),
+            waker: None,
+        })
+    }
+
+    /// Event-driven variant of [`MuxProverServer::spawn`]: same
+    /// protocol, same session table, same statistics — the frame
+    /// handling is literally the same code
+    /// (`reactor_serve::FrameService`) — but connections are
+    /// non-blocking state machines on one epoll reactor thread instead
+    /// of a thread each, so tens of thousands of concurrent audits fit
+    /// in O(connections) heap. Service delay runs on reactor timers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; [`std::io::ErrorKind::Unsupported`] on
+    /// targets without the epoll backend (use the threaded path there).
+    pub fn spawn_reactor(
+        store: SegmentStore,
+        service_delay: Duration,
+    ) -> std::io::Result<MuxProverServer> {
+        Self::spawn_reactor_with_dynamic(store, DynamicRegistry::new(), service_delay)
+    }
+
+    /// Like [`MuxProverServer::spawn_reactor`], also serving the
+    /// dynamic flow from `dynamic`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; [`std::io::ErrorKind::Unsupported`] on
+    /// targets without the epoll backend.
+    pub fn spawn_reactor_with_dynamic(
+        store: SegmentStore,
+        dynamic: DynamicRegistry,
+        service_delay: Duration,
+    ) -> std::io::Result<MuxProverServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(SessionTable::default());
+        let connections = Arc::new(AtomicU64::new(0));
+        let challenges = Arc::new(AtomicU64::new(0));
+        let service = Arc::new(MuxService {
+            store: store.clone(),
+            dynamic: dynamic.clone(),
+            sessions: sessions.clone(),
+            challenges: challenges.clone(),
+        });
+        let (waker, handle) = crate::reactor_serve::spawn_reactor_loop(
+            listener,
+            service,
+            service_delay,
+            stop.clone(),
+            connections.clone(),
+        )?;
+        Ok(MuxProverServer {
+            addr,
+            stop,
+            accept_handle: Some(handle),
+            conn_handles: Arc::new(Mutex::new(Vec::new())),
+            sessions,
+            connections,
+            challenges,
+            store,
+            dynamic,
+            park: None,
+            waker: Some(waker),
         })
     }
 
@@ -408,7 +590,13 @@ impl MuxProverServer {
     }
 
     /// Aggregate statistics (monotone — see [`MuxStats`]).
+    ///
+    /// Reading stats also reaps finished connection threads on the
+    /// threaded path: a burst of connections followed by silence used
+    /// to hoard one `JoinHandle` per past connection until the *next*
+    /// accept; any observer now releases them.
     pub fn stats(&self) -> MuxStats {
+        reap_finished(&self.conn_handles);
         MuxStats {
             connections: self.connections.load(Ordering::Relaxed),
             sessions: self.sessions.opened.load(Ordering::Relaxed),
@@ -429,9 +617,17 @@ impl MuxProverServer {
 
     /// Stops accepting, then joins the accept loop **and every
     /// connection thread** (connections notice the stop flag at their
-    /// next idle poll; in-flight responses complete first).
+    /// next idle poll; in-flight responses complete first). On the
+    /// reactor path the waker interrupts the event loop's poll
+    /// immediately, which drops every connection state machine.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(park) = &self.park {
+            park.wake();
+        }
+        if let Some(waker) = &self.waker {
+            let _ = waker.wake();
+        }
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
@@ -448,17 +644,29 @@ impl Drop for MuxProverServer {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Reaps (joins) connection threads that have already finished, so a
+/// long-lived server holds handles only for *live* connections. Called
+/// from the accept loop and from [`MuxProverServer::stats`].
+fn reap_finished(handles: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let mut handles = handles.lock();
+    let mut i = 0;
+    while i < handles.len() {
+        if handles[i].is_finished() {
+            let _ = handles.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn serve_mux_connection(
     stream: TcpStream,
     conn_id: u64,
-    store: SegmentStore,
-    dynamic: DynamicRegistry,
+    service: &MuxService,
     service_delay: Duration,
     stop: Arc<AtomicBool>,
-    sessions: Arc<SessionTable>,
-    challenges: Arc<AtomicU64>,
 ) -> std::io::Result<()> {
+    use crate::reactor_serve::{FrameOutcome, FrameService};
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
     let mut writer = stream.try_clone()?;
@@ -473,101 +681,13 @@ fn serve_mux_connection(
             Ok(Polled::Idle) => continue,
             Ok(Polled::Closed) | Err(_) => return Ok(()),
         };
-        mux_metrics().frames.inc();
-        match msg {
-            WireMessage::StartAudit { file_id, k, .. } => {
-                let known = store.lock().contains_key(&file_id) || dynamic.contains(&file_id);
-                let key = SessionKey {
-                    connection: conn_id,
-                    file_id,
-                };
-                sessions.with_session(&key, known, |s| s.announced_k = Some(k));
-            }
-            WireMessage::Challenge { file_id, index } => {
-                if !service_delay.is_zero() {
-                    std::thread::sleep(service_delay);
-                }
-                let (known, segment) = {
-                    let guard = store.lock();
-                    let file = guard.get(&file_id);
-                    (
-                        file.is_some(),
-                        file.and_then(|segs| segs.get(index as usize)).cloned(),
-                    )
-                };
-                let key = SessionKey {
-                    connection: conn_id,
-                    file_id,
-                };
-                let hit = segment.is_some();
-                sessions.with_session(&key, known, |s| {
-                    s.challenges += 1;
-                    if hit {
-                        s.hits += 1;
-                    }
-                });
-                challenges.fetch_add(1, Ordering::Relaxed);
-                let m = mux_metrics();
-                m.challenges.inc();
-                if hit {
-                    m.hits.inc();
-                }
-                write_frame(&mut writer, &WireMessage::Response { segment })?;
-            }
-            WireMessage::DynChallenge { file_id, index } => {
-                if !service_delay.is_zero() {
-                    std::thread::sleep(service_delay);
-                }
-                let known = dynamic.contains(&file_id);
-                let served = dynamic.challenge(&file_id, index);
-                let key = SessionKey {
-                    connection: conn_id,
-                    file_id,
-                };
-                let hit = served.is_some();
-                sessions.with_session(&key, known, |s| {
-                    s.challenges += 1;
-                    if hit {
-                        s.hits += 1;
-                    }
-                });
-                challenges.fetch_add(1, Ordering::Relaxed);
-                let m = mux_metrics();
-                m.challenges.inc();
-                if hit {
-                    m.hits.inc();
-                }
-                write_frame(
-                    &mut writer,
-                    &WireMessage::DynResponse {
-                        segment: served.map(|p| (p.segment, p.proof)),
-                    },
-                )?;
-            }
-            WireMessage::Update {
-                file_id,
-                index,
-                tagged,
-                sig,
-            } => {
-                let new_digest = dynamic
-                    .update(&file_id, index, tagged, &sig)
-                    .and_then(Result::ok);
-                write_frame(&mut writer, &WireMessage::UpdateAck { new_digest })?;
-            }
-            WireMessage::Append {
-                file_id,
-                tagged,
-                sig,
-            } => {
-                let new_digest = dynamic.append(&file_id, tagged, &sig);
-                write_frame(&mut writer, &WireMessage::UpdateAck { new_digest })?;
-            }
-            WireMessage::Bye => return Ok(()),
-            // Replies never originate from a client; ignore them.
-            WireMessage::Response { .. }
-            | WireMessage::DynResponse { .. }
-            | WireMessage::UpdateAck { .. } => {}
+        if !service_delay.is_zero() && service.delayed(&msg) {
+            std::thread::sleep(service_delay);
+        }
+        match service.handle(conn_id, msg) {
+            FrameOutcome::Reply(reply) => write_frame(&mut writer, &reply)?,
+            FrameOutcome::Silent => {}
+            FrameOutcome::Close => return Ok(()),
         }
     }
 }
@@ -785,6 +905,45 @@ mod tests {
             );
         }
         assert_eq!(server.stats().challenges, 0);
+    }
+
+    #[test]
+    fn finished_connection_threads_are_reaped_without_a_next_accept() {
+        // Regression: handles of finished connection threads were only
+        // reaped inside the accept arm, so a burst of connections
+        // followed by silence hoarded one JoinHandle per past
+        // connection indefinitely. Reading stats must release them.
+        let server = MuxProverServer::spawn(store_with(&[("f", 2)]), Duration::ZERO).unwrap();
+        let addr = server.addr();
+        for _ in 0..8 {
+            let mut c = TcpChallenger::connect(addr).unwrap();
+            let (seg, _) = c.challenge("f", 0).unwrap();
+            assert!(seg.is_some());
+            c.bye().unwrap();
+        }
+        // All eight connections have said Bye; wait for their threads to
+        // finish (eviction of the last session is the finish line).
+        for _ in 0..300 {
+            if server.stats().sessions_complete + server.stats().sessions_incomplete == 8
+                && server.sessions().is_empty()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // No further accepts happen. A stats read — the operator's
+        // natural touchpoint — must reap the finished handles.
+        for _ in 0..300 {
+            let _ = server.stats();
+            if server.conn_handles.lock().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            server.conn_handles.lock().is_empty(),
+            "finished connection handles hoarded until the next accept"
+        );
     }
 
     #[test]

@@ -28,6 +28,54 @@ pub fn store_segments(segments: Vec<Vec<u8>>) -> Vec<Bytes> {
     segments.into_iter().map(Bytes::from).collect()
 }
 
+/// How long a legacy accept loop parks between accept attempts. Short,
+/// because nothing signals the condvar when a connection arrives — only
+/// shutdown does.
+const ACCEPT_PARK: Duration = Duration::from_millis(2);
+
+/// Shutdown-interruptible park for the legacy (threaded) accept loops.
+///
+/// A non-blocking listener has to retry `accept`; the loops used to
+/// plain-`sleep(2ms)` between attempts, which a shutdown could not
+/// interrupt — worst case it waited out the whole sleep, and the pattern
+/// read as a busy-wait. Parking on a condvar keeps the identical retry
+/// cadence but lets [`AcceptPark::wake`] (called with the stop flag set)
+/// end the wait immediately.
+pub(crate) struct AcceptPark {
+    lock: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+impl AcceptPark {
+    pub(crate) fn new() -> Arc<AcceptPark> {
+        Arc::new(AcceptPark {
+            lock: std::sync::Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+        })
+    }
+
+    /// Parks for [`ACCEPT_PARK`] unless `stop` is already set; a
+    /// concurrent [`AcceptPark::wake`] ends the park early. Checking
+    /// `stop` under the lock closes the set-flag/park race.
+    pub(crate) fn park_unless(&self, stop: &AtomicBool) {
+        let guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        drop(
+            self.cv
+                .wait_timeout(guard, ACCEPT_PARK)
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+    }
+
+    /// Wakes a parked accept loop (the caller has set its stop flag).
+    pub(crate) fn wake(&self) {
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
+        self.cv.notify_all();
+    }
+}
+
 /// A TCP prover: answers `Challenge` frames with `Response` frames.
 pub struct ProverServer {
     addr: SocketAddr,
@@ -36,6 +84,10 @@ pub struct ProverServer {
     store: SegmentStore,
     /// Artificial per-request service delay (simulates disk look-up).
     service_delay: Duration,
+    /// Legacy path: wakes the parked accept loop at shutdown.
+    park: Option<Arc<AcceptPark>>,
+    /// Reactor path: interrupts the event loop's poll at shutdown.
+    waker: Option<geoproof_reactor::Waker>,
 }
 
 impl std::fmt::Debug for ProverServer {
@@ -60,7 +112,9 @@ impl ProverServer {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let park = AcceptPark::new();
         let stop_flag = stop.clone();
+        let accept_park = park.clone();
         let store_ref = store.clone();
         listener.set_nonblocking(true)?;
         let handle = std::thread::spawn(move || {
@@ -74,7 +128,7 @@ impl ProverServer {
                         });
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
+                        accept_park.park_unless(&stop_flag);
                     }
                     Err(_) => break,
                 }
@@ -86,6 +140,49 @@ impl ProverServer {
             handle: Some(handle),
             store,
             service_delay,
+            park: Some(park),
+            waker: None,
+        })
+    }
+
+    /// Event-driven variant of [`ProverServer::spawn`]: identical
+    /// protocol behaviour (the frame handling is literally shared —
+    /// see `reactor_serve::FrameService`), but every
+    /// connection is a state machine on one epoll reactor thread
+    /// instead of a thread of its own, so concurrency is bounded by
+    /// file descriptors, not stacks. The service delay runs on reactor
+    /// timers rather than `thread::sleep`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; [`std::io::ErrorKind::Unsupported`]
+    /// on targets without the epoll backend (use the threaded path
+    /// there).
+    pub fn spawn_reactor(
+        store: SegmentStore,
+        service_delay: Duration,
+    ) -> std::io::Result<ProverServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(PlainService {
+            store: store.clone(),
+        });
+        let (waker, handle) = crate::reactor_serve::spawn_reactor_loop(
+            listener,
+            service,
+            service_delay,
+            stop.clone(),
+            Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        )?;
+        Ok(ProverServer {
+            addr,
+            stop,
+            handle: Some(handle),
+            store,
+            service_delay,
+            park: None,
+            waker: Some(waker),
         })
     }
 
@@ -106,9 +203,18 @@ impl ProverServer {
         self.store.lock().insert(file_id.to_owned(), segments);
     }
 
-    /// Stops the accept loop (open connections close as clients hang up).
+    /// Stops the accept loop (open connections close as clients hang
+    /// up; on the reactor path the event loop drops them at exit). The
+    /// parked/blocked loop is woken immediately rather than waiting out
+    /// a poll interval.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(park) = &self.park {
+            park.wake();
+        }
+        if let Some(waker) = &self.waker {
+            let _ = waker.wake();
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -120,6 +226,9 @@ impl Drop for ProverServer {
         self.shutdown();
     }
 }
+
+/// Bytes appended to the frame buffer per socket read.
+const READ_CHUNK: usize = 4096;
 
 /// Result of one poll on an idle-tolerant frame reader.
 #[derive(Debug)]
@@ -187,11 +296,74 @@ impl IdleFrameReader {
             if stop.load(Ordering::Relaxed) {
                 return Ok(Polled::Idle);
             }
-            // Need more bytes.
-            let mut chunk = [0u8; 4096];
-            match reader.read(&mut chunk) {
+            // Need more bytes: read straight into the buffer's spare
+            // capacity (resize up, read into the tail, truncate back to
+            // what arrived) — no stack staging buffer, no second copy.
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            let read = reader.read(&mut self.buf[old..]);
+            self.buf.truncate(old + read.as_ref().map_or(0, |&n| n));
+            match read {
                 Ok(0) => return Ok(Polled::Closed),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(_) => {}
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Polled::Idle);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Edge-triggered variant of [`poll`][Self::poll] for the reactor.
+    ///
+    /// Identical framing, but a short read (`n < READ_CHUNK`) proves the
+    /// socket buffer was empty at that instant, so once the buffered
+    /// bytes hold no complete frame it returns `Idle` without issuing
+    /// another read — saving the `EAGAIN` syscall that drain-to-
+    /// `WouldBlock` pays on every wakeup. Correct only under
+    /// edge-triggered epoll, where bytes arriving after the short read
+    /// raise a fresh readiness edge; `*sock_drained` must live for one
+    /// readiness edge (one pump) and start `false`.
+    pub(crate) fn poll_et<R: Read>(
+        &mut self,
+        reader: &mut R,
+        stop: &AtomicBool,
+        sock_drained: &mut bool,
+    ) -> std::io::Result<Polled> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        CodecError::FrameTooLarge(len),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let frame = self.buf.split_to(4 + len).freeze();
+                    let msg = WireMessage::decode_shared(&frame.slice(4..))
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                    return Ok(Polled::Frame(msg));
+                }
+            }
+            if *sock_drained || stop.load(Ordering::Relaxed) {
+                return Ok(Polled::Idle);
+            }
+            let old = self.buf.len();
+            self.buf.resize(old + READ_CHUNK, 0);
+            let read = reader.read(&mut self.buf[old..]);
+            self.buf.truncate(old + read.as_ref().map_or(0, |&n| n));
+            match read {
+                Ok(0) => return Ok(Polled::Closed),
+                Ok(n) => {
+                    if n < READ_CHUNK {
+                        *sock_drained = true;
+                    }
+                }
                 Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(ref e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -205,12 +377,42 @@ impl IdleFrameReader {
     }
 }
 
+/// The plain prover's protocol semantics, shared verbatim between the
+/// threaded path ([`serve_connection`]) and the reactor path
+/// ([`ProverServer::spawn_reactor`]): answer challenges from the store,
+/// close on `Bye`, ignore audit-control frames.
+pub(crate) struct PlainService {
+    pub(crate) store: SegmentStore,
+}
+
+impl crate::reactor_serve::FrameService for PlainService {
+    fn handle(&self, _conn_id: u64, msg: WireMessage) -> crate::reactor_serve::FrameOutcome {
+        use crate::reactor_serve::FrameOutcome;
+        match msg {
+            WireMessage::Challenge { file_id, index } => {
+                let segment = self
+                    .store
+                    .lock()
+                    .get(&file_id)
+                    .and_then(|segs| segs.get(index as usize))
+                    .cloned();
+                FrameOutcome::Reply(WireMessage::Response { segment })
+            }
+            WireMessage::Bye => FrameOutcome::Close,
+            // A prover ignores audit-control frames.
+            _ => FrameOutcome::Silent,
+        }
+    }
+}
+
 fn serve_connection(
     stream: TcpStream,
     store: SegmentStore,
     service_delay: Duration,
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
+    use crate::reactor_serve::{FrameOutcome, FrameService};
+    let service = PlainService { store };
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut writer = stream.try_clone()?;
@@ -225,21 +427,13 @@ fn serve_connection(
             Ok(Polled::Idle) => continue,
             Ok(Polled::Closed) | Err(_) => return Ok(()), // disconnect
         };
-        match msg {
-            WireMessage::Challenge { file_id, index } => {
-                if !service_delay.is_zero() {
-                    std::thread::sleep(service_delay);
-                }
-                let segment = store
-                    .lock()
-                    .get(&file_id)
-                    .and_then(|segs| segs.get(index as usize))
-                    .cloned();
-                write_frame(&mut writer, &WireMessage::Response { segment })?;
-            }
-            WireMessage::Bye => return Ok(()),
-            // A prover ignores audit-control frames.
-            _ => {}
+        if !service_delay.is_zero() && service.delayed(&msg) {
+            std::thread::sleep(service_delay);
+        }
+        match service.handle(0, msg) {
+            FrameOutcome::Reply(reply) => write_frame(&mut writer, &reply)?,
+            FrameOutcome::Silent => {}
+            FrameOutcome::Close => return Ok(()),
         }
     }
 }

@@ -66,6 +66,14 @@ impl BytesMut {
         self.inner.resize(new_len, value);
     }
 
+    /// Shortens the buffer to `len` bytes, keeping capacity (no-op when
+    /// already shorter). Pairs with [`BytesMut::resize`] for the
+    /// read-into-spare-capacity pattern: resize up, read into the tail,
+    /// truncate back to what actually arrived.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
     /// Removes the first `at` bytes and returns them as a new buffer.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         let rest = self.inner.split_off(at);
@@ -457,6 +465,25 @@ mod tests {
         assert_eq!(r.remaining(), 3);
         r.advance(1);
         assert_eq!(r.chunk(), &[2, 3]);
+    }
+
+    #[test]
+    fn resize_read_truncate_keeps_capacity() {
+        // The spare-capacity read pattern used by the wire frame reader:
+        // resize up, "read" into the tail, truncate back to the bytes
+        // that actually arrived — no second buffer, no copy.
+        let mut b = BytesMut::with_capacity(64);
+        b.extend_from_slice(&[1, 2, 3]);
+        let cap = b.inner.capacity();
+        let old = b.len();
+        b.resize(old + 32, 0);
+        b[old..old + 4].copy_from_slice(&[4, 5, 6, 7]);
+        b.truncate(old + 4);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(b.inner.capacity(), cap, "truncate must keep capacity");
+        // Truncating longer than the buffer is a no-op.
+        b.truncate(100);
+        assert_eq!(b.len(), 7);
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! | [`geo`] | `geoproof-geo` | coordinates, GPS + spoofing, triangulation, geolocation baselines |
 //! | [`distbound`] | `geoproof-distbound` | Brands–Chaum, Hancke–Kuhn, Reid et al. + attacks |
 //! | [`por`] | `geoproof-por` | MAC-based and sentinel PORs, streaming encode, detection analysis |
-//! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine and deterministic fleet simulator |
-//! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server |
+//! | [`core`] | `geoproof-core` | the GeoProof protocol: owner, provider, verifier, TPA; the concurrent audit engine, deterministic fleet simulator, and continuous audit scheduler |
+//! | [`reactor`] | `geoproof-reactor` | freestanding epoll event loop: edge-triggered readiness, hashed timer wheel, cross-thread waker |
+//! | [`wire`] | `geoproof-wire` | framing codec, real-TCP challenge–response, multi-connection session-multiplexing server (threaded and event-driven) |
 //! | [`ledger`] | `geoproof-ledger` | durable evidence: append-only hash-chained audit log, Merkle checkpoints, crash recovery, offline re-verification |
 //! | [`obs`] | `geoproof-obs` | observability: lock-free counters/gauges/histograms, span journal, Prometheus text exposition |
 //!
@@ -50,6 +51,7 @@ pub use geoproof_ledger as ledger;
 pub use geoproof_net as net;
 pub use geoproof_obs as obs;
 pub use geoproof_por as por;
+pub use geoproof_reactor as reactor;
 pub use geoproof_sim as sim;
 pub use geoproof_storage as storage;
 pub use geoproof_wire as wire;

@@ -6,7 +6,8 @@
 //! geoproof encode-dynamic <input-file> <store-dir> --fid <id> --master <secret>
 //! geoproof update  <host:port> <store-dir> --index N --data <file> --master <secret>
 //! geoproof append  <host:port> <store-dir> --data <file> --master <secret>
-//! geoproof serve   <store-dir> [--delay-ms N] [--concurrent] [--metrics-addr <ip:port>]
+//! geoproof serve   <store-dir> [--delay-ms N] [--concurrent] [--threaded]
+//!                  [--schedule <policy>] [--metrics-addr <ip:port>]
 //! geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
 //! geoproof stats   <ip:port> [--watch]
 //! geoproof info    <store-dir>
@@ -20,7 +21,14 @@
 //! arena. `serve` memory-maps nothing exotic: it reads `segments.bin`
 //! into one shared buffer and serves zero-copy `Bytes` slices of it
 //! (`--concurrent` switches to the multi-connection session-
-//! multiplexing server with per-session statistics); `audit` runs the
+//! multiplexing server with per-session statistics). Serving runs on
+//! the epoll **reactor** by default — every connection a non-blocking
+//! state machine on one event-loop thread; `--threaded` keeps the
+//! classic thread-per-connection path for differential testing.
+//! `--schedule <policy>` additionally runs the continuous audit
+//! scheduler: every hosted file is enrolled as a prover and re-audited
+//! over loopback TCP on the policy's cadence, REJECTs fast-tracked
+//! (see `geoproof_core::scheduler`). `audit` runs the
 //! wall-clock timed challenge–response against a server and applies the
 //! Δt_max policy. The TPA's MAC key is derived from `--master`, so
 //! auditing needs the owner's secret (as in the paper, where the owner
@@ -82,8 +90,10 @@ const USAGE: &str = "usage:
                    [--ledger <path>]
   geoproof append  <host:port> <store-dir> --data <file> --master <secret>
                    [--ledger <path>]
-  geoproof serve   <store-dir> [--delay-ms N] [--concurrent]
-                   [--metrics-addr <ip:port>]
+  geoproof serve   <store-dir> [--delay-ms N] [--concurrent] [--threaded]
+                   [--schedule <policy>] [--metrics-addr <ip:port>]
+                   (policy: cadence=30s,jitter=0.2,reject-cadence=5s,
+                    reject-rounds=3,max-in-flight=64,rate=200)
   geoproof audit   <host:port> <store-dir> --master <secret> [--dynamic] [--k N]
                    [--budget-ms N] [--ledger <path>] [--prover <id>]
                    [--transcript <path>] [--metrics-addr <ip:port>]
@@ -672,6 +682,77 @@ fn cmd_update_or_append(args: &[String], is_update: bool) -> CliResult {
     Ok(())
 }
 
+/// Continuous assurance for a long-lived server: every hosted file is
+/// enrolled in the core [`AuditScheduler`](geoproof::core::AuditScheduler)
+/// as a prover, and a background thread re-audits each one over
+/// loopback TCP on the policy's cadence — a failed challenge puts the
+/// file on the REJECT fast track, exactly as a TPA fleet would treat a
+/// misbehaving site.
+fn spawn_schedule_loop(
+    policy: geoproof::core::SchedulePolicy,
+    addr: std::net::SocketAddr,
+    files: Vec<(String, u64, bool)>,
+) {
+    use geoproof::core::engine::ProverId;
+    use geoproof::wire::TcpChallenger;
+
+    let audit_once = move |file_id: &str, index: u64, dynamic: bool| -> bool {
+        let Ok(mut c) = TcpChallenger::connect(addr) else {
+            return false;
+        };
+        let ok = if dynamic {
+            c.dyn_challenge(file_id, index)
+                .is_ok_and(|(seg, _)| seg.is_some())
+        } else {
+            c.challenge(file_id, index)
+                .is_ok_and(|(seg, _)| seg.is_some())
+        };
+        let _ = c.bye();
+        ok
+    };
+
+    std::thread::Builder::new()
+        .name("geoproof-schedule".into())
+        .spawn(move || {
+            let sched = geoproof::core::AuditScheduler::new(policy);
+            let origin = std::time::Instant::now();
+            let now_ns = |origin: &std::time::Instant| origin.elapsed().as_nanos() as u64;
+            let meta: HashMap<String, (u64, bool)> = files
+                .iter()
+                .map(|(fid, segments, dynamic)| (fid.clone(), (*segments, *dynamic)))
+                .collect();
+            let mut rounds: HashMap<String, u64> = HashMap::new();
+            for (fid, _, _) in &files {
+                sched.register(&ProverId(fid.clone()), now_ns(&origin));
+            }
+            loop {
+                for prover in sched.pop_due(now_ns(&origin)) {
+                    let (segments, dynamic) = meta[&prover.0];
+                    let round = rounds.entry(prover.0.clone()).or_insert(0);
+                    // Walk the file round-robin so repeated audits cover
+                    // every segment, not one lucky index.
+                    let index = *round % segments.max(1);
+                    *round += 1;
+                    let ok = audit_once(&prover.0, index, dynamic);
+                    if !ok {
+                        println!(
+                            "[schedule] REJECT {} (segment {index}); fast-track re-audit",
+                            prover.0
+                        );
+                    }
+                    sched.complete(&prover, ok, now_ns(&origin));
+                }
+                let sleep_ns = sched
+                    .next_wakeup_ns()
+                    .map(|at| at.saturating_sub(now_ns(&origin)))
+                    .unwrap_or(500_000_000)
+                    .clamp(1_000_000, 500_000_000);
+                std::thread::sleep(std::time::Duration::from_nanos(sleep_ns));
+            }
+        })
+        .expect("spawn schedule thread");
+}
+
 fn cmd_serve(args: &[String]) -> CliResult {
     let store_dir = positional(args, 0)?;
     let delay_ms: u64 = flag(args, "--delay-ms")
@@ -679,6 +760,15 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .transpose()?
         .unwrap_or(0);
     let concurrent = args.iter().any(|a| a == "--concurrent");
+    // The epoll reactor is the default execution model; --threaded
+    // keeps the classic thread-per-connection path around for
+    // differential testing (same protocol code either way).
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let model = if threaded { "threaded" } else { "reactor" };
+    let schedule = flag(args, "--schedule")
+        .map(|s| geoproof::core::SchedulePolicy::parse(&s))
+        .transpose()
+        .map_err(|e| format!("bad --schedule: {e}"))?;
     let delay = std::time::Duration::from_millis(delay_ms);
 
     // The scrape listener binds before the prover socket so the banner
@@ -706,16 +796,24 @@ fn cmd_serve(args: &[String]) -> CliResult {
         let registry = geoproof::storage::DynamicRegistry::new();
         let digest = registry.insert_with_owner(&meta.file_id, tagged, owner_key);
         let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
-        let server = MuxProverServer::spawn_with_dynamic(store, registry, delay)
-            .map_err(|e| format!("bind: {e}"))?;
+        let server = if threaded {
+            MuxProverServer::spawn_with_dynamic(store, registry, delay)
+        } else {
+            MuxProverServer::spawn_reactor_with_dynamic(store, registry, delay)
+        }
+        .map_err(|e| format!("bind: {e}"))?;
         println!(
-            "serving {} ({} dynamic segments, digest root {}) on {} (dynamic mode, service \
-             delay {delay_ms} ms); Ctrl-C to stop",
+            "serving {} ({} dynamic segments, digest root {}) on {} (dynamic mode, {model}, \
+             service delay {delay_ms} ms); Ctrl-C to stop",
             meta.file_id,
             digest.segments,
             hex(&digest.root[..8]),
             server.addr()
         );
+        if let Some(policy) = schedule {
+            let files = vec![(meta.file_id.clone(), digest.segments, true)];
+            spawn_schedule_loop(policy, server.addr(), files);
+        }
         loop {
             std::thread::sleep(std::time::Duration::from_secs(60));
             let stats = server.stats();
@@ -729,16 +827,25 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let (segments, md) = read_store(Path::new(store_dir))?;
     let store: SegmentStore = Arc::new(Mutex::new(HashMap::new()));
     store.lock().insert(md.file_id.clone(), segments);
+    let schedule_files = vec![(md.file_id.clone(), md.segments, false)];
     // Both servers bind an ephemeral port and report it.
     if concurrent {
-        let server = MuxProverServer::spawn(store, delay).map_err(|e| format!("bind: {e}"))?;
+        let server = if threaded {
+            MuxProverServer::spawn(store, delay)
+        } else {
+            MuxProverServer::spawn_reactor(store, delay)
+        }
+        .map_err(|e| format!("bind: {e}"))?;
         println!(
-            "serving {} ({} segments) on {} (concurrent mode, service delay {delay_ms} ms); \
-             Ctrl-C to stop",
+            "serving {} ({} segments) on {} (concurrent mode, {model}, service delay \
+             {delay_ms} ms); Ctrl-C to stop",
             md.file_id,
             md.segments,
             server.addr()
         );
+        if let Some(policy) = schedule {
+            spawn_schedule_loop(policy, server.addr(), schedule_files);
+        }
         loop {
             std::thread::sleep(std::time::Duration::from_secs(60));
             let stats = server.stats();
@@ -748,13 +855,21 @@ fn cmd_serve(args: &[String]) -> CliResult {
             );
         }
     }
-    let server = ProverServer::spawn(store, delay).map_err(|e| format!("bind: {e}"))?;
+    let server = if threaded {
+        ProverServer::spawn(store, delay)
+    } else {
+        ProverServer::spawn_reactor(store, delay)
+    }
+    .map_err(|e| format!("bind: {e}"))?;
     println!(
-        "serving {} ({} segments) on {} (service delay {delay_ms} ms); Ctrl-C to stop",
+        "serving {} ({} segments) on {} ({model}, service delay {delay_ms} ms); Ctrl-C to stop",
         md.file_id,
         md.segments,
         server.addr()
     );
+    if let Some(policy) = schedule {
+        spawn_schedule_loop(policy, server.addr(), schedule_files);
+    }
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
